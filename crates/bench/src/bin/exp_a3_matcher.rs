@@ -1,0 +1,79 @@
+//! Ablation A3 — matcher signal contribution (§3.2/§4).
+//!
+//! The demo creates mappings "using a combination of lexicographical
+//! measures and set distance measures between the predicates defined in
+//! both schemas". This ablation measures the precision and recall of
+//! the created correspondences under each signal alone and combined,
+//! against the generator's exact ground truth.
+//!
+//! Usage: `exp_a3_matcher [schemas] [seed]`
+
+use gridvine_bench::table::f;
+use gridvine_bench::Table;
+use gridvine_semantic::{match_profiles, MatcherConfig};
+use gridvine_workload::{Workload, WorkloadConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let schemas: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    println!("A3: matcher ablation over {schemas} schemas (all unordered pairs)");
+    // 40 % of (schema, concept) pairs store values in a non-canonical
+    // format (upper-case, abbreviated, …): realistic cross-database
+    // heterogeneity that degrades the instance signal and makes the
+    // combination matter.
+    let w = Workload::generate(WorkloadConfig {
+        schemas,
+        entities: 300,
+        export_fraction: 0.35,
+        value_noise: 0.4,
+        seed,
+        ..WorkloadConfig::default()
+    });
+
+    let mut table = Table::new(&[
+        "matcher", "proposed", "correct", "precision", "recall", "f1",
+    ]);
+    for (name, cfg) in [
+        ("lexical only", MatcherConfig::lexical_only()),
+        ("instance only", MatcherConfig::instance_only()),
+        ("combined", MatcherConfig::default()),
+    ] {
+        let mut proposed = 0usize;
+        let mut correct = 0usize;
+        let mut possible = 0usize;
+        for i in 0..w.schemas.len() {
+            for j in i + 1..w.schemas.len() {
+                let a = w.schemas[i].id().clone();
+                let b = w.schemas[j].id().clone();
+                let pa = w.profile_of(&a);
+                let pb = w.profile_of(&b);
+                let found = match_profiles(&pa, &pb, &cfg);
+                proposed += found.len();
+                correct += found
+                    .iter()
+                    .filter(|s| w.ground_truth.is_correct(&a, &b, &s.correspondence))
+                    .count();
+                possible += w.ground_truth.correct_pairs(&a, &b).len();
+            }
+        }
+        let precision = correct as f64 / proposed.max(1) as f64;
+        let recall = correct as f64 / possible.max(1) as f64;
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        table.row(&[
+            name.to_string(),
+            proposed.to_string(),
+            correct.to_string(),
+            f(precision, 3),
+            f(recall, 3),
+            f(f1, 3),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("expected shape: each signal alone trades precision against recall; the\ncombination dominates on F1 — the reason the demo uses both (§4).");
+}

@@ -1,0 +1,539 @@
+//! Distributed conjunctive queries (§2.3).
+//!
+//! "Conjunctive queries can be resolved in a similar manner, by
+//! iteratively resolving each triple pattern contained in the query and
+//! aggregating the sets of results retrieved." The paper leaves the
+//! aggregation policy open; this module implements the two classic
+//! options so they can be compared (ablation A4):
+//!
+//! * [`JoinMode::Independent`] — every triple pattern is resolved over
+//!   the full mapping network on its own, all matching bindings are
+//!   shipped back to the origin, and the origin joins the binding sets
+//!   locally. Simple, one network sweep per pattern, but it pays to ship
+//!   *every* match of *every* pattern even when the join keeps almost
+//!   none of them.
+//!
+//! * [`JoinMode::BoundSubstitution`] — patterns are resolved in
+//!   selectivity order; each partial solution row is substituted into
+//!   the next pattern before that subquery is shipped
+//!   ([`TriplePattern::substitute`]), so the overlay only ever evaluates
+//!   patterns already constrained by earlier answers. This is the
+//!   semi-join/bound-join strategy of distributed query processing: more
+//!   routed subqueries, far fewer irrelevant results on the wire.
+//!
+//! Both modes reformulate every (sub)pattern through the mapping network
+//! exactly like single-pattern [`GridVineSystem::search`], so a
+//! conjunctive query also benefits from the self-organizing mapping
+//! layer of §3.
+
+use super::*;
+use gridvine_rdf::{Binding, ConjunctiveQuery, TriplePattern};
+
+/// How the binding sets of the individual triple patterns are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinMode {
+    /// Resolve each pattern over the network independently, join at the
+    /// origin.
+    Independent,
+    /// Substitute partial solutions into subsequent patterns before
+    /// routing them (bound join).
+    BoundSubstitution,
+}
+
+/// Outcome of one distributed conjunctive `SearchFor`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConjunctiveOutcome {
+    /// Solution rows, projected onto the distinguished variables,
+    /// deduplicated and sorted.
+    pub bindings: Vec<Binding>,
+    /// Overlay messages consumed.
+    pub messages: u64,
+    /// Routed pattern resolutions (original patterns, reformulations and
+    /// bound-substituted instances all count).
+    pub subqueries: usize,
+    /// Mapping applications across all patterns.
+    pub reformulations: usize,
+    /// Schemas reached, summed over patterns (each pattern's traversal
+    /// counts its own distinct set, including the pattern's own schema).
+    pub schemas_visited: usize,
+    /// Subqueries that could not be routed or resolved.
+    pub failures: usize,
+    /// Total matching bindings returned by destination peers across all
+    /// subqueries, *before* joining — a proxy for result bytes on the
+    /// wire. This, not the routed message count, is where the two join
+    /// modes differ asymptotically: an unconstrained pattern ships its
+    /// full extension under [`JoinMode::Independent`], while
+    /// [`JoinMode::BoundSubstitution`] only ships matches of already-
+    /// constrained instances.
+    pub bindings_shipped: usize,
+}
+
+/// Result of resolving one pattern across the mapping network.
+#[derive(Debug, Clone, Default)]
+struct PatternNetOutcome {
+    bindings: Vec<Binding>,
+    subqueries: usize,
+    reformulations: usize,
+    schemas_visited: usize,
+    failures: usize,
+}
+
+impl PatternNetOutcome {
+    /// Fold this pattern-level traversal into the query-level outcome.
+    fn charge(&self, out: &mut ConjunctiveOutcome) {
+        out.subqueries += self.subqueries;
+        out.reformulations += self.reformulations;
+        out.schemas_visited += self.schemas_visited;
+        out.failures += self.failures;
+        out.bindings_shipped += self.bindings.len();
+    }
+}
+
+impl GridVineSystem {
+    /// Resolve one concrete triple pattern at its routing key and return
+    /// every matching binding from the destination peer's database.
+    fn resolve_pattern_once(
+        &mut self,
+        origin: PeerId,
+        pattern: &TriplePattern,
+    ) -> Result<Vec<Binding>, SystemError> {
+        let Some((_, term)) = pattern.routing_constant() else {
+            return Err(SystemError::NotRoutable);
+        };
+        let key = self.key_of(term.lexical());
+        let (items, _route) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
+        Ok(items
+            .iter()
+            .filter_map(|i| match i {
+                MediationItem::Triple(t) => pattern.match_triple(t),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Resolve a pattern over the mapping network: answer it in its own
+    /// schema, then in every schema reachable through active mappings
+    /// (within the TTL), aggregating bindings. Patterns whose predicate
+    /// is a variable (or does not name a schema) are resolved once,
+    /// without reformulation — there is no schema to translate from.
+    fn resolve_pattern_network(
+        &mut self,
+        origin: PeerId,
+        pattern: &TriplePattern,
+        strategy: Strategy,
+    ) -> Result<PatternNetOutcome, SystemError> {
+        let mut out = PatternNetOutcome::default();
+
+        let Ok((origin_schema, _)) = gridvine_semantic::pattern_schema(pattern) else {
+            // Un-schema'd pattern: a single routed resolution.
+            out.subqueries = 1;
+            out.bindings = self.resolve_pattern_once(origin, pattern)?;
+            return Ok(out);
+        };
+
+        let mut visited: BTreeSet<SchemaId> = BTreeSet::new();
+        visited.insert(origin_schema.clone());
+        let mut frontier: Vec<(SchemaId, TriplePattern, PeerId, usize)> =
+            vec![(origin_schema, pattern.clone(), origin, 0)];
+
+        while let Some((schema, pat, at_peer, depth)) = frontier.pop() {
+            out.subqueries += 1;
+            match self.resolve_pattern_once(at_peer, &pat) {
+                Ok(bindings) => out.bindings.extend(bindings),
+                Err(_) => out.failures += 1,
+            }
+            if depth >= self.config.ttl {
+                continue;
+            }
+            let schema_key = self.key_of(schema.as_str());
+            let (next_peer, mappings) = match strategy {
+                Strategy::Iterative => (origin, self.mappings_at_schema(origin, &schema)?),
+                Strategy::Recursive => {
+                    let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
+                    let items = self
+                        .overlay
+                        .store(route.destination)
+                        .get(&schema_key)
+                        .to_vec();
+                    let maps = items
+                        .into_iter()
+                        .filter_map(|i| match i {
+                            MediationItem::Mapping { mapping, .. } => Some(mapping),
+                            _ => None,
+                        })
+                        .collect();
+                    (route.destination, maps)
+                }
+            };
+            for m in mappings {
+                let Some(dir) = m.applicable_from(&schema) else {
+                    continue;
+                };
+                let dest = m.destination(dir).clone();
+                if visited.contains(&dest) {
+                    continue;
+                }
+                let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir) else {
+                    continue;
+                };
+                visited.insert(dest.clone());
+                out.reformulations += 1;
+                frontier.push((dest, np, next_peer, depth + 1));
+            }
+        }
+        out.schemas_visited = visited.len();
+        Ok(out)
+    }
+
+    /// `SearchFor` for a conjunctive query: iteratively resolve each
+    /// triple pattern over the overlay (with reformulation through the
+    /// mapping network, per `strategy`) and aggregate the binding sets
+    /// into solution rows (§2.3).
+    ///
+    /// ```
+    /// use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, Strategy};
+    /// use gridvine_pgrid::PeerId;
+    /// use gridvine_rdf::{parse_query, Term, Triple};
+    /// use gridvine_semantic::Schema;
+    ///
+    /// let mut gv = GridVineSystem::new(GridVineConfig::default());
+    /// let p = PeerId(0);
+    /// gv.insert_schema(p, Schema::new("EMBL", ["Organism", "SequenceLength"]))?;
+    /// gv.insert_triple(p, Triple::new("seq:A78712", "EMBL#Organism",
+    ///     Term::literal("Aspergillus niger")))?;
+    /// gv.insert_triple(p, Triple::new("seq:A78712", "EMBL#SequenceLength",
+    ///     Term::literal("1042")))?;
+    ///
+    /// let q = parse_query(
+    ///     r#"SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Aspergillus%"),
+    ///                             (?x, <EMBL#SequenceLength>, ?len)"#)?;
+    /// let out = gv.search_conjunctive(p, &q, Strategy::Iterative,
+    ///     JoinMode::BoundSubstitution)?;
+    /// assert_eq!(out.bindings.len(), 1);
+    /// assert_eq!(out.bindings[0].get("len"), Some(&Term::literal("1042")));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// Under [`JoinMode::BoundSubstitution`] a subquery instance that
+    /// ends up with no routable constant (possible only if the pattern
+    /// shares no variable with its predecessors *and* carries no
+    /// constant) is counted in
+    /// [`failures`](ConjunctiveOutcome::failures) and its candidate row
+    /// is dropped; well-formed conjunctive queries — connected join
+    /// graphs with at least one constant per component — never hit this.
+    pub fn search_conjunctive(
+        &mut self,
+        origin: PeerId,
+        query: &ConjunctiveQuery,
+        strategy: Strategy,
+        mode: JoinMode,
+    ) -> Result<ConjunctiveOutcome, SystemError> {
+        let before = self.overlay.messages_sent();
+        let mut out = ConjunctiveOutcome::default();
+
+        let mut rows: Vec<Binding> = vec![Binding::new()];
+        match mode {
+            JoinMode::Independent => {
+                // One full network sweep per pattern, join afterwards.
+                let mut sets: Vec<Vec<Binding>> = Vec::with_capacity(query.patterns.len());
+                for pattern in &query.patterns {
+                    let net = self.resolve_pattern_network(origin, pattern, strategy)?;
+                    net.charge(&mut out);
+                    sets.push(net.bindings);
+                }
+                for set in sets {
+                    let mut next = Vec::new();
+                    for row in &rows {
+                        for b in &set {
+                            if let Some(j) = row.join(b) {
+                                next.push(j);
+                            }
+                        }
+                    }
+                    rows = next;
+                    if rows.is_empty() {
+                        break;
+                    }
+                }
+            }
+            JoinMode::BoundSubstitution => {
+                // Most selective pattern first: more constants, longer
+                // routing constant, fewer variables.
+                let mut order: Vec<&TriplePattern> = query.patterns.iter().collect();
+                order.sort_by_key(|p| {
+                    let routable_len = p
+                        .routing_constant()
+                        .map(|(_, t)| t.lexical().len())
+                        .unwrap_or(0);
+                    (
+                        std::cmp::Reverse(p.constants().len()),
+                        std::cmp::Reverse(routable_len),
+                        p.variables().len(),
+                    )
+                });
+                for pattern in order {
+                    let mut next = Vec::new();
+                    // Identical substituted instances are resolved once.
+                    let mut groups: Vec<(TriplePattern, Vec<usize>)> = Vec::new();
+                    for (i, row) in rows.iter().enumerate() {
+                        let sub = pattern.substitute(row);
+                        match groups.iter_mut().find(|(p, _)| *p == sub) {
+                            Some((_, idxs)) => idxs.push(i),
+                            None => groups.push((sub, vec![i])),
+                        }
+                    }
+                    for (sub, idxs) in groups {
+                        match self.resolve_pattern_network(origin, &sub, strategy) {
+                            Ok(net) => {
+                                net.charge(&mut out);
+                                for &i in &idxs {
+                                    for b in &net.bindings {
+                                        if let Some(j) = rows[i].join(b) {
+                                            next.push(j);
+                                        }
+                                    }
+                                }
+                            }
+                            Err(SystemError::NotRoutable) => {
+                                out.failures += 1;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    rows = next;
+                    if rows.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let vars: Vec<&str> = query.distinguished.iter().map(String::as_str).collect();
+        let mut bindings: Vec<Binding> = rows.into_iter().map(|b| b.project(&vars)).collect();
+        bindings.sort_by_key(|b| b.to_string());
+        bindings.dedup();
+        out.bindings = bindings;
+        out.messages = self.overlay.messages_sent() - before;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvine_rdf::{PatternTerm, TriplePattern};
+
+    /// Two schemas linked by a manual mapping, with sequence-length
+    /// facts so a two-pattern join has work to do.
+    fn federation() -> GridVineSystem {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 32,
+            ..GridVineConfig::default()
+        });
+        let p0 = PeerId(0);
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism", "SequenceLength"]))
+            .unwrap();
+        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName", "Length"]))
+            .unwrap();
+        sys.insert_mapping(
+            p0,
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![
+                Correspondence::new("Organism", "SystematicName"),
+                Correspondence::new("SequenceLength", "Length"),
+            ],
+        )
+        .unwrap();
+        for (s, p, o) in [
+            ("seq:A78712", "EMBL#Organism", "Aspergillus niger"),
+            ("seq:A78712", "EMBL#SequenceLength", "1042"),
+            ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
+            // A78767 has no length fact anywhere: joins must drop it.
+            ("seq:NEN94295-05", "EMP#SystematicName", "Aspergillus oryzae"),
+            ("seq:NEN94295-05", "EMP#Length", "2210"),
+            ("seq:X99999", "EMP#SystematicName", "Escherichia coli"),
+            ("seq:X99999", "EMP#Length", "512"),
+        ] {
+            sys.insert_triple(p0, Triple::new(s, p, Term::literal(o)))
+                .unwrap();
+        }
+        sys
+    }
+
+    fn organism_length_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            vec!["x".into(), "len".into()],
+            vec![
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri("EMBL#Organism")),
+                    PatternTerm::constant(Term::literal("%Aspergillus%")),
+                ),
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri("EMBL#SequenceLength")),
+                    PatternTerm::var("len"),
+                ),
+            ],
+        )
+        .expect("valid query")
+    }
+
+    #[test]
+    fn conjunctive_joins_across_schemas() {
+        // The EMBL-vocabulary query must also find the EMP record via
+        // the mapping: {A78712, 1042} and {NEN94295-05, 2210}.
+        let mut sys = federation();
+        for strategy in [Strategy::Iterative, Strategy::Recursive] {
+            for mode in [JoinMode::Independent, JoinMode::BoundSubstitution] {
+                let out = sys
+                    .search_conjunctive(PeerId(3), &organism_length_query(), strategy, mode)
+                    .unwrap();
+                let rows: Vec<String> = out.bindings.iter().map(|b| b.to_string()).collect();
+                assert_eq!(
+                    out.bindings.len(),
+                    2,
+                    "{strategy:?}/{mode:?} rows: {rows:?}"
+                );
+                assert!(rows.iter().any(|r| r.contains("A78712") && r.contains("1042")));
+                assert!(rows
+                    .iter()
+                    .any(|r| r.contains("NEN94295-05") && r.contains("2210")));
+                assert!(out.messages > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_results() {
+        let mut sys = federation();
+        let q = organism_length_query();
+        let a = sys
+            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
+            .unwrap();
+        let b = sys
+            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::BoundSubstitution)
+            .unwrap();
+        assert_eq!(a.bindings, b.bindings);
+    }
+
+    #[test]
+    fn bound_mode_issues_more_subqueries_but_matches_fewer_rows() {
+        let mut sys = federation();
+        let q = organism_length_query();
+        let ind = sys
+            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
+            .unwrap();
+        let bnd = sys
+            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::BoundSubstitution)
+            .unwrap();
+        // Bound substitution resolves one instance per surviving row of
+        // the first pattern (3 organisms) instead of one sweep of the
+        // unconstrained second pattern.
+        assert!(
+            bnd.subqueries >= ind.subqueries,
+            "bound {} vs independent {}",
+            bnd.subqueries,
+            ind.subqueries
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_join_returns_empty() {
+        let mut sys = federation();
+        let q = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri("EMBL#Organism")),
+                    PatternTerm::constant(Term::literal("Aspergillus nidulans")),
+                ),
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri("EMBL#SequenceLength")),
+                    PatternTerm::var("len"),
+                ),
+            ],
+        )
+        .unwrap();
+        for mode in [JoinMode::Independent, JoinMode::BoundSubstitution] {
+            let out = sys
+                .search_conjunctive(PeerId(2), &q, Strategy::Iterative, mode)
+                .unwrap();
+            assert!(out.bindings.is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_pattern_conjunctive_agrees_with_search() {
+        let mut sys = federation();
+        let single = TriplePatternQuery::example_aspergillus();
+        let cq = ConjunctiveQuery::new(vec!["x".into()], vec![single.pattern.clone()]).unwrap();
+        let s = sys.search(PeerId(5), &single, Strategy::Iterative).unwrap();
+        let c = sys
+            .search_conjunctive(PeerId(5), &cq, Strategy::Iterative, JoinMode::Independent)
+            .unwrap();
+        let mut from_conj: Vec<Term> = c
+            .bindings
+            .iter()
+            .filter_map(|b| b.get("x").cloned())
+            .collect();
+        from_conj.sort();
+        from_conj.dedup();
+        assert_eq!(s.results, from_conj);
+    }
+
+    #[test]
+    fn projection_respects_distinguished_variables() {
+        let mut sys = federation();
+        let q = ConjunctiveQuery::new(
+            vec!["x".into()], // drop ?len
+            organism_length_query().patterns,
+        )
+        .unwrap();
+        let out = sys
+            .search_conjunctive(PeerId(0), &q, Strategy::Iterative, JoinMode::Independent)
+            .unwrap();
+        for b in &out.bindings {
+            assert!(b.get("x").is_some());
+            assert!(b.get("len").is_none());
+        }
+    }
+
+    #[test]
+    fn ground_second_pattern_acts_as_filter() {
+        let mut sys = federation();
+        // ?x is an organism match AND the specific length fact must hold.
+        let q = ConjunctiveQuery::new(
+            vec!["x".into()],
+            vec![
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri("EMBL#Organism")),
+                    PatternTerm::constant(Term::literal("%Aspergillus%")),
+                ),
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri("EMBL#SequenceLength")),
+                    PatternTerm::constant(Term::literal("1042")),
+                ),
+            ],
+        )
+        .unwrap();
+        for mode in [JoinMode::Independent, JoinMode::BoundSubstitution] {
+            let out = sys
+                .search_conjunctive(PeerId(4), &q, Strategy::Iterative, mode)
+                .unwrap();
+            assert_eq!(out.bindings.len(), 1, "{mode:?}");
+            assert_eq!(
+                out.bindings[0].get("x"),
+                Some(&Term::uri("seq:A78712")),
+                "{mode:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # gridvine-core
+//!
+//! The GridVine Peer Data Management System — the paper's primary
+//! contribution, assembled from the substrate crates:
+//!
+//! * [`gridvine_netsim`] simulates the Internet layer,
+//! * [`gridvine_pgrid`] provides the structured overlay layer,
+//! * [`gridvine_rdf`] and [`gridvine_semantic`] provide the semantic
+//!   mediation layer's data model and self-organizing logic.
+//!
+//! Two execution modes cover the paper's experiments:
+//!
+//! * [`system::GridVineSystem`] — the *synchronous* PDMS over the
+//!   logical overlay with exact message accounting: all `Update`
+//!   variants of Figure 1 (`data`, `schema`, `mapping`,
+//!   `connectivity`), `SearchFor` with **iterative** and **recursive**
+//!   reformulation — single-pattern, prefix-range
+//!   ([`GridVineSystem::resolve_object_prefix`](system::GridVineSystem::resolve_object_prefix))
+//!   and conjunctive
+//!   ([`GridVineSystem::search_conjunctive`](system::GridVineSystem::search_conjunctive),
+//!   under two join policies) — and the full self-organization loop
+//!   ([`selforg`]): connectivity monitoring via `Hash(Domain)`,
+//!   automatic mapping creation from shared instance references,
+//!   Bayesian deprecation, and composition repair of deprecated links.
+//! * [`harness::Deployment`] — the *asynchronous* deployment over the
+//!   discrete-event simulator, charging wide-area latency per message;
+//!   reproduces the §2.3 latency CDF claim and disseminates
+//!   reformulated and conjunctive queries over the simulated WAN.
+//!
+//! ```
+//! use gridvine_core::prelude::*;
+//! use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+//! use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+//! use gridvine_pgrid::PeerId;
+//!
+//! let mut sys = GridVineSystem::new(GridVineConfig::default());
+//! let p = PeerId(0);
+//! sys.insert_schema(p, Schema::new("EMBL", ["Organism"])).unwrap();
+//! sys.insert_schema(p, Schema::new("EMP", ["SystematicName"])).unwrap();
+//! sys.insert_mapping(p, "EMBL", "EMP", MappingKind::Equivalence, Provenance::Manual,
+//!     vec![Correspondence::new("Organism", "SystematicName")]).unwrap();
+//! sys.insert_triple(p, Triple::new("seq:A78712", "EMBL#Organism",
+//!     Term::literal("Aspergillus niger"))).unwrap();
+//! sys.insert_triple(p, Triple::new("seq:NEN94295-05", "EMP#SystematicName",
+//!     Term::literal("Aspergillus oryzae"))).unwrap();
+//!
+//! let q = TriplePatternQuery::example_aspergillus();
+//! let out = sys.search(PeerId(3), &q, Strategy::Iterative).unwrap();
+//! assert_eq!(out.results.len(), 2); // both records, across schemas
+//! ```
+
+pub mod harness;
+pub mod item;
+pub mod selforg;
+pub mod system;
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::harness::{BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport};
+    pub use crate::item::{KeySpace, MediationItem};
+    pub use crate::selforg::{RoundReport, SelfOrgConfig};
+    pub use crate::system::conjunctive::{ConjunctiveOutcome, JoinMode};
+    pub use crate::system::{
+        apply_mapping, GridVineConfig, GridVineSystem, SearchOutcome, Strategy, SystemError,
+    };
+}
+
+pub use harness::{BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport};
+pub use item::{KeySpace, MediationItem};
+pub use selforg::{RoundReport, SelfOrgConfig};
+pub use system::conjunctive::{ConjunctiveOutcome, JoinMode};
+pub use system::{
+    apply_mapping, GridVineConfig, GridVineSystem, SearchOutcome, Strategy, SystemError,
+};

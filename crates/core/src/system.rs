@@ -1,0 +1,921 @@
+//! The synchronous GridVine system: the full PDMS over the logical
+//! overlay, with exact message accounting.
+//!
+//! [`GridVineSystem`] wires the three layers together (Figure 1): a
+//! P-Grid [`Overlay`] at the overlay layer, [`MediationItem`]s in the
+//! peers' stores, and the mediation-layer operations of §2.2–§3 —
+//! `Update(data | schema | mapping | connectivity)` and
+//! `SearchFor(query)` with iterative or recursive reformulation.
+//!
+//! Every operation is executed as hop-by-hop routing over peer-local
+//! views, so the message counts are those of the distributed protocol;
+//! the event-driven twin in [`crate::harness`] additionally charges
+//! wall-clock latency.
+
+use crate::item::{KeySpace, MediationItem};
+use gridvine_pgrid::{
+    BitString, HashKind, KeyHasher, Overlay, PeerId, RouteError, Topology, UpdateOp,
+};
+use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+use gridvine_semantic::{
+    Correspondence, DegreeRecord, Mapping, MappingId, MappingKind, MappingRegistry, Provenance,
+    Schema, SchemaId,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+// Child module so conjunctive evaluation can reuse the system's private
+// overlay/rng state without widening the public surface.
+#[path = "conjunctive.rs"]
+pub mod conjunctive;
+
+/// System-wide configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridVineConfig {
+    /// Number of peers in the overlay.
+    pub peers: usize,
+    /// Routing references per level.
+    pub refs_per_level: usize,
+    /// Overlay key depth in bits.
+    pub key_depth: usize,
+    /// Which hash maps lexical values to keys.
+    pub hash: HashKind,
+    /// Reformulation TTL (mapping applications per query).
+    pub ttl: usize,
+    /// Application domain name (the `Hash(Domain)` aggregation point).
+    pub domain: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GridVineConfig {
+    fn default() -> Self {
+        GridVineConfig {
+            peers: 64,
+            refs_per_level: 2,
+            key_depth: 24,
+            hash: HashKind::OrderPreserving,
+            ttl: 10,
+            domain: "protein-sequences".to_string(),
+            seed: 0x6B1D,
+        }
+    }
+}
+
+/// How a query is disseminated through the mapping network (§4: "In
+/// reformulating queries, we support two approaches: iterative, where a
+/// peer iteratively looks for paths of mappings and reformulates the
+/// query by itself, and recursive, where the successive reformulations
+/// are delegated to intermediate peers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    Iterative,
+    Recursive,
+}
+
+/// Outcome of one `SearchFor` dissemination.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Distinct result terms bound to the distinguished variable, over
+    /// all reformulations.
+    pub results: Vec<Term>,
+    /// Accessions extracted from `seq:` subjects among the results (for
+    /// recall against workload ground truth).
+    pub accessions: BTreeSet<String>,
+    /// Overlay messages consumed.
+    pub messages: u64,
+    /// Number of reformulated queries issued (excluding the original).
+    pub reformulations: usize,
+    /// Schemas the query reached (including the original).
+    pub schemas_visited: usize,
+    /// Reformulated queries that could not be routed (holes, missing
+    /// constants).
+    pub failures: usize,
+}
+
+/// Errors surfaced by mediation-layer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    Route(RouteError),
+    /// The query has no routable constant (§2.3 requires one).
+    NotRoutable,
+    /// The query predicate does not name a schema.
+    NoQuerySchema,
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Route(e) => write!(f, "routing failed: {e}"),
+            SystemError::NotRoutable => write!(f, "query has no routable constant term"),
+            SystemError::NoQuerySchema => write!(f, "query predicate does not name a schema"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<RouteError> for SystemError {
+    fn from(e: RouteError) -> SystemError {
+        SystemError::Route(e)
+    }
+}
+
+/// The synchronous GridVine PDMS.
+pub struct GridVineSystem {
+    config: GridVineConfig,
+    hasher: Box<dyn KeyHasher + Send + Sync>,
+    topology: Topology,
+    overlay: Overlay<MediationItem>,
+    /// The logical mediation state: schemas and mappings as stored in
+    /// the DHT (kept in lock-step with the DHT copies by the insert /
+    /// deprecate operations below).
+    registry: MappingRegistry,
+    rng: StdRng,
+}
+
+impl GridVineSystem {
+    /// Build a system with a balanced overlay.
+    pub fn new(config: GridVineConfig) -> GridVineSystem {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let topology = Topology::balanced(config.peers, config.refs_per_level, &mut rng);
+        debug_assert!(topology.validate().is_ok());
+        let overlay = Overlay::new(&topology);
+        GridVineSystem {
+            hasher: config.hash.build(),
+            topology,
+            overlay,
+            registry: MappingRegistry::new(),
+            rng,
+            config,
+        }
+    }
+
+    /// Build over an explicit topology (e.g. one produced by the
+    /// decentralized construction).
+    pub fn with_topology(config: GridVineConfig, topology: Topology) -> GridVineSystem {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let overlay = Overlay::new(&topology);
+        GridVineSystem {
+            hasher: config.hash.build(),
+            topology,
+            overlay,
+            registry: MappingRegistry::new(),
+            rng,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &GridVineConfig {
+        &self.config
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    pub fn overlay(&self) -> &Overlay<MediationItem> {
+        &self.overlay
+    }
+
+    /// The logical mediation state (schemas + mappings).
+    pub fn registry(&self) -> &MappingRegistry {
+        &self.registry
+    }
+
+    /// Total overlay messages since construction (or the last reset).
+    pub fn messages_sent(&self) -> u64 {
+        self.overlay.messages_sent()
+    }
+
+    pub fn reset_messages(&mut self) {
+        self.overlay.reset_messages();
+    }
+
+    /// A uniformly random peer (for issuing operations "from anywhere").
+    pub fn random_peer(&mut self) -> PeerId {
+        PeerId::from_index(self.rng.gen_range(0..self.config.peers))
+    }
+
+    fn keyspace(&self) -> KeySpace<'_> {
+        KeySpace::new(self.hasher.as_ref(), self.config.key_depth)
+    }
+
+    /// Overlay key of a lexical value.
+    pub fn key_of(&self, lexical: &str) -> BitString {
+        self.keyspace().key_of(lexical)
+    }
+
+    // -----------------------------------------------------------------
+    // Update operations (§2.2, §3, §3.1)
+    // -----------------------------------------------------------------
+
+    /// `Update(t)` — index the triple under subject, predicate and
+    /// object keys (three overlay updates).
+    pub fn insert_triple(&mut self, origin: PeerId, t: Triple) -> Result<(), SystemError> {
+        let keys = self.keyspace().triple_keys(&t);
+        for key in keys {
+            self.overlay.update(
+                origin,
+                UpdateOp::Insert,
+                key,
+                MediationItem::Triple(t.clone()),
+                &mut self.rng,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-load a schema's triples from an origin peer.
+    pub fn insert_triples(
+        &mut self,
+        origin: PeerId,
+        triples: impl IntoIterator<Item = Triple>,
+    ) -> Result<usize, SystemError> {
+        let mut n = 0;
+        for t in triples {
+            self.insert_triple(origin, t)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// `Update(Schema)` — store the definition at `Hash(Schema Name)`.
+    pub fn insert_schema(&mut self, origin: PeerId, schema: Schema) -> Result<(), SystemError> {
+        let key = self.keyspace().schema_key(&schema);
+        self.overlay.update(
+            origin,
+            UpdateOp::Insert,
+            key,
+            MediationItem::Schema(schema.clone()),
+            &mut self.rng,
+        )?;
+        self.registry.add_schema(schema);
+        Ok(())
+    }
+
+    /// `Update(Schema Mapping)` — store at the source key space (and
+    /// the target's, see [`KeySpace::mapping_keys`]).
+    pub fn insert_mapping(
+        &mut self,
+        origin: PeerId,
+        source: impl Into<SchemaId>,
+        target: impl Into<SchemaId>,
+        kind: MappingKind,
+        provenance: Provenance,
+        correspondences: Vec<Correspondence>,
+    ) -> Result<MappingId, SystemError> {
+        let id = self
+            .registry
+            .add_mapping(source, target, kind, provenance, correspondences);
+        let mapping = self.registry.mapping(id).expect("just added").clone();
+        for (key, at_source) in self.keyspace().mapping_keys(&mapping) {
+            self.overlay.update(
+                origin,
+                UpdateOp::Insert,
+                key,
+                MediationItem::Mapping {
+                    mapping: mapping.clone(),
+                    at_source,
+                },
+                &mut self.rng,
+            )?;
+        }
+        Ok(id)
+    }
+
+    /// Mark a mapping deprecated, refreshing its DHT copies.
+    pub fn deprecate_mapping(&mut self, origin: PeerId, id: MappingId) -> Result<bool, SystemError> {
+        let Some(old) = self.registry.mapping(id).cloned() else {
+            return Ok(false);
+        };
+        if !self.registry.deprecate(id) {
+            return Ok(false);
+        }
+        let new = self.registry.mapping(id).expect("exists").clone();
+        self.replace_mapping_copies(origin, &old, &new)?;
+        Ok(true)
+    }
+
+    /// Push updated mapping state (quality/status) to its DHT copies.
+    pub fn refresh_mapping(&mut self, origin: PeerId, id: MappingId, old: &Mapping) -> Result<(), SystemError> {
+        let Some(new) = self.registry.mapping(id).cloned() else {
+            return Ok(());
+        };
+        self.replace_mapping_copies(origin, old, &new)
+    }
+
+    fn replace_mapping_copies(
+        &mut self,
+        origin: PeerId,
+        old: &Mapping,
+        new: &Mapping,
+    ) -> Result<(), SystemError> {
+        for (key, at_source) in self.keyspace().mapping_keys(old) {
+            self.overlay.update(
+                origin,
+                UpdateOp::Delete,
+                key.clone(),
+                MediationItem::Mapping {
+                    mapping: old.clone(),
+                    at_source,
+                },
+                &mut self.rng,
+            )?;
+            self.overlay.update(
+                origin,
+                UpdateOp::Insert,
+                key,
+                MediationItem::Mapping {
+                    mapping: new.clone(),
+                    at_source,
+                },
+                &mut self.rng,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Internal access for the self-organization driver.
+    pub(crate) fn registry_mut(&mut self) -> &mut MappingRegistry {
+        &mut self.registry
+    }
+
+    /// Internal: retrieve with the system RNG (splits the borrow for
+    /// callers that cannot hold `&mut self` twice).
+    pub(crate) fn retrieve_raw(
+        &mut self,
+        origin: PeerId,
+        key: &BitString,
+    ) -> Result<Vec<MediationItem>, SystemError> {
+        let (items, _route) = self.overlay.retrieve(origin, key, &mut self.rng)?;
+        Ok(items)
+    }
+
+    pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// `Update(Domain Connectivity)` — every schema's responsible peer
+    /// publishes `{Schema, InDegree, OutDegree}` under `Hash(Domain)`,
+    /// replacing its previous record (§3.1). Returns records published.
+    pub fn publish_connectivity(&mut self, origin: PeerId) -> Result<usize, SystemError> {
+        let records = self.registry.degree_records();
+        let domain_key = self.keyspace().domain_key(&self.config.domain);
+        // Remove stale records for the same schemas, then insert fresh.
+        let stale: Vec<MediationItem> = self
+            .items_at(&domain_key)
+            .into_iter()
+            .filter(|i| matches!(i, MediationItem::Connectivity(_)))
+            .collect();
+        for s in stale {
+            self.overlay
+                .update(origin, UpdateOp::Delete, domain_key.clone(), s, &mut self.rng)?;
+        }
+        let n = records.len();
+        for r in records {
+            self.overlay.update(
+                origin,
+                UpdateOp::Insert,
+                domain_key.clone(),
+                MediationItem::Connectivity(r),
+                &mut self.rng,
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// Ask the domain peer for the connectivity indicator: one
+    /// `Retrieve(Hash(Domain))` plus local aggregation (§3.1–3.2).
+    pub fn connectivity_indicator(&mut self, origin: PeerId) -> Result<f64, SystemError> {
+        let domain_key = self.keyspace().domain_key(&self.config.domain);
+        let (items, _) = self.overlay.retrieve(origin, &domain_key, &mut self.rng)?;
+        let records: Vec<DegreeRecord> = items
+            .into_iter()
+            .filter_map(|i| match i {
+                MediationItem::Connectivity(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        Ok(gridvine_semantic::connectivity_indicator(&records))
+    }
+
+    /// Fetch the mappings stored at a schema's key space via the
+    /// overlay: `Retrieve(Hash(schema))`.
+    pub fn mappings_at_schema(
+        &mut self,
+        origin: PeerId,
+        schema: &SchemaId,
+    ) -> Result<Vec<Mapping>, SystemError> {
+        let key = self.key_of(schema.as_str());
+        let (items, _) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
+        Ok(items
+            .into_iter()
+            .filter_map(|i| match i {
+                MediationItem::Mapping { mapping, .. } => Some(mapping),
+                _ => None,
+            })
+            .collect())
+    }
+
+    fn items_at(&self, key: &BitString) -> Vec<MediationItem> {
+        let peers = self.topology.responsible(key);
+        peers
+            .first()
+            .map(|p| self.overlay.store(*p).get(key).to_vec())
+            .unwrap_or_default()
+    }
+
+    // -----------------------------------------------------------------
+    // SearchFor (§2.3, §3, §4)
+    // -----------------------------------------------------------------
+
+    /// Resolve a single (already reformulated) triple-pattern query:
+    /// route to `Hash(routing constant)` and evaluate the destination's
+    /// local database, as in §2.3.
+    pub fn resolve_pattern(
+        &mut self,
+        origin: PeerId,
+        query: &TriplePatternQuery,
+    ) -> Result<(Vec<Term>, u64), SystemError> {
+        let before = self.overlay.messages_sent();
+        let Some((_, term)) = query.pattern.routing_constant() else {
+            return Err(SystemError::NotRoutable);
+        };
+        let key = self.key_of(term.lexical());
+        let (items, route) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
+        let _ = route;
+        let mut results: Vec<Term> = items
+            .iter()
+            .filter_map(|i| match i {
+                MediationItem::Triple(t) => query.pattern.match_triple(t),
+                _ => None,
+            })
+            .filter_map(|b| b.get(&query.distinguished).cloned())
+            .collect();
+        results.sort();
+        results.dedup();
+        Ok((results, self.overlay.messages_sent() - before))
+    }
+
+    /// Range search: resolve a triple pattern whose object constraint is
+    /// a *prefix* pattern (`Aspergillus%`) by routing to the bit-prefix
+    /// region the order-preserving hash maps the prefix to, visiting
+    /// every peer group in that region. This is the operation the
+    /// order-preserving hash exists for (§2.2); it is unavailable under
+    /// [`HashKind::Uniform`], which scatters the range.
+    pub fn resolve_object_prefix(
+        &mut self,
+        origin: PeerId,
+        query: &TriplePatternQuery,
+    ) -> Result<(Vec<Term>, u64), SystemError> {
+        if self.config.hash != HashKind::OrderPreserving {
+            return Err(SystemError::NotRoutable);
+        }
+        let Some(object) = query.pattern.object.as_const() else {
+            return Err(SystemError::NotRoutable);
+        };
+        let lex = object.lexical();
+        // Require a `prefix%` shape with a non-empty fixed part.
+        let Some(prefix) = lex.strip_suffix('%') else {
+            return Err(SystemError::NotRoutable);
+        };
+        if prefix.is_empty() || prefix.contains('%') {
+            return Err(SystemError::NotRoutable);
+        }
+        let before = self.overlay.messages_sent();
+        let key_prefix = self.keyspace().prefix_key(prefix);
+        let items = self
+            .overlay
+            .retrieve_range(origin, &key_prefix, &mut self.rng)?;
+        let mut results: Vec<Term> = items
+            .iter()
+            .filter_map(|i| match i {
+                MediationItem::Triple(t) => query.pattern.match_triple(t),
+                _ => None,
+            })
+            .filter_map(|b| b.get(&query.distinguished).cloned())
+            .collect();
+        results.sort();
+        results.dedup();
+        Ok((results, self.overlay.messages_sent() - before))
+    }
+
+    /// `SearchFor(query)` with reformulation across the mapping network.
+    ///
+    /// *Iterative*: the origin fetches each visited schema's mappings
+    /// from the DHT (one Retrieve + response per schema), reformulates
+    /// locally, and issues every reformulated query itself.
+    ///
+    /// *Recursive*: the query is delegated: the origin routes it to the
+    /// source schema's key-space peer; each schema peer answers the
+    /// local reformulation (routing it to the data key), then forwards
+    /// the query directly to the neighbouring schemas' key-space peers.
+    /// Mapping lists never travel back to the origin; one extra
+    /// result-response message per schema returns to the origin.
+    pub fn search(
+        &mut self,
+        origin: PeerId,
+        query: &TriplePatternQuery,
+        strategy: Strategy,
+    ) -> Result<SearchOutcome, SystemError> {
+        let before_messages = self.overlay.messages_sent();
+        let (origin_schema, _) =
+            gridvine_semantic::query_schema(query).map_err(|_| SystemError::NoQuerySchema)?;
+
+        let mut outcome = SearchOutcome::default();
+        let mut visited: BTreeSet<SchemaId> = BTreeSet::new();
+        // Queue of (schema, query, issuing peer, depth).
+        let mut frontier: Vec<(SchemaId, TriplePatternQuery, PeerId, usize)> = Vec::new();
+        visited.insert(origin_schema.clone());
+        frontier.push((origin_schema, query.clone(), origin, 0));
+        let mut all_results: BTreeSet<Term> = BTreeSet::new();
+
+        while let Some((schema, q, at_peer, depth)) = frontier.pop() {
+            // Answer the query in this schema's vocabulary.
+            match self.resolve_pattern(at_peer, &q) {
+                Ok((results, _)) => {
+                    all_results.extend(results);
+                }
+                Err(SystemError::NotRoutable) | Err(SystemError::NoQuerySchema) => {
+                    outcome.failures += 1;
+                }
+                Err(SystemError::Route(_)) => {
+                    outcome.failures += 1;
+                }
+            }
+            if depth >= self.config.ttl {
+                continue;
+            }
+            // Discover this schema's mappings.
+            let schema_key = self.key_of(schema.as_str());
+            let (next_peer, mappings) = match strategy {
+                Strategy::Iterative => {
+                    // Origin fetches the mapping list and keeps driving.
+                    let maps = self.mappings_at_schema(origin, &schema)?;
+                    (origin, maps)
+                }
+                Strategy::Recursive => {
+                    // The query travels to the schema-key peer, which
+                    // reads its local mapping list for free and will
+                    // forward onward; results return straight to the
+                    // origin (one message charged at resolve time).
+                    let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
+                    let items = self.overlay.store(route.destination).get(&schema_key).to_vec();
+                    let maps = items
+                        .into_iter()
+                        .filter_map(|i| match i {
+                            MediationItem::Mapping { mapping, .. } => Some(mapping),
+                            _ => None,
+                        })
+                        .collect();
+                    (route.destination, maps)
+                }
+            };
+            // One reformulation step per applicable mapping.
+            for m in mappings {
+                let Some(dir) = m.applicable_from(&schema) else {
+                    continue;
+                };
+                let dest = m.destination(dir).clone();
+                if visited.contains(&dest) {
+                    continue;
+                }
+                let Some(nq) = apply_mapping(&q, &m, dir) else {
+                    continue;
+                };
+                visited.insert(dest.clone());
+                outcome.reformulations += 1;
+                frontier.push((dest, nq, next_peer, depth + 1));
+            }
+        }
+
+        outcome.schemas_visited = visited.len();
+        outcome.results = all_results.into_iter().collect();
+        outcome.accessions = outcome
+            .results
+            .iter()
+            .filter_map(|t| t.as_uri())
+            .filter_map(|u| u.as_str().strip_prefix("seq:"))
+            .map(|s| s.to_string())
+            .collect();
+        outcome.messages = self.overlay.messages_sent() - before_messages;
+        Ok(outcome)
+    }
+}
+
+/// Apply one mapping to a query (predicate view unfolding) without a
+/// registry — used on mapping lists fetched from the DHT.
+pub fn apply_mapping(
+    query: &TriplePatternQuery,
+    mapping: &Mapping,
+    dir: gridvine_semantic::Direction,
+) -> Option<TriplePatternQuery> {
+    let (schema, attr) = gridvine_semantic::query_schema(query).ok()?;
+    if mapping.applicable_from(&schema) != Some(dir) {
+        return None;
+    }
+    let new_attr = mapping.translate(&attr, dir)?;
+    let dest = mapping.destination(dir);
+    let pattern = gridvine_rdf::TriplePattern::new(
+        query.pattern.subject.clone(),
+        gridvine_rdf::PatternTerm::constant(Term::uri(format!("{dest}#{new_attr}"))),
+        query.pattern.object.clone(),
+    );
+    TriplePatternQuery::new(query.distinguished.clone(), pattern).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvine_rdf::{PatternTerm, TriplePattern};
+
+    fn fig2_system() -> GridVineSystem {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 32,
+            ..GridVineConfig::default()
+        });
+        let p0 = PeerId(0);
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"])).unwrap();
+        sys.insert_mapping(
+            p0,
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("Organism", "SystematicName")],
+        )
+        .unwrap();
+        // Figure 2 data: two EMBL records, one EMP record.
+        for (s, p, o) in [
+            ("seq:A78712", "EMBL#Organism", "Aspergillus niger"),
+            ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
+            ("seq:NEN94295-05", "EMP#SystematicName", "Aspergillus oryzae"),
+            ("seq:X99999", "EMP#SystematicName", "Escherichia coli"),
+        ] {
+            sys.insert_triple(p0, Triple::new(s, p, Term::literal(o))).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn single_pattern_resolution() {
+        let mut sys = fig2_system();
+        let q = TriplePatternQuery::example_aspergillus();
+        let (results, messages) = sys.resolve_pattern(PeerId(7), &q).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results.contains(&Term::uri("seq:A78712")));
+        assert!(messages <= 2 * sys.topology().depth() as u64 + 2);
+    }
+
+    #[test]
+    fn figure2_search_aggregates_across_schemas() {
+        // Without mappings: 2 results. With the EMBL≡EMP mapping the
+        // reformulated query finds the EMP record too (Figure 2).
+        let mut sys = fig2_system();
+        let q = TriplePatternQuery::example_aspergillus();
+        for strategy in [Strategy::Iterative, Strategy::Recursive] {
+            let out = sys.search(PeerId(3), &q, strategy).unwrap();
+            assert_eq!(out.results.len(), 3, "{strategy:?}: {:?}", out.results);
+            assert!(out.results.contains(&Term::uri("seq:NEN94295-05")));
+            assert_eq!(out.reformulations, 1);
+            assert_eq!(out.schemas_visited, 2);
+            assert_eq!(
+                out.accessions,
+                BTreeSet::from([
+                    "A78712".to_string(),
+                    "A78767".to_string(),
+                    "NEN94295-05".to_string()
+                ])
+            );
+            assert!(out.messages > 0);
+        }
+    }
+
+    #[test]
+    fn deprecated_mapping_stops_reformulation() {
+        let mut sys = fig2_system();
+        let id = sys.registry().mappings().next().map(|m| m.id).unwrap();
+        sys.deprecate_mapping(PeerId(0), id).unwrap();
+        let q = TriplePatternQuery::example_aspergillus();
+        let out = sys.search(PeerId(3), &q, Strategy::Iterative).unwrap();
+        assert_eq!(out.results.len(), 2, "EMP record must be unreachable");
+        assert_eq!(out.reformulations, 0);
+        // The DHT copies must reflect the deprecation too.
+        let maps = sys
+            .mappings_at_schema(PeerId(1), &SchemaId::new("EMBL"))
+            .unwrap();
+        assert!(maps.iter().all(|m| !m.is_active()));
+    }
+
+    #[test]
+    fn ttl_zero_stops_all_reformulation() {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 16,
+            ttl: 0,
+            ..GridVineConfig::default()
+        });
+        let p0 = PeerId(0);
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"])).unwrap();
+        sys.insert_mapping(
+            p0, "EMBL", "EMP",
+            MappingKind::Equivalence, Provenance::Manual,
+            vec![Correspondence::new("Organism", "SystematicName")],
+        ).unwrap();
+        let q = TriplePatternQuery::example_aspergillus();
+        let out = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
+        assert_eq!(out.reformulations, 0);
+        assert_eq!(out.schemas_visited, 1);
+    }
+
+    #[test]
+    fn connectivity_round_trip_via_dht() {
+        let mut sys = fig2_system();
+        let n = sys.publish_connectivity(PeerId(0)).unwrap();
+        assert_eq!(n, 2);
+        let ci = sys.connectivity_indicator(PeerId(9)).unwrap();
+        // Two schemas joined by an equivalence mapping: both (1,1) ⇒ 0.
+        assert!((ci - 0.0).abs() < 1e-12);
+        // Republishing replaces rather than duplicates.
+        sys.publish_connectivity(PeerId(0)).unwrap();
+        let ci2 = sys.connectivity_indicator(PeerId(9)).unwrap();
+        assert_eq!(ci, ci2);
+    }
+
+    #[test]
+    fn unroutable_query_reports_not_routable() {
+        let mut sys = fig2_system();
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::var("p"),
+                PatternTerm::constant(Term::literal("%wild%")),
+            ),
+        )
+        .unwrap();
+        assert_eq!(sys.resolve_pattern(PeerId(0), &q), Err(SystemError::NotRoutable));
+        assert!(matches!(
+            sys.search(PeerId(0), &q, Strategy::Iterative),
+            Err(SystemError::NoQuerySchema)
+        ));
+    }
+
+    #[test]
+    fn recursive_uses_no_more_messages_than_iterative_on_chains() {
+        // Chain of 5 schemas; the iterative origin pays a round trip per
+        // schema, the recursive expansion forwards instead.
+        let build = || {
+            let mut sys = GridVineSystem::new(GridVineConfig {
+                peers: 64,
+                ..GridVineConfig::default()
+            });
+            let p0 = PeerId(0);
+            for i in 0..5 {
+                sys.insert_schema(p0, Schema::new(format!("S{i}").as_str(), [format!("a{i}")]))
+                    .unwrap();
+            }
+            for i in 0..4 {
+                sys.insert_mapping(
+                    p0,
+                    format!("S{i}").as_str(),
+                    format!("S{}", i + 1).as_str(),
+                    MappingKind::Equivalence,
+                    Provenance::Manual,
+                    vec![Correspondence::new(format!("a{i}"), format!("a{}", i + 1))],
+                )
+                .unwrap();
+            }
+            for i in 0..5 {
+                sys.insert_triple(
+                    p0,
+                    Triple::new(
+                        format!("seq:R{i}").as_str(),
+                        format!("S{i}#a{i}").as_str(),
+                        Term::literal("shared-value"),
+                    ),
+                )
+                .unwrap();
+            }
+            sys
+        };
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("S0#a0")),
+                PatternTerm::constant(Term::literal("shared-value")),
+            ),
+        )
+        .unwrap();
+        let mut iter_sys = build();
+        let it = iter_sys.search(PeerId(9), &q, Strategy::Iterative).unwrap();
+        let mut rec_sys = build();
+        let rec = rec_sys.search(PeerId(9), &q, Strategy::Recursive).unwrap();
+        assert_eq!(it.results.len(), 5);
+        assert_eq!(rec.results.len(), 5);
+        assert!(
+            rec.messages <= it.messages,
+            "recursive {} should not exceed iterative {}",
+            rec.messages,
+            it.messages
+        );
+    }
+
+    #[test]
+    fn object_prefix_range_search() {
+        let mut sys = fig2_system();
+        // (?x, ?p, "Aspergillus%") — rangeable on the object prefix,
+        // across predicates of both schemas.
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::var("p"),
+                PatternTerm::constant(Term::literal("Aspergillus%")),
+            ),
+        )
+        .unwrap();
+        let (results, messages) = sys.resolve_object_prefix(PeerId(9), &q).unwrap();
+        // All three Aspergillus records, EMBL and EMP alike, found by
+        // one range scan with no mappings involved.
+        assert_eq!(results.len(), 3, "{results:?}");
+        assert!(results.contains(&Term::uri("seq:NEN94295-05")));
+        assert!(messages > 0);
+        // Plain resolve_pattern cannot route this query at all.
+        assert_eq!(
+            sys.resolve_pattern(PeerId(9), &q),
+            Err(SystemError::NotRoutable)
+        );
+    }
+
+    #[test]
+    fn object_prefix_requires_order_preserving_hash() {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 16,
+            hash: HashKind::Uniform,
+            ..GridVineConfig::default()
+        });
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::var("p"),
+                PatternTerm::constant(Term::literal("Asp%")),
+            ),
+        )
+        .unwrap();
+        assert_eq!(
+            sys.resolve_object_prefix(PeerId(0), &q),
+            Err(SystemError::NotRoutable)
+        );
+    }
+
+    #[test]
+    fn object_prefix_rejects_non_prefix_patterns() {
+        let mut sys = fig2_system();
+        for bad in ["%Aspergillus%", "Aspergillus", "%", "a%b%"] {
+            let q = TriplePatternQuery::new(
+                "x",
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::var("p"),
+                    PatternTerm::constant(Term::literal(bad)),
+                ),
+            )
+            .unwrap();
+            assert_eq!(
+                sys.resolve_object_prefix(PeerId(0), &q),
+                Err(SystemError::NotRoutable),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sys = GridVineSystem::new(GridVineConfig {
+                peers: 32,
+                seed,
+                ..GridVineConfig::default()
+            });
+            let p0 = PeerId(0);
+            sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+            sys.insert_triple(
+                p0,
+                Triple::new("seq:P1", "EMBL#Organism", Term::literal("Aspergillus niger")),
+            )
+            .unwrap();
+            let q = TriplePatternQuery::example_aspergillus();
+            let out = sys.search(PeerId(5), &q, Strategy::Iterative).unwrap();
+            (out.results, out.messages)
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

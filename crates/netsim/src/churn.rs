@@ -1,0 +1,218 @@
+//! Node churn: random failures and recoveries.
+//!
+//! P-Grid is designed to stay available "even in highly unreliable,
+//! dynamic environments" (§2.1). The churn process models that
+//! environment: each live node fails after an exponentially distributed
+//! lifetime and recovers after an exponentially distributed downtime.
+//! The process is generated ahead of the simulation as a deterministic
+//! event list so harnesses can interleave it with protocol traffic.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::node::NodeId;
+use crate::rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Churn intensity parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Mean time a node stays up before failing.
+    pub mean_uptime: SimDuration,
+    /// Mean time a node stays down before recovering.
+    pub mean_downtime: SimDuration,
+    /// Fraction of the population subject to churn (the rest are stable
+    /// "server-class" peers, matching measured P2P populations).
+    pub churny_fraction: f64,
+}
+
+impl ChurnConfig {
+    /// A moderate churn level: mean session of 10 simulated minutes,
+    /// 1 minute downtime, 50 % of nodes churny.
+    pub fn moderate() -> ChurnConfig {
+        ChurnConfig {
+            mean_uptime: SimDuration::from_secs(600),
+            mean_downtime: SimDuration::from_secs(60),
+            churny_fraction: 0.5,
+        }
+    }
+
+    /// Harsh churn: mean session of 2 minutes, all nodes churny.
+    pub fn harsh() -> ChurnConfig {
+        ChurnConfig {
+            mean_uptime: SimDuration::from_secs(120),
+            mean_downtime: SimDuration::from_secs(30),
+            churny_fraction: 1.0,
+        }
+    }
+}
+
+/// A scheduled up/down transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    pub at: SimTime,
+    pub node: NodeId,
+    pub kind: ChurnKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnKind {
+    Fail,
+    Recover,
+}
+
+/// Pre-generated churn schedule over a fixed horizon.
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    events: Vec<ChurnEvent>,
+    next: usize,
+}
+
+impl ChurnProcess {
+    /// Generate the alternating fail/recover schedule for `nodes` nodes
+    /// over `[0, horizon]`.
+    pub fn generate(cfg: &ChurnConfig, nodes: usize, horizon: SimTime, seed: u64) -> ChurnProcess {
+        assert!(
+            (0.0..=1.0).contains(&cfg.churny_fraction),
+            "churny fraction must be in [0, 1]"
+        );
+        let mut rng = rng::derive(seed, 0xC0_11AB1E);
+        let up_rate = 1.0 / cfg.mean_uptime.as_secs_f64().max(1e-9);
+        let down_rate = 1.0 / cfg.mean_downtime.as_secs_f64().max(1e-9);
+        let mut events = Vec::new();
+        for i in 0..nodes {
+            if rng.gen::<f64>() >= cfg.churny_fraction {
+                continue;
+            }
+            let node = NodeId::from_index(i);
+            let mut t = SimTime::ZERO;
+            let mut up = true;
+            loop {
+                let rate = if up { up_rate } else { down_rate };
+                let dwell = SimDuration::from_secs_f64(rng::exponential(&mut rng, rate));
+                t += dwell;
+                if t > horizon {
+                    break;
+                }
+                events.push(ChurnEvent {
+                    at: t,
+                    node,
+                    kind: if up { ChurnKind::Fail } else { ChurnKind::Recover },
+                });
+                up = !up;
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.node));
+        ChurnProcess { events, next: 0 }
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Pop every event due at or before `now` (call as simulated time
+    /// advances and apply the transitions to the network).
+    pub fn due(&mut self, now: SimTime) -> Vec<ChurnEvent> {
+        let start = self.next;
+        while self.next < self.events.len() && self.events[self.next].at <= now {
+            self.next += 1;
+        }
+        self.events[start..self.next].to_vec()
+    }
+
+    /// Whether all events have been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_alternates_per_node() {
+        let cfg = ChurnConfig::harsh();
+        let p = ChurnProcess::generate(&cfg, 20, SimTime(3_600_000_000), 9);
+        for i in 0..20 {
+            let node = NodeId::from_index(i);
+            let kinds: Vec<ChurnKind> = p
+                .events()
+                .iter()
+                .filter(|e| e.node == node)
+                .map(|e| e.kind)
+                .collect();
+            for (j, k) in kinds.iter().enumerate() {
+                let expect = if j % 2 == 0 {
+                    ChurnKind::Fail
+                } else {
+                    ChurnKind::Recover
+                };
+                assert_eq!(*k, expect, "node {i} event {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn events_sorted_by_time() {
+        let p = ChurnProcess::generate(&ChurnConfig::moderate(), 50, SimTime(7_200_000_000), 4);
+        for w in p.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_means_no_churn() {
+        let cfg = ChurnConfig {
+            churny_fraction: 0.0,
+            ..ChurnConfig::harsh()
+        };
+        let p = ChurnProcess::generate(&cfg, 100, SimTime(3_600_000_000), 1);
+        assert!(p.events().is_empty());
+        assert!(p.exhausted());
+    }
+
+    #[test]
+    fn due_consumes_in_order() {
+        let mut p = ChurnProcess::generate(&ChurnConfig::harsh(), 10, SimTime(600_000_000), 2);
+        let total = p.events().len();
+        assert!(total > 0, "harsh churn over 10 nodes must schedule events");
+        let mid = p.events()[total / 2].at;
+        let first = p.due(mid);
+        assert!(!first.is_empty());
+        assert!(first.iter().all(|e| e.at <= mid));
+        let rest = p.due(SimTime(u64::MAX));
+        assert_eq!(first.len() + rest.len(), total);
+        assert!(p.exhausted());
+        assert!(p.due(SimTime(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn mean_session_roughly_matches_config() {
+        let cfg = ChurnConfig {
+            mean_uptime: SimDuration::from_secs(100),
+            mean_downtime: SimDuration::from_secs(100),
+            churny_fraction: 1.0,
+        };
+        // Long horizon over many nodes: inter-event gaps per node should
+        // average ~100 s.
+        let p = ChurnProcess::generate(&cfg, 200, SimTime(100_000_000_000), 5);
+        let mut gaps = Vec::new();
+        for i in 0..200 {
+            let node = NodeId::from_index(i);
+            let times: Vec<SimTime> = p
+                .events()
+                .iter()
+                .filter(|e| e.node == node)
+                .map(|e| e.at)
+                .collect();
+            let mut prev = SimTime::ZERO;
+            for t in times {
+                gaps.push((t - prev).as_secs_f64());
+                prev = t;
+            }
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean gap {mean}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Protocol node abstraction.
+//!
+//! Protocols (e.g. P-Grid in `gridvine-pgrid`) are written as actors: a
+//! struct implementing [`Node`] whose handlers react to incoming messages
+//! and timer expirations. Handlers interact with the world exclusively
+//! through the [`Ctx`] passed to them, which records side effects
+//! (messages to send, timers to set) that the [`crate::network::Network`]
+//! executes after the handler returns. This keeps handlers pure state
+//! transitions and the simulation deterministic.
+
+use crate::clock::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a simulated machine.
+///
+/// Dense indices (0, 1, 2, …) so node tables can be plain vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Build from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("node index fits in u32"))
+    }
+
+    /// Dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Deferred side effects produced by a handler invocation.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: NodeId, msg: M },
+    Timer { after: SimDuration, token: u64 },
+}
+
+/// The execution context handed to every [`Node`] handler.
+///
+/// All interaction with the simulated world goes through this type;
+/// handlers must not hold state across invocations other than via their
+/// own fields.
+pub struct Ctx<'a, M> {
+    pub(crate) self_id: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The node this handler runs on.
+    #[inline]
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Send `msg` to `to`. Delivery is asynchronous; the network charges
+    /// a latency sample and may drop the message (loss, crashed target).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedule a timer that fires on this node `after` from now,
+    /// delivering `token` to [`Node::handle_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) {
+        self.actions.push(Action::Timer { after, token });
+    }
+
+    /// Deterministic per-network RNG, for protocols that make randomized
+    /// choices (e.g. P-Grid picking a random exchange partner).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A protocol state machine living on one simulated node.
+pub trait Node<M> {
+    /// React to a message from `from`.
+    fn handle_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// React to a timer previously set with [`Ctx::set_timer`].
+    fn handle_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+
+    /// Invoked once when the node is added to the network.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Invoked when the churn process (or the harness) crashes this node.
+    /// In-flight messages to it will be dropped until recovery.
+    fn on_crash(&mut self) {}
+
+    /// Invoked when the node comes back up.
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_, M>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        for i in [0usize, 1, 7, 1000, 65_535] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+        assert_eq!(format!("{:?}", NodeId::from_index(3)), "n3");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

@@ -1,0 +1,409 @@
+//! Measurement utilities: histograms, CDFs and summaries.
+//!
+//! Every experiment binary reports through these types so output
+//! formatting is uniform across the reproduction.
+
+use crate::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A streaming summary of f64 observations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Summary {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0).sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// An exact empirical CDF: stores all samples (experiments here are small
+/// enough that exactness beats the complexity of a sketch).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    pub fn new() -> Cdf {
+        Cdf {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples ≤ `x`. This is the statistic behind the
+    /// paper's "40 % of queries answered within one second" claim.
+    pub fn fraction_leq(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Evenly spaced (x, F(x)) points suitable for plotting.
+    pub fn curve(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                (self.samples[rank - 1], q)
+            })
+            .collect()
+    }
+
+    /// Merge another CDF's samples into this one.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// A fixed-bucket linear histogram over `[0, max)` with an overflow
+/// bucket, for quick textual display of load distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// `buckets` equal-width buckets covering `[0, max)`.
+    ///
+    /// # Panics
+    /// Panics if `max <= 0` or `buckets == 0`.
+    pub fn new(max: f64, buckets: usize) -> Histogram {
+        assert!(max > 0.0 && buckets > 0, "invalid histogram shape");
+        Histogram {
+            bucket_width: max / buckets as f64,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < 0.0 {
+            // Clamp: negative observations land in the first bucket.
+            self.buckets[0] += 1;
+            return;
+        }
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// (bucket lower bound, count) pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as f64 * self.bucket_width, c))
+    }
+
+    /// Simple ASCII rendering for experiment logs.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, c) in self.buckets() {
+            let bar = "#".repeat((c as usize * width / max as usize).min(width));
+            out.push_str(&format!("{lo:>10.3} | {bar} {c}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>10} | {}\n", "overflow", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.std_dev() - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_combined() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut whole = Summary::new();
+        for i in 0..10 {
+            let x = i as f64 * 1.7;
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.std_dev() - whole.std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_fraction_leq_matches_paper_statistic() {
+        let mut cdf = Cdf::new();
+        // 10 samples: 4 are below 1.0s, 3 more below 5.0s.
+        for s in [0.2, 0.4, 0.6, 0.9, 1.5, 2.0, 4.0, 6.0, 7.0, 9.0] {
+            cdf.record(s);
+        }
+        assert!((cdf.fraction_leq(1.0) - 0.4).abs() < 1e-12);
+        assert!((cdf.fraction_leq(5.0) - 0.7).abs() < 1e-12);
+        assert_eq!(cdf.fraction_leq(100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let mut cdf = Cdf::new();
+        for i in 1..=100 {
+            cdf.record(i as f64);
+        }
+        assert_eq!(cdf.median(), 50.0);
+        assert_eq!(cdf.quantile(0.9), 90.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert_eq!(cdf.quantile(0.0), 1.0); // nearest-rank clamps to first
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let mut cdf = Cdf::new();
+        for i in 0..57 {
+            cdf.record((i * 13 % 31) as f64);
+        }
+        let curve = cdf.curve(10);
+        assert_eq!(curve.len(), 10);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_merge() {
+        let mut a = Cdf::new();
+        a.record(1.0);
+        let mut b = Cdf::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.median(), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(10.0, 5);
+        for x in [0.5, 1.0, 3.9, 9.9, 10.0, 25.0, -1.0] {
+            h.record(x);
+        }
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![3, 1, 0, 0, 1]); // -1 clamps into bucket 0
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        let rendering = h.render(20);
+        assert!(rendering.contains("overflow"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// fraction_leq is monotone in its argument.
+        #[test]
+        fn cdf_monotone(xs in proptest::collection::vec(0.0f64..100.0, 1..100),
+                        a in 0.0f64..100.0, b in 0.0f64..100.0) {
+            let mut cdf = Cdf::new();
+            for x in &xs { cdf.record(*x); }
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.fraction_leq(lo) <= cdf.fraction_leq(hi));
+        }
+
+        /// Quantile output is always one of the recorded samples.
+        #[test]
+        fn quantile_is_a_sample(xs in proptest::collection::vec(-50.0f64..50.0, 1..80),
+                                q in 0.0f64..=1.0) {
+            let mut cdf = Cdf::new();
+            for x in &xs { cdf.record(*x); }
+            let v = cdf.quantile(q);
+            prop_assert!(xs.iter().any(|x| (x - v).abs() < 1e-12));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Lightweight, allocation-conscious event tracing.
+//!
+//! The tracer is a bounded in-memory ring of formatted lines guarded by
+//! a level filter. Experiments keep it at [`Level::Off`]; integration
+//! tests raise it to inspect protocol behaviour without a logging
+//! dependency.
+
+use crate::clock::SimTime;
+use std::collections::VecDeque;
+
+/// Trace verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Off,
+    Info,
+    Debug,
+}
+
+/// A bounded trace buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    level: Level,
+    capacity: usize,
+    lines: VecDeque<String>,
+    dropped: u64,
+}
+
+impl Tracer {
+    pub fn new(level: Level, capacity: usize) -> Tracer {
+        Tracer {
+            level,
+            capacity: capacity.max(1),
+            lines: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn off() -> Tracer {
+        Tracer::new(Level::Off, 1)
+    }
+
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    pub fn set_level(&mut self, level: Level) {
+        self.level = level;
+    }
+
+    /// Record a line if `level` is enabled. The closure is only invoked
+    /// when the line will actually be kept, so disabled tracing is free.
+    pub fn log<F: FnOnce() -> String>(&mut self, level: Level, at: SimTime, f: F) {
+        if level > self.level || self.level == Level::Off {
+            return;
+        }
+        if self.lines.len() == self.capacity {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(format!("[{at}] {}", f()));
+    }
+
+    /// Lines currently retained, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().map(String::as_str)
+    }
+
+    /// Number of lines evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn clear(&mut self) {
+        self.lines.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let mut t = Tracer::off();
+        t.log(Level::Info, SimTime(0), || "hello".into());
+        assert_eq!(t.lines().count(), 0);
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Tracer::new(Level::Info, 10);
+        t.log(Level::Info, SimTime(0), || "kept".into());
+        t.log(Level::Debug, SimTime(0), || "filtered".into());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("kept"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(Level::Debug, 3);
+        for i in 0..5 {
+            t.log(Level::Info, SimTime(i), || format!("line{i}"));
+        }
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("line2"));
+        assert!(lines[2].contains("line4"));
+        assert_eq!(t.dropped(), 2);
+        t.clear();
+        assert_eq!(t.lines().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn closure_not_called_when_disabled() {
+        let mut t = Tracer::off();
+        let mut called = false;
+        t.log(Level::Info, SimTime(0), || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+    }
+}

@@ -1,0 +1,154 @@
+//! Storage load-balance statistics.
+//!
+//! P-Grid's stated goal at the overlay layer is "index load-balancing and
+//! efficient routing of messages" (§2). These statistics quantify the
+//! load-balancing half: given the per-peer item counts of an overlay,
+//! compute dispersion measures used by experiment A1 (order-preserving
+//! vs uniform hash under skewed key popularity).
+
+use serde::{Deserialize, Serialize};
+
+/// Dispersion measures over a load vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    pub peers: usize,
+    pub total_items: usize,
+    pub mean: f64,
+    pub max: usize,
+    pub min: usize,
+    /// Gini coefficient in [0, 1): 0 = perfectly even.
+    pub gini: f64,
+    /// max / mean — the classic DHT imbalance factor.
+    pub imbalance: f64,
+    /// Fraction of peers storing nothing.
+    pub empty_fraction: f64,
+}
+
+impl LoadStats {
+    /// Compute the statistics from per-peer item counts.
+    ///
+    /// # Panics
+    /// Panics if `loads` is empty.
+    pub fn compute(loads: &[usize]) -> LoadStats {
+        assert!(!loads.is_empty(), "load vector must be non-empty");
+        let n = loads.len();
+        let total: usize = loads.iter().sum();
+        let mean = total as f64 / n as f64;
+        let max = *loads.iter().max().expect("non-empty");
+        let min = *loads.iter().min().expect("non-empty");
+        let empty = loads.iter().filter(|&&l| l == 0).count();
+
+        // Gini via the sorted-rank formula.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let mut sorted: Vec<usize> = loads.to_vec();
+            sorted.sort_unstable();
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * x as f64)
+                .sum();
+            weighted / (n as f64 * total as f64)
+        };
+
+        LoadStats {
+            peers: n,
+            total_items: total,
+            mean,
+            max,
+            min,
+            gini,
+            imbalance: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            empty_fraction: empty as f64 / n as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for LoadStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peers={} items={} mean={:.1} max={} min={} gini={:.3} imbalance={:.2} empty={:.1}%",
+            self.peers,
+            self.total_items,
+            self.mean,
+            self.max,
+            self.min,
+            self.gini,
+            self.imbalance,
+            self.empty_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_load_has_zero_gini() {
+        let s = LoadStats::compute(&[5, 5, 5, 5]);
+        assert!(s.gini.abs() < 1e-12);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.empty_fraction, 0.0);
+        assert_eq!(s.mean, 5.0);
+    }
+
+    #[test]
+    fn concentrated_load_has_high_gini() {
+        let s = LoadStats::compute(&[100, 0, 0, 0]);
+        assert!(s.gini > 0.7, "gini {}", s.gini);
+        assert_eq!(s.imbalance, 4.0);
+        assert_eq!(s.empty_fraction, 0.75);
+    }
+
+    #[test]
+    fn all_empty_is_balanced() {
+        let s = LoadStats::compute(&[0, 0, 0]);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.imbalance, 0.0);
+        assert_eq!(s.total_items, 0);
+    }
+
+    #[test]
+    fn gini_orders_by_inequality() {
+        let even = LoadStats::compute(&[10, 10, 10, 10]).gini;
+        let mild = LoadStats::compute(&[13, 11, 9, 7]).gini;
+        let harsh = LoadStats::compute(&[37, 1, 1, 1]).gini;
+        assert!(even < mild && mild < harsh);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vector_rejected() {
+        let _ = LoadStats::compute(&[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Gini is always in [0, 1) and scale-invariant.
+        #[test]
+        fn gini_bounds_and_scale(loads in proptest::collection::vec(0usize..100, 1..50), k in 1usize..5) {
+            let s = LoadStats::compute(&loads);
+            prop_assert!((0.0..1.0).contains(&s.gini), "gini {}", s.gini);
+            let scaled: Vec<usize> = loads.iter().map(|l| l * k).collect();
+            let s2 = LoadStats::compute(&scaled);
+            prop_assert!((s.gini - s2.gini).abs() < 1e-9);
+        }
+
+        /// max ≥ mean ≥ min, and totals add up.
+        #[test]
+        fn summary_sanity(loads in proptest::collection::vec(0usize..1000, 1..60)) {
+            let s = LoadStats::compute(&loads);
+            prop_assert!(s.max as f64 >= s.mean - 1e-9);
+            prop_assert!(s.mean >= s.min as f64 - 1e-9);
+            prop_assert_eq!(s.total_items, loads.iter().sum::<usize>());
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Packed bit strings — the binary key space of P-Grid.
+//!
+//! P-Grid organizes peers into a virtual binary search tree: every peer is
+//! associated with a path π(p) ∈ {0,1}*, every data item with a binary key,
+//! and a peer is responsible for the keys that have its path as a prefix.
+//! [`BitString`] is the shared representation for both, with the bit-level
+//! operations the overlay needs: prefix tests, common-prefix length,
+//! child extension, and lexicographic (= numeric) ordering.
+//!
+//! Bits are packed MSB-first into bytes so that lexicographic comparison
+//! of the packed form agrees with bit-by-bit comparison.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An immutable-ish sequence of bits with cheap prefix operations.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitString {
+    /// Packed bits, MSB first. Trailing bits of the last byte are zero.
+    bytes: Vec<u8>,
+    /// Number of valid bits.
+    len: usize,
+}
+
+impl BitString {
+    /// The empty bit string (the root of the virtual tree).
+    pub fn empty() -> BitString {
+        BitString::default()
+    }
+
+    /// Parse from a `"0101"`-style string.
+    ///
+    /// # Panics
+    /// Panics on characters other than '0'/'1'.
+    pub fn parse(s: &str) -> BitString {
+        let mut b = BitString::empty();
+        for c in s.chars() {
+            match c {
+                '0' => b.push(false),
+                '1' => b.push(true),
+                other => panic!("invalid bit character {other:?}"),
+            }
+        }
+        b
+    }
+
+    /// Construct from the low `len` bits of `value`, most significant of
+    /// those bits first. Used by hash functions emitting fixed-width keys.
+    pub fn from_u64(value: u64, len: usize) -> BitString {
+        assert!(len <= 64, "at most 64 bits from a u64");
+        let mut b = BitString::with_capacity(len);
+        for i in (0..len).rev() {
+            b.push((value >> i) & 1 == 1);
+        }
+        b
+    }
+
+    /// Pre-allocate for `bits` bits.
+    pub fn with_capacity(bits: usize) -> BitString {
+        BitString {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at position `i` (0 = first/most-significant).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.bytes[i / 8] >> (7 - i % 8)) & 1 == 1
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(8) {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - self.len % 8);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the last bit.
+    pub fn pop(&mut self) -> Option<bool> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = self.bit(self.len - 1);
+        self.len -= 1;
+        // Clear the vacated bit so packed equality keeps working.
+        if bit {
+            let idx = self.len;
+            self.bytes[idx / 8] &= !(1 << (7 - idx % 8));
+        }
+        if self.len.div_ceil(8) < self.bytes.len() {
+            self.bytes.pop();
+        }
+        Some(bit)
+    }
+
+    /// This bit string extended by one bit (functional child step: the
+    /// `path·0` / `path·1` split of the P-Grid construction).
+    pub fn child(&self, bit: bool) -> BitString {
+        let mut c = self.clone();
+        c.push(bit);
+        c
+    }
+
+    /// First `n` bits as a new bit string.
+    ///
+    /// # Panics
+    /// Panics if `n > len`.
+    pub fn prefix(&self, n: usize) -> BitString {
+        assert!(n <= self.len, "prefix {n} longer than {}", self.len);
+        let mut p = BitString::with_capacity(n);
+        for i in 0..n {
+            p.push(self.bit(i));
+        }
+        p
+    }
+
+    /// Whether `self` is a prefix of `other` (every key a peer is
+    /// responsible for satisfies `peer_path.is_prefix_of(key)`).
+    pub fn is_prefix_of(&self, other: &BitString) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        (0..self.len).all(|i| self.bit(i) == other.bit(i))
+    }
+
+    /// Length of the longest common prefix with `other`. Prefix routing
+    /// forwards at exactly this level.
+    pub fn common_prefix_len(&self, other: &BitString) -> usize {
+        let n = self.len.min(other.len);
+        for i in 0..n {
+            if self.bit(i) != other.bit(i) {
+                return i;
+            }
+        }
+        n
+    }
+
+    /// Flip bit `i`, returning a new bit string truncated after that bit.
+    /// `sibling_at(l)` is the l-level "other side" a routing reference
+    /// points to.
+    pub fn sibling_at(&self, i: usize) -> BitString {
+        assert!(i < self.len, "sibling level out of range");
+        let mut s = self.prefix(i);
+        s.push(!self.bit(i));
+        s
+    }
+
+    /// Iterate over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.bit(i))
+    }
+
+    /// Interpret the first `min(len, 64)` bits as a big-endian integer
+    /// left-aligned in a 64-bit fraction: useful for mapping keys to
+    /// [0, 1) when reporting load distributions.
+    pub fn as_fraction(&self) -> f64 {
+        let mut acc = 0.0;
+        let mut scale = 0.5;
+        for i in 0..self.len.min(64) {
+            if self.bit(i) {
+                acc += scale;
+            }
+            scale *= 0.5;
+        }
+        acc
+    }
+}
+
+impl PartialOrd for BitString {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitString {
+    /// Lexicographic bit order: `"0" < "01" < "1"`. Combined with the
+    /// order-preserving hash this makes key ranges contiguous in the tree.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let n = self.len.min(other.len);
+        for i in 0..n {
+            match (self.bit(i), other.bit(i)) {
+                (false, true) => return Ordering::Less,
+                (true, false) => return Ordering::Greater,
+                _ => {}
+            }
+        }
+        self.len.cmp(&other.len)
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["", "0", "1", "0101", "111000111", "0000000001"] {
+            assert_eq!(BitString::parse(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn push_pop() {
+        let mut b = BitString::parse("10");
+        b.push(true);
+        assert_eq!(b.to_string(), "101");
+        assert_eq!(b.pop(), Some(true));
+        assert_eq!(b.pop(), Some(false));
+        assert_eq!(b.pop(), Some(true));
+        assert_eq!(b.pop(), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn pop_clears_storage_so_equality_holds() {
+        let mut a = BitString::parse("11111111");
+        for _ in 0..8 {
+            a.pop();
+        }
+        assert_eq!(a, BitString::empty());
+    }
+
+    #[test]
+    fn from_u64_matches_binary() {
+        assert_eq!(BitString::from_u64(0b1011, 4).to_string(), "1011");
+        assert_eq!(BitString::from_u64(0b1011, 6).to_string(), "001011");
+        assert_eq!(BitString::from_u64(u64::MAX, 8).to_string(), "11111111");
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let p = BitString::parse("01");
+        assert!(p.is_prefix_of(&BitString::parse("01")));
+        assert!(p.is_prefix_of(&BitString::parse("0110")));
+        assert!(!p.is_prefix_of(&BitString::parse("0010")));
+        assert!(!p.is_prefix_of(&BitString::parse("0")));
+        assert!(BitString::empty().is_prefix_of(&p));
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = BitString::parse("0101");
+        assert_eq!(a.common_prefix_len(&BitString::parse("0101")), 4);
+        assert_eq!(a.common_prefix_len(&BitString::parse("0100")), 3);
+        assert_eq!(a.common_prefix_len(&BitString::parse("1101")), 0);
+        assert_eq!(a.common_prefix_len(&BitString::parse("01")), 2);
+        assert_eq!(a.common_prefix_len(&BitString::empty()), 0);
+    }
+
+    #[test]
+    fn sibling() {
+        let a = BitString::parse("0101");
+        assert_eq!(a.sibling_at(0).to_string(), "1");
+        assert_eq!(a.sibling_at(1).to_string(), "00");
+        assert_eq!(a.sibling_at(3).to_string(), "0100");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_bits() {
+        let mut v = [
+            BitString::parse("1"),
+            BitString::parse("01"),
+            BitString::parse("0"),
+            BitString::parse("011"),
+            BitString::empty(),
+        ];
+        v.sort();
+        let strs: Vec<String> = v.iter().map(|b| b.to_string()).collect();
+        assert_eq!(strs, vec!["", "0", "01", "011", "1"]);
+    }
+
+    #[test]
+    fn fraction_maps_keys_to_unit_interval() {
+        assert_eq!(BitString::parse("1").as_fraction(), 0.5);
+        assert_eq!(BitString::parse("01").as_fraction(), 0.25);
+        assert_eq!(BitString::parse("11").as_fraction(), 0.75);
+        assert_eq!(BitString::empty().as_fraction(), 0.0);
+    }
+
+    #[test]
+    fn child_extends() {
+        let root = BitString::empty();
+        assert_eq!(root.child(false).to_string(), "0");
+        assert_eq!(root.child(true).child(false).to_string(), "10");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        BitString::parse("01").bit(2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_bits() -> impl Strategy<Value = BitString> {
+        proptest::collection::vec(any::<bool>(), 0..64).prop_map(|bits| {
+            let mut b = BitString::empty();
+            for bit in bits {
+                b.push(bit);
+            }
+            b
+        })
+    }
+
+    proptest! {
+        /// Display → parse is the identity.
+        #[test]
+        fn display_parse_round_trip(b in arb_bits()) {
+            prop_assert_eq!(BitString::parse(&b.to_string()), b);
+        }
+
+        /// prefix(n) is always a prefix, and common_prefix_len with the
+        /// original is n.
+        #[test]
+        fn prefix_is_prefix(b in arb_bits(), frac in 0.0f64..=1.0) {
+            let n = (frac * b.len() as f64) as usize;
+            let p = b.prefix(n);
+            prop_assert!(p.is_prefix_of(&b));
+            prop_assert_eq!(p.common_prefix_len(&b), n);
+        }
+
+        /// Ordering agrees with string ordering of the displayed form
+        /// (both are lexicographic with '0' < '1').
+        #[test]
+        fn ordering_agrees_with_string(a in arb_bits(), b in arb_bits()) {
+            prop_assert_eq!(a.cmp(&b), a.to_string().cmp(&b.to_string()));
+        }
+
+        /// sibling_at diverges exactly at the requested level.
+        #[test]
+        fn sibling_diverges_at_level(b in arb_bits()) {
+            prop_assume!(!b.is_empty());
+            for i in 0..b.len() {
+                let s = b.sibling_at(i);
+                prop_assert_eq!(s.len(), i + 1);
+                prop_assert_eq!(s.common_prefix_len(&b), i);
+            }
+        }
+
+        /// push/pop round-trips.
+        #[test]
+        fn push_pop_round_trip(b in arb_bits(), bit in any::<bool>()) {
+            let mut c = b.clone();
+            c.push(bit);
+            prop_assert_eq!(c.len(), b.len() + 1);
+            prop_assert_eq!(c.pop(), Some(bit));
+            prop_assert_eq!(c, b);
+        }
+
+        /// as_fraction is monotone w.r.t. ordering for equal lengths.
+        #[test]
+        fn fraction_monotone_same_len(bits_a in proptest::collection::vec(any::<bool>(), 16),
+                                      bits_b in proptest::collection::vec(any::<bool>(), 16)) {
+            let mut a = BitString::empty();
+            let mut b = BitString::empty();
+            for x in bits_a { a.push(x); }
+            for x in bits_b { b.push(x); }
+            if a < b {
+                prop_assert!(a.as_fraction() <= b.as_fraction());
+            }
+        }
+    }
+}

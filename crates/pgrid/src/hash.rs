@@ -1,0 +1,264 @@
+//! Key hashing: the order-preserving hash of §2.2 plus a uniform baseline.
+//!
+//! GridVine generates binary overlay keys "using an order-preserving hash
+//! function Hash() on the data" so that lexicographically close values land
+//! on nearby leaves of the virtual binary tree — the property that lets
+//! `%Aspergillus%`-style constrained searches and range scans stay local.
+//!
+//! [`OrderPreservingHash`] interprets a string as a fraction in `[0, 1)`
+//! over a 7-bit character alphabet and emits the first `depth` bits of the
+//! binary expansion of that fraction. This is exactly order-preserving:
+//! `a <= b` (byte-wise, after clamping to the alphabet) implies
+//! `hash(a) <= hash(b)` as bit strings of equal length.
+//!
+//! [`UniformHash`] (FNV-1a) is the classic DHT choice and serves as the
+//! ablation baseline in experiment A1: it balances load perfectly on
+//! skewed key sets but destroys locality.
+
+use crate::bits::BitString;
+use serde::{Deserialize, Serialize};
+
+/// A function from application-level string keys to overlay bit keys.
+pub trait KeyHasher {
+    /// Hash `data` to a key of exactly `depth` bits.
+    fn hash(&self, data: &str, depth: usize) -> BitString;
+}
+
+/// Which hasher a deployment uses (serializable for experiment configs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HashKind {
+    OrderPreserving,
+    Uniform,
+}
+
+impl HashKind {
+    pub fn build(self) -> Box<dyn KeyHasher + Send + Sync> {
+        match self {
+            HashKind::OrderPreserving => Box::new(OrderPreservingHash::default()),
+            HashKind::Uniform => Box::new(UniformHash),
+        }
+    }
+}
+
+/// Order-preserving hash over the printable-ASCII alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderPreservingHash {
+    /// Alphabet size; characters are clamped into `[0, radix)` after
+    /// subtracting the offset. 96 covers printable ASCII (0x20..0x7F).
+    radix: u32,
+    offset: u32,
+}
+
+impl Default for OrderPreservingHash {
+    fn default() -> Self {
+        OrderPreservingHash {
+            radix: 96,
+            offset: 0x20,
+        }
+    }
+}
+
+impl OrderPreservingHash {
+    pub fn new(radix: u32, offset: u32) -> Self {
+        assert!(radix >= 2, "radix must be at least 2");
+        OrderPreservingHash { radix, offset }
+    }
+
+    #[inline]
+    fn digit(&self, byte: u8) -> u32 {
+        (byte as u32).saturating_sub(self.offset).min(self.radix - 1)
+    }
+}
+
+impl KeyHasher for OrderPreservingHash {
+    fn hash(&self, data: &str, depth: usize) -> BitString {
+        // Long-division style binary expansion of the fraction
+        //   sum_i digit_i / radix^(i+1)
+        // We keep the current interval [lo, hi) over u128 to avoid
+        // floating-point rounding breaking the order-preserving property.
+        const ONE: u128 = 1 << 100; // fixed-point unit
+        let mut lo: u128 = 0;
+        let mut width: u128 = ONE;
+        for &b in data.as_bytes() {
+            let d = self.digit(b) as u128;
+            width /= self.radix as u128;
+            if width == 0 {
+                break; // interval exhausted: further characters don't matter
+            }
+            lo += d * width;
+        }
+        // Emit `depth` bits of lo as a fraction of ONE.
+        let mut key = BitString::with_capacity(depth);
+        let mut acc = lo;
+        let mut unit = ONE;
+        for _ in 0..depth {
+            unit /= 2;
+            if acc >= unit {
+                key.push(true);
+                acc -= unit;
+            } else {
+                key.push(false);
+            }
+        }
+        key
+    }
+}
+
+/// FNV-1a based uniform hash (ablation baseline; destroys order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformHash;
+
+impl KeyHasher for UniformHash {
+    fn hash(&self, data: &str, depth: usize) -> BitString {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in data.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // FNV-1a's high bits avalanche poorly for short suffix changes;
+        // finish with a SplitMix64-style mix so every input bit reaches
+        // every output bit.
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        // Fold to the requested depth (≤ 64 bits per chunk).
+        if depth <= 64 {
+            BitString::from_u64(h >> (64 - depth.max(1)).min(63), depth)
+        } else {
+            let mut key = BitString::with_capacity(depth);
+            let mut state = h;
+            while key.len() < depth {
+                state = state
+                    .rotate_left(31)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x2545_F491_4F6C_DD1D);
+                let take = (depth - key.len()).min(64);
+                for i in (64 - take..64).rev() {
+                    key.push((state >> i) & 1 == 1);
+                }
+            }
+            key
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_hash_is_order_preserving_on_examples() {
+        let h = OrderPreservingHash::default();
+        let words = [
+            "", "A", "AB", "Aspergillus", "B", "EMBL#Organism", "EMP#SystematicName", "a", "zzz",
+        ];
+        for w in words.windows(2) {
+            let ka = h.hash(w[0], 32);
+            let kb = h.hash(w[1], 32);
+            assert!(ka <= kb, "{} -> {ka} should be <= {} -> {kb}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn op_hash_fixed_depth() {
+        let h = OrderPreservingHash::default();
+        for depth in [1, 8, 17, 32, 64] {
+            assert_eq!(h.hash("protein", depth).len(), depth);
+        }
+    }
+
+    #[test]
+    fn op_hash_empty_string_is_all_zeroes() {
+        let h = OrderPreservingHash::default();
+        assert_eq!(h.hash("", 8).to_string(), "00000000");
+    }
+
+    #[test]
+    fn op_hash_deterministic() {
+        let h = OrderPreservingHash::default();
+        assert_eq!(h.hash("EMBL#Organism", 32), h.hash("EMBL#Organism", 32));
+    }
+
+    #[test]
+    fn op_hash_distinguishes_close_strings() {
+        // Each character consumes log2(96) ≈ 6.6 bits of resolution, so a
+        // difference at position 9 needs ≥ 60 emitted bits to show up.
+        let h = OrderPreservingHash::default();
+        assert_ne!(h.hash("protein_a", 64), h.hash("protein_b", 64));
+        assert_ne!(h.hash("prot_a", 48), h.hash("prot_b", 48));
+    }
+
+    #[test]
+    fn op_hash_long_common_prefix_shares_key_prefix() {
+        let h = OrderPreservingHash::default();
+        let a = h.hash("EMBL#OrganismClassification", 32);
+        let b = h.hash("EMBL#OrganismSpecies", 32);
+        // Shared 13-char prefix => deep shared key prefix (locality).
+        assert!(a.common_prefix_len(&b) >= 16, "lcp {}", a.common_prefix_len(&b));
+    }
+
+    #[test]
+    fn uniform_hash_fixed_depth_and_deterministic() {
+        let h = UniformHash;
+        for depth in [1, 16, 32, 64, 80, 150] {
+            let k = h.hash("EMBL#Organism", depth);
+            assert_eq!(k.len(), depth);
+            assert_eq!(k, h.hash("EMBL#Organism", depth));
+        }
+    }
+
+    #[test]
+    fn uniform_hash_scatters_close_strings() {
+        let h = UniformHash;
+        let a = h.hash("predicate_001", 32);
+        let b = h.hash("predicate_002", 32);
+        // Overwhelmingly likely to diverge within the first few bits.
+        assert!(a.common_prefix_len(&b) < 16);
+    }
+
+    #[test]
+    fn hash_kind_builds_working_hashers() {
+        for kind in [HashKind::OrderPreserving, HashKind::Uniform] {
+            let h = kind.build();
+            assert_eq!(h.hash("x", 16).len(), 16);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The defining property: string order implies key order.
+        #[test]
+        fn op_hash_monotone(a in "[ -~]{0,24}", b in "[ -~]{0,24}") {
+            let h = OrderPreservingHash::default();
+            let ka = h.hash(&a, 48);
+            let kb = h.hash(&b, 48);
+            match a.as_bytes().cmp(b.as_bytes()) {
+                std::cmp::Ordering::Less => prop_assert!(ka <= kb),
+                std::cmp::Ordering::Greater => prop_assert!(ka >= kb),
+                std::cmp::Ordering::Equal => prop_assert_eq!(ka, kb),
+            }
+        }
+
+        /// Both hashers always emit exactly `depth` bits.
+        #[test]
+        fn depth_respected(s in "[ -~]{0,40}", depth in 1usize..128) {
+            prop_assert_eq!(OrderPreservingHash::default().hash(&s, depth).len(), depth);
+            prop_assert_eq!(UniformHash.hash(&s, depth).len(), depth);
+        }
+
+        /// Uniform hash spreads mass: over random strings, the first bit
+        /// is roughly fair. (Statistical smoke test with fixed corpus size.)
+        #[test]
+        fn uniform_first_bit_balanced(seed_strings in proptest::collection::hash_set("[a-z]{6,12}", 64)) {
+            let h = UniformHash;
+            let ones = seed_strings.iter().filter(|s| h.hash(s, 16).bit(0)).count();
+            // Binomial(64, 0.5): reject only wildly unbalanced outcomes.
+            prop_assert!((12..=52).contains(&ones), "ones = {ones}");
+        }
+    }
+}

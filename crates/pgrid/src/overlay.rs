@@ -1,0 +1,528 @@
+//! The synchronous logical overlay: `Retrieve(key)` / `Update(key, value)`
+//! with exact message accounting.
+//!
+//! This is the overlay facade the mediation layer programs against
+//! (§2.1: "P-Grid supports two basic operations: Retrieve(key) … and
+//! Update(key, value)"). Routing is executed hop by hop over the peers'
+//! private views — never by consulting global state — so the message
+//! counts reported here are exactly what the distributed protocol in
+//! [`crate::proto`] generates; the event-driven variant additionally
+//! charges wall-clock latency.
+
+use crate::bits::BitString;
+use crate::store::{Store, UpdateOp};
+use crate::topology::{PeerId, PeerView, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Why a routed operation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteError {
+    /// A routing-table level needed for the key had no live reference.
+    NoRoute { at_peer: PeerId, level: usize },
+    /// The hop budget was exhausted (should not happen in a valid trie).
+    TooManyHops { budget: usize },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NoRoute { at_peer, level } => {
+                write!(f, "no route from {at_peer} at level {level}")
+            }
+            RouteError::TooManyHops { budget } => write!(f, "exceeded hop budget {budget}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Result of routing a key to its responsible peer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// The responsible peer the route terminated at.
+    pub destination: PeerId,
+    /// Peers visited, starting with the originator, ending with the
+    /// destination.
+    pub hops: Vec<PeerId>,
+}
+
+impl Route {
+    /// Overlay messages consumed by this route (one per forwarding edge).
+    pub fn messages(&self) -> u64 {
+        self.hops.len().saturating_sub(1) as u64
+    }
+}
+
+/// A synchronous P-Grid overlay instance: topology + per-peer stores.
+#[derive(Debug, Clone)]
+pub struct Overlay<V> {
+    views: Vec<PeerView>,
+    stores: Vec<Store<V>>,
+    /// Replication degree applied by `update`: the responsible peer plus
+    /// its replicas all store the item (the paper's σ(p) duplication).
+    replicate: bool,
+    messages_sent: u64,
+}
+
+impl<V: Clone + PartialEq> Overlay<V> {
+    /// Materialize the per-peer views and empty stores from a topology.
+    pub fn new(topology: &Topology) -> Overlay<V> {
+        let views: Vec<PeerView> = (0..topology.len())
+            .map(|i| topology.view(PeerId::from_index(i)))
+            .collect();
+        let stores = (0..topology.len()).map(|_| Store::new()).collect();
+        Overlay {
+            views,
+            stores,
+            replicate: true,
+            messages_sent: 0,
+        }
+    }
+
+    /// Disable replication to σ(p) (ablation runs).
+    pub fn without_replication(mut self) -> Self {
+        self.replicate = false;
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Total overlay messages consumed by all operations so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Reset the message counter (per-experiment accounting).
+    pub fn reset_messages(&mut self) {
+        self.messages_sent = 0;
+    }
+
+    /// The view of one peer.
+    pub fn view(&self, peer: PeerId) -> &PeerView {
+        &self.views[peer.index()]
+    }
+
+    /// The local store of one peer (read-only; mutations go through
+    /// [`Overlay::update`]).
+    pub fn store(&self, peer: PeerId) -> &Store<V> {
+        &self.stores[peer.index()]
+    }
+
+    /// Route `key` from `origin` to a responsible peer using greedy
+    /// prefix routing over peer-local views only.
+    pub fn route<R: Rng + ?Sized>(
+        &mut self,
+        origin: PeerId,
+        key: &BitString,
+        rng: &mut R,
+    ) -> Result<Route, RouteError> {
+        // Hop budget: the tree depth bounds legal routes; 2× + 8 allows
+        // for replica indirection without masking real routing loops.
+        let budget = 2 * self.views.iter().map(|v| v.path.len()).max().unwrap_or(0) + 8;
+        let mut current = origin;
+        let mut hops = vec![origin];
+        loop {
+            let view = &self.views[current.index()];
+            match view.forwarding_level(key) {
+                None => {
+                    return Ok(Route {
+                        destination: current,
+                        hops,
+                    });
+                }
+                Some(level) => {
+                    let candidates = view.refs.get(level).map(Vec::as_slice).unwrap_or(&[]);
+                    let Some(next) = candidates.choose(rng).copied() else {
+                        return Err(RouteError::NoRoute {
+                            at_peer: current,
+                            level,
+                        });
+                    };
+                    self.messages_sent += 1;
+                    hops.push(next);
+                    if hops.len() > budget {
+                        return Err(RouteError::TooManyHops { budget });
+                    }
+                    current = next;
+                }
+            }
+        }
+    }
+
+    /// `Update(key, value)` issued at `origin`: route to the responsible
+    /// peer, apply, and propagate to its replicas (one message each).
+    pub fn update<R: Rng + ?Sized>(
+        &mut self,
+        origin: PeerId,
+        op: UpdateOp,
+        key: BitString,
+        value: V,
+        rng: &mut R,
+    ) -> Result<Route, RouteError> {
+        let route = self.route(origin, &key, rng)?;
+        let dest = route.destination;
+        self.stores[dest.index()].apply(op, key.clone(), value.clone());
+        if self.replicate {
+            let replicas = self.views[dest.index()].replicas.clone();
+            for r in replicas {
+                self.messages_sent += 1;
+                self.stores[r.index()].apply(op, key.clone(), value.clone());
+            }
+        }
+        Ok(route)
+    }
+
+    /// `Retrieve(key)` issued at `origin`: route and return the values
+    /// stored under exactly `key`, plus the route taken (the response
+    /// message back to the originator is charged too).
+    pub fn retrieve<R: Rng + ?Sized>(
+        &mut self,
+        origin: PeerId,
+        key: &BitString,
+        rng: &mut R,
+    ) -> Result<(Vec<V>, Route), RouteError> {
+        let route = self.route(origin, key, rng)?;
+        let values = self.stores[route.destination.index()].get(key).to_vec();
+        if route.destination != origin {
+            self.messages_sent += 1; // response message
+        }
+        Ok((values, route))
+    }
+
+    /// Prefix variant of `Retrieve`: all values whose key starts with
+    /// `prefix` *stored at the peer the routing terminates at*. With an
+    /// order-preserving hash and a prefix no shorter than the peer path,
+    /// this is a complete range read.
+    pub fn retrieve_prefix<R: Rng + ?Sized>(
+        &mut self,
+        origin: PeerId,
+        prefix: &BitString,
+        rng: &mut R,
+    ) -> Result<(Vec<V>, Route), RouteError> {
+        let route = self.route(origin, prefix, rng)?;
+        let values = self.stores[route.destination.index()]
+            .scan_prefix(prefix)
+            .map(|(_, v)| v.clone())
+            .collect();
+        if route.destination != origin {
+            self.messages_sent += 1;
+        }
+        Ok((values, route))
+    }
+
+    /// Per-peer stored-item counts (for load-balance statistics).
+    pub fn load_vector(&self) -> Vec<usize> {
+        self.stores.iter().map(Store::len).collect()
+    }
+
+    /// Range retrieval: collect every value whose key starts with
+    /// `prefix`, across *all* peer groups whose region intersects the
+    /// prefix. With an order-preserving hash this implements the
+    /// `value%`-style range searches the mediation layer motivates.
+    ///
+    /// Each intersecting replica group is probed by one routed request
+    /// plus one response (messages accounted); the set of intersecting
+    /// regions is derived from the sibling references a real P-Grid
+    /// walks during a range scan.
+    pub fn retrieve_range<R: Rng + ?Sized>(
+        &mut self,
+        origin: PeerId,
+        prefix: &BitString,
+        rng: &mut R,
+    ) -> Result<Vec<V>, RouteError> {
+        // Distinct regions (peer paths) intersecting the prefix.
+        let mut regions: Vec<BitString> = Vec::new();
+        for v in &self.views {
+            let intersects = prefix.is_prefix_of(&v.path) || v.path.is_prefix_of(prefix);
+            if intersects && !regions.contains(&v.path) {
+                regions.push(v.path.clone());
+            }
+        }
+        regions.sort();
+        let mut out = Vec::new();
+        for region in regions {
+            // Route to the region: the probe key is the deeper of
+            // (region, prefix) so normal prefix routing lands inside it.
+            let probe = if region.len() >= prefix.len() {
+                region.clone()
+            } else {
+                prefix.clone()
+            };
+            let route = self.route(origin, &probe, rng)?;
+            let dest = route.destination;
+            for (_, v) in self.stores[dest.index()].scan_prefix(prefix) {
+                out.push(v.clone());
+            }
+            if dest != origin {
+                self.messages_sent += 1; // response
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{KeyHasher, OrderPreservingHash};
+    use crate::topology::Topology;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn overlay(n: usize) -> Overlay<String> {
+        let mut r = rng();
+        let topo = Topology::balanced(n, 2, &mut r);
+        topo.validate().expect("valid");
+        Overlay::new(&topo)
+    }
+
+    #[test]
+    fn route_reaches_responsible_peer() {
+        let mut o = overlay(64);
+        let mut r = rng();
+        let h = OrderPreservingHash::default();
+        for word in ["alpha", "beta", "EMBL#Organism", "zeta", ""] {
+            let key = h.hash(word, 24);
+            let route = o.route(PeerId(0), &key, &mut r).expect("routable");
+            assert!(o.view(route.destination).is_responsible(&key));
+        }
+    }
+
+    #[test]
+    fn route_from_responsible_peer_is_zero_hops() {
+        let mut o = overlay(16);
+        let mut r = rng();
+        let path = o.view(PeerId(3)).path.clone();
+        let mut key = path.clone();
+        for _ in 0..8 {
+            key.push(false);
+        }
+        let route = o.route(PeerId(3), &key, &mut r).expect("routable");
+        assert_eq!(route.destination, PeerId(3));
+        assert_eq!(route.messages(), 0);
+    }
+
+    #[test]
+    fn routing_cost_is_logarithmic() {
+        let mut r = rng();
+        let h = OrderPreservingHash::default();
+        let mut o: Overlay<u32> = Overlay::new(&Topology::balanced(256, 2, &mut r));
+        let mut total_msgs = 0u64;
+        let trials = 200;
+        for i in 0..trials {
+            let key = h.hash(&format!("key-{i}"), 24);
+            let origin = PeerId::from_index((i * 37) % 256);
+            let route = o.route(origin, &key, &mut r).expect("routable");
+            total_msgs += route.messages();
+        }
+        let mean = total_msgs as f64 / trials as f64;
+        // depth = 8; expected hops ≈ half the depth; must be well below n.
+        assert!(mean <= 8.5, "mean hops {mean} exceeds depth bound");
+        assert!(mean >= 1.0, "routing suspiciously free: {mean}");
+    }
+
+    #[test]
+    fn update_then_retrieve_round_trips() {
+        let mut o = overlay(32);
+        let mut r = rng();
+        let h = OrderPreservingHash::default();
+        let key = h.hash("swissprot:P12345", 24);
+        o.update(PeerId(1), UpdateOp::Insert, key.clone(), "record".to_string(), &mut r)
+            .expect("update ok");
+        let (values, _) = o.retrieve(PeerId(30), &key, &mut r).expect("retrieve ok");
+        assert_eq!(values, vec!["record".to_string()]);
+    }
+
+    #[test]
+    fn update_replicates_to_sigma() {
+        // 12 peers at depth 3: paths 000..011 get two peers each.
+        let mut r = rng();
+        let topo = Topology::balanced(12, 2, &mut r);
+        let mut o: Overlay<&str> = Overlay::new(&topo);
+        let key = BitString::parse("0000000");
+        o.update(PeerId(5), UpdateOp::Insert, key.clone(), "x", &mut r)
+            .expect("update ok");
+        let holders: Vec<usize> = (0..12)
+            .filter(|i| !o.store(PeerId::from_index(*i)).is_empty())
+            .collect();
+        assert_eq!(holders.len(), 2, "item should live on both replicas");
+        for i in holders {
+            assert_eq!(o.store(PeerId::from_index(i)).get(&key), &["x"]);
+        }
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let mut r = rng();
+        let topo = Topology::balanced(12, 2, &mut r);
+        let mut o: Overlay<&str> = Overlay::new(&topo);
+        let key = BitString::parse("0000000");
+        o.update(PeerId(0), UpdateOp::Insert, key.clone(), "x", &mut r)
+            .unwrap();
+        o.update(PeerId(7), UpdateOp::Delete, key.clone(), "x", &mut r)
+            .unwrap();
+        assert!((0..12).all(|i| o.store(PeerId::from_index(i)).is_empty()));
+    }
+
+    #[test]
+    fn retrieve_prefix_collects_range() {
+        let mut o = overlay(4); // depth 2
+        let mut r = rng();
+        // Keys under "01": should all land on the same peer.
+        for (suffix, val) in [("0100", "a"), ("0101", "b"), ("0111", "c")] {
+            o.update(
+                PeerId(0),
+                UpdateOp::Insert,
+                BitString::parse(suffix),
+                val.to_string(),
+                &mut r,
+            )
+            .unwrap();
+        }
+        let (mut values, _) = o
+            .retrieve_prefix(PeerId(3), &BitString::parse("01"), &mut r)
+            .unwrap();
+        values.sort();
+        assert_eq!(values, vec!["a", "b", "c"]);
+        let (sub, _) = o
+            .retrieve_prefix(PeerId(3), &BitString::parse("010"), &mut r)
+            .unwrap();
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn retrieve_range_spans_multiple_peers() {
+        // Depth-3 grid (8 peers): keys under "01" live on two distinct
+        // peers ("010…" and "011…"); a range read must visit both.
+        let mut o = overlay(8);
+        let mut r = rng();
+        for (key, val) in [
+            ("0100001", "a"),
+            ("0101111", "b"),
+            ("0110000", "c"),
+            ("0111010", "d"),
+            ("1000000", "elsewhere"),
+        ] {
+            o.update(
+                PeerId(0),
+                UpdateOp::Insert,
+                BitString::parse(key),
+                val.to_string(),
+                &mut r,
+            )
+            .unwrap();
+        }
+        let mut values = o
+            .retrieve_range(PeerId(7), &BitString::parse("01"), &mut r)
+            .unwrap();
+        values.sort();
+        assert_eq!(values, vec!["a", "b", "c", "d"]);
+        // A deeper prefix narrows the range.
+        let narrow = o
+            .retrieve_range(PeerId(7), &BitString::parse("010"), &mut r)
+            .unwrap();
+        assert_eq!(narrow.len(), 2);
+    }
+
+    #[test]
+    fn retrieve_range_counts_messages() {
+        let mut o = overlay(8);
+        let mut r = rng();
+        o.reset_messages();
+        let before = o.messages_sent();
+        let _ = o
+            .retrieve_range(PeerId(0), &BitString::parse("1"), &mut r)
+            .unwrap();
+        // Four leaf regions under "1": at least one probe+response each
+        // unless the origin owns one.
+        assert!(o.messages_sent() - before >= 6);
+    }
+
+    #[test]
+    fn message_accounting_counts_request_and_response() {
+        let mut o = overlay(16);
+        let mut r = rng();
+        o.reset_messages();
+        let key = BitString::parse("111100001111");
+        let before = o.messages_sent();
+        let (_, route) = o.retrieve(PeerId(0), &key, &mut r).unwrap();
+        let after = o.messages_sent();
+        if route.destination == PeerId(0) {
+            assert_eq!(after - before, 0);
+        } else {
+            assert_eq!(after - before, route.messages() + 1);
+        }
+    }
+
+    #[test]
+    fn missing_key_returns_empty_not_error() {
+        let mut o = overlay(8);
+        let mut r = rng();
+        let (values, _) = o
+            .retrieve(PeerId(2), &BitString::parse("10101010"), &mut r)
+            .unwrap();
+        assert!(values.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::hash::HashKind;
+    use crate::topology::Topology;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Whatever the network size and key, routing from any origin
+        /// terminates at a peer responsible for the key, within the
+        /// depth bound.
+        #[test]
+        fn routing_always_terminates_correctly(
+            n in 1usize..300,
+            seed in 0u64..30,
+            word in "[ -~]{0,16}",
+            kind in prop_oneof![Just(HashKind::OrderPreserving), Just(HashKind::Uniform)],
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let topo = Topology::balanced(n, 2, &mut rng);
+            let mut o: Overlay<u8> = Overlay::new(&topo);
+            let key = kind.build().hash(&word, 24);
+            let origin = PeerId::from_index(seed as usize % n);
+            let route = o.route(origin, &key, &mut rng).expect("balanced grid always routes");
+            prop_assert!(o.view(route.destination).is_responsible(&key));
+            prop_assert!(route.messages() as usize <= topo.depth() + 1);
+        }
+
+        /// Insert/retrieve round-trips for arbitrary words across sizes.
+        #[test]
+        fn store_round_trip(n in 1usize..128, seed in 0u64..20, words in proptest::collection::vec("[a-z]{1,10}", 1..20)) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let topo = Topology::balanced(n, 2, &mut rng);
+            let mut o: Overlay<String> = Overlay::new(&topo);
+            let h = HashKind::OrderPreserving.build();
+            for w in &words {
+                let key = h.hash(w, 24);
+                o.update(PeerId(0), UpdateOp::Insert, key, w.clone(), &mut rng).expect("update");
+            }
+            for w in &words {
+                let key = h.hash(w, 24);
+                let (values, _) = o.retrieve(PeerId::from_index(n / 2), &key, &mut rng).expect("retrieve");
+                prop_assert!(values.contains(w), "lost {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Globally unique identifiers for local resources and schemas.
+//!
+//! "Whenever necessary, globally unique identifiers are created for local
+//! resources and schemas by concatenating the logical address π(p) of the
+//! peer p posting the item with a hash of the local identifier or schema
+//! name" (§2.2).
+
+use crate::term::Uri;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A GridVine GUID: `gv://<peer-path>/<local-hash>#<local-name>`.
+///
+/// The human-readable local name is kept as a fragment so reformulated
+/// queries and demo output stay legible; equality and hashing use the
+/// full identifier.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Guid {
+    peer_path: String,
+    local_hash: u64,
+    local_name: String,
+}
+
+impl Guid {
+    /// Mint a GUID at the peer with logical address `peer_path`
+    /// (a `"0101"`-style binary string) for `local_name`.
+    pub fn mint(peer_path: &str, local_name: &str) -> Guid {
+        debug_assert!(
+            peer_path.chars().all(|c| c == '0' || c == '1'),
+            "peer path must be binary"
+        );
+        Guid {
+            peer_path: peer_path.to_string(),
+            local_hash: fnv64(local_name),
+            local_name: local_name.to_string(),
+        }
+    }
+
+    pub fn peer_path(&self) -> &str {
+        &self.peer_path
+    }
+
+    pub fn local_name(&self) -> &str {
+        &self.local_name
+    }
+
+    /// Render as a URI for use in triples.
+    pub fn to_uri(&self) -> Uri {
+        Uri::new(format!(
+            "gv://{}/{:016x}#{}",
+            self.peer_path, self.local_hash, self.local_name
+        ))
+    }
+
+    /// Parse back from the URI form produced by [`Guid::to_uri`].
+    pub fn parse(uri: &Uri) -> Option<Guid> {
+        let s = uri.as_str().strip_prefix("gv://")?;
+        let (path, rest) = s.split_once('/')?;
+        let (hash_hex, name) = rest.split_once('#')?;
+        let local_hash = u64::from_str_radix(hash_hex, 16).ok()?;
+        Some(Guid {
+            peer_path: path.to_string(),
+            local_hash,
+            local_name: name.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_uri().as_str())
+    }
+}
+
+impl fmt::Debug for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_different_peer_differs() {
+        let a = Guid::mint("0101", "MySchema");
+        let b = Guid::mint("0110", "MySchema");
+        assert_ne!(a, b);
+        assert_ne!(a.to_uri(), b.to_uri());
+    }
+
+    #[test]
+    fn same_peer_different_name_differs() {
+        let a = Guid::mint("0101", "SchemaA");
+        let b = Guid::mint("0101", "SchemaB");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uri_round_trip() {
+        let g = Guid::mint("001101", "EMBL-Schema_v2");
+        let parsed = Guid::parse(&g.to_uri()).expect("round trip");
+        assert_eq!(g, parsed);
+        assert_eq!(parsed.peer_path(), "001101");
+        assert_eq!(parsed.local_name(), "EMBL-Schema_v2");
+    }
+
+    #[test]
+    fn parse_rejects_foreign_uris() {
+        assert!(Guid::parse(&Uri::new("EMBL#Organism")).is_none());
+        assert!(Guid::parse(&Uri::new("gv://missing-parts")).is_none());
+        assert!(Guid::parse(&Uri::new("gv://01/nothex#x")).is_none());
+    }
+
+    #[test]
+    fn mint_is_deterministic() {
+        assert_eq!(Guid::mint("01", "x"), Guid::mint("01", "x"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// GUID URIs always round-trip.
+        #[test]
+        fn guid_round_trip(path in "[01]{0,12}", name in "[A-Za-z0-9_-]{1,20}") {
+            let g = Guid::mint(&path, &name);
+            prop_assert_eq!(Guid::parse(&g.to_uri()), Some(g));
+        }
+
+        /// Distinct (path, name) pairs give distinct URIs.
+        #[test]
+        fn guid_injective(p1 in "[01]{1,8}", p2 in "[01]{1,8}",
+                          n1 in "[a-z]{1,8}", n2 in "[a-z]{1,8}") {
+            prop_assume!((p1.clone(), n1.clone()) != (p2.clone(), n2.clone()));
+            let a = Guid::mint(&p1, &n1);
+            let b = Guid::mint(&p2, &n2);
+            prop_assert_ne!(a.to_uri(), b.to_uri());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # gridvine-rdf
+//!
+//! The data model of GridVine's semantic mediation layer (§2.2–2.3 of
+//! the paper): RDF-style triples, the per-peer local triple database
+//! `DB_p` with the three relational operators (selection σ, projection
+//! π, self-join ⋈), triple patterns and conjunctive queries, an
+//! RDQL-subset parser, and the peer-scoped GUID scheme.
+//!
+//! This crate is deliberately free of any networking or overlay
+//! dependency: it is the "what" of GridVine's data, while
+//! `gridvine-pgrid` is the "where" and `gridvine-core` the "how".
+//!
+//! ```
+//! use gridvine_rdf::prelude::*;
+//!
+//! let mut db = TripleStore::new();
+//! db.insert(Triple::new(
+//!     "embl:A78712",
+//!     "EMBL#Organism",
+//!     Term::literal("Aspergillus niger"),
+//! ));
+//! let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
+//! assert_eq!(q.evaluate(&db), vec![Term::uri("embl:A78712")]);
+//! ```
+
+pub mod guid;
+pub mod parser;
+pub mod query;
+pub mod store;
+pub mod term;
+pub mod triple;
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::guid::Guid;
+    pub use crate::parser::{parse_query, parse_single, ParseError};
+    pub use crate::query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
+    pub use crate::store::TripleStore;
+    pub use crate::term::{like_match, Term, Uri};
+    pub use crate::triple::{Binding, PatternTerm, Position, Triple, TriplePattern};
+}
+
+pub use guid::Guid;
+pub use parser::{parse_query, parse_single, ParseError};
+pub use query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
+pub use store::TripleStore;
+pub use term::{like_match, Term, Uri};
+pub use triple::{Binding, PatternTerm, Position, Triple, TriplePattern};

@@ -1,0 +1,415 @@
+//! The per-peer local triple database `DB_p`.
+//!
+//! "Each peer p maintains a local database DBp to store the triples it is
+//! responsible for … the physical schemas of the local databases can all
+//! be identical and consist of three attributes SDB = (subject,
+//! predicate, object). The local databases support three standard
+//! relational algebra operators: projection π, selection σ and (self)
+//! join ⋈" (§2.2).
+//!
+//! [`TripleStore`] keeps the triple table plus three hash indexes (by
+//! subject, predicate, object lexical value) so that the destination-peer
+//! query `π_pos(x) σ_pos(const)=const (DB_dest)` of §2.3 runs without a
+//! full scan when the constant is exact.
+
+use crate::term::Term;
+use crate::triple::{Binding, Position, Triple, TriplePattern};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A local triple database with (s, p, o) secondary indexes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TripleStore {
+    rows: Vec<Triple>,
+    /// Index maps a position's lexical value to row ids. Deleted rows
+    /// leave tombstones in `rows` (None) to keep ids stable.
+    by_subject: HashMap<String, Vec<u32>>,
+    by_predicate: HashMap<String, Vec<u32>>,
+    by_object: HashMap<String, Vec<u32>>,
+    live: usize,
+    tombstones: Vec<bool>,
+}
+
+impl TripleStore {
+    pub fn new() -> TripleStore {
+        TripleStore::default()
+    }
+
+    /// Number of live triples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a triple; duplicates are ignored (idempotent, like the
+    /// overlay store — replica synchronization re-delivers freely).
+    /// Returns whether the triple was new.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if self.contains(&t) {
+            return false;
+        }
+        let id = self.rows.len() as u32;
+        self.by_subject
+            .entry(t.subject.as_str().to_string())
+            .or_default()
+            .push(id);
+        self.by_predicate
+            .entry(t.predicate.as_str().to_string())
+            .or_default()
+            .push(id);
+        self.by_object
+            .entry(t.object.lexical().to_string())
+            .or_default()
+            .push(id);
+        self.rows.push(t);
+        self.tombstones.push(false);
+        self.live += 1;
+        true
+    }
+
+    /// Remove a triple; returns whether it was present.
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        let Some(id) = self.find_row(t) else {
+            return false;
+        };
+        self.tombstones[id as usize] = true;
+        self.live -= 1;
+        true
+    }
+
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.find_row(t).is_some()
+    }
+
+    fn find_row(&self, t: &Triple) -> Option<u32> {
+        self.by_subject
+            .get(t.subject.as_str())?
+            .iter()
+            .copied()
+            .find(|&id| !self.tombstones[id as usize] && &self.rows[id as usize] == t)
+    }
+
+    /// Iterate over live triples.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.rows
+            .iter()
+            .zip(&self.tombstones)
+            .filter(|(_, dead)| !**dead)
+            .map(|(t, _)| t)
+    }
+
+    /// σ: all triples whose `pos` equals `value` exactly (index lookup).
+    pub fn select_eq(&self, pos: Position, value: &str) -> Vec<&Triple> {
+        let index = match pos {
+            Position::Subject => &self.by_subject,
+            Position::Predicate => &self.by_predicate,
+            Position::Object => &self.by_object,
+        };
+        index
+            .get(value)
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&id| !self.tombstones[id as usize])
+                    .map(|&id| &self.rows[id as usize])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// σ with a `%`-wildcard LIKE predicate (falls back to a scan over
+    /// the position index keys; exact patterns use the index directly).
+    pub fn select_like(&self, pos: Position, pattern: &str) -> Vec<&Triple> {
+        if !pattern.contains('%') {
+            return self.select_eq(pos, pattern);
+        }
+        self.iter()
+            .filter(|t| t.get(pos).matches_like(pattern))
+            .collect()
+    }
+
+    /// Evaluate a triple pattern against the local database, returning
+    /// one binding per matching triple. Uses the most selective exact
+    /// constant as the access path.
+    pub fn match_pattern(&self, pattern: &TriplePattern) -> Vec<Binding> {
+        // Access path: an exact (non-wildcard) constant if any.
+        let exact = pattern.constants().into_iter().find(|(_, t)| {
+            !(t.is_literal() && t.lexical().contains('%'))
+        });
+        let candidates: Vec<&Triple> = match exact {
+            Some((pos, term)) => self.select_eq(pos, term.lexical()),
+            None => self.iter().collect(),
+        };
+        candidates
+            .into_iter()
+            .filter_map(|t| pattern.match_triple(t))
+            .collect()
+    }
+
+    /// The destination-peer resolution of §2.3:
+    /// `Results = π_pos(x) σ_pos(const)=const (DB_dest)`.
+    /// Returns the terms bound to `var`.
+    pub fn resolve(&self, pattern: &TriplePattern, var: &str) -> Vec<Term> {
+        let mut out: Vec<Term> = self
+            .match_pattern(pattern)
+            .into_iter()
+            .filter_map(|b| b.get(var).cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Self-join ⋈: evaluate two patterns and merge compatible bindings.
+    /// This is the building block for conjunctive queries (§2.3:
+    /// "iteratively resolving each triple pattern … and aggregating").
+    pub fn join(&self, left: &TriplePattern, right: &TriplePattern) -> Vec<Binding> {
+        let lhs = self.match_pattern(left);
+        let rhs = self.match_pattern(right);
+        let mut out = Vec::new();
+        for l in &lhs {
+            for r in &rhs {
+                if let Some(j) = l.join(r) {
+                    out.push(j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct predicate values present (used by schema inference and
+    /// the instance-based matcher).
+    pub fn predicates(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .by_predicate
+            .iter()
+            .filter(|(_, ids)| ids.iter().any(|&id| !self.tombstones[id as usize]))
+            .map(|(k, _)| k.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Compact away tombstones (rebuilds indexes).
+    pub fn compact(&mut self) {
+        let live: Vec<Triple> = self.iter().cloned().collect();
+        *self = TripleStore::new();
+        for t in live {
+            self.insert(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::PatternTerm;
+
+    fn sample() -> TripleStore {
+        let mut db = TripleStore::new();
+        db.insert(Triple::new(
+            "embl:A78712",
+            "EMBL#Organism",
+            Term::literal("Aspergillus niger"),
+        ));
+        db.insert(Triple::new(
+            "embl:A78767",
+            "EMBL#Organism",
+            Term::literal("Aspergillus nidulans"),
+        ));
+        db.insert(Triple::new(
+            "embl:X00001",
+            "EMBL#Organism",
+            Term::literal("Penicillium chrysogenum"),
+        ));
+        db.insert(Triple::new(
+            "embl:A78712",
+            "EMBL#SequenceLength",
+            Term::literal("1042"),
+        ));
+        db
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut db = TripleStore::new();
+        let t = Triple::new("s", "p", Term::literal("o"));
+        assert!(db.insert(t.clone()));
+        assert!(!db.insert(t));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut db = sample();
+        let t = Triple::new("embl:A78712", "EMBL#Organism", Term::literal("Aspergillus niger"));
+        assert!(db.contains(&t));
+        assert!(db.remove(&t));
+        assert!(!db.contains(&t));
+        assert!(!db.remove(&t));
+        assert_eq!(db.len(), 3);
+        // Index lookups must not resurface the tombstone.
+        assert_eq!(db.select_eq(Position::Subject, "embl:A78712").len(), 1);
+    }
+
+    #[test]
+    fn select_eq_uses_each_position() {
+        let db = sample();
+        assert_eq!(db.select_eq(Position::Predicate, "EMBL#Organism").len(), 3);
+        assert_eq!(db.select_eq(Position::Subject, "embl:A78712").len(), 2);
+        assert_eq!(db.select_eq(Position::Object, "1042").len(), 1);
+        assert!(db.select_eq(Position::Subject, "nope").is_empty());
+    }
+
+    #[test]
+    fn select_like_wildcards() {
+        let db = sample();
+        let hits = db.select_like(Position::Object, "%Aspergillus%");
+        assert_eq!(hits.len(), 2);
+        let exact = db.select_like(Position::Object, "1042");
+        assert_eq!(exact.len(), 1);
+    }
+
+    #[test]
+    fn paper_query_resolution() {
+        // π_subject σ_predicate=EMBL#Organism ∧ object=%Aspergillus% (DB)
+        let db = sample();
+        let pattern = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("EMBL#Organism")),
+            PatternTerm::constant(Term::literal("%Aspergillus%")),
+        );
+        let results = db.resolve(&pattern, "x");
+        assert_eq!(
+            results,
+            vec![Term::uri("embl:A78712"), Term::uri("embl:A78767")]
+        );
+    }
+
+    #[test]
+    fn match_pattern_all_variables_returns_everything() {
+        let db = sample();
+        let pattern = TriplePattern::new(
+            PatternTerm::var("s"),
+            PatternTerm::var("p"),
+            PatternTerm::var("o"),
+        );
+        assert_eq!(db.match_pattern(&pattern).len(), 4);
+    }
+
+    #[test]
+    fn self_join_connects_attributes() {
+        // Sequences with an Organism AND a SequenceLength.
+        let db = sample();
+        let left = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("EMBL#Organism")),
+            PatternTerm::var("org"),
+        );
+        let right = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("EMBL#SequenceLength")),
+            PatternTerm::var("len"),
+        );
+        let joined = db.join(&left, &right);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].get("x"), Some(&Term::uri("embl:A78712")));
+        assert_eq!(joined[0].get("len"), Some(&Term::literal("1042")));
+    }
+
+    #[test]
+    fn predicates_lists_distinct_live() {
+        let mut db = sample();
+        assert_eq!(db.predicates(), vec!["EMBL#Organism", "EMBL#SequenceLength"]);
+        db.remove(&Triple::new(
+            "embl:A78712",
+            "EMBL#SequenceLength",
+            Term::literal("1042"),
+        ));
+        assert_eq!(db.predicates(), vec!["EMBL#Organism"]);
+    }
+
+    #[test]
+    fn compact_preserves_content() {
+        let mut db = sample();
+        db.remove(&Triple::new(
+            "embl:X00001",
+            "EMBL#Organism",
+            Term::literal("Penicillium chrysogenum"),
+        ));
+        let before: Vec<Triple> = {
+            let mut v: Vec<Triple> = db.iter().cloned().collect();
+            v.sort();
+            v
+        };
+        db.compact();
+        let mut after: Vec<Triple> = db.iter().cloned().collect();
+        after.sort();
+        assert_eq!(before, after);
+        assert_eq!(db.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::triple::PatternTerm;
+    use proptest::prelude::*;
+
+    fn arb_triple() -> impl Strategy<Value = Triple> {
+        ("[a-c]{1,2}", "[p-r]{1,2}", "[x-z]{1,2}").prop_map(|(s, p, o)| {
+            Triple::new(s.as_str(), p.as_str(), Term::literal(o))
+        })
+    }
+
+    proptest! {
+        /// The three indexes agree with a full scan, for every position.
+        #[test]
+        fn indexes_agree_with_scan(triples in proptest::collection::vec(arb_triple(), 0..40),
+                                   removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..10)) {
+            let mut db = TripleStore::new();
+            let mut reference: Vec<Triple> = Vec::new();
+            for t in &triples {
+                if db.insert(t.clone()) {
+                    reference.push(t.clone());
+                }
+            }
+            for idx in &removals {
+                if reference.is_empty() { break; }
+                let i = idx.index(reference.len());
+                let t = reference.remove(i);
+                prop_assert!(db.remove(&t));
+            }
+            prop_assert_eq!(db.len(), reference.len());
+            for pos in Position::ALL {
+                for t in &reference {
+                    let value = t.get(pos);
+                    let via_index = db.select_eq(pos, value.lexical());
+                    let via_scan: Vec<&Triple> = reference
+                        .iter()
+                        .filter(|r| r.get(pos).lexical() == value.lexical())
+                        .collect();
+                    prop_assert_eq!(via_index.len(), via_scan.len());
+                }
+            }
+        }
+
+        /// match_pattern with a constant agrees with the naive filter.
+        #[test]
+        fn match_pattern_agrees_with_naive(triples in proptest::collection::vec(arb_triple(), 0..30),
+                                           pred in "[p-r]{1,2}") {
+            let mut db = TripleStore::new();
+            for t in &triples { db.insert(t.clone()); }
+            let pattern = TriplePattern::new(
+                PatternTerm::var("s"),
+                PatternTerm::constant(Term::uri(pred.clone())),
+                PatternTerm::var("o"),
+            );
+            let fast = db.match_pattern(&pattern).len();
+            let naive = db.iter().filter(|t| t.predicate.as_str() == pred).count();
+            prop_assert_eq!(fast, naive);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Query reformulation by view unfolding (§3, Figure 2).
+//!
+//! "Mappings allow the reformulation of a query posed against a given
+//! schema into a new query posed against a semantically similar schema.
+//! By iterating this process over several mappings, a query can traverse
+//! a sequence of schemas at the mediation layer and retrieve all relevant
+//! results, irrespective of their schemas."
+//!
+//! [`reformulations`] expands a triple-pattern query through the active
+//! mapping network breadth-first, producing one reformulated query per
+//! reachable schema (shortest mapping path first), exactly the expansion
+//! the *iterative* strategy executes at the originating peer. The
+//! *recursive* strategy executes the same one-step rule
+//! ([`reformulate_step`]) at each intermediate peer.
+
+use crate::graph::MappingRegistry;
+use crate::mapping::{Direction, MappingId};
+use crate::schema::{Schema, SchemaId};
+use gridvine_rdf::{PatternTerm, Term, TriplePattern, TriplePatternQuery, Uri};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One application of a mapping along a reformulation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    pub mapping: MappingId,
+    pub direction: Direction,
+}
+
+/// A query translated into another schema's vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reformulation {
+    /// Schema the reformulated query is posed against.
+    pub schema: SchemaId,
+    /// The translated query.
+    pub query: TriplePatternQuery,
+    /// The mapping path from the original schema (empty for the
+    /// original query itself).
+    pub path: Vec<Step>,
+}
+
+impl Reformulation {
+    /// Number of mapping applications.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Smallest quality along the path (1.0 for the original query);
+    /// a simple confidence proxy for ranking results.
+    pub fn path_quality(&self, registry: &MappingRegistry) -> f64 {
+        self.path
+            .iter()
+            .filter_map(|s| registry.mapping(s.mapping))
+            .map(|m| m.quality)
+            .fold(1.0, f64::min)
+    }
+}
+
+/// Why a query cannot be reformulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReformulateError {
+    /// The query's predicate is a variable — there is no schema to
+    /// translate from.
+    UnboundPredicate,
+    /// The predicate does not follow the `<schema>#<attr>` convention.
+    MalformedPredicate { uri: String },
+}
+
+impl std::fmt::Display for ReformulateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReformulateError::UnboundPredicate => {
+                write!(f, "query predicate is a variable; nothing to reformulate")
+            }
+            ReformulateError::MalformedPredicate { uri } => {
+                write!(f, "predicate {uri:?} is not of the form schema#attribute")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReformulateError {}
+
+/// Extract the (schema, attribute) of a pattern's predicate constant.
+pub fn pattern_schema(pattern: &TriplePattern) -> Result<(SchemaId, String), ReformulateError> {
+    match &pattern.predicate {
+        PatternTerm::Var(_) => Err(ReformulateError::UnboundPredicate),
+        PatternTerm::Const(Term::Literal(s)) => Err(ReformulateError::MalformedPredicate {
+            uri: s.clone(),
+        }),
+        PatternTerm::Const(Term::Uri(u)) => match Schema::split_predicate(u) {
+            Some((schema, attr)) => Ok((schema, attr.to_string())),
+            None => Err(ReformulateError::MalformedPredicate {
+                uri: u.as_str().to_string(),
+            }),
+        },
+    }
+}
+
+/// Extract the (schema, attribute) of a query's predicate constant.
+pub fn query_schema(query: &TriplePatternQuery) -> Result<(SchemaId, String), ReformulateError> {
+    pattern_schema(&query.pattern)
+}
+
+/// Apply one mapping step to a bare pattern: replace the predicate
+/// `source#attr` by `dest#attr'`. The mapping-object variant used when
+/// mapping lists come from the DHT rather than a local registry.
+pub fn reformulate_pattern(
+    pattern: &TriplePattern,
+    mapping: &crate::mapping::Mapping,
+    direction: Direction,
+) -> Option<TriplePattern> {
+    let (schema, attr) = pattern_schema(pattern).ok()?;
+    if mapping.applicable_from(&schema) != Some(direction) {
+        return None;
+    }
+    let new_attr = mapping.translate(&attr, direction)?;
+    let dest = mapping.destination(direction);
+    Some(TriplePattern::new(
+        pattern.subject.clone(),
+        PatternTerm::Const(Term::Uri(Uri::new(format!("{dest}#{new_attr}")))),
+        pattern.object.clone(),
+    ))
+}
+
+/// Apply one mapping step to a query: replace the predicate
+/// `source#attr` by `dest#attr'` (view unfolding of a single predicate
+/// correspondence). Returns `None` if the mapping does not cover the
+/// attribute.
+pub fn reformulate_step(
+    registry: &MappingRegistry,
+    query: &TriplePatternQuery,
+    mapping: MappingId,
+    direction: Direction,
+) -> Option<TriplePatternQuery> {
+    let (schema, attr) = query_schema(query).ok()?;
+    let m = registry.mapping(mapping)?;
+    if !m.is_active() || m.applicable_from(&schema) != Some(direction) {
+        return None;
+    }
+    let new_attr = m.translate(&attr, direction)?;
+    let dest = m.destination(direction);
+    let new_predicate = Uri::new(format!("{dest}#{new_attr}"));
+    let pattern = TriplePattern::new(
+        query.pattern.subject.clone(),
+        PatternTerm::Const(Term::Uri(new_predicate)),
+        query.pattern.object.clone(),
+    );
+    TriplePatternQuery::new(query.distinguished.clone(), pattern).ok()
+}
+
+/// Breadth-first expansion of a query through the mapping network.
+///
+/// Returns the original query (depth 0) followed by one reformulation
+/// per newly reached schema, in non-decreasing path length, visiting at
+/// most `ttl` mapping applications deep. Each schema is visited once —
+/// the classic PDMS loop-prevention rule.
+pub fn reformulations(
+    registry: &MappingRegistry,
+    query: &TriplePatternQuery,
+    ttl: usize,
+) -> Result<Vec<Reformulation>, ReformulateError> {
+    let (origin, _) = query_schema(query)?;
+    let mut out = vec![Reformulation {
+        schema: origin.clone(),
+        query: query.clone(),
+        path: Vec::new(),
+    }];
+    let mut visited: BTreeSet<SchemaId> = BTreeSet::new();
+    visited.insert(origin);
+    let mut frontier: VecDeque<usize> = VecDeque::new();
+    frontier.push_back(0); // index into `out`
+
+    while let Some(i) = frontier.pop_front() {
+        if out[i].path.len() >= ttl {
+            continue;
+        }
+        let current = out[i].clone();
+        for (m, dir) in registry.applicable_from(&current.schema) {
+            let dest = m.destination(dir).clone();
+            if visited.contains(&dest) {
+                continue;
+            }
+            if let Some(q) = reformulate_step(registry, &current.query, m.id, dir) {
+                visited.insert(dest.clone());
+                let mut path = current.path.clone();
+                path.push(Step {
+                    mapping: m.id,
+                    direction: dir,
+                });
+                out.push(Reformulation {
+                    schema: dest,
+                    query: q,
+                    path,
+                });
+                frontier.push_back(out.len() - 1);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{Correspondence, MappingKind, Provenance};
+    use crate::schema::Schema;
+
+    /// The Figure 2 setup: EMBL#Organism ≡ EMP#SystematicName.
+    fn figure2_registry() -> MappingRegistry {
+        let mut reg = MappingRegistry::new();
+        reg.add_schema(Schema::new("EMBL", ["Organism"]));
+        reg.add_schema(Schema::new("EMP", ["SystematicName"]));
+        reg.add_mapping(
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("Organism", "SystematicName")],
+        );
+        reg
+    }
+
+    fn aspergillus_query() -> TriplePatternQuery {
+        TriplePatternQuery::example_aspergillus()
+    }
+
+    #[test]
+    fn figure2_reformulation() {
+        // SearchFor(x1? : (x1?, EMBL#Organism, %Aspergillus%))
+        //   ⇒ SearchFor(x2? : (x2?, EMP#SystematicName, %Aspergillus%))
+        let reg = figure2_registry();
+        let refs = reformulations(&reg, &aspergillus_query(), 5).expect("reformulates");
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].depth(), 0);
+        assert_eq!(refs[1].schema, SchemaId::new("EMP"));
+        assert_eq!(
+            refs[1]
+                .query
+                .pattern
+                .predicate
+                .as_const()
+                .map(|t| t.lexical()),
+            Some("EMP#SystematicName")
+        );
+        // Object constraint is carried along unchanged.
+        assert_eq!(
+            refs[1].query.pattern.object.as_const().map(|t| t.lexical()),
+            Some("%Aspergillus%")
+        );
+        assert_eq!(refs[1].depth(), 1);
+    }
+
+    #[test]
+    fn equivalence_applies_backward_too() {
+        let reg = figure2_registry();
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("EMP#SystematicName")),
+                PatternTerm::constant(Term::literal("%Aspergillus%")),
+            ),
+        )
+        .unwrap();
+        let refs = reformulations(&reg, &q, 5).expect("reformulates");
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[1].schema, SchemaId::new("EMBL"));
+        assert_eq!(refs[1].path[0].direction, Direction::Backward);
+    }
+
+    #[test]
+    fn chain_expands_transitively_within_ttl() {
+        let mut reg = MappingRegistry::new();
+        for (i, attr) in ["a0", "a1", "a2", "a3"].iter().enumerate() {
+            reg.add_schema(Schema::new(format!("S{i}").as_str(), [*attr]));
+        }
+        for i in 0..3 {
+            reg.add_mapping(
+                format!("S{i}").as_str(),
+                format!("S{}", i + 1).as_str(),
+                MappingKind::Equivalence,
+                Provenance::Manual,
+                vec![Correspondence::new(format!("a{i}"), format!("a{}", i + 1))],
+            );
+        }
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("S0#a0")),
+                PatternTerm::var("o"),
+            ),
+        )
+        .unwrap();
+        let all = reformulations(&reg, &q, 10).expect("ok");
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3].schema, SchemaId::new("S3"));
+        assert_eq!(all[3].depth(), 3);
+        assert_eq!(
+            all[3].query.pattern.predicate.as_const().map(|t| t.lexical()),
+            Some("S3#a3")
+        );
+
+        // TTL truncates the expansion.
+        let limited = reformulations(&reg, &q, 1).expect("ok");
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn cycles_do_not_loop() {
+        // Triangle of equivalences: each schema visited exactly once.
+        let mut reg = MappingRegistry::new();
+        for (s, a) in [("A", "x"), ("B", "y"), ("C", "z")] {
+            reg.add_schema(Schema::new(s, [a]));
+        }
+        reg.add_mapping("A", "B", MappingKind::Equivalence, Provenance::Manual,
+            vec![Correspondence::new("x", "y")]);
+        reg.add_mapping("B", "C", MappingKind::Equivalence, Provenance::Manual,
+            vec![Correspondence::new("y", "z")]);
+        reg.add_mapping("C", "A", MappingKind::Equivalence, Provenance::Manual,
+            vec![Correspondence::new("z", "x")]);
+        let q = TriplePatternQuery::new(
+            "v",
+            TriplePattern::new(
+                PatternTerm::var("v"),
+                PatternTerm::constant(Term::uri("A#x")),
+                PatternTerm::var("o"),
+            ),
+        )
+        .unwrap();
+        let all = reformulations(&reg, &q, 50).expect("ok");
+        assert_eq!(all.len(), 3);
+        let schemas: BTreeSet<&str> = all.iter().map(|r| r.schema.as_str()).collect();
+        assert_eq!(schemas, BTreeSet::from(["A", "B", "C"]));
+    }
+
+    #[test]
+    fn deprecated_mappings_are_skipped() {
+        let mut reg = figure2_registry();
+        let id = reg.mappings().next().map(|m| m.id).unwrap();
+        reg.deprecate(id);
+        let refs = reformulations(&reg, &aspergillus_query(), 5).expect("ok");
+        assert_eq!(refs.len(), 1, "only the original query remains");
+    }
+
+    #[test]
+    fn uncovered_attribute_stops_translation() {
+        let mut reg = MappingRegistry::new();
+        reg.add_schema(Schema::new("EMBL", ["Organism", "Length"]));
+        reg.add_schema(Schema::new("EMP", ["SystematicName"]));
+        reg.add_mapping(
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("Organism", "SystematicName")],
+        );
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("EMBL#Length")),
+                PatternTerm::var("o"),
+            ),
+        )
+        .unwrap();
+        let refs = reformulations(&reg, &q, 5).expect("ok");
+        assert_eq!(refs.len(), 1, "Length has no correspondence");
+    }
+
+    #[test]
+    fn variable_predicate_is_an_error() {
+        let reg = figure2_registry();
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::var("p"),
+                PatternTerm::var("o"),
+            ),
+        )
+        .unwrap();
+        assert_eq!(
+            reformulations(&reg, &q, 5).unwrap_err(),
+            ReformulateError::UnboundPredicate
+        );
+    }
+
+    #[test]
+    fn malformed_predicate_is_an_error() {
+        let reg = figure2_registry();
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("no-hash-here")),
+                PatternTerm::var("o"),
+            ),
+        )
+        .unwrap();
+        assert!(matches!(
+            reformulations(&reg, &q, 5).unwrap_err(),
+            ReformulateError::MalformedPredicate { .. }
+        ));
+    }
+
+    #[test]
+    fn path_quality_is_minimum_along_path() {
+        let mut reg = MappingRegistry::new();
+        for (s, a) in [("A", "x"), ("B", "y"), ("C", "z")] {
+            reg.add_schema(Schema::new(s, [a]));
+        }
+        let m1 = reg.add_mapping("A", "B", MappingKind::Equivalence, Provenance::Automatic,
+            vec![Correspondence::new("x", "y")]);
+        let _m2 = reg.add_mapping("B", "C", MappingKind::Equivalence, Provenance::Automatic,
+            vec![Correspondence::new("y", "z")]);
+        reg.mapping_mut(m1).unwrap().quality = 0.6;
+        let q = TriplePatternQuery::new(
+            "v",
+            TriplePattern::new(
+                PatternTerm::var("v"),
+                PatternTerm::constant(Term::uri("A#x")),
+                PatternTerm::var("o"),
+            ),
+        )
+        .unwrap();
+        let all = reformulations(&reg, &q, 5).expect("ok");
+        let to_c = all.iter().find(|r| r.schema.as_str() == "C").expect("reaches C");
+        assert!((to_c.path_quality(&reg) - 0.6).abs() < 1e-12);
+    }
+}

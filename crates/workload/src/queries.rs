@@ -1,0 +1,369 @@
+//! Query workload generation.
+//!
+//! The paper's deployment submitted 23 000 triple-pattern queries (§2.3)
+//! and the demo issues constrained organism searches (Fig. 2). The
+//! generator produces queries of both shapes against a generated corpus,
+//! with ground-truth answer sets so recall is measurable.
+
+use crate::generate::Workload;
+use crate::vocab::{self, ConceptId, CONCEPTS};
+use gridvine_netsim::rng::Zipf;
+use gridvine_rdf::{ConjunctiveQuery, PatternTerm, Term, TriplePattern, TriplePatternQuery};
+use gridvine_semantic::SchemaId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A generated query with its provenance and exact answer set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedQuery {
+    /// Schema the query is posed against.
+    pub schema: SchemaId,
+    /// Concept constrained by the query.
+    pub concept: usize,
+    /// The query itself.
+    pub query: TriplePatternQuery,
+    /// Accessions of *all* entities in the corpus whose concept value
+    /// matches the constraint — the global ground-truth answer set a
+    /// perfectly integrated system would return.
+    pub true_answers: BTreeSet<String>,
+}
+
+/// Query-mix tunables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryConfig {
+    /// Zipf exponent over schemas (popular databases are queried more).
+    pub schema_skew: f64,
+    /// Probability of a `%substring%` constraint instead of equality.
+    pub wildcard_probability: f64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            schema_skew: 0.8,
+            wildcard_probability: 0.5,
+        }
+    }
+}
+
+/// Generates queries over one corpus.
+pub struct QueryGenerator<'a> {
+    workload: &'a Workload,
+    config: QueryConfig,
+    schema_zipf: Zipf,
+}
+
+impl<'a> QueryGenerator<'a> {
+    pub fn new(workload: &'a Workload, config: QueryConfig) -> QueryGenerator<'a> {
+        let schema_zipf = Zipf::new(workload.schemas.len(), config.schema_skew);
+        QueryGenerator {
+            workload,
+            config,
+            schema_zipf,
+        }
+    }
+
+    /// Generate one single-pattern query: pick a schema, a categorical
+    /// attribute of it, and a value constraint that has at least one
+    /// true answer in the corpus.
+    pub fn single<R: Rng + ?Sized>(&self, r: &mut R) -> GeneratedQuery {
+        // Try schemas until one has a categorical attribute (organism
+        // is always present, so the first try almost always works).
+        loop {
+            let s = &self.workload.schemas[self.schema_zipf.sample(r)];
+            let categorical: Vec<(&str, ConceptId)> = s
+                .attributes()
+                .iter()
+                .filter_map(|a| {
+                    let c = self.workload.ground_truth.concept(s.id(), a)?;
+                    CONCEPTS[c.0].categorical.then_some((a.as_str(), c))
+                })
+                .collect();
+            let Some(&(attr, concept)) = categorical.get(r.gen_range(0..categorical.len().max(1)))
+            else {
+                continue;
+            };
+            let pool = vocab::value_pool(concept).expect("categorical concept has a pool");
+            let value = pool[r.gen_range(0..pool.len())];
+            let pattern_text = if r.gen::<f64>() < self.config.wildcard_probability {
+                // Constrain on the first word, Figure-2 style.
+                let word = value.split_whitespace().next().unwrap_or(value);
+                format!("%{word}%")
+            } else {
+                value.to_string()
+            };
+            let query = TriplePatternQuery::new(
+                "x",
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::Uri(s.predicate(attr))),
+                    PatternTerm::constant(Term::literal(pattern_text.clone())),
+                ),
+            )
+            .expect("x occurs in the pattern");
+            let true_answers = self.workload.true_matches(concept, &pattern_text);
+            return GeneratedQuery {
+                schema: s.id().clone(),
+                concept: concept.0,
+                query,
+                true_answers,
+            };
+        }
+    }
+
+    /// A batch of queries.
+    pub fn batch<R: Rng + ?Sized>(&self, n: usize, r: &mut R) -> Vec<GeneratedQuery> {
+        (0..n).map(|_| self.single(r)).collect()
+    }
+
+    /// The Figure-2 query posed against EMBL, with its ground truth.
+    pub fn figure2(&self) -> GeneratedQuery {
+        let query = TriplePatternQuery::example_aspergillus();
+        GeneratedQuery {
+            schema: SchemaId::new("EMBL"),
+            concept: 0,
+            query,
+            true_answers: self.workload.true_matches(ConceptId(0), "%Aspergillus%"),
+        }
+    }
+}
+
+/// A generated conjunctive (two-pattern join) query with ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedConjunctiveQuery {
+    /// Schema the query is posed against.
+    pub schema: SchemaId,
+    /// Concept constrained by the first pattern.
+    pub constrained_concept: usize,
+    /// Concept the second pattern joins in (unconstrained value).
+    pub join_concept: usize,
+    /// The query: `SELECT ?x, ?v WHERE (?x, s#a1, const), (?x, s#a2, ?v)`.
+    pub query: ConjunctiveQuery,
+    /// Accessions a perfectly integrated system would return: entities
+    /// whose constrained-concept value matches *and* that are exported
+    /// by at least one schema carrying the join concept (the second
+    /// pattern needs an actual triple to bind `?v`).
+    pub true_answers: BTreeSet<String>,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// Generate a conjunctive query: a Figure-2-style constraint on a
+    /// categorical attribute joined (on the subject) with a second,
+    /// unconstrained attribute of the same schema (§2.3).
+    pub fn conjunctive<R: Rng + ?Sized>(&self, r: &mut R) -> GeneratedConjunctiveQuery {
+        loop {
+            // Reuse the single-pattern machinery for the selective leg.
+            let head = self.single(r);
+            let Some(s) = self.workload.schemas.iter().find(|s| *s.id() == head.schema) else {
+                continue;
+            };
+            // A second attribute with a *different* concept.
+            let others: Vec<(&str, ConceptId)> = s
+                .attributes()
+                .iter()
+                .filter_map(|a| {
+                    let c = self.workload.ground_truth.concept(s.id(), a)?;
+                    (c.0 != head.concept).then_some((a.as_str(), c))
+                })
+                .collect();
+            if others.is_empty() {
+                continue;
+            }
+            let (join_attr, join_concept) = others[r.gen_range(0..others.len())];
+            let query = ConjunctiveQuery::new(
+                vec!["x".into(), "v".into()],
+                vec![
+                    head.query.pattern.clone(),
+                    TriplePattern::new(
+                        PatternTerm::var("x"),
+                        PatternTerm::constant(Term::Uri(s.predicate(join_attr))),
+                        PatternTerm::var("v"),
+                    ),
+                ],
+            )
+            .expect("x and v occur in the patterns");
+            // Prune the head's truth to entities some schema can join.
+            let joinable: BTreeSet<String> = self
+                .workload
+                .schemas
+                .iter()
+                .filter(|s2| {
+                    s2.attributes().iter().any(|a| {
+                        self.workload
+                            .ground_truth
+                            .concept(s2.id(), a)
+                            .map(|c| c == join_concept)
+                            .unwrap_or(false)
+                    })
+                })
+                .flat_map(|s2| {
+                    self.workload.exports[s2.id()]
+                        .iter()
+                        .map(|&i| self.workload.entities[i].accession.clone())
+                })
+                .collect();
+            let true_answers: BTreeSet<String> = head
+                .true_answers
+                .intersection(&joinable)
+                .cloned()
+                .collect();
+            return GeneratedConjunctiveQuery {
+                schema: head.schema,
+                constrained_concept: head.concept,
+                join_concept: join_concept.0,
+                query,
+                true_answers,
+            };
+        }
+    }
+
+    /// A batch of conjunctive queries.
+    pub fn conjunctive_batch<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        r: &mut R,
+    ) -> Vec<GeneratedConjunctiveQuery> {
+        (0..n).map(|_| self.conjunctive(r)).collect()
+    }
+}
+
+/// Recall of a result set against a query's global ground truth:
+/// |found ∩ true| / |true| (1.0 when nothing is true).
+pub fn recall(found: &BTreeSet<String>, truth: &BTreeSet<String>) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    found.intersection(truth).count() as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::WorkloadConfig;
+    use gridvine_netsim::rng;
+
+    fn setup() -> Workload {
+        Workload::generate(WorkloadConfig::small(5))
+    }
+
+    #[test]
+    fn generated_queries_have_answers() {
+        let w = setup();
+        let g = QueryGenerator::new(&w, QueryConfig::default());
+        let mut r = rng::seeded(1);
+        let qs = g.batch(50, &mut r);
+        assert_eq!(qs.len(), 50);
+        let with_answers = qs.iter().filter(|q| !q.true_answers.is_empty()).count();
+        // Values are drawn from the pools that generated the data, so
+        // most constraints must be satisfiable.
+        assert!(with_answers > 25, "{with_answers}/50 answerable");
+    }
+
+    #[test]
+    fn queries_are_well_formed() {
+        let w = setup();
+        let g = QueryGenerator::new(&w, QueryConfig::default());
+        let mut r = rng::seeded(2);
+        for q in g.batch(30, &mut r) {
+            assert_eq!(q.query.distinguished, "x");
+            assert!(q.query.pattern.subject.is_var());
+            let pred = q.query.pattern.predicate.as_const().expect("constant predicate");
+            assert!(pred.lexical().starts_with(q.schema.as_str()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = setup();
+        let g = QueryGenerator::new(&w, QueryConfig::default());
+        let a: Vec<String> = g
+            .batch(10, &mut rng::seeded(3))
+            .iter()
+            .map(|q| q.query.to_string())
+            .collect();
+        let b: Vec<String> = g
+            .batch(10, &mut rng::seeded(3))
+            .iter()
+            .map(|q| q.query.to_string())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure2_query_is_answerable() {
+        let w = setup();
+        let g = QueryGenerator::new(&w, QueryConfig::default());
+        let q = g.figure2();
+        assert!(!q.true_answers.is_empty());
+        assert_eq!(q.schema, SchemaId::new("EMBL"));
+    }
+
+    #[test]
+    fn recall_math() {
+        let truth: BTreeSet<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let found: BTreeSet<String> = ["a", "b", "x"].iter().map(|s| s.to_string()).collect();
+        assert!((recall(&found, &truth) - 0.5).abs() < 1e-12);
+        assert_eq!(recall(&found, &BTreeSet::new()), 1.0);
+        assert_eq!(recall(&BTreeSet::new(), &truth), 0.0);
+    }
+
+    #[test]
+    fn conjunctive_queries_are_well_formed_and_answerable() {
+        let w = setup();
+        let g = QueryGenerator::new(&w, QueryConfig::default());
+        let mut r = rng::seeded(6);
+        let qs = g.conjunctive_batch(30, &mut r);
+        for q in &qs {
+            assert_eq!(q.query.patterns.len(), 2);
+            assert_ne!(q.constrained_concept, q.join_concept);
+            assert_eq!(q.query.distinguished, vec!["x".to_string(), "v".to_string()]);
+            // Both predicates belong to the same schema.
+            for p in &q.query.patterns {
+                let pred = p.predicate.as_const().expect("constant predicate");
+                assert!(pred.lexical().starts_with(q.schema.as_str()));
+            }
+            // Conjunctive truth never exceeds the head pattern's truth.
+            assert!(q.true_answers.len() <= w.entities.len());
+        }
+        let answerable = qs.iter().filter(|q| !q.true_answers.is_empty()).count();
+        assert!(answerable > 15, "{answerable}/30 answerable");
+    }
+
+    #[test]
+    fn conjunctive_generation_is_deterministic() {
+        let w = setup();
+        let g = QueryGenerator::new(&w, QueryConfig::default());
+        let a: Vec<String> = g
+            .conjunctive_batch(8, &mut rng::seeded(7))
+            .iter()
+            .map(|q| q.query.to_string())
+            .collect();
+        let b: Vec<String> = g
+            .conjunctive_batch(8, &mut rng::seeded(7))
+            .iter()
+            .map(|q| q.query.to_string())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_skew_prefers_popular_schemas() {
+        let w = Workload::generate(WorkloadConfig {
+            schemas: 20,
+            ..WorkloadConfig::small(9)
+        });
+        let g = QueryGenerator::new(
+            &w,
+            QueryConfig {
+                schema_skew: 1.2,
+                ..QueryConfig::default()
+            },
+        );
+        let mut r = rng::seeded(4);
+        let qs = g.batch(400, &mut r);
+        let first_schema = w.schemas[0].id().clone();
+        let hits = qs.iter().filter(|q| q.schema == first_schema).count();
+        assert!(hits > 40, "rank-0 schema should dominate: {hits}/400");
+    }
+}

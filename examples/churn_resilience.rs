@@ -1,0 +1,116 @@
+//! Churn resilience of the overlay layer (§2.1).
+//!
+//! Deploys GridVine over the event-driven WAN simulator, lets a churn
+//! process fail and recover peers, and shows that queries keep being
+//! answered thanks to σ(p) replication and retries.
+//!
+//! Run with: `cargo run --release --example churn_resilience`
+
+use gridvine_core::MediationItem;
+use gridvine_netsim::churn::ChurnKind;
+use gridvine_netsim::prelude::*;
+use gridvine_netsim::rng;
+use gridvine_pgrid::proto::{PGridMsg, PGridNode, Status};
+use gridvine_pgrid::{BitString, KeyHasher, OrderPreservingHash, Topology};
+use gridvine_rdf::{Term, Triple};
+use rand::Rng;
+
+fn main() {
+    // 64 peers, two replicas per depth-5 path.
+    let mut rtop = rng::seeded(1);
+    let mut paths = Vec::new();
+    for leaf in 0..32 {
+        for _ in 0..2 {
+            paths.push(BitString::from_u64(leaf as u64, 5));
+        }
+    }
+    let topology = Topology::from_paths(paths, 3, &mut rtop);
+    topology.validate().expect("valid");
+
+    let mut net: Network<PGridNode<MediationItem>, PGridMsg<MediationItem>> =
+        Network::new(NetworkConfig::planetlab(), 1);
+    for i in 0..topology.len() {
+        net.add_node(PGridNode::from_topology(
+            &topology,
+            i,
+            SimDuration::from_secs(10),
+        ));
+    }
+
+    // Preload 200 items onto all replicas.
+    let hasher = OrderPreservingHash::default();
+    let mut keys = Vec::new();
+    for i in 0..200 {
+        let value = format!("protein-{i}");
+        let key = hasher.hash(&value, 24);
+        let triple = Triple::new(
+            format!("seq:P{i:04}").as_str(),
+            "DB#Name",
+            Term::literal(value),
+        );
+        for p in topology.responsible(&key).to_vec() {
+            net.node_mut(NodeId::from_index(p.index()))
+                .store_mut()
+                .insert(key.clone(), MediationItem::Triple(triple.clone()));
+        }
+        keys.push(key);
+    }
+
+    // One simulated hour of harsh churn with a query every 20 s.
+    let horizon = SimTime(3_600_000_000);
+    let mut churn = ChurnProcess::generate(&ChurnConfig::harsh(), topology.len(), horizon, 2);
+    println!(
+        "running 1 simulated hour of harsh churn ({} fail/recover events)…",
+        churn.events().len()
+    );
+    let mut qrng = rng::seeded(3);
+    let mut submitted = 0;
+    for step in 0..180 {
+        let now = SimTime(step * 20_000_000);
+        net.run_until(now);
+        for ev in churn.due(now) {
+            match ev.kind {
+                ChurnKind::Fail => net.crash(ev.node),
+                ChurnKind::Recover => net.recover(ev.node),
+            }
+        }
+        let alive = net.alive_nodes();
+        if alive.is_empty() {
+            continue;
+        }
+        let origin = alive[qrng.gen_range(0..alive.len())];
+        let key = keys[qrng.gen_range(0..keys.len())].clone();
+        net.invoke(origin, move |node, ctx| node.start_retrieve(ctx, key));
+        submitted += 1;
+    }
+    net.run_until_quiescent();
+
+    let mut ok = 0;
+    let mut failed = 0;
+    let mut latencies = Cdf::new();
+    for i in 0..topology.len() {
+        for o in net.node_mut(NodeId::from_index(i)).drain_completed() {
+            match o.status {
+                Status::Ok => {
+                    ok += 1;
+                    latencies.record_duration(o.latency());
+                }
+                _ => failed += 1,
+            }
+        }
+    }
+    println!(
+        "submitted {submitted}, answered {ok} ({:.1}%), failed {failed}",
+        100.0 * ok as f64 / submitted as f64
+    );
+    println!(
+        "answered-query latency: median {:.2}s  p95 {:.2}s",
+        latencies.median(),
+        latencies.quantile(0.95)
+    );
+    assert!(
+        ok as f64 / submitted as f64 > 0.6,
+        "replication + retries must keep the majority of queries alive"
+    );
+    println!("the overlay stayed usable through {} churn events.", churn.events().len());
+}

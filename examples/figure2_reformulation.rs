@@ -1,0 +1,83 @@
+//! Figure 2 of the paper, step by step.
+//!
+//! ```text
+//! SearchFor(x1? : (x1?, EMBL#Organism, %Aspergillus%))
+//!   1) Search For Schema Mapping   EMBL#Organism ≡ EMP#SystematicName
+//!   2) Reformulate Query           SearchFor(x2? : (x2?, EMP#SystematicName, %Aspergillus%))
+//!   3) Aggregate results           x1 = {EMBL:A78712, EMBL:A78767}
+//!                                  x2 = NEN94295-05
+//! ```
+//!
+//! Run with: `cargo run --example figure2_reformulation`
+
+use gridvine_core::{GridVineConfig, GridVineSystem};
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+use gridvine_semantic::{
+    reformulations, Correspondence, MappingKind, Provenance, Schema, SchemaId,
+};
+
+fn main() {
+    let mut gridvine = GridVineSystem::new(GridVineConfig::default());
+    let peer = PeerId(0);
+
+    // The two schemas and the bidirectional mapping of Figure 2.
+    gridvine
+        .insert_schema(peer, Schema::new("EMBL", ["Organism"]))
+        .unwrap();
+    gridvine
+        .insert_schema(peer, Schema::new("EMP", ["SystematicName"]))
+        .unwrap();
+    gridvine
+        .insert_mapping(
+            peer,
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("Organism", "SystematicName")],
+        )
+        .unwrap();
+
+    // The figure's data: A78712 and A78767 under EMBL, NEN94295-05
+    // under EMP.
+    for (s, p, o) in [
+        ("seq:A78712", "EMBL#Organism", "Aspergillus niger"),
+        ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
+        ("seq:NEN94295-05", "EMP#SystematicName", "Aspergillus oryzae"),
+    ] {
+        gridvine
+            .insert_triple(peer, Triple::new(s, p, Term::literal(o)))
+            .unwrap();
+    }
+
+    // Step 0: the original query.
+    let q1 = TriplePatternQuery::example_aspergillus();
+    println!("original:      {q1}");
+
+    // Step 1+2: search for the schema mapping, reformulate.
+    let refs = reformulations(gridvine.registry(), &q1, 5).expect("reformulates");
+    assert_eq!(refs.len(), 2);
+    let reformulated = &refs[1];
+    assert_eq!(reformulated.schema, SchemaId::new("EMP"));
+    println!("mapping:       EMBL#Organism ≡ EMP#SystematicName");
+    println!("reformulated:  {}", reformulated.query);
+
+    // Step 3: resolve both and aggregate.
+    let (x1, _) = gridvine.resolve_pattern(peer, &q1).unwrap();
+    let (x2, _) = gridvine.resolve_pattern(peer, &reformulated.query).unwrap();
+    println!("x1 = {x1:?}");
+    println!("x2 = {x2:?}");
+
+    assert_eq!(
+        x1,
+        vec![Term::uri("seq:A78712"), Term::uri("seq:A78767")],
+        "x1 must be the two EMBL records"
+    );
+    assert_eq!(
+        x2,
+        vec![Term::uri("seq:NEN94295-05")],
+        "x2 must be the EMP record"
+    );
+    println!("\nFigure 2 reproduced: both vocabularies answered one query.");
+}

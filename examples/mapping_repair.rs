@@ -1,0 +1,123 @@
+//! The §4 deprecation-and-repair storyline, end to end.
+//!
+//! "Removing some of the existing mappings fosters the creation of
+//! additional mappings, some of which get deprecated by the Bayesian
+//! analysis and are gradually replaced by other mapping paths."
+//!
+//! This example installs a trusted manual ring over six schemas plus
+//! one *erroneous* automatic chord (its correspondences swap two
+//! attributes). It then runs self-organization rounds with composition
+//! repair enabled and watches: (1) the Bayesian cycle analysis deprecate
+//! the bad chord, (2) a replacement mapping get composed from the
+//! surviving manual path, and (3) a probe query's results recover.
+//!
+//! Run with: `cargo run --release --example mapping_repair`
+
+use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
+use gridvine_pgrid::PeerId;
+use gridvine_semantic::{Correspondence, MappingKind, Provenance};
+use gridvine_workload::{Workload, WorkloadConfig};
+
+fn main() {
+    let schemas = 6;
+    let workload = Workload::generate(WorkloadConfig {
+        schemas,
+        entities: 150,
+        export_fraction: 0.4,
+        ..WorkloadConfig::small(42)
+    });
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 64,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for s in &workload.schemas {
+        sys.insert_schema(p0, s.clone()).unwrap();
+    }
+    for s in &workload.schemas {
+        sys.insert_triples(p0, workload.triples_of(s.id())).unwrap();
+    }
+
+    // The trusted manual ring: S0—S1—…—S5—S0.
+    for i in 0..schemas {
+        let a = workload.schemas[i].id().clone();
+        let b = workload.schemas[(i + 1) % schemas].id().clone();
+        let corrs = workload.ground_truth.correct_pairs(&a, &b);
+        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
+            .unwrap();
+    }
+
+    // One erroneous automatic chord S0→S2: the first two ground-truth
+    // correspondences are swapped, so compositions around the
+    // S0→S2→S1→S0 cycle survive but land on the wrong attribute.
+    let a = workload.schemas[0].id().clone();
+    let c = workload.schemas[2].id().clone();
+    let mut corrs = workload.ground_truth.correct_pairs(&a, &c);
+    assert!(corrs.len() >= 2, "need two shared concepts to swap");
+    let swapped: Vec<Correspondence> = {
+        let mut targets: Vec<String> = corrs.iter().map(|x| x.target_attr.clone()).collect();
+        targets.rotate_left(1);
+        corrs
+            .drain(..)
+            .zip(targets)
+            .map(|(x, wrong)| Correspondence::new(x.source_attr, wrong))
+            .collect()
+    };
+    let bad = sys
+        .insert_mapping(p0, a.clone(), c.clone(), MappingKind::Equivalence,
+            Provenance::Automatic, swapped)
+        .unwrap();
+    println!("installed manual ring ({schemas} mappings) + 1 erroneous chord {a}→{c}\n");
+
+    // Probe query in S0's vocabulary; with the bad chord active, the
+    // reformulation into S2's vocabulary uses the swapped attribute and
+    // pollutes the answer stream with wrong-concept values.
+    let probe = gridvine_workload::QueryGenerator::new(&workload, Default::default()).figure2();
+    let before = sys.search(PeerId(7), &probe.query, Strategy::Iterative).unwrap();
+    println!("before repair: {} results via {} schemas", before.results.len(), before.schemas_visited);
+
+    let cfg = SelfOrgConfig {
+        max_new_mappings: 0, // isolate the deprecation/repair mechanics
+        repair_with_composition: true,
+        ..SelfOrgConfig::default()
+    };
+    for round in 1..=4 {
+        let r = sys.self_organization_round(&cfg).unwrap();
+        println!(
+            "round {round}: ci = {:+.2}, deprecated {:?}, composed {:?}, {} active mappings",
+            r.ci, r.deprecated, r.composed, r.active_mappings
+        );
+        if !r.composed.is_empty() {
+            let m = sys.registry().mapping(r.composed[0]).unwrap();
+            let all_correct = m
+                .correspondences
+                .iter()
+                .all(|x| workload.ground_truth.is_correct(&m.source, &m.target, x));
+            println!(
+                "  replacement {}→{} composed from the manual path: {} correspondences, \
+                 all correct = {all_correct}, quality {:.3}",
+                m.source, m.target, m.correspondences.len(), m.quality
+            );
+            assert!(all_correct, "composed replacement must be correct");
+        }
+    }
+
+    assert!(
+        !sys.registry().mapping(bad).unwrap().is_active(),
+        "the erroneous chord must be deprecated"
+    );
+    let composed_exists = sys
+        .registry()
+        .active_mappings()
+        .any(|m| (&m.source, &m.target) == (&a, &c) && m.provenance == Provenance::Automatic);
+    assert!(composed_exists, "a composed replacement must be active");
+
+    let after = sys.search(PeerId(7), &probe.query, Strategy::Iterative).unwrap();
+    println!(
+        "\nafter repair: {} results via {} schemas (bad chord gone, composed path in place)",
+        after.results.len(),
+        after.schemas_visited
+    );
+    assert!(after.schemas_visited >= before.schemas_visited.saturating_sub(1));
+    println!("storyline reproduced: erroneous mapping deprecated, replaced by a composed path.");
+}

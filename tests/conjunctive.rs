@@ -1,0 +1,377 @@
+//! Integration tests for distributed conjunctive queries (§2.3):
+//! the overlay-resolved join must agree with a centralized oracle, and
+//! both join modes and both dissemination strategies must agree with
+//! each other — including across schema mappings.
+
+use gridvine_core::{
+    ConjunctiveOutcome, GridVineConfig, GridVineSystem, JoinMode, Strategy,
+};
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{
+    parse_query, Binding, ConjunctiveQuery, PatternTerm, Term, Triple, TriplePattern, TripleStore,
+};
+use gridvine_semantic::{MappingKind, Provenance, Schema};
+use gridvine_workload::{Workload, WorkloadConfig};
+use proptest::prelude::*;
+// `gridvine_core::Strategy` shadows the proptest trait of the same name
+// from the prelude glob; bring the trait's methods back into scope.
+use proptest::strategy::Strategy as _;
+
+const ALL_MODES: [JoinMode; 2] = [JoinMode::Independent, JoinMode::BoundSubstitution];
+const ALL_STRATEGIES: [Strategy; 2] = [Strategy::Iterative, Strategy::Recursive];
+
+/// Single-schema system + a mirror store: the distributed evaluation has
+/// a trivially checkable centralized oracle.
+fn single_schema_system(triples: &[Triple]) -> (GridVineSystem, TripleStore) {
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 32,
+        seed: 0xC0,
+        ..GridVineConfig::default()
+    });
+    sys.insert_schema(PeerId(0), Schema::new("S", ["a0", "a1", "a2", "a3"]))
+        .unwrap();
+    let mut oracle = TripleStore::new();
+    for t in triples {
+        sys.insert_triple(PeerId(0), t.clone()).unwrap();
+        oracle.insert(t.clone());
+    }
+    (sys, oracle)
+}
+
+fn rows(out: &ConjunctiveOutcome) -> Vec<String> {
+    out.bindings.iter().map(|b| b.to_string()).collect()
+}
+
+fn oracle_rows(q: &ConjunctiveQuery, store: &TripleStore) -> Vec<String> {
+    let mut v: Vec<String> = q.evaluate(store).iter().map(Binding::to_string).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn parsed_rdql_conjunction_matches_oracle() {
+    let triples = vec![
+        Triple::new("e:1", "S#a0", Term::literal("Aspergillus niger")),
+        Triple::new("e:1", "S#a1", Term::literal("1042")),
+        Triple::new("e:2", "S#a0", Term::literal("Aspergillus oryzae")),
+        Triple::new("e:2", "S#a1", Term::literal("2210")),
+        Triple::new("e:3", "S#a0", Term::literal("Escherichia coli")),
+        Triple::new("e:3", "S#a1", Term::literal("512")),
+        Triple::new("e:4", "S#a0", Term::literal("Aspergillus flavus")),
+        // e:4 has no a1 fact: must not survive the join.
+    ];
+    let (mut sys, oracle) = single_schema_system(&triples);
+    let q = parse_query(
+        r#"SELECT ?x, ?len WHERE (?x, <S#a0>, "%Aspergillus%"), (?x, <S#a1>, ?len)"#,
+    )
+    .unwrap();
+    let expected = oracle_rows(&q, &oracle);
+    assert_eq!(expected.len(), 2);
+    for strategy in ALL_STRATEGIES {
+        for mode in ALL_MODES {
+            let out = sys.search_conjunctive(PeerId(9), &q, strategy, mode).unwrap();
+            assert_eq!(rows(&out), expected, "{strategy:?}/{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn three_pattern_chain_join() {
+    // x --a0--> organism, x --a1--> len, len appears as a2-subject link:
+    // exercise a join variable that is an *object* in one pattern and a
+    // *subject* in another.
+    let triples = vec![
+        Triple::new("e:1", "S#a0", Term::literal("Aspergillus niger")),
+        Triple::new("e:1", "S#a1", Term::uri("lab:alpha")),
+        Triple::new("lab:alpha", "S#a2", Term::literal("Lausanne")),
+        Triple::new("e:2", "S#a0", Term::literal("Aspergillus oryzae")),
+        Triple::new("e:2", "S#a1", Term::uri("lab:beta")),
+        // lab:beta has no a2 fact.
+        Triple::new("e:3", "S#a0", Term::literal("Penicillium notatum")),
+        Triple::new("e:3", "S#a1", Term::uri("lab:alpha")),
+    ];
+    let (mut sys, oracle) = single_schema_system(&triples);
+    let q = ConjunctiveQuery::new(
+        vec!["x".into(), "city".into()],
+        vec![
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("S#a0")),
+                PatternTerm::constant(Term::literal("%Aspergillus%")),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("S#a1")),
+                PatternTerm::var("lab"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("lab"),
+                PatternTerm::constant(Term::uri("S#a2")),
+                PatternTerm::var("city"),
+            ),
+        ],
+    )
+    .unwrap();
+    let expected = oracle_rows(&q, &oracle);
+    assert_eq!(expected.len(), 1, "only e:1 survives all three patterns");
+    for strategy in ALL_STRATEGIES {
+        for mode in ALL_MODES {
+            let out = sys.search_conjunctive(PeerId(2), &q, strategy, mode).unwrap();
+            assert_eq!(rows(&out), expected, "{strategy:?}/{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn conjunctive_query_crosses_mappings_on_every_pattern() {
+    // Two-schema federation: organism + length facts exist only in the
+    // EMP vocabulary for one entity. A conjunctive EMBL query must pick
+    // it up through the mapping on *both* patterns.
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 32,
+        seed: 7,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    sys.insert_schema(p0, Schema::new("EMBL", ["Organism", "SequenceLength"]))
+        .unwrap();
+    sys.insert_schema(p0, Schema::new("EMP", ["SystematicName", "Length"]))
+        .unwrap();
+    sys.insert_mapping(
+        p0,
+        "EMBL",
+        "EMP",
+        MappingKind::Equivalence,
+        Provenance::Manual,
+        vec![
+            gridvine_semantic::Correspondence::new("Organism", "SystematicName"),
+            gridvine_semantic::Correspondence::new("SequenceLength", "Length"),
+        ],
+    )
+    .unwrap();
+    for (s, p, o) in [
+        ("seq:A1", "EMBL#Organism", "Aspergillus niger"),
+        ("seq:A1", "EMBL#SequenceLength", "100"),
+        ("seq:B1", "EMP#SystematicName", "Aspergillus oryzae"),
+        ("seq:B1", "EMP#Length", "200"),
+    ] {
+        sys.insert_triple(p0, Triple::new(s, p, Term::literal(o))).unwrap();
+    }
+    let q = parse_query(
+        r#"SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#SequenceLength>, ?len)"#,
+    )
+    .unwrap();
+    for strategy in ALL_STRATEGIES {
+        for mode in ALL_MODES {
+            let out = sys.search_conjunctive(PeerId(5), &q, strategy, mode).unwrap();
+            let r = rows(&out);
+            assert_eq!(r.len(), 2, "{strategy:?}/{mode:?}: {r:?}");
+            assert!(r.iter().any(|s| s.contains("seq:B1") && s.contains("200")),
+                "{strategy:?}/{mode:?} must find the EMP-side join: {r:?}");
+            assert!(out.reformulations >= 1, "{strategy:?}/{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn workload_conjunctive_queries_agree_across_modes() {
+    // On the generated corpus (several schemas, manual chain), pair two
+    // attributes of the same schema into a conjunctive query and check
+    // mode/strategy agreement.
+    let w = Workload::generate(WorkloadConfig {
+        schemas: 6,
+        entities: 80,
+        export_fraction: 0.5,
+        ..WorkloadConfig::small(11)
+    });
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 48,
+        seed: 11,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for s in &w.schemas {
+        sys.insert_schema(p0, s.clone()).unwrap();
+    }
+    for s in &w.schemas {
+        sys.insert_triples(p0, w.triples_of(s.id())).unwrap();
+    }
+    for i in 0..w.schemas.len() - 1 {
+        let a = w.schemas[i].id().clone();
+        let b = w.schemas[i + 1].id().clone();
+        let corrs = w.ground_truth.correct_pairs(&a, &b);
+        if !corrs.is_empty() {
+            sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
+                .unwrap();
+        }
+    }
+    // Query: entities with attribute-0 value anything, plus attribute-1
+    // value anything — both facts must exist for the same subject.
+    let schema = &w.schemas[0];
+    let attrs: Vec<&str> = schema.attributes().iter().take(2).map(String::as_str).collect();
+    assert!(attrs.len() == 2, "schema has at least two attributes");
+    let q = ConjunctiveQuery::new(
+        vec!["x".into()],
+        vec![
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri(format!("{}#{}", schema.id(), attrs[0]))),
+                PatternTerm::var("v0"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri(format!("{}#{}", schema.id(), attrs[1]))),
+                PatternTerm::var("v1"),
+            ),
+        ],
+    )
+    .unwrap();
+    let baseline = sys
+        .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
+        .unwrap();
+    assert!(!baseline.bindings.is_empty(), "corpus yields join results");
+    for strategy in ALL_STRATEGIES {
+        for mode in ALL_MODES {
+            let out = sys.search_conjunctive(PeerId(1), &q, strategy, mode).unwrap();
+            assert_eq!(rows(&out), rows(&baseline), "{strategy:?}/{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn generated_conjunctive_queries_reach_ground_truth_recall() {
+    // Full manual chain over the corpus: generated conjunctive queries
+    // must recover a substantial fraction of their global ground truth,
+    // with both join modes returning identical accessions.
+    use gridvine_workload::{recall, QueryConfig, QueryGenerator};
+    use std::collections::BTreeSet;
+
+    let w = Workload::generate(WorkloadConfig {
+        schemas: 6,
+        entities: 80,
+        export_fraction: 0.5,
+        ..WorkloadConfig::small(21)
+    });
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 48,
+        seed: 21,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for s in &w.schemas {
+        sys.insert_schema(p0, s.clone()).unwrap();
+    }
+    for s in &w.schemas {
+        sys.insert_triples(p0, w.triples_of(s.id())).unwrap();
+    }
+    for i in 0..w.schemas.len() - 1 {
+        let a = w.schemas[i].id().clone();
+        let b = w.schemas[i + 1].id().clone();
+        let corrs = w.ground_truth.correct_pairs(&a, &b);
+        if !corrs.is_empty() {
+            sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
+                .unwrap();
+        }
+    }
+
+    let gen = QueryGenerator::new(&w, QueryConfig::default());
+    let mut rng = gridvine_netsim::rng::seeded(9);
+    let mut recalls = Vec::new();
+    for g in gen.conjunctive_batch(10, &mut rng) {
+        if g.true_answers.is_empty() {
+            continue;
+        }
+        let accessions = |out: &ConjunctiveOutcome| -> BTreeSet<String> {
+            out.bindings
+                .iter()
+                .filter_map(|b| b.get("x"))
+                .filter_map(|t| t.as_uri())
+                .filter_map(|u| u.as_str().strip_prefix("seq:").map(str::to_string))
+                .collect()
+        };
+        let ind = sys
+            .search_conjunctive(PeerId(2), &g.query, Strategy::Iterative, JoinMode::Independent)
+            .unwrap();
+        let bnd = sys
+            .search_conjunctive(
+                PeerId(2),
+                &g.query,
+                Strategy::Iterative,
+                JoinMode::BoundSubstitution,
+            )
+            .unwrap();
+        let found = accessions(&ind);
+        assert_eq!(found, accessions(&bnd), "modes disagree on {}", g.query);
+        // Everything found must be true: the constrained value pools are
+        // disjoint across concepts, so precision is exact.
+        for acc in &found {
+            assert!(
+                g.true_answers.contains(acc),
+                "false positive {acc} for {}",
+                g.query
+            );
+        }
+        recalls.push(recall(&found, &g.true_answers));
+    }
+    assert!(recalls.len() >= 5, "most generated queries are answerable");
+    let mean = recalls.iter().sum::<f64>() / recalls.len() as f64;
+    assert!(
+        mean > 0.5,
+        "full chain should integrate most join answers, mean recall {mean}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property: distributed conjunctive evaluation == centralized oracle,
+// for random corpora and a random two-pattern join query.
+// ---------------------------------------------------------------------
+
+fn arb_triples() -> impl proptest::strategy::Strategy<Value = Vec<Triple>> {
+    // Small pools force joins and collisions.
+    let subj = prop::sample::select(vec!["e:1", "e:2", "e:3", "e:4", "e:5"]);
+    let pred = prop::sample::select(vec!["S#a0", "S#a1", "S#a2", "S#a3"]);
+    let obj = prop::sample::select(vec!["alpha", "beta", "gamma", "delta"]);
+    prop::collection::vec((subj, pred, obj), 1..25).prop_map(|v| {
+        v.into_iter()
+            .map(|(s, p, o)| Triple::new(s, p, Term::literal(o)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_join_matches_centralized_oracle(
+        triples in arb_triples(),
+        p1 in prop::sample::select(vec!["S#a0", "S#a1"]),
+        p2 in prop::sample::select(vec!["S#a2", "S#a3", "S#a0"]),
+        constrain_obj in prop::sample::select(vec!["alpha", "beta"]),
+    ) {
+        let (mut sys, oracle) = single_schema_system(&triples);
+        let q = ConjunctiveQuery::new(
+            vec!["x".into(), "v".into()],
+            vec![
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri(p1)),
+                    PatternTerm::constant(Term::literal(constrain_obj)),
+                ),
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri(p2)),
+                    PatternTerm::var("v"),
+                ),
+            ],
+        ).unwrap();
+        let expected = oracle_rows(&q, &oracle);
+        for strategy in ALL_STRATEGIES {
+            for mode in ALL_MODES {
+                let out = sys
+                    .search_conjunctive(PeerId(3), &q, strategy, mode)
+                    .unwrap();
+                prop_assert_eq!(rows(&out), expected.clone(), "{:?}/{:?}", strategy, mode);
+            }
+        }
+    }
+}

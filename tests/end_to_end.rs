@@ -1,0 +1,254 @@
+//! Cross-crate integration tests: the full GridVine stack, from the
+//! workload generator through the overlay to reformulated answers.
+
+use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{parse_single, Term, Triple};
+use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+use gridvine_workload::{recall, QueryConfig, QueryGenerator, Workload, WorkloadConfig};
+use std::collections::BTreeSet;
+
+/// Load a workload into a system with `seed_mappings` manual links.
+fn load_system(
+    schemas: usize,
+    seed_mappings: usize,
+    seed: u64,
+) -> (GridVineSystem, Workload) {
+    let w = Workload::generate(WorkloadConfig {
+        schemas,
+        entities: 120,
+        export_fraction: 0.4,
+        ..WorkloadConfig::small(seed)
+    });
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 48,
+        seed,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for s in &w.schemas {
+        sys.insert_schema(p0, s.clone()).unwrap();
+    }
+    for s in &w.schemas {
+        sys.insert_triples(p0, w.triples_of(s.id())).unwrap();
+    }
+    for i in 0..seed_mappings.min(schemas - 1) {
+        let a = w.schemas[i].id().clone();
+        let b = w.schemas[i + 1].id().clone();
+        let corrs = w.ground_truth.correct_pairs(&a, &b);
+        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
+            .unwrap();
+    }
+    (sys, w)
+}
+
+#[test]
+fn rdql_to_answers_across_the_dht() {
+    let (mut sys, _) = load_system(8, 7, 1);
+    let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
+    let out = sys.search(PeerId(33), &q, Strategy::Iterative).unwrap();
+    assert!(!out.results.is_empty());
+    // Results from more than one schema when a chain exists: the
+    // reformulations must have reached beyond EMBL.
+    assert!(out.schemas_visited > 1);
+}
+
+#[test]
+fn iterative_and_recursive_agree_on_results() {
+    let (mut sys, w) = load_system(8, 7, 2);
+    let generator = QueryGenerator::new(&w, QueryConfig::default());
+    let mut rng = gridvine_netsim::rng::seeded(5);
+    for g in generator.batch(15, &mut rng) {
+        let a = sys
+            .search(PeerId(1), &g.query, Strategy::Iterative)
+            .unwrap();
+        let b = sys
+            .search(PeerId(1), &g.query, Strategy::Recursive)
+            .unwrap();
+        let ra: BTreeSet<&Term> = a.results.iter().collect();
+        let rb: BTreeSet<&Term> = b.results.iter().collect();
+        assert_eq!(ra, rb, "strategies disagree on {}", g.query);
+    }
+}
+
+#[test]
+fn full_chain_reaches_everything_reachable() {
+    // With a full manual chain over all schemas, a query about a
+    // concept every schema carries (organism, concept 0) must reach all
+    // entities whose value matches and are exported by some schema with
+    // an organism attribute.
+    let (mut sys, w) = load_system(6, 5, 3);
+    let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
+    let out = sys.search(PeerId(0), &q, Strategy::Iterative).unwrap();
+
+    // Compute the reachable ground truth by hand.
+    let mut expected: BTreeSet<String> = BTreeSet::new();
+    for s in &w.schemas {
+        let Some(organism_attr) = s
+            .attributes()
+            .iter()
+            .find(|a| {
+                w.ground_truth
+                    .concept(s.id(), a)
+                    .map(|c| c.0 == 0)
+                    .unwrap_or(false)
+            })
+            .cloned()
+        else {
+            continue;
+        };
+        // Only canonical-format schemas can match the pattern text.
+        let _ = organism_attr;
+        for &i in &w.exports[s.id()] {
+            let e = &w.entities[i];
+            let rendered = w.rendered_value(s.id(), 0, e);
+            if rendered.contains("Aspergillus") {
+                expected.insert(e.accession.clone());
+            }
+        }
+    }
+    assert_eq!(out.accessions, expected);
+}
+
+#[test]
+fn self_organization_converges_to_connected_and_stops() {
+    let (mut sys, _) = load_system(8, 1, 4);
+    let cfg = SelfOrgConfig {
+        max_new_mappings: 8,
+        ..SelfOrgConfig::default()
+    };
+    let mut quiesced = false;
+    for _ in 0..12 {
+        let rep = sys.self_organization_round(&cfg).unwrap();
+        if rep.strongly_connected && rep.created.is_empty() && rep.deprecated.is_empty() {
+            quiesced = true;
+            break;
+        }
+    }
+    assert!(quiesced, "self-organization should reach a connected fixpoint");
+    assert!(sys.registry().is_strongly_connected());
+}
+
+#[test]
+fn recall_improves_monotonically_with_mapping_knowledge() {
+    let (mut sparse, w) = load_system(8, 1, 5);
+    let (mut dense, _) = load_system(8, 7, 5);
+    let generator = QueryGenerator::new(&w, QueryConfig::default());
+    let mut rng = gridvine_netsim::rng::seeded(6);
+    let mut sparse_recall = 0.0;
+    let mut dense_recall = 0.0;
+    let mut n = 0;
+    for g in generator.batch(20, &mut rng) {
+        if g.true_answers.is_empty() {
+            continue;
+        }
+        let a = sparse.search(PeerId(2), &g.query, Strategy::Iterative).unwrap();
+        let b = dense.search(PeerId(2), &g.query, Strategy::Iterative).unwrap();
+        sparse_recall += recall(&a.accessions, &g.true_answers);
+        dense_recall += recall(&b.accessions, &g.true_answers);
+        n += 1;
+    }
+    assert!(n > 0);
+    assert!(
+        dense_recall >= sparse_recall,
+        "denser mapping network must not lose recall ({sparse_recall} vs {dense_recall})"
+    );
+    assert!(dense_recall > sparse_recall, "and should strictly gain on this corpus");
+}
+
+#[test]
+fn figure2_exact_values() {
+    // The verbatim Figure-2 data through the whole stack.
+    let mut sys = GridVineSystem::new(GridVineConfig::default());
+    let p = PeerId(0);
+    sys.insert_schema(p, Schema::new("EMBL", ["Organism"])).unwrap();
+    sys.insert_schema(p, Schema::new("EMP", ["SystematicName"])).unwrap();
+    sys.insert_mapping(
+        p,
+        "EMBL",
+        "EMP",
+        MappingKind::Equivalence,
+        Provenance::Manual,
+        vec![Correspondence::new("Organism", "SystematicName")],
+    )
+    .unwrap();
+    for (s, o) in [
+        ("seq:A78712", "Aspergillus niger"),
+        ("seq:A78767", "Aspergillus nidulans"),
+    ] {
+        sys.insert_triple(p, Triple::new(s, "EMBL#Organism", Term::literal(o)))
+            .unwrap();
+    }
+    sys.insert_triple(
+        p,
+        Triple::new(
+            "seq:NEN94295-05",
+            "EMP#SystematicName",
+            Term::literal("Aspergillus oryzae"),
+        ),
+    )
+    .unwrap();
+
+    let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
+    let out = sys.search(PeerId(5), &q, Strategy::Recursive).unwrap();
+    assert_eq!(
+        out.accessions,
+        BTreeSet::from([
+            "A78712".to_string(),
+            "A78767".to_string(),
+            "NEN94295-05".to_string()
+        ])
+    );
+}
+
+#[test]
+fn subsumption_mappings_reformulate_one_way_only() {
+    // GAV inclusion (§3): EMBL#Organism ⊑ TAXA#ScientificName. A query
+    // posed against the subsumed schema (EMBL) may be answered by the
+    // subsuming one (TAXA); the reverse reformulation is NOT licensed —
+    // TAXA names need not be EMBL organisms.
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 32,
+        ..GridVineConfig::default()
+    });
+    let p = PeerId(0);
+    sys.insert_schema(p, Schema::new("EMBL", ["Organism"])).unwrap();
+    sys.insert_schema(p, Schema::new("TAXA", ["ScientificName"])).unwrap();
+    sys.insert_mapping(
+        p,
+        "EMBL",
+        "TAXA",
+        MappingKind::Subsumption,
+        Provenance::Manual,
+        vec![Correspondence::new("Organism", "ScientificName")],
+    )
+    .unwrap();
+    sys.insert_triple(
+        p,
+        Triple::new("seq:E1", "EMBL#Organism", Term::literal("Aspergillus niger")),
+    )
+    .unwrap();
+    sys.insert_triple(
+        p,
+        Triple::new("tax:T1", "TAXA#ScientificName", Term::literal("Aspergillus oryzae")),
+    )
+    .unwrap();
+
+    for strategy in [Strategy::Iterative, Strategy::Recursive] {
+        // Forward: EMBL query reaches both vocabularies.
+        let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
+        let out = sys.search(PeerId(3), &q, strategy).unwrap();
+        assert_eq!(out.results.len(), 2, "{strategy:?}: {:?}", out.results);
+        assert_eq!(out.schemas_visited, 2, "{strategy:?}");
+
+        // Backward: TAXA query stays in TAXA.
+        let q = parse_single(
+            r#"SELECT ?x WHERE (?x, <TAXA#ScientificName>, "%Aspergillus%")"#,
+        )
+        .unwrap();
+        let out = sys.search(PeerId(3), &q, strategy).unwrap();
+        assert_eq!(out.results.len(), 1, "{strategy:?}: {:?}", out.results);
+        assert_eq!(out.schemas_visited, 1, "{strategy:?}");
+        assert!(out.results.contains(&Term::uri("tax:T1")));
+    }
+}

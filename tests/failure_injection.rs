@@ -1,0 +1,246 @@
+//! Failure-injection integration tests: crashed peers, message loss and
+//! poisoned mappings must degrade the system gracefully, never corrupt
+//! it.
+
+use gridvine_core::{GridVineConfig, GridVineSystem, MediationItem, SelfOrgConfig, Strategy};
+use gridvine_netsim::prelude::*;
+use gridvine_pgrid::proto::{PGridMsg, PGridNode, Status};
+use gridvine_pgrid::{KeyHasher, OrderPreservingHash, PeerId, Topology};
+use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+use gridvine_workload::{Workload, WorkloadConfig};
+
+type Net = Network<PGridNode<MediationItem>, PGridMsg<MediationItem>>;
+
+fn wired(n: usize, loss: f64, seed: u64) -> (Net, Topology) {
+    let mut rng = gridvine_netsim::rng::seeded(seed);
+    let topo = Topology::balanced(n, 3, &mut rng);
+    let cfg = NetworkConfig {
+        loss_probability: loss,
+        ..NetworkConfig::lan()
+    };
+    let mut net: Net = Network::new(cfg, seed);
+    for i in 0..n {
+        net.add_node(PGridNode::from_topology(
+            &topo,
+            i,
+            SimDuration::from_secs(5),
+        ));
+    }
+    (net, topo)
+}
+
+#[test]
+fn message_loss_is_survived_by_retries() {
+    let (mut net, topo) = wired(64, 0.10, 1);
+    let h = OrderPreservingHash::default();
+    // Preload 50 items on the responsible peers.
+    let mut keys = Vec::new();
+    for i in 0..50 {
+        let key = h.hash(&format!("item-{i}"), 24);
+        let t = Triple::new(format!("seq:I{i}").as_str(), "DB#V", Term::literal("x"));
+        for p in topo.responsible(&key).to_vec() {
+            net.node_mut(NodeId::from_index(p.index()))
+                .store_mut()
+                .insert(key.clone(), MediationItem::Triple(t.clone()));
+        }
+        keys.push(key);
+    }
+    for (i, key) in keys.iter().enumerate() {
+        let origin = NodeId::from_index(i % 64);
+        let k = key.clone();
+        net.invoke(origin, move |node, ctx| node.start_retrieve(ctx, k));
+    }
+    net.run_until_quiescent();
+    let mut ok = 0;
+    let mut total = 0;
+    for i in 0..64 {
+        for o in net.node_mut(NodeId::from_index(i)).drain_completed() {
+            total += 1;
+            if o.status == Status::Ok {
+                ok += 1;
+            }
+        }
+    }
+    assert_eq!(total, 50, "every request must complete one way or another");
+    // 10% per-message loss across ~8 messages kills ~half the first
+    // attempts; with 2 retries nearly everything gets through.
+    assert!(ok >= 45, "only {ok}/50 answered under 10% loss");
+}
+
+#[test]
+fn poisoned_mapping_cannot_break_unrelated_queries() {
+    // A totally wrong mapping may add garbage reformulations but must
+    // never remove correct results.
+    let mut sys = GridVineSystem::new(GridVineConfig::default());
+    let p = PeerId(0);
+    sys.insert_schema(p, Schema::new("EMBL", ["Organism"])).unwrap();
+    sys.insert_schema(p, Schema::new("JUNK", ["Garbage"])).unwrap();
+    sys.insert_triple(
+        p,
+        Triple::new("seq:A1", "EMBL#Organism", Term::literal("Aspergillus niger")),
+    )
+    .unwrap();
+    let q = TriplePatternQuery::example_aspergillus();
+    let before = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
+
+    sys.insert_mapping(
+        p,
+        "EMBL",
+        "JUNK",
+        MappingKind::Equivalence,
+        Provenance::Automatic,
+        vec![Correspondence::new("Organism", "Garbage")],
+    )
+    .unwrap();
+    let after = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
+    assert_eq!(before.results, after.results, "poison must not eat results");
+    assert_eq!(after.reformulations, 1, "the junk reformulation ran (and found nothing)");
+}
+
+#[test]
+fn self_organization_with_noisy_matcher_still_terminates() {
+    let w = Workload::generate(WorkloadConfig::small(9));
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 32,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for s in &w.schemas {
+        sys.insert_schema(p0, s.clone()).unwrap();
+    }
+    for s in &w.schemas {
+        sys.insert_triples(p0, w.triples_of(s.id())).unwrap();
+    }
+    let a = w.schemas[0].id().clone();
+    let b = w.schemas[1].id().clone();
+    sys.insert_mapping(
+        p0,
+        a,
+        b,
+        MappingKind::Equivalence,
+        Provenance::Manual,
+        w.ground_truth
+            .correct_pairs(w.schemas[0].id(), w.schemas[1].id()),
+    )
+    .unwrap();
+
+    let cfg = SelfOrgConfig {
+        error_rate: 0.5, // every other created correspondence corrupted
+        max_new_mappings: 4,
+        ..SelfOrgConfig::default()
+    };
+    for _ in 0..6 {
+        let rep = sys.self_organization_round(&cfg).unwrap();
+        // The system never deprecates manual mappings, whatever happens.
+        assert!(sys
+            .registry()
+            .mappings()
+            .filter(|m| m.provenance == Provenance::Manual)
+            .all(|m| m.is_active()));
+        let _ = rep;
+    }
+    // Queries still run after all that.
+    let q = TriplePatternQuery::example_aspergillus();
+    let out = sys.search(PeerId(3), &q, Strategy::Iterative).unwrap();
+    assert!(out.schemas_visited >= 1);
+}
+
+#[test]
+fn crashed_majority_still_serves_surviving_keys() {
+    let (mut net, topo) = wired(32, 0.0, 3);
+    let h = OrderPreservingHash::default();
+    let key = h.hash("survivor", 24);
+    let t = Triple::new("seq:S", "DB#V", Term::literal("survivor"));
+    for p in topo.responsible(&key).to_vec() {
+        net.node_mut(NodeId::from_index(p.index()))
+            .store_mut()
+            .insert(key.clone(), MediationItem::Triple(t.clone()));
+    }
+    // Crash half the network, but keep the responsible group and one
+    // origin alive.
+    let keep: Vec<usize> = topo.responsible(&key).iter().map(|p| p.index()).collect();
+    let origin = (0..32).find(|i| !keep.contains(i)).unwrap();
+    let mut crashed = 0;
+    for i in 0..32 {
+        if i != origin && !keep.contains(&i) && crashed < 16 {
+            net.crash(NodeId::from_index(i));
+            crashed += 1;
+        }
+    }
+    // Retries route around the dead half often enough to succeed
+    // within a few attempts.
+    let mut ok = false;
+    for _ in 0..10 {
+        let k = key.clone();
+        let o = NodeId::from_index(origin);
+        net.invoke(o, move |node, ctx| node.start_retrieve(ctx, k));
+        net.run_until_quiescent();
+        if net
+            .node_mut(NodeId::from_index(origin))
+            .drain_completed()
+            .iter()
+            .any(|r| r.status == Status::Ok)
+        {
+            ok = true;
+            break;
+        }
+    }
+    assert!(ok, "the surviving replica group must remain reachable");
+}
+
+#[test]
+fn reformulated_dissemination_survives_message_loss() {
+    // 5 % message loss on the WAN: the retry machinery must still let
+    // reformulated queries reach other schemas, with only a small
+    // residue of timed-out chains.
+    use gridvine_core::{Deployment, DeploymentConfig};
+    use gridvine_rdf::TriplePatternQuery;
+    use gridvine_semantic::{MappingKind as MK, MappingRegistry, Provenance as Pv};
+    use gridvine_workload::{QueryConfig, QueryGenerator};
+
+    let w = Workload::generate(WorkloadConfig::small(31));
+    let mut d = Deployment::new(DeploymentConfig {
+        peers: 48,
+        network: gridvine_netsim::NetworkConfig::lossy_planetlab(0.05),
+        ..DeploymentConfig::paper(31)
+    });
+    let triples: Vec<Triple> = w.all_triples().into_iter().map(|(_, t)| t).collect();
+    d.preload(triples);
+    let mut registry = MappingRegistry::new();
+    for s in &w.schemas {
+        registry.add_schema(s.clone());
+    }
+    for i in 0..w.schemas.len() - 1 {
+        let a = w.schemas[i].id().clone();
+        let b = w.schemas[i + 1].id().clone();
+        let corrs = w.ground_truth.correct_pairs(&a, &b);
+        if !corrs.is_empty() {
+            registry.add_mapping(a, b, MK::Equivalence, Pv::Manual, corrs);
+        }
+    }
+    let mappings: Vec<_> = registry.mappings().cloned().collect();
+    d.preload_mediation(w.schemas.clone(), mappings.iter());
+    for i in 0..48 {
+        d.network_mut()
+            .node_mut(gridvine_netsim::NodeId::from_index(i))
+            .set_retries(3);
+    }
+
+    let gen = QueryGenerator::new(&w, QueryConfig::default());
+    let mut r = gridvine_netsim::rng::seeded(8);
+    let queries: Vec<TriplePatternQuery> =
+        gen.batch(30, &mut r).into_iter().map(|g| g.query).collect();
+    let rep = d.run_reformulated_queries(&queries, 6);
+    assert!(rep.answered > 15, "answered {} of 30 under loss", rep.answered);
+    assert!(rep.mean_schemas > 1.5, "dissemination still spreads: {rep:?}");
+    // Retries convert most losses into successes; a residue may still
+    // time out, but it must stay a small fraction of all requests.
+    let requests = rep.mapping_fetches + rep.data_lookups;
+    assert!(
+        (rep.timed_out as f64) < 0.15 * requests as f64,
+        "{} of {} requests timed out",
+        rep.timed_out,
+        requests
+    );
+}

@@ -1,0 +1,203 @@
+//! Message-accounting invariants across mediation-layer operations:
+//! every operation's overlay cost must stay logarithmic in the network
+//! size (§2.1/§2.3), and the documented operation decompositions
+//! (triple = 3 updates, mapping = per-key-space updates) must hold in
+//! the counters.
+
+use gridvine_core::{GridVineConfig, GridVineSystem, Strategy};
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+
+fn sys_with(peers: usize) -> GridVineSystem {
+    GridVineSystem::new(GridVineConfig {
+        peers,
+        seed: 5,
+        ..GridVineConfig::default()
+    })
+}
+
+/// Mean messages per run of `op`, measured over `n` repetitions.
+fn mean_messages(sys: &mut GridVineSystem, n: usize, mut op: impl FnMut(&mut GridVineSystem, usize)) -> f64 {
+    let before = sys.messages_sent();
+    for i in 0..n {
+        op(sys, i);
+    }
+    (sys.messages_sent() - before) as f64 / n as f64
+}
+
+#[test]
+fn triple_insert_is_three_bounded_updates() {
+    for peers in [16usize, 64, 256] {
+        let mut sys = sys_with(peers);
+        let depth = sys.topology().depth() as f64;
+        let mean = mean_messages(&mut sys, 40, |s, i| {
+            s.insert_triple(
+                PeerId(0),
+                Triple::new(
+                    format!("seq:S{i}").as_str(),
+                    format!("DB#attr{}", i % 5).as_str(),
+                    Term::literal(format!("value {i}")),
+                ),
+            )
+            .unwrap();
+        });
+        // Three overlay updates, each routing + replica fan-out: stay
+        // within a small constant of 3·depth.
+        assert!(
+            mean <= 3.0 * (depth + 4.0) * 3.0,
+            "{peers} peers: {mean} messages per insert (depth {depth})"
+        );
+        assert!(mean >= 3.0, "{peers} peers: an insert is ≥ 3 updates");
+    }
+}
+
+#[test]
+fn search_cost_grows_logarithmically() {
+    // Mean search messages at 256 peers must stay within ~3× of the
+    // 16-peer cost (log₂ 256 / log₂ 16 = 2, plus constant slack) — not
+    // the 16× a linear-cost structure would show.
+    let mut means = Vec::new();
+    for peers in [16usize, 256] {
+        let mut sys = sys_with(peers);
+        let p0 = PeerId(0);
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+        for i in 0..30 {
+            sys.insert_triple(
+                p0,
+                Triple::new(
+                    format!("seq:Q{i}").as_str(),
+                    "EMBL#Organism",
+                    Term::literal(format!("Aspergillus strain {i}")),
+                ),
+            )
+            .unwrap();
+        }
+        let q = TriplePatternQuery::example_aspergillus();
+        let mean = mean_messages(&mut sys, 50, |s, i| {
+            let origin = PeerId::from_index(i % s.config().peers);
+            s.resolve_pattern(origin, &q).unwrap();
+        });
+        means.push(mean);
+    }
+    assert!(
+        means[1] <= 3.5 * means[0].max(1.0),
+        "search cost must grow logarithmically: 16 peers → {:.1}, 256 peers → {:.1}",
+        means[0],
+        means[1]
+    );
+}
+
+#[test]
+fn bidirectional_mapping_is_stored_at_both_key_spaces() {
+    let mut sys = sys_with(32);
+    let p0 = PeerId(0);
+    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+    sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"])).unwrap();
+    sys.insert_mapping(
+        p0,
+        "EMBL",
+        "EMP",
+        MappingKind::Equivalence,
+        Provenance::Manual,
+        vec![Correspondence::new("Organism", "SystematicName")],
+    )
+    .unwrap();
+    // Both schema key spaces must serve the mapping (§3: "at the key
+    // spaces corresponding to both schemas if the mapping is
+    // bidirectional").
+    for schema in ["EMBL", "EMP"] {
+        let maps = sys
+            .mappings_at_schema(PeerId(7), &gridvine_semantic::SchemaId::new(schema))
+            .unwrap();
+        assert_eq!(maps.len(), 1, "{schema} key space must hold the mapping");
+    }
+}
+
+#[test]
+fn subsumption_mapping_is_stored_at_source_only() {
+    let mut sys = sys_with(32);
+    let p0 = PeerId(0);
+    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+    sys.insert_schema(p0, Schema::new("TAXA", ["ScientificName"])).unwrap();
+    sys.insert_mapping(
+        p0,
+        "EMBL",
+        "TAXA",
+        MappingKind::Subsumption,
+        Provenance::Manual,
+        vec![Correspondence::new("Organism", "ScientificName")],
+    )
+    .unwrap();
+    let at_source = sys
+        .mappings_at_schema(PeerId(3), &gridvine_semantic::SchemaId::new("EMBL"))
+        .unwrap();
+    assert_eq!(at_source.len(), 1);
+    let at_target = sys
+        .mappings_at_schema(PeerId(3), &gridvine_semantic::SchemaId::new("TAXA"))
+        .unwrap();
+    assert!(
+        at_target.is_empty(),
+        "one-way mapping must live only at the source key space"
+    );
+}
+
+#[test]
+fn recursive_strategy_never_costs_more_than_iterative_on_chains() {
+    // E6's claim as an invariant: on mapping chains, the recursive
+    // strategy's mean message cost is at most the iterative one's
+    // (it skips the per-schema fetch round trip to the origin).
+    let mut sys = sys_with(64);
+    let p0 = PeerId(0);
+    for i in 0..6 {
+        sys.insert_schema(p0, Schema::new(format!("S{i}").as_str(), [format!("a{i}")]))
+            .unwrap();
+    }
+    for i in 0..5 {
+        sys.insert_mapping(
+            p0,
+            format!("S{i}").as_str(),
+            format!("S{}", i + 1).as_str(),
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new(format!("a{i}"), format!("a{}", i + 1))],
+        )
+        .unwrap();
+    }
+    for i in 0..6 {
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                format!("seq:C{i}").as_str(),
+                format!("S{i}#a{i}").as_str(),
+                Term::literal("shared value"),
+            ),
+        )
+        .unwrap();
+    }
+    let q = TriplePatternQuery::new(
+        "x",
+        gridvine_rdf::TriplePattern::new(
+            gridvine_rdf::PatternTerm::var("x"),
+            gridvine_rdf::PatternTerm::constant(Term::uri("S0#a0")),
+            gridvine_rdf::PatternTerm::constant(Term::literal("shared value")),
+        ),
+    )
+    .unwrap();
+    let mut cost = |strategy: Strategy| {
+        let mut sum = 0u64;
+        for i in 0..20 {
+            let origin = PeerId::from_index((i * 3) % 64);
+            let out = sys.search(origin, &q, strategy).unwrap();
+            assert_eq!(out.results.len(), 6, "{strategy:?} finds the whole chain");
+            sum += out.messages;
+        }
+        sum as f64 / 20.0
+    };
+    let iterative = cost(Strategy::Iterative);
+    let recursive = cost(Strategy::Recursive);
+    assert!(
+        recursive <= iterative,
+        "recursive {recursive} must not exceed iterative {iterative}"
+    );
+}

@@ -1,0 +1,155 @@
+//! Integration tests for prefix/range search over the order-preserving
+//! hash (§2.2): the range access path must agree with the predicate-key
+//! access path and with a centralized oracle, must refuse unroutable
+//! shapes, and must be unavailable under a uniform hash.
+
+use gridvine_core::{GridVineConfig, GridVineSystem, SystemError};
+use gridvine_pgrid::{HashKind, PeerId};
+use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
+use gridvine_semantic::Schema;
+use proptest::prelude::*;
+
+fn system_with(values: &[String], hash: HashKind) -> GridVineSystem {
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 64,
+        hash,
+        seed: 0x9A,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    sys.insert_schema(p0, Schema::new("S", ["v"])).unwrap();
+    for (i, v) in values.iter().enumerate() {
+        sys.insert_triple(
+            p0,
+            Triple::new(format!("e:{i:04}").as_str(), "S#v", Term::literal(v.as_str())),
+        )
+        .unwrap();
+    }
+    sys
+}
+
+fn prefix_query(prefix: &str) -> TriplePatternQuery {
+    TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S#v")),
+            PatternTerm::constant(Term::literal(format!("{prefix}%"))),
+        ),
+    )
+    .unwrap()
+}
+
+#[test]
+fn prefix_search_matches_oracle() {
+    let values: Vec<String> = [
+        "Aspergillus niger",
+        "Aspergillus oryzae",
+        "Aspergillosis note", // shares a shorter prefix only
+        "Escherichia coli",
+        "Aspergillus",        // exact boundary: equals the prefix itself
+        "aspergillus lower",  // case-sensitive: must NOT match
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut sys = system_with(&values, HashKind::OrderPreserving);
+    let q = prefix_query("Aspergillus");
+    let (results, _) = sys.resolve_object_prefix(PeerId(9), &q).unwrap();
+    let expected: usize = values.iter().filter(|v| v.starts_with("Aspergillus")).count();
+    assert_eq!(results.len(), expected);
+    assert_eq!(expected, 3);
+}
+
+#[test]
+fn range_and_predicate_paths_agree() {
+    let values: Vec<String> = (0..40)
+        .map(|i| {
+            if i % 3 == 0 {
+                format!("Aspergillus strain {i}")
+            } else {
+                format!("Bacillus subtilis {i}")
+            }
+        })
+        .collect();
+    let mut sys = system_with(&values, HashKind::OrderPreserving);
+    let q = prefix_query("Aspergillus");
+    let (via_range, _) = sys.resolve_object_prefix(PeerId(3), &q).unwrap();
+    let (via_predicate, _) = sys.resolve_pattern(PeerId(3), &q).unwrap();
+    assert_eq!(via_range, via_predicate);
+    assert_eq!(via_range.len(), values.iter().filter(|v| v.starts_with("Asp")).count());
+}
+
+#[test]
+fn uniform_hash_refuses_range_search() {
+    let mut sys = system_with(&["Aspergillus niger".to_string()], HashKind::Uniform);
+    let q = prefix_query("Aspergillus");
+    assert_eq!(
+        sys.resolve_object_prefix(PeerId(0), &q),
+        Err(SystemError::NotRoutable)
+    );
+}
+
+#[test]
+fn non_prefix_shapes_are_refused() {
+    let mut sys = system_with(&["Aspergillus niger".to_string()], HashKind::OrderPreserving);
+    for object in ["%Aspergillus%", "Aspergillus", "%", "As%per%"] {
+        let q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("S#v")),
+                PatternTerm::constant(Term::literal(object)),
+            ),
+        )
+        .unwrap();
+        assert_eq!(
+            sys.resolve_object_prefix(PeerId(0), &q),
+            Err(SystemError::NotRoutable),
+            "shape {object:?} must be refused"
+        );
+    }
+    // A variable object has no range either.
+    let q = TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S#v")),
+            PatternTerm::var("o"),
+        ),
+    )
+    .unwrap();
+    assert_eq!(
+        sys.resolve_object_prefix(PeerId(0), &q),
+        Err(SystemError::NotRoutable)
+    );
+}
+
+#[test]
+fn empty_region_returns_no_results() {
+    let mut sys = system_with(
+        &["Escherichia coli".to_string(), "Zea mays".to_string()],
+        HashKind::OrderPreserving,
+    );
+    let q = prefix_query("Aspergillus");
+    let (results, _) = sys.resolve_object_prefix(PeerId(1), &q).unwrap();
+    assert!(results.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For random corpora and prefixes, the range search returns exactly
+    /// the subjects whose object value starts with the prefix.
+    #[test]
+    fn prefix_search_equals_startswith_filter(
+        values in prop::collection::vec("[A-Za-z]{1,12}", 1..30),
+        prefix in "[A-Za-z]{1,4}",
+    ) {
+        let mut sys = system_with(&values, HashKind::OrderPreserving);
+        let q = prefix_query(&prefix);
+        let (results, _) = sys.resolve_object_prefix(PeerId(2), &q).unwrap();
+        let expected: usize = values.iter().filter(|v| v.starts_with(&prefix)).count();
+        prop_assert_eq!(results.len(), expected);
+    }
+}
