@@ -4,6 +4,9 @@
 //! * `hash` — order-preserving vs uniform key hashing (§2.2);
 //! * `routing` — messages/latency of `Retrieve` routing across network
 //!   sizes (§2.1, the O(log n) claim in wall-clock form);
+//! * `rdf` — the interned-dictionary / id-index / hash-join hot paths
+//!   at 100k triples (bulk ingest, point selection, prefix range scan,
+//!   3-pattern conjunctive join);
 //! * `triple_store` — insert and indexed selection on `DB_p` (§2.2);
 //! * `reformulate` — BFS query expansion over mapping chains (§3);
 //! * `matcher` — combined lexical+instance matching of two schemas (§4);
@@ -19,7 +22,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, Strategy};
 use gridvine_pgrid::{
-    HashKind, KeyHasher, Overlay, OrderPreservingHash, PeerId, Topology, UniformHash,
+    HashKind, KeyHasher, OrderPreservingHash, Overlay, PeerId, Topology, UniformHash,
 };
 use gridvine_rdf::{ConjunctiveQuery, Term, Triple, TriplePatternQuery, TripleStore};
 use gridvine_semantic::{
@@ -61,6 +64,96 @@ fn bench_routing(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+fn bench_rdf(c: &mut Criterion) {
+    // The dictionary/id/hash-join hot paths at 100k triples. The
+    // before/after comparison against the seed's string-keyed
+    // nested-loop implementation lives in the `bench_rdf` binary
+    // (writes BENCH_rdf.json); this group tracks the new engine.
+    let entities = 33_334usize;
+    let mut triples: Vec<Triple> = Vec::with_capacity(entities * 3);
+    for i in 0..entities {
+        let subject = format!("http://www.ebi.ac.uk/embl/entry#E{i:06}");
+        let organism = if i < 64 {
+            format!("Aspergillus niger strain {i}")
+        } else {
+            format!("Escherichia coli K-12 MG{i}")
+        };
+        triples.push(Triple::new(
+            subject.as_str(),
+            "http://www.ebi.ac.uk/embl/schema#organism",
+            Term::literal(organism),
+        ));
+        triples.push(Triple::new(
+            subject.as_str(),
+            "http://www.ebi.ac.uk/embl/schema#length",
+            Term::literal(format!("{}", 400 + i % 4000)),
+        ));
+        triples.push(Triple::new(
+            subject.as_str(),
+            "http://www.ebi.ac.uk/embl/schema#lab",
+            Term::uri(format!("http://collab.embl.org/labs#L{:03}", i % 500)),
+        ));
+    }
+    let mut g = c.benchmark_group("rdf");
+    g.bench_function("bulk_ingest_100k", |b| {
+        b.iter(|| {
+            let mut db = TripleStore::new();
+            db.insert_batch(triples.iter().cloned());
+            db.len()
+        })
+    });
+    let mut db = TripleStore::new();
+    db.insert_batch(triples.iter().cloned());
+    g.bench_function("select_eq", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % entities;
+            db.select_eq_refs(
+                gridvine_rdf::Position::Subject,
+                &format!("http://www.ebi.ac.uk/embl/entry#E{i:06}"),
+            )
+            .len()
+        })
+    });
+    g.bench_function("select_like_prefix", |b| {
+        b.iter(|| {
+            db.select_like(gridvine_rdf::Position::Object, black_box("Aspergillus%"))
+                .len()
+        })
+    });
+    let q = ConjunctiveQuery::new(
+        vec!["x".into(), "len".into(), "lab".into()],
+        vec![
+            gridvine_rdf::TriplePattern::new(
+                gridvine_rdf::PatternTerm::var("x"),
+                gridvine_rdf::PatternTerm::constant(Term::uri(
+                    "http://www.ebi.ac.uk/embl/schema#organism",
+                )),
+                gridvine_rdf::PatternTerm::constant(Term::literal("%Aspergillus%")),
+            ),
+            gridvine_rdf::TriplePattern::new(
+                gridvine_rdf::PatternTerm::var("x"),
+                gridvine_rdf::PatternTerm::constant(Term::uri(
+                    "http://www.ebi.ac.uk/embl/schema#length",
+                )),
+                gridvine_rdf::PatternTerm::var("len"),
+            ),
+            gridvine_rdf::TriplePattern::new(
+                gridvine_rdf::PatternTerm::var("x"),
+                gridvine_rdf::PatternTerm::constant(Term::uri(
+                    "http://www.ebi.ac.uk/embl/schema#lab",
+                )),
+                gridvine_rdf::PatternTerm::var("lab"),
+            ),
+        ],
+    )
+    .expect("valid query");
+    g.bench_function("conjunctive_join_3_100k", |b| {
+        b.iter(|| q.evaluate(black_box(&db)).len())
+    });
     g.finish();
 }
 
@@ -119,7 +212,11 @@ fn bench_reformulate(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_with_input(BenchmarkId::new("chain", len), &len, |b, _| {
-            b.iter(|| reformulations(black_box(&reg), black_box(&q), 64).unwrap().len())
+            b.iter(|| {
+                reformulations(black_box(&reg), black_box(&q), 64)
+                    .unwrap()
+                    .len()
+            })
         });
     }
     g.finish();
@@ -172,8 +269,15 @@ fn bench_search(c: &mut Criterion) {
             let a = w.schemas[i].id().clone();
             let b = w.schemas[i + 1].id().clone();
             let corrs = w.ground_truth.correct_pairs(&a, &b);
-            sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-                .unwrap();
+            sys.insert_mapping(
+                p0,
+                a,
+                b,
+                MappingKind::Equivalence,
+                Provenance::Manual,
+                corrs,
+            )
+            .unwrap();
         }
         sys
     };
@@ -184,13 +288,19 @@ fn bench_search(c: &mut Criterion) {
     g.bench_function("iterative", |b| {
         b.iter(|| {
             let origin = PeerId::from_index(rng.gen_range(0..64));
-            sys.search(origin, black_box(&q), Strategy::Iterative).unwrap().results.len()
+            sys.search(origin, black_box(&q), Strategy::Iterative)
+                .unwrap()
+                .results
+                .len()
         })
     });
     g.bench_function("recursive", |b| {
         b.iter(|| {
             let origin = PeerId::from_index(rng.gen_range(0..64));
-            sys.search(origin, black_box(&q), Strategy::Recursive).unwrap().results.len()
+            sys.search(origin, black_box(&q), Strategy::Recursive)
+                .unwrap()
+                .results
+                .len()
         })
     });
     g.finish();
@@ -231,7 +341,9 @@ fn bench_netsim(c: &mut Criterion) {
     for k in 0..10_000 {
         cdf.record((k as f64 * 0.7919) % 60.0);
     }
-    g.bench_function("cdf_median_10k", |b| b.iter(|| black_box(&mut cdf).median()));
+    g.bench_function("cdf_median_10k", |b| {
+        b.iter(|| black_box(&mut cdf).median())
+    });
     g.finish();
 }
 
@@ -248,7 +360,11 @@ fn bench_compose(c: &mut Criterion) {
             })
             .collect();
         g.bench_with_input(BenchmarkId::new("compose_path", len), &len, |b, _| {
-            b.iter(|| compose_path(black_box(&reg), black_box(&path)).unwrap().quality)
+            b.iter(|| {
+                compose_path(black_box(&reg), black_box(&path))
+                    .unwrap()
+                    .quality
+            })
         });
         let from = SchemaId::new("S0");
         let to = SchemaId::new(format!("S{len}"));
@@ -276,8 +392,11 @@ fn bench_conjunctive(c: &mut Criterion) {
         } else {
             format!("Escherichia coli K-{i}")
         };
-        sys.insert_triple(p0, Triple::new(subject.as_str(), "EMBL#Organism", Term::literal(organism)))
-            .unwrap();
+        sys.insert_triple(
+            p0,
+            Triple::new(subject.as_str(), "EMBL#Organism", Term::literal(organism)),
+        )
+        .unwrap();
         sys.insert_triple(
             p0,
             Triple::new(
@@ -327,6 +446,7 @@ criterion_group!(
     benches,
     bench_hash,
     bench_routing,
+    bench_rdf,
     bench_triple_store,
     bench_reformulate,
     bench_matcher,

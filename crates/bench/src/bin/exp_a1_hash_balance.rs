@@ -13,9 +13,7 @@ use gridvine_bench::table::f;
 use gridvine_bench::Table;
 use gridvine_netsim::rng;
 use gridvine_netsim::rng::Zipf;
-use gridvine_pgrid::{
-    BitString, HashKind, LoadStats, Overlay, PeerId, Topology, UpdateOp,
-};
+use gridvine_pgrid::{BitString, HashKind, LoadStats, Overlay, PeerId, Topology, UpdateOp};
 use gridvine_workload::ORGANISMS;
 use rand::Rng;
 

@@ -16,8 +16,8 @@
 use gridvine_bench::table::f;
 use gridvine_bench::Table;
 use gridvine_core::MediationItem;
-use gridvine_netsim::prelude::*;
 use gridvine_netsim::churn::ChurnKind;
+use gridvine_netsim::prelude::*;
 use gridvine_netsim::rng;
 use gridvine_pgrid::proto::{PGridMsg, PGridNode, Status};
 use gridvine_pgrid::{BitString, KeyHasher, OrderPreservingHash, Topology};
@@ -118,10 +118,13 @@ fn main() {
     println!("A2: availability under churn vs replication factor ({queries} queries / hour)");
     let mut table = Table::new(&["churn", "replicas/path", "answered", "failed"]);
     for (name, cfg) in [
-        ("none", ChurnConfig {
-            churny_fraction: 0.0,
-            ..ChurnConfig::moderate()
-        }),
+        (
+            "none",
+            ChurnConfig {
+                churny_fraction: 0.0,
+                ..ChurnConfig::moderate()
+            },
+        ),
         ("moderate", ChurnConfig::moderate()),
         ("harsh", ChurnConfig::harsh()),
     ] {

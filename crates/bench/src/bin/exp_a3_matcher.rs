@@ -33,7 +33,12 @@ fn main() {
     });
 
     let mut table = Table::new(&[
-        "matcher", "proposed", "correct", "precision", "recall", "f1",
+        "matcher",
+        "proposed",
+        "correct",
+        "precision",
+        "recall",
+        "f1",
     ]);
     for (name, cfg) in [
         ("lexical only", MatcherConfig::lexical_only()),

@@ -16,7 +16,7 @@ use gridvine_bench::Table;
 use gridvine_netsim::rng;
 use gridvine_netsim::Cdf;
 use gridvine_pgrid::{
-    BitString, KeyHasher, Overlay, OrderPreservingHash, PeerId, Topology, UniformHash,
+    BitString, KeyHasher, OrderPreservingHash, Overlay, PeerId, Topology, UniformHash,
 };
 use rand::Rng;
 
@@ -41,7 +41,12 @@ fn main() {
 
     println!("E2: messages per Retrieve vs network size ({trials} trials per size)");
     let mut table = Table::new(&[
-        "peers", "depth", "mean msgs", "p99 msgs", "mean/log2(n)", "tree",
+        "peers",
+        "depth",
+        "mean msgs",
+        "p99 msgs",
+        "mean/log2(n)",
+        "tree",
     ]);
 
     for exp in 4..=10 {
@@ -96,5 +101,7 @@ fn main() {
         }
     }
     println!("\n{}", table.render());
-    println!("paper claim: messages grow as O(log n) — the mean/log2(n) column should stay ~constant.");
+    println!(
+        "paper claim: messages grow as O(log n) — the mean/log2(n) column should stay ~constant."
+    );
 }

@@ -65,7 +65,11 @@ fn main() {
             let scc = reg.largest_scc_fraction();
             sum_ci[m] += ci;
             sum_scc[m] += scc;
-            sum_connected[m] += if reg.is_strongly_connected() { 1.0 } else { 0.0 };
+            sum_connected[m] += if reg.is_strongly_connected() {
+                1.0
+            } else {
+                0.0
+            };
             if ci_cross.is_none() && ci >= 0.0 {
                 ci_cross = Some(m);
             }
@@ -78,7 +82,11 @@ fn main() {
     }
 
     let mut table = Table::new(&[
-        "mappings", "mappings/schema", "ci (mean)", "largest SCC frac", "P(strongly conn.)",
+        "mappings",
+        "mappings/schema",
+        "ci (mean)",
+        "largest SCC frac",
+        "P(strongly conn.)",
     ]);
     for m in (5..=max_mappings).step_by(5) {
         table.row(&[

@@ -52,10 +52,20 @@ fn main() {
         let a = workload.schemas[i].id().clone();
         let b = workload.schemas[i + 1].id().clone();
         let corrs = workload.ground_truth.correct_pairs(&a, &b);
-        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-            .unwrap();
+        sys.insert_mapping(
+            p0,
+            a,
+            b,
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corrs,
+        )
+        .unwrap();
     }
-    println!("loaded {loaded} triples; {} manual seed mappings", sys.registry().active_count());
+    println!(
+        "loaded {loaded} triples; {} manual seed mappings",
+        sys.registry().active_count()
+    );
 
     let generator = QueryGenerator::new(&workload, QueryConfig::default());
     let mut qrng = rng::derive(seed, 0xE4);
@@ -87,7 +97,13 @@ fn main() {
         ..SelfOrgConfig::default()
     };
     let mut table = Table::new(&[
-        "round", "ci", "active mappings", "created", "deprecated", "largest SCC", "mean recall",
+        "round",
+        "ci",
+        "active mappings",
+        "created",
+        "deprecated",
+        "largest SCC",
+        "mean recall",
         "msgs/query",
     ]);
     let (r0, m0) = probe(&mut sys);

@@ -27,7 +27,9 @@ fn main() {
     let schemas: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
 
-    println!("E5: Bayesian deprecation — {schemas} schemas, {bad_count} erroneous mappings injected");
+    println!(
+        "E5: Bayesian deprecation — {schemas} schemas, {bad_count} erroneous mappings injected"
+    );
     let workload = Workload::generate(WorkloadConfig {
         schemas,
         entities: 150,
@@ -53,8 +55,15 @@ fn main() {
         let a = workload.schemas[i].id().clone();
         let b = workload.schemas[(i + 1) % schemas].id().clone();
         let corrs = workload.ground_truth.correct_pairs(&a, &b);
-        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-            .unwrap();
+        sys.insert_mapping(
+            p0,
+            a,
+            b,
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corrs,
+        )
+        .unwrap();
     }
     // Correct automatic chords — these must *survive* the analysis.
     let mut good: BTreeSet<MappingId> = BTreeSet::new();
@@ -63,7 +72,14 @@ fn main() {
         let b = workload.schemas[(3 * k + 3) % schemas].id().clone();
         let corrs = workload.ground_truth.correct_pairs(&a, &b);
         let id = sys
-            .insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Automatic, corrs)
+            .insert_mapping(
+                p0,
+                a,
+                b,
+                MappingKind::Equivalence,
+                Provenance::Automatic,
+                corrs,
+            )
             .unwrap();
         good.insert(id);
     }
@@ -97,7 +113,14 @@ fn main() {
             gridvine_semantic::Correspondence::new(attr_of(&a, 1), attr_of(&b, 0)),
         ];
         let id = sys
-            .insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Automatic, corrs)
+            .insert_mapping(
+                p0,
+                a,
+                b,
+                MappingKind::Equivalence,
+                Provenance::Automatic,
+                corrs,
+            )
             .unwrap();
         bad.insert(id);
     }
@@ -105,7 +128,10 @@ fn main() {
         "installed {} good automatic, {} bad automatic, {} manual mappings",
         good.len(),
         bad.len(),
-        sys.registry().mappings().filter(|m| m.provenance == Provenance::Manual).count()
+        sys.registry()
+            .mappings()
+            .filter(|m| m.provenance == Provenance::Manual)
+            .count()
     );
 
     let cfg = SelfOrgConfig {
@@ -124,7 +150,11 @@ fn main() {
     };
 
     let mut table = Table::new(&[
-        "round", "mean q(good)", "mean q(bad)", "bad deprecated", "good deprecated",
+        "round",
+        "mean q(good)",
+        "mean q(bad)",
+        "bad deprecated",
+        "good deprecated",
         "active mappings",
     ]);
     let mut bad_deprecated = 0usize;

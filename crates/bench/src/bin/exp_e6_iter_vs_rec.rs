@@ -71,7 +71,11 @@ fn main() {
     .unwrap();
 
     let mut table = Table::new(&[
-        "chain len", "results", "iter msgs/query", "rec msgs/query", "rec/iter",
+        "chain len",
+        "results",
+        "iter msgs/query",
+        "rec msgs/query",
+        "rec/iter",
     ]);
     for len in 1..=8 {
         let mut iter_msgs = 0.0;

@@ -72,12 +72,22 @@ fn main() {
 
     let gen = QueryGenerator::new(&w, QueryConfig::default());
     let mut r = gridvine_netsim::rng::seeded(seed ^ 0xE8);
-    let batch: Vec<TriplePatternQuery> =
-        gen.batch(queries, &mut r).into_iter().map(|g| g.query).collect();
+    let batch: Vec<TriplePatternQuery> = gen
+        .batch(queries, &mut r)
+        .into_iter()
+        .map(|g| g.query)
+        .collect();
 
     let mut table = Table::new(&[
-        "mode", "answered", "mean schemas", "≤1 s", "≤5 s", "median s", "p95 s",
-        "data lookups", "mapping fetches",
+        "mode",
+        "answered",
+        "mean schemas",
+        "≤1 s",
+        "≤5 s",
+        "median s",
+        "p95 s",
+        "data lookups",
+        "mapping fetches",
     ]);
 
     // Baseline: plain single-pattern lookups (the E1 operation).

@@ -27,7 +27,11 @@
 //! layer of §3.
 
 use super::*;
+use gridvine_rdf::join::{hash_join_rows, TermInterner, VarTable, UNBOUND};
 use gridvine_rdf::{Binding, ConjunctiveQuery, TriplePattern};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// How the binding sets of the individual triple patterns are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,10 +135,15 @@ impl GridVineSystem {
             return Ok(out);
         };
 
-        let mut visited: BTreeSet<SchemaId> = BTreeSet::new();
-        visited.insert(origin_schema.clone());
-        let mut frontier: Vec<(SchemaId, TriplePattern, PeerId, usize)> =
-            vec![(origin_schema, pattern.clone(), origin, 0)];
+        // Schema ids are shared via `Rc` between the visited set and the
+        // frontier, and the origin pattern is borrowed (`Cow`) — the
+        // traversal only clones what a hop actually creates (the
+        // reformulated pattern and one `Rc` bump per discovered schema).
+        let origin_schema = Rc::new(origin_schema);
+        let mut visited: BTreeSet<Rc<SchemaId>> = BTreeSet::new();
+        visited.insert(Rc::clone(&origin_schema));
+        let mut frontier: Vec<(Rc<SchemaId>, Cow<'_, TriplePattern>, PeerId, usize)> =
+            vec![(origin_schema, Cow::Borrowed(pattern), origin, 0)];
 
         while let Some((schema, pat, at_peer, depth)) = frontier.pop() {
             out.subqueries += 1;
@@ -169,16 +178,16 @@ impl GridVineSystem {
                 let Some(dir) = m.applicable_from(&schema) else {
                     continue;
                 };
-                let dest = m.destination(dir).clone();
-                if visited.contains(&dest) {
+                if visited.contains(m.destination(dir)) {
                     continue;
                 }
                 let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir) else {
                     continue;
                 };
-                visited.insert(dest.clone());
+                let dest = Rc::new(m.destination(dir).clone());
+                visited.insert(Rc::clone(&dest));
                 out.reformulations += 1;
-                frontier.push((dest, np, next_peer, depth + 1));
+                frontier.push((dest, Cow::Owned(np), next_peer, depth + 1));
             }
         }
         out.schemas_visited = visited.len();
@@ -231,26 +240,32 @@ impl GridVineSystem {
         let before = self.overlay.messages_sent();
         let mut out = ConjunctiveOutcome::default();
 
-        let mut rows: Vec<Binding> = vec![Binding::new()];
+        // The hash-join binding engine (gridvine_rdf::join): solution
+        // rows are term-code vectors over the query's variable slots,
+        // coded against a query-scoped interner (peers materialize terms
+        // into the wire format, so codes must be assigned at the
+        // origin). Joins and dedup compare u64s; terms are materialized
+        // again only for the rows that survive.
+        let vars = VarTable::from_patterns(&query.patterns);
+        let mut interner = TermInterner::new();
+        let mut rows: Vec<Vec<u64>> = vec![vars.empty_row()];
         match mode {
             JoinMode::Independent => {
-                // One full network sweep per pattern, join afterwards.
-                let mut sets: Vec<Vec<Binding>> = Vec::with_capacity(query.patterns.len());
+                // One full network sweep per pattern, hash-join the
+                // binding sets afterwards.
+                let mut sets: Vec<Vec<Vec<u64>>> = Vec::with_capacity(query.patterns.len());
                 for pattern in &query.patterns {
                     let net = self.resolve_pattern_network(origin, pattern, strategy)?;
                     net.charge(&mut out);
-                    sets.push(net.bindings);
+                    sets.push(
+                        net.bindings
+                            .iter()
+                            .map(|b| interner.encode(b, &vars))
+                            .collect(),
+                    );
                 }
                 for set in sets {
-                    let mut next = Vec::new();
-                    for row in &rows {
-                        for b in &set {
-                            if let Some(j) = row.join(b) {
-                                next.push(j);
-                            }
-                        }
-                    }
-                    rows = next;
+                    rows = hash_join_rows(&rows, &set);
                     if rows.is_empty() {
                         break;
                     }
@@ -272,26 +287,52 @@ impl GridVineSystem {
                     )
                 });
                 for pattern in order {
-                    let mut next = Vec::new();
-                    // Identical substituted instances are resolved once.
-                    let mut groups: Vec<(TriplePattern, Vec<usize>)> = Vec::new();
+                    // Rows agreeing on the pattern's already-bound
+                    // variables produce the same substituted instance —
+                    // group by those codes so each instance is resolved
+                    // once, instead of the old O(rows²) pattern-equality
+                    // scan.
+                    let bound_slots: Vec<(usize, &str)> = pattern
+                        .variables()
+                        .iter()
+                        .filter_map(|v| {
+                            let slot = vars.slot(v)?;
+                            (rows[0][slot] != UNBOUND).then_some((slot, *v))
+                        })
+                        .collect();
+                    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (rep row, members)
+                    let mut by_key: HashMap<Vec<u64>, usize> = HashMap::new();
                     for (i, row) in rows.iter().enumerate() {
-                        let sub = pattern.substitute(row);
-                        match groups.iter_mut().find(|(p, _)| *p == sub) {
-                            Some((_, idxs)) => idxs.push(i),
-                            None => groups.push((sub, vec![i])),
+                        let key: Vec<u64> = bound_slots.iter().map(|&(s, _)| row[s]).collect();
+                        match by_key.get(&key) {
+                            Some(&g) => groups[g].1.push(i),
+                            None => {
+                                by_key.insert(key, groups.len());
+                                groups.push((i, vec![i]));
+                            }
                         }
                     }
-                    for (sub, idxs) in groups {
+                    let mut next = Vec::new();
+                    for (rep, members) in groups {
+                        let mut seed = Binding::new();
+                        for &(slot, name) in &bound_slots {
+                            seed.bind(name.to_string(), interner.term(rows[rep][slot]).clone());
+                        }
+                        let sub = pattern.substitute(&seed);
                         match self.resolve_pattern_network(origin, &sub, strategy) {
                             Ok(net) => {
                                 net.charge(&mut out);
-                                for &i in &idxs {
-                                    for b in &net.bindings {
-                                        if let Some(j) = rows[i].join(b) {
-                                            next.push(j);
-                                        }
-                                    }
+                                // The substituted instance's matches bind
+                                // only the pattern's remaining variables:
+                                // merge each into every member row.
+                                let fragments: Vec<Vec<u64>> = net
+                                    .bindings
+                                    .iter()
+                                    .map(|b| interner.encode(b, &vars))
+                                    .collect();
+                                for &i in &members {
+                                    let member = std::slice::from_ref(&rows[i]);
+                                    next.extend(hash_join_rows(member, &fragments));
                                 }
                             }
                             Err(SystemError::NotRoutable) => {
@@ -308,10 +349,27 @@ impl GridVineSystem {
             }
         }
 
-        let vars: Vec<&str> = query.distinguished.iter().map(String::as_str).collect();
-        let mut bindings: Vec<Binding> = rows.into_iter().map(|b| b.project(&vars)).collect();
+        // π onto the distinguished variables; dedup on codes before any
+        // term is materialized. `slots` and `proj` share one filtered
+        // name set so a distinguished variable absent from every
+        // pattern is skipped rather than misaligning names.
+        let mut slots: Vec<usize> = Vec::with_capacity(query.distinguished.len());
+        let mut proj = VarTable::new();
+        for d in &query.distinguished {
+            if let Some(s) = vars.slot(d) {
+                slots.push(s);
+                proj.slot_of(d);
+            }
+        }
+        let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+        let mut bindings: Vec<Binding> = Vec::new();
+        for row in &rows {
+            let projected: Vec<u64> = slots.iter().map(|&s| row[s]).collect();
+            if seen.insert(projected.clone()) {
+                bindings.push(interner.decode(&projected, &proj));
+            }
+        }
         bindings.sort_by_key(|b| b.to_string());
-        bindings.dedup();
         out.bindings = bindings;
         out.messages = self.overlay.messages_sent() - before;
         Ok(out)
@@ -352,7 +410,11 @@ mod tests {
             ("seq:A78712", "EMBL#SequenceLength", "1042"),
             ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
             // A78767 has no length fact anywhere: joins must drop it.
-            ("seq:NEN94295-05", "EMP#SystematicName", "Aspergillus oryzae"),
+            (
+                "seq:NEN94295-05",
+                "EMP#SystematicName",
+                "Aspergillus oryzae",
+            ),
             ("seq:NEN94295-05", "EMP#Length", "2210"),
             ("seq:X99999", "EMP#SystematicName", "Escherichia coli"),
             ("seq:X99999", "EMP#Length", "512"),
@@ -398,7 +460,9 @@ mod tests {
                     2,
                     "{strategy:?}/{mode:?} rows: {rows:?}"
                 );
-                assert!(rows.iter().any(|r| r.contains("A78712") && r.contains("1042")));
+                assert!(rows
+                    .iter()
+                    .any(|r| r.contains("A78712") && r.contains("1042")));
                 assert!(rows
                     .iter()
                     .any(|r| r.contains("NEN94295-05") && r.contains("2210")));
@@ -415,7 +479,12 @@ mod tests {
             .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
             .unwrap();
         let b = sys
-            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::BoundSubstitution)
+            .search_conjunctive(
+                PeerId(1),
+                &q,
+                Strategy::Iterative,
+                JoinMode::BoundSubstitution,
+            )
             .unwrap();
         assert_eq!(a.bindings, b.bindings);
     }
@@ -428,7 +497,12 @@ mod tests {
             .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
             .unwrap();
         let bnd = sys
-            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::BoundSubstitution)
+            .search_conjunctive(
+                PeerId(1),
+                &q,
+                Strategy::Iterative,
+                JoinMode::BoundSubstitution,
+            )
             .unwrap();
         // Bound substitution resolves one instance per surviving row of
         // the first pattern (3 organisms) instead of one sweep of the

@@ -757,8 +757,7 @@ impl Deployment {
                             if tracks[query][pattern].visited.contains(&dest) {
                                 continue;
                             }
-                            let Some(np) =
-                                gridvine_semantic::reformulate_pattern(&pat, &m, dir)
+                            let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir)
                             else {
                                 continue;
                             };
@@ -1089,7 +1088,12 @@ mod tests {
             let queries: Vec<TriplePatternQuery> =
                 gen.batch(15, &mut r).into_iter().map(|g| g.query).collect();
             let rep = d.run_reformulated_queries(&queries, 6);
-            (rep.answered, rep.messages, rep.data_lookups, rep.mapping_fetches)
+            (
+                rep.answered,
+                rep.messages,
+                rep.data_lookups,
+                rep.mapping_fetches,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -24,7 +24,10 @@ pub enum MediationItem {
     Schema(Schema),
     /// A mapping stored at one of its schema key spaces; `at_source`
     /// says which role this copy plays.
-    Mapping { mapping: Mapping, at_source: bool },
+    Mapping {
+        mapping: Mapping,
+        at_source: bool,
+    },
     Connectivity(DegreeRecord),
 }
 
@@ -88,11 +91,12 @@ impl<'a> KeySpace<'a> {
     /// at the target.
     pub fn mapping_keys(&self, m: &Mapping) -> Vec<(BitString, bool)> {
         let mut keys = vec![(self.key_of(m.source.as_str()), true)];
-        keys.push((self.key_of(m.target.as_str()), false));
-        debug_assert!(matches!(
-            m.kind,
-            MappingKind::Equivalence | MappingKind::Subsumption
-        ));
+        if m.kind == MappingKind::Equivalence {
+            // §3: "at the key spaces corresponding to both schemas if the
+            // mapping is bidirectional"; one-way subsumption mappings are
+            // only discoverable from their source schema.
+            keys.push((self.key_of(m.target.as_str()), false));
+        }
         keys
     }
 
@@ -133,7 +137,11 @@ mod tests {
     fn triple_indexed_three_times() {
         let h = OrderPreservingHash::default();
         let ks = keyspace(&h);
-        let t = Triple::new("seq:P1", "EMBL#Organism", Term::literal("Aspergillus niger"));
+        let t = Triple::new(
+            "seq:P1",
+            "EMBL#Organism",
+            Term::literal("Aspergillus niger"),
+        );
         let [s, p, o] = ks.triple_keys(&t);
         assert_eq!(s.len(), 24);
         assert_ne!(s, p);

@@ -56,7 +56,9 @@ pub mod system;
 
 /// Glob-import surface.
 pub mod prelude {
-    pub use crate::harness::{BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport};
+    pub use crate::harness::{
+        BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport,
+    };
     pub use crate::item::{KeySpace, MediationItem};
     pub use crate::selforg::{RoundReport, SelfOrgConfig};
     pub use crate::system::conjunctive::{ConjunctiveOutcome, JoinMode};
@@ -65,7 +67,9 @@ pub mod prelude {
     };
 }
 
-pub use harness::{BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport};
+pub use harness::{
+    BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport,
+};
 pub use item::{KeySpace, MediationItem};
 pub use selforg::{RoundReport, SelfOrgConfig};
 pub use system::conjunctive::{ConjunctiveOutcome, JoinMode};

@@ -27,9 +27,8 @@ use crate::item::MediationItem;
 use crate::system::{GridVineSystem, SystemError};
 use gridvine_pgrid::PeerId;
 use gridvine_semantic::{
-    apply_assessment, assess, compose_path, find_path, match_profiles, BayesConfig,
-    Correspondence, MappingId, MappingKind, MatcherConfig, Provenance, Schema, SchemaId,
-    SchemaProfile,
+    apply_assessment, assess, compose_path, find_path, match_profiles, BayesConfig, Correspondence,
+    MappingId, MappingKind, MatcherConfig, Provenance, Schema, SchemaId, SchemaProfile,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -103,22 +102,36 @@ impl GridVineSystem {
             // copy, i.e. where the key equals Hash(subject)).
             let mut by_subject: BTreeMap<&str, BTreeSet<SchemaId>> = BTreeMap::new();
             for (key, item) in self.overlay().store(peer).iter() {
-                let MediationItem::Triple(t) = item else { continue };
-                if *key != self.key_of(t.subject.as_str()) {
-                    continue; // predicate- or object-indexed copy
-                }
+                let MediationItem::Triple(t) = item else {
+                    continue;
+                };
+                // Cheap filters first: the responsibility test is a few
+                // bit operations, and predicates that name no schema
+                // need no key at all — only then pay for hashing the
+                // subject to identify the subject-indexed copy.
                 if !view.is_responsible(key) {
                     continue;
                 }
-                if let Some((schema, _)) = Schema::split_predicate(&t.predicate) {
-                    by_subject.entry(t.subject.as_str()).or_default().insert(schema);
+                let Some((schema, _)) = Schema::split_predicate(&t.predicate) else {
+                    continue;
+                };
+                if *key != self.key_of(t.subject.as_str()) {
+                    continue; // predicate- or object-indexed copy
                 }
+                by_subject
+                    .entry(t.subject.as_str())
+                    .or_default()
+                    .insert(schema);
             }
             for (subject, schemas) in by_subject {
                 let v: Vec<&SchemaId> = schemas.iter().collect();
                 for a in 0..v.len() {
                     for b in a + 1..v.len() {
-                        let (x, y) = if v[a] <= v[b] { (v[a], v[b]) } else { (v[b], v[a]) };
+                        let (x, y) = if v[a] <= v[b] {
+                            (v[a], v[b])
+                        } else {
+                            (v[b], v[a])
+                        };
                         pair_counts
                             .entry((x.clone(), y.clone()))
                             .or_default()
@@ -154,7 +167,9 @@ impl GridVineSystem {
             let key = self.key_of(&predicate);
             let items = self.retrieve_raw(origin, &key)?;
             for item in items {
-                let MediationItem::Triple(t) = item else { continue };
+                let MediationItem::Triple(t) = item else {
+                    continue;
+                };
                 if t.predicate.as_str() != predicate {
                     continue; // hash collision with another value
                 }
@@ -167,7 +182,10 @@ impl GridVineSystem {
     }
 
     /// One full self-organization round.
-    pub fn self_organization_round(&mut self, cfg: &SelfOrgConfig) -> Result<RoundReport, SystemError> {
+    pub fn self_organization_round(
+        &mut self,
+        cfg: &SelfOrgConfig,
+    ) -> Result<RoundReport, SystemError> {
         let before = self.messages_sent();
         let monitor = self.random_peer();
 
@@ -215,7 +233,9 @@ impl GridVineSystem {
             let changed = self
                 .registry()
                 .mapping(id)
-                .map(|m| m.status != old_mapping.status || (m.quality - old_mapping.quality).abs() > 1e-3)
+                .map(|m| {
+                    m.status != old_mapping.status || (m.quality - old_mapping.quality).abs() > 1e-3
+                })
                 .unwrap_or(false);
             if changed {
                 self.refresh_mapping(monitor, id, &old_mapping)?;
@@ -258,7 +278,10 @@ impl GridVineSystem {
                 // Carry the composite's degraded confidence into the
                 // registry and its DHT copies.
                 let old = self.registry().mapping(new_id).expect("just added").clone();
-                self.registry_mut().mapping_mut(new_id).expect("exists").quality = c.quality;
+                self.registry_mut()
+                    .mapping_mut(new_id)
+                    .expect("exists")
+                    .quality = c.quality;
                 self.refresh_mapping(monitor, new_id, &old)?;
                 composed.push(new_id);
             }
@@ -375,7 +398,9 @@ mod tests {
         let candidates = sys.discover_candidates();
         for (a, b) in connected {
             assert!(
-                !candidates.iter().any(|(x, y, _)| (x, y) == (&a, &b) || (x, y) == (&b, &a)),
+                !candidates
+                    .iter()
+                    .any(|(x, y, _)| (x, y) == (&a, &b) || (x, y) == (&b, &a)),
                 "{a}→{b} already connected"
             );
         }
@@ -479,7 +504,11 @@ mod tests {
         );
         assert!(!sys.registry().mapping(bad).unwrap().is_active());
         // Manual chain mappings survive.
-        for m in sys.registry().mappings().filter(|m| m.provenance == Provenance::Manual) {
+        for m in sys
+            .registry()
+            .mappings()
+            .filter(|m| m.provenance == Provenance::Manual)
+        {
             assert!(m.is_active(), "{:?} wrongly deprecated", m.id);
         }
     }

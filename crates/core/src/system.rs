@@ -288,7 +288,11 @@ impl GridVineSystem {
     }
 
     /// Mark a mapping deprecated, refreshing its DHT copies.
-    pub fn deprecate_mapping(&mut self, origin: PeerId, id: MappingId) -> Result<bool, SystemError> {
+    pub fn deprecate_mapping(
+        &mut self,
+        origin: PeerId,
+        id: MappingId,
+    ) -> Result<bool, SystemError> {
         let Some(old) = self.registry.mapping(id).cloned() else {
             return Ok(false);
         };
@@ -301,7 +305,12 @@ impl GridVineSystem {
     }
 
     /// Push updated mapping state (quality/status) to its DHT copies.
-    pub fn refresh_mapping(&mut self, origin: PeerId, id: MappingId, old: &Mapping) -> Result<(), SystemError> {
+    pub fn refresh_mapping(
+        &mut self,
+        origin: PeerId,
+        id: MappingId,
+        old: &Mapping,
+    ) -> Result<(), SystemError> {
         let Some(new) = self.registry.mapping(id).cloned() else {
             return Ok(());
         };
@@ -372,8 +381,13 @@ impl GridVineSystem {
             .filter(|i| matches!(i, MediationItem::Connectivity(_)))
             .collect();
         for s in stale {
-            self.overlay
-                .update(origin, UpdateOp::Delete, domain_key.clone(), s, &mut self.rng)?;
+            self.overlay.update(
+                origin,
+                UpdateOp::Delete,
+                domain_key.clone(),
+                s,
+                &mut self.rng,
+            )?;
         }
         let n = records.len();
         for r in records {
@@ -564,7 +578,11 @@ impl GridVineSystem {
                     // forward onward; results return straight to the
                     // origin (one message charged at resolve time).
                     let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
-                    let items = self.overlay.store(route.destination).get(&schema_key).to_vec();
+                    let items = self
+                        .overlay
+                        .store(route.destination)
+                        .get(&schema_key)
+                        .to_vec();
                     let maps = items
                         .into_iter()
                         .filter_map(|i| match i {
@@ -639,8 +657,10 @@ mod tests {
             ..GridVineConfig::default()
         });
         let p0 = PeerId(0);
-        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
-        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"])).unwrap();
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+            .unwrap();
+        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"]))
+            .unwrap();
         sys.insert_mapping(
             p0,
             "EMBL",
@@ -654,10 +674,15 @@ mod tests {
         for (s, p, o) in [
             ("seq:A78712", "EMBL#Organism", "Aspergillus niger"),
             ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
-            ("seq:NEN94295-05", "EMP#SystematicName", "Aspergillus oryzae"),
+            (
+                "seq:NEN94295-05",
+                "EMP#SystematicName",
+                "Aspergillus oryzae",
+            ),
             ("seq:X99999", "EMP#SystematicName", "Escherichia coli"),
         ] {
-            sys.insert_triple(p0, Triple::new(s, p, Term::literal(o))).unwrap();
+            sys.insert_triple(p0, Triple::new(s, p, Term::literal(o)))
+                .unwrap();
         }
         sys
     }
@@ -720,13 +745,19 @@ mod tests {
             ..GridVineConfig::default()
         });
         let p0 = PeerId(0);
-        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
-        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"])).unwrap();
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+            .unwrap();
+        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"]))
+            .unwrap();
         sys.insert_mapping(
-            p0, "EMBL", "EMP",
-            MappingKind::Equivalence, Provenance::Manual,
+            p0,
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
             vec![Correspondence::new("Organism", "SystematicName")],
-        ).unwrap();
+        )
+        .unwrap();
         let q = TriplePatternQuery::example_aspergillus();
         let out = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
         assert_eq!(out.reformulations, 0);
@@ -759,7 +790,10 @@ mod tests {
             ),
         )
         .unwrap();
-        assert_eq!(sys.resolve_pattern(PeerId(0), &q), Err(SystemError::NotRoutable));
+        assert_eq!(
+            sys.resolve_pattern(PeerId(0), &q),
+            Err(SystemError::NotRoutable)
+        );
         assert!(matches!(
             sys.search(PeerId(0), &q, Strategy::Iterative),
             Err(SystemError::NoQuerySchema)
@@ -906,10 +940,15 @@ mod tests {
                 ..GridVineConfig::default()
             });
             let p0 = PeerId(0);
-            sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+            sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+                .unwrap();
             sys.insert_triple(
                 p0,
-                Triple::new("seq:P1", "EMBL#Organism", Term::literal("Aspergillus niger")),
+                Triple::new(
+                    "seq:P1",
+                    "EMBL#Organism",
+                    Term::literal("Aspergillus niger"),
+                ),
             )
             .unwrap();
             let q = TriplePatternQuery::example_aspergillus();

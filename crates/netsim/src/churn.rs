@@ -96,7 +96,11 @@ impl ChurnProcess {
                 events.push(ChurnEvent {
                     at: t,
                     node,
-                    kind: if up { ChurnKind::Fail } else { ChurnKind::Recover },
+                    kind: if up {
+                        ChurnKind::Fail
+                    } else {
+                        ChurnKind::Recover
+                    },
                 });
                 up = !up;
             }

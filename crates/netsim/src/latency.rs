@@ -205,10 +205,7 @@ impl LatencyModel for RegionalWan {
         let delay = rng::log_normal(&mut self.rng, median, self.cfg.sigma);
         // The receiver pays the processing cost, scaled by its own
         // slowdown factor (heterogeneous machines).
-        let processing = self
-            .cfg
-            .processing
-            .mul_f64(self.slowdown_of[to.index()]);
+        let processing = self.cfg.processing.mul_f64(self.slowdown_of[to.index()]);
         SimDuration::from_secs_f64(delay) + processing
     }
 

@@ -8,7 +8,9 @@
 
 use crate::clock::{SimDuration, SimTime};
 use crate::event::EventQueue;
-use crate::latency::{ConstantLatency, LatencyModel, RegionalWan, RegionalWanConfig, UniformLatency};
+use crate::latency::{
+    ConstantLatency, LatencyModel, RegionalWan, RegionalWanConfig, UniformLatency,
+};
 use crate::node::{Action, Ctx, Node, NodeId};
 use crate::rng;
 use rand::rngs::StdRng;

@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn log_normal_median_roughly_holds() {
         let mut rng = seeded(1);
-        let mut samples: Vec<f64> = (0..20_001).map(|_| log_normal(&mut rng, 50.0, 0.5)).collect();
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| log_normal(&mut rng, 50.0, 0.5))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         assert!((median - 50.0).abs() < 3.0, "median was {median}");

@@ -7,18 +7,25 @@
 //! operations the overlay needs: prefix tests, common-prefix length,
 //! child extension, and lexicographic (= numeric) ordering.
 //!
-//! Bits are packed MSB-first into bytes so that lexicographic comparison
-//! of the packed form agrees with bit-by-bit comparison.
+//! Bits are packed MSB-first into `u64` words so that comparing packed
+//! words agrees with bit-by-bit comparison, and the prefix operations the
+//! router leans on run word-wise: `common_prefix_len` is one XOR +
+//! `leading_zeros` per 64 bits instead of a per-bit loop.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
+const WORD_BITS: usize = 64;
+
 /// An immutable-ish sequence of bits with cheap prefix operations.
+///
+/// Invariant: bits beyond `len` in the last word are zero, so derived
+/// `PartialEq`/`Hash` over the packed words are correct.
 #[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct BitString {
-    /// Packed bits, MSB first. Trailing bits of the last byte are zero.
-    bytes: Vec<u8>,
+    /// Packed bits, MSB first within each word.
+    words: Vec<u64>,
     /// Number of valid bits.
     len: usize,
 }
@@ -49,17 +56,25 @@ impl BitString {
     /// those bits first. Used by hash functions emitting fixed-width keys.
     pub fn from_u64(value: u64, len: usize) -> BitString {
         assert!(len <= 64, "at most 64 bits from a u64");
-        let mut b = BitString::with_capacity(len);
-        for i in (0..len).rev() {
-            b.push((value >> i) & 1 == 1);
+        if len == 0 {
+            return BitString::empty();
         }
-        b
+        // Left-align the low `len` bits into one MSB-first word.
+        let masked = if len == 64 {
+            value
+        } else {
+            value & ((1 << len) - 1)
+        };
+        BitString {
+            words: vec![masked << (WORD_BITS - len)],
+            len,
+        }
     }
 
     /// Pre-allocate for `bits` bits.
     pub fn with_capacity(bits: usize) -> BitString {
         BitString {
-            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            words: Vec::with_capacity(bits.div_ceil(WORD_BITS)),
             len: 0,
         }
     }
@@ -81,18 +96,22 @@ impl BitString {
     /// Panics if `i >= len`.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
-        (self.bytes[i / 8] >> (7 - i % 8)) & 1 == 1
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
+        (self.words[i / WORD_BITS] >> (WORD_BITS - 1 - i % WORD_BITS)) & 1 == 1
     }
 
     /// Append one bit.
     pub fn push(&mut self, bit: bool) {
-        if self.len.is_multiple_of(8) {
-            self.bytes.push(0);
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words.push(0);
         }
         if bit {
-            let last = self.bytes.len() - 1;
-            self.bytes[last] |= 1 << (7 - self.len % 8);
+            let last = self.words.len() - 1;
+            self.words[last] |= 1 << (WORD_BITS - 1 - self.len % WORD_BITS);
         }
         self.len += 1;
     }
@@ -107,10 +126,10 @@ impl BitString {
         // Clear the vacated bit so packed equality keeps working.
         if bit {
             let idx = self.len;
-            self.bytes[idx / 8] &= !(1 << (7 - idx % 8));
+            self.words[idx / WORD_BITS] &= !(1 << (WORD_BITS - 1 - idx % WORD_BITS));
         }
-        if self.len.div_ceil(8) < self.bytes.len() {
-            self.bytes.pop();
+        if self.len.div_ceil(WORD_BITS) < self.words.len() {
+            self.words.pop();
         }
         Some(bit)
     }
@@ -123,35 +142,37 @@ impl BitString {
         c
     }
 
-    /// First `n` bits as a new bit string.
+    /// First `n` bits as a new bit string — a word copy plus one mask.
     ///
     /// # Panics
     /// Panics if `n > len`.
     pub fn prefix(&self, n: usize) -> BitString {
         assert!(n <= self.len, "prefix {n} longer than {}", self.len);
-        let mut p = BitString::with_capacity(n);
-        for i in 0..n {
-            p.push(self.bit(i));
+        let mut words: Vec<u64> = self.words[..n.div_ceil(WORD_BITS)].to_vec();
+        let tail = n % WORD_BITS;
+        if tail != 0 {
+            // Zero the bits past `n` to preserve the packing invariant.
+            let last = words.len() - 1;
+            words[last] &= !0 << (WORD_BITS - tail);
         }
-        p
+        BitString { words, len: n }
     }
 
     /// Whether `self` is a prefix of `other` (every key a peer is
     /// responsible for satisfies `peer_path.is_prefix_of(key)`).
     pub fn is_prefix_of(&self, other: &BitString) -> bool {
-        if self.len > other.len {
-            return false;
-        }
-        (0..self.len).all(|i| self.bit(i) == other.bit(i))
+        self.len <= other.len && self.common_prefix_len(other) == self.len
     }
 
     /// Length of the longest common prefix with `other`. Prefix routing
-    /// forwards at exactly this level.
+    /// forwards at exactly this level. Runs word-wise: one XOR +
+    /// `leading_zeros` per 64 bits.
     pub fn common_prefix_len(&self, other: &BitString) -> usize {
         let n = self.len.min(other.len);
-        for i in 0..n {
-            if self.bit(i) != other.bit(i) {
-                return i;
+        for (w, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let diff = a ^ b;
+            if diff != 0 {
+                return (w * WORD_BITS + diff.leading_zeros() as usize).min(n);
             }
         }
         n
@@ -196,14 +217,15 @@ impl PartialOrd for BitString {
 
 impl Ord for BitString {
     /// Lexicographic bit order: `"0" < "01" < "1"`. Combined with the
-    /// order-preserving hash this makes key ranges contiguous in the tree.
+    /// order-preserving hash this makes key ranges contiguous in the
+    /// tree. Compares a word at a time: since trailing bits are zero,
+    /// the first differing word decides exactly as the first differing
+    /// bit would (a shorter string that is a prefix of the longer one
+    /// has equal words throughout, and the length comparison decides).
     fn cmp(&self, other: &Self) -> Ordering {
-        let n = self.len.min(other.len);
-        for i in 0..n {
-            match (self.bit(i), other.bit(i)) {
-                (false, true) => return Ordering::Less,
-                (true, false) => return Ordering::Greater,
-                _ => {}
+        for (a, b) in self.words.iter().zip(&other.words) {
+            if a != b {
+                return a.cmp(b);
             }
         }
         self.len.cmp(&other.len)
@@ -326,6 +348,31 @@ mod tests {
     fn bit_out_of_range_panics() {
         BitString::parse("01").bit(2);
     }
+
+    #[test]
+    fn word_boundary_operations() {
+        // Strings spanning multiple u64 words: 64 is the boundary.
+        let a: String = "01".repeat(50); // 100 bits
+        let b = format!("{}{}", &a[..80], "1111");
+        let x = BitString::parse(&a);
+        let y = BitString::parse(&b);
+        assert_eq!(x.to_string(), a);
+        assert_eq!(x.len(), 100);
+        assert_eq!(x.common_prefix_len(&x), 100);
+        assert_eq!(x.common_prefix_len(&y), 80);
+        assert_eq!(x.prefix(80), y.prefix(80));
+        assert!(x.prefix(80).is_prefix_of(&x));
+        assert!(x.prefix(64).is_prefix_of(&x));
+        assert_eq!(x.prefix(64).common_prefix_len(&x), 64);
+        assert_eq!(x.cmp(&y), x.to_string().cmp(&y.to_string()));
+        // pop back across the word boundary, clearing storage.
+        let mut z = BitString::parse(&a);
+        for _ in 0..40 {
+            z.pop();
+        }
+        assert_eq!(z, x.prefix(60));
+        assert_eq!(z.to_string(), a[..60].to_string());
+    }
 }
 
 #[cfg(test)]
@@ -334,7 +381,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_bits() -> impl Strategy<Value = BitString> {
-        proptest::collection::vec(any::<bool>(), 0..64).prop_map(|bits| {
+        // Cross the u64 word boundary so the word-wise paths are covered.
+        proptest::collection::vec(any::<bool>(), 0..100).prop_map(|bits| {
             let mut b = BitString::empty();
             for bit in bits {
                 b.push(bit);

@@ -245,9 +245,10 @@ impl ExchangeBuilder {
         let new_path = self.peers[si].path.child(!deep_bit);
         // Hand over the keys that now belong to the deep peer's half.
         let np = new_path.clone();
-        let (keep, give): (Vec<BitString>, Vec<BitString>) = std::mem::take(&mut self.peers[si].keys)
-            .into_iter()
-            .partition(|k| np.is_prefix_of(k));
+        let (keep, give): (Vec<BitString>, Vec<BitString>) =
+            std::mem::take(&mut self.peers[si].keys)
+                .into_iter()
+                .partition(|k| np.is_prefix_of(k));
         self.peers[si].path = new_path;
         self.peers[si].keys = keep;
         for k in give {
@@ -294,8 +295,7 @@ impl ExchangeBuilder {
     /// overlap.
     pub fn finalize<R: Rng + ?Sized>(mut self, rng: &mut R) -> Topology {
         loop {
-            let paths: BTreeSet<BitString> =
-                self.peers.iter().map(|p| p.path.clone()).collect();
+            let paths: BTreeSet<BitString> = self.peers.iter().map(|p| p.path.clone()).collect();
             // Find a peer whose path is a proper prefix of another path.
             let offender = self.peers.iter().position(|p| {
                 paths
@@ -352,7 +352,9 @@ impl ExchangeBuilder {
         // Coverage repair: any hole gets a surplus replica reassigned.
         loop {
             let holes = self.coverage_holes();
-            let Some(hole) = holes.into_iter().next() else { break };
+            let Some(hole) = holes.into_iter().next() else {
+                break;
+            };
             // A donor is any peer whose path has another peer on it.
             let mut donor = None;
             for (i, p) in self.peers.iter().enumerate() {
@@ -390,9 +392,7 @@ impl ExchangeBuilder {
                 let mut pool: Vec<PeerId> = paths
                     .iter()
                     .enumerate()
-                    .filter(|(j, q)| {
-                        *j != i && (sib.is_prefix_of(q) || q.is_prefix_of(&sib))
-                    })
+                    .filter(|(j, q)| *j != i && (sib.is_prefix_of(q) || q.is_prefix_of(&sib)))
                     .map(|(j, _)| PeerId::from_index(j))
                     .collect();
                 pool.shuffle(rng);
@@ -403,16 +403,14 @@ impl ExchangeBuilder {
             }
         }
 
-        let routing: Vec<Vec<Vec<PeerId>>> =
-            self.peers.iter().map(|p| p.refs.clone()).collect();
+        let routing: Vec<Vec<Vec<PeerId>>> = self.peers.iter().map(|p| p.refs.clone()).collect();
         Topology::from_paths_and_routing(paths, routing)
     }
 
     /// Maximal uncovered regions of the key space (empty when coverage
     /// is complete).
     fn coverage_holes(&self) -> Vec<BitString> {
-        let paths: BTreeSet<BitString> =
-            self.peers.iter().map(|p| p.path.clone()).collect();
+        let paths: BTreeSet<BitString> = self.peers.iter().map(|p| p.path.clone()).collect();
         let mut holes = Vec::new();
         let mut stack = vec![BitString::empty()];
         while let Some(region) = stack.pop() {
@@ -469,8 +467,7 @@ mod tests {
         let build = |seed| {
             let n = 32;
             let mut r = rng(seed);
-            let mut b =
-                ExchangeBuilder::new(n, uniform_keys(n, 16, 9), ExchangeConfig::default());
+            let mut b = ExchangeBuilder::new(n, uniform_keys(n, 16, 9), ExchangeConfig::default());
             b.run(&mut r);
             let topo = b.finalize(&mut r);
             (0..n)

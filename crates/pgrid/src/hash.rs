@@ -66,7 +66,9 @@ impl OrderPreservingHash {
 
     #[inline]
     fn digit(&self, byte: u8) -> u32 {
-        (byte as u32).saturating_sub(self.offset).min(self.radix - 1)
+        (byte as u32)
+            .saturating_sub(self.offset)
+            .min(self.radix - 1)
     }
 }
 
@@ -150,7 +152,15 @@ mod tests {
     fn op_hash_is_order_preserving_on_examples() {
         let h = OrderPreservingHash::default();
         let words = [
-            "", "A", "AB", "Aspergillus", "B", "EMBL#Organism", "EMP#SystematicName", "a", "zzz",
+            "",
+            "A",
+            "AB",
+            "Aspergillus",
+            "B",
+            "EMBL#Organism",
+            "EMP#SystematicName",
+            "a",
+            "zzz",
         ];
         for w in words.windows(2) {
             let ka = h.hash(w[0], 32);
@@ -194,7 +204,11 @@ mod tests {
         let a = h.hash("EMBL#OrganismClassification", 32);
         let b = h.hash("EMBL#OrganismSpecies", 32);
         // Shared 13-char prefix => deep shared key prefix (locality).
-        assert!(a.common_prefix_len(&b) >= 16, "lcp {}", a.common_prefix_len(&b));
+        assert!(
+            a.common_prefix_len(&b) >= 16,
+            "lcp {}",
+            a.common_prefix_len(&b)
+        );
     }
 
     #[test]

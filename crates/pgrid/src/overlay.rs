@@ -338,8 +338,14 @@ mod tests {
         let mut r = rng();
         let h = OrderPreservingHash::default();
         let key = h.hash("swissprot:P12345", 24);
-        o.update(PeerId(1), UpdateOp::Insert, key.clone(), "record".to_string(), &mut r)
-            .expect("update ok");
+        o.update(
+            PeerId(1),
+            UpdateOp::Insert,
+            key.clone(),
+            "record".to_string(),
+            &mut r,
+        )
+        .expect("update ok");
         let (values, _) = o.retrieve(PeerId(30), &key, &mut r).expect("retrieve ok");
         assert_eq!(values, vec!["record".to_string()]);
     }

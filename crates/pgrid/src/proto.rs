@@ -94,7 +94,10 @@ impl<V> Outcome<V> {
 enum PendingKind {
     /// Retrieves carry their key so timeouts can retry through a
     /// different random path/replica.
-    Retrieve { key: BitString, retries_left: u32 },
+    Retrieve {
+        key: BitString,
+        retries_left: u32,
+    },
     Update,
 }
 

@@ -56,11 +56,21 @@ impl fmt::Display for PeerId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyError {
     /// Two distinct paths where one is a prefix of the other.
-    PrefixOverlap { shorter: BitString, longer: BitString },
+    PrefixOverlap {
+        shorter: BitString,
+        longer: BitString,
+    },
     /// The distinct paths do not cover the key space.
-    IncompleteCoverage { covered_fraction_num: u64, covered_fraction_den: u64 },
+    IncompleteCoverage {
+        covered_fraction_num: u64,
+        covered_fraction_den: u64,
+    },
     /// A routing reference violates the level agreement rule.
-    BadReference { peer: PeerId, level: usize, target: PeerId },
+    BadReference {
+        peer: PeerId,
+        level: usize,
+        target: PeerId,
+    },
     /// A replica set disagrees with path equality.
     BadReplicaSet { peer: PeerId },
 }
@@ -78,8 +88,15 @@ impl fmt::Display for TopologyError {
                 f,
                 "paths cover {covered_fraction_num}/{covered_fraction_den} of the key space"
             ),
-            TopologyError::BadReference { peer, level, target } => {
-                write!(f, "peer {peer} level-{level} reference to {target} is invalid")
+            TopologyError::BadReference {
+                peer,
+                level,
+                target,
+            } => {
+                write!(
+                    f,
+                    "peer {peer} level-{level} reference to {target} is invalid"
+                )
             }
             TopologyError::BadReplicaSet { peer } => {
                 write!(f, "replica set of {peer} is inconsistent")
@@ -167,7 +184,10 @@ impl Topology {
     ) -> Topology {
         let mut groups: BTreeMap<BitString, Vec<PeerId>> = BTreeMap::new();
         for (i, p) in paths.iter().enumerate() {
-            groups.entry(p.clone()).or_default().push(PeerId::from_index(i));
+            groups
+                .entry(p.clone())
+                .or_default()
+                .push(PeerId::from_index(i));
         }
         let mut topo = Topology {
             paths,
@@ -256,7 +276,10 @@ impl Topology {
         assert_eq!(paths.len(), routing.len(), "one routing table per peer");
         let mut groups: BTreeMap<BitString, Vec<PeerId>> = BTreeMap::new();
         for (i, p) in paths.iter().enumerate() {
-            groups.entry(p.clone()).or_default().push(PeerId::from_index(i));
+            groups
+                .entry(p.clone())
+                .or_default()
+                .push(PeerId::from_index(i));
         }
         let mut sanitized = Vec::with_capacity(routing.len());
         for (i, levels) in routing.into_iter().enumerate() {
@@ -266,9 +289,7 @@ impl Topology {
                 let sib = path.sibling_at(l);
                 for r in refs {
                     let tp = &paths[r.index()];
-                    if (sib.is_prefix_of(tp) || tp.is_prefix_of(&sib))
-                        && !clean[l].contains(&r)
-                    {
+                    if (sib.is_prefix_of(tp) || tp.is_prefix_of(&sib)) && !clean[l].contains(&r) {
                         clean[l].push(r);
                     }
                 }
@@ -383,10 +404,7 @@ impl Topology {
         let depth = self.depth();
         if depth <= 63 {
             let den: u64 = 1u64 << depth;
-            let num: u64 = distinct
-                .iter()
-                .map(|p| 1u64 << (depth - p.len()))
-                .sum();
+            let num: u64 = distinct.iter().map(|p| 1u64 << (depth - p.len())).sum();
             if num != den {
                 return Err(TopologyError::IncompleteCoverage {
                     covered_fraction_num: num,
@@ -561,8 +579,8 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use rand::SeedableRng;
     use proptest::prelude::*;
+    use rand::SeedableRng;
 
     proptest! {
         /// Balanced topologies of any size validate and give every key a

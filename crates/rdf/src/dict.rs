@@ -1,0 +1,283 @@
+//! The interned term dictionary: lexical values ⇄ dense [`TermId`]s.
+//!
+//! Every distinct lexical form (URI text or literal text) that enters a
+//! [`crate::TripleStore`] is interned exactly once and addressed by a
+//! dense `u32` id from then on. Triples are stored as id tuples, the
+//! store's indexes are keyed by id, and selections/joins compare ids —
+//! string bytes are only touched at ingest (one hash of the lexical) and
+//! at the result boundary (materializing terms for the caller).
+//!
+//! The string data itself lives in reference-counted `Arc<str>` buffers
+//! shared between the id→string table, the string→id map and the
+//! sorted per-position key indexes, so each distinct lexical is stored
+//! once regardless of how many rows or indexes reference it.
+
+use crate::fasthash::FxHasher;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Dense identifier of an interned lexical value.
+///
+/// Ids are assigned in first-seen order and are stable for the lifetime
+/// of the owning [`TermDict`] (a [`crate::TripleStore::compact`] rebuilds
+/// the dictionary and may renumber).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Hash of a lexical value: Fx over the bytes, with a final avalanche
+/// mix so both the table index (low bits) and the stored verifier (all
+/// 64 bits) are well distributed.
+#[inline]
+fn hash_lexical(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    let mut z = h.finish();
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 31)
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// One open-addressing slot: hash verifier + id, interleaved so a probe
+/// touches a single cache line.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Slot {
+    hash: u64,
+    id: u32,
+}
+
+const VACANT: Slot = Slot { hash: 0, id: EMPTY };
+
+/// Open-addressed `(hash64, id)` slots. A probe touches one flat array
+/// and compares `u64`s; the interned string itself is only read to
+/// verify a full 64-bit hash match (i.e. almost only on true hits) —
+/// the hot path costs one cache miss, not a bucket walk plus a
+/// scattered key compare.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct IdTable {
+    /// Power-of-two length; `id == EMPTY` marks a vacant slot.
+    slots: Vec<Slot>,
+    len: usize,
+}
+
+impl IdTable {
+    fn probe(&self, hash: u64, is_match: impl Fn(u32) -> bool) -> Result<u32, usize> {
+        debug_assert!(!self.slots.is_empty());
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.id == EMPTY {
+                return Err(i);
+            }
+            if slot.hash == hash && is_match(slot.id) {
+                return Ok(slot.id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow_to(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two() && cap >= self.slots.len());
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; cap]);
+        let mask = cap - 1;
+        for slot in old {
+            if slot.id == EMPTY {
+                continue;
+            }
+            let mut i = (slot.hash as usize) & mask;
+            while self.slots[i].id != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+        }
+    }
+
+    fn grow(&mut self) {
+        self.grow_to((self.slots.len() * 2).max(16));
+    }
+}
+
+/// Bidirectional map between lexical values and [`TermId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TermDict {
+    table: IdTable,
+    terms: Vec<Arc<str>>,
+}
+
+impl TermDict {
+    pub fn new() -> TermDict {
+        TermDict::default()
+    }
+
+    /// Number of distinct interned lexical values.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Intern a lexical value, allocating an id on first sight.
+    pub fn intern(&mut self, lexical: &str) -> TermId {
+        match self.find_or_slot(lexical) {
+            Ok(id) => id,
+            Err((slot, hash)) => self.insert_new(Arc::from(lexical), slot, hash),
+        }
+    }
+
+    /// Intern an already-shared buffer: a first-seen value is adopted by
+    /// reference count, with no string copy at all.
+    pub fn intern_shared(&mut self, lexical: &Arc<str>) -> TermId {
+        match self.find_or_slot(lexical) {
+            Ok(id) => id,
+            Err((slot, hash)) => self.insert_new(Arc::clone(lexical), slot, hash),
+        }
+    }
+
+    /// Locate `lexical`, or the vacant slot (and hash) where it belongs.
+    fn find_or_slot(&mut self, lexical: &str) -> Result<TermId, (usize, u64)> {
+        // Keep load factor under 3/4 (growing may move the vacant slot,
+        // so grow before probing).
+        if (self.table.len + 1) * 4 > self.table.slots.len() * 3 {
+            self.table.grow();
+        }
+        let hash = hash_lexical(lexical);
+        self.table
+            .probe(hash, |id| &*self.terms[id as usize] == lexical)
+            .map(TermId)
+            .map_err(|slot| (slot, hash))
+    }
+
+    fn insert_new(&mut self, arc: Arc<str>, slot: usize, hash: u64) -> TermId {
+        let id = u32::try_from(self.terms.len()).expect("term dictionary overflow");
+        assert!(id != EMPTY, "term dictionary overflow");
+        self.table.slots[slot] = Slot { hash, id };
+        self.table.len += 1;
+        self.terms.push(arc);
+        TermId(id)
+    }
+
+    /// Pre-size the table for `additional` more distinct values, so bulk
+    /// interning proceeds without intermediate growth rehashes. Prefer
+    /// accurate estimates: an oversized table costs more in probe cache
+    /// misses than geometric growth would.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = (self.terms.len() + additional) * 4 / 3 + 1;
+        if needed > self.table.slots.len() {
+            self.table.grow_to(needed.next_power_of_two().max(16));
+        }
+        self.terms.reserve(additional);
+    }
+
+    /// Id of an already-interned value, if any. The read-only half of
+    /// [`TermDict::intern`]: selections use it so probing for a value
+    /// the store has never seen is a single hash and no allocation.
+    pub fn lookup(&self, lexical: &str) -> Option<TermId> {
+        if self.table.slots.is_empty() {
+            return None;
+        }
+        self.table
+            .probe(hash_lexical(lexical), |id| {
+                &*self.terms[id as usize] == lexical
+            })
+            .ok()
+            .map(TermId)
+    }
+
+    /// The lexical value of an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    #[inline]
+    pub fn resolve(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Shared handle to the interned buffer (for secondary indexes that
+    /// key on the string without copying it).
+    #[inline]
+    pub(crate) fn shared(&self, id: TermId) -> Arc<str> {
+        Arc::clone(&self.terms[id.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = TermDict::new();
+        let a = d.intern("EMBL#Organism");
+        let b = d.intern("embl:A78712");
+        let a2 = d.intern("EMBL#Organism");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = TermDict::new();
+        for s in ["", "a", "Aspergillus niger", "seq:A78712", "100%"] {
+            let id = d.intern(s);
+            assert_eq!(d.resolve(id), s);
+            assert_eq!(d.lookup(s), Some(id));
+        }
+        assert_eq!(d.lookup("never seen"), None);
+    }
+
+    #[test]
+    fn shared_buffers_are_refcounted_not_copied() {
+        let mut d = TermDict::new();
+        let id = d.intern("EMBL#Organism");
+        let h1 = d.shared(id);
+        let h2 = d.shared(id);
+        assert!(Arc::ptr_eq(&h1, &h2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// intern → resolve is lossless for URI-ish and literal-ish
+        /// strings alike, and lookup agrees with intern.
+        #[test]
+        fn round_trip_lossless(values in proptest::collection::vec("[ -~]{0,24}", 0..40)) {
+            let mut d = TermDict::new();
+            let ids: Vec<TermId> = values.iter().map(|v| d.intern(v)).collect();
+            for (v, id) in values.iter().zip(&ids) {
+                prop_assert_eq!(d.resolve(*id), v.as_str());
+                prop_assert_eq!(d.lookup(v), Some(*id));
+            }
+            // Distinct values get distinct ids; equal values share one.
+            for (i, a) in values.iter().enumerate() {
+                for (j, b) in values.iter().enumerate() {
+                    prop_assert_eq!(ids[i] == ids[j], a == b, "{:?} vs {:?}", a, b);
+                }
+            }
+        }
+    }
+}

@@ -10,6 +10,34 @@
 //! dependency: it is the "what" of GridVine's data, while
 //! `gridvine-pgrid` is the "where" and `gridvine-core` the "how".
 //!
+//! ## Architecture: interned terms, id indexes, hash joins
+//!
+//! The storage and query layer is organized around a term dictionary
+//! ([`dict`]): every distinct lexical value entering a [`TripleStore`]
+//! is interned to a dense [`TermId`], and a stored triple is one row of
+//! three ids (plus the object's uri/literal kind). On top of that:
+//!
+//! * **selection** — the three per-position indexes are posting lists
+//!   keyed by id (`HashMap<TermId, Vec<u32>>`); probing a value the
+//!   store has never seen is one hash, no allocation. Each position
+//!   additionally keeps a sorted key index (`BTreeMap<Arc<str>,
+//!   TermId>`, sharing the dictionary's buffers), so `select_like`
+//!   prefix patterns (`abc%`) run as range scans, and suffix/contains
+//!   patterns scan the *distinct terms* of a position rather than its
+//!   rows;
+//! * **join** — conjunctive evaluation runs in the hash-join binding
+//!   engine ([`join`]): solution rows are `Vec<u64>` term codes over the
+//!   query's variable slots ([`join::VarTable`]), merged by hashing the
+//!   shared variables ([`join::hash_join_rows`]) instead of the old
+//!   O(n·m) nested loop over string-keyed maps. The distributed engine
+//!   in `gridvine-core` reuses the same kernel with a query-scoped
+//!   [`join::TermInterner`], since rows arriving from remote peers are
+//!   coded against the origin's interner rather than any one store's
+//!   dictionary;
+//! * **result boundary** — strings are materialized back into [`Term`]s
+//!   and [`Binding`]s only for rows that survive selection, join and
+//!   projection.
+//!
 //! ```
 //! use gridvine_rdf::prelude::*;
 //!
@@ -23,7 +51,10 @@
 //! assert_eq!(q.evaluate(&db), vec![Term::uri("embl:A78712")]);
 //! ```
 
+pub mod dict;
+pub mod fasthash;
 pub mod guid;
+pub mod join;
 pub mod parser;
 pub mod query;
 pub mod store;
@@ -32,17 +63,19 @@ pub mod triple;
 
 /// Glob-import surface.
 pub mod prelude {
+    pub use crate::dict::{TermDict, TermId};
     pub use crate::guid::Guid;
     pub use crate::parser::{parse_query, parse_single, ParseError};
     pub use crate::query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
-    pub use crate::store::TripleStore;
-    pub use crate::term::{like_match, Term, Uri};
+    pub use crate::store::{TripleRef, TripleStore};
+    pub use crate::term::{like_match, LikePattern, Term, Uri};
     pub use crate::triple::{Binding, PatternTerm, Position, Triple, TriplePattern};
 }
 
+pub use dict::{TermDict, TermId};
 pub use guid::Guid;
 pub use parser::{parse_query, parse_single, ParseError};
 pub use query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
-pub use store::TripleStore;
-pub use term::{like_match, Term, Uri};
+pub use store::{TripleRef, TripleStore};
+pub use term::{like_match, LikePattern, Term, Uri};
 pub use triple::{Binding, PatternTerm, Position, Triple, TriplePattern};

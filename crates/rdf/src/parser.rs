@@ -237,10 +237,9 @@ mod tests {
         assert_eq!(with_comma.patterns.len(), 2);
         assert_eq!(with_comma.distinguished, vec!["x", "len"]);
 
-        let juxtaposed = parse_query(
-            r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%A%") (?x, <EMBL#Len>, ?len)"#,
-        )
-        .expect("parses");
+        let juxtaposed =
+            parse_query(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%A%") (?x, <EMBL#Len>, ?len)"#)
+                .expect("parses");
         assert_eq!(juxtaposed.patterns.len(), 2);
     }
 

@@ -7,10 +7,12 @@
 //! similar manner, by iteratively resolving each triple pattern contained
 //! in the query and aggregating the sets of results retrieved."
 
+use crate::join::{hash_join_rows, VarTable};
 use crate::store::TripleStore;
 use crate::term::Term;
 use crate::triple::{Binding, PatternTerm, TriplePattern};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fmt;
 
 /// `SearchFor(x? : (s, p, o))` — one pattern, one distinguished variable.
@@ -34,7 +36,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::UnboundDistinguished { var } => {
-                write!(f, "distinguished variable ?{var} does not appear in the query")
+                write!(
+                    f,
+                    "distinguished variable ?{var} does not appear in the query"
+                )
             }
             QueryError::EmptyQuery => write!(f, "conjunctive query has no patterns"),
         }
@@ -120,30 +125,43 @@ impl ConjunctiveQuery {
         })
     }
 
-    /// Evaluate against one local database by iterative pattern
-    /// resolution and binding joins, then project onto the distinguished
-    /// variables.
+    /// Evaluate against one local database: iterative pattern resolution
+    /// over the id-level indexes, hash joins on the shared variables
+    /// ([`crate::join`]), then projection onto the distinguished
+    /// variables. Terms are materialized only for the surviving rows.
     pub fn evaluate(&self, db: &TripleStore) -> Vec<Binding> {
-        let mut partial: Vec<Binding> = vec![Binding::new()];
+        let vars = VarTable::from_patterns(&self.patterns);
+        let mut rows: Vec<Vec<u64>> = vec![vars.empty_row()];
         for pattern in &self.patterns {
-            let matches = db.match_pattern(pattern);
-            let mut next = Vec::new();
-            for acc in &partial {
-                for m in &matches {
-                    if let Some(j) = acc.join(m) {
-                        next.push(j);
-                    }
-                }
-            }
-            partial = next;
-            if partial.is_empty() {
+            let matches = db.match_codes(pattern, &vars);
+            rows = hash_join_rows(&rows, &matches);
+            if rows.is_empty() {
                 break;
             }
         }
-        let vars: Vec<&str> = self.distinguished.iter().map(String::as_str).collect();
-        let mut out: Vec<Binding> = partial.into_iter().map(|b| b.project(&vars)).collect();
+        // π onto the distinguished variables, dedup on codes, then
+        // materialize and sort for a stable, readable output order.
+        // `slots` and `proj` are built from the same filtered name set,
+        // so a distinguished variable that occurs in no pattern (only
+        // reachable by constructing the struct directly) is skipped —
+        // like the seed's projection — rather than misaligning names.
+        let mut slots: Vec<usize> = Vec::with_capacity(self.distinguished.len());
+        let mut proj = VarTable::new();
+        for d in &self.distinguished {
+            if let Some(s) = vars.slot(d) {
+                slots.push(s);
+                proj.slot_of(d);
+            }
+        }
+        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(rows.len());
+        let mut out: Vec<Binding> = Vec::new();
+        for row in &rows {
+            let projected: Vec<u64> = slots.iter().map(|&s| row[s]).collect();
+            if seen.insert(projected.clone()) {
+                out.push(db.decode_row(&projected, &proj));
+            }
+        }
         out.sort_by_key(|b| format!("{b}"));
-        out.dedup();
         out
     }
 }
@@ -263,6 +281,27 @@ mod tests {
         .expect("valid");
         // B00001 has no SequenceLength.
         assert!(q.evaluate(&db()).is_empty());
+    }
+
+    #[test]
+    fn unbound_distinguished_is_skipped_not_misaligned() {
+        // The constructor rejects this shape, but the fields are public;
+        // a ghost variable must be dropped (seed projection semantics),
+        // never bound to another variable's value.
+        let q = ConjunctiveQuery {
+            distinguished: vec!["ghost".into(), "x".into()],
+            patterns: vec![TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("EMBL#Organism")),
+                PatternTerm::constant(Term::literal("%Aspergillus%")),
+            )],
+        };
+        let results = q.evaluate(&db());
+        assert_eq!(results.len(), 2);
+        for b in &results {
+            assert!(b.get("x").is_some());
+            assert!(b.get("ghost").is_none(), "ghost must not capture ?x");
+        }
     }
 
     #[test]

@@ -7,25 +7,140 @@
 //! relational algebra operators: projection π, selection σ and (self)
 //! join ⋈" (§2.2).
 //!
-//! [`TripleStore`] keeps the triple table plus three hash indexes (by
-//! subject, predicate, object lexical value) so that the destination-peer
-//! query `π_pos(x) σ_pos(const)=const (DB_dest)` of §2.3 runs without a
-//! full scan when the constant is exact.
+//! Internally every lexical value is interned through a [`TermDict`] and
+//! a triple is one 16-byte row of [`TermId`]s. The three per-position
+//! indexes are posting lists directly indexed by the dense term id (a
+//! probe is an array access, not even a hash), and each position
+//! additionally keeps a sorted key index (`BTreeMap<Arc<str>, TermId>`,
+//! sharing the dictionary's buffers, built lazily) so `select_like`
+//! prefix patterns (`abc%`) run as range scans instead of full scans.
+//! Selections and joins compare `u64` term codes; strings are
+//! materialized only at the API boundary.
 
-use crate::term::Term;
-use crate::triple::{Binding, Position, Triple, TriplePattern};
+use crate::dict::{TermDict, TermId};
+use crate::fasthash::FxHashSet;
+use crate::join::{hash_join_rows, VarTable, UNBOUND};
+use crate::term::{LikePattern, Term};
+use crate::triple::{Binding, PatternTerm, Position, Triple, TriplePattern};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::{Arc, OnceLock};
 
-/// A local triple database with (s, p, o) secondary indexes.
+/// Per-position posting lists, directly indexed by the dense [`TermId`]
+/// — a posting probe is a bounds-checked array access, no hashing.
+type PostingIndex = Vec<Vec<u32>>;
+
+/// Append a row id to a term's posting list, growing the index to cover
+/// the id.
+fn push_posting(posting: &mut PostingIndex, term: TermId, row: u32) {
+    if posting.len() <= term.index() {
+        posting.resize_with(term.index() + 1, Vec::new);
+    }
+    posting[term.index()].push(row);
+}
+
+/// Append a row id to a position's posting list. When the term is new to
+/// the position, the position's lazily-built sorted key index is
+/// invalidated (inserting rows over known terms leaves it valid — the
+/// index maps *terms*, not rows).
+fn index_insert(
+    posting: &mut PostingIndex,
+    sorted: &mut OnceLock<BTreeMap<Arc<str>, TermId>>,
+    term: TermId,
+    row: u32,
+) {
+    if posting.len() <= term.index() {
+        posting.resize_with(term.index() + 1, Vec::new);
+    }
+    let list = &mut posting[term.index()];
+    if list.is_empty() {
+        sorted.take();
+    }
+    list.push(row);
+}
+
+/// A borrowed view of one stored triple: the zero-materialization
+/// counterpart of [`TripleStore::select_eq`] for callers that only need
+/// to look, not own (scans, counting, profile building).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripleRef<'a> {
+    pub subject: &'a str,
+    pub predicate: &'a str,
+    pub object: &'a str,
+    pub object_is_literal: bool,
+}
+
+/// One stored statement: interned ids plus the object's kind (URIs and
+/// literals with equal lexical share a [`TermId`]; the flag is what
+/// keeps `<x>` and `"x"` distinct triples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Row {
+    s: TermId,
+    p: TermId,
+    o: TermId,
+    o_lit: bool,
+}
+
+impl std::hash::Hash for Row {
+    /// One packed 128-bit write (two mix rounds under [`FxHashSet`])
+    /// instead of four field writes — this hash sits on the ingest
+    /// dedup path.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let packed = ((self.s.0 as u128) << 65)
+            | ((self.p.0 as u128) << 33)
+            | ((self.o.0 as u128) << 1)
+            | self.o_lit as u128;
+        state.write_u128(packed);
+    }
+}
+
+impl Row {
+    #[inline]
+    fn id_at(&self, pos: Position) -> TermId {
+        match pos {
+            Position::Subject => self.s,
+            Position::Predicate => self.p,
+            Position::Object => self.o,
+        }
+    }
+
+    /// Term code at a position: id shifted, low bit = literal kind.
+    #[inline]
+    fn code_at(&self, pos: Position) -> u64 {
+        let lit = match pos {
+            Position::Object => self.o_lit,
+            _ => false,
+        };
+        ((self.id_at(pos).0 as u64) << 1) | lit as u64
+    }
+}
+
+/// A local triple database with interned terms and (s, p, o) secondary
+/// indexes.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TripleStore {
-    rows: Vec<Triple>,
-    /// Index maps a position's lexical value to row ids. Deleted rows
-    /// leave tombstones in `rows` (None) to keep ids stable.
-    by_subject: HashMap<String, Vec<u32>>,
-    by_predicate: HashMap<String, Vec<u32>>,
-    by_object: HashMap<String, Vec<u32>>,
+    dict: TermDict,
+    rows: Vec<Row>,
+    /// Posting lists: term id at a position → row ids. Deleted rows
+    /// leave tombstones (`tombstones[i]`) to keep row ids stable.
+    by_subject: PostingIndex,
+    by_predicate: PostingIndex,
+    by_object: PostingIndex,
+    /// Sorted key index per position: lexical → id, over the terms that
+    /// ever appeared in that position. Backs prefix range scans. Built
+    /// lazily on first use (bulk-sorted, which is far cheaper than
+    /// per-insert tree maintenance) and kept until the position sees a
+    /// new term.
+    #[serde(skip)]
+    sorted_subject: OnceLock<BTreeMap<Arc<str>, TermId>>,
+    #[serde(skip)]
+    sorted_predicate: OnceLock<BTreeMap<Arc<str>, TermId>>,
+    #[serde(skip)]
+    sorted_object: OnceLock<BTreeMap<Arc<str>, TermId>>,
+    /// Live rows as a set: O(1) idempotence checks on insert regardless
+    /// of how many rows share a subject.
+    dedup: FxHashSet<Row>,
     live: usize,
     tombstones: Vec<bool>,
 }
@@ -44,139 +159,496 @@ impl TripleStore {
         self.live == 0
     }
 
+    /// The term dictionary (diagnostics / size accounting).
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    fn index(&self, pos: Position) -> &PostingIndex {
+        match pos {
+            Position::Subject => &self.by_subject,
+            Position::Predicate => &self.by_predicate,
+            Position::Object => &self.by_object,
+        }
+    }
+
+    /// The position's sorted key index, building it on first use: one
+    /// bulk sort of the distinct terms, then a sorted-range bulk load.
+    fn sorted(&self, pos: Position) -> &BTreeMap<Arc<str>, TermId> {
+        let cell = match pos {
+            Position::Subject => &self.sorted_subject,
+            Position::Predicate => &self.sorted_predicate,
+            Position::Object => &self.sorted_object,
+        };
+        cell.get_or_init(|| {
+            let mut pairs: Vec<(Arc<str>, TermId)> = self
+                .index(pos)
+                .iter()
+                .enumerate()
+                .filter(|(_, rows)| !rows.is_empty())
+                .map(|(i, _)| (self.dict.shared(TermId(i as u32)), TermId(i as u32)))
+                .collect();
+            pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            BTreeMap::from_iter(pairs)
+        })
+    }
+
     /// Insert a triple; duplicates are ignored (idempotent, like the
     /// overlay store — replica synchronization re-delivers freely).
     /// Returns whether the triple was new.
     pub fn insert(&mut self, t: Triple) -> bool {
-        if self.contains(&t) {
+        let s = self.dict.intern_shared(t.subject.shared());
+        let p = self.dict.intern_shared(t.predicate.shared());
+        let o = self.dict.intern_shared(t.object.shared_lexical());
+        let row = Row {
+            s,
+            p,
+            o,
+            o_lit: t.object.is_literal(),
+        };
+        if !self.dedup.insert(row) {
             return false;
         }
         let id = self.rows.len() as u32;
-        self.by_subject
-            .entry(t.subject.as_str().to_string())
-            .or_default()
-            .push(id);
-        self.by_predicate
-            .entry(t.predicate.as_str().to_string())
-            .or_default()
-            .push(id);
-        self.by_object
-            .entry(t.object.lexical().to_string())
-            .or_default()
-            .push(id);
-        self.rows.push(t);
+        index_insert(&mut self.by_subject, &mut self.sorted_subject, s, id);
+        index_insert(&mut self.by_predicate, &mut self.sorted_predicate, p, id);
+        index_insert(&mut self.by_object, &mut self.sorted_object, o, id);
+        self.rows.push(row);
         self.tombstones.push(false);
         self.live += 1;
         true
     }
 
+    /// Bulk insert with the same idempotence semantics as repeated
+    /// [`TripleStore::insert`], returning how many triples were new.
+    ///
+    /// The batch path pre-sizes the dictionary, the dedup set and the
+    /// row table, encodes all rows first, and builds the posting updates
+    /// with a count-reserve-fill pass — eliminating the per-row growth
+    /// and reallocation work that dominates one-at-a-time ingest.
+    pub fn insert_batch(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
+        let triples = triples.into_iter();
+        let hint = triples.size_hint().0;
+        // The dictionary is deliberately NOT pre-reserved: the distinct
+        // term count is usually a small fraction of the batch, and an
+        // oversized table costs more in probe cache misses than growth
+        // rehashes do (geometric growth moves ~1 slot per final entry).
+        self.dedup.reserve(hint);
+        self.rows.reserve(hint);
+        self.tombstones.reserve(hint);
+
+        // Encode + dedup, assigning row ids. Bulk feeds are typically
+        // grouped by subject (an entity's facts travel together), so a
+        // one-entry memo turns the repeated subject interns into one
+        // cache-hot string compare instead of a dictionary probe.
+        let first_new = self.rows.len();
+        let mut last_subject: Option<(Arc<str>, TermId)> = None;
+        // Predicates come from a small vocabulary that typically cycles
+        // per entity, so a short rotating memo catches nearly all of
+        // them with cache-hot compares.
+        let mut pred_memo: Vec<(Arc<str>, TermId)> = Vec::with_capacity(4);
+        for t in triples {
+            let s = match &last_subject {
+                Some((memo, id)) if **memo == *t.subject.as_str() => *id,
+                _ => {
+                    let id = self.dict.intern_shared(t.subject.shared());
+                    last_subject = Some((Arc::clone(t.subject.shared()), id));
+                    id
+                }
+            };
+            let p = match pred_memo
+                .iter()
+                .find(|(memo, _)| **memo == *t.predicate.as_str())
+            {
+                Some(&(_, id)) => id,
+                None => {
+                    let id = self.dict.intern_shared(t.predicate.shared());
+                    if pred_memo.len() == 4 {
+                        pred_memo.remove(0);
+                    }
+                    pred_memo.push((Arc::clone(t.predicate.shared()), id));
+                    id
+                }
+            };
+            let row = Row {
+                s,
+                p,
+                o: self.dict.intern_shared(t.object.shared_lexical()),
+                o_lit: t.object.is_literal(),
+            };
+            if self.dedup.insert(row) {
+                self.rows.push(row);
+                self.tombstones.push(false);
+            }
+        }
+        let new_rows = &self.rows[first_new..];
+        self.live += new_rows.len();
+
+        // Posting lists: one fill pass per position (amortized growth of
+        // the short per-term lists is cheaper than a separate count
+        // pass). The three positions are independent; large batches fill
+        // them on scoped threads.
+        let terms = self.dict.len();
+        for index in [
+            &mut self.by_subject,
+            &mut self.by_predicate,
+            &mut self.by_object,
+        ] {
+            if index.len() < terms {
+                index.resize_with(terms, Vec::new);
+            }
+        }
+        let fill = |index: &mut PostingIndex, id_of: fn(&Row) -> TermId| {
+            for (offset, row) in new_rows.iter().enumerate() {
+                index[id_of(row).index()].push((first_new + offset) as u32);
+            }
+        };
+        if new_rows.len() >= 16_384 {
+            std::thread::scope(|s| {
+                s.spawn(|| fill(&mut self.by_subject, |r| r.s));
+                s.spawn(|| fill(&mut self.by_predicate, |r| r.p));
+                fill(&mut self.by_object, |r| r.o);
+            });
+        } else {
+            fill(&mut self.by_subject, |r| r.s);
+            fill(&mut self.by_predicate, |r| r.p);
+            fill(&mut self.by_object, |r| r.o);
+        }
+        // Conservative invalidation: the batch likely introduced new
+        // terms somewhere; rebuilding the lazy sorted indexes costs one
+        // bulk sort on next use.
+        self.sorted_subject.take();
+        self.sorted_predicate.take();
+        self.sorted_object.take();
+        new_rows.len()
+    }
+
     /// Remove a triple; returns whether it was present.
     pub fn remove(&mut self, t: &Triple) -> bool {
-        let Some(id) = self.find_row(t) else {
+        let Some(row) = self.encode(t) else {
             return false;
         };
+        if !self.dedup.remove(&row) {
+            return false;
+        }
+        let id = self.find_row(&row).expect("dedup set and rows agree");
         self.tombstones[id as usize] = true;
         self.live -= 1;
         true
     }
 
     pub fn contains(&self, t: &Triple) -> bool {
-        self.find_row(t).is_some()
+        self.encode(t)
+            .map(|row| self.dedup.contains(&row))
+            .unwrap_or(false)
     }
 
-    fn find_row(&self, t: &Triple) -> Option<u32> {
+    /// Id-encode a caller triple; `None` if any component was never
+    /// interned (then the triple cannot be present).
+    fn encode(&self, t: &Triple) -> Option<Row> {
+        Some(Row {
+            s: self.dict.lookup(t.subject.as_str())?,
+            p: self.dict.lookup(t.predicate.as_str())?,
+            o: self.dict.lookup(t.object.lexical())?,
+            o_lit: t.object.is_literal(),
+        })
+    }
+
+    fn find_row(&self, row: &Row) -> Option<u32> {
         self.by_subject
-            .get(t.subject.as_str())?
+            .get(row.s.index())?
             .iter()
             .copied()
-            .find(|&id| !self.tombstones[id as usize] && &self.rows[id as usize] == t)
+            .find(|&id| !self.tombstones[id as usize] && &self.rows[id as usize] == row)
     }
 
-    /// Iterate over live triples.
-    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+    /// Materialize one stored row: three refcount bumps on the
+    /// dictionary's buffers, no string copies.
+    fn materialize(&self, row: &Row) -> Triple {
+        let object = if row.o_lit {
+            Term::literal(self.dict.shared(row.o))
+        } else {
+            Term::uri(self.dict.shared(row.o))
+        };
+        Triple::new(self.dict.shared(row.s), self.dict.shared(row.p), object)
+    }
+
+    fn materialize_ids(&self, ids: impl IntoIterator<Item = u32>) -> Vec<Triple> {
+        ids.into_iter()
+            .map(|id| self.materialize(&self.rows[id as usize]))
+            .collect()
+    }
+
+    fn row_ref(&self, row: &Row) -> TripleRef<'_> {
+        TripleRef {
+            subject: self.dict.resolve(row.s),
+            predicate: self.dict.resolve(row.p),
+            object: self.dict.resolve(row.o),
+            object_is_literal: row.o_lit,
+        }
+    }
+
+    /// Iterate over live triples (materialized on the fly).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
         self.rows
             .iter()
             .zip(&self.tombstones)
             .filter(|(_, dead)| !**dead)
-            .map(|(t, _)| t)
+            .map(|(r, _)| self.materialize(r))
     }
 
-    /// σ: all triples whose `pos` equals `value` exactly (index lookup).
-    pub fn select_eq(&self, pos: Position, value: &str) -> Vec<&Triple> {
-        let index = match pos {
-            Position::Subject => &self.by_subject,
-            Position::Predicate => &self.by_predicate,
-            Position::Object => &self.by_object,
+    /// Iterate over live triples as borrowed views (no materialization).
+    pub fn iter_refs(&self) -> impl Iterator<Item = TripleRef<'_>> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.tombstones)
+            .filter(|(_, dead)| !**dead)
+            .map(|(r, _)| self.row_ref(r))
+    }
+
+    /// Live row ids whose `pos` equals the interned `id`.
+    fn posting(&self, pos: Position, id: TermId) -> impl Iterator<Item = u32> + '_ {
+        self.posting_ids(pos, id)
+            .iter()
+            .copied()
+            .filter(|&id| !self.tombstones[id as usize])
+    }
+
+    /// The raw posting list of a term in a position (may contain
+    /// tombstoned row ids).
+    fn posting_ids(&self, pos: Position, id: TermId) -> &[u32] {
+        self.index(pos)
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// σ: all triples whose `pos` equals `value` exactly. One dictionary
+    /// probe + one posting-list walk; a never-seen value costs a single
+    /// hash and no allocation.
+    pub fn select_eq(&self, pos: Position, value: &str) -> Vec<Triple> {
+        let Some(id) = self.dict.lookup(value) else {
+            return Vec::new();
         };
-        index
-            .get(value)
-            .map(|ids| {
-                ids.iter()
-                    .filter(|&&id| !self.tombstones[id as usize])
-                    .map(|&id| &self.rows[id as usize])
-                    .collect()
-            })
-            .unwrap_or_default()
+        let ids = self.posting_ids(pos, id);
+        let mut out = Vec::with_capacity(ids.len());
+        for &rid in ids {
+            if !self.tombstones[rid as usize] {
+                out.push(self.materialize(&self.rows[rid as usize]));
+            }
+        }
+        out
     }
 
-    /// σ with a `%`-wildcard LIKE predicate (falls back to a scan over
-    /// the position index keys; exact patterns use the index directly).
-    pub fn select_like(&self, pos: Position, pattern: &str) -> Vec<&Triple> {
-        if !pattern.contains('%') {
-            return self.select_eq(pos, pattern);
+    /// σ as borrowed views: like [`TripleStore::select_eq`] but without
+    /// materializing terms — the counterpart of the seed's `Vec<&Triple>`
+    /// return for scan-and-count callers.
+    pub fn select_eq_refs(&self, pos: Position, value: &str) -> Vec<TripleRef<'_>> {
+        let Some(id) = self.dict.lookup(value) else {
+            return Vec::new();
+        };
+        let ids = self.posting_ids(pos, id);
+        let mut out = Vec::with_capacity(ids.len());
+        for &rid in ids {
+            if !self.tombstones[rid as usize] {
+                out.push(self.row_ref(&self.rows[rid as usize]));
+            }
         }
-        self.iter()
-            .filter(|t| t.get(pos).matches_like(pattern))
+        out
+    }
+
+    /// Live row ids for every term in `pos` whose lexical starts with
+    /// `prefix` — a range scan of the sorted key index.
+    fn prefix_row_ids(&self, pos: Position, prefix: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .sorted(pos)
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .flat_map(|(_, &tid)| self.posting(pos, tid))
+            .collect();
+        ids.sort_unstable(); // insertion order, like a scan would yield
+        ids
+    }
+
+    /// σ with a `%`-wildcard LIKE predicate. Exact patterns use the hash
+    /// index; `abc%` prefixes range-scan the sorted key index; suffix /
+    /// contains patterns scan the *distinct terms* of the position (not
+    /// the rows) and expand matching posting lists.
+    pub fn select_like(&self, pos: Position, pattern: &str) -> Vec<Triple> {
+        match LikePattern::parse(pattern) {
+            LikePattern::Exact(_) => self.select_eq(pos, pattern),
+            LikePattern::Prefix(core) => self.materialize_ids(self.prefix_row_ids(pos, core)),
+            like => {
+                let mut ids: Vec<u32> = self
+                    .sorted(pos)
+                    .iter()
+                    .filter(|(k, _)| like.matches(k))
+                    .flat_map(|(_, &tid)| self.posting(pos, tid))
+                    .collect();
+                ids.sort_unstable();
+                self.materialize_ids(ids)
+            }
+        }
+    }
+
+    /// Live row ids matching a pattern, in insertion order. Picks the
+    /// most selective access path: the exact constant with the shortest
+    /// posting list, else a wildcard prefix range scan, else a full scan.
+    fn pattern_row_ids(&self, pattern: &TriplePattern) -> Vec<u32> {
+        // Compile the constant slots to id-level checks. A constant the
+        // dictionary has never seen cannot match any row.
+        let mut exact: Vec<(Position, u64)> = Vec::new();
+        let mut likes: Vec<(Position, LikePattern<'_>)> = Vec::new();
+        for (pos, term) in pattern.constants() {
+            match term {
+                Term::Literal(p) if p.contains('%') => {
+                    likes.push((pos, LikePattern::parse(p)));
+                }
+                _ => match self.dict.lookup(term.lexical()) {
+                    Some(id) => {
+                        let lit = term.is_literal();
+                        exact.push((pos, ((id.0 as u64) << 1) | lit as u64));
+                    }
+                    None => return Vec::new(),
+                },
+            }
+        }
+
+        // Access path.
+        let candidates: Vec<u32> = if let Some(&(pos, code)) = exact
+            .iter()
+            .min_by_key(|&&(pos, code)| self.posting_ids(pos, TermId((code >> 1) as u32)).len())
+        {
+            self.posting(pos, TermId((code >> 1) as u32)).collect()
+        } else if let Some((pos, like)) = likes
+            .iter()
+            .find(|(_, l)| matches!(l, LikePattern::Prefix(c) if !c.is_empty()))
+            .copied()
+        {
+            self.prefix_row_ids(pos, like.core())
+        } else {
+            (0..self.rows.len() as u32)
+                .filter(|&id| !self.tombstones[id as usize])
+                .collect()
+        };
+
+        // Residual predicate: remaining constants + repeated variables.
+        let vars: Vec<(Position, &str)> = Position::ALL
+            .iter()
+            .filter_map(|&pos| match pattern.slot(pos) {
+                PatternTerm::Var(v) => Some((pos, v.as_str())),
+                PatternTerm::Const(_) => None,
+            })
+            .collect();
+        candidates
+            .into_iter()
+            .filter(|&id| {
+                let row = &self.rows[id as usize];
+                exact.iter().all(|&(pos, code)| row.code_at(pos) == code)
+                    && likes
+                        .iter()
+                        .all(|(pos, like)| like.matches(self.dict.resolve(row.id_at(*pos))))
+                    && vars.iter().all(|&(pos, name)| {
+                        // Repeated variables must bind equal codes.
+                        vars.iter()
+                            .filter(|&&(p2, n2)| n2 == name && p2 != pos)
+                            .all(|&(p2, _)| row.code_at(p2) == row.code_at(pos))
+                    })
+            })
             .collect()
     }
 
-    /// Evaluate a triple pattern against the local database, returning
-    /// one binding per matching triple. Uses the most selective exact
-    /// constant as the access path.
-    pub fn match_pattern(&self, pattern: &TriplePattern) -> Vec<Binding> {
-        // Access path: an exact (non-wildcard) constant if any.
-        let exact = pattern.constants().into_iter().find(|(_, t)| {
-            !(t.is_literal() && t.lexical().contains('%'))
-        });
-        let candidates: Vec<&Triple> = match exact {
-            Some((pos, term)) => self.select_eq(pos, term.lexical()),
-            None => self.iter().collect(),
-        };
-        candidates
+    /// Matching rows as term-code rows over `vars` (the hash-join input
+    /// format of [`crate::join`]).
+    pub(crate) fn match_codes(
+        &self,
+        pattern: &TriplePattern,
+        vars: &VarTable<'_>,
+    ) -> Vec<Vec<u64>> {
+        let slots: Vec<(Position, usize)> = Position::ALL
+            .iter()
+            .filter_map(|&pos| match pattern.slot(pos) {
+                PatternTerm::Var(v) => Some((pos, vars.slot(v).expect("pattern var registered"))),
+                PatternTerm::Const(_) => None,
+            })
+            .collect();
+        self.pattern_row_ids(pattern)
             .into_iter()
-            .filter_map(|t| pattern.match_triple(t))
+            .map(|id| {
+                let row = &self.rows[id as usize];
+                let mut out = vars.empty_row();
+                for &(pos, slot) in &slots {
+                    out[slot] = row.code_at(pos);
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Decode a term code produced by this store's rows (zero-copy).
+    pub(crate) fn term_of_code(&self, code: u64) -> Term {
+        debug_assert_ne!(code, UNBOUND);
+        let lex = self.dict.shared(TermId((code >> 1) as u32));
+        if code & 1 == 1 {
+            Term::literal(lex)
+        } else {
+            Term::uri(lex)
+        }
+    }
+
+    pub(crate) fn decode_row(&self, row: &[u64], vars: &VarTable<'_>) -> Binding {
+        let mut b = Binding::new();
+        for (slot, &code) in row.iter().enumerate() {
+            if code != UNBOUND {
+                b.bind(vars.names()[slot].to_string(), self.term_of_code(code));
+            }
+        }
+        b
+    }
+
+    /// Evaluate a triple pattern against the local database, returning
+    /// one binding per matching triple.
+    pub fn match_pattern(&self, pattern: &TriplePattern) -> Vec<Binding> {
+        let vars = VarTable::from_patterns([pattern]);
+        self.match_codes(pattern, &vars)
+            .iter()
+            .map(|row| self.decode_row(row, &vars))
             .collect()
     }
 
     /// The destination-peer resolution of §2.3:
     /// `Results = π_pos(x) σ_pos(const)=const (DB_dest)`.
-    /// Returns the terms bound to `var`.
+    /// Returns the terms bound to `var`, sorted and deduplicated.
     pub fn resolve(&self, pattern: &TriplePattern, var: &str) -> Vec<Term> {
-        let mut out: Vec<Term> = self
-            .match_pattern(pattern)
-            .into_iter()
-            .filter_map(|b| b.get(var).cloned())
+        let vars = VarTable::from_patterns([pattern]);
+        let Some(slot) = vars.slot(var) else {
+            return Vec::new();
+        };
+        let mut codes: Vec<u64> = self
+            .match_codes(pattern, &vars)
+            .iter()
+            .map(|row| row[slot])
+            .filter(|&c| c != UNBOUND)
             .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let mut out: Vec<Term> = codes.into_iter().map(|c| self.term_of_code(c)).collect();
         out.sort();
-        out.dedup();
         out
     }
 
-    /// Self-join ⋈: evaluate two patterns and merge compatible bindings.
-    /// This is the building block for conjunctive queries (§2.3:
-    /// "iteratively resolving each triple pattern … and aggregating").
+    /// Self-join ⋈: evaluate two patterns and hash-join their binding
+    /// sets on the shared variables. This is the building block for
+    /// conjunctive queries (§2.3: "iteratively resolving each triple
+    /// pattern … and aggregating").
     pub fn join(&self, left: &TriplePattern, right: &TriplePattern) -> Vec<Binding> {
-        let lhs = self.match_pattern(left);
-        let rhs = self.match_pattern(right);
-        let mut out = Vec::new();
-        for l in &lhs {
-            for r in &rhs {
-                if let Some(j) = l.join(r) {
-                    out.push(j);
-                }
-            }
-        }
-        out
+        let vars = VarTable::from_patterns([left, right]);
+        let l = self.match_codes(left, &vars);
+        let r = self.match_codes(right, &vars);
+        hash_join_rows(&l, &r)
+            .iter()
+            .map(|row| self.decode_row(row, &vars))
+            .collect()
     }
 
     /// Distinct predicate values present (used by schema inference and
@@ -185,20 +657,57 @@ impl TripleStore {
         let mut v: Vec<&str> = self
             .by_predicate
             .iter()
+            .enumerate()
             .filter(|(_, ids)| ids.iter().any(|&id| !self.tombstones[id as usize]))
-            .map(|(k, _)| k.as_str())
+            .map(|(i, _)| self.dict.resolve(TermId(i as u32)))
             .collect();
         v.sort_unstable();
         v
     }
 
-    /// Compact away tombstones (rebuilds indexes).
+    /// Compact away tombstones: rebuilds rows, dictionary and indexes in
+    /// one pass over the live rows — no materialization, no re-hash of
+    /// row contents through the dedup path (live rows are known unique).
     pub fn compact(&mut self) {
-        let live: Vec<Triple> = self.iter().cloned().collect();
-        *self = TripleStore::new();
-        for t in live {
-            self.insert(t);
+        if self.live == self.rows.len() {
+            return;
         }
+        let mut dict = TermDict::new();
+        let mut rows: Vec<Row> = Vec::with_capacity(self.live);
+        let mut by_subject: PostingIndex = PostingIndex::new();
+        let mut by_predicate: PostingIndex = PostingIndex::new();
+        let mut by_object: PostingIndex = PostingIndex::new();
+
+        for (old, dead) in self.rows.iter().zip(&self.tombstones) {
+            if *dead {
+                continue;
+            }
+            // Re-intern via the old dictionary's buffers (Arc clones and
+            // id-map probes; no string copies for retained terms).
+            let row = Row {
+                s: dict.intern_shared(&self.dict.shared(old.s)),
+                p: dict.intern_shared(&self.dict.shared(old.p)),
+                o: dict.intern_shared(&self.dict.shared(old.o)),
+                o_lit: old.o_lit,
+            };
+            let id = rows.len() as u32;
+            push_posting(&mut by_subject, row.s, id);
+            push_posting(&mut by_predicate, row.p, id);
+            push_posting(&mut by_object, row.o, id);
+            rows.push(row);
+        }
+
+        self.live = rows.len();
+        self.tombstones = vec![false; rows.len()];
+        self.dedup = rows.iter().copied().collect();
+        self.dict = dict;
+        self.rows = rows;
+        self.by_subject = by_subject;
+        self.by_predicate = by_predicate;
+        self.by_object = by_object;
+        self.sorted_subject = OnceLock::new();
+        self.sorted_predicate = OnceLock::new();
+        self.sorted_object = OnceLock::new();
     }
 }
 
@@ -242,9 +751,69 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let triples: Vec<Triple> = (0..40)
+            .map(|i| {
+                Triple::new(
+                    format!("s{}", i % 7),
+                    format!("p{}", i % 3),
+                    Term::literal(format!("o{}", i % 5)),
+                )
+            })
+            .collect();
+        let mut one_by_one = TripleStore::new();
+        let mut inserted = 0;
+        for t in &triples {
+            inserted += one_by_one.insert(t.clone()) as usize;
+        }
+        let mut batched = TripleStore::new();
+        assert_eq!(batched.insert_batch(triples.iter().cloned()), inserted);
+        assert_eq!(batched.len(), one_by_one.len());
+        let collect = |db: &TripleStore| {
+            let mut v: Vec<Triple> = db.iter().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(collect(&batched), collect(&one_by_one));
+        for pos in Position::ALL {
+            assert_eq!(
+                batched.select_eq(pos, "s1").len(),
+                one_by_one.select_eq(pos, "s1").len()
+            );
+        }
+        // A second batch over the same data inserts nothing.
+        assert_eq!(batched.insert_batch(triples), 0);
+        // Batches interleave correctly with point inserts and removals.
+        assert!(batched.remove(&Triple::new("s1", "p1", Term::literal("o1"))));
+        assert_eq!(
+            batched.insert_batch([Triple::new("s1", "p1", Term::literal("o1"))]),
+            1
+        );
+        assert!(batched.contains(&Triple::new("s1", "p1", Term::literal("o1"))));
+    }
+
+    #[test]
+    fn equal_lexical_different_kind_are_distinct_triples() {
+        let mut db = TripleStore::new();
+        assert!(db.insert(Triple::new("s", "p", Term::literal("x"))));
+        assert!(db.insert(Triple::new("s", "p", Term::uri("x"))));
+        assert_eq!(db.len(), 2);
+        // Lexical selection finds both kinds, like the seed's
+        // lexically-keyed object index did.
+        assert_eq!(db.select_eq(Position::Object, "x").len(), 2);
+        assert!(db.remove(&Triple::new("s", "p", Term::uri("x"))));
+        assert!(db.contains(&Triple::new("s", "p", Term::literal("x"))));
+        assert_eq!(db.select_eq(Position::Object, "x").len(), 1);
+    }
+
+    #[test]
     fn remove_and_contains() {
         let mut db = sample();
-        let t = Triple::new("embl:A78712", "EMBL#Organism", Term::literal("Aspergillus niger"));
+        let t = Triple::new(
+            "embl:A78712",
+            "EMBL#Organism",
+            Term::literal("Aspergillus niger"),
+        );
         assert!(db.contains(&t));
         assert!(db.remove(&t));
         assert!(!db.contains(&t));
@@ -270,6 +839,19 @@ mod tests {
         assert_eq!(hits.len(), 2);
         let exact = db.select_like(Position::Object, "1042");
         assert_eq!(exact.len(), 1);
+    }
+
+    #[test]
+    fn select_like_prefix_range_scans() {
+        let db = sample();
+        let hits = db.select_like(Position::Object, "Aspergillus%");
+        assert_eq!(hits.len(), 2);
+        let subj = db.select_like(Position::Subject, "embl:A78%");
+        assert_eq!(subj.len(), 3);
+        let none = db.select_like(Position::Subject, "zzz%");
+        assert!(none.is_empty());
+        let suffix = db.select_like(Position::Object, "%nidulans");
+        assert_eq!(suffix.len(), 1);
     }
 
     #[test]
@@ -300,6 +882,24 @@ mod tests {
     }
 
     #[test]
+    fn match_pattern_repeated_variable_compares_codes() {
+        let mut db = TripleStore::new();
+        db.insert(Triple::new("a", "p", Term::uri("a")));
+        db.insert(Triple::new("a", "p", Term::literal("a")));
+        db.insert(Triple::new("a", "p", Term::uri("b")));
+        let pattern = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("p")),
+            PatternTerm::var("x"),
+        );
+        // Only the uri-object row matches: the literal "a" differs in
+        // kind from the uri subject <a> despite the equal lexical.
+        let matches = db.match_pattern(&pattern);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].get("x"), Some(&Term::uri("a")));
+    }
+
+    #[test]
     fn self_join_connects_attributes() {
         // Sequences with an Organism AND a SequenceLength.
         let db = sample();
@@ -322,7 +922,10 @@ mod tests {
     #[test]
     fn predicates_lists_distinct_live() {
         let mut db = sample();
-        assert_eq!(db.predicates(), vec!["EMBL#Organism", "EMBL#SequenceLength"]);
+        assert_eq!(
+            db.predicates(),
+            vec!["EMBL#Organism", "EMBL#SequenceLength"]
+        );
         db.remove(&Triple::new(
             "embl:A78712",
             "EMBL#SequenceLength",
@@ -340,15 +943,37 @@ mod tests {
             Term::literal("Penicillium chrysogenum"),
         ));
         let before: Vec<Triple> = {
-            let mut v: Vec<Triple> = db.iter().cloned().collect();
+            let mut v: Vec<Triple> = db.iter().collect();
             v.sort();
             v
         };
         db.compact();
-        let mut after: Vec<Triple> = db.iter().cloned().collect();
+        let mut after: Vec<Triple> = db.iter().collect();
         after.sort();
         assert_eq!(before, after);
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn compact_drops_dead_dictionary_entries_and_keeps_queries_working() {
+        let mut db = sample();
+        let dict_before = db.dict().len();
+        db.remove(&Triple::new(
+            "embl:X00001",
+            "EMBL#Organism",
+            Term::literal("Penicillium chrysogenum"),
+        ));
+        db.compact();
+        assert!(
+            db.dict().len() < dict_before,
+            "terms only the removed triple used must be garbage-collected"
+        );
+        // Post-compaction queries across all access paths still work.
+        assert_eq!(db.select_eq(Position::Predicate, "EMBL#Organism").len(), 2);
+        assert!(db.select_eq(Position::Subject, "embl:X00001").is_empty());
+        assert_eq!(db.select_like(Position::Object, "Aspergillus%").len(), 2);
+        assert!(db.insert(Triple::new("s", "p", Term::literal("new"))));
+        assert_eq!(db.len(), 4);
     }
 }
 
@@ -359,9 +984,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_triple() -> impl Strategy<Value = Triple> {
-        ("[a-c]{1,2}", "[p-r]{1,2}", "[x-z]{1,2}").prop_map(|(s, p, o)| {
-            Triple::new(s.as_str(), p.as_str(), Term::literal(o))
-        })
+        ("[a-c]{1,2}", "[p-r]{1,2}", "[x-z]{1,2}")
+            .prop_map(|(s, p, o)| Triple::new(s.as_str(), p.as_str(), Term::literal(o)))
     }
 
     proptest! {
@@ -410,6 +1034,85 @@ mod proptests {
             let fast = db.match_pattern(&pattern).len();
             let naive = db.iter().filter(|t| t.predicate.as_str() == pred).count();
             prop_assert_eq!(fast, naive);
+        }
+
+        /// select_like agrees with a naive scan for every pattern shape
+        /// (exact, prefix range scan, suffix, contains).
+        #[test]
+        fn select_like_agrees_with_scan(triples in proptest::collection::vec(arb_triple(), 0..30),
+                                        core in "[x-z]{0,2}",
+                                        shape in 0usize..4) {
+            let mut db = TripleStore::new();
+            for t in &triples { db.insert(t.clone()); }
+            let pattern = match shape {
+                0 => core.clone(),
+                1 => format!("{core}%"),
+                2 => format!("%{core}"),
+                _ => format!("%{core}%"),
+            };
+            let fast = db.select_like(Position::Object, &pattern).len();
+            let naive = db
+                .iter()
+                .filter(|t| t.get(Position::Object).matches_like(&pattern))
+                .count();
+            prop_assert_eq!(fast, naive, "pattern {:?}", pattern);
+        }
+
+        /// The hash self-join agrees with the naive nested loop over
+        /// `Binding::join` on random stores.
+        #[test]
+        fn join_agrees_with_nested_loop(triples in proptest::collection::vec(arb_triple(), 0..30),
+                                        p1 in "[p-r]{1,2}",
+                                        p2 in "[p-r]{1,2}") {
+            let mut db = TripleStore::new();
+            for t in &triples { db.insert(t.clone()); }
+            let left = TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri(p1)),
+                PatternTerm::var("a"),
+            );
+            let right = TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri(p2)),
+                PatternTerm::var("b"),
+            );
+            let naive: Vec<Binding> = {
+                let lhs = db.match_pattern(&left);
+                let rhs = db.match_pattern(&right);
+                let mut out = Vec::new();
+                for l in &lhs {
+                    for r in &rhs {
+                        if let Some(j) = l.join(r) {
+                            out.push(j);
+                        }
+                    }
+                }
+                out
+            };
+            prop_assert_eq!(db.join(&left, &right), naive);
+        }
+
+        /// compact preserves contents and queries under random removals.
+        #[test]
+        fn compact_preserves_under_removals(triples in proptest::collection::vec(arb_triple(), 0..30),
+                                            removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..10)) {
+            let mut db = TripleStore::new();
+            let mut reference: Vec<Triple> = Vec::new();
+            for t in &triples {
+                if db.insert(t.clone()) {
+                    reference.push(t.clone());
+                }
+            }
+            for idx in &removals {
+                if reference.is_empty() { break; }
+                let t = reference.remove(idx.index(reference.len()));
+                db.remove(&t);
+            }
+            db.compact();
+            let mut got: Vec<Triple> = db.iter().collect();
+            got.sort();
+            reference.sort();
+            prop_assert_eq!(got, reference);
         }
     }
 }

@@ -7,17 +7,27 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A resource identifier, e.g. `EMBL#Organism` or `embl:A78712`.
+///
+/// Backed by a reference-counted `Arc<str>`: cloning a term — and, more
+/// importantly, materializing one out of a store's interned dictionary —
+/// is a refcount bump, not a string copy.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Uri(String);
+pub struct Uri(Arc<str>);
 
 impl Uri {
-    pub fn new(s: impl Into<String>) -> Uri {
+    pub fn new(s: impl Into<Arc<str>>) -> Uri {
         Uri(s.into())
     }
 
     pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The shared backing buffer (zero-copy interning path).
+    pub(crate) fn shared(&self) -> &Arc<str> {
         &self.0
     }
 
@@ -59,6 +69,12 @@ impl From<&str> for Uri {
 
 impl From<String> for Uri {
     fn from(s: String) -> Uri {
+        Uri(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Uri {
+    fn from(s: Arc<str>) -> Uri {
         Uri(s)
     }
 }
@@ -67,15 +83,15 @@ impl From<String> for Uri {
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Term {
     Uri(Uri),
-    Literal(String),
+    Literal(Arc<str>),
 }
 
 impl Term {
-    pub fn uri(s: impl Into<String>) -> Term {
+    pub fn uri(s: impl Into<Arc<str>>) -> Term {
         Term::Uri(Uri::new(s))
     }
 
-    pub fn literal(s: impl Into<String>) -> Term {
+    pub fn literal(s: impl Into<Arc<str>>) -> Term {
         Term::Literal(s.into())
     }
 
@@ -99,6 +115,14 @@ impl Term {
         }
     }
 
+    /// The shared backing buffer (zero-copy interning path).
+    pub(crate) fn shared_lexical(&self) -> &Arc<str> {
+        match self {
+            Term::Uri(u) => u.shared(),
+            Term::Literal(s) => s,
+        }
+    }
+
     /// SQL-`LIKE`-style match with `%` wildcards at either end, as used
     /// by the paper's `%Aspergillus%` example. Plain patterns compare
     /// exactly.
@@ -107,18 +131,59 @@ impl Term {
     }
 }
 
+/// A `%`-wildcard pattern parsed once, so scans matching many values
+/// classify the pattern a single time instead of per candidate — and so
+/// the store can pick an access path from the shape (`Exact` hits the
+/// hash index, `Prefix` becomes a sorted-index range scan).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LikePattern<'a> {
+    /// `x` — exact equality.
+    Exact(&'a str),
+    /// `x%` — starts-with.
+    Prefix(&'a str),
+    /// `%x` — ends-with.
+    Suffix(&'a str),
+    /// `%x%` — contains.
+    Contains(&'a str),
+}
+
+impl<'a> LikePattern<'a> {
+    pub fn parse(pattern: &'a str) -> LikePattern<'a> {
+        let starts = pattern.starts_with('%');
+        let ends = pattern.len() > starts as usize && pattern.ends_with('%');
+        let core = &pattern[starts as usize..pattern.len() - ends as usize];
+        match (starts, ends) {
+            (false, false) => LikePattern::Exact(core),
+            (false, true) => LikePattern::Prefix(core),
+            (true, false) => LikePattern::Suffix(core),
+            (true, true) => LikePattern::Contains(core),
+        }
+    }
+
+    /// The fixed text between the wildcards.
+    pub fn core(&self) -> &'a str {
+        match self {
+            LikePattern::Exact(c)
+            | LikePattern::Prefix(c)
+            | LikePattern::Suffix(c)
+            | LikePattern::Contains(c) => c,
+        }
+    }
+
+    pub fn matches(&self, text: &str) -> bool {
+        match self {
+            LikePattern::Exact(c) => text == *c,
+            LikePattern::Prefix(c) => text.starts_with(c),
+            LikePattern::Suffix(c) => text.ends_with(c),
+            LikePattern::Contains(c) => text.contains(c),
+        }
+    }
+}
+
 /// `%`-wildcard matching: `%x%` = contains, `%x` = ends-with,
 /// `x%` = starts-with, `x` = equals.
 pub fn like_match(text: &str, pattern: &str) -> bool {
-    let starts = pattern.starts_with('%');
-    let ends = pattern.len() > starts as usize && pattern.ends_with('%');
-    let core = &pattern[starts as usize..pattern.len() - ends as usize];
-    match (starts, ends) {
-        (true, true) => text.contains(core),
-        (true, false) => text.ends_with(core),
-        (false, true) => text.starts_with(core),
-        (false, false) => text == core,
-    }
+    LikePattern::parse(pattern).matches(text)
 }
 
 impl fmt::Display for Term {

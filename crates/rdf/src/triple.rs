@@ -19,7 +19,11 @@ pub struct Triple {
 }
 
 impl Triple {
-    pub fn new(subject: impl Into<Uri>, predicate: impl Into<Uri>, object: impl Into<Term>) -> Triple {
+    pub fn new(
+        subject: impl Into<Uri>,
+        predicate: impl Into<Uri>,
+        object: impl Into<Term>,
+    ) -> Triple {
         Triple {
             subject: subject.into(),
             predicate: predicate.into(),
@@ -351,7 +355,11 @@ mod tests {
     use super::*;
 
     fn aspergillus_triple() -> Triple {
-        Triple::new("embl:A78712", "EMBL#Organism", Term::literal("Aspergillus niger"))
+        Triple::new(
+            "embl:A78712",
+            "EMBL#Organism",
+            Term::literal("Aspergillus niger"),
+        )
     }
 
     #[test]

@@ -131,8 +131,7 @@ pub fn find_cycles(registry: &MappingRegistry, max_len: usize) -> Vec<Cycle> {
                     if steps.is_empty() {
                         continue; // self-loop mapping: not a cycle
                     }
-                    let mut step_ids: Vec<MappingId> =
-                        steps.iter().map(|(id, _)| *id).collect();
+                    let mut step_ids: Vec<MappingId> = steps.iter().map(|(id, _)| *id).collect();
                     step_ids.push(m.id);
                     step_ids.sort();
                     if seen.insert(step_ids) {
@@ -305,20 +304,29 @@ mod tests {
         reg.add_schema(Schema::new("B", ["y", "w2"]));
         reg.add_schema(Schema::new("C", ["z", "w3"]));
         reg.add_mapping(
-            "A", "B",
+            "A",
+            "B",
             MappingKind::Subsumption,
             Provenance::Manual,
-            vec![Correspondence::new("x", "y"), Correspondence::new("w", "w2")],
+            vec![
+                Correspondence::new("x", "y"),
+                Correspondence::new("w", "w2"),
+            ],
         );
         reg.add_mapping(
-            "B", "C",
+            "B",
+            "C",
             MappingKind::Subsumption,
             Provenance::Manual,
-            vec![Correspondence::new("y", "z"), Correspondence::new("w2", "w3")],
+            vec![
+                Correspondence::new("y", "z"),
+                Correspondence::new("w2", "w3"),
+            ],
         );
         let target = if last_correct { "x" } else { "w" };
         let id = reg.add_mapping(
-            "C", "A",
+            "C",
+            "A",
             MappingKind::Subsumption,
             provenance,
             vec![Correspondence::new("z", target)],
@@ -352,7 +360,9 @@ mod tests {
         let (reg, _) = triangle(false, Provenance::Automatic);
         let cycles = find_cycles(&reg, 6);
         assert!(
-            cycles.iter().any(|c| c.outcome == CycleOutcome::Inconsistent),
+            cycles
+                .iter()
+                .any(|c| c.outcome == CycleOutcome::Inconsistent),
             "{cycles:?}"
         );
     }
@@ -363,7 +373,11 @@ mod tests {
         let cfg = BayesConfig::default();
         let a = assess(&reg, &cfg);
         let p = a.posteriors[&id];
-        assert!(p > cfg.prior, "posterior {p} should exceed prior {}", cfg.prior);
+        assert!(
+            p > cfg.prior,
+            "posterior {p} should exceed prior {}",
+            cfg.prior
+        );
         assert!(a.condemned(cfg.deprecate_below).is_empty());
     }
 
@@ -397,7 +411,8 @@ mod tests {
         reg.add_schema(Schema::new("A", ["x"]));
         reg.add_schema(Schema::new("B", ["y"]));
         let id = reg.add_mapping(
-            "A", "B",
+            "A",
+            "B",
             MappingKind::Subsumption,
             Provenance::Automatic,
             vec![Correspondence::new("x", "y")],
@@ -416,12 +431,27 @@ mod tests {
         reg.add_schema(Schema::new("A", ["x"]));
         reg.add_schema(Schema::new("B", ["y"]));
         reg.add_schema(Schema::new("C", ["z", "dead"]));
-        reg.add_mapping("A", "B", MappingKind::Equivalence, Provenance::Manual,
-            vec![Correspondence::new("x", "y")]);
-        reg.add_mapping("B", "C", MappingKind::Equivalence, Provenance::Manual,
-            vec![]); // empty: breaks every composition
-        let id = reg.add_mapping("C", "A", MappingKind::Equivalence, Provenance::Automatic,
-            vec![Correspondence::new("dead", "x")]);
+        reg.add_mapping(
+            "A",
+            "B",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("x", "y")],
+        );
+        reg.add_mapping(
+            "B",
+            "C",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![],
+        ); // empty: breaks every composition
+        let id = reg.add_mapping(
+            "C",
+            "A",
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            vec![Correspondence::new("dead", "x")],
+        );
         let cfg = BayesConfig::default();
         let a = assess(&reg, &cfg);
         for c in &a.cycles {
@@ -441,7 +471,8 @@ mod tests {
         assert!(!reg.is_strongly_connected());
         // A replacement (correct) mapping restores connectivity.
         reg.add_mapping(
-            "C", "A",
+            "C",
+            "A",
             MappingKind::Subsumption,
             Provenance::Automatic,
             vec![Correspondence::new("z", "x")],
@@ -486,7 +517,8 @@ mod tests {
         }
         // Chord S0→S2, wrong: maps a0 to b2.
         let bad = reg.add_mapping(
-            "S0", "S2",
+            "S0",
+            "S2",
             MappingKind::Equivalence,
             Provenance::Automatic,
             vec![Correspondence::new("a0", "b2")],
@@ -497,7 +529,10 @@ mod tests {
         };
         let a = assess(&reg, &cfg);
         let condemned = a.condemned(cfg.deprecate_below);
-        assert!(condemned.contains(&bad), "bad mapping must be condemned: {a:?}");
+        assert!(
+            condemned.contains(&bad),
+            "bad mapping must be condemned: {a:?}"
+        );
         for id in ids {
             assert!(
                 !condemned.contains(&id),

@@ -137,11 +137,7 @@ pub fn compose_path(registry: &MappingRegistry, path: &[Step]) -> Option<Compose
                 if prev_dst != src || !seen.insert(dst.clone()) {
                     return None;
                 }
-                (
-                    first_src,
-                    dst,
-                    compose_correspondences(&prev_corrs, &corrs),
-                )
+                (first_src, dst, compose_correspondences(&prev_corrs, &corrs))
             }
         });
     }
@@ -164,11 +160,7 @@ pub fn compose_path(registry: &MappingRegistry, path: &[Step]) -> Option<Compose
 /// are returned too — callers wanting a *replacement* for a direct
 /// mapping should exclude the deprecated mapping before searching (a
 /// deprecated mapping is inactive, so BFS never uses it).
-pub fn find_path(
-    registry: &MappingRegistry,
-    from: &SchemaId,
-    to: &SchemaId,
-) -> Option<Vec<Step>> {
+pub fn find_path(registry: &MappingRegistry, from: &SchemaId, to: &SchemaId) -> Option<Vec<Step>> {
     if from == to {
         return Some(Vec::new());
     }
@@ -245,8 +237,14 @@ mod tests {
         let (reg, ids) = chain(2);
         // S2 → S1 → S0, both backward.
         let path = [
-            Step { mapping: ids[1], direction: Direction::Backward },
-            Step { mapping: ids[0], direction: Direction::Backward },
+            Step {
+                mapping: ids[1],
+                direction: Direction::Backward,
+            },
+            Step {
+                mapping: ids[0],
+                direction: Direction::Backward,
+            },
         ];
         let c = compose_path(&reg, &path).expect("composes backward");
         assert_eq!(c.source, SchemaId::new("S2"));
@@ -260,16 +258,32 @@ mod tests {
         for (s, a) in [("A", "x"), ("B", "y"), ("C", "z")] {
             reg.add_schema(Schema::new(s, [a]));
         }
-        let m1 = reg.add_mapping("A", "B", MappingKind::Subsumption, Provenance::Manual,
-            vec![Correspondence::new("x", "y")]);
-        let m2 = reg.add_mapping("B", "C", MappingKind::Equivalence, Provenance::Manual,
-            vec![Correspondence::new("y", "z")]);
+        let m1 = reg.add_mapping(
+            "A",
+            "B",
+            MappingKind::Subsumption,
+            Provenance::Manual,
+            vec![Correspondence::new("x", "y")],
+        );
+        let m2 = reg.add_mapping(
+            "B",
+            "C",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("y", "z")],
+        );
         let c = compose_path(&reg, &[fwd(m1), fwd(m2)]).expect("composes");
         assert_eq!(c.kind, MappingKind::Subsumption);
         // Reversing through the subsumption step is refused.
         let bad = [
-            Step { mapping: m2, direction: Direction::Backward },
-            Step { mapping: m1, direction: Direction::Backward },
+            Step {
+                mapping: m2,
+                direction: Direction::Backward,
+            },
+            Step {
+                mapping: m1,
+                direction: Direction::Backward,
+            },
         ];
         assert_eq!(compose_path(&reg, &bad), None);
     }
@@ -291,7 +305,10 @@ mod tests {
         // Single step is not a composition.
         assert_eq!(compose_path(&reg, &[fwd(ids[0])]), None);
         // Forward then backward over the same mapping revisits S0.
-        let back = Step { mapping: ids[0], direction: Direction::Backward };
+        let back = Step {
+            mapping: ids[0],
+            direction: Direction::Backward,
+        };
         assert_eq!(compose_path(&reg, &[fwd(ids[0]), back]), None);
     }
 
@@ -308,11 +325,21 @@ mod tests {
         for (s, attrs) in [("A", vec!["x"]), ("B", vec!["y", "u"]), ("C", vec!["z"])] {
             reg.add_schema(Schema::new(s, attrs));
         }
-        let m1 = reg.add_mapping("A", "B", MappingKind::Equivalence, Provenance::Manual,
-            vec![Correspondence::new("x", "y")]);
+        let m1 = reg.add_mapping(
+            "A",
+            "B",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("x", "y")],
+        );
         // The second mapping goes through B#u, not B#y: no middle attr.
-        let m2 = reg.add_mapping("B", "C", MappingKind::Equivalence, Provenance::Manual,
-            vec![Correspondence::new("u", "z")]);
+        let m2 = reg.add_mapping(
+            "B",
+            "C",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("u", "z")],
+        );
         assert_eq!(compose_path(&reg, &[fwd(m1), fwd(m2)]), None);
     }
 
@@ -320,8 +347,13 @@ mod tests {
     fn find_path_returns_shortest_and_respects_deprecation() {
         let (mut reg, ids) = chain(3);
         // Direct chord S0→S3 gives a one-step path.
-        let chord = reg.add_mapping("S0", "S3", MappingKind::Equivalence, Provenance::Automatic,
-            vec![Correspondence::new("a0", "a3")]);
+        let chord = reg.add_mapping(
+            "S0",
+            "S3",
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            vec![Correspondence::new("a0", "a3")],
+        );
         let p = find_path(&reg, &SchemaId::new("S0"), &SchemaId::new("S3")).unwrap();
         assert_eq!(p.len(), 1);
         assert_eq!(p[0].mapping, chord);
@@ -332,7 +364,10 @@ mod tests {
         assert_eq!(p.iter().map(|s| s.mapping).collect::<Vec<_>>(), ids);
         // Unreachable target.
         reg.add_schema(Schema::new("ISLAND", ["q"]));
-        assert_eq!(find_path(&reg, &SchemaId::new("S0"), &SchemaId::new("ISLAND")), None);
+        assert_eq!(
+            find_path(&reg, &SchemaId::new("S0"), &SchemaId::new("ISLAND")),
+            None
+        );
     }
 
     #[test]
@@ -341,8 +376,13 @@ mod tests {
         // alternative path, compose it — the composite translates the
         // same attribute the chord did.
         let (mut reg, _ids) = chain(3);
-        let chord = reg.add_mapping("S0", "S3", MappingKind::Equivalence, Provenance::Automatic,
-            vec![Correspondence::new("a0", "a3")]);
+        let chord = reg.add_mapping(
+            "S0",
+            "S3",
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            vec![Correspondence::new("a0", "a3")],
+        );
         reg.deprecate(chord);
         let path = find_path(&reg, &SchemaId::new("S0"), &SchemaId::new("S3")).unwrap();
         let c = compose_path(&reg, &path).expect("replacement composes");

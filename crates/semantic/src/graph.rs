@@ -64,8 +64,14 @@ impl MappingRegistry {
     ) -> MappingId {
         let id = MappingId(self.next_id);
         self.next_id += 1;
-        self.mappings
-            .push(Mapping::new(id, source, target, kind, provenance, correspondences));
+        self.mappings.push(Mapping::new(
+            id,
+            source,
+            target,
+            kind,
+            provenance,
+            correspondences,
+        ));
         id
     }
 
@@ -125,9 +131,8 @@ impl MappingRegistry {
 
     /// Whether any active mapping already connects the (unordered) pair.
     pub fn connected_directly(&self, a: &SchemaId, b: &SchemaId) -> bool {
-        self.active_mappings().any(|m| {
-            (&m.source == a && &m.target == b) || (&m.source == b && &m.target == a)
-        })
+        self.active_mappings()
+            .any(|m| (&m.source == a && &m.target == b) || (&m.source == b && &m.target == a))
     }
 
     /// Directed edges of the active graph (deduplicated).
@@ -139,11 +144,8 @@ impl MappingRegistry {
     /// registered schema appears, including isolated ones — those are
     /// exactly what drags the connectivity indicator down.
     pub fn degree_records(&self) -> Vec<DegreeRecord> {
-        let mut degs: BTreeMap<SchemaId, (usize, usize)> = self
-            .schemas
-            .keys()
-            .map(|s| (s.clone(), (0, 0)))
-            .collect();
+        let mut degs: BTreeMap<SchemaId, (usize, usize)> =
+            self.schemas.keys().map(|s| (s.clone(), (0, 0))).collect();
         for (from, to) in self.edges() {
             degs.entry(from).or_insert((0, 0)).1 += 1;
             degs.entry(to).or_insert((0, 0)).0 += 1;
@@ -381,9 +383,27 @@ mod tests {
             reg.add_schema(schema(s));
         }
         // A ≡ B, C ≡ D, B ⊑ C
-        reg.add_mapping("A", "B", MappingKind::Equivalence, Provenance::Manual, corr());
-        reg.add_mapping("C", "D", MappingKind::Equivalence, Provenance::Manual, corr());
-        reg.add_mapping("B", "C", MappingKind::Subsumption, Provenance::Manual, corr());
+        reg.add_mapping(
+            "A",
+            "B",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corr(),
+        );
+        reg.add_mapping(
+            "C",
+            "D",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corr(),
+        );
+        reg.add_mapping(
+            "B",
+            "C",
+            MappingKind::Subsumption,
+            Provenance::Manual,
+            corr(),
+        );
         let sccs = reg.strongly_connected_components();
         assert_eq!(sccs.len(), 2);
         assert_eq!(sccs[0].len(), 2);
@@ -414,7 +434,13 @@ mod tests {
         let mut reg = MappingRegistry::new();
         reg.add_schema(schema("A"));
         reg.add_schema(schema("B"));
-        let id = reg.add_mapping("A", "B", MappingKind::Subsumption, Provenance::Manual, corr());
+        let id = reg.add_mapping(
+            "A",
+            "B",
+            MappingKind::Subsumption,
+            Provenance::Manual,
+            corr(),
+        );
         assert_eq!(reg.applicable_from(&SchemaId::new("A")).len(), 1);
         assert!(reg.applicable_from(&SchemaId::new("B")).is_empty());
         reg.deprecate(id);

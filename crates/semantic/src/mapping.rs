@@ -252,8 +252,14 @@ mod tests {
     #[test]
     fn applicable_from_directions() {
         let m = embl_emp();
-        assert_eq!(m.applicable_from(&SchemaId::new("EMBL")), Some(Direction::Forward));
-        assert_eq!(m.applicable_from(&SchemaId::new("EMP")), Some(Direction::Backward));
+        assert_eq!(
+            m.applicable_from(&SchemaId::new("EMBL")),
+            Some(Direction::Forward)
+        );
+        assert_eq!(
+            m.applicable_from(&SchemaId::new("EMP")),
+            Some(Direction::Backward)
+        );
         assert_eq!(m.applicable_from(&SchemaId::new("PDB")), None);
     }
 
@@ -282,7 +288,10 @@ mod tests {
     #[test]
     fn translate_and_destination_follow_direction() {
         let m = embl_emp();
-        assert_eq!(m.translate("Organism", Direction::Forward), Some("SystematicName"));
+        assert_eq!(
+            m.translate("Organism", Direction::Forward),
+            Some("SystematicName")
+        );
         assert_eq!(m.destination(Direction::Forward), &SchemaId::new("EMP"));
         assert_eq!(
             m.translate("SystematicName", Direction::Backward),

@@ -62,10 +62,7 @@ fn trigrams(s: &str) -> BTreeSet<[char; 3]> {
         .chain(s.to_lowercase().chars())
         .chain(std::iter::once('$'))
         .collect();
-    padded
-        .windows(3)
-        .map(|w| [w[0], w[1], w[2]])
-        .collect()
+    padded.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
 }
 
 /// Dice coefficient over character trigrams, in [0, 1].
@@ -370,7 +367,10 @@ mod tests {
     fn tokenize_camel_and_snake() {
         assert_eq!(tokenize("SystematicName"), vec!["systematic", "name"]);
         assert_eq!(tokenize("seq_length"), vec!["seq", "length"]);
-        assert_eq!(tokenize("EMBL-Organism name"), vec!["embl", "organism", "name"]);
+        assert_eq!(
+            tokenize("EMBL-Organism name"),
+            vec!["embl", "organism", "name"]
+        );
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("ABC"), vec!["abc"]);
     }
@@ -449,8 +449,14 @@ mod tests {
                 )
             })
             .collect();
-        assert!(pairs.contains(&("Organism".into(), "SystematicName".into())), "{pairs:?}");
-        assert!(pairs.contains(&("SeqLength".into(), "Length".into())), "{pairs:?}");
+        assert!(
+            pairs.contains(&("Organism".into(), "SystematicName".into())),
+            "{pairs:?}"
+        );
+        assert!(
+            pairs.contains(&("SeqLength".into(), "Length".into())),
+            "{pairs:?}"
+        );
         // The decoy must not be chosen for Organism.
         assert!(!pairs.contains(&("Organism".into(), "Curator".into())));
     }

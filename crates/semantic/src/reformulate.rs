@@ -85,9 +85,9 @@ impl std::error::Error for ReformulateError {}
 pub fn pattern_schema(pattern: &TriplePattern) -> Result<(SchemaId, String), ReformulateError> {
     match &pattern.predicate {
         PatternTerm::Var(_) => Err(ReformulateError::UnboundPredicate),
-        PatternTerm::Const(Term::Literal(s)) => Err(ReformulateError::MalformedPredicate {
-            uri: s.clone(),
-        }),
+        PatternTerm::Const(Term::Literal(s)) => {
+            Err(ReformulateError::MalformedPredicate { uri: s.to_string() })
+        }
         PatternTerm::Const(Term::Uri(u)) => match Schema::split_predicate(u) {
             Some((schema, attr)) => Ok((schema, attr.to_string())),
             None => Err(ReformulateError::MalformedPredicate {
@@ -298,7 +298,12 @@ mod tests {
         assert_eq!(all[3].schema, SchemaId::new("S3"));
         assert_eq!(all[3].depth(), 3);
         assert_eq!(
-            all[3].query.pattern.predicate.as_const().map(|t| t.lexical()),
+            all[3]
+                .query
+                .pattern
+                .predicate
+                .as_const()
+                .map(|t| t.lexical()),
             Some("S3#a3")
         );
 
@@ -314,12 +319,27 @@ mod tests {
         for (s, a) in [("A", "x"), ("B", "y"), ("C", "z")] {
             reg.add_schema(Schema::new(s, [a]));
         }
-        reg.add_mapping("A", "B", MappingKind::Equivalence, Provenance::Manual,
-            vec![Correspondence::new("x", "y")]);
-        reg.add_mapping("B", "C", MappingKind::Equivalence, Provenance::Manual,
-            vec![Correspondence::new("y", "z")]);
-        reg.add_mapping("C", "A", MappingKind::Equivalence, Provenance::Manual,
-            vec![Correspondence::new("z", "x")]);
+        reg.add_mapping(
+            "A",
+            "B",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("x", "y")],
+        );
+        reg.add_mapping(
+            "B",
+            "C",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("y", "z")],
+        );
+        reg.add_mapping(
+            "C",
+            "A",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("z", "x")],
+        );
         let q = TriplePatternQuery::new(
             "v",
             TriplePattern::new(
@@ -411,10 +431,20 @@ mod tests {
         for (s, a) in [("A", "x"), ("B", "y"), ("C", "z")] {
             reg.add_schema(Schema::new(s, [a]));
         }
-        let m1 = reg.add_mapping("A", "B", MappingKind::Equivalence, Provenance::Automatic,
-            vec![Correspondence::new("x", "y")]);
-        let _m2 = reg.add_mapping("B", "C", MappingKind::Equivalence, Provenance::Automatic,
-            vec![Correspondence::new("y", "z")]);
+        let m1 = reg.add_mapping(
+            "A",
+            "B",
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            vec![Correspondence::new("x", "y")],
+        );
+        let _m2 = reg.add_mapping(
+            "B",
+            "C",
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            vec![Correspondence::new("y", "z")],
+        );
         reg.mapping_mut(m1).unwrap().quality = 0.6;
         let q = TriplePatternQuery::new(
             "v",
@@ -426,7 +456,10 @@ mod tests {
         )
         .unwrap();
         let all = reformulations(&reg, &q, 5).expect("ok");
-        let to_c = all.iter().find(|r| r.schema.as_str() == "C").expect("reaches C");
+        let to_c = all
+            .iter()
+            .find(|r| r.schema.as_str() == "C")
+            .expect("reaches C");
         assert!((to_c.path_quality(&reg) - 0.6).abs() < 1e-12);
     }
 }

@@ -52,7 +52,10 @@ pub struct Schema {
 impl Schema {
     /// Create a schema; attribute names are deduplicated, order
     /// preserved.
-    pub fn new(id: impl Into<SchemaId>, attributes: impl IntoIterator<Item = impl Into<String>>) -> Schema {
+    pub fn new(
+        id: impl Into<SchemaId>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Schema {
         let mut seen = Vec::new();
         for a in attributes {
             let a = a.into();

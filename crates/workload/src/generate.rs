@@ -265,8 +265,8 @@ impl Workload {
             for &cid in &concept_ids {
                 let concept = &CONCEPTS[cid];
                 let variant = match (si, cid) {
-                    (0, 0) => "Organism",        // EMBL#Organism (Fig. 2)
-                    (1, 0) => "SystematicName",  // EMP#SystematicName (Fig. 2)
+                    (0, 0) => "Organism",       // EMBL#Organism (Fig. 2)
+                    (1, 0) => "SystematicName", // EMP#SystematicName (Fig. 2)
                     _ => concept.variants[r.gen_range(0..concept.variants.len())],
                 };
                 attrs.push(variant.to_string());
@@ -281,13 +281,14 @@ impl Workload {
         // a concept in a non-canonical format. The Figure-2 schemas keep
         // organism canonical so the `%Aspergillus%` walkthrough works.
         let mut formats = BTreeMap::new();
-        let variants = [ValueFormat::Upper, ValueFormat::FirstWord, ValueFormat::Abbreviated];
+        let variants = [
+            ValueFormat::Upper,
+            ValueFormat::FirstWord,
+            ValueFormat::Abbreviated,
+        ];
         for (si, s) in schemas.iter().enumerate() {
             for attr in s.attributes() {
-                let cid = ground_truth
-                    .concept(s.id(), attr)
-                    .expect("labelled")
-                    .0;
+                let cid = ground_truth.concept(s.id(), attr).expect("labelled").0;
                 let figure2 = si < 2 && cid == 0;
                 let fmt = if !figure2 && r.gen::<f64>() < config.value_noise {
                     variants[r.gen_range(0..variants.len())]
@@ -429,13 +430,25 @@ fn synth_value<R: Rng + ?Sized>(c: &Concept, accession: &str, r: &mut R) -> Stri
         "sequence" => {
             let len = r.gen_range(10..40);
             let alphabet = ['A', 'C', 'D', 'E', 'F', 'G', 'H', 'K', 'L', 'M'];
-            (0..len).map(|_| alphabet[r.gen_range(0..alphabet.len())]).collect()
+            (0..len)
+                .map(|_| alphabet[r.gen_range(0..alphabet.len())])
+                .collect()
         }
         "length" => format!("{}", r.gen_range(80..4000)),
         "description" => format!("putative protein {accession}"),
         "gene" => format!("gene{}", r.gen_range(1..999)),
-        "created" => format!("199{}-0{}-1{}", r.gen_range(0..10), r.gen_range(1..10), r.gen_range(0..10)),
-        "modified" => format!("200{}-0{}-2{}", r.gen_range(0..8), r.gen_range(1..10), r.gen_range(0..8)),
+        "created" => format!(
+            "199{}-0{}-1{}",
+            r.gen_range(0..10),
+            r.gen_range(1..10),
+            r.gen_range(0..10)
+        ),
+        "modified" => format!(
+            "200{}-0{}-2{}",
+            r.gen_range(0..8),
+            r.gen_range(1..10),
+            r.gen_range(0..8)
+        ),
         "reference" => format!("PMID:{}", r.gen_range(1_000_000..9_999_999)),
         "mass" => format!("{}", r.gen_range(8_000..200_000)),
         "features" => format!("{} features", r.gen_range(1..30)),
@@ -476,13 +489,23 @@ mod tests {
     #[test]
     fn figure2_schemas_present() {
         let w = small();
-        let embl = w.schemas.iter().find(|s| s.id().as_str() == "EMBL").unwrap();
+        let embl = w
+            .schemas
+            .iter()
+            .find(|s| s.id().as_str() == "EMBL")
+            .unwrap();
         assert!(embl.has_attribute("Organism"));
         let emp = w.schemas.iter().find(|s| s.id().as_str() == "EMP").unwrap();
         assert!(emp.has_attribute("SystematicName"));
         // Ground truth links them to the same concept.
-        let c1 = w.ground_truth.concept(&SchemaId::new("EMBL"), "Organism").unwrap();
-        let c2 = w.ground_truth.concept(&SchemaId::new("EMP"), "SystematicName").unwrap();
+        let c1 = w
+            .ground_truth
+            .concept(&SchemaId::new("EMBL"), "Organism")
+            .unwrap();
+        let c2 = w
+            .ground_truth
+            .concept(&SchemaId::new("EMP"), "SystematicName")
+            .unwrap();
         assert_eq!(c1, c2);
     }
 
@@ -492,7 +515,10 @@ mod tests {
         let a = SchemaId::new("EMBL");
         let b = SchemaId::new("EMP");
         let shared = w.shared_entities(&a, &b);
-        assert!(!shared.is_empty(), "50% export over 60 entities must overlap");
+        assert!(
+            !shared.is_empty(),
+            "50% export over 60 entities must overlap"
+        );
         let ta = w.triples_of(&a);
         let tb = w.triples_of(&b);
         let subjects_a: BTreeSet<&str> = ta.iter().map(|t| t.subject.as_str()).collect();
@@ -586,10 +612,22 @@ mod tests {
 
     #[test]
     fn value_formats_render() {
-        assert_eq!(ValueFormat::Canonical.render("Aspergillus niger"), "Aspergillus niger");
-        assert_eq!(ValueFormat::Upper.render("Aspergillus niger"), "ASPERGILLUS NIGER");
-        assert_eq!(ValueFormat::FirstWord.render("Aspergillus niger"), "Aspergillus");
-        assert_eq!(ValueFormat::Abbreviated.render("Aspergillus niger"), "Aspergillus n.");
+        assert_eq!(
+            ValueFormat::Canonical.render("Aspergillus niger"),
+            "Aspergillus niger"
+        );
+        assert_eq!(
+            ValueFormat::Upper.render("Aspergillus niger"),
+            "ASPERGILLUS NIGER"
+        );
+        assert_eq!(
+            ValueFormat::FirstWord.render("Aspergillus niger"),
+            "Aspergillus"
+        );
+        assert_eq!(
+            ValueFormat::Abbreviated.render("Aspergillus niger"),
+            "Aspergillus n."
+        );
         assert_eq!(ValueFormat::Abbreviated.render("single"), "single");
     }
 

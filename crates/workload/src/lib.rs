@@ -35,7 +35,9 @@ pub mod vocab;
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::generate::{Entity, GroundTruth, Workload, WorkloadConfig};
-    pub use crate::queries::{recall, GeneratedConjunctiveQuery, GeneratedQuery, QueryConfig, QueryGenerator};
+    pub use crate::queries::{
+        recall, GeneratedConjunctiveQuery, GeneratedQuery, QueryConfig, QueryGenerator,
+    };
     pub use crate::vocab::{Concept, ConceptId, CONCEPTS, ORGANISMS, SCHEMA_NAMES};
 }
 

@@ -77,7 +77,7 @@ impl<'a> QueryGenerator<'a> {
                 .iter()
                 .filter_map(|a| {
                     let c = self.workload.ground_truth.concept(s.id(), a)?;
-                    CONCEPTS[c.0].categorical.then_some((a.as_str(), c))
+                    CONCEPTS[c.0].categorical.then_some((String::as_str(a), c))
                 })
                 .collect();
             let Some(&(attr, concept)) = categorical.get(r.gen_range(0..categorical.len().max(1)))
@@ -155,7 +155,12 @@ impl<'a> QueryGenerator<'a> {
         loop {
             // Reuse the single-pattern machinery for the selective leg.
             let head = self.single(r);
-            let Some(s) = self.workload.schemas.iter().find(|s| *s.id() == head.schema) else {
+            let Some(s) = self
+                .workload
+                .schemas
+                .iter()
+                .find(|s| *s.id() == head.schema)
+            else {
                 continue;
             };
             // A second attribute with a *different* concept.
@@ -203,11 +208,8 @@ impl<'a> QueryGenerator<'a> {
                         .map(|&i| self.workload.entities[i].accession.clone())
                 })
                 .collect();
-            let true_answers: BTreeSet<String> = head
-                .true_answers
-                .intersection(&joinable)
-                .cloned()
-                .collect();
+            let true_answers: BTreeSet<String> =
+                head.true_answers.intersection(&joinable).cloned().collect();
             return GeneratedConjunctiveQuery {
                 schema: head.schema,
                 constrained_concept: head.concept,
@@ -268,7 +270,12 @@ mod tests {
         for q in g.batch(30, &mut r) {
             assert_eq!(q.query.distinguished, "x");
             assert!(q.query.pattern.subject.is_var());
-            let pred = q.query.pattern.predicate.as_const().expect("constant predicate");
+            let pred = q
+                .query
+                .pattern
+                .predicate
+                .as_const()
+                .expect("constant predicate");
             assert!(pred.lexical().starts_with(q.schema.as_str()));
         }
     }
@@ -317,7 +324,10 @@ mod tests {
         for q in &qs {
             assert_eq!(q.query.patterns.len(), 2);
             assert_ne!(q.constrained_concept, q.join_concept);
-            assert_eq!(q.query.distinguished, vec!["x".to_string(), "v".to_string()]);
+            assert_eq!(
+                q.query.distinguished,
+                vec!["x".to_string(), "v".to_string()]
+            );
             // Both predicates belong to the same schema.
             for p in &q.query.patterns {
                 let pred = p.predicate.as_const().expect("constant predicate");

@@ -31,96 +31,277 @@ pub struct Concept {
 
 /// The full concept inventory (16 concepts, ≥ 4 variants each).
 pub const CONCEPTS: &[Concept] = &[
-    Concept { id: ConceptId(0), name: "organism",
-        variants: &["Organism", "SystematicName", "Species", "SourceOrganism", "OrganismName", "Taxon"],
-        categorical: true },
-    Concept { id: ConceptId(1), name: "accession",
-        variants: &["Accession", "AccessionNumber", "EntryId", "PrimaryAccession", "AcNumber"],
-        categorical: false },
-    Concept { id: ConceptId(2), name: "sequence",
-        variants: &["Sequence", "SeqData", "Residues", "SequenceData", "PrimarySequence"],
-        categorical: false },
-    Concept { id: ConceptId(3), name: "length",
-        variants: &["Length", "SeqLength", "SequenceLength", "Size", "ResidueCount"],
-        categorical: false },
-    Concept { id: ConceptId(4), name: "description",
-        variants: &["Description", "Definition", "Title", "EntryDescription", "De"],
-        categorical: false },
-    Concept { id: ConceptId(5), name: "gene",
+    Concept {
+        id: ConceptId(0),
+        name: "organism",
+        variants: &[
+            "Organism",
+            "SystematicName",
+            "Species",
+            "SourceOrganism",
+            "OrganismName",
+            "Taxon",
+        ],
+        categorical: true,
+    },
+    Concept {
+        id: ConceptId(1),
+        name: "accession",
+        variants: &[
+            "Accession",
+            "AccessionNumber",
+            "EntryId",
+            "PrimaryAccession",
+            "AcNumber",
+        ],
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(2),
+        name: "sequence",
+        variants: &[
+            "Sequence",
+            "SeqData",
+            "Residues",
+            "SequenceData",
+            "PrimarySequence",
+        ],
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(3),
+        name: "length",
+        variants: &[
+            "Length",
+            "SeqLength",
+            "SequenceLength",
+            "Size",
+            "ResidueCount",
+        ],
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(4),
+        name: "description",
+        variants: &[
+            "Description",
+            "Definition",
+            "Title",
+            "EntryDescription",
+            "De",
+        ],
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(5),
+        name: "gene",
         variants: &["Gene", "GeneName", "Locus", "GeneSymbol", "OrfName"],
-        categorical: false },
-    Concept { id: ConceptId(6), name: "keywords",
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(6),
+        name: "keywords",
         variants: &["Keywords", "KeywordList", "Tags", "Kw"],
-        categorical: true },
-    Concept { id: ConceptId(7), name: "molecule_type",
+        categorical: true,
+    },
+    Concept {
+        id: ConceptId(7),
+        name: "molecule_type",
         variants: &["MoleculeType", "MolType", "Moltype", "BioMoleculeKind"],
-        categorical: true },
-    Concept { id: ConceptId(8), name: "taxonomy",
-        variants: &["Taxonomy", "TaxonomicLineage", "Lineage", "TaxClassification", "OrganismClassification"],
-        categorical: true },
-    Concept { id: ConceptId(9), name: "created",
+        categorical: true,
+    },
+    Concept {
+        id: ConceptId(8),
+        name: "taxonomy",
+        variants: &[
+            "Taxonomy",
+            "TaxonomicLineage",
+            "Lineage",
+            "TaxClassification",
+            "OrganismClassification",
+        ],
+        categorical: true,
+    },
+    Concept {
+        id: ConceptId(9),
+        name: "created",
         variants: &["Created", "CreationDate", "DateCreated", "FirstPublic"],
-        categorical: false },
-    Concept { id: ConceptId(10), name: "modified",
-        variants: &["Modified", "LastUpdated", "UpdateDate", "LastAnnotationUpdate"],
-        categorical: false },
-    Concept { id: ConceptId(11), name: "reference",
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(10),
+        name: "modified",
+        variants: &[
+            "Modified",
+            "LastUpdated",
+            "UpdateDate",
+            "LastAnnotationUpdate",
+        ],
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(11),
+        name: "reference",
         variants: &["Reference", "Citation", "PubmedRef", "LiteratureReference"],
-        categorical: false },
-    Concept { id: ConceptId(12), name: "function",
-        variants: &["Function", "MolecularFunction", "Activity", "FunctionComment"],
-        categorical: true },
-    Concept { id: ConceptId(13), name: "mass",
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(12),
+        name: "function",
+        variants: &[
+            "Function",
+            "MolecularFunction",
+            "Activity",
+            "FunctionComment",
+        ],
+        categorical: true,
+    },
+    Concept {
+        id: ConceptId(13),
+        name: "mass",
         variants: &["Mass", "MolecularWeight", "Mw", "MolWeight"],
-        categorical: false },
-    Concept { id: ConceptId(14), name: "features",
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(14),
+        name: "features",
         variants: &["Features", "FeatureTable", "Ft", "SequenceFeatures"],
-        categorical: false },
-    Concept { id: ConceptId(15), name: "database",
+        categorical: false,
+    },
+    Concept {
+        id: ConceptId(15),
+        name: "database",
         variants: &["Database", "SourceDb", "DataSource", "OriginDatabase"],
-        categorical: true },
+        categorical: true,
+    },
 ];
 
 /// Database-style schema names. The first few are the real databases the
 /// paper's demo federates; the rest keep 50 schemas realistic.
 pub const SCHEMA_NAMES: &[&str] = &[
-    "EMBL", "EMP", "SwissProt", "TrEMBL", "GenBank", "PIR", "PDB", "Prosite",
-    "InterPro", "Pfam", "UniParc", "RefSeq", "DDBJ", "EPD", "Ensembl", "FlyBase",
-    "SGD", "MGD", "WormBase", "TAIR", "ZFIN", "EcoCyc", "KEGG", "BRENDA",
-    "CATH", "SCOP", "ProDom", "PRINTS", "Blocks", "TIGRFAMs", "SMART", "HAMAP",
-    "PIRSF", "SUPERFAMILY", "Gene3D", "PANTHER", "PhosSite", "GlycoDB",
-    "EnzymeDB", "PathwayDB", "StructDB", "MotifDB", "DomainDB", "VariantDB",
-    "ExpressDB", "InteractDB", "LocalisDB", "HomologDB", "OrthoDB", "ParaDB",
-    "CrossRefDB", "AnnotDB", "CurateDB", "ArchiveDB",
+    "EMBL",
+    "EMP",
+    "SwissProt",
+    "TrEMBL",
+    "GenBank",
+    "PIR",
+    "PDB",
+    "Prosite",
+    "InterPro",
+    "Pfam",
+    "UniParc",
+    "RefSeq",
+    "DDBJ",
+    "EPD",
+    "Ensembl",
+    "FlyBase",
+    "SGD",
+    "MGD",
+    "WormBase",
+    "TAIR",
+    "ZFIN",
+    "EcoCyc",
+    "KEGG",
+    "BRENDA",
+    "CATH",
+    "SCOP",
+    "ProDom",
+    "PRINTS",
+    "Blocks",
+    "TIGRFAMs",
+    "SMART",
+    "HAMAP",
+    "PIRSF",
+    "SUPERFAMILY",
+    "Gene3D",
+    "PANTHER",
+    "PhosSite",
+    "GlycoDB",
+    "EnzymeDB",
+    "PathwayDB",
+    "StructDB",
+    "MotifDB",
+    "DomainDB",
+    "VariantDB",
+    "ExpressDB",
+    "InteractDB",
+    "LocalisDB",
+    "HomologDB",
+    "OrthoDB",
+    "ParaDB",
+    "CrossRefDB",
+    "AnnotDB",
+    "CurateDB",
+    "ArchiveDB",
 ];
 
 /// Organism names for categorical values; Aspergillus species first so
 /// the paper's `%Aspergillus%` query has answers.
 pub const ORGANISMS: &[&str] = &[
-    "Aspergillus niger", "Aspergillus nidulans", "Aspergillus fumigatus",
-    "Aspergillus oryzae", "Saccharomyces cerevisiae", "Escherichia coli",
-    "Homo sapiens", "Mus musculus", "Drosophila melanogaster",
-    "Caenorhabditis elegans", "Arabidopsis thaliana", "Bacillus subtilis",
-    "Schizosaccharomyces pombe", "Candida albicans", "Neurospora crassa",
-    "Penicillium chrysogenum", "Rattus norvegicus", "Danio rerio",
-    "Oryza sativa", "Zea mays", "Xenopus laevis", "Gallus gallus",
-    "Plasmodium falciparum", "Mycobacterium tuberculosis",
-    "Streptomyces coelicolor", "Thermus aquaticus", "Pyrococcus furiosus",
-    "Haloferax volcanii", "Synechocystis sp.", "Dictyostelium discoideum",
+    "Aspergillus niger",
+    "Aspergillus nidulans",
+    "Aspergillus fumigatus",
+    "Aspergillus oryzae",
+    "Saccharomyces cerevisiae",
+    "Escherichia coli",
+    "Homo sapiens",
+    "Mus musculus",
+    "Drosophila melanogaster",
+    "Caenorhabditis elegans",
+    "Arabidopsis thaliana",
+    "Bacillus subtilis",
+    "Schizosaccharomyces pombe",
+    "Candida albicans",
+    "Neurospora crassa",
+    "Penicillium chrysogenum",
+    "Rattus norvegicus",
+    "Danio rerio",
+    "Oryza sativa",
+    "Zea mays",
+    "Xenopus laevis",
+    "Gallus gallus",
+    "Plasmodium falciparum",
+    "Mycobacterium tuberculosis",
+    "Streptomyces coelicolor",
+    "Thermus aquaticus",
+    "Pyrococcus furiosus",
+    "Haloferax volcanii",
+    "Synechocystis sp.",
+    "Dictyostelium discoideum",
 ];
 
 /// Value pools for the other categorical concepts.
 pub const KEYWORD_POOL: &[&str] = &[
-    "hydrolase", "transferase", "oxidoreductase", "kinase", "membrane",
-    "secreted", "glycoprotein", "zinc-finger", "dna-binding", "atp-binding",
-    "signal-peptide", "transmembrane", "phosphoprotein", "repeat", "isomerase",
+    "hydrolase",
+    "transferase",
+    "oxidoreductase",
+    "kinase",
+    "membrane",
+    "secreted",
+    "glycoprotein",
+    "zinc-finger",
+    "dna-binding",
+    "atp-binding",
+    "signal-peptide",
+    "transmembrane",
+    "phosphoprotein",
+    "repeat",
+    "isomerase",
 ];
 
 pub const MOLECULE_TYPES: &[&str] = &["protein", "mRNA", "genomic DNA", "rRNA", "tRNA", "cDNA"];
 
 pub const FUNCTIONS: &[&str] = &[
-    "catalysis", "transport", "signaling", "structural", "regulation",
-    "binding", "storage", "defense", "motility", "replication",
+    "catalysis",
+    "transport",
+    "signaling",
+    "structural",
+    "regulation",
+    "binding",
+    "storage",
+    "defense",
+    "motility",
+    "replication",
 ];
 
 pub const DATABASES: &[&str] = &["EBI", "NCBI", "DDBJ-Center", "ExPASy", "Sanger"];
@@ -183,6 +364,12 @@ mod tests {
     #[test]
     fn aspergillus_species_lead_the_organism_pool() {
         assert!(ORGANISMS[0].contains("Aspergillus"));
-        assert!(ORGANISMS.iter().filter(|o| o.contains("Aspergillus")).count() >= 3);
+        assert!(
+            ORGANISMS
+                .iter()
+                .filter(|o| o.contains("Aspergillus"))
+                .count()
+                >= 3
+        );
     }
 }

@@ -57,8 +57,15 @@ fn main() {
         let a = workload.schemas[i].id().clone();
         let b = workload.schemas[i + 1].id().clone();
         let corrs = workload.ground_truth.correct_pairs(&a, &b);
-        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-            .unwrap();
+        sys.insert_mapping(
+            p0,
+            a,
+            b,
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corrs,
+        )
+        .unwrap();
     }
 
     // 3. A probe workload with exact ground truth.
@@ -86,8 +93,13 @@ fn main() {
     let r0 = measure(&mut sys);
     println!(
         "{:>5}  {:>6}  {:>8}  {:>7}  {:>10}  {:>4.2}  {:>6.3}",
-        0, "-", sys.registry().active_count(), "-", "-",
-        sys.registry().largest_scc_fraction(), r0
+        0,
+        "-",
+        sys.registry().active_count(),
+        "-",
+        "-",
+        sys.registry().largest_scc_fraction(),
+        r0
     );
     let cfg = SelfOrgConfig {
         max_new_mappings: 8,

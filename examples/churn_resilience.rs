@@ -112,5 +112,8 @@ fn main() {
         ok as f64 / submitted as f64 > 0.6,
         "replication + retries must keep the majority of queries alive"
     );
-    println!("the overlay stayed usable through {} churn events.", churn.events().len());
+    println!(
+        "the overlay stayed usable through {} churn events.",
+        churn.events().len()
+    );
 }

@@ -109,8 +109,12 @@ fn main() {
 
         let rows: Vec<String> = out.bindings.iter().map(|b| b.to_string()).collect();
         assert_eq!(rows.len(), 3, "one Aspergillus join row per vocabulary");
-        assert!(rows.iter().any(|r| r.contains("A78712") && r.contains("1042")));
-        assert!(rows.iter().any(|r| r.contains("NEN94295") && r.contains("2210")));
+        assert!(rows
+            .iter()
+            .any(|r| r.contains("A78712") && r.contains("1042")));
+        assert!(rows
+            .iter()
+            .any(|r| r.contains("NEN94295") && r.contains("2210")));
         assert!(rows.iter().any(|r| r.contains("1AGX") && r.contains("512")));
         match &reference {
             None => reference = Some(rows),

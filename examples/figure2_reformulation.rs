@@ -44,7 +44,11 @@ fn main() {
     for (s, p, o) in [
         ("seq:A78712", "EMBL#Organism", "Aspergillus niger"),
         ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
-        ("seq:NEN94295-05", "EMP#SystematicName", "Aspergillus oryzae"),
+        (
+            "seq:NEN94295-05",
+            "EMP#SystematicName",
+            "Aspergillus oryzae",
+        ),
     ] {
         gridvine
             .insert_triple(peer, Triple::new(s, p, Term::literal(o)))

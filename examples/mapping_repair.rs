@@ -43,8 +43,15 @@ fn main() {
         let a = workload.schemas[i].id().clone();
         let b = workload.schemas[(i + 1) % schemas].id().clone();
         let corrs = workload.ground_truth.correct_pairs(&a, &b);
-        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-            .unwrap();
+        sys.insert_mapping(
+            p0,
+            a,
+            b,
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corrs,
+        )
+        .unwrap();
     }
 
     // One erroneous automatic chord S0→S2: the first two ground-truth
@@ -64,8 +71,14 @@ fn main() {
             .collect()
     };
     let bad = sys
-        .insert_mapping(p0, a.clone(), c.clone(), MappingKind::Equivalence,
-            Provenance::Automatic, swapped)
+        .insert_mapping(
+            p0,
+            a.clone(),
+            c.clone(),
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            swapped,
+        )
         .unwrap();
     println!("installed manual ring ({schemas} mappings) + 1 erroneous chord {a}→{c}\n");
 
@@ -73,8 +86,14 @@ fn main() {
     // reformulation into S2's vocabulary uses the swapped attribute and
     // pollutes the answer stream with wrong-concept values.
     let probe = gridvine_workload::QueryGenerator::new(&workload, Default::default()).figure2();
-    let before = sys.search(PeerId(7), &probe.query, Strategy::Iterative).unwrap();
-    println!("before repair: {} results via {} schemas", before.results.len(), before.schemas_visited);
+    let before = sys
+        .search(PeerId(7), &probe.query, Strategy::Iterative)
+        .unwrap();
+    println!(
+        "before repair: {} results via {} schemas",
+        before.results.len(),
+        before.schemas_visited
+    );
 
     let cfg = SelfOrgConfig {
         max_new_mappings: 0, // isolate the deprecation/repair mechanics
@@ -96,7 +115,10 @@ fn main() {
             println!(
                 "  replacement {}→{} composed from the manual path: {} correspondences, \
                  all correct = {all_correct}, quality {:.3}",
-                m.source, m.target, m.correspondences.len(), m.quality
+                m.source,
+                m.target,
+                m.correspondences.len(),
+                m.quality
             );
             assert!(all_correct, "composed replacement must be correct");
         }
@@ -112,7 +134,9 @@ fn main() {
         .any(|m| (&m.source, &m.target) == (&a, &c) && m.provenance == Provenance::Automatic);
     assert!(composed_exists, "a composed replacement must be active");
 
-    let after = sys.search(PeerId(7), &probe.query, Strategy::Iterative).unwrap();
+    let after = sys
+        .search(PeerId(7), &probe.query, Strategy::Iterative)
+        .unwrap();
     println!(
         "\nafter repair: {} results via {} schemas (bad chord gone, composed path in place)",
         after.results.len(),

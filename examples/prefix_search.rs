@@ -12,7 +12,7 @@
 
 use gridvine_core::{GridVineConfig, GridVineSystem, SystemError};
 use gridvine_pgrid::{HashKind, PeerId};
-use gridvine_rdf::{PatternTerm, Term, Triple, TriplePatternQuery, TriplePattern};
+use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
 use gridvine_semantic::Schema;
 
 /// Organisms whose records we insert; six of them share the genus
@@ -37,7 +37,8 @@ fn build(hash: HashKind) -> GridVineSystem {
         ..GridVineConfig::default()
     });
     let p0 = PeerId(0);
-    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+        .unwrap();
     for (i, org) in ORGANISMS.iter().enumerate() {
         sys.insert_triple(
             p0,
@@ -79,7 +80,11 @@ fn main() {
     for r in &results {
         println!("  {r}");
     }
-    println!("  ({} results, {} overlay messages)\n", results.len(), messages);
+    println!(
+        "  ({} results, {} overlay messages)\n",
+        results.len(),
+        messages
+    );
     assert_eq!(results.len(), 6, "all six Aspergillus records found");
 
     // The same search through the predicate key also works (it routes

@@ -21,7 +21,10 @@ fn main() {
 
     // 2. Two labs publish their own schemas — no global schema needed.
     gridvine
-        .insert_schema(publisher, Schema::new("EMBL", ["Organism", "SequenceLength"]))
+        .insert_schema(
+            publisher,
+            Schema::new("EMBL", ["Organism", "SequenceLength"]),
+        )
         .expect("schema stored");
     gridvine
         .insert_schema(publisher, Schema::new("EMP", ["SystematicName"]))
@@ -45,7 +48,11 @@ fn main() {
         ("seq:A78712", "EMBL#Organism", "Aspergillus niger"),
         ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
         ("seq:A78712", "EMBL#SequenceLength", "1042"),
-        ("seq:NEN94295-05", "EMP#SystematicName", "Aspergillus oryzae"),
+        (
+            "seq:NEN94295-05",
+            "EMP#SystematicName",
+            "Aspergillus oryzae",
+        ),
         ("seq:X00912", "EMP#SystematicName", "Escherichia coli"),
     ] {
         gridvine
@@ -64,7 +71,10 @@ fn main() {
         .search(issuer, &query, Strategy::Iterative)
         .expect("search runs");
 
-    println!("schemas:   {} visited (1 reformulation step)", outcome.schemas_visited);
+    println!(
+        "schemas:   {} visited (1 reformulation step)",
+        outcome.schemas_visited
+    );
     println!("messages:  {} overlay messages", outcome.messages);
     println!("results:");
     for term in &outcome.results {

@@ -3,9 +3,7 @@
 //! both join modes and both dissemination strategies must agree with
 //! each other — including across schema mappings.
 
-use gridvine_core::{
-    ConjunctiveOutcome, GridVineConfig, GridVineSystem, JoinMode, Strategy,
-};
+use gridvine_core::{ConjunctiveOutcome, GridVineConfig, GridVineSystem, JoinMode, Strategy};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{
     parse_query, Binding, ConjunctiveQuery, PatternTerm, Term, Triple, TriplePattern, TripleStore,
@@ -61,15 +59,16 @@ fn parsed_rdql_conjunction_matches_oracle() {
         // e:4 has no a1 fact: must not survive the join.
     ];
     let (mut sys, oracle) = single_schema_system(&triples);
-    let q = parse_query(
-        r#"SELECT ?x, ?len WHERE (?x, <S#a0>, "%Aspergillus%"), (?x, <S#a1>, ?len)"#,
-    )
-    .unwrap();
+    let q =
+        parse_query(r#"SELECT ?x, ?len WHERE (?x, <S#a0>, "%Aspergillus%"), (?x, <S#a1>, ?len)"#)
+            .unwrap();
     let expected = oracle_rows(&q, &oracle);
     assert_eq!(expected.len(), 2);
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys.search_conjunctive(PeerId(9), &q, strategy, mode).unwrap();
+            let out = sys
+                .search_conjunctive(PeerId(9), &q, strategy, mode)
+                .unwrap();
             assert_eq!(rows(&out), expected, "{strategy:?}/{mode:?}");
         }
     }
@@ -116,7 +115,9 @@ fn three_pattern_chain_join() {
     assert_eq!(expected.len(), 1, "only e:1 survives all three patterns");
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys.search_conjunctive(PeerId(2), &q, strategy, mode).unwrap();
+            let out = sys
+                .search_conjunctive(PeerId(2), &q, strategy, mode)
+                .unwrap();
             assert_eq!(rows(&out), expected, "{strategy:?}/{mode:?}");
         }
     }
@@ -155,7 +156,8 @@ fn conjunctive_query_crosses_mappings_on_every_pattern() {
         ("seq:B1", "EMP#SystematicName", "Aspergillus oryzae"),
         ("seq:B1", "EMP#Length", "200"),
     ] {
-        sys.insert_triple(p0, Triple::new(s, p, Term::literal(o))).unwrap();
+        sys.insert_triple(p0, Triple::new(s, p, Term::literal(o)))
+            .unwrap();
     }
     let q = parse_query(
         r#"SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#SequenceLength>, ?len)"#,
@@ -163,11 +165,15 @@ fn conjunctive_query_crosses_mappings_on_every_pattern() {
     .unwrap();
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys.search_conjunctive(PeerId(5), &q, strategy, mode).unwrap();
+            let out = sys
+                .search_conjunctive(PeerId(5), &q, strategy, mode)
+                .unwrap();
             let r = rows(&out);
             assert_eq!(r.len(), 2, "{strategy:?}/{mode:?}: {r:?}");
-            assert!(r.iter().any(|s| s.contains("seq:B1") && s.contains("200")),
-                "{strategy:?}/{mode:?} must find the EMP-side join: {r:?}");
+            assert!(
+                r.iter().any(|s| s.contains("seq:B1") && s.contains("200")),
+                "{strategy:?}/{mode:?} must find the EMP-side join: {r:?}"
+            );
             assert!(out.reformulations >= 1, "{strategy:?}/{mode:?}");
         }
     }
@@ -201,14 +207,26 @@ fn workload_conjunctive_queries_agree_across_modes() {
         let b = w.schemas[i + 1].id().clone();
         let corrs = w.ground_truth.correct_pairs(&a, &b);
         if !corrs.is_empty() {
-            sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-                .unwrap();
+            sys.insert_mapping(
+                p0,
+                a,
+                b,
+                MappingKind::Equivalence,
+                Provenance::Manual,
+                corrs,
+            )
+            .unwrap();
         }
     }
     // Query: entities with attribute-0 value anything, plus attribute-1
     // value anything — both facts must exist for the same subject.
     let schema = &w.schemas[0];
-    let attrs: Vec<&str> = schema.attributes().iter().take(2).map(String::as_str).collect();
+    let attrs: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .take(2)
+        .map(String::as_str)
+        .collect();
     assert!(attrs.len() == 2, "schema has at least two attributes");
     let q = ConjunctiveQuery::new(
         vec!["x".into()],
@@ -232,7 +250,9 @@ fn workload_conjunctive_queries_agree_across_modes() {
     assert!(!baseline.bindings.is_empty(), "corpus yields join results");
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys.search_conjunctive(PeerId(1), &q, strategy, mode).unwrap();
+            let out = sys
+                .search_conjunctive(PeerId(1), &q, strategy, mode)
+                .unwrap();
             assert_eq!(rows(&out), rows(&baseline), "{strategy:?}/{mode:?}");
         }
     }
@@ -269,8 +289,15 @@ fn generated_conjunctive_queries_reach_ground_truth_recall() {
         let b = w.schemas[i + 1].id().clone();
         let corrs = w.ground_truth.correct_pairs(&a, &b);
         if !corrs.is_empty() {
-            sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-                .unwrap();
+            sys.insert_mapping(
+                p0,
+                a,
+                b,
+                MappingKind::Equivalence,
+                Provenance::Manual,
+                corrs,
+            )
+            .unwrap();
         }
     }
 
@@ -290,7 +317,12 @@ fn generated_conjunctive_queries_reach_ground_truth_recall() {
                 .collect()
         };
         let ind = sys
-            .search_conjunctive(PeerId(2), &g.query, Strategy::Iterative, JoinMode::Independent)
+            .search_conjunctive(
+                PeerId(2),
+                &g.query,
+                Strategy::Iterative,
+                JoinMode::Independent,
+            )
             .unwrap();
         let bnd = sys
             .search_conjunctive(

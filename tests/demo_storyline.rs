@@ -23,7 +23,9 @@ fn mean_recall(sys: &mut GridVineSystem, gen: &QueryGenerator<'_>, n: usize, see
         if g.true_answers.is_empty() {
             continue;
         }
-        let out = sys.search(PeerId(1), &g.query, Strategy::Iterative).unwrap();
+        let out = sys
+            .search(PeerId(1), &g.query, Strategy::Iterative)
+            .unwrap();
         sum += recall(&out.accessions, &g.true_answers);
         count += 1;
     }
@@ -59,8 +61,15 @@ fn full_demo_storyline() {
         let a = w.schemas[i].id().clone();
         let b = w.schemas[i + 1].id().clone();
         let corrs = w.ground_truth.correct_pairs(&a, &b);
-        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-            .unwrap();
+        sys.insert_mapping(
+            p0,
+            a,
+            b,
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corrs,
+        )
+        .unwrap();
     }
     let gen = QueryGenerator::new(&w, QueryConfig::default());
     sys.publish_connectivity(p0).unwrap();
@@ -147,16 +156,21 @@ fn full_demo_storyline() {
     let existing: Vec<MappingId> = sys
         .registry()
         .active_mappings()
-        .filter(|m| {
-            (&m.source, &m.target) == (&a, &c) || (&m.source, &m.target) == (&c, &a)
-        })
+        .filter(|m| (&m.source, &m.target) == (&a, &c) || (&m.source, &m.target) == (&c, &a))
         .map(|m| m.id)
         .collect();
     for id in existing {
         sys.deprecate_mapping(p0, id).unwrap();
     }
     let bad = sys
-        .insert_mapping(p0, a, c, MappingKind::Equivalence, Provenance::Automatic, corrs)
+        .insert_mapping(
+            p0,
+            a,
+            c,
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            corrs,
+        )
         .unwrap();
     for _ in 0..6 {
         sys.self_organization_round(&cfg).unwrap();
@@ -170,7 +184,11 @@ fn full_demo_storyline() {
     );
     for m in sys.registry().mappings() {
         if m.provenance == Provenance::Manual {
-            assert!(m.is_active(), "manual mapping {:?} wrongly deprecated", m.id);
+            assert!(
+                m.is_active(),
+                "manual mapping {:?} wrongly deprecated",
+                m.id
+            );
         }
     }
 

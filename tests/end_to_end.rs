@@ -9,11 +9,7 @@ use gridvine_workload::{recall, QueryConfig, QueryGenerator, Workload, WorkloadC
 use std::collections::BTreeSet;
 
 /// Load a workload into a system with `seed_mappings` manual links.
-fn load_system(
-    schemas: usize,
-    seed_mappings: usize,
-    seed: u64,
-) -> (GridVineSystem, Workload) {
+fn load_system(schemas: usize, seed_mappings: usize, seed: u64) -> (GridVineSystem, Workload) {
     let w = Workload::generate(WorkloadConfig {
         schemas,
         entities: 120,
@@ -36,8 +32,15 @@ fn load_system(
         let a = w.schemas[i].id().clone();
         let b = w.schemas[i + 1].id().clone();
         let corrs = w.ground_truth.correct_pairs(&a, &b);
-        sys.insert_mapping(p0, a, b, MappingKind::Equivalence, Provenance::Manual, corrs)
-            .unwrap();
+        sys.insert_mapping(
+            p0,
+            a,
+            b,
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            corrs,
+        )
+        .unwrap();
     }
     (sys, w)
 }
@@ -125,7 +128,10 @@ fn self_organization_converges_to_connected_and_stops() {
             break;
         }
     }
-    assert!(quiesced, "self-organization should reach a connected fixpoint");
+    assert!(
+        quiesced,
+        "self-organization should reach a connected fixpoint"
+    );
     assert!(sys.registry().is_strongly_connected());
 }
 
@@ -142,8 +148,12 @@ fn recall_improves_monotonically_with_mapping_knowledge() {
         if g.true_answers.is_empty() {
             continue;
         }
-        let a = sparse.search(PeerId(2), &g.query, Strategy::Iterative).unwrap();
-        let b = dense.search(PeerId(2), &g.query, Strategy::Iterative).unwrap();
+        let a = sparse
+            .search(PeerId(2), &g.query, Strategy::Iterative)
+            .unwrap();
+        let b = dense
+            .search(PeerId(2), &g.query, Strategy::Iterative)
+            .unwrap();
         sparse_recall += recall(&a.accessions, &g.true_answers);
         dense_recall += recall(&b.accessions, &g.true_answers);
         n += 1;
@@ -153,7 +163,10 @@ fn recall_improves_monotonically_with_mapping_knowledge() {
         dense_recall >= sparse_recall,
         "denser mapping network must not lose recall ({sparse_recall} vs {dense_recall})"
     );
-    assert!(dense_recall > sparse_recall, "and should strictly gain on this corpus");
+    assert!(
+        dense_recall > sparse_recall,
+        "and should strictly gain on this corpus"
+    );
 }
 
 #[test]
@@ -161,8 +174,10 @@ fn figure2_exact_values() {
     // The verbatim Figure-2 data through the whole stack.
     let mut sys = GridVineSystem::new(GridVineConfig::default());
     let p = PeerId(0);
-    sys.insert_schema(p, Schema::new("EMBL", ["Organism"])).unwrap();
-    sys.insert_schema(p, Schema::new("EMP", ["SystematicName"])).unwrap();
+    sys.insert_schema(p, Schema::new("EMBL", ["Organism"]))
+        .unwrap();
+    sys.insert_schema(p, Schema::new("EMP", ["SystematicName"]))
+        .unwrap();
     sys.insert_mapping(
         p,
         "EMBL",
@@ -212,8 +227,10 @@ fn subsumption_mappings_reformulate_one_way_only() {
         ..GridVineConfig::default()
     });
     let p = PeerId(0);
-    sys.insert_schema(p, Schema::new("EMBL", ["Organism"])).unwrap();
-    sys.insert_schema(p, Schema::new("TAXA", ["ScientificName"])).unwrap();
+    sys.insert_schema(p, Schema::new("EMBL", ["Organism"]))
+        .unwrap();
+    sys.insert_schema(p, Schema::new("TAXA", ["ScientificName"]))
+        .unwrap();
     sys.insert_mapping(
         p,
         "EMBL",
@@ -225,12 +242,20 @@ fn subsumption_mappings_reformulate_one_way_only() {
     .unwrap();
     sys.insert_triple(
         p,
-        Triple::new("seq:E1", "EMBL#Organism", Term::literal("Aspergillus niger")),
+        Triple::new(
+            "seq:E1",
+            "EMBL#Organism",
+            Term::literal("Aspergillus niger"),
+        ),
     )
     .unwrap();
     sys.insert_triple(
         p,
-        Triple::new("tax:T1", "TAXA#ScientificName", Term::literal("Aspergillus oryzae")),
+        Triple::new(
+            "tax:T1",
+            "TAXA#ScientificName",
+            Term::literal("Aspergillus oryzae"),
+        ),
     )
     .unwrap();
 
@@ -242,10 +267,8 @@ fn subsumption_mappings_reformulate_one_way_only() {
         assert_eq!(out.schemas_visited, 2, "{strategy:?}");
 
         // Backward: TAXA query stays in TAXA.
-        let q = parse_single(
-            r#"SELECT ?x WHERE (?x, <TAXA#ScientificName>, "%Aspergillus%")"#,
-        )
-        .unwrap();
+        let q = parse_single(r#"SELECT ?x WHERE (?x, <TAXA#ScientificName>, "%Aspergillus%")"#)
+            .unwrap();
         let out = sys.search(PeerId(3), &q, strategy).unwrap();
         assert_eq!(out.results.len(), 1, "{strategy:?}: {:?}", out.results);
         assert_eq!(out.schemas_visited, 1, "{strategy:?}");

@@ -74,11 +74,17 @@ fn poisoned_mapping_cannot_break_unrelated_queries() {
     // never remove correct results.
     let mut sys = GridVineSystem::new(GridVineConfig::default());
     let p = PeerId(0);
-    sys.insert_schema(p, Schema::new("EMBL", ["Organism"])).unwrap();
-    sys.insert_schema(p, Schema::new("JUNK", ["Garbage"])).unwrap();
+    sys.insert_schema(p, Schema::new("EMBL", ["Organism"]))
+        .unwrap();
+    sys.insert_schema(p, Schema::new("JUNK", ["Garbage"]))
+        .unwrap();
     sys.insert_triple(
         p,
-        Triple::new("seq:A1", "EMBL#Organism", Term::literal("Aspergillus niger")),
+        Triple::new(
+            "seq:A1",
+            "EMBL#Organism",
+            Term::literal("Aspergillus niger"),
+        ),
     )
     .unwrap();
     let q = TriplePatternQuery::example_aspergillus();
@@ -95,7 +101,10 @@ fn poisoned_mapping_cannot_break_unrelated_queries() {
     .unwrap();
     let after = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
     assert_eq!(before.results, after.results, "poison must not eat results");
-    assert_eq!(after.reformulations, 1, "the junk reformulation ran (and found nothing)");
+    assert_eq!(
+        after.reformulations, 1,
+        "the junk reformulation ran (and found nothing)"
+    );
 }
 
 #[test]
@@ -232,8 +241,15 @@ fn reformulated_dissemination_survives_message_loss() {
     let queries: Vec<TriplePatternQuery> =
         gen.batch(30, &mut r).into_iter().map(|g| g.query).collect();
     let rep = d.run_reformulated_queries(&queries, 6);
-    assert!(rep.answered > 15, "answered {} of 30 under loss", rep.answered);
-    assert!(rep.mean_schemas > 1.5, "dissemination still spreads: {rep:?}");
+    assert!(
+        rep.answered > 15,
+        "answered {} of 30 under loss",
+        rep.answered
+    );
+    assert!(
+        rep.mean_schemas > 1.5,
+        "dissemination still spreads: {rep:?}"
+    );
     // Retries convert most losses into successes; a residue may still
     // time out, but it must stay a small fraction of all requests.
     let requests = rep.mapping_fetches + rep.data_lookups;

@@ -18,7 +18,11 @@ fn sys_with(peers: usize) -> GridVineSystem {
 }
 
 /// Mean messages per run of `op`, measured over `n` repetitions.
-fn mean_messages(sys: &mut GridVineSystem, n: usize, mut op: impl FnMut(&mut GridVineSystem, usize)) -> f64 {
+fn mean_messages(
+    sys: &mut GridVineSystem,
+    n: usize,
+    mut op: impl FnMut(&mut GridVineSystem, usize),
+) -> f64 {
     let before = sys.messages_sent();
     for i in 0..n {
         op(sys, i);
@@ -61,7 +65,8 @@ fn search_cost_grows_logarithmically() {
     for peers in [16usize, 256] {
         let mut sys = sys_with(peers);
         let p0 = PeerId(0);
-        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+            .unwrap();
         for i in 0..30 {
             sys.insert_triple(
                 p0,
@@ -92,8 +97,10 @@ fn search_cost_grows_logarithmically() {
 fn bidirectional_mapping_is_stored_at_both_key_spaces() {
     let mut sys = sys_with(32);
     let p0 = PeerId(0);
-    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
-    sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"])).unwrap();
+    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+        .unwrap();
+    sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"]))
+        .unwrap();
     sys.insert_mapping(
         p0,
         "EMBL",
@@ -118,8 +125,10 @@ fn bidirectional_mapping_is_stored_at_both_key_spaces() {
 fn subsumption_mapping_is_stored_at_source_only() {
     let mut sys = sys_with(32);
     let p0 = PeerId(0);
-    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"])).unwrap();
-    sys.insert_schema(p0, Schema::new("TAXA", ["ScientificName"])).unwrap();
+    sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+        .unwrap();
+    sys.insert_schema(p0, Schema::new("TAXA", ["ScientificName"]))
+        .unwrap();
     sys.insert_mapping(
         p0,
         "EMBL",

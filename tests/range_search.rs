@@ -21,7 +21,11 @@ fn system_with(values: &[String], hash: HashKind) -> GridVineSystem {
     for (i, v) in values.iter().enumerate() {
         sys.insert_triple(
             p0,
-            Triple::new(format!("e:{i:04}").as_str(), "S#v", Term::literal(v.as_str())),
+            Triple::new(
+                format!("e:{i:04}").as_str(),
+                "S#v",
+                Term::literal(v.as_str()),
+            ),
         )
         .unwrap();
     }
@@ -47,8 +51,8 @@ fn prefix_search_matches_oracle() {
         "Aspergillus oryzae",
         "Aspergillosis note", // shares a shorter prefix only
         "Escherichia coli",
-        "Aspergillus",        // exact boundary: equals the prefix itself
-        "aspergillus lower",  // case-sensitive: must NOT match
+        "Aspergillus",       // exact boundary: equals the prefix itself
+        "aspergillus lower", // case-sensitive: must NOT match
     ]
     .iter()
     .map(|s| s.to_string())
@@ -56,7 +60,10 @@ fn prefix_search_matches_oracle() {
     let mut sys = system_with(&values, HashKind::OrderPreserving);
     let q = prefix_query("Aspergillus");
     let (results, _) = sys.resolve_object_prefix(PeerId(9), &q).unwrap();
-    let expected: usize = values.iter().filter(|v| v.starts_with("Aspergillus")).count();
+    let expected: usize = values
+        .iter()
+        .filter(|v| v.starts_with("Aspergillus"))
+        .count();
     assert_eq!(results.len(), expected);
     assert_eq!(expected, 3);
 }
@@ -77,7 +84,10 @@ fn range_and_predicate_paths_agree() {
     let (via_range, _) = sys.resolve_object_prefix(PeerId(3), &q).unwrap();
     let (via_predicate, _) = sys.resolve_pattern(PeerId(3), &q).unwrap();
     assert_eq!(via_range, via_predicate);
-    assert_eq!(via_range.len(), values.iter().filter(|v| v.starts_with("Asp")).count());
+    assert_eq!(
+        via_range.len(),
+        values.iter().filter(|v| v.starts_with("Asp")).count()
+    );
 }
 
 #[test]
@@ -92,7 +102,10 @@ fn uniform_hash_refuses_range_search() {
 
 #[test]
 fn non_prefix_shapes_are_refused() {
-    let mut sys = system_with(&["Aspergillus niger".to_string()], HashKind::OrderPreserving);
+    let mut sys = system_with(
+        &["Aspergillus niger".to_string()],
+        HashKind::OrderPreserving,
+    );
     for object in ["%Aspergillus%", "Aspergillus", "%", "As%per%"] {
         let q = TriplePatternQuery::new(
             "x",

@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple calibrated timing loop (warm-up, then enough iterations to
+//! fill a measurement window; median of several samples). No plots, no
+//! statistics beyond the median and a spread estimate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defeats constant folding around benchmarks.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Accepts `&str` or [`BenchmarkId`] wherever a benchmark is named.
+pub trait IntoBenchmarkId {
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// (median, spread) nanoseconds per iteration, filled by `iter`.
+    result_ns: (f64, f64),
+}
+
+const WARMUP: Duration = Duration::from_millis(150);
+const WINDOW: Duration = Duration::from_millis(300);
+const SAMPLES: usize = 7;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as f64 / iters.max(1) as f64;
+        let batch = ((WINDOW.as_nanos() as f64 / SAMPLES as f64 / per_iter).ceil() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let spread = samples[samples.len() - 1] - samples[0];
+        self.result_ns = (median, spread);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher)) -> f64 {
+    let mut b = Bencher {
+        result_ns: (f64::NAN, f64::NAN),
+    };
+    f(&mut b);
+    let (median, spread) = b.result_ns;
+    println!(
+        "{full_name:<48} time: {:>12} (± {})",
+        fmt_ns(median),
+        fmt_ns(spread)
+    );
+    median
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(name, median ns/iter)` for every benchmark run so far.
+    pub completed: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let median = run_one(name, |b| f(b));
+        self.completed.push((name.to_string(), median));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        let median = run_one(&full, |b| f(b));
+        self.parent.completed.push((full, median));
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        let median = run_one(&full, |b| f(b, input));
+        self.parent.completed.push((full, median));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("retrieve", 64).into_name(), "retrieve/64");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+    }
+}

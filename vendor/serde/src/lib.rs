@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no crates.io access, and no
+//! code path serializes at runtime — `#[derive(Serialize, Deserialize)]`
+//! is kept throughout the tree so types remain wire-ready for a future
+//! networked deployment. This shim supplies the two trait names and
+//! re-exports the no-op derives so those annotations keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; satisfied by everything (the derive emits no impl).
+pub trait Serialize {}
+
+/// Marker trait; satisfied by everything (the derive emits no impl).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
