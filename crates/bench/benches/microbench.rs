@@ -111,11 +111,20 @@ fn bench_rdf(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 7919) % entities;
-            db.select_eq_refs(
+            db.select_eq_rows(
                 gridvine_rdf::Position::Subject,
                 &format!("http://www.ebi.ac.uk/embl/entry#E{i:06}"),
             )
-            .len()
+            .count()
+        })
+    });
+    g.bench_function("select_eq_zone_scan", |b| {
+        b.iter(|| {
+            db.scan_eq_rows(
+                gridvine_rdf::Position::Predicate,
+                black_box("http://www.ebi.ac.uk/embl/schema#organism"),
+            )
+            .count()
         })
     });
     g.bench_function("select_like_prefix", |b| {

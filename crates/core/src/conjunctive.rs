@@ -95,7 +95,10 @@ impl PatternNetOutcome {
 
 impl GridVineSystem {
     /// Resolve one concrete triple pattern at its routing key and return
-    /// every matching binding from the destination peer's database.
+    /// every matching binding from the destination peer's database —
+    /// the destination's indexed `DB_p` via
+    /// [`gridvine_rdf::TripleStore::match_pattern`], with the response
+    /// message charged exactly as the old bucket `Retrieve` was.
     fn resolve_pattern_once(
         &mut self,
         origin: PeerId,
@@ -105,14 +108,9 @@ impl GridVineSystem {
             return Err(SystemError::NotRoutable);
         };
         let key = self.key_of(term.lexical());
-        let (items, _route) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
-        Ok(items
-            .iter()
-            .filter_map(|i| match i {
-                MediationItem::Triple(t) => pattern.match_triple(t),
-                _ => None,
-            })
-            .collect())
+        let route = self.overlay.route(origin, &key, &mut self.rng)?;
+        self.overlay.charge_response(origin, route.destination);
+        Ok(self.local_dbs[route.destination.index()].match_pattern(pattern))
     }
 
     /// Resolve a pattern over the mapping network: answer it in its own

@@ -16,7 +16,7 @@ use crate::item::{KeySpace, MediationItem};
 use gridvine_pgrid::{
     BitString, HashKind, KeyHasher, Overlay, PeerId, RouteError, Topology, UpdateOp,
 };
-use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+use gridvine_rdf::{SharedTermDict, Term, Triple, TriplePatternQuery, TripleStore};
 use gridvine_semantic::{
     Correspondence, DegreeRecord, Mapping, MappingId, MappingKind, MappingRegistry, Provenance,
     Schema, SchemaId,
@@ -130,6 +130,22 @@ pub struct GridVineSystem {
     hasher: Box<dyn KeyHasher + Send + Sync>,
     topology: Topology,
     overlay: Overlay<MediationItem>,
+    /// Per-peer local triple databases `DB_p` (§2.2): every peer
+    /// responsible for one of a triple's keys indexes it here, and
+    /// destination-side resolution evaluates these indexed stores
+    /// instead of scanning (and cloning) the overlay's key buckets.
+    ///
+    /// Triples are currently stored twice per responsible peer — the
+    /// overlay bucket keeps its `MediationItem::Triple` copy (the
+    /// self-organization matcher and the direct-overlay tests read
+    /// buckets) alongside the indexed row here. Serving those readers
+    /// from `DB_p` and dropping bucket triples is a tracked ROADMAP
+    /// item; the interned columns make the `DB_p` side the cheap half.
+    local_dbs: Vec<TripleStore>,
+    /// Process-wide string pool shared by all peer databases: each
+    /// distinct lexical is stored once no matter how many peers'
+    /// `DB_p`s hold triples mentioning it.
+    lexicon: SharedTermDict,
     /// The logical mediation state: schemas and mappings as stored in
     /// the DHT (kept in lock-step with the DHT copies by the insert /
     /// deprecate operations below).
@@ -146,6 +162,8 @@ impl GridVineSystem {
         let overlay = Overlay::new(&topology);
         GridVineSystem {
             hasher: config.hash.build(),
+            local_dbs: (0..topology.len()).map(|_| TripleStore::new()).collect(),
+            lexicon: SharedTermDict::new(),
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -161,6 +179,8 @@ impl GridVineSystem {
         let overlay = Overlay::new(&topology);
         GridVineSystem {
             hasher: config.hash.build(),
+            local_dbs: (0..topology.len()).map(|_| TripleStore::new()).collect(),
+            lexicon: SharedTermDict::new(),
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -184,6 +204,16 @@ impl GridVineSystem {
     /// The logical mediation state (schemas + mappings).
     pub fn registry(&self) -> &MappingRegistry {
         &self.registry
+    }
+
+    /// One peer's local triple database `DB_p`.
+    pub fn peer_db(&self, peer: PeerId) -> &TripleStore {
+        &self.local_dbs[peer.index()]
+    }
+
+    /// The process-wide string pool shared by every peer database.
+    pub fn lexicon(&self) -> &SharedTermDict {
+        &self.lexicon
     }
 
     /// Total overlay messages since construction (or the last reset).
@@ -214,17 +244,28 @@ impl GridVineSystem {
     // -----------------------------------------------------------------
 
     /// `Update(t)` — index the triple under subject, predicate and
-    /// object keys (three overlay updates).
+    /// object keys (three overlay updates). Every peer that receives a
+    /// copy (destination + replicas) also indexes it in its local
+    /// database `DB_p`, which is what destination-side resolution
+    /// evaluates; the lexicals are canonicalized through the shared
+    /// lexicon first so all peer databases share one buffer per
+    /// distinct string.
     pub fn insert_triple(&mut self, origin: PeerId, t: Triple) -> Result<(), SystemError> {
+        let t = self.lexicon.canonical_triple(&t);
         let keys = self.keyspace().triple_keys(&t);
         for key in keys {
-            self.overlay.update(
+            let route = self.overlay.update(
                 origin,
                 UpdateOp::Insert,
                 key,
                 MediationItem::Triple(t.clone()),
                 &mut self.rng,
             )?;
+            let dest = route.destination;
+            self.local_dbs[dest.index()].insert(t.clone());
+            for r in self.overlay.view(dest).replicas.clone() {
+                self.local_dbs[r.index()].insert(t.clone());
+            }
         }
         Ok(())
     }
@@ -450,6 +491,14 @@ impl GridVineSystem {
     /// Resolve a single (already reformulated) triple-pattern query:
     /// route to `Hash(routing constant)` and evaluate the destination's
     /// local database, as in §2.3.
+    ///
+    /// The destination answers from its indexed `DB_p`
+    /// ([`TripleStore::match_pattern`], which picks the most selective
+    /// access path) instead of the old linear match over a cloned
+    /// overlay bucket; the response message is charged exactly as a
+    /// `Retrieve` would, so accounting is unchanged. The results are
+    /// identical too: every triple matching the pattern carries the
+    /// routing constant, so it was indexed under this key at this peer.
     pub fn resolve_pattern(
         &mut self,
         origin: PeerId,
@@ -460,14 +509,11 @@ impl GridVineSystem {
             return Err(SystemError::NotRoutable);
         };
         let key = self.key_of(term.lexical());
-        let (items, route) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
-        let _ = route;
-        let mut results: Vec<Term> = items
-            .iter()
-            .filter_map(|i| match i {
-                MediationItem::Triple(t) => query.pattern.match_triple(t),
-                _ => None,
-            })
+        let route = self.overlay.route(origin, &key, &mut self.rng)?;
+        self.overlay.charge_response(origin, route.destination);
+        let mut results: Vec<Term> = self.local_dbs[route.destination.index()]
+            .match_pattern(&query.pattern)
+            .into_iter()
             .filter_map(|b| b.get(&query.distinguished).cloned())
             .collect();
         results.sort();
@@ -502,17 +548,28 @@ impl GridVineSystem {
         }
         let before = self.overlay.messages_sent();
         let key_prefix = self.keyspace().prefix_key(prefix);
-        let items = self
-            .overlay
-            .retrieve_range(origin, &key_prefix, &mut self.rng)?;
-        let mut results: Vec<Term> = items
-            .iter()
-            .filter_map(|i| match i {
-                MediationItem::Triple(t) => query.pattern.match_triple(t),
-                _ => None,
-            })
-            .filter_map(|b| b.get(&query.distinguished).cloned())
-            .collect();
+        // Visit every peer region intersecting the prefix (the same
+        // regions, routes and response charges as `retrieve_range`),
+        // but evaluate each destination's indexed `DB_p` — the object
+        // prefix runs as a sorted-key range scan there — instead of
+        // cloning bucket contents back. The global sort+dedup collapses
+        // the replica-group duplicates exactly as before.
+        let mut results: Vec<Term> = Vec::new();
+        for region in self.overlay.range_regions(&key_prefix) {
+            let probe = if region.len() >= key_prefix.len() {
+                region
+            } else {
+                key_prefix.clone()
+            };
+            let route = self.overlay.route(origin, &probe, &mut self.rng)?;
+            self.overlay.charge_response(origin, route.destination);
+            results.extend(
+                self.local_dbs[route.destination.index()]
+                    .match_pattern(&query.pattern)
+                    .into_iter()
+                    .filter_map(|b| b.get(&query.distinguished).cloned()),
+            );
+        }
         results.sort();
         results.dedup();
         Ok((results, self.overlay.messages_sent() - before))

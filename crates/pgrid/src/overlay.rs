@@ -223,6 +223,34 @@ impl<V: Clone + PartialEq> Overlay<V> {
         self.stores.iter().map(Store::len).collect()
     }
 
+    /// Charge one response message if the destination differs from the
+    /// origin — the accounting a `Retrieve` adds on top of its route.
+    /// Exposed so callers that answer a routed request from peer-local
+    /// state (instead of shipping the stored values back through
+    /// [`Overlay::retrieve`]) keep identical message counts.
+    pub fn charge_response(&mut self, origin: PeerId, destination: PeerId) {
+        if destination != origin {
+            self.messages_sent += 1;
+        }
+    }
+
+    /// Distinct peer regions (paths) intersecting a key prefix — the
+    /// replica groups a range scan must visit, sorted. Factored out of
+    /// [`Overlay::retrieve_range`] so range callers that evaluate at
+    /// the destination peers can walk the same regions with the same
+    /// accounting.
+    pub fn range_regions(&self, prefix: &BitString) -> Vec<BitString> {
+        let mut regions: Vec<BitString> = Vec::new();
+        for v in &self.views {
+            let intersects = prefix.is_prefix_of(&v.path) || v.path.is_prefix_of(prefix);
+            if intersects && !regions.contains(&v.path) {
+                regions.push(v.path.clone());
+            }
+        }
+        regions.sort();
+        regions
+    }
+
     /// Range retrieval: collect every value whose key starts with
     /// `prefix`, across *all* peer groups whose region intersects the
     /// prefix. With an order-preserving hash this implements the
@@ -238,15 +266,7 @@ impl<V: Clone + PartialEq> Overlay<V> {
         prefix: &BitString,
         rng: &mut R,
     ) -> Result<Vec<V>, RouteError> {
-        // Distinct regions (peer paths) intersecting the prefix.
-        let mut regions: Vec<BitString> = Vec::new();
-        for v in &self.views {
-            let intersects = prefix.is_prefix_of(&v.path) || v.path.is_prefix_of(prefix);
-            if intersects && !regions.contains(&v.path) {
-                regions.push(v.path.clone());
-            }
-        }
-        regions.sort();
+        let regions = self.range_regions(prefix);
         let mut out = Vec::new();
         for region in regions {
             // Route to the region: the probe key is the deeper of

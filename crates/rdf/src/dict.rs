@@ -2,27 +2,53 @@
 //!
 //! Every distinct lexical form (URI text or literal text) that enters a
 //! [`crate::TripleStore`] is interned exactly once and addressed by a
-//! dense `u32` id from then on. Triples are stored as id tuples, the
+//! dense `u32` id from then on. Triples are stored as id columns, the
 //! store's indexes are keyed by id, and selections/joins compare ids —
 //! string bytes are only touched at ingest (one hash of the lexical) and
 //! at the result boundary (materializing terms for the caller).
 //!
+//! ## Sharding
+//!
+//! The dictionary is split into [`SHARDS`] independent shards selected
+//! by high hash bits. A [`TermId`] packs the owning shard into its low
+//! [`SHARD_BITS`] bits and the shard-local id above them, so resolving
+//! stays a two-load array access and ids remain *almost* dense: the id
+//! space wastes at most the shard skew, which a balanced hash keeps to a
+//! few percent ([`TermDict::id_bound`] is the array-sizing bound).
+//! Sharding buys two things:
+//!
+//! * **parallel interning** — bulk ingest pre-hashes its lexicals once
+//!   and interns them on one scoped thread per shard, each thread owning
+//!   its shard exclusively ([`TermDict::intern_shared_batch`]): no locks,
+//!   no CAS retries, just disjoint ownership;
+//! * **shared handles** — [`SharedTermDict`] wraps the same shards in
+//!   per-shard mutexes behind an `Arc`, so the peer stores hosted in one
+//!   process pool their string buffers through one handle while threads
+//!   contend only on the shard they hash to.
+//!
 //! The string data itself lives in reference-counted `Arc<str>` buffers
-//! shared between the id→string table, the string→id map and the
-//! sorted per-position key indexes, so each distinct lexical is stored
-//! once regardless of how many rows or indexes reference it.
+//! shared between the id→string table, the string→id map, the sorted
+//! per-position key indexes and any pooled handles, so each distinct
+//! lexical is stored once regardless of how many rows, indexes or
+//! stores reference it.
 
 use crate::fasthash::FxHasher;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::hash::Hasher;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// log2 of the shard count of a [`TermDict`].
+pub const SHARD_BITS: u32 = 3;
+/// Number of independent shards in a [`TermDict`].
+pub const SHARDS: usize = 1 << SHARD_BITS;
 
 /// Dense identifier of an interned lexical value.
 ///
-/// Ids are assigned in first-seen order and are stable for the lifetime
-/// of the owning [`TermDict`] (a [`crate::TripleStore::compact`] rebuilds
-/// the dictionary and may renumber).
+/// The low [`SHARD_BITS`] bits name the owning shard, the bits above
+/// them the shard-local id. Ids are stable for the lifetime of the
+/// owning [`TermDict`] (a [`crate::TripleStore::compact`] rebuilds the
+/// dictionary and may renumber).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TermId(pub u32);
 
@@ -30,6 +56,21 @@ impl TermId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    #[inline]
+    fn assemble(shard: usize, local: u32) -> TermId {
+        TermId((local << SHARD_BITS) | shard as u32)
+    }
+
+    #[inline]
+    fn shard(self) -> usize {
+        (self.0 & (SHARDS as u32 - 1)) as usize
+    }
+
+    #[inline]
+    fn local(self) -> usize {
+        (self.0 >> SHARD_BITS) as usize
     }
 }
 
@@ -40,15 +81,22 @@ impl fmt::Debug for TermId {
 }
 
 /// Hash of a lexical value: Fx over the bytes, with a final avalanche
-/// mix so both the table index (low bits) and the stored verifier (all
-/// 64 bits) are well distributed.
+/// mix so the table index (low bits), the stored verifier (all 64 bits)
+/// and the shard selector (high bits) are all well distributed.
 #[inline]
-fn hash_lexical(s: &str) -> u64 {
+pub(crate) fn hash_lexical(s: &str) -> u64 {
     let mut h = FxHasher::default();
     h.write(s.as_bytes());
     let mut z = h.finish();
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z ^ (z >> 31)
+}
+
+/// Shard selector: high hash bits, independent of the low bits the
+/// in-shard table indexes with.
+#[inline]
+fn shard_of(hash: u64, shards: usize) -> usize {
+    ((hash >> 48) as usize) & (shards - 1)
 }
 
 const EMPTY: u32 = u32::MAX;
@@ -113,11 +161,79 @@ impl IdTable {
     }
 }
 
-/// Bidirectional map between lexical values and [`TermId`]s.
+/// One independent dictionary shard: an open-addressed id table plus the
+/// id→string column. Shard-local ids are dense from 0.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct TermDict {
+struct Shard {
     table: IdTable,
     terms: Vec<Arc<str>>,
+}
+
+impl Shard {
+    /// Locate a pre-hashed lexical, or the vacant slot where it belongs.
+    fn find_or_slot(&mut self, hash: u64, lexical: &str) -> Result<u32, usize> {
+        // Keep load factor under 5/8: linear probing degrades fast past
+        // that, and short probe runs matter more than table bytes for
+        // the point-lookup path (growing may move the vacant slot, so
+        // grow before probing).
+        if (self.table.len + 1) * 8 > self.table.slots.len() * 5 {
+            self.table.grow();
+        }
+        self.table
+            .probe(hash, |id| &*self.terms[id as usize] == lexical)
+    }
+
+    fn insert_new(&mut self, arc: Arc<str>, slot: usize, hash: u64) -> u32 {
+        let local = u32::try_from(self.terms.len()).expect("term dictionary shard overflow");
+        assert!(
+            local < (u32::MAX >> SHARD_BITS),
+            "term dictionary shard overflow"
+        );
+        self.table.slots[slot] = Slot { hash, id: local };
+        self.table.len += 1;
+        self.terms.push(arc);
+        local
+    }
+
+    /// Intern a pre-hashed shared buffer, returning the shard-local id.
+    fn intern_shared(&mut self, hash: u64, lexical: &Arc<str>) -> u32 {
+        match self.find_or_slot(hash, lexical) {
+            Ok(local) => local,
+            Err(slot) => self.insert_new(Arc::clone(lexical), slot, hash),
+        }
+    }
+
+    fn lookup(&self, hash: u64, lexical: &str) -> Option<u32> {
+        if self.table.slots.is_empty() {
+            return None;
+        }
+        self.table
+            .probe(hash, |id| &*self.terms[id as usize] == lexical)
+            .ok()
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        let needed = (self.terms.len() + additional) * 8 / 5 + 1;
+        if needed > self.table.slots.len() {
+            self.table.grow_to(needed.next_power_of_two().max(16));
+        }
+        self.terms.reserve(additional);
+    }
+}
+
+/// Bidirectional map between lexical values and [`TermId`]s, split into
+/// [`SHARDS`] hash-selected shards (see the module docs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TermDict {
+    shards: Vec<Shard>,
+}
+
+impl Default for TermDict {
+    fn default() -> TermDict {
+        TermDict {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
 }
 
 impl TermDict {
@@ -127,51 +243,91 @@ impl TermDict {
 
     /// Number of distinct interned lexical values.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.shards.iter().map(|s| s.terms.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.shards.iter().all(|s| s.terms.is_empty())
+    }
+
+    /// Exclusive upper bound on `TermId::index()` over every id this
+    /// dictionary has issued — the sizing bound for arrays directly
+    /// indexed by id. Exceeds [`TermDict::len`] only by the shard skew.
+    pub fn id_bound(&self) -> usize {
+        self.shards.iter().map(|s| s.terms.len()).max().unwrap_or(0) << SHARD_BITS
     }
 
     /// Intern a lexical value, allocating an id on first sight.
     pub fn intern(&mut self, lexical: &str) -> TermId {
-        match self.find_or_slot(lexical) {
-            Ok(id) => id,
-            Err((slot, hash)) => self.insert_new(Arc::from(lexical), slot, hash),
+        let hash = hash_lexical(lexical);
+        let shard = shard_of(hash, SHARDS);
+        match self.shards[shard].find_or_slot(hash, lexical) {
+            Ok(local) => TermId::assemble(shard, local),
+            Err(slot) => {
+                let local = self.shards[shard].insert_new(Arc::from(lexical), slot, hash);
+                TermId::assemble(shard, local)
+            }
         }
     }
 
     /// Intern an already-shared buffer: a first-seen value is adopted by
     /// reference count, with no string copy at all.
     pub fn intern_shared(&mut self, lexical: &Arc<str>) -> TermId {
-        match self.find_or_slot(lexical) {
-            Ok(id) => id,
-            Err((slot, hash)) => self.insert_new(Arc::clone(lexical), slot, hash),
-        }
-    }
-
-    /// Locate `lexical`, or the vacant slot (and hash) where it belongs.
-    fn find_or_slot(&mut self, lexical: &str) -> Result<TermId, (usize, u64)> {
-        // Keep load factor under 3/4 (growing may move the vacant slot,
-        // so grow before probing).
-        if (self.table.len + 1) * 4 > self.table.slots.len() * 3 {
-            self.table.grow();
-        }
         let hash = hash_lexical(lexical);
-        self.table
-            .probe(hash, |id| &*self.terms[id as usize] == lexical)
-            .map(TermId)
-            .map_err(|slot| (slot, hash))
+        let shard = shard_of(hash, SHARDS);
+        TermId::assemble(shard, self.shards[shard].intern_shared(hash, lexical))
     }
 
-    fn insert_new(&mut self, arc: Arc<str>, slot: usize, hash: u64) -> TermId {
-        let id = u32::try_from(self.terms.len()).expect("term dictionary overflow");
-        assert!(id != EMPTY, "term dictionary overflow");
-        self.table.slots[slot] = Slot { hash, id };
-        self.table.len += 1;
-        self.terms.push(arc);
-        TermId(id)
+    /// Bulk interning: hash every lexical once, then intern shard-by-
+    /// shard — one scoped thread per shard for large batches, each
+    /// owning its shard exclusively (no locks). Returns one id per
+    /// input, in input order.
+    ///
+    /// This is the parallel half of [`crate::TripleStore::insert_batch`]:
+    /// dictionary work is the string-touching part of ingest, and it
+    /// partitions perfectly by shard.
+    pub fn intern_shared_batch(&mut self, lexicals: &[&Arc<str>]) -> Vec<TermId> {
+        let hashes: Vec<u64> = lexicals.iter().map(|l| hash_lexical(l)).collect();
+        let mut ids: Vec<TermId> = vec![TermId(0); lexicals.len()];
+        // Sequential cutoff: thread spawn + the 8 extra hash-array scans
+        // only pay for themselves on batches with real interning volume
+        // and actual cores to spread over.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores < 2 || lexicals.len() < 16_384 {
+            for ((id, &hash), lexical) in ids.iter_mut().zip(&hashes).zip(lexicals) {
+                let shard = shard_of(hash, SHARDS);
+                *id = TermId::assemble(shard, self.shards[shard].intern_shared(hash, lexical));
+            }
+            return ids;
+        }
+        let assigned: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(k, shard)| {
+                    let hashes = &hashes;
+                    scope.spawn(move || {
+                        let mut out: Vec<(u32, u32)> = Vec::new();
+                        for (i, &hash) in hashes.iter().enumerate() {
+                            if shard_of(hash, SHARDS) == k {
+                                out.push((i as u32, shard.intern_shared(hash, lexicals[i])));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (shard, pairs) in assigned.iter().enumerate() {
+            for &(i, local) in pairs {
+                ids[i as usize] = TermId::assemble(shard, local);
+            }
+        }
+        ids
     }
 
     /// Pre-size the table for `additional` more distinct values, so bulk
@@ -179,26 +335,22 @@ impl TermDict {
     /// accurate estimates: an oversized table costs more in probe cache
     /// misses than geometric growth would.
     pub fn reserve(&mut self, additional: usize) {
-        let needed = (self.terms.len() + additional) * 4 / 3 + 1;
-        if needed > self.table.slots.len() {
-            self.table.grow_to(needed.next_power_of_two().max(16));
+        let per_shard = additional.div_ceil(SHARDS);
+        for shard in &mut self.shards {
+            shard.reserve(per_shard);
         }
-        self.terms.reserve(additional);
     }
 
     /// Id of an already-interned value, if any. The read-only half of
     /// [`TermDict::intern`]: selections use it so probing for a value
     /// the store has never seen is a single hash and no allocation.
+    #[inline]
     pub fn lookup(&self, lexical: &str) -> Option<TermId> {
-        if self.table.slots.is_empty() {
-            return None;
-        }
-        self.table
-            .probe(hash_lexical(lexical), |id| {
-                &*self.terms[id as usize] == lexical
-            })
-            .ok()
-            .map(TermId)
+        let hash = hash_lexical(lexical);
+        let shard = shard_of(hash, SHARDS);
+        self.shards[shard]
+            .lookup(hash, lexical)
+            .map(|local| TermId::assemble(shard, local))
     }
 
     /// The lexical value of an id.
@@ -207,14 +359,120 @@ impl TermDict {
     /// Panics if `id` was not produced by this dictionary.
     #[inline]
     pub fn resolve(&self, id: TermId) -> &str {
-        &self.terms[id.index()]
+        &self.shards[id.shard()].terms[id.local()]
     }
 
     /// Shared handle to the interned buffer (for secondary indexes that
     /// key on the string without copying it).
     #[inline]
     pub(crate) fn shared(&self, id: TermId) -> Arc<str> {
-        Arc::clone(&self.terms[id.index()])
+        Arc::clone(&self.shards[id.shard()].terms[id.local()])
+    }
+}
+
+/// A process-wide, thread-safe string pool: the same hash-sharded
+/// dictionary as [`TermDict`], but with per-shard mutexes behind an
+/// `Arc` so it can be shared between peer stores and interning threads.
+///
+/// Each peer's [`crate::TripleStore`] keeps its own dense id space (ids
+/// are meaningless across stores anyway), so the shared handle pools
+/// *buffers*, not ids: [`SharedTermDict::intern`] returns the canonical
+/// `Arc<str>` for a lexical, and a store that interns that buffer
+/// adopts it by reference count. Hosting N peer stores in one process
+/// then stores each distinct lexical once, no matter how many peers'
+/// databases it appears in — and N ingesting threads contend only when
+/// they hash to the same shard.
+#[derive(Debug, Clone)]
+pub struct SharedTermDict {
+    shards: Arc<Vec<Mutex<Shard>>>,
+}
+
+impl Default for SharedTermDict {
+    fn default() -> SharedTermDict {
+        SharedTermDict::with_shards(SHARDS)
+    }
+}
+
+impl SharedTermDict {
+    /// A pool with the default shard count ([`SHARDS`]).
+    pub fn new() -> SharedTermDict {
+        SharedTermDict::default()
+    }
+
+    /// A pool with an explicit power-of-two shard count. `1` degrades to
+    /// a single global lock — the ablation baseline for measuring what
+    /// sharding buys under concurrent ingest.
+    pub fn with_shards(shards: usize) -> SharedTermDict {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
+        SharedTermDict {
+            shards: Arc::new((0..shards).map(|_| Mutex::new(Shard::default())).collect()),
+        }
+    }
+
+    /// The canonical shared buffer for a lexical value, interning it on
+    /// first sight. One lock, scoped to the shard the value hashes to.
+    pub fn intern(&self, lexical: &str) -> Arc<str> {
+        let hash = hash_lexical(lexical);
+        let mut shard = self.shards[shard_of(hash, self.shards.len())]
+            .lock()
+            .expect("dictionary shard poisoned");
+        match shard.find_or_slot(hash, lexical) {
+            Ok(local) => Arc::clone(&shard.terms[local as usize]),
+            Err(slot) => {
+                let arc: Arc<str> = Arc::from(lexical);
+                shard.insert_new(Arc::clone(&arc), slot, hash);
+                arc
+            }
+        }
+    }
+
+    /// Like [`SharedTermDict::intern`] but adopting an already-shared
+    /// buffer on first sight (no copy), e.g. a term out of a wire
+    /// message or another store's dictionary.
+    pub fn intern_shared(&self, lexical: &Arc<str>) -> Arc<str> {
+        let hash = hash_lexical(lexical);
+        let mut shard = self.shards[shard_of(hash, self.shards.len())]
+            .lock()
+            .expect("dictionary shard poisoned");
+        match shard.find_or_slot(hash, lexical) {
+            Ok(local) => Arc::clone(&shard.terms[local as usize]),
+            Err(slot) => {
+                shard.insert_new(Arc::clone(lexical), slot, hash);
+                Arc::clone(lexical)
+            }
+        }
+    }
+
+    /// Rebuild a triple over the pool's canonical buffers: refcount
+    /// bumps for known lexicals, zero-copy adoption for new ones. Peer
+    /// stores that ingest canonicalized triples end up sharing one
+    /// buffer per distinct lexical across the whole process.
+    pub fn canonical_triple(&self, t: &crate::triple::Triple) -> crate::triple::Triple {
+        use crate::term::{Term, Uri};
+        let object = match &t.object {
+            Term::Uri(u) => Term::Uri(Uri::from(self.intern_shared(u.shared()))),
+            Term::Literal(s) => Term::Literal(self.intern_shared(s)),
+        };
+        crate::triple::Triple::new(
+            Uri::from(self.intern_shared(t.subject.shared())),
+            Uri::from(self.intern_shared(t.predicate.shared())),
+            object,
+        )
+    }
+
+    /// Number of distinct pooled lexicals.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("dictionary shard poisoned").terms.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -223,16 +481,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn intern_is_idempotent_and_dense() {
+    fn intern_is_idempotent() {
         let mut d = TermDict::new();
         let a = d.intern("EMBL#Organism");
         let b = d.intern("embl:A78712");
         let a2 = d.intern("EMBL#Organism");
         assert_eq!(a, a2);
         assert_ne!(a, b);
-        assert_eq!(a.index(), 0);
-        assert_eq!(b.index(), 1);
         assert_eq!(d.len(), 2);
+        assert!(d.id_bound() > a.index().max(b.index()));
     }
 
     #[test]
@@ -253,6 +510,45 @@ mod tests {
         let h1 = d.shared(id);
         let h2 = d.shared(id);
         assert!(Arc::ptr_eq(&h1, &h2));
+    }
+
+    #[test]
+    fn batch_interning_agrees_with_sequential() {
+        let strings: Vec<Arc<str>> = (0..100)
+            .map(|i| Arc::from(format!("term-{}", i % 37).as_str()))
+            .collect();
+        let refs: Vec<&Arc<str>> = strings.iter().collect();
+        let mut seq = TermDict::new();
+        let seq_ids: Vec<TermId> = refs.iter().map(|s| seq.intern_shared(s)).collect();
+        let mut batch = TermDict::new();
+        let batch_ids = batch.intern_shared_batch(&refs);
+        assert_eq!(seq_ids, batch_ids);
+        assert_eq!(seq.len(), batch.len());
+    }
+
+    #[test]
+    fn shared_pool_canonicalizes_buffers() {
+        let pool = SharedTermDict::new();
+        let a = pool.intern("EMBL#Organism");
+        let b = pool.intern("EMBL#Organism");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
+        // Adopting a pre-shared buffer keeps it canonical.
+        let pre: Arc<str> = Arc::from("embl:A78712");
+        let c = pool.intern_shared(&pre);
+        assert!(Arc::ptr_eq(&pre, &c));
+        assert!(Arc::ptr_eq(&pool.intern("embl:A78712"), &pre));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn shared_pool_handles_are_one_pool() {
+        let pool = SharedTermDict::with_shards(2);
+        let clone = pool.clone();
+        let a = pool.intern("x");
+        let b = clone.intern("x");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
     }
 }
 
@@ -278,6 +574,29 @@ mod proptests {
                     prop_assert_eq!(ids[i] == ids[j], a == b, "{:?} vs {:?}", a, b);
                 }
             }
+        }
+
+        /// The sharded pool and a single-shard pool agree: same dedup
+        /// structure (two values pool to one buffer iff equal), same
+        /// distinct count — sharding changes placement, never meaning.
+        #[test]
+        fn sharded_pool_equals_single_shard(values in proptest::collection::vec("[ -~]{0,16}", 0..40)) {
+            let sharded = SharedTermDict::with_shards(8);
+            let single = SharedTermDict::with_shards(1);
+            let a: Vec<Arc<str>> = values.iter().map(|v| sharded.intern(v)).collect();
+            let b: Vec<Arc<str>> = values.iter().map(|v| single.intern(v)).collect();
+            for (i, x) in a.iter().enumerate() {
+                prop_assert_eq!(&**x, values[i].as_str());
+                for j in 0..a.len() {
+                    prop_assert_eq!(
+                        Arc::ptr_eq(x, &a[j]),
+                        values[i] == values[j],
+                        "sharded dedup at {} vs {}", i, j
+                    );
+                    prop_assert_eq!(Arc::ptr_eq(x, &a[j]), Arc::ptr_eq(&b[i], &b[j]));
+                }
+            }
+            prop_assert_eq!(sharded.len(), single.len());
         }
     }
 }

@@ -63,19 +63,19 @@ pub mod triple;
 
 /// Glob-import surface.
 pub mod prelude {
-    pub use crate::dict::{TermDict, TermId};
+    pub use crate::dict::{SharedTermDict, TermDict, TermId};
     pub use crate::guid::Guid;
     pub use crate::parser::{parse_query, parse_single, ParseError};
     pub use crate::query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
-    pub use crate::store::{TripleRef, TripleStore};
+    pub use crate::store::{RowCursor, TripleRef, TripleStore};
     pub use crate::term::{like_match, LikePattern, Term, Uri};
     pub use crate::triple::{Binding, PatternTerm, Position, Triple, TriplePattern};
 }
 
-pub use dict::{TermDict, TermId};
+pub use dict::{SharedTermDict, TermDict, TermId};
 pub use guid::Guid;
 pub use parser::{parse_query, parse_single, ParseError};
 pub use query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
-pub use store::{TripleRef, TripleStore};
+pub use store::{RowCursor, TripleRef, TripleStore};
 pub use term::{like_match, LikePattern, Term, Uri};
 pub use triple::{Binding, PatternTerm, Position, Triple, TriplePattern};

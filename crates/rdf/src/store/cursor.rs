@@ -1,0 +1,265 @@
+//! Row cursors: lazy, allocation-free scans over the columnar store.
+//!
+//! A [`RowCursor`] yields *row ids* in ascending (insertion) order,
+//! skipping tombstones, and defers all term materialization until the
+//! consumer asks — [`RowCursor::refs`] for borrowed views,
+//! [`RowCursor::triples`] for owned terms, or plain `count()` for
+//! cardinalities, which touches no string at all. This is what the
+//! seed's `Vec<&Triple>` selections deferred implicitly and what the
+//! eager `Vec<TripleRef>` API paid for on every fat posting list.
+//!
+//! Three sources back a cursor:
+//!
+//! * **posting** — the probed term's posting list (point lookups:
+//!   [`crate::TripleStore::select_eq_rows`]);
+//! * **zone-mapped scan** — the sorted runs pruned granule-by-granule
+//!   via their zone maps, then the append log linearly
+//!   ([`crate::TripleStore::scan_eq_rows`]) — the scan-analytics path
+//!   that needs no posting list at all;
+//! * **full** — every live row ([`crate::TripleStore::rows`]).
+
+use super::runs::Run;
+use super::{TripleRef, TripleStore};
+use crate::dict::TermId;
+use crate::triple::{Position, Triple};
+
+/// A lazy iterator of live row ids (see the module docs).
+pub struct RowCursor<'a> {
+    store: &'a TripleStore,
+    src: Source<'a>,
+}
+
+enum Source<'a> {
+    Empty,
+    Posting { ids: &'a [u32], i: usize },
+    Scan(ScanState<'a>),
+    Full { next: u32 },
+}
+
+/// Zone-mapped equality scan: runs first (each contributing its exact
+/// match range, found under the zone map's pruned granules), then the
+/// append log linearly. Runs partition the row-id space in order, so
+/// the concatenation is globally ascending.
+struct ScanState<'a> {
+    pos: Position,
+    id: TermId,
+    runs: &'a [Run],
+    /// Next run to open.
+    run: usize,
+    /// Current run's match range.
+    matches: &'a [u32],
+    mi: usize,
+    /// Next append-log row to test.
+    log_next: u32,
+}
+
+impl<'a> RowCursor<'a> {
+    pub(super) fn empty(store: &'a TripleStore) -> RowCursor<'a> {
+        RowCursor {
+            store,
+            src: Source::Empty,
+        }
+    }
+
+    pub(super) fn posting(store: &'a TripleStore, ids: &'a [u32]) -> RowCursor<'a> {
+        RowCursor {
+            store,
+            src: Source::Posting { ids, i: 0 },
+        }
+    }
+
+    pub(super) fn scan_eq(store: &'a TripleStore, pos: Position, id: TermId) -> RowCursor<'a> {
+        RowCursor {
+            store,
+            src: Source::Scan(ScanState {
+                pos,
+                id,
+                runs: store.runs.runs(),
+                run: 0,
+                matches: &[],
+                mi: 0,
+                log_next: store.runs.sealed_end(),
+            }),
+        }
+    }
+
+    pub(super) fn full(store: &'a TripleStore) -> RowCursor<'a> {
+        RowCursor {
+            store,
+            src: Source::Full { next: 0 },
+        }
+    }
+
+    /// Collect the remaining row ids into a `Vec`, using tight
+    /// per-source loops: a tombstone-free posting cursor is one
+    /// `memcpy` of the list, a tombstone-free run scan one
+    /// `extend_from_slice` per run — none of the per-item iterator
+    /// state machine that a generic `collect()` pays.
+    pub fn into_vec(self) -> Vec<u32> {
+        let cols = &self.store.cols;
+        let clean = !cols.any_dead();
+        match self.src {
+            Source::Empty => Vec::new(),
+            Source::Posting { ids, i } if clean => ids[i..].to_vec(),
+            Source::Posting { ids, i } => ids[i..]
+                .iter()
+                .copied()
+                .filter(|&id| !cols.is_dead(id))
+                .collect(),
+            Source::Scan(mut s) => {
+                let mut out: Vec<u32> = Vec::new();
+                let mut take = |rows: &[u32]| {
+                    if clean {
+                        out.extend_from_slice(rows);
+                    } else {
+                        out.extend(rows.iter().copied().filter(|&id| !cols.is_dead(id)));
+                    }
+                };
+                take(&s.matches[s.mi..]);
+                while s.run < s.runs.len() {
+                    take(s.runs[s.run].eq_rows(cols, s.pos, s.id));
+                    s.run += 1;
+                }
+                out.extend(
+                    (s.log_next..cols.len() as u32)
+                        .filter(|&id| cols.id_at(id, s.pos) == s.id && !cols.is_dead(id)),
+                );
+                out
+            }
+            Source::Full { next } if clean => (next..cols.len() as u32).collect(),
+            Source::Full { next } => (next..cols.len() as u32)
+                .filter(|&id| !cols.is_dead(id))
+                .collect(),
+        }
+    }
+
+    /// Materialize each row id as a borrowed [`TripleRef`] view.
+    pub fn refs(self) -> impl Iterator<Item = TripleRef<'a>> {
+        let store = self.store;
+        self.map(move |id| store.ref_of(id))
+    }
+
+    /// Materialize each row id as an owned [`Triple`] (refcount bumps
+    /// on the dictionary buffers, no string copies).
+    pub fn triples(self) -> impl Iterator<Item = Triple> + 'a {
+        let store = self.store;
+        self.map(move |id| store.triple_of(id))
+    }
+}
+
+impl Iterator for RowCursor<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let cols = &self.store.cols;
+        match &mut self.src {
+            Source::Empty => None,
+            Source::Posting { ids, i } => {
+                while *i < ids.len() {
+                    let id = ids[*i];
+                    *i += 1;
+                    if !cols.is_dead(id) {
+                        return Some(id);
+                    }
+                }
+                None
+            }
+            Source::Scan(s) => {
+                loop {
+                    // Drain the current run's match range.
+                    while s.mi < s.matches.len() {
+                        let id = s.matches[s.mi];
+                        s.mi += 1;
+                        if !cols.is_dead(id) {
+                            return Some(id);
+                        }
+                    }
+                    // Open the next run.
+                    if s.run < s.runs.len() {
+                        s.matches = s.runs[s.run].eq_rows(cols, s.pos, s.id);
+                        s.mi = 0;
+                        s.run += 1;
+                        continue;
+                    }
+                    // Append log: linear column scan.
+                    let end = cols.len() as u32;
+                    while s.log_next < end {
+                        let id = s.log_next;
+                        s.log_next += 1;
+                        if cols.id_at(id, s.pos) == s.id && !cols.is_dead(id) {
+                            return Some(id);
+                        }
+                    }
+                    return None;
+                }
+            }
+            Source::Full { next } => {
+                let end = cols.len() as u32;
+                while *next < end {
+                    let id = *next;
+                    *next += 1;
+                    if !cols.is_dead(id) {
+                        return Some(id);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Specialized counting: tight per-source loops instead of the
+    /// general `next()` state machine — counting a selection touches
+    /// only row ids and tombstone bits, never a term. With no
+    /// tombstones in the store, posting and run cardinalities are
+    /// answered from lengths alone, O(1) per list.
+    #[inline]
+    fn count(self) -> usize {
+        let cols = &self.store.cols;
+        let clean = !cols.any_dead();
+        match self.src {
+            Source::Empty => 0,
+            Source::Posting { ids, i } if clean => ids.len() - i,
+            Source::Posting { ids, i } => ids[i..].iter().filter(|&&id| !cols.is_dead(id)).count(),
+            Source::Scan(mut s) => {
+                let live = |rows: &[u32]| {
+                    if clean {
+                        rows.len()
+                    } else {
+                        rows.iter().filter(|&&id| !cols.is_dead(id)).count()
+                    }
+                };
+                let mut n = live(&s.matches[s.mi..]);
+                while s.run < s.runs.len() {
+                    n += live(s.runs[s.run].eq_rows(cols, s.pos, s.id));
+                    s.run += 1;
+                }
+                n += (s.log_next..cols.len() as u32)
+                    .filter(|&id| cols.id_at(id, s.pos) == s.id && !cols.is_dead(id))
+                    .count();
+                n
+            }
+            Source::Full { next } if clean => cols.len() - next as usize,
+            Source::Full { next } => (next..cols.len() as u32)
+                .filter(|&id| !cols.is_dead(id))
+                .count(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // With no tombstones, posting and full sources yield every
+        // remaining id — an exact hint, so `collect()` sizes once.
+        let clean = !self.store.cols.any_dead();
+        match &self.src {
+            Source::Empty => (0, Some(0)),
+            Source::Posting { ids, i } => {
+                let rem = ids.len() - i;
+                (if clean { rem } else { 0 }, Some(rem))
+            }
+            Source::Scan(_) => (0, Some(self.store.cols.len())),
+            Source::Full { next } => {
+                let remaining = self.store.cols.len() - *next as usize;
+                (if clean { remaining } else { 0 }, Some(remaining))
+            }
+        }
+    }
+}

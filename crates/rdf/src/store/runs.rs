@@ -1,0 +1,306 @@
+//! Immutable sorted runs with zone maps over the columnar row log.
+//!
+//! Rows arrive append-only. The tail of the row-id space is the *append
+//! log* — recent rows with no scan acceleration beyond the posting
+//! lists. Once the log passes a threshold it is *sealed* into a run: an
+//! immutable summary of a contiguous row-id range holding, per
+//! position,
+//!
+//! * a **sorted permutation** — the range's row ids ordered by
+//!   `(term id, row id)`, and
+//! * a **zone map** — the min/max term id of each [`BLOCK`]-sized
+//!   granule of that sorted order (a sparse index: because the
+//!   permutation is sorted, a granule's zone is just its first and last
+//!   entry).
+//!
+//! An equality scan prunes granules whose `[min, max]` cannot contain
+//! the probed id — by construction a contiguous granule range found by
+//! two binary searches over the zones — and then narrows to the exact
+//! match range inside the surviving granules. Matches come out ordered
+//! by row id within a run, and runs partition the row-id space in
+//! order, so a multi-run scan yields globally ascending row ids with no
+//! merge step.
+//!
+//! Runs are merged lazily on a **size-tiered schedule**: sealing keeps
+//! merging the two newest runs while the older is within [`TIER`]× the
+//! newer, so the store converges to O(log n) runs without ever paying a
+//! big sort on the ingest path (merging two sorted permutations is one
+//! linear pass). [`RunSet::seal_all`] — the compaction entry point —
+//! folds everything into a single run.
+//!
+//! Each run also records its **distinct predicate ids**, read off the
+//! predicate permutation for free; [`crate::TripleStore::predicates`]
+//! unions those instead of walking the dictionary.
+
+use super::columns::Columns;
+use crate::dict::TermId;
+use crate::triple::Position;
+
+/// Rows per zone-map granule.
+pub(crate) const BLOCK: usize = 256;
+
+/// Append-log length that triggers sealing a new run.
+const SEAL_MIN: usize = 32_768;
+
+/// Size-tiered merge factor: the two newest runs merge while
+/// `older.len() <= TIER * newer.len()`.
+const TIER: usize = 2;
+
+#[inline]
+fn pidx(pos: Position) -> usize {
+    match pos {
+        Position::Subject => 0,
+        Position::Predicate => 1,
+        Position::Object => 2,
+    }
+}
+
+/// Min/max term id of one granule of a run's sorted permutation
+/// (inclusive bounds over `TermId.0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Zone {
+    pub(crate) min: u32,
+    pub(crate) max: u32,
+}
+
+/// One immutable sorted run over the contiguous row-id range
+/// `[start, end)`.
+#[derive(Debug, Clone)]
+pub(crate) struct Run {
+    start: u32,
+    end: u32,
+    /// Per position: row ids of the range ordered by `(term id, row id)`.
+    sorted: [Vec<u32>; 3],
+    /// Per position: min/max term id per [`BLOCK`] of the sorted order.
+    zones: [Vec<Zone>; 3],
+    /// Sorted distinct predicate ids of the range.
+    distinct_p: Vec<TermId>,
+}
+
+impl Run {
+    /// Seal `[start, end)` of the columns into a run: three permutation
+    /// sorts plus linear zone/distinct passes.
+    ///
+    /// `id_bound` (the dictionary's id-space bound) enables a stable
+    /// counting sort — O(rows + ids) with no comparisons — whenever the
+    /// id space is not vastly larger than the range; pathological
+    /// ratios fall back to a packed-key comparison sort.
+    fn build(cols: &Columns, start: u32, end: u32, id_bound: usize) -> Run {
+        let n = (end - start) as usize;
+        let mut sorted: [Vec<u32>; 3] = Default::default();
+        for pos in Position::ALL {
+            let col = &cols.col(pos)[start as usize..end as usize];
+            let perm = if id_bound <= 4 * n + 1024 {
+                // Counting sort by term id; iteration order supplies the
+                // stable row-id tiebreak.
+                let mut counts = vec![0u32; id_bound + 1];
+                for id in col {
+                    counts[id.index()] += 1;
+                }
+                let mut total = 0u32;
+                for c in counts.iter_mut() {
+                    let here = *c;
+                    *c = total;
+                    total += here;
+                }
+                let mut perm = vec![0u32; n];
+                for (offset, id) in col.iter().enumerate() {
+                    let slot = &mut counts[id.index()];
+                    perm[*slot as usize] = start + offset as u32;
+                    *slot += 1;
+                }
+                perm
+            } else {
+                // Packed (term id, row) keys: sort u64s, unpack rows.
+                let mut keyed: Vec<u64> = col
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, id)| ((id.0 as u64) << 32) | (start as u64 + offset as u64))
+                    .collect();
+                keyed.sort_unstable();
+                keyed.into_iter().map(|k| k as u32).collect()
+            };
+            sorted[pidx(pos)] = perm;
+        }
+        let mut run = Run {
+            start,
+            end,
+            sorted,
+            zones: Default::default(),
+            distinct_p: Vec::new(),
+        };
+        run.rebuild_metadata(cols);
+        run
+    }
+
+    /// Merge two row-id-adjacent runs: one linear pass per position.
+    fn merge(a: &Run, b: &Run, cols: &Columns) -> Run {
+        debug_assert_eq!(a.end, b.start);
+        let mut sorted: [Vec<u32>; 3] = Default::default();
+        for pos in Position::ALL {
+            let col = cols.col(pos);
+            let key = |r: u32| ((col[r as usize].0 as u64) << 32) | r as u64;
+            let (la, lb) = (&a.sorted[pidx(pos)], &b.sorted[pidx(pos)]);
+            let mut out = Vec::with_capacity(la.len() + lb.len());
+            let (mut i, mut j) = (0, 0);
+            while i < la.len() && j < lb.len() {
+                if key(la[i]) <= key(lb[j]) {
+                    out.push(la[i]);
+                    i += 1;
+                } else {
+                    out.push(lb[j]);
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(&la[i..]);
+            out.extend_from_slice(&lb[j..]);
+            sorted[pidx(pos)] = out;
+        }
+        let mut run = Run {
+            start: a.start,
+            end: b.end,
+            sorted,
+            zones: Default::default(),
+            distinct_p: Vec::new(),
+        };
+        run.rebuild_metadata(cols);
+        run
+    }
+
+    /// Derive zones and distinct predicates from the sorted
+    /// permutations (both are linear reads of sorted data).
+    fn rebuild_metadata(&mut self, cols: &Columns) {
+        for pos in Position::ALL {
+            let col = cols.col(pos);
+            let perm = &self.sorted[pidx(pos)];
+            let zones = perm
+                .chunks(BLOCK)
+                .map(|chunk| Zone {
+                    min: col[chunk[0] as usize].0,
+                    max: col[chunk[chunk.len() - 1] as usize].0,
+                })
+                .collect();
+            self.zones[pidx(pos)] = zones;
+        }
+        let pcol = cols.col(Position::Predicate);
+        let mut distinct = Vec::new();
+        let mut last: Option<TermId> = None;
+        for &r in &self.sorted[pidx(Position::Predicate)] {
+            let id = pcol[r as usize];
+            if last != Some(id) {
+                distinct.push(id);
+                last = Some(id);
+            }
+        }
+        self.distinct_p = distinct;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    pub(crate) fn end(&self) -> u32 {
+        self.end
+    }
+
+    pub(crate) fn distinct_predicates(&self) -> &[TermId] {
+        &self.distinct_p
+    }
+
+    /// The contiguous granule range the zone map cannot rule out for
+    /// `id` (granule indexes into the sorted permutation).
+    pub(crate) fn pruned_granules(&self, pos: Position, id: TermId) -> std::ops::Range<usize> {
+        let zones = &self.zones[pidx(pos)];
+        let lo = zones.partition_point(|z| z.max < id.0);
+        let hi = zones.partition_point(|z| z.min <= id.0);
+        lo..hi
+    }
+
+    /// Row ids of the run whose `pos` equals `id`, ascending: prune
+    /// granules via the zone map, then narrow to the exact equal range
+    /// inside the survivors (entries are `(term id, row id)`-sorted, so
+    /// the range is contiguous and already row-id ordered).
+    pub(crate) fn eq_rows(&self, cols: &Columns, pos: Position, id: TermId) -> &[u32] {
+        let granules = self.pruned_granules(pos, id);
+        let perm = &self.sorted[pidx(pos)];
+        let lo = (granules.start * BLOCK).min(perm.len());
+        let hi = (granules.end * BLOCK).min(perm.len());
+        let candidates = &perm[lo..hi];
+        let col = cols.col(pos);
+        let from = candidates.partition_point(|&r| col[r as usize].0 < id.0);
+        let to = candidates.partition_point(|&r| col[r as usize].0 <= id.0);
+        &candidates[from..to]
+    }
+}
+
+/// The store's run structure: sealed runs covering `[0, sealed_end)` of
+/// the row-id space plus the trailing append log.
+///
+/// Serde-skipped by the store: runs are derived accelerators, rebuilt
+/// by sealing as a deserialized store ingests (until then the whole
+/// row space is treated as the append log, which every scan handles).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RunSet {
+    runs: Vec<Run>,
+}
+
+impl RunSet {
+    /// First row id *not* covered by a sealed run (start of the log).
+    pub(crate) fn sealed_end(&self) -> u32 {
+        self.runs.last().map(|r| r.end()).unwrap_or(0)
+    }
+
+    pub(crate) fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Called after rows are appended: seal the log into a run once it
+    /// is big enough, then run the size-tiered merge schedule.
+    pub(crate) fn note_appended(&mut self, cols: &Columns, id_bound: usize) {
+        let log = cols.len() as u32 - self.sealed_end();
+        if (log as usize) >= SEAL_MIN {
+            self.seal_log(cols, id_bound);
+        }
+    }
+
+    /// Unconditionally seal the current append log into a run and apply
+    /// the merge schedule (the threshold-free core of
+    /// [`RunSet::note_appended`]; tests use it to exercise run structure
+    /// on small stores).
+    pub(crate) fn seal_log(&mut self, cols: &Columns, id_bound: usize) {
+        let sealed = self.sealed_end();
+        if (cols.len() as u32) > sealed {
+            self.runs
+                .push(Run::build(cols, sealed, cols.len() as u32, id_bound));
+            self.merge_tail(cols);
+        }
+    }
+
+    /// Fold everything — runs and log alike — into one sorted run
+    /// (compaction). Leaves an empty run set for an empty store.
+    pub(crate) fn seal_all(&mut self, cols: &Columns, id_bound: usize) {
+        self.runs.clear();
+        if !cols.is_empty() {
+            self.runs
+                .push(Run::build(cols, 0, cols.len() as u32, id_bound));
+        }
+    }
+
+    /// Drop all runs (the caller rebuilt the columns).
+    pub(crate) fn clear(&mut self) {
+        self.runs.clear();
+    }
+
+    fn merge_tail(&mut self, cols: &Columns) {
+        while self.runs.len() >= 2 {
+            let newer = &self.runs[self.runs.len() - 1];
+            let older = &self.runs[self.runs.len() - 2];
+            if older.len() > TIER * newer.len() {
+                break;
+            }
+            let merged = Run::merge(older, newer, cols);
+            self.runs.truncate(self.runs.len() - 2);
+            self.runs.push(merged);
+        }
+    }
+}

@@ -175,7 +175,11 @@ pub fn reformulations(
         if out[i].path.len() >= ttl {
             continue;
         }
-        let current = out[i].clone();
+        // Expand into a side buffer so `out[i]` stays borrowed, not
+        // cloned — only the reformulations a hop actually creates are
+        // allocated.
+        let mut created: Vec<Reformulation> = Vec::new();
+        let current = &out[i];
         for (m, dir) in registry.applicable_from(&current.schema) {
             let dest = m.destination(dir).clone();
             if visited.contains(&dest) {
@@ -188,13 +192,16 @@ pub fn reformulations(
                     mapping: m.id,
                     direction: dir,
                 });
-                out.push(Reformulation {
+                created.push(Reformulation {
                     schema: dest,
                     query: q,
                     path,
                 });
-                frontier.push_back(out.len() - 1);
             }
+        }
+        for r in created {
+            out.push(r);
+            frontier.push_back(out.len() - 1);
         }
     }
     Ok(out)
