@@ -20,7 +20,7 @@
 //!   sampling, CDF quantiles.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, Strategy};
+use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
 use gridvine_pgrid::{
     HashKind, KeyHasher, OrderPreservingHash, Overlay, PeerId, Topology, UniformHash,
 };
@@ -294,22 +294,31 @@ fn bench_search(c: &mut Criterion) {
     let q = TriplePatternQuery::example_aspergillus();
     let mut g = c.benchmark_group("search");
     let mut rng = StdRng::seed_from_u64(1);
+    let plan = QueryPlan::search(q);
     g.bench_function("iterative", |b| {
         b.iter(|| {
             let origin = PeerId::from_index(rng.gen_range(0..64));
-            sys.search(origin, black_box(&q), Strategy::Iterative)
-                .unwrap()
-                .results
-                .len()
+            sys.execute(
+                origin,
+                black_box(&plan),
+                &QueryOptions::new().strategy(Strategy::Iterative),
+            )
+            .unwrap()
+            .rows
+            .len()
         })
     });
     g.bench_function("recursive", |b| {
         b.iter(|| {
             let origin = PeerId::from_index(rng.gen_range(0..64));
-            sys.search(origin, black_box(&q), Strategy::Recursive)
-                .unwrap()
-                .results
-                .len()
+            sys.execute(
+                origin,
+                black_box(&plan),
+                &QueryOptions::new().strategy(Strategy::Recursive),
+            )
+            .unwrap()
+            .rows
+            .len()
         })
     });
     g.finish();
@@ -434,6 +443,7 @@ fn bench_conjunctive(c: &mut Criterion) {
     .unwrap();
     let mut g = c.benchmark_group("conjunctive");
     let mut rng = StdRng::seed_from_u64(2);
+    let plan = QueryPlan::conjunctive(q);
     for (name, mode) in [
         ("independent", JoinMode::Independent),
         ("bound_substitution", JoinMode::BoundSubstitution),
@@ -441,10 +451,16 @@ fn bench_conjunctive(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let origin = PeerId::from_index(rng.gen_range(0..64));
-                sys.search_conjunctive(origin, black_box(&q), Strategy::Iterative, mode)
-                    .unwrap()
-                    .bindings
-                    .len()
+                sys.execute(
+                    origin,
+                    black_box(&plan),
+                    &QueryOptions::new()
+                        .strategy(Strategy::Iterative)
+                        .join_mode(mode),
+                )
+                .unwrap()
+                .rows
+                .len()
             })
         });
     }

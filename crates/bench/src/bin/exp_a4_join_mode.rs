@@ -24,7 +24,7 @@
 
 use gridvine_bench::table::f;
 use gridvine_bench::Table;
-use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, Strategy};
+use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{ConjunctiveQuery, PatternTerm, Term, Triple, TriplePattern};
 use gridvine_semantic::Schema;
@@ -112,30 +112,37 @@ fn main() {
 
     for total in [50usize, 200, 800, 3200] {
         let mut sys = build_system(total, selective, seed);
-        let q = query();
+        let plan = QueryPlan::conjunctive(query());
         let ind = sys
-            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
+            .execute(
+                PeerId(1),
+                &plan,
+                &QueryOptions::new()
+                    .strategy(Strategy::Iterative)
+                    .join_mode(JoinMode::Independent),
+            )
             .expect("independent mode resolves");
         let bnd = sys
-            .search_conjunctive(
+            .execute(
                 PeerId(1),
-                &q,
-                Strategy::Iterative,
-                JoinMode::BoundSubstitution,
+                &plan,
+                &QueryOptions::new()
+                    .strategy(Strategy::Iterative)
+                    .join_mode(JoinMode::BoundSubstitution),
             )
             .expect("bound mode resolves");
-        assert_eq!(ind.bindings, bnd.bindings, "modes must agree");
+        assert_eq!(ind.rows, bnd.rows, "modes must agree");
         let cost = |msgs: u64, shipped: usize| msgs as f64 + shipped as f64 / BATCH;
-        let ic = cost(ind.messages, ind.bindings_shipped);
-        let bc = cost(bnd.messages, bnd.bindings_shipped);
+        let ic = cost(ind.stats.messages, ind.stats.bindings_shipped);
+        let bc = cost(bnd.stats.messages, bnd.stats.bindings_shipped);
         table.row(&[
             format!("{total}"),
-            format!("{}", ind.bindings.len()),
-            format!("{}", ind.messages),
-            format!("{}", ind.bindings_shipped),
+            format!("{}", ind.rows.len()),
+            format!("{}", ind.stats.messages),
+            format!("{}", ind.stats.bindings_shipped),
             f(ic, 1),
-            format!("{}", bnd.messages),
-            format!("{}", bnd.bindings_shipped),
+            format!("{}", bnd.stats.messages),
+            format!("{}", bnd.stats.bindings_shipped),
             f(bc, 1),
             if ic <= bc { "independent" } else { "bound" }.to_string(),
         ]);

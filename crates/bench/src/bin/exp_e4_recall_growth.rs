@@ -14,7 +14,9 @@
 
 use gridvine_bench::table::f;
 use gridvine_bench::Table;
-use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, SelfOrgConfig, Strategy,
+};
 use gridvine_netsim::rng;
 use gridvine_pgrid::PeerId;
 use gridvine_semantic::{MappingKind, Provenance};
@@ -80,9 +82,11 @@ fn main() {
                 continue;
             }
             let origin = sys.random_peer();
-            if let Ok(out) = sys.search(origin, &g.query, Strategy::Iterative) {
-                total_recall += recall(&out.accessions, &g.true_answers);
-                total_msgs += out.messages as f64;
+            let plan = QueryPlan::search(g.query.clone());
+            let opts = QueryOptions::new().strategy(Strategy::Iterative);
+            if let Ok(out) = sys.execute(origin, &plan, &opts) {
+                total_recall += recall(&out.accessions(), &g.true_answers);
+                total_msgs += out.stats.messages as f64;
                 counted += 1;
             }
         }

@@ -15,7 +15,7 @@
 
 use gridvine_bench::table::f;
 use gridvine_bench::Table;
-use gridvine_core::{GridVineConfig, GridVineSystem, Strategy};
+use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, Strategy};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
 use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
@@ -81,18 +81,31 @@ fn main() {
         let mut iter_msgs = 0.0;
         let mut rec_msgs = 0.0;
         let mut results = 0usize;
+        let plan = QueryPlan::search(query.clone());
         for rep in 0..repeats {
             let mut sys = build_chain(len, seed + rep as u64);
             let origin = sys.random_peer();
-            let it = sys.search(origin, &query, Strategy::Iterative).unwrap();
-            iter_msgs += it.messages as f64;
-            results = it.results.len();
+            let it = sys
+                .execute(
+                    origin,
+                    &plan,
+                    &QueryOptions::new().strategy(Strategy::Iterative),
+                )
+                .unwrap();
+            iter_msgs += it.stats.messages as f64;
+            results = it.rows.len();
 
             let mut sys = build_chain(len, seed + rep as u64);
             let origin = sys.random_peer();
-            let rec = sys.search(origin, &query, Strategy::Recursive).unwrap();
-            rec_msgs += rec.messages as f64;
-            assert_eq!(rec.results.len(), it.results.len(), "strategies must agree");
+            let rec = sys
+                .execute(
+                    origin,
+                    &plan,
+                    &QueryOptions::new().strategy(Strategy::Recursive),
+                )
+                .unwrap();
+            rec_msgs += rec.stats.messages as f64;
+            assert_eq!(rec.rows.len(), it.rows.len(), "strategies must agree");
         }
         iter_msgs /= repeats as f64;
         rec_msgs /= repeats as f64;

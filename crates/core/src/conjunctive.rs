@@ -16,7 +16,7 @@
 //! * [`JoinMode::BoundSubstitution`] — patterns are resolved in
 //!   selectivity order; each partial solution row is substituted into
 //!   the next pattern before that subquery is shipped
-//!   ([`TriplePattern::substitute`]), so the overlay only ever evaluates
+//!   ([`gridvine_rdf::TriplePattern::substitute`]), so the overlay only ever evaluates
 //!   patterns already constrained by earlier answers. This is the
 //!   semi-join/bound-join strategy of distributed query processing: more
 //!   routed subqueries, far fewer irrelevant results on the wire.
@@ -27,11 +27,7 @@
 //! layer of §3.
 
 use super::*;
-use gridvine_rdf::join::{hash_join_rows, TermInterner, VarTable, UNBOUND};
-use gridvine_rdf::{Binding, ConjunctiveQuery, TriplePattern};
-use std::borrow::Cow;
-use std::collections::HashMap;
-use std::rc::Rc;
+use gridvine_rdf::{Binding, ConjunctiveQuery};
 
 /// How the binding sets of the individual triple patterns are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,133 +68,14 @@ pub struct ConjunctiveOutcome {
     pub bindings_shipped: usize,
 }
 
-/// Result of resolving one pattern across the mapping network.
-#[derive(Debug, Clone, Default)]
-struct PatternNetOutcome {
-    bindings: Vec<Binding>,
-    subqueries: usize,
-    reformulations: usize,
-    schemas_visited: usize,
-    failures: usize,
-}
-
-impl PatternNetOutcome {
-    /// Fold this pattern-level traversal into the query-level outcome.
-    fn charge(&self, out: &mut ConjunctiveOutcome) {
-        out.subqueries += self.subqueries;
-        out.reformulations += self.reformulations;
-        out.schemas_visited += self.schemas_visited;
-        out.failures += self.failures;
-        out.bindings_shipped += self.bindings.len();
-    }
-}
-
 impl GridVineSystem {
-    /// Resolve one concrete triple pattern at its routing key and return
-    /// every matching binding from the destination peer's database —
-    /// the destination's indexed `DB_p` via
-    /// [`gridvine_rdf::TripleStore::match_pattern`], with the response
-    /// message charged exactly as the old bucket `Retrieve` was.
-    fn resolve_pattern_once(
-        &mut self,
-        origin: PeerId,
-        pattern: &TriplePattern,
-    ) -> Result<Vec<Binding>, SystemError> {
-        let Some((_, term)) = pattern.routing_constant() else {
-            return Err(SystemError::NotRoutable);
-        };
-        let key = self.key_of(term.lexical());
-        let route = self.overlay.route(origin, &key, &mut self.rng)?;
-        self.overlay.charge_response(origin, route.destination);
-        Ok(self.local_dbs[route.destination.index()].match_pattern(pattern))
-    }
-
-    /// Resolve a pattern over the mapping network: answer it in its own
-    /// schema, then in every schema reachable through active mappings
-    /// (within the TTL), aggregating bindings. Patterns whose predicate
-    /// is a variable (or does not name a schema) are resolved once,
-    /// without reformulation — there is no schema to translate from.
-    fn resolve_pattern_network(
-        &mut self,
-        origin: PeerId,
-        pattern: &TriplePattern,
-        strategy: Strategy,
-    ) -> Result<PatternNetOutcome, SystemError> {
-        let mut out = PatternNetOutcome::default();
-
-        let Ok((origin_schema, _)) = gridvine_semantic::pattern_schema(pattern) else {
-            // Un-schema'd pattern: a single routed resolution.
-            out.subqueries = 1;
-            out.bindings = self.resolve_pattern_once(origin, pattern)?;
-            return Ok(out);
-        };
-
-        // Schema ids are shared via `Rc` between the visited set and the
-        // frontier, and the origin pattern is borrowed (`Cow`) — the
-        // traversal only clones what a hop actually creates (the
-        // reformulated pattern and one `Rc` bump per discovered schema).
-        let origin_schema = Rc::new(origin_schema);
-        let mut visited: BTreeSet<Rc<SchemaId>> = BTreeSet::new();
-        visited.insert(Rc::clone(&origin_schema));
-        let mut frontier: Vec<(Rc<SchemaId>, Cow<'_, TriplePattern>, PeerId, usize)> =
-            vec![(origin_schema, Cow::Borrowed(pattern), origin, 0)];
-
-        while let Some((schema, pat, at_peer, depth)) = frontier.pop() {
-            out.subqueries += 1;
-            match self.resolve_pattern_once(at_peer, &pat) {
-                Ok(bindings) => out.bindings.extend(bindings),
-                Err(_) => out.failures += 1,
-            }
-            if depth >= self.config.ttl {
-                continue;
-            }
-            let schema_key = self.key_of(schema.as_str());
-            let (next_peer, mappings) = match strategy {
-                Strategy::Iterative => (origin, self.mappings_at_schema(origin, &schema)?),
-                Strategy::Recursive => {
-                    let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
-                    let items = self
-                        .overlay
-                        .store(route.destination)
-                        .get(&schema_key)
-                        .to_vec();
-                    let maps = items
-                        .into_iter()
-                        .filter_map(|i| match i {
-                            MediationItem::Mapping { mapping, .. } => Some(mapping),
-                            _ => None,
-                        })
-                        .collect();
-                    (route.destination, maps)
-                }
-            };
-            for m in mappings {
-                let Some(dir) = m.applicable_from(&schema) else {
-                    continue;
-                };
-                if visited.contains(m.destination(dir)) {
-                    continue;
-                }
-                let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir) else {
-                    continue;
-                };
-                let dest = Rc::new(m.destination(dir).clone());
-                visited.insert(Rc::clone(&dest));
-                out.reformulations += 1;
-                frontier.push((dest, Cow::Owned(np), next_peer, depth + 1));
-            }
-        }
-        out.schemas_visited = visited.len();
-        Ok(out)
-    }
-
     /// `SearchFor` for a conjunctive query: iteratively resolve each
     /// triple pattern over the overlay (with reformulation through the
     /// mapping network, per `strategy`) and aggregate the binding sets
     /// into solution rows (§2.3).
     ///
     /// ```
-    /// use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, Strategy};
+    /// use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
     /// use gridvine_pgrid::PeerId;
     /// use gridvine_rdf::{parse_query, Term, Triple};
     /// use gridvine_semantic::Schema;
@@ -214,10 +91,12 @@ impl GridVineSystem {
     /// let q = parse_query(
     ///     r#"SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Aspergillus%"),
     ///                             (?x, <EMBL#SequenceLength>, ?len)"#)?;
-    /// let out = gv.search_conjunctive(p, &q, Strategy::Iterative,
-    ///     JoinMode::BoundSubstitution)?;
-    /// assert_eq!(out.bindings.len(), 1);
-    /// assert_eq!(out.bindings[0].get("len"), Some(&Term::literal("1042")));
+    /// // Migration: search_conjunctive(p, &q, strategy, mode) becomes
+    /// let out = gv.execute(p, &QueryPlan::conjunctive(q),
+    ///     &QueryOptions::new().strategy(Strategy::Iterative)
+    ///         .join_mode(JoinMode::BoundSubstitution))?;
+    /// assert_eq!(out.rows.len(), 1);
+    /// assert_eq!(out.rows[0].get("len"), Some(&Term::literal("1042")));
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     ///
@@ -228,6 +107,10 @@ impl GridVineSystem {
     /// [`failures`](ConjunctiveOutcome::failures) and its candidate row
     /// is dropped; well-formed conjunctive queries — connected join
     /// graphs with at least one constant per component — never hit this.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GridVineSystem::execute with QueryPlan::conjunctive (see gridvine_core::exec)"
+    )]
     pub fn search_conjunctive(
         &mut self,
         origin: PeerId,
@@ -235,147 +118,29 @@ impl GridVineSystem {
         strategy: Strategy,
         mode: JoinMode,
     ) -> Result<ConjunctiveOutcome, SystemError> {
-        let before = self.overlay.messages_sent();
-        let mut out = ConjunctiveOutcome::default();
-
-        // The hash-join binding engine (gridvine_rdf::join): solution
-        // rows are term-code vectors over the query's variable slots,
-        // coded against a query-scoped interner (peers materialize terms
-        // into the wire format, so codes must be assigned at the
-        // origin). Joins and dedup compare u64s; terms are materialized
-        // again only for the rows that survive.
-        let vars = VarTable::from_patterns(&query.patterns);
-        let mut interner = TermInterner::new();
-        let mut rows: Vec<Vec<u64>> = vec![vars.empty_row()];
-        match mode {
-            JoinMode::Independent => {
-                // One full network sweep per pattern, hash-join the
-                // binding sets afterwards.
-                let mut sets: Vec<Vec<Vec<u64>>> = Vec::with_capacity(query.patterns.len());
-                for pattern in &query.patterns {
-                    let net = self.resolve_pattern_network(origin, pattern, strategy)?;
-                    net.charge(&mut out);
-                    sets.push(
-                        net.bindings
-                            .iter()
-                            .map(|b| interner.encode(b, &vars))
-                            .collect(),
-                    );
-                }
-                for set in sets {
-                    rows = hash_join_rows(&rows, &set);
-                    if rows.is_empty() {
-                        break;
-                    }
-                }
-            }
-            JoinMode::BoundSubstitution => {
-                // Most selective pattern first: more constants, longer
-                // routing constant, fewer variables.
-                let mut order: Vec<&TriplePattern> = query.patterns.iter().collect();
-                order.sort_by_key(|p| {
-                    let routable_len = p
-                        .routing_constant()
-                        .map(|(_, t)| t.lexical().len())
-                        .unwrap_or(0);
-                    (
-                        std::cmp::Reverse(p.constants().len()),
-                        std::cmp::Reverse(routable_len),
-                        p.variables().len(),
-                    )
-                });
-                for pattern in order {
-                    // Rows agreeing on the pattern's already-bound
-                    // variables produce the same substituted instance —
-                    // group by those codes so each instance is resolved
-                    // once, instead of the old O(rows²) pattern-equality
-                    // scan.
-                    let bound_slots: Vec<(usize, &str)> = pattern
-                        .variables()
-                        .iter()
-                        .filter_map(|v| {
-                            let slot = vars.slot(v)?;
-                            (rows[0][slot] != UNBOUND).then_some((slot, *v))
-                        })
-                        .collect();
-                    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (rep row, members)
-                    let mut by_key: HashMap<Vec<u64>, usize> = HashMap::new();
-                    for (i, row) in rows.iter().enumerate() {
-                        let key: Vec<u64> = bound_slots.iter().map(|&(s, _)| row[s]).collect();
-                        match by_key.get(&key) {
-                            Some(&g) => groups[g].1.push(i),
-                            None => {
-                                by_key.insert(key, groups.len());
-                                groups.push((i, vec![i]));
-                            }
-                        }
-                    }
-                    let mut next = Vec::new();
-                    for (rep, members) in groups {
-                        let mut seed = Binding::new();
-                        for &(slot, name) in &bound_slots {
-                            seed.bind(name.to_string(), interner.term(rows[rep][slot]).clone());
-                        }
-                        let sub = pattern.substitute(&seed);
-                        match self.resolve_pattern_network(origin, &sub, strategy) {
-                            Ok(net) => {
-                                net.charge(&mut out);
-                                // The substituted instance's matches bind
-                                // only the pattern's remaining variables:
-                                // merge each into every member row.
-                                let fragments: Vec<Vec<u64>> = net
-                                    .bindings
-                                    .iter()
-                                    .map(|b| interner.encode(b, &vars))
-                                    .collect();
-                                for &i in &members {
-                                    let member = std::slice::from_ref(&rows[i]);
-                                    next.extend(hash_join_rows(member, &fragments));
-                                }
-                            }
-                            Err(SystemError::NotRoutable) => {
-                                out.failures += 1;
-                            }
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    rows = next;
-                    if rows.is_empty() {
-                        break;
-                    }
-                }
-            }
-        }
-
-        // π onto the distinguished variables; dedup on codes before any
-        // term is materialized. `slots` and `proj` share one filtered
-        // name set so a distinguished variable absent from every
-        // pattern is skipped rather than misaligning names.
-        let mut slots: Vec<usize> = Vec::with_capacity(query.distinguished.len());
-        let mut proj = VarTable::new();
-        for d in &query.distinguished {
-            if let Some(s) = vars.slot(d) {
-                slots.push(s);
-                proj.slot_of(d);
-            }
-        }
-        let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
-        let mut bindings: Vec<Binding> = Vec::new();
-        for row in &rows {
-            let projected: Vec<u64> = slots.iter().map(|&s| row[s]).collect();
-            if seen.insert(projected.clone()) {
-                bindings.push(interner.decode(&projected, &proj));
-            }
-        }
-        bindings.sort_by_key(|b| b.to_string());
-        out.bindings = bindings;
-        out.messages = self.overlay.messages_sent() - before;
-        Ok(out)
+        let plan = crate::plan::QueryPlan::conjunctive(query.clone());
+        let options = super::exec::QueryOptions::new()
+            .strategy(strategy)
+            .join_mode(mode);
+        let out = self.execute(origin, &plan, &options)?;
+        Ok(ConjunctiveOutcome {
+            bindings: out.rows,
+            messages: out.stats.messages,
+            subqueries: out.stats.subqueries,
+            reformulations: out.stats.reformulations,
+            schemas_visited: out.stats.schemas_visited,
+            failures: out.stats.failures,
+            bindings_shipped: out.stats.bindings_shipped,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy shims stay under test here; the equivalence suite
+    // proves they match the executor.
+    #![allow(deprecated)]
+
     use super::*;
     use gridvine_rdf::{PatternTerm, TriplePattern};
 

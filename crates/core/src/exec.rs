@@ -1,0 +1,641 @@
+//! The streaming physical executor: one entry point —
+//! [`GridVineSystem::execute`] — evaluates every logical
+//! [`QueryPlan`].
+//!
+//! ## Migration from the legacy entry points
+//!
+//! The four monolithic `SearchFor` methods are now thin deprecated
+//! shims over `execute`; first-party callers should build a plan and
+//! call `execute` directly:
+//!
+//! | Legacy call | Replacement |
+//! |---|---|
+//! | `sys.resolve_pattern(p, &q)` | `sys.execute(p, &QueryPlan::pattern(q), &QueryOptions::default())` |
+//! | `sys.resolve_object_prefix(p, &q)` | `sys.execute(p, &QueryPlan::object_prefix(q), &QueryOptions::default())` |
+//! | `sys.search(p, &q, strategy)` | `sys.execute(p, &QueryPlan::search(q), &QueryOptions::new().strategy(strategy))` |
+//! | `sys.search_conjunctive(p, &q, strategy, mode)` | `sys.execute(p, &QueryPlan::conjunctive(q), &QueryOptions::new().strategy(strategy).join_mode(mode))` |
+//!
+//! The legacy per-call outcome types map onto [`QueryOutcome`]:
+//! `SearchOutcome::results` is [`QueryOutcome::terms`] of the
+//! distinguished variable, `ConjunctiveOutcome::bindings` is
+//! [`QueryOutcome::rows`], and all counters live in the shared
+//! [`ExecStats`].
+//!
+//! ## Execution model
+//!
+//! Every plan bottoms out in *routed pattern resolutions*: route to
+//! `Hash(routing constant)`, charge the response message, and evaluate
+//! the destination peer's indexed `DB_p` — **streaming** matches off
+//! the store's cursor layer
+//! ([`TripleStore::match_pattern_iter`](gridvine_rdf::TripleStore::match_pattern_iter)),
+//! so a destination materializes exactly the bindings it ships.
+//! Closure plans drive a step-wise
+//! [`ClosureWalk`] over the mapping
+//! network (depth-first, the legacy traversal order, so message
+//! accounting is bit-identical to the old entry points); join plans
+//! feed the per-pattern binding sets through the
+//! [`hash-join engine`](gridvine_rdf::join) in the planner's order.
+//!
+//! ```
+//! use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, Strategy};
+//! use gridvine_pgrid::PeerId;
+//! use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+//! use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+//!
+//! let mut sys = GridVineSystem::new(GridVineConfig::default());
+//! let p = PeerId(0);
+//! sys.insert_schema(p, Schema::new("EMBL", ["Organism"]))?;
+//! sys.insert_schema(p, Schema::new("EMP", ["SystematicName"]))?;
+//! sys.insert_mapping(p, "EMBL", "EMP", MappingKind::Equivalence, Provenance::Manual,
+//!     vec![Correspondence::new("Organism", "SystematicName")])?;
+//! sys.insert_triple(p, Triple::new("seq:A78712", "EMBL#Organism",
+//!     Term::literal("Aspergillus niger")))?;
+//! sys.insert_triple(p, Triple::new("seq:NEN94295-05", "EMP#SystematicName",
+//!     Term::literal("Aspergillus oryzae")))?;
+//!
+//! let plan = QueryPlan::search(TriplePatternQuery::example_aspergillus());
+//! let out = sys.execute(PeerId(3), &plan, &QueryOptions::new().strategy(Strategy::Recursive))?;
+//! assert_eq!(out.rows.len(), 2); // both records, across schemas
+//! assert_eq!(out.stats.reformulations, 1);
+//! assert!(out.stats.messages > 0);
+//! # Ok::<(), gridvine_core::SystemError>(())
+//! ```
+
+use super::conjunctive::JoinMode;
+use super::*;
+use crate::plan::{object_prefix_core, QueryPlan};
+use gridvine_rdf::join::{hash_join_rows, TermInterner, VarTable, UNBOUND};
+use gridvine_rdf::{Binding, ConjunctiveQuery, TriplePattern};
+use gridvine_semantic::{ClosureWalk, Mapping};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Physical execution knobs for one [`GridVineSystem::execute`] call: a
+/// builder carrying the reformulation [`Strategy`], the conjunctive
+/// [`JoinMode`], a TTL override and an optional result cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryOptions {
+    strategy: Strategy,
+    join_mode: JoinMode,
+    ttl: Option<usize>,
+    limit: Option<usize>,
+}
+
+impl Default for QueryOptions {
+    /// Iterative reformulation, bound-substitution joins, the system's
+    /// configured TTL, unlimited results.
+    fn default() -> QueryOptions {
+        QueryOptions {
+            strategy: Strategy::Iterative,
+            join_mode: JoinMode::BoundSubstitution,
+            ttl: None,
+            limit: None,
+        }
+    }
+}
+
+impl QueryOptions {
+    pub fn new() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    /// How reformulated queries travel the mapping network (§4).
+    pub fn strategy(mut self, strategy: Strategy) -> QueryOptions {
+        self.strategy = strategy;
+        self
+    }
+
+    /// How conjunctive binding sets are combined (ablation A4).
+    pub fn join_mode(mut self, mode: JoinMode) -> QueryOptions {
+        self.join_mode = mode;
+        self
+    }
+
+    /// Override the system's reformulation TTL for this query.
+    pub fn ttl(mut self, ttl: usize) -> QueryOptions {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Return at most `limit` result rows (applied after the canonical
+    /// sort + dedup, so the kept prefix is deterministic; dissemination
+    /// and message accounting are unaffected).
+    pub fn limit(mut self, limit: usize) -> QueryOptions {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+/// Execution counters shared by every plan shape — the union of what
+/// the legacy `SearchOutcome` and `ConjunctiveOutcome` reported.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Overlay messages consumed.
+    pub messages: u64,
+    /// Routed pattern resolutions (original patterns, reformulations
+    /// and bound-substituted instances all count; prefix sweeps count
+    /// one per visited region).
+    pub subqueries: usize,
+    /// Mapping applications across the whole plan.
+    pub reformulations: usize,
+    /// Schemas reached, summed over patterns (each pattern's traversal
+    /// counts its own distinct set, including its own schema).
+    pub schemas_visited: usize,
+    /// Resolutions that could not be routed or resolved.
+    pub failures: usize,
+    /// Matching bindings returned by destination peers before any join
+    /// or dedup — a proxy for result bytes on the wire.
+    pub bindings_shipped: usize,
+}
+
+/// What one [`GridVineSystem::execute`] call produced: solution rows
+/// (projected onto the distinguished variables, deduplicated, sorted)
+/// plus the shared [`ExecStats`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Solution rows. Single-pattern plans bind exactly the
+    /// distinguished variable; join plans bind the query's
+    /// distinguished variables.
+    pub rows: Vec<Binding>,
+    pub stats: ExecStats,
+}
+
+impl QueryOutcome {
+    /// Distinct terms bound to `var` across the rows, sorted.
+    pub fn terms(&self, var: &str) -> Vec<Term> {
+        let mut out: Vec<Term> = self
+            .rows
+            .iter()
+            .filter_map(|b| b.get(var).cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Accessions extracted from `seq:` subjects among the bound terms
+    /// (for recall against workload ground truth).
+    pub fn accessions(&self) -> BTreeSet<String> {
+        self.rows
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter_map(|(_, t)| t.as_uri())
+            .filter_map(|u| u.as_str().strip_prefix("seq:"))
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// One pattern's traversal of the mapping network (the per-pattern
+/// inner loop of closure and join plans).
+#[derive(Debug, Clone, Default)]
+struct NetSweep {
+    bindings: Vec<Binding>,
+    subqueries: usize,
+    reformulations: usize,
+    schemas_visited: usize,
+    failures: usize,
+}
+
+impl NetSweep {
+    /// Fold this pattern-level traversal into the plan-level stats.
+    fn charge(&self, stats: &mut ExecStats) {
+        stats.subqueries += self.subqueries;
+        stats.reformulations += self.reformulations;
+        stats.schemas_visited += self.schemas_visited;
+        stats.failures += self.failures;
+        stats.bindings_shipped += self.bindings.len();
+    }
+}
+
+/// A one-variable solution row.
+fn one_var_row(var: &str, term: Term) -> Binding {
+    let mut b = Binding::new();
+    b.bind(var.to_string(), term);
+    b
+}
+
+impl GridVineSystem {
+    /// Evaluate a logical [`QueryPlan`] from `origin` under `options` —
+    /// the single `SearchFor` entry point (§2.3, §3, §4) behind which
+    /// pattern lookups, prefix range sweeps, reformulation closures and
+    /// conjunctive joins all run.
+    ///
+    /// Message accounting is exactly that of the legacy entry points
+    /// (which are now shims over this method): every hop, response and
+    /// replica propagation is charged on the overlay counter and
+    /// reported in [`ExecStats::messages`].
+    pub fn execute(
+        &mut self,
+        origin: PeerId,
+        plan: &QueryPlan,
+        options: &QueryOptions,
+    ) -> Result<QueryOutcome, SystemError> {
+        let before = self.overlay.messages_sent();
+        let ttl = options.ttl.unwrap_or(self.config.ttl);
+        let mut out = match plan {
+            QueryPlan::Pattern { query } => self.exec_pattern(origin, query)?,
+            QueryPlan::ObjectPrefix { query } => self.exec_object_prefix(origin, query)?,
+            QueryPlan::Closure { query } => {
+                self.exec_closure(origin, query, options.strategy, ttl)?
+            }
+            QueryPlan::Join { query, order } => self.exec_join(
+                origin,
+                query,
+                order,
+                options.strategy,
+                options.join_mode,
+                ttl,
+            )?,
+        };
+        out.stats.messages = self.overlay.messages_sent() - before;
+        if let Some(limit) = options.limit {
+            out.rows.truncate(limit);
+        }
+        Ok(out)
+    }
+
+    /// Route one concrete query to `Hash(routing constant)` and stream
+    /// the destination's matches, projecting onto the distinguished
+    /// variable: returns the sorted distinct terms plus the raw match
+    /// count (what the destination shipped).
+    fn resolve_routed(
+        &mut self,
+        origin: PeerId,
+        query: &TriplePatternQuery,
+    ) -> Result<(Vec<Term>, usize), SystemError> {
+        let Some((_, term)) = query.pattern.routing_constant() else {
+            return Err(SystemError::NotRoutable);
+        };
+        let key = self.key_of(term.lexical());
+        let route = self.overlay.route(origin, &key, &mut self.rng)?;
+        self.overlay.charge_response(origin, route.destination);
+        let db = &self.local_dbs[route.destination.index()];
+        let mut shipped = 0usize;
+        let mut results: Vec<Term> = Vec::new();
+        for b in db.match_pattern_iter(&query.pattern) {
+            shipped += 1;
+            if let Some(t) = b.get(&query.distinguished) {
+                results.push(t.clone());
+            }
+        }
+        results.sort();
+        results.dedup();
+        Ok((results, shipped))
+    }
+
+    /// Route one concrete triple pattern and return every matching
+    /// binding from the destination's `DB_p`, streamed off the cursor
+    /// layer; the response message is charged exactly as a `Retrieve`.
+    fn resolve_pattern_once(
+        &mut self,
+        origin: PeerId,
+        pattern: &TriplePattern,
+    ) -> Result<Vec<Binding>, SystemError> {
+        let Some((_, term)) = pattern.routing_constant() else {
+            return Err(SystemError::NotRoutable);
+        };
+        let key = self.key_of(term.lexical());
+        let route = self.overlay.route(origin, &key, &mut self.rng)?;
+        self.overlay.charge_response(origin, route.destination);
+        let db = &self.local_dbs[route.destination.index()];
+        Ok(db.match_pattern_iter(pattern).collect())
+    }
+
+    /// Fetch the mappings applicable at `schema` per the strategy:
+    /// iterative pulls the list back to the origin (one Retrieve +
+    /// response); recursive forwards the query to the schema-key peer,
+    /// which reads its local list for free and becomes the next hop's
+    /// issuer. Returns `(issuing peer for the next hops, mappings)`.
+    fn discover_mappings(
+        &mut self,
+        origin: PeerId,
+        at_peer: PeerId,
+        schema: &SchemaId,
+        strategy: Strategy,
+    ) -> Result<(PeerId, Vec<Mapping>), SystemError> {
+        match strategy {
+            Strategy::Iterative => Ok((origin, self.mappings_at_schema(origin, schema)?)),
+            Strategy::Recursive => {
+                let schema_key = self.key_of(schema.as_str());
+                let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
+                let items = self
+                    .overlay
+                    .store(route.destination)
+                    .get(&schema_key)
+                    .to_vec();
+                let maps = items
+                    .into_iter()
+                    .filter_map(|i| match i {
+                        MediationItem::Mapping { mapping, .. } => Some(mapping),
+                        _ => None,
+                    })
+                    .collect();
+                Ok((route.destination, maps))
+            }
+        }
+    }
+
+    /// [`QueryPlan::Pattern`]: one routed lookup.
+    fn exec_pattern(
+        &mut self,
+        origin: PeerId,
+        query: &TriplePatternQuery,
+    ) -> Result<QueryOutcome, SystemError> {
+        let (terms, shipped) = self.resolve_routed(origin, query)?;
+        Ok(QueryOutcome {
+            rows: terms
+                .into_iter()
+                .map(|t| one_var_row(&query.distinguished, t))
+                .collect(),
+            stats: ExecStats {
+                subqueries: 1,
+                bindings_shipped: shipped,
+                ..ExecStats::default()
+            },
+        })
+    }
+
+    /// [`QueryPlan::ObjectPrefix`]: visit every peer region intersecting
+    /// the prefix (the same regions, routes and response charges as a
+    /// range `Retrieve`) and evaluate each destination's indexed `DB_p`;
+    /// the object prefix runs as a sorted-key range scan there. Only
+    /// routable under [`HashKind::OrderPreserving`] (§2.2).
+    fn exec_object_prefix(
+        &mut self,
+        origin: PeerId,
+        query: &TriplePatternQuery,
+    ) -> Result<QueryOutcome, SystemError> {
+        if self.config.hash != HashKind::OrderPreserving {
+            return Err(SystemError::NotRoutable);
+        }
+        let Some(prefix) = object_prefix_core(&query.pattern) else {
+            return Err(SystemError::NotRoutable);
+        };
+        let key_prefix = self.keyspace().prefix_key(prefix);
+        let mut stats = ExecStats::default();
+        let mut results: Vec<Term> = Vec::new();
+        for region in self.overlay.range_regions(&key_prefix) {
+            let probe = if region.len() >= key_prefix.len() {
+                region
+            } else {
+                key_prefix.clone()
+            };
+            let route = self.overlay.route(origin, &probe, &mut self.rng)?;
+            self.overlay.charge_response(origin, route.destination);
+            stats.subqueries += 1;
+            let db = &self.local_dbs[route.destination.index()];
+            for b in db.match_pattern_iter(&query.pattern) {
+                stats.bindings_shipped += 1;
+                if let Some(t) = b.get(&query.distinguished) {
+                    results.push(t.clone());
+                }
+            }
+        }
+        // The global sort + dedup collapses replica-group duplicates.
+        results.sort();
+        results.dedup();
+        Ok(QueryOutcome {
+            rows: results
+                .into_iter()
+                .map(|t| one_var_row(&query.distinguished, t))
+                .collect(),
+            stats,
+        })
+    }
+
+    /// [`QueryPlan::Closure`]: the full `SearchFor` dissemination —
+    /// answer the query in its own schema, then in every schema
+    /// reachable through active mappings within the TTL, depth-first
+    /// over a step-wise [`ClosureWalk`].
+    fn exec_closure(
+        &mut self,
+        origin: PeerId,
+        query: &TriplePatternQuery,
+        strategy: Strategy,
+        ttl: usize,
+    ) -> Result<QueryOutcome, SystemError> {
+        // The `SearchFor` contract requires a schema'd predicate (§2.3);
+        // a schema-less pattern is an error here, not a plain lookup.
+        gridvine_semantic::query_schema(query).map_err(|_| SystemError::NoQuerySchema)?;
+        let net = self.sweep_pattern_network(origin, &query.pattern, strategy, ttl)?;
+        let mut stats = ExecStats::default();
+        net.charge(&mut stats);
+        let all: BTreeSet<Term> = net
+            .bindings
+            .iter()
+            .filter_map(|b| b.get(&query.distinguished).cloned())
+            .collect();
+        Ok(QueryOutcome {
+            rows: all
+                .into_iter()
+                .map(|t| one_var_row(&query.distinguished, t))
+                .collect(),
+            stats,
+        })
+    }
+
+    /// Resolve a pattern over the mapping network: answer it in its own
+    /// schema, then in every schema reachable through active mappings
+    /// (within the TTL), aggregating bindings. Patterns whose predicate
+    /// is a variable (or does not name a schema) are resolved once,
+    /// without reformulation — there is no schema to translate from.
+    fn sweep_pattern_network(
+        &mut self,
+        origin: PeerId,
+        pattern: &TriplePattern,
+        strategy: Strategy,
+        ttl: usize,
+    ) -> Result<NetSweep, SystemError> {
+        let mut net = NetSweep::default();
+        let Ok((origin_schema, _)) = gridvine_semantic::pattern_schema(pattern) else {
+            // Un-schema'd pattern: a single routed resolution.
+            net.subqueries = 1;
+            net.bindings = self.resolve_pattern_once(origin, pattern)?;
+            return Ok(net);
+        };
+        // The origin pattern is borrowed (`Cow`): the traversal only
+        // clones what a hop actually creates.
+        let mut walk: ClosureWalk<(Cow<'_, TriplePattern>, PeerId)> =
+            ClosureWalk::new(origin_schema, (Cow::Borrowed(pattern), origin));
+        while let Some((schema, (pat, at_peer), depth)) = walk.next_depth_first() {
+            net.subqueries += 1;
+            match self.resolve_pattern_once(at_peer, &pat) {
+                Ok(bindings) => net.bindings.extend(bindings),
+                Err(_) => net.failures += 1,
+            }
+            if depth >= ttl {
+                continue;
+            }
+            let (next_peer, mappings) =
+                self.discover_mappings(origin, at_peer, &schema, strategy)?;
+            for m in mappings {
+                let Some(dir) = m.applicable_from(&schema) else {
+                    continue;
+                };
+                if walk.visited(m.destination(dir)) {
+                    continue;
+                }
+                let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir) else {
+                    continue;
+                };
+                net.reformulations += 1;
+                walk.admit(
+                    m.destination(dir).clone(),
+                    (Cow::Owned(np), next_peer),
+                    depth + 1,
+                );
+            }
+        }
+        net.schemas_visited = walk.visited_count();
+        Ok(net)
+    }
+
+    /// [`QueryPlan::Join`]: disseminate every pattern like a closure and
+    /// aggregate the binding sets in the hash-join engine (§2.3), under
+    /// either join mode.
+    fn exec_join(
+        &mut self,
+        origin: PeerId,
+        query: &ConjunctiveQuery,
+        order: &[usize],
+        strategy: Strategy,
+        mode: JoinMode,
+        ttl: usize,
+    ) -> Result<QueryOutcome, SystemError> {
+        let mut stats = ExecStats::default();
+
+        // The hash-join binding engine (gridvine_rdf::join): solution
+        // rows are term-code vectors over the query's variable slots,
+        // coded against a query-scoped interner (peers materialize terms
+        // into the wire format, so codes must be assigned at the
+        // origin). Joins and dedup compare u64s; terms are materialized
+        // again only for the rows that survive.
+        let vars = VarTable::from_patterns(&query.patterns);
+        let mut interner = TermInterner::new();
+        let mut rows: Vec<Vec<u64>> = vec![vars.empty_row()];
+        match mode {
+            JoinMode::Independent => {
+                // One full network sweep per pattern — in written order,
+                // which the sweep accounting is defined over — then
+                // hash-join the binding sets.
+                let mut sets: Vec<Vec<Vec<u64>>> = Vec::with_capacity(query.patterns.len());
+                for pattern in &query.patterns {
+                    let net = self.sweep_pattern_network(origin, pattern, strategy, ttl)?;
+                    net.charge(&mut stats);
+                    sets.push(
+                        net.bindings
+                            .iter()
+                            .map(|b| interner.encode(b, &vars))
+                            .collect(),
+                    );
+                }
+                for set in sets {
+                    rows = hash_join_rows(&rows, &set);
+                    if rows.is_empty() {
+                        break;
+                    }
+                }
+            }
+            JoinMode::BoundSubstitution => {
+                // The planner's selectivity order: each partial solution
+                // row is substituted into the next pattern before that
+                // subquery is shipped.
+                for &pi in order {
+                    let pattern = &query.patterns[pi];
+                    // Rows agreeing on the pattern's already-bound
+                    // variables produce the same substituted instance —
+                    // group by those codes so each instance is resolved
+                    // once.
+                    let bound_slots: Vec<(usize, &str)> = pattern
+                        .variables()
+                        .iter()
+                        .filter_map(|v| {
+                            let slot = vars.slot(v)?;
+                            (rows[0][slot] != UNBOUND).then_some((slot, *v))
+                        })
+                        .collect();
+                    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (rep row, members)
+                    let mut by_key: HashMap<Vec<u64>, usize> = HashMap::new();
+                    for (i, row) in rows.iter().enumerate() {
+                        let key: Vec<u64> = bound_slots.iter().map(|&(s, _)| row[s]).collect();
+                        match by_key.get(&key) {
+                            Some(&g) => groups[g].1.push(i),
+                            None => {
+                                by_key.insert(key, groups.len());
+                                groups.push((i, vec![i]));
+                            }
+                        }
+                    }
+                    let mut next = Vec::new();
+                    for (rep, members) in groups {
+                        let mut seed = Binding::new();
+                        for &(slot, name) in &bound_slots {
+                            seed.bind(name.to_string(), interner.term(rows[rep][slot]).clone());
+                        }
+                        let sub = pattern.substitute(&seed);
+                        match self.sweep_pattern_network(origin, &sub, strategy, ttl) {
+                            Ok(net) => {
+                                net.charge(&mut stats);
+                                // The substituted instance's matches bind
+                                // only the pattern's remaining variables:
+                                // merge each into every member row.
+                                let fragments: Vec<Vec<u64>> = net
+                                    .bindings
+                                    .iter()
+                                    .map(|b| interner.encode(b, &vars))
+                                    .collect();
+                                for &i in &members {
+                                    let member = std::slice::from_ref(&rows[i]);
+                                    next.extend(hash_join_rows(member, &fragments));
+                                }
+                            }
+                            Err(SystemError::NotRoutable) => {
+                                stats.failures += 1;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    rows = next;
+                    if rows.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // π onto the distinguished variables; dedup on codes before any
+        // term is materialized. `slots` and `proj` share one filtered
+        // name set so a distinguished variable absent from every
+        // pattern is skipped rather than misaligning names.
+        let mut slots: Vec<usize> = Vec::with_capacity(query.distinguished.len());
+        let mut proj = VarTable::new();
+        for d in &query.distinguished {
+            if let Some(s) = vars.slot(d) {
+                slots.push(s);
+                proj.slot_of(d);
+            }
+        }
+        let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+        let mut bindings: Vec<Binding> = Vec::new();
+        for row in &rows {
+            let projected: Vec<u64> = slots.iter().map(|&s| row[s]).collect();
+            if seen.insert(projected.clone()) {
+                bindings.push(interner.decode(&projected, &proj));
+            }
+        }
+        bindings.sort_by_key(|b| b.to_string());
+        Ok(QueryOutcome {
+            rows: bindings,
+            stats,
+        })
+    }
+}

@@ -8,16 +8,19 @@
 //!
 //! The harness builds a P-Grid topology over `n` simulated machines,
 //! preloads triples through the replica-aware stores, then submits a
-//! query workload with Poisson arrivals. Each query routes to
-//! `Hash(routing constant)` through the asynchronous protocol
-//! ([`gridvine_pgrid::proto`]) and the matching results return to the
-//! origin; end-to-end latencies feed a [`Cdf`].
+//! query workload. All three historical drivers — plain lookups,
+//! reformulated dissemination and conjunctive joins — are projections of
+//! **one plan-driven loop**, [`Deployment::run_plans`]: every query is a
+//! logical [`QueryPlan`] whose routed lookups and mapping fetches run
+//! through the asynchronous protocol ([`gridvine_pgrid::proto`]), with
+//! end-to-end latencies feeding a [`Cdf`].
 
 use crate::item::{KeySpace, MediationItem};
+use crate::plan::QueryPlan;
 use gridvine_netsim::rng;
 use gridvine_netsim::{Cdf, Network, NetworkConfig, NodeId, SimDuration, SimTime};
 use gridvine_pgrid::proto::{PGridMsg, PGridNode, Status};
-use gridvine_pgrid::{HashKind, KeyHasher, Topology};
+use gridvine_pgrid::{BitString, HashKind, KeyHasher, Topology};
 use gridvine_rdf::{Binding, ConjunctiveQuery, Triple, TriplePattern, TriplePatternQuery};
 use gridvine_semantic::{Mapping, Schema, SchemaId};
 use rand::Rng;
@@ -59,7 +62,8 @@ impl DeploymentConfig {
     }
 }
 
-/// Result of a query batch run.
+/// Result of a plain single-pattern query batch (a projection of
+/// [`WanBatchReport`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Latency CDF over answered queries.
@@ -74,6 +78,151 @@ pub struct BatchReport {
     pub messages: u64,
     /// Simulated time the batch took.
     pub wall: SimDuration,
+}
+
+/// Result of a reformulated-query batch (a projection of
+/// [`WanBatchReport`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReformulatedBatchReport {
+    /// End-to-end latency CDF over answered queries. A query's latency
+    /// is the longest reformulation chain it waited for: mapping-fetch
+    /// latencies accumulate along the chain, plus the final data lookup.
+    pub latencies: Cdf,
+    pub submitted: usize,
+    /// Queries with ≥ 1 matching result (across all reformulations).
+    pub answered: usize,
+    /// Queries whose predicate named no schema (not disseminated).
+    pub skipped: usize,
+    /// Total schema-key retrieves (mapping discovery).
+    pub mapping_fetches: usize,
+    /// Total data-key retrieves (original + reformulated patterns).
+    pub data_lookups: usize,
+    /// Requests lost to timeouts across the batch.
+    pub timed_out: usize,
+    /// Mean schemas reached per submitted query.
+    pub mean_schemas: f64,
+    /// Total messages the network carried during the batch.
+    pub messages: u64,
+}
+
+/// Result of a conjunctive-query batch (a projection of
+/// [`WanBatchReport`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConjunctiveWanReport {
+    /// End-to-end latency CDF over answered queries: the moment the
+    /// last pattern's last reformulated bindings arrived (the join
+    /// itself is local at the origin and charged as free).
+    pub latencies: Cdf,
+    pub submitted: usize,
+    /// Queries whose joined solution set is non-empty.
+    pub answered: usize,
+    /// Mean solution rows per answered query.
+    pub mean_rows: f64,
+    /// Patterns that could not be routed (no constant).
+    pub unroutable_patterns: usize,
+    pub mapping_fetches: usize,
+    pub data_lookups: usize,
+    pub timed_out: usize,
+    /// Total messages the network carried during the batch.
+    pub messages: u64,
+}
+
+/// Knobs for one plan-driven WAN batch ([`Deployment::run_plans`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WanBatchOptions {
+    /// Reformulation TTL (mapping applications per pattern closure).
+    /// Plain [`QueryPlan::Pattern`] lookups ignore it.
+    pub ttl: usize,
+    /// Poisson arrival process: mean inter-arrival between query
+    /// submissions; `None` submits the whole batch at time zero.
+    pub mean_interarrival: Option<SimDuration>,
+}
+
+/// Everything one plan-driven WAN batch measured. The three legacy
+/// report shapes are projections of this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WanBatchReport {
+    /// End-to-end latency CDF over answered queries (a query's latency
+    /// is its slowest matched chain).
+    pub latencies: Cdf,
+    /// Plans that issued at least one request (or were counted as
+    /// submitted by their shape).
+    pub submitted: usize,
+    /// Queries with results: ≥ 1 match for single-pattern plans, a
+    /// non-empty joined solution set for join plans.
+    pub answered: usize,
+    /// Completed single-pattern queries with no match anywhere.
+    pub not_found: usize,
+    /// Plans not disseminated at all: unroutable [`QueryPlan::Pattern`]s,
+    /// schema-less [`QueryPlan::Closure`]s, and [`QueryPlan::ObjectPrefix`]
+    /// sweeps (the asynchronous protocol has no range retrieve).
+    pub skipped: usize,
+    /// Requests lost to timeouts across the batch.
+    pub timed_out: usize,
+    /// Join-plan patterns that could not be routed (no constant).
+    pub unroutable_patterns: usize,
+    /// Total schema-key retrieves (mapping discovery).
+    pub mapping_fetches: usize,
+    /// Total data-key retrieves (original + reformulated instances).
+    pub data_lookups: usize,
+    /// Mean overlay hops of the initial (own-vocabulary) lookup among
+    /// answered queries that recorded one.
+    pub mean_hops: f64,
+    /// Mean schemas reached per submitted query.
+    pub mean_schemas: f64,
+    /// Mean solution rows per answered join plan.
+    pub mean_rows: f64,
+    /// Total messages the network carried during the batch.
+    pub messages: u64,
+    /// Simulated time the batch took.
+    pub wall: SimDuration,
+}
+
+/// Work attached to one in-flight retrieve of the plan driver.
+enum WanWork {
+    /// `Retrieve(Hash(routing constant))` — answer one (possibly
+    /// reformulated, possibly bound-substituted) pattern instance.
+    Data {
+        query: usize,
+        pattern: usize,
+        pat: TriplePattern,
+        accum: SimDuration,
+        /// The query's own-vocabulary (depth-0) lookup; its hop count
+        /// feeds [`WanBatchReport::mean_hops`].
+        initial: bool,
+    },
+    /// `Retrieve(Hash(schema))` — mapping discovery for one chain.
+    Schema {
+        query: usize,
+        pattern: usize,
+        schema: SchemaId,
+        pat: TriplePattern,
+        accum: SimDuration,
+        depth: usize,
+    },
+}
+
+/// Per-(query, pattern) progress of the plan driver.
+struct WanTrack {
+    visited: BTreeSet<SchemaId>,
+    bindings: Vec<Binding>,
+    max_latency: SimDuration,
+    /// Hop count of the depth-0 lookup, once it completed.
+    hops: Option<u32>,
+    /// Any request of this track timed out.
+    timed_out: bool,
+}
+
+impl WanTrack {
+    fn new() -> WanTrack {
+        WanTrack {
+            visited: BTreeSet::new(),
+            bindings: Vec::new(),
+            max_latency: SimDuration::ZERO,
+            hops: None,
+            timed_out: false,
+        }
+    }
 }
 
 /// GridVine deployed over the discrete-event simulator.
@@ -125,6 +274,11 @@ impl Deployment {
     /// Preload triples directly into the responsible peers' stores
     /// (including replicas), as a completed bulk load would leave them.
     /// Returns the number of (key, triple) placements.
+    ///
+    /// Unlike the synchronous system — whose peers serve queries from
+    /// indexed local databases — the WAN nodes keep bucket stores: the
+    /// asynchronous protocol ships stored values back over the wire, and
+    /// the origin filters them against the pattern.
     pub fn preload(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
         let mut placements = 0;
         let keys: Vec<_> = triples
@@ -149,149 +303,6 @@ impl Deployment {
         placements
     }
 
-    /// Submit a batch of single-pattern queries with exponential
-    /// inter-arrival times from uniformly random origins, run the
-    /// simulation to completion, and collect the latency CDF.
-    ///
-    /// Each query routes to its routing-constant key; the responsible
-    /// peer returns everything stored there and the origin filters with
-    /// the pattern (counted as answered when ≥1 result matches, as the
-    /// paper counts answered queries).
-    pub fn run_queries(&mut self, queries: &[TriplePatternQuery]) -> BatchReport {
-        // Schedule submissions.
-        let mut submit_at = SimTime::ZERO;
-        let rate = 1.0 / self.config.mean_interarrival.as_secs_f64().max(1e-9);
-        let mut expected: BTreeMap<(usize, u64), usize> = BTreeMap::new();
-        let mut skipped = 0usize;
-        let start = self.net.now();
-        let base_messages = self.net.stats().sent;
-
-        for (qi, q) in queries.iter().enumerate() {
-            let Some((_, term)) = q.pattern.routing_constant() else {
-                skipped += 1;
-                continue;
-            };
-            let key = self.keyspace().key_of(term.lexical());
-            let origin = self.rng.gen_range(0..self.config.peers);
-            let gap = rng::exponential(&mut self.rng, rate);
-            submit_at += SimDuration::from_secs_f64(gap);
-            // Advance the simulation to the submission instant, then
-            // inject the query.
-            self.net.run_until(start + (submit_at - SimTime::ZERO));
-            let node_id = NodeId::from_index(origin);
-            let key_clone = key.clone();
-            let req = self.net.invoke(node_id, move |node, ctx| {
-                node.start_retrieve(ctx, key_clone)
-            });
-            expected.insert((origin, req), qi);
-        }
-        // Drain everything (responses + timeouts).
-        self.net.run_until_quiescent();
-
-        // Collect outcomes.
-        let mut latencies = Cdf::new();
-        let mut answered = 0;
-        let mut not_found = 0;
-        let mut timed_out = 0;
-        let mut hops_sum = 0u64;
-        for i in 0..self.config.peers {
-            for o in self.net.node_mut(NodeId::from_index(i)).drain_completed() {
-                let Some(&qi) = expected.get(&(i, o.id)) else {
-                    continue;
-                };
-                let q = &queries[qi];
-                match o.status {
-                    Status::TimedOut => timed_out += 1,
-                    Status::Ok | Status::NotFound => {
-                        // Origin-side filtering with the full pattern.
-                        let hits = o
-                            .values
-                            .iter()
-                            .filter_map(|item| match item {
-                                MediationItem::Triple(t) => q.pattern.match_triple(t),
-                                _ => None,
-                            })
-                            .count();
-                        if hits > 0 {
-                            answered += 1;
-                            hops_sum += o.hops as u64;
-                            latencies.record_duration(o.latency());
-                        } else {
-                            not_found += 1;
-                        }
-                    }
-                }
-            }
-        }
-
-        BatchReport {
-            latencies,
-            submitted: queries.len() - skipped,
-            answered,
-            not_found,
-            timed_out,
-            mean_hops: if answered > 0 {
-                hops_sum as f64 / answered as f64
-            } else {
-                0.0
-            },
-            messages: self.net.stats().sent - base_messages,
-            wall: self.net.now().saturating_since(start),
-        }
-    }
-}
-
-/// Result of a reformulated-query batch over the wide-area simulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ReformulatedBatchReport {
-    /// End-to-end latency CDF over answered queries. A query's latency
-    /// is the longest reformulation chain it waited for: mapping-fetch
-    /// latencies accumulate along the chain, plus the final data lookup.
-    pub latencies: Cdf,
-    pub submitted: usize,
-    /// Queries with ≥ 1 matching result (across all reformulations).
-    pub answered: usize,
-    /// Queries whose predicate named no schema (not disseminated).
-    pub skipped: usize,
-    /// Total schema-key retrieves (mapping discovery).
-    pub mapping_fetches: usize,
-    /// Total data-key retrieves (original + reformulated patterns).
-    pub data_lookups: usize,
-    /// Requests lost to timeouts across the batch.
-    pub timed_out: usize,
-    /// Mean schemas reached per submitted query.
-    pub mean_schemas: f64,
-    /// Total messages the network carried during the batch.
-    pub messages: u64,
-}
-
-/// Work attached to one in-flight retrieve of the reformulation driver.
-enum PendingWork {
-    /// `Retrieve(Hash(schema))` — mapping discovery for one chain.
-    SchemaFetch {
-        query: usize,
-        schema: SchemaId,
-        q: TriplePatternQuery,
-        accum: SimDuration,
-        depth: usize,
-    },
-    /// `Retrieve(Hash(routing constant))` — answer one reformulation.
-    DataLookup {
-        query: usize,
-        q: TriplePatternQuery,
-        accum: SimDuration,
-    },
-}
-
-/// Per-query progress of the reformulation driver.
-struct QueryTrack {
-    origin: usize,
-    visited: BTreeSet<SchemaId>,
-    hits: usize,
-    max_latency: SimDuration,
-}
-
-impl Deployment {
     /// Place schema definitions and mappings at their overlay key
     /// spaces (including replicas), as completed `Update(Schema)` /
     /// `Update(Schema Mapping)` operations would leave them (§2.2, §3).
@@ -301,11 +312,11 @@ impl Deployment {
         mappings: impl IntoIterator<Item = &'m Mapping>,
     ) -> usize {
         let mut placements = 0;
-        let schema_items: Vec<(gridvine_pgrid::BitString, MediationItem)> = schemas
+        let schema_items: Vec<(BitString, MediationItem)> = schemas
             .into_iter()
             .map(|s| (self.keyspace().schema_key(&s), MediationItem::Schema(s)))
             .collect();
-        let mapping_items: Vec<(gridvine_pgrid::BitString, MediationItem)> = mappings
+        let mapping_items: Vec<(BitString, MediationItem)> = mappings
             .into_iter()
             .flat_map(|m| {
                 self.keyspace()
@@ -336,12 +347,12 @@ impl Deployment {
     }
 
     /// Submit a retrieve and register its driver work.
-    fn submit_retrieve(
+    fn submit_wan(
         &mut self,
         origin: usize,
-        key: gridvine_pgrid::BitString,
-        work: PendingWork,
-        pending: &mut BTreeMap<(usize, u64), PendingWork>,
+        key: BitString,
+        work: WanWork,
+        pending: &mut BTreeMap<(usize, u64), WanWork>,
     ) {
         let node = NodeId::from_index(origin);
         let req = self
@@ -350,347 +361,176 @@ impl Deployment {
         pending.insert((origin, req), work);
     }
 
-    /// Disseminate each query through the mapping network over the
-    /// event-driven deployment, iterative strategy (§4): the origin
-    /// fetches the source schema's mappings from the DHT, reformulates
-    /// locally, issues one data lookup per reachable schema, and fetches
-    /// the next schemas' mapping lists to go deeper (up to `ttl`
-    /// mapping applications).
+    /// Drive a batch of logical [`QueryPlan`]s over the event-driven
+    /// deployment — **the** WAN query loop.
+    ///
+    /// Each plan submits from a uniformly random origin (optionally on a
+    /// Poisson arrival process): pattern plans issue one routed data
+    /// lookup; closure plans additionally fetch their schema's mapping
+    /// list and chase reformulations (iterative strategy, §4) up to the
+    /// TTL; join plans disseminate every pattern like a closure and join
+    /// the binding sets locally at the origin once the batch drains.
     ///
     /// Latency accounting is per chain: a reformulated lookup only
     /// starts after every mapping fetch on its chain completed, so its
     /// end-to-end latency is the sum of those fetch latencies plus its
-    /// own; the query's reported latency is the maximum over its chains
-    /// (the moment the last result arrived).
-    pub fn run_reformulated_queries(
-        &mut self,
-        queries: &[TriplePatternQuery],
-        ttl: usize,
-    ) -> ReformulatedBatchReport {
+    /// own; a query's reported latency is the maximum over its matched
+    /// chains (for joins, over all patterns' chains).
+    pub fn run_plans(&mut self, plans: &[QueryPlan], options: &WanBatchOptions) -> WanBatchReport {
+        let start = self.net.now();
         let base_messages = self.net.stats().sent;
-        let mut pending: BTreeMap<(usize, u64), PendingWork> = BTreeMap::new();
-        let mut tracks: Vec<QueryTrack> = Vec::with_capacity(queries.len());
-        let mut skipped = 0usize;
-        let mut mapping_fetches = 0usize;
-        let mut data_lookups = 0usize;
-        let mut timed_out = 0usize;
+        let ttl = options.ttl;
+        let rate = options
+            .mean_interarrival
+            .map(|d| 1.0 / d.as_secs_f64().max(1e-9));
 
-        for (qi, q) in queries.iter().enumerate() {
-            let origin = self.rng.gen_range(0..self.config.peers);
-            let mut track = QueryTrack {
-                origin,
-                visited: BTreeSet::new(),
-                hits: 0,
-                max_latency: SimDuration::ZERO,
-            };
-            let Ok((schema, _)) = gridvine_semantic::query_schema(q) else {
-                skipped += 1;
-                tracks.push(track);
-                continue;
-            };
-            track.visited.insert(schema.clone());
-            // Answer in the query's own vocabulary…
-            if let Some((_, term)) = q.pattern.routing_constant() {
-                let key = self.keyspace().key_of(term.lexical());
-                data_lookups += 1;
-                self.submit_retrieve(
-                    origin,
-                    key,
-                    PendingWork::DataLookup {
-                        query: qi,
-                        q: q.clone(),
-                        accum: SimDuration::ZERO,
-                    },
-                    &mut pending,
-                );
-            }
-            // …and start discovering mappings.
-            if ttl > 0 {
-                let key = self.keyspace().key_of(schema.as_str());
-                mapping_fetches += 1;
-                self.submit_retrieve(
-                    origin,
-                    key,
-                    PendingWork::SchemaFetch {
-                        query: qi,
-                        schema,
-                        q: q.clone(),
-                        accum: SimDuration::ZERO,
-                        depth: 0,
-                    },
-                    &mut pending,
-                );
-            }
-            tracks.push(track);
-        }
-
-        // Drive the phases until no chain has work left.
-        while !pending.is_empty() {
-            self.net.run_until_quiescent();
-            let mut completions: Vec<(usize, gridvine_pgrid::proto::Outcome<MediationItem>)> =
-                Vec::new();
-            for i in 0..self.config.peers {
-                for o in self.net.node_mut(NodeId::from_index(i)).drain_completed() {
-                    completions.push((i, o));
-                }
-            }
-            for (node_i, o) in completions {
-                let Some(work) = pending.remove(&(node_i, o.id)) else {
-                    continue;
-                };
-                if o.status == Status::TimedOut {
-                    timed_out += 1;
-                    continue;
-                }
-                match work {
-                    PendingWork::DataLookup { query, q, accum } => {
-                        let hits = o
-                            .values
-                            .iter()
-                            .filter_map(|item| match item {
-                                MediationItem::Triple(t) => q.pattern.match_triple(t),
-                                _ => None,
-                            })
-                            .count();
-                        if hits > 0 {
-                            let track = &mut tracks[query];
-                            track.hits += hits;
-                            track.max_latency = track.max_latency.max(accum + o.latency());
-                        }
-                    }
-                    PendingWork::SchemaFetch {
-                        query,
-                        schema,
-                        q,
-                        accum,
-                        depth,
-                    } => {
-                        let chain_accum = accum + o.latency();
-                        // Mappings stored at this schema's key space;
-                        // dedupe by id (bidirectional copies).
-                        let mut seen_ids = BTreeSet::new();
-                        let mappings: Vec<Mapping> = o
-                            .values
-                            .iter()
-                            .filter_map(|item| match item {
-                                MediationItem::Mapping { mapping, .. } => {
-                                    seen_ids.insert(mapping.id).then(|| mapping.clone())
-                                }
-                                _ => None,
-                            })
-                            .collect();
-                        for m in mappings {
-                            let Some(dir) = m.applicable_from(&schema) else {
-                                continue;
-                            };
-                            let dest = m.destination(dir).clone();
-                            if tracks[query].visited.contains(&dest) {
-                                continue;
-                            }
-                            let Some(nq) = crate::system::apply_mapping(&q, &m, dir) else {
-                                continue;
-                            };
-                            tracks[query].visited.insert(dest.clone());
-                            let origin = tracks[query].origin;
-                            if let Some((_, term)) = nq.pattern.routing_constant() {
-                                let key = self.keyspace().key_of(term.lexical());
-                                data_lookups += 1;
-                                self.submit_retrieve(
-                                    origin,
-                                    key,
-                                    PendingWork::DataLookup {
-                                        query,
-                                        q: nq.clone(),
-                                        accum: chain_accum,
-                                    },
-                                    &mut pending,
-                                );
-                            }
-                            if depth + 1 < ttl {
-                                let key = self.keyspace().key_of(dest.as_str());
-                                mapping_fetches += 1;
-                                self.submit_retrieve(
-                                    origin,
-                                    key,
-                                    PendingWork::SchemaFetch {
-                                        query,
-                                        schema: dest,
-                                        q: nq,
-                                        accum: chain_accum,
-                                        depth: depth + 1,
-                                    },
-                                    &mut pending,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        let mut latencies = Cdf::new();
-        let mut answered = 0usize;
-        let mut schema_sum = 0usize;
-        for t in &tracks {
-            schema_sum += t.visited.len();
-            if t.hits > 0 {
-                answered += 1;
-                latencies.record_duration(t.max_latency);
-            }
-        }
-        ReformulatedBatchReport {
-            latencies,
-            submitted: queries.len() - skipped,
-            answered,
-            skipped,
-            mapping_fetches,
-            data_lookups,
-            timed_out,
-            mean_schemas: if queries.len() > skipped {
-                schema_sum as f64 / (queries.len() - skipped) as f64
-            } else {
-                0.0
-            },
-            messages: self.net.stats().sent - base_messages,
-        }
-    }
-}
-
-/// Result of a conjunctive-query batch over the wide-area simulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ConjunctiveWanReport {
-    /// End-to-end latency CDF over answered queries: the moment the
-    /// last pattern's last reformulated bindings arrived (the join
-    /// itself is local at the origin and charged as free).
-    pub latencies: Cdf,
-    pub submitted: usize,
-    /// Queries whose joined solution set is non-empty.
-    pub answered: usize,
-    /// Mean solution rows per answered query.
-    pub mean_rows: f64,
-    /// Patterns that could not be routed (no constant).
-    pub unroutable_patterns: usize,
-    pub mapping_fetches: usize,
-    pub data_lookups: usize,
-    pub timed_out: usize,
-    /// Total messages the network carried during the batch.
-    pub messages: u64,
-}
-
-/// Work attached to one in-flight retrieve of the conjunctive driver.
-enum ConjWork {
-    SchemaFetch {
-        query: usize,
-        pattern: usize,
-        schema: SchemaId,
-        pat: TriplePattern,
-        accum: SimDuration,
-        depth: usize,
-    },
-    DataLookup {
-        query: usize,
-        pattern: usize,
-        pat: TriplePattern,
-        accum: SimDuration,
-    },
-}
-
-/// Per-(query, pattern) progress of the conjunctive driver.
-struct PatternTrack {
-    visited: BTreeSet<SchemaId>,
-    bindings: Vec<Binding>,
-    max_latency: SimDuration,
-}
-
-impl Deployment {
-    fn submit_conj_retrieve(
-        &mut self,
-        origin: usize,
-        key: gridvine_pgrid::BitString,
-        work: ConjWork,
-        pending: &mut BTreeMap<(usize, u64), ConjWork>,
-    ) {
-        let node = NodeId::from_index(origin);
-        let req = self
-            .net
-            .invoke(node, move |n, ctx| n.start_retrieve(ctx, key));
-        pending.insert((origin, req), work);
-    }
-
-    /// Resolve conjunctive queries over the event-driven deployment
-    /// (§2.3): every pattern is disseminated through the mapping network
-    /// like [`Deployment::run_reformulated_queries`] (iterative,
-    /// independent join — the origin collects each pattern's bindings
-    /// from all reachable schemas, then joins locally). A query's
-    /// latency is the slowest chain over all of its patterns.
-    pub fn run_conjunctive_queries(
-        &mut self,
-        queries: &[ConjunctiveQuery],
-        ttl: usize,
-    ) -> ConjunctiveWanReport {
-        let base_messages = self.net.stats().sent;
-        let mut pending: BTreeMap<(usize, u64), ConjWork> = BTreeMap::new();
+        let mut pending: BTreeMap<(usize, u64), WanWork> = BTreeMap::new();
+        let mut origins: Vec<usize> = Vec::with_capacity(plans.len());
         // tracks[query][pattern]
-        let mut tracks: Vec<Vec<PatternTrack>> = Vec::with_capacity(queries.len());
-        let mut origins: Vec<usize> = Vec::with_capacity(queries.len());
+        let mut tracks: Vec<Vec<WanTrack>> = Vec::with_capacity(plans.len());
+        let mut skipped_flags: Vec<bool> = vec![false; plans.len()];
+        let mut skipped = 0usize;
         let mut unroutable = 0usize;
         let mut mapping_fetches = 0usize;
         let mut data_lookups = 0usize;
         let mut timed_out = 0usize;
+        let mut submit_at = SimTime::ZERO;
 
-        for (qi, q) in queries.iter().enumerate() {
+        // ---- Submission phase -------------------------------------
+        for (qi, plan) in plans.iter().enumerate() {
             let origin = self.rng.gen_range(0..self.config.peers);
             origins.push(origin);
-            let mut qtracks = Vec::with_capacity(q.patterns.len());
-            for (pi, pat) in q.patterns.iter().enumerate() {
-                let mut track = PatternTrack {
-                    visited: BTreeSet::new(),
-                    bindings: Vec::new(),
-                    max_latency: SimDuration::ZERO,
-                };
-                match pat.routing_constant() {
-                    Some((_, term)) => {
-                        let key = self.keyspace().key_of(term.lexical());
-                        data_lookups += 1;
-                        self.submit_conj_retrieve(
-                            origin,
-                            key,
-                            ConjWork::DataLookup {
-                                query: qi,
-                                pattern: pi,
-                                pat: pat.clone(),
-                                accum: SimDuration::ZERO,
-                            },
-                            &mut pending,
-                        );
+            let mut subs: Vec<(BitString, WanWork)> = Vec::new();
+            let qtracks: Vec<WanTrack> = match plan {
+                QueryPlan::Pattern { query } => {
+                    let track = WanTrack::new();
+                    match query.pattern.routing_constant() {
+                        Some((_, term)) => {
+                            data_lookups += 1;
+                            subs.push((
+                                self.keyspace().key_of(term.lexical()),
+                                WanWork::Data {
+                                    query: qi,
+                                    pattern: 0,
+                                    pat: query.pattern.clone(),
+                                    accum: SimDuration::ZERO,
+                                    initial: true,
+                                },
+                            ));
+                        }
+                        None => {
+                            skipped_flags[qi] = true;
+                            skipped += 1;
+                        }
                     }
-                    None => unroutable += 1,
+                    vec![track]
                 }
-                if ttl > 0 {
-                    if let Ok((schema, _)) = gridvine_semantic::pattern_schema(pat) {
-                        track.visited.insert(schema.clone());
-                        let key = self.keyspace().key_of(schema.as_str());
-                        mapping_fetches += 1;
-                        self.submit_conj_retrieve(
-                            origin,
-                            key,
-                            ConjWork::SchemaFetch {
-                                query: qi,
-                                pattern: pi,
-                                schema,
-                                pat: pat.clone(),
-                                accum: SimDuration::ZERO,
-                                depth: 0,
-                            },
-                            &mut pending,
-                        );
+                QueryPlan::ObjectPrefix { .. } => {
+                    // The asynchronous protocol has no range retrieve;
+                    // prefix sweeps exist only on the synchronous system.
+                    skipped_flags[qi] = true;
+                    skipped += 1;
+                    vec![WanTrack::new()]
+                }
+                QueryPlan::Closure { query } => {
+                    let mut track = WanTrack::new();
+                    match gridvine_semantic::query_schema(query) {
+                        Err(_) => {
+                            skipped_flags[qi] = true;
+                            skipped += 1;
+                        }
+                        Ok((schema, _)) => {
+                            track.visited.insert(schema.clone());
+                            // Answer in the query's own vocabulary…
+                            if let Some((_, term)) = query.pattern.routing_constant() {
+                                data_lookups += 1;
+                                subs.push((
+                                    self.keyspace().key_of(term.lexical()),
+                                    WanWork::Data {
+                                        query: qi,
+                                        pattern: 0,
+                                        pat: query.pattern.clone(),
+                                        accum: SimDuration::ZERO,
+                                        initial: true,
+                                    },
+                                ));
+                            }
+                            // …and start discovering mappings.
+                            if ttl > 0 {
+                                mapping_fetches += 1;
+                                subs.push((
+                                    self.keyspace().key_of(schema.as_str()),
+                                    WanWork::Schema {
+                                        query: qi,
+                                        pattern: 0,
+                                        schema,
+                                        pat: query.pattern.clone(),
+                                        accum: SimDuration::ZERO,
+                                        depth: 0,
+                                    },
+                                ));
+                            }
+                        }
                     }
+                    vec![track]
                 }
-                qtracks.push(track);
-            }
+                QueryPlan::Join { query, .. } => {
+                    let mut qtracks: Vec<WanTrack> =
+                        (0..query.patterns.len()).map(|_| WanTrack::new()).collect();
+                    for (pi, pat) in query.patterns.iter().enumerate() {
+                        match pat.routing_constant() {
+                            Some((_, term)) => {
+                                data_lookups += 1;
+                                subs.push((
+                                    self.keyspace().key_of(term.lexical()),
+                                    WanWork::Data {
+                                        query: qi,
+                                        pattern: pi,
+                                        pat: pat.clone(),
+                                        accum: SimDuration::ZERO,
+                                        initial: true,
+                                    },
+                                ));
+                            }
+                            None => unroutable += 1,
+                        }
+                        if ttl > 0 {
+                            if let Ok((schema, _)) = gridvine_semantic::pattern_schema(pat) {
+                                qtracks[pi].visited.insert(schema.clone());
+                                mapping_fetches += 1;
+                                subs.push((
+                                    self.keyspace().key_of(schema.as_str()),
+                                    WanWork::Schema {
+                                        query: qi,
+                                        pattern: pi,
+                                        schema,
+                                        pat: pat.clone(),
+                                        accum: SimDuration::ZERO,
+                                        depth: 0,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    qtracks
+                }
+            };
             tracks.push(qtracks);
+            if !subs.is_empty() {
+                if let Some(rate) = rate {
+                    // Advance the simulation to the submission instant,
+                    // then inject the query.
+                    let gap = rng::exponential(&mut self.rng, rate);
+                    submit_at += SimDuration::from_secs_f64(gap);
+                    self.net.run_until(start + (submit_at - SimTime::ZERO));
+                }
+                for (key, work) in subs {
+                    self.submit_wan(origin, key, work, &mut pending);
+                }
+            }
         }
 
+        // ---- Drive until no chain has work left -------------------
         while !pending.is_empty() {
             self.net.run_until_quiescent();
             let mut completions: Vec<(usize, gridvine_pgrid::proto::Outcome<MediationItem>)> =
@@ -706,16 +546,21 @@ impl Deployment {
                 };
                 if o.status == Status::TimedOut {
                     timed_out += 1;
+                    let (WanWork::Data { query, pattern, .. }
+                    | WanWork::Schema { query, pattern, .. }) = work;
+                    tracks[query][pattern].timed_out = true;
                     continue;
                 }
                 match work {
-                    ConjWork::DataLookup {
+                    WanWork::Data {
                         query,
                         pattern,
                         pat,
                         accum,
+                        initial,
                     } => {
                         let track = &mut tracks[query][pattern];
+                        // Origin-side filtering with the full pattern.
                         let mut matched = false;
                         for item in &o.values {
                             if let MediationItem::Triple(t) = item {
@@ -728,8 +573,11 @@ impl Deployment {
                         if matched {
                             track.max_latency = track.max_latency.max(accum + o.latency());
                         }
+                        if initial {
+                            track.hops = Some(o.hops);
+                        }
                     }
-                    ConjWork::SchemaFetch {
+                    WanWork::Schema {
                         query,
                         pattern,
                         schema,
@@ -738,6 +586,8 @@ impl Deployment {
                         depth,
                     } => {
                         let chain_accum = accum + o.latency();
+                        // Mappings stored at this schema's key space;
+                        // dedupe by id (bidirectional copies).
                         let mut seen_ids = BTreeSet::new();
                         let mappings: Vec<Mapping> = o
                             .values
@@ -764,27 +614,28 @@ impl Deployment {
                             tracks[query][pattern].visited.insert(dest.clone());
                             let origin = origins[query];
                             if let Some((_, term)) = np.routing_constant() {
-                                let key = self.keyspace().key_of(term.lexical());
                                 data_lookups += 1;
-                                self.submit_conj_retrieve(
+                                let key = self.keyspace().key_of(term.lexical());
+                                self.submit_wan(
                                     origin,
                                     key,
-                                    ConjWork::DataLookup {
+                                    WanWork::Data {
                                         query,
                                         pattern,
                                         pat: np.clone(),
                                         accum: chain_accum,
+                                        initial: false,
                                     },
                                     &mut pending,
                                 );
                             }
                             if depth + 1 < ttl {
-                                let key = self.keyspace().key_of(dest.as_str());
                                 mapping_fetches += 1;
-                                self.submit_conj_retrieve(
+                                let key = self.keyspace().key_of(dest.as_str());
+                                self.submit_wan(
                                     origin,
                                     key,
-                                    ConjWork::SchemaFetch {
+                                    WanWork::Schema {
                                         query,
                                         pattern,
                                         schema: dest,
@@ -801,54 +652,190 @@ impl Deployment {
             }
         }
 
-        // Join locally at each origin.
+        // ---- Aggregate --------------------------------------------
         let mut latencies = Cdf::new();
         let mut answered = 0usize;
+        let mut not_found = 0usize;
+        let mut hops_sum = 0u64;
+        let mut hopped = 0usize;
+        let mut schema_sum = 0usize;
         let mut rows_sum = 0usize;
-        for (qi, q) in queries.iter().enumerate() {
-            let mut rows: Vec<Binding> = vec![Binding::new()];
-            let mut latest = SimDuration::ZERO;
-            for (pi, _) in q.patterns.iter().enumerate() {
-                let track = &tracks[qi][pi];
-                latest = latest.max(track.max_latency);
-                let mut next = Vec::new();
-                for row in &rows {
-                    for b in &track.bindings {
-                        if let Some(j) = row.join(b) {
-                            next.push(j);
+        for (qi, plan) in plans.iter().enumerate() {
+            if skipped_flags[qi] {
+                continue;
+            }
+            match plan {
+                QueryPlan::Pattern { .. }
+                | QueryPlan::ObjectPrefix { .. }
+                | QueryPlan::Closure { .. } => {
+                    let track = &tracks[qi][0];
+                    schema_sum += track.visited.len();
+                    if !track.bindings.is_empty() {
+                        answered += 1;
+                        latencies.record_duration(track.max_latency);
+                        if let Some(h) = track.hops {
+                            hops_sum += h as u64;
+                            hopped += 1;
                         }
+                    } else if !track.timed_out {
+                        not_found += 1;
                     }
                 }
-                rows = next;
-                if rows.is_empty() {
-                    break;
+                QueryPlan::Join { query, .. } => {
+                    // Join locally at the origin.
+                    let mut rows: Vec<Binding> = vec![Binding::new()];
+                    let mut latest = SimDuration::ZERO;
+                    for (pi, _) in query.patterns.iter().enumerate() {
+                        let track = &tracks[qi][pi];
+                        schema_sum += track.visited.len();
+                        latest = latest.max(track.max_latency);
+                        let mut next = Vec::new();
+                        for row in &rows {
+                            for b in &track.bindings {
+                                if let Some(j) = row.join(b) {
+                                    next.push(j);
+                                }
+                            }
+                        }
+                        rows = next;
+                        if rows.is_empty() {
+                            break;
+                        }
+                    }
+                    let vars: Vec<&str> = query.distinguished.iter().map(String::as_str).collect();
+                    let mut projected: Vec<Binding> =
+                        rows.into_iter().map(|b| b.project(&vars)).collect();
+                    projected.sort_by_key(|b| b.to_string());
+                    projected.dedup();
+                    if !projected.is_empty() {
+                        answered += 1;
+                        rows_sum += projected.len();
+                        latencies.record_duration(latest);
+                    }
                 }
-            }
-            let vars: Vec<&str> = q.distinguished.iter().map(String::as_str).collect();
-            let mut projected: Vec<Binding> = rows.into_iter().map(|b| b.project(&vars)).collect();
-            projected.sort_by_key(|b| b.to_string());
-            projected.dedup();
-            if !projected.is_empty() {
-                answered += 1;
-                rows_sum += projected.len();
-                latencies.record_duration(latest);
             }
         }
 
-        ConjunctiveWanReport {
+        let submitted = plans.len() - skipped;
+        WanBatchReport {
             latencies,
-            submitted: queries.len(),
+            submitted,
             answered,
+            not_found,
+            skipped,
+            timed_out,
+            unroutable_patterns: unroutable,
+            mapping_fetches,
+            data_lookups,
+            mean_hops: if hopped > 0 {
+                hops_sum as f64 / hopped as f64
+            } else {
+                0.0
+            },
+            mean_schemas: if submitted > 0 {
+                schema_sum as f64 / submitted as f64
+            } else {
+                0.0
+            },
             mean_rows: if answered > 0 {
                 rows_sum as f64 / answered as f64
             } else {
                 0.0
             },
-            unroutable_patterns: unroutable,
-            mapping_fetches,
-            data_lookups,
-            timed_out,
             messages: self.net.stats().sent - base_messages,
+            wall: self.net.now().saturating_since(start),
+        }
+    }
+
+    /// Submit a batch of plain single-pattern lookups with exponential
+    /// inter-arrival times from uniformly random origins (the §2.3
+    /// latency experiment): [`QueryPlan::pattern`] per query, counted
+    /// as answered when ≥1 result matches, as the paper counts answered
+    /// queries. A thin projection of [`Deployment::run_plans`].
+    pub fn run_queries(&mut self, queries: &[TriplePatternQuery]) -> BatchReport {
+        let plans: Vec<QueryPlan> = queries.iter().cloned().map(QueryPlan::pattern).collect();
+        let rep = self.run_plans(
+            &plans,
+            &WanBatchOptions {
+                ttl: 0,
+                mean_interarrival: Some(self.config.mean_interarrival),
+            },
+        );
+        BatchReport {
+            latencies: rep.latencies,
+            submitted: rep.submitted,
+            answered: rep.answered,
+            not_found: rep.not_found,
+            timed_out: rep.timed_out,
+            mean_hops: rep.mean_hops,
+            messages: rep.messages,
+            wall: rep.wall,
+        }
+    }
+
+    /// Disseminate each query through the mapping network over the
+    /// event-driven deployment, iterative strategy (§4):
+    /// [`QueryPlan::search`] per query. A thin projection of
+    /// [`Deployment::run_plans`].
+    pub fn run_reformulated_queries(
+        &mut self,
+        queries: &[TriplePatternQuery],
+        ttl: usize,
+    ) -> ReformulatedBatchReport {
+        let plans: Vec<QueryPlan> = queries.iter().cloned().map(QueryPlan::search).collect();
+        let rep = self.run_plans(
+            &plans,
+            &WanBatchOptions {
+                ttl,
+                mean_interarrival: None,
+            },
+        );
+        ReformulatedBatchReport {
+            latencies: rep.latencies,
+            submitted: rep.submitted,
+            answered: rep.answered,
+            skipped: rep.skipped,
+            mapping_fetches: rep.mapping_fetches,
+            data_lookups: rep.data_lookups,
+            timed_out: rep.timed_out,
+            mean_schemas: rep.mean_schemas,
+            messages: rep.messages,
+        }
+    }
+
+    /// Resolve conjunctive queries over the event-driven deployment
+    /// (§2.3): [`QueryPlan::conjunctive`] per query — every pattern is
+    /// disseminated through the mapping network (iterative, independent
+    /// join: the origin collects each pattern's bindings from all
+    /// reachable schemas, then joins locally). A thin projection of
+    /// [`Deployment::run_plans`].
+    pub fn run_conjunctive_queries(
+        &mut self,
+        queries: &[ConjunctiveQuery],
+        ttl: usize,
+    ) -> ConjunctiveWanReport {
+        let plans: Vec<QueryPlan> = queries
+            .iter()
+            .cloned()
+            .map(QueryPlan::conjunctive)
+            .collect();
+        let rep = self.run_plans(
+            &plans,
+            &WanBatchOptions {
+                ttl,
+                mean_interarrival: None,
+            },
+        );
+        ConjunctiveWanReport {
+            latencies: rep.latencies,
+            submitted: queries.len(),
+            answered: rep.answered,
+            mean_rows: rep.mean_rows,
+            unroutable_patterns: rep.unroutable_patterns,
+            mapping_fetches: rep.mapping_fetches,
+            data_lookups: rep.data_lookups,
+            timed_out: rep.timed_out,
+            messages: rep.messages,
         }
     }
 }
@@ -925,6 +912,32 @@ mod tests {
         let report = d.run_queries(&[q]);
         // EMBL#Organism data exists in every small workload.
         assert_eq!(report.answered, 1, "{report:?}");
+    }
+
+    #[test]
+    fn object_prefix_plans_are_skipped_on_the_wan() {
+        // The asynchronous protocol has no range retrieve; the plan
+        // driver reports the sweep as skipped rather than mis-routing.
+        let (mut d, _) = small_deployment(12);
+        let q = TriplePatternQuery::new(
+            "x",
+            gridvine_rdf::TriplePattern::new(
+                gridvine_rdf::PatternTerm::var("x"),
+                gridvine_rdf::PatternTerm::var("p"),
+                gridvine_rdf::PatternTerm::constant(gridvine_rdf::Term::literal("Aspergillus%")),
+            ),
+        )
+        .unwrap();
+        let rep = d.run_plans(
+            &[QueryPlan::object_prefix(q)],
+            &WanBatchOptions {
+                ttl: 0,
+                mean_interarrival: None,
+            },
+        );
+        assert_eq!(rep.skipped, 1);
+        assert_eq!(rep.submitted, 0);
+        assert_eq!(rep.messages, 0);
     }
 
     /// Wire a deployment with a manual mapping chain over the workload
@@ -1025,8 +1038,9 @@ mod tests {
 
     #[test]
     fn conjunctive_wan_agrees_with_synchronous_system() {
-        // The WAN driver and the synchronous system resolve the same
+        // The WAN driver and the synchronous executor resolve the same
         // query over the same corpus + chain: identical solution rows.
+        use crate::exec::QueryOptions;
         use crate::system::{GridVineConfig, GridVineSystem, Strategy};
         use crate::JoinMode;
         let (mut d, w) = chained_deployment(11);
@@ -1063,18 +1077,24 @@ mod tests {
             }
         }
         let sync = sys
-            .search_conjunctive(p0, &g.query, Strategy::Iterative, JoinMode::Independent)
+            .execute(
+                p0,
+                &QueryPlan::conjunctive(g.query.clone()),
+                &QueryOptions::new()
+                    .strategy(Strategy::Iterative)
+                    .join_mode(JoinMode::Independent),
+            )
             .unwrap();
         let wan = d.run_conjunctive_queries(std::slice::from_ref(&g.query), 10);
         // Row multisets are not directly exposed by the WAN report; the
         // answered flag and row count must agree.
-        assert_eq!(wan.answered == 1, !sync.bindings.is_empty(), "{}", g.query);
+        assert_eq!(wan.answered == 1, !sync.rows.is_empty(), "{}", g.query);
         if wan.answered == 1 {
             assert!(
-                (wan.mean_rows - sync.bindings.len() as f64).abs() < 1e-9,
+                (wan.mean_rows - sync.rows.len() as f64).abs() < 1e-9,
                 "rows {} vs {}",
                 wan.mean_rows,
-                sync.bindings.len()
+                sync.rows.len()
             );
         }
     }

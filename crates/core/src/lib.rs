@@ -8,22 +8,31 @@
 //! * [`gridvine_rdf`] and [`gridvine_semantic`] provide the semantic
 //!   mediation layer's data model and self-organizing logic.
 //!
+//! The query surface is a **logical plan → physical executor**
+//! pipeline: a [`plan::QueryPlan`] names the shape of one `SearchFor`
+//! (pattern lookup, object-prefix range sweep, reformulation closure,
+//! conjunctive join) and the one entry point
+//! [`GridVineSystem::execute`](system::GridVineSystem::execute)
+//! evaluates it under [`exec::QueryOptions`] (strategy, join mode, TTL,
+//! result limit), returning a uniform [`exec::QueryOutcome`]. The four
+//! historical entry points (`resolve_pattern`, `resolve_object_prefix`,
+//! `search`, `search_conjunctive`) remain as deprecated shims over
+//! `execute` — see [`exec`] for the migration table.
+//!
 //! Two execution modes cover the paper's experiments:
 //!
 //! * [`system::GridVineSystem`] — the *synchronous* PDMS over the
 //!   logical overlay with exact message accounting: all `Update`
 //!   variants of Figure 1 (`data`, `schema`, `mapping`,
-//!   `connectivity`), `SearchFor` with **iterative** and **recursive**
-//!   reformulation — single-pattern, prefix-range
-//!   ([`GridVineSystem::resolve_object_prefix`](system::GridVineSystem::resolve_object_prefix))
-//!   and conjunctive
-//!   ([`GridVineSystem::search_conjunctive`](system::GridVineSystem::search_conjunctive),
-//!   under two join policies) — and the full self-organization loop
-//!   ([`selforg`]): connectivity monitoring via `Hash(Domain)`,
-//!   automatic mapping creation from shared instance references,
-//!   Bayesian deprecation, and composition repair of deprecated links.
+//!   `connectivity`), plan execution with **iterative** and
+//!   **recursive** reformulation and two conjunctive join policies,
+//!   and the full self-organization loop ([`selforg`]): connectivity
+//!   monitoring via `Hash(Domain)`, automatic mapping creation from
+//!   shared instance references, Bayesian deprecation, and composition
+//!   repair of deprecated links.
 //! * [`harness::Deployment`] — the *asynchronous* deployment over the
 //!   discrete-event simulator, charging wide-area latency per message;
+//!   one plan-driven loop ([`harness::Deployment::run_plans`])
 //!   reproduces the §2.3 latency CDF claim and disseminates
 //!   reformulated and conjunctive queries over the simulated WAN.
 //!
@@ -44,24 +53,30 @@
 //! sys.insert_triple(p, Triple::new("seq:NEN94295-05", "EMP#SystematicName",
 //!     Term::literal("Aspergillus oryzae"))).unwrap();
 //!
-//! let q = TriplePatternQuery::example_aspergillus();
-//! let out = sys.search(PeerId(3), &q, Strategy::Iterative).unwrap();
-//! assert_eq!(out.results.len(), 2); // both records, across schemas
+//! let plan = QueryPlan::search(TriplePatternQuery::example_aspergillus());
+//! let out = sys.execute(PeerId(3), &plan, &QueryOptions::default()).unwrap();
+//! assert_eq!(out.rows.len(), 2); // both records, across schemas
 //! ```
 
 pub mod harness;
 pub mod item;
+pub mod plan;
 pub mod selforg;
 pub mod system;
+
+pub use system::exec;
 
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::harness::{
         BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport,
+        WanBatchOptions, WanBatchReport,
     };
     pub use crate::item::{KeySpace, MediationItem};
+    pub use crate::plan::QueryPlan;
     pub use crate::selforg::{RoundReport, SelfOrgConfig};
     pub use crate::system::conjunctive::{ConjunctiveOutcome, JoinMode};
+    pub use crate::system::exec::{ExecStats, QueryOptions, QueryOutcome};
     pub use crate::system::{
         apply_mapping, GridVineConfig, GridVineSystem, SearchOutcome, Strategy, SystemError,
     };
@@ -69,10 +84,13 @@ pub mod prelude {
 
 pub use harness::{
     BatchReport, ConjunctiveWanReport, Deployment, DeploymentConfig, ReformulatedBatchReport,
+    WanBatchOptions, WanBatchReport,
 };
 pub use item::{KeySpace, MediationItem};
+pub use plan::QueryPlan;
 pub use selforg::{RoundReport, SelfOrgConfig};
 pub use system::conjunctive::{ConjunctiveOutcome, JoinMode};
+pub use system::exec::{ExecStats, QueryOptions, QueryOutcome};
 pub use system::{
     apply_mapping, GridVineConfig, GridVineSystem, SearchOutcome, Strategy, SystemError,
 };

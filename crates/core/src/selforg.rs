@@ -23,7 +23,6 @@
 //! 4. the Bayesian cycle analysis runs and condemned automatic mappings
 //!    are deprecated (their DHT copies refreshed).
 
-use crate::item::MediationItem;
 use crate::system::{GridVineSystem, SystemError};
 use gridvine_pgrid::PeerId;
 use gridvine_semantic::{
@@ -98,31 +97,24 @@ impl GridVineSystem {
         for i in 0..self.topology().len() {
             let peer = PeerId::from_index(i);
             let view = self.overlay().view(peer);
-            // subject → set of schemas seen (only at the subject-indexed
-            // copy, i.e. where the key equals Hash(subject)).
+            // subject → set of schemas seen, read from the peer's
+            // indexed `DB_p` (the only triple storage). A peer holds
+            // copies for all three of a triple's keys; only the
+            // subject-indexed copy votes, i.e. triples whose subject
+            // key this peer is responsible for.
             let mut by_subject: BTreeMap<&str, BTreeSet<SchemaId>> = BTreeMap::new();
-            for (key, item) in self.overlay().store(peer).iter() {
-                let MediationItem::Triple(t) = item else {
+            for t in self.peer_db(peer).iter_refs() {
+                // Predicates that name no schema cannot vote at all.
+                let Some((schema, _)) = Schema::split_predicate_str(t.predicate) else {
                     continue;
                 };
-                // Cheap filters first: the responsibility test is a few
-                // bit operations, and predicates that name no schema
-                // need no key at all — only then pay for hashing the
-                // subject to identify the subject-indexed copy.
-                if !view.is_responsible(key) {
-                    continue;
-                }
-                let Some((schema, _)) = Schema::split_predicate(&t.predicate) else {
-                    continue;
-                };
-                if *key != self.key_of(t.subject.as_str()) {
-                    continue; // predicate- or object-indexed copy
-                }
-                by_subject
-                    .entry(t.subject.as_str())
-                    .or_default()
-                    .insert(schema);
+                by_subject.entry(t.subject).or_default().insert(schema);
             }
+            // One subject hash per *distinct* subject (a subject's facts
+            // share the key): keep only subject-indexed copies, i.e.
+            // subjects whose key this peer is responsible for — the
+            // predicate- and object-indexed copies must not vote.
+            by_subject.retain(|subject, _| view.is_responsible(&self.key_of(subject)));
             for (subject, schemas) in by_subject {
                 let v: Vec<&SchemaId> = schemas.iter().collect();
                 for a in 0..v.len() {
@@ -149,8 +141,12 @@ impl GridVineSystem {
         out
     }
 
-    /// Build a schema's observable profile from the DHT: one
+    /// Build a schema's observable profile from the network: one
     /// `Retrieve(Hash(schema#attr))` per attribute (messages counted).
+    /// The destination peer answers from its indexed `DB_p` — it is
+    /// responsible for the predicate's key, so its posting list holds
+    /// every triple carrying that predicate (and, unlike the old bucket
+    /// read, hash collisions with other values never surface).
     pub fn build_profile(
         &mut self,
         origin: PeerId,
@@ -165,16 +161,14 @@ impl GridVineSystem {
         for attr in attrs {
             let predicate = format!("{schema}#{attr}");
             let key = self.key_of(&predicate);
-            let items = self.retrieve_raw(origin, &key)?;
-            for item in items {
-                let MediationItem::Triple(t) = item else {
-                    continue;
-                };
-                if t.predicate.as_str() != predicate {
-                    continue; // hash collision with another value
-                }
-                if let Some(acc) = t.subject.as_str().strip_prefix("seq:") {
-                    profile.observe(attr.clone(), acc, t.object.lexical());
+            let dest = self.route_retrieve(origin, &key)?;
+            for t in self
+                .peer_db(dest)
+                .select_eq_rows(gridvine_rdf::Position::Predicate, &predicate)
+                .refs()
+            {
+                if let Some(acc) = t.subject.strip_prefix("seq:") {
+                    profile.observe(attr.clone(), acc, t.object);
                 }
             }
         }
@@ -336,6 +330,10 @@ impl GridVineSystem {
 
 #[cfg(test)]
 mod tests {
+    // The legacy shims stay under test here; the equivalence suite
+    // proves they match the executor.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::system::{GridVineConfig, Strategy};
     use gridvine_workload::{recall, QueryConfig, QueryGenerator, Workload, WorkloadConfig};

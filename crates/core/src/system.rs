@@ -27,10 +27,17 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
-// Child module so conjunctive evaluation can reuse the system's private
-// overlay/rng state without widening the public surface.
+// Child modules so conjunctive evaluation and the plan executor can
+// reuse the system's private overlay/rng state without widening the
+// public surface.
 #[path = "conjunctive.rs"]
 pub mod conjunctive;
+#[path = "exec.rs"]
+pub mod exec;
+
+use exec::{QueryOptions, QueryOutcome};
+
+use crate::plan::QueryPlan;
 
 /// System-wide configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -135,12 +142,12 @@ pub struct GridVineSystem {
     /// destination-side resolution evaluates these indexed stores
     /// instead of scanning (and cloning) the overlay's key buckets.
     ///
-    /// Triples are currently stored twice per responsible peer — the
-    /// overlay bucket keeps its `MediationItem::Triple` copy (the
-    /// self-organization matcher and the direct-overlay tests read
-    /// buckets) alongside the indexed row here. Serving those readers
-    /// from `DB_p` and dropping bucket triples is a tracked ROADMAP
-    /// item; the interned columns make the `DB_p` side the cheap half.
+    /// This is the **only** triple storage: overlay buckets hold no
+    /// `MediationItem::Triple` copies (they keep schemas, mappings and
+    /// connectivity records). Triple placement still routes through the
+    /// overlay with full `Update` message accounting
+    /// ([`Overlay::update_placement`]); the self-organization matcher
+    /// reads these stores too, so per-peer triple memory is paid once.
     local_dbs: Vec<TripleStore>,
     /// Process-wide string pool shared by all peer databases: each
     /// distinct lexical is stored once no matter how many peers'
@@ -245,22 +252,20 @@ impl GridVineSystem {
 
     /// `Update(t)` — index the triple under subject, predicate and
     /// object keys (three overlay updates). Every peer that receives a
-    /// copy (destination + replicas) also indexes it in its local
-    /// database `DB_p`, which is what destination-side resolution
-    /// evaluates; the lexicals are canonicalized through the shared
-    /// lexicon first so all peer databases share one buffer per
-    /// distinct string.
+    /// copy (destination + replicas) indexes it in its local database
+    /// `DB_p`, which is what destination-side resolution evaluates; the
+    /// lexicals are canonicalized through the shared lexicon first so
+    /// all peer databases share one buffer per distinct string.
+    ///
+    /// The routing and replica-propagation messages are charged exactly
+    /// as a bucket-storing `Update` would ([`Overlay::update_placement`]),
+    /// but no `MediationItem::Triple` is written into overlay buckets —
+    /// `DB_p` is the single per-peer copy.
     pub fn insert_triple(&mut self, origin: PeerId, t: Triple) -> Result<(), SystemError> {
         let t = self.lexicon.canonical_triple(&t);
         let keys = self.keyspace().triple_keys(&t);
         for key in keys {
-            let route = self.overlay.update(
-                origin,
-                UpdateOp::Insert,
-                key,
-                MediationItem::Triple(t.clone()),
-                &mut self.rng,
-            )?;
+            let route = self.overlay.update_placement(origin, &key, &mut self.rng)?;
             let dest = route.destination;
             self.local_dbs[dest.index()].insert(t.clone());
             for r in self.overlay.view(dest).replicas.clone() {
@@ -394,15 +399,18 @@ impl GridVineSystem {
         &mut self.registry
     }
 
-    /// Internal: retrieve with the system RNG (splits the borrow for
-    /// callers that cannot hold `&mut self` twice).
-    pub(crate) fn retrieve_raw(
+    /// Internal: route a `Retrieve(key)` and charge its response
+    /// message, returning the destination peer whose local state
+    /// answers it (callers evaluate that peer's `DB_p` themselves; the
+    /// accounting is exactly a bucket `Retrieve`'s).
+    pub(crate) fn route_retrieve(
         &mut self,
         origin: PeerId,
         key: &BitString,
-    ) -> Result<Vec<MediationItem>, SystemError> {
-        let (items, _route) = self.overlay.retrieve(origin, key, &mut self.rng)?;
-        Ok(items)
+    ) -> Result<PeerId, SystemError> {
+        let route = self.overlay.route(origin, key, &mut self.rng)?;
+        self.overlay.charge_response(origin, route.destination);
+        Ok(route.destination)
     }
 
     pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
@@ -485,40 +493,45 @@ impl GridVineSystem {
     }
 
     // -----------------------------------------------------------------
-    // SearchFor (§2.3, §3, §4)
+    // SearchFor (§2.3, §3, §4) — legacy shims over the plan executor.
+    //
+    // The four historical entry points below are thin adapters kept for
+    // one release: each builds the corresponding logical
+    // [`QueryPlan`] and runs it through [`GridVineSystem::execute`]
+    // (see `gridvine_core::exec` for the migration table). Results and
+    // message accounting are identical to calling `execute` directly.
     // -----------------------------------------------------------------
 
     /// Resolve a single (already reformulated) triple-pattern query:
     /// route to `Hash(routing constant)` and evaluate the destination's
     /// local database, as in §2.3.
     ///
-    /// The destination answers from its indexed `DB_p`
-    /// ([`TripleStore::match_pattern`], which picks the most selective
-    /// access path) instead of the old linear match over a cloned
-    /// overlay bucket; the response message is charged exactly as a
-    /// `Retrieve` would, so accounting is unchanged. The results are
-    /// identical too: every triple matching the pattern carries the
-    /// routing constant, so it was indexed under this key at this peer.
+    /// ```
+    /// # use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan};
+    /// # use gridvine_pgrid::PeerId;
+    /// # use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+    /// # let mut sys = GridVineSystem::new(GridVineConfig::default());
+    /// # sys.insert_triple(PeerId(0), Triple::new("seq:A78712", "EMBL#Organism",
+    /// #     Term::literal("Aspergillus niger"))).unwrap();
+    /// // Migration: resolve_pattern(p, &q) becomes
+    /// let q = TriplePatternQuery::example_aspergillus();
+    /// let out = sys.execute(PeerId(7), &QueryPlan::pattern(q.clone()),
+    ///     &QueryOptions::default()).unwrap();
+    /// let (results, messages) = (out.terms(&q.distinguished), out.stats.messages);
+    /// # assert_eq!(results.len(), 1);
+    /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GridVineSystem::execute with QueryPlan::pattern (see gridvine_core::exec)"
+    )]
     pub fn resolve_pattern(
         &mut self,
         origin: PeerId,
         query: &TriplePatternQuery,
     ) -> Result<(Vec<Term>, u64), SystemError> {
-        let before = self.overlay.messages_sent();
-        let Some((_, term)) = query.pattern.routing_constant() else {
-            return Err(SystemError::NotRoutable);
-        };
-        let key = self.key_of(term.lexical());
-        let route = self.overlay.route(origin, &key, &mut self.rng)?;
-        self.overlay.charge_response(origin, route.destination);
-        let mut results: Vec<Term> = self.local_dbs[route.destination.index()]
-            .match_pattern(&query.pattern)
-            .into_iter()
-            .filter_map(|b| b.get(&query.distinguished).cloned())
-            .collect();
-        results.sort();
-        results.dedup();
-        Ok((results, self.overlay.messages_sent() - before))
+        let plan = QueryPlan::pattern(query.clone());
+        let out = self.execute(origin, &plan, &QueryOptions::default())?;
+        Ok((out.terms(&query.distinguished), out.stats.messages))
     }
 
     /// Range search: resolve a triple pattern whose object constraint is
@@ -527,52 +540,18 @@ impl GridVineSystem {
     /// every peer group in that region. This is the operation the
     /// order-preserving hash exists for (§2.2); it is unavailable under
     /// [`HashKind::Uniform`], which scatters the range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GridVineSystem::execute with QueryPlan::object_prefix (see gridvine_core::exec)"
+    )]
     pub fn resolve_object_prefix(
         &mut self,
         origin: PeerId,
         query: &TriplePatternQuery,
     ) -> Result<(Vec<Term>, u64), SystemError> {
-        if self.config.hash != HashKind::OrderPreserving {
-            return Err(SystemError::NotRoutable);
-        }
-        let Some(object) = query.pattern.object.as_const() else {
-            return Err(SystemError::NotRoutable);
-        };
-        let lex = object.lexical();
-        // Require a `prefix%` shape with a non-empty fixed part.
-        let Some(prefix) = lex.strip_suffix('%') else {
-            return Err(SystemError::NotRoutable);
-        };
-        if prefix.is_empty() || prefix.contains('%') {
-            return Err(SystemError::NotRoutable);
-        }
-        let before = self.overlay.messages_sent();
-        let key_prefix = self.keyspace().prefix_key(prefix);
-        // Visit every peer region intersecting the prefix (the same
-        // regions, routes and response charges as `retrieve_range`),
-        // but evaluate each destination's indexed `DB_p` — the object
-        // prefix runs as a sorted-key range scan there — instead of
-        // cloning bucket contents back. The global sort+dedup collapses
-        // the replica-group duplicates exactly as before.
-        let mut results: Vec<Term> = Vec::new();
-        for region in self.overlay.range_regions(&key_prefix) {
-            let probe = if region.len() >= key_prefix.len() {
-                region
-            } else {
-                key_prefix.clone()
-            };
-            let route = self.overlay.route(origin, &probe, &mut self.rng)?;
-            self.overlay.charge_response(origin, route.destination);
-            results.extend(
-                self.local_dbs[route.destination.index()]
-                    .match_pattern(&query.pattern)
-                    .into_iter()
-                    .filter_map(|b| b.get(&query.distinguished).cloned()),
-            );
-        }
-        results.sort();
-        results.dedup();
-        Ok((results, self.overlay.messages_sent() - before))
+        let plan = QueryPlan::object_prefix(query.clone());
+        let out = self.execute(origin, &plan, &QueryOptions::default())?;
+        Ok((out.terms(&query.distinguished), out.stats.messages))
     }
 
     /// `SearchFor(query)` with reformulation across the mapping network.
@@ -587,98 +566,33 @@ impl GridVineSystem {
     /// the query directly to the neighbouring schemas' key-space peers.
     /// Mapping lists never travel back to the origin; one extra
     /// result-response message per schema returns to the origin.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GridVineSystem::execute with QueryPlan::search (see gridvine_core::exec)"
+    )]
     pub fn search(
         &mut self,
         origin: PeerId,
         query: &TriplePatternQuery,
         strategy: Strategy,
     ) -> Result<SearchOutcome, SystemError> {
-        let before_messages = self.overlay.messages_sent();
-        let (origin_schema, _) =
-            gridvine_semantic::query_schema(query).map_err(|_| SystemError::NoQuerySchema)?;
+        let plan = QueryPlan::search(query.clone());
+        let out = self.execute(origin, &plan, &QueryOptions::new().strategy(strategy))?;
+        Ok(SearchOutcome::from_outcome(out, &query.distinguished))
+    }
+}
 
-        let mut outcome = SearchOutcome::default();
-        let mut visited: BTreeSet<SchemaId> = BTreeSet::new();
-        // Queue of (schema, query, issuing peer, depth).
-        let mut frontier: Vec<(SchemaId, TriplePatternQuery, PeerId, usize)> = Vec::new();
-        visited.insert(origin_schema.clone());
-        frontier.push((origin_schema, query.clone(), origin, 0));
-        let mut all_results: BTreeSet<Term> = BTreeSet::new();
-
-        while let Some((schema, q, at_peer, depth)) = frontier.pop() {
-            // Answer the query in this schema's vocabulary.
-            match self.resolve_pattern(at_peer, &q) {
-                Ok((results, _)) => {
-                    all_results.extend(results);
-                }
-                Err(SystemError::NotRoutable) | Err(SystemError::NoQuerySchema) => {
-                    outcome.failures += 1;
-                }
-                Err(SystemError::Route(_)) => {
-                    outcome.failures += 1;
-                }
-            }
-            if depth >= self.config.ttl {
-                continue;
-            }
-            // Discover this schema's mappings.
-            let schema_key = self.key_of(schema.as_str());
-            let (next_peer, mappings) = match strategy {
-                Strategy::Iterative => {
-                    // Origin fetches the mapping list and keeps driving.
-                    let maps = self.mappings_at_schema(origin, &schema)?;
-                    (origin, maps)
-                }
-                Strategy::Recursive => {
-                    // The query travels to the schema-key peer, which
-                    // reads its local mapping list for free and will
-                    // forward onward; results return straight to the
-                    // origin (one message charged at resolve time).
-                    let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
-                    let items = self
-                        .overlay
-                        .store(route.destination)
-                        .get(&schema_key)
-                        .to_vec();
-                    let maps = items
-                        .into_iter()
-                        .filter_map(|i| match i {
-                            MediationItem::Mapping { mapping, .. } => Some(mapping),
-                            _ => None,
-                        })
-                        .collect();
-                    (route.destination, maps)
-                }
-            };
-            // One reformulation step per applicable mapping.
-            for m in mappings {
-                let Some(dir) = m.applicable_from(&schema) else {
-                    continue;
-                };
-                let dest = m.destination(dir).clone();
-                if visited.contains(&dest) {
-                    continue;
-                }
-                let Some(nq) = apply_mapping(&q, &m, dir) else {
-                    continue;
-                };
-                visited.insert(dest.clone());
-                outcome.reformulations += 1;
-                frontier.push((dest, nq, next_peer, depth + 1));
-            }
+impl SearchOutcome {
+    /// Adapt a unified [`QueryOutcome`] to the legacy shape.
+    fn from_outcome(out: QueryOutcome, distinguished: &str) -> SearchOutcome {
+        SearchOutcome {
+            accessions: out.accessions(),
+            results: out.terms(distinguished),
+            messages: out.stats.messages,
+            reformulations: out.stats.reformulations,
+            schemas_visited: out.stats.schemas_visited,
+            failures: out.stats.failures,
         }
-
-        outcome.schemas_visited = visited.len();
-        outcome.results = all_results.into_iter().collect();
-        outcome.accessions = outcome
-            .results
-            .iter()
-            .filter_map(|t| t.as_uri())
-            .filter_map(|u| u.as_str().strip_prefix("seq:"))
-            .map(|s| s.to_string())
-            .collect();
-        outcome.messages = self.overlay.messages_sent() - before_messages;
-        Ok(outcome)
     }
 }
 
@@ -705,6 +619,10 @@ pub fn apply_mapping(
 
 #[cfg(test)]
 mod tests {
+    // The legacy shims stay under test here; the equivalence suite
+    // proves they match the executor.
+    #![allow(deprecated)]
+
     use super::*;
     use gridvine_rdf::{PatternTerm, TriplePattern};
 

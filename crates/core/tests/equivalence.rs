@@ -1,0 +1,312 @@
+//! Equivalence: the legacy `SearchFor` entry points are thin shims over
+//! [`GridVineSystem::execute`], so calling either surface must produce
+//! **identical results and identical message counts** — across
+//! strategies and join modes, on randomized federations.
+//!
+//! Each property builds two identically-seeded systems, drives one
+//! through a legacy shim and the other through `execute` with the
+//! corresponding plan, and asserts every observable agrees. Repeated
+//! calls then verify the two systems' RNG/overlay state evolved in
+//! lock-step (a divergence anywhere would cascade into the second
+//! call's message counts).
+
+#![allow(deprecated)]
+
+use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{
+    ConjunctiveQuery, PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery,
+};
+use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+use proptest::prelude::*;
+
+const PEERS: usize = 32;
+const VALUES: [&str; 5] = [
+    "Aspergillus niger",
+    "Aspergillus oryzae",
+    "Escherichia coli",
+    "Penicillium notatum",
+    "Saccharomyces cerevisiae",
+];
+
+/// A randomized federation: `schemas` schemas with two attributes each,
+/// a (partially present) chain of equivalence mappings, and `facts`
+/// organism + length triples scattered over entities and schemas.
+fn build(seed: u64, schemas: usize, links: &[bool], facts: &[(u8, u8, u8)]) -> GridVineSystem {
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: PEERS,
+        seed,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for i in 0..schemas {
+        sys.insert_schema(
+            p0,
+            Schema::new(
+                format!("S{i}").as_str(),
+                [format!("organism{i}"), format!("length{i}")],
+            ),
+        )
+        .unwrap();
+    }
+    for i in 0..schemas - 1 {
+        if links.get(i).copied().unwrap_or(true) {
+            sys.insert_mapping(
+                p0,
+                format!("S{i}").as_str(),
+                format!("S{}", i + 1).as_str(),
+                MappingKind::Equivalence,
+                Provenance::Manual,
+                vec![
+                    Correspondence::new(format!("organism{i}"), format!("organism{}", i + 1)),
+                    Correspondence::new(format!("length{i}"), format!("length{}", i + 1)),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    for &(e, s, v) in facts {
+        let s = (s as usize) % schemas;
+        let subject = format!("seq:E{:02}", e % 12);
+        let value = VALUES[v as usize % VALUES.len()];
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                subject.as_str(),
+                format!("S{s}#organism{s}").as_str(),
+                Term::literal(value),
+            ),
+        )
+        .unwrap();
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                subject.as_str(),
+                format!("S{s}#length{s}").as_str(),
+                Term::literal(format!("{}", 100 + (v as usize % 7) * 10)),
+            ),
+        )
+        .unwrap();
+    }
+    sys
+}
+
+fn organism_query() -> TriplePatternQuery {
+    TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S0#organism0")),
+            PatternTerm::constant(Term::literal("%Aspergillus%")),
+        ),
+    )
+    .unwrap()
+}
+
+fn organism_length_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        vec!["x".into(), "len".into()],
+        vec![
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("S0#organism0")),
+                PatternTerm::constant(Term::literal("%Aspergillus%")),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::constant(Term::uri("S0#length0")),
+                PatternTerm::var("len"),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `search` ≡ `execute(QueryPlan::search)`: results, accessions and
+    /// every counter, for both strategies, twice in a row.
+    #[test]
+    fn search_shim_equals_execute(
+        seed in 0u64..1000,
+        schemas in 2usize..4,
+        links in proptest::collection::vec(any::<bool>(), 0..3),
+        facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 1..24),
+        origin in 0usize..PEERS,
+        recursive in any::<bool>(),
+    ) {
+        let strategy = if recursive { Strategy::Recursive } else { Strategy::Iterative };
+        let q = organism_query();
+        let mut legacy = build(seed, schemas, &links, &facts);
+        let mut modern = build(seed, schemas, &links, &facts);
+        for round in 0..2 {
+            let at = PeerId::from_index((origin + 7 * round) % PEERS);
+            let a = legacy.search(at, &q, strategy).unwrap();
+            let b = modern
+                .execute(at, &QueryPlan::search(q.clone()),
+                         &QueryOptions::new().strategy(strategy))
+                .unwrap();
+            prop_assert_eq!(&a.results, &b.terms("x"), "round {} results", round);
+            prop_assert_eq!(&a.accessions, &b.accessions(), "round {} accessions", round);
+            prop_assert_eq!(a.messages, b.stats.messages, "round {} messages", round);
+            prop_assert_eq!(a.reformulations, b.stats.reformulations);
+            prop_assert_eq!(a.schemas_visited, b.stats.schemas_visited);
+            prop_assert_eq!(a.failures, b.stats.failures);
+        }
+    }
+
+    /// `search_conjunctive` ≡ `execute(QueryPlan::conjunctive)`:
+    /// bindings and every counter, across strategies and join modes.
+    #[test]
+    fn conjunctive_shim_equals_execute(
+        seed in 0u64..1000,
+        schemas in 2usize..4,
+        links in proptest::collection::vec(any::<bool>(), 0..3),
+        facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 1..20),
+        origin in 0usize..PEERS,
+        recursive in any::<bool>(),
+        bound in any::<bool>(),
+    ) {
+        let strategy = if recursive { Strategy::Recursive } else { Strategy::Iterative };
+        let mode = if bound { JoinMode::BoundSubstitution } else { JoinMode::Independent };
+        let q = organism_length_query();
+        let mut legacy = build(seed, schemas, &links, &facts);
+        let mut modern = build(seed, schemas, &links, &facts);
+        for round in 0..2 {
+            let at = PeerId::from_index((origin + 11 * round) % PEERS);
+            let a = legacy.search_conjunctive(at, &q, strategy, mode).unwrap();
+            let b = modern
+                .execute(at, &QueryPlan::conjunctive(q.clone()),
+                         &QueryOptions::new().strategy(strategy).join_mode(mode))
+                .unwrap();
+            prop_assert_eq!(&a.bindings, &b.rows, "round {} bindings", round);
+            prop_assert_eq!(a.messages, b.stats.messages, "round {} messages", round);
+            prop_assert_eq!(a.subqueries, b.stats.subqueries);
+            prop_assert_eq!(a.reformulations, b.stats.reformulations);
+            prop_assert_eq!(a.schemas_visited, b.stats.schemas_visited);
+            prop_assert_eq!(a.failures, b.stats.failures);
+            prop_assert_eq!(a.bindings_shipped, b.stats.bindings_shipped);
+        }
+    }
+
+    /// `resolve_pattern` ≡ `execute(QueryPlan::pattern)` and
+    /// `resolve_object_prefix` ≡ `execute(QueryPlan::object_prefix)`.
+    #[test]
+    fn resolve_shims_equal_execute(
+        seed in 0u64..1000,
+        schemas in 2usize..4,
+        facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 1..20),
+        origin in 0usize..PEERS,
+    ) {
+        let q = organism_query();
+        let mut legacy = build(seed, schemas, &[], &facts);
+        let mut modern = build(seed, schemas, &[], &facts);
+        let at = PeerId::from_index(origin);
+        let (terms_a, msgs_a) = legacy.resolve_pattern(at, &q).unwrap();
+        let b = modern
+            .execute(at, &QueryPlan::pattern(q.clone()), &QueryOptions::default())
+            .unwrap();
+        prop_assert_eq!(terms_a, b.terms("x"));
+        prop_assert_eq!(msgs_a, b.stats.messages);
+        prop_assert_eq!(b.stats.subqueries, 1);
+
+        let prefix_q = TriplePatternQuery::new(
+            "x",
+            TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::var("p"),
+                PatternTerm::constant(Term::literal("Aspergillus%")),
+            ),
+        )
+        .unwrap();
+        let (terms_a, msgs_a) = legacy.resolve_object_prefix(at, &prefix_q).unwrap();
+        let b = modern
+            .execute(at, &QueryPlan::object_prefix(prefix_q.clone()), &QueryOptions::default())
+            .unwrap();
+        prop_assert_eq!(terms_a, b.terms("x"));
+        prop_assert_eq!(msgs_a, b.stats.messages);
+    }
+}
+
+/// The executor honours its options: a TTL override stops the closure,
+/// and a result limit truncates rows without touching dissemination.
+#[test]
+fn options_ttl_and_limit() {
+    let facts: Vec<(u8, u8, u8)> = (0..12).map(|i| (i, i % 3, i % 5)).collect();
+    let q = organism_query();
+
+    let mut sys = build(42, 3, &[], &facts);
+    let full = sys
+        .execute(
+            PeerId(3),
+            &QueryPlan::search(q.clone()),
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert!(full.stats.reformulations > 0, "chain must reformulate");
+
+    let mut sys = build(42, 3, &[], &facts);
+    let capped = sys
+        .execute(
+            PeerId(3),
+            &QueryPlan::search(q.clone()),
+            &QueryOptions::new().ttl(0),
+        )
+        .unwrap();
+    assert_eq!(capped.stats.reformulations, 0);
+    assert_eq!(capped.stats.schemas_visited, 1);
+
+    let mut sys = build(42, 3, &[], &facts);
+    let limited = sys
+        .execute(
+            PeerId(3),
+            &QueryPlan::search(q.clone()),
+            &QueryOptions::new().limit(1),
+        )
+        .unwrap();
+    assert!(limited.rows.len() <= 1);
+    assert_eq!(
+        limited.stats.messages, full.stats.messages,
+        "a result cap must not change dissemination"
+    );
+    assert_eq!(limited.rows.first(), full.rows.first());
+}
+
+/// `QueryPlan::single` routes each query shape to the executor path the
+/// legacy API required the caller to pick by hand.
+#[test]
+fn auto_planned_queries_execute() {
+    let facts: Vec<(u8, u8, u8)> = (0..10).map(|i| (i, 0, i % 5)).collect();
+    let mut sys = build(7, 2, &[], &facts);
+
+    // Schema'd predicate → closure.
+    let out = sys
+        .execute(
+            PeerId(1),
+            &QueryPlan::single(organism_query()),
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert!(out.stats.schemas_visited >= 1);
+
+    // Prefix-only query → range sweep.
+    let prefix_q = TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::var("p"),
+            PatternTerm::constant(Term::literal("Aspergillus%")),
+        ),
+    )
+    .unwrap();
+    let swept = sys
+        .execute(
+            PeerId(1),
+            &QueryPlan::single(prefix_q),
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert!(!swept.rows.is_empty());
+    assert!(swept.stats.subqueries >= 1);
+}

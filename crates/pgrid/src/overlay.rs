@@ -180,6 +180,25 @@ impl<V: Clone + PartialEq> Overlay<V> {
         Ok(route)
     }
 
+    /// Route an `Update` to its destination and charge the replica
+    /// propagation messages **without storing anything** — for callers
+    /// that maintain the destination-side state themselves (e.g. the
+    /// mediation layer's indexed per-peer databases). The route taken,
+    /// the destination and the message accounting are exactly those of
+    /// [`Overlay::update`]; only the bucket write is elided.
+    pub fn update_placement<R: Rng + ?Sized>(
+        &mut self,
+        origin: PeerId,
+        key: &BitString,
+        rng: &mut R,
+    ) -> Result<Route, RouteError> {
+        let route = self.route(origin, key, rng)?;
+        if self.replicate {
+            self.messages_sent += self.views[route.destination.index()].replicas.len() as u64;
+        }
+        Ok(route)
+    }
+
     /// `Retrieve(key)` issued at `origin`: route and return the values
     /// stored under exactly `key`, plus the route taken (the response
     /// message back to the originator is charged too).
@@ -386,6 +405,30 @@ mod tests {
         for i in holders {
             assert_eq!(o.store(PeerId::from_index(i)).get(&key), &["x"]);
         }
+    }
+
+    #[test]
+    fn update_placement_charges_like_update_but_stores_nothing() {
+        // Two identically seeded overlays: `update` and
+        // `update_placement` must consume identical messages and land on
+        // the same destination; only the bucket write differs.
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let topo = Topology::balanced(24, 2, &mut rng());
+        let mut stored: Overlay<&str> = Overlay::new(&topo);
+        let mut routed: Overlay<&str> = Overlay::new(&topo);
+        let h = OrderPreservingHash::default();
+        for word in ["alpha", "beta", "gamma", "delta"] {
+            let key = h.hash(word, 24);
+            let a = stored
+                .update(PeerId(5), UpdateOp::Insert, key.clone(), "x", &mut r1)
+                .unwrap();
+            let b = routed.update_placement(PeerId(5), &key, &mut r2).unwrap();
+            assert_eq!(a.destination, b.destination);
+        }
+        assert_eq!(stored.messages_sent(), routed.messages_sent());
+        assert!((0..24).all(|i| routed.store(PeerId::from_index(i)).is_empty()));
+        assert!((0..24).any(|i| !stored.store(PeerId::from_index(i)).is_empty()));
     }
 
     #[test]

@@ -166,43 +166,80 @@ fn merge_rows(left: &[u64], right: &[u64]) -> Vec<u64> {
         .collect()
 }
 
+/// A built (inner) side of a hash join, ready to be probed with rows
+/// streamed one at a time — e.g. straight off a
+/// [`crate::TripleStore::match_codes_iter`] cursor — without ever
+/// collecting the probe side.
+///
+/// The inner rows are hashed once on the slots they share with the
+/// probe side's bound-slot layout; [`HashJoiner::probe`] then emits the
+/// merged rows a single probe row joins with, in inner insertion order.
+/// With no shared slots every probe row merges with every inner row
+/// (the cartesian product binding merge semantics require).
+pub struct HashJoiner<'r> {
+    inner: &'r [Vec<u64>],
+    shared: Vec<usize>,
+    /// Key (shared-slot codes) → inner row indexes, insertion-ordered.
+    /// Unused (empty) when `shared` is empty.
+    table: FxHashMap<Vec<u64>, Vec<usize>>,
+}
+
+impl<'r> HashJoiner<'r> {
+    /// Hash `inner` on the slots it shares with a probe side whose
+    /// bound slots are `probe_bound`.
+    pub fn new(inner: &'r [Vec<u64>], probe_bound: &[usize]) -> HashJoiner<'r> {
+        let shared: Vec<usize> = bound_slots(inner)
+            .into_iter()
+            .filter(|s| probe_bound.contains(s))
+            .collect();
+        let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+        if !shared.is_empty() {
+            table.reserve(inner.len());
+            for (i, r) in inner.iter().enumerate() {
+                let key: Vec<u64> = shared.iter().map(|&s| r[s]).collect();
+                table.entry(key).or_default().push(i);
+            }
+        }
+        HashJoiner {
+            inner,
+            shared,
+            table,
+        }
+    }
+
+    /// Append to `out` the merged rows `probe` joins with.
+    pub fn probe(&self, probe: &[u64], out: &mut Vec<Vec<u64>>) {
+        if self.shared.is_empty() {
+            for r in self.inner {
+                out.push(merge_rows(probe, r));
+            }
+            return;
+        }
+        let key: Vec<u64> = self.shared.iter().map(|&s| probe[s]).collect();
+        if let Some(matches) = self.table.get(&key) {
+            for &i in matches {
+                out.push(merge_rows(probe, &self.inner[i]));
+            }
+        }
+    }
+}
+
 /// Hash-join two row sets on their shared bound slots.
 ///
 /// Produces exactly the rows the nested loop over [`Binding::join`]
 /// would (same multiset, same order: left-major, then right insertion
 /// order), at O(|left| + |right| + |output|). With no shared slots this
 /// degenerates to the cartesian product, as binding merge semantics
-/// require.
+/// require. Implemented as a [`HashJoiner`] built over `right` and
+/// probed with each `left` row in order.
 pub fn hash_join_rows(left: &[Vec<u64>], right: &[Vec<u64>]) -> Vec<Vec<u64>> {
     if left.is_empty() || right.is_empty() {
         return Vec::new();
     }
-    let lb = bound_slots(left);
-    let rb = bound_slots(right);
-    let shared: Vec<usize> = lb.iter().copied().filter(|s| rb.contains(s)).collect();
-
+    let joiner = HashJoiner::new(right, &bound_slots(left));
     let mut out = Vec::new();
-    if shared.is_empty() {
-        for l in left {
-            for r in right {
-                out.push(merge_rows(l, r));
-            }
-        }
-        return out;
-    }
-
-    let key_of = |row: &[u64]| -> Vec<u64> { shared.iter().map(|&s| row[s]).collect() };
-    let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
-    table.reserve(right.len());
-    for (i, r) in right.iter().enumerate() {
-        table.entry(key_of(r)).or_default().push(i);
-    }
     for l in left {
-        if let Some(matches) = table.get(&key_of(l)) {
-            for &i in matches {
-                out.push(merge_rows(l, &right[i]));
-            }
-        }
+        joiner.probe(l, &mut out);
     }
     out
 }

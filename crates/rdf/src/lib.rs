@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::guid::Guid;
     pub use crate::parser::{parse_query, parse_single, ParseError};
     pub use crate::query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
-    pub use crate::store::{RowCursor, TripleRef, TripleStore};
+    pub use crate::store::{PatternMatches, RowCursor, TripleRef, TripleStore};
     pub use crate::term::{like_match, LikePattern, Term, Uri};
     pub use crate::triple::{Binding, PatternTerm, Position, Triple, TriplePattern};
 }
@@ -76,6 +76,6 @@ pub use dict::{SharedTermDict, TermDict, TermId};
 pub use guid::Guid;
 pub use parser::{parse_query, parse_single, ParseError};
 pub use query::{ConjunctiveQuery, QueryError, TriplePatternQuery};
-pub use store::{RowCursor, TripleRef, TripleStore};
+pub use store::{PatternMatches, RowCursor, TripleRef, TripleStore};
 pub use term::{like_match, LikePattern, Term, Uri};
 pub use triple::{Binding, PatternTerm, Position, Triple, TriplePattern};

@@ -7,7 +7,7 @@
 //! similar manner, by iteratively resolving each triple pattern contained
 //! in the query and aggregating the sets of results retrieved."
 
-use crate::join::{hash_join_rows, VarTable};
+use crate::join::{HashJoiner, VarTable};
 use crate::store::TripleStore;
 use crate::term::Term;
 use crate::triple::{Binding, PatternTerm, TriplePattern};
@@ -128,13 +128,26 @@ impl ConjunctiveQuery {
     /// Evaluate against one local database: iterative pattern resolution
     /// over the id-level indexes, hash joins on the shared variables
     /// ([`crate::join`]), then projection onto the distinguished
-    /// variables. Terms are materialized only for the surviving rows.
+    /// variables. Each pattern's matches are *streamed* off the store's
+    /// cursor layer ([`TripleStore::match_codes_iter`]) straight into a
+    /// [`HashJoiner`] built over the accumulated solutions, so a match
+    /// set is never materialized as a whole; terms are materialized only
+    /// for the surviving rows.
     pub fn evaluate(&self, db: &TripleStore) -> Vec<Binding> {
         let vars = VarTable::from_patterns(&self.patterns);
         let mut rows: Vec<Vec<u64>> = vec![vars.empty_row()];
         for pattern in &self.patterns {
-            let matches = db.match_codes(pattern, &vars);
-            rows = hash_join_rows(&rows, &matches);
+            let probe_bound: Vec<usize> = pattern
+                .variables()
+                .iter()
+                .filter_map(|v| vars.slot(v))
+                .collect();
+            let joiner = HashJoiner::new(&rows, &probe_bound);
+            let mut next = Vec::new();
+            for m in db.match_codes_iter(pattern, &vars) {
+                joiner.probe(&m, &mut next);
+            }
+            rows = next;
             if rows.is_empty() {
                 break;
             }

@@ -11,7 +11,7 @@
 //!
 //! Every lexical value is interned through a hash-sharded [`TermDict`]
 //! and a stored triple is a *row id* into three per-position `TermId`
-//! columns ([`columns`]). On top of the columns sit two independent
+//! columns (`columns.rs`). On top of the columns sit two independent
 //! access structures:
 //!
 //! * **posting lists** — per position, term id → row ids, directly
@@ -20,14 +20,14 @@
 //!   sorted key index (`BTreeMap<Arc<str>, TermId>`, sharing the
 //!   dictionary's buffers) so `select_like` prefix patterns run as
 //!   range scans;
-//! * **zone-mapped sorted runs** ([`runs`]) — the row-id space is an
+//! * **zone-mapped sorted runs** (`runs.rs`) — the row-id space is an
 //!   append log whose tail is periodically sealed into immutable runs
 //!   (per-position sorted permutations with min/max-`TermId` zone maps
 //!   per granule), merged lazily on a size-tiered schedule. Runs back
 //!   the scan-analytics path: [`TripleStore::scan_eq_rows`] prunes
 //!   granules via the zone maps and never touches a posting list.
 //!
-//! Scans hand out [`RowCursor`]s ([`cursor`]): lazy row-id iterators
+//! Scans hand out [`RowCursor`]s (`cursor.rs`): lazy row-id iterators
 //! that defer term materialization until the consumer asks, so
 //! counting, ref collection and selection cost what the consumer
 //! actually uses. Selections and joins compare `u64` term codes;
@@ -275,7 +275,7 @@ impl TripleStore {
     /// — and fills the posting lists position-parallel, eliminating the
     /// per-row growth and reallocation work that dominates one-at-a-time
     /// ingest. Newly appended rows are sealed into sorted runs on the
-    /// way out (size-tiered, see [`runs`]).
+    /// way out (size-tiered, see `runs.rs`).
     pub fn insert_batch(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
         let triples = triples.into_iter();
         let hint = triples.size_hint().0;
@@ -621,14 +621,64 @@ impl TripleStore {
         }
     }
 
-    /// Live row ids matching a pattern, in insertion order. Picks the
-    /// most selective access path: the exact constant with the shortest
-    /// posting list, else a wildcard prefix range scan, else a full scan.
-    fn pattern_row_ids(&self, pattern: &TriplePattern) -> Vec<u32> {
+    /// Row ids (ascending, possibly tombstoned) satisfying **all** of
+    /// the exact constraints at once: per sealed run, each constraint's
+    /// zone-pruned exact match range is read off the run's sorted
+    /// permutation and the ranges are intersected across positions; the
+    /// append log is covered by intersecting the constraints' posting
+    /// tails. Candidate rows are touched only if every per-position
+    /// structure admits them — the multi-constant twin of a single
+    /// posting probe.
+    fn multi_eq_row_ids(&self, constraints: &[(Position, TermId)]) -> Vec<u32> {
+        debug_assert!(constraints.len() >= 2);
+        fn intersect_into(out: &mut Vec<u32>, slices: &mut Vec<&[u32]>) {
+            // Walk the smallest candidate set, membership-test the rest
+            // (each slice is ascending row ids).
+            slices.sort_by_key(|s| s.len());
+            let (first, rest) = slices.split_first().expect("non-empty");
+            'next: for &row in *first {
+                for s in rest {
+                    if s.binary_search(&row).is_err() {
+                        continue 'next;
+                    }
+                }
+                out.push(row);
+            }
+        }
+        let mut out: Vec<u32> = Vec::new();
+        for run in self.runs.runs() {
+            let mut slices: Vec<&[u32]> = constraints
+                .iter()
+                .map(|&(pos, id)| run.eq_rows(&self.cols, pos, id))
+                .collect();
+            intersect_into(&mut out, &mut slices);
+        }
+        let sealed = self.runs.sealed_end();
+        let mut tails: Vec<&[u32]> = constraints
+            .iter()
+            .map(|&(pos, id)| {
+                let ids = self.posting_ids(pos, id);
+                // Posting lists are ascending; the log tail starts at
+                // the first unsealed row id.
+                &ids[ids.partition_point(|&r| r < sealed)..]
+            })
+            .collect();
+        intersect_into(&mut out, &mut tails);
+        out
+    }
+
+    /// Streaming σ over a pattern: lazily yield matching live row ids in
+    /// insertion order. Picks the most selective access path — the
+    /// intersection of every exact constant's zone-pruned run ranges and
+    /// posting tails when the pattern carries several, else the single
+    /// posting list, else a wildcard prefix range scan, else a full scan
+    /// — and applies the residual predicate (remaining constants,
+    /// `LIKE`s, repeated variables) per row as the consumer pulls.
+    pub fn pattern_matches<'a>(&'a self, pattern: &'a TriplePattern) -> PatternMatches<'a> {
         // Compile the constant slots to id-level checks. A constant the
         // dictionary has never seen cannot match any row.
         let mut exact: Vec<(Position, u64)> = Vec::new();
-        let mut likes: Vec<(Position, LikePattern<'_>)> = Vec::new();
+        let mut likes: Vec<(Position, LikePattern<'a>)> = Vec::new();
         for (pos, term) in pattern.constants() {
             match term {
                 Term::Literal(p) if p.contains('%') => {
@@ -639,60 +689,59 @@ impl TripleStore {
                         let lit = term.is_literal();
                         exact.push((pos, ((id.0 as u64) << 1) | lit as u64));
                     }
-                    None => return Vec::new(),
+                    None => return PatternMatches::empty(self),
                 },
             }
         }
 
         // Access path.
-        let candidates: Vec<u32> = if let Some(&(pos, code)) = exact
-            .iter()
-            .min_by_key(|&&(pos, code)| self.posting_ids(pos, TermId((code >> 1) as u32)).len())
-        {
-            self.posting(pos, TermId((code >> 1) as u32)).collect()
+        let src: MatchSource<'a> = if exact.len() >= 2 {
+            let constraints: Vec<(Position, TermId)> = exact
+                .iter()
+                .map(|&(pos, code)| (pos, TermId((code >> 1) as u32)))
+                .collect();
+            MatchSource::Materialized(self.multi_eq_row_ids(&constraints).into_iter())
+        } else if let Some(&(pos, code)) = exact.first() {
+            MatchSource::Cursor(RowCursor::posting(
+                self,
+                self.posting_ids(pos, TermId((code >> 1) as u32)),
+            ))
         } else if let Some((pos, like)) = likes
             .iter()
             .find(|(_, l)| matches!(l, LikePattern::Prefix(c) if !c.is_empty()))
             .copied()
         {
-            self.prefix_row_ids(pos, like.core())
+            MatchSource::Materialized(self.prefix_row_ids(pos, like.core()).into_iter())
         } else {
-            self.rows().collect()
+            MatchSource::Cursor(self.rows())
         };
 
         // Residual predicate: remaining constants + repeated variables.
-        let vars: Vec<(Position, &str)> = Position::ALL
+        let vars: Vec<(Position, &'a str)> = Position::ALL
             .iter()
             .filter_map(|&pos| match pattern.slot(pos) {
                 PatternTerm::Var(v) => Some((pos, v.as_str())),
                 PatternTerm::Const(_) => None,
             })
             .collect();
-        candidates
-            .into_iter()
-            .filter(|&id| {
-                let row = self.cols.row(id);
-                exact.iter().all(|&(pos, code)| row.code_at(pos) == code)
-                    && likes
-                        .iter()
-                        .all(|(pos, like)| like.matches(self.dict.resolve(row.id_at(*pos))))
-                    && vars.iter().all(|&(pos, name)| {
-                        // Repeated variables must bind equal codes.
-                        vars.iter()
-                            .filter(|&&(p2, n2)| n2 == name && p2 != pos)
-                            .all(|&(p2, _)| row.code_at(p2) == row.code_at(pos))
-                    })
-            })
-            .collect()
+        PatternMatches {
+            store: self,
+            src,
+            exact,
+            likes,
+            vars,
+        }
     }
 
-    /// Matching rows as term-code rows over `vars` (the hash-join input
-    /// format of [`crate::join`]).
-    pub(crate) fn match_codes(
-        &self,
-        pattern: &TriplePattern,
+    /// Matching rows as term-code rows over `vars`, streamed lazily (the
+    /// hash-join input format of [`crate::join`]): one row is encoded
+    /// per pull, so a consumer that stops early — or probes a hash table
+    /// as it goes — never materializes the full match set.
+    pub fn match_codes_iter<'a>(
+        &'a self,
+        pattern: &'a TriplePattern,
         vars: &VarTable<'_>,
-    ) -> Vec<Vec<u64>> {
+    ) -> impl Iterator<Item = Vec<u64>> + 'a {
         let slots: Vec<(Position, usize)> = Position::ALL
             .iter()
             .filter_map(|&pos| match pattern.slot(pos) {
@@ -700,17 +749,25 @@ impl TripleStore {
                 PatternTerm::Const(_) => None,
             })
             .collect();
-        self.pattern_row_ids(pattern)
-            .into_iter()
-            .map(|id| {
-                let row = self.cols.row(id);
-                let mut out = vars.empty_row();
-                for &(pos, slot) in &slots {
-                    out[slot] = row.code_at(pos);
-                }
-                out
-            })
-            .collect()
+        let width = vars.len();
+        self.pattern_matches(pattern).map(move |id| {
+            let row = self.cols.row(id);
+            let mut out = vec![UNBOUND; width];
+            for &(pos, slot) in &slots {
+                out[slot] = row.code_at(pos);
+            }
+            out
+        })
+    }
+
+    /// Matching rows as term-code rows over `vars` (eagerly collected;
+    /// see [`TripleStore::match_codes_iter`] for the streaming form).
+    pub(crate) fn match_codes(
+        &self,
+        pattern: &TriplePattern,
+        vars: &VarTable<'_>,
+    ) -> Vec<Vec<u64>> {
+        self.match_codes_iter(pattern, vars).collect()
     }
 
     /// Decode a term code produced by this store's rows (zero-copy).
@@ -734,14 +791,41 @@ impl TripleStore {
         b
     }
 
+    /// Evaluate a triple pattern against the local database, streaming
+    /// one [`Binding`] per matching triple: rows come out of
+    /// [`TripleStore::pattern_matches`] lazily and each binding's terms
+    /// are materialized only when the consumer pulls it — a destination
+    /// peer answering a routed subquery pays for exactly the rows it
+    /// ships.
+    pub fn match_pattern_iter<'a>(
+        &'a self,
+        pattern: &'a TriplePattern,
+    ) -> impl Iterator<Item = Binding> + 'a {
+        // Distinct variables only: a repeated variable binds once (the
+        // residual predicate already forced its slots to agree).
+        let mut vars: Vec<(Position, &str)> = Vec::new();
+        for &pos in Position::ALL.iter() {
+            if let PatternTerm::Var(v) = pattern.slot(pos) {
+                if !vars.iter().any(|&(_, n)| n == v.as_str()) {
+                    vars.push((pos, v.as_str()));
+                }
+            }
+        }
+        self.pattern_matches(pattern).map(move |id| {
+            let row = self.cols.row(id);
+            let mut b = Binding::new();
+            for &(pos, name) in &vars {
+                b.bind(name.to_string(), self.term_of_code(row.code_at(pos)));
+            }
+            b
+        })
+    }
+
     /// Evaluate a triple pattern against the local database, returning
-    /// one binding per matching triple.
+    /// one binding per matching triple (the eager twin of
+    /// [`TripleStore::match_pattern_iter`]).
     pub fn match_pattern(&self, pattern: &TriplePattern) -> Vec<Binding> {
-        let vars = VarTable::from_patterns([pattern]);
-        self.match_codes(pattern, &vars)
-            .iter()
-            .map(|row| self.decode_row(row, &vars))
-            .collect()
+        self.match_pattern_iter(pattern).collect()
     }
 
     /// The destination-peer resolution of §2.3:
@@ -865,6 +949,78 @@ impl TripleStore {
     #[cfg(test)]
     pub(crate) fn run_count(&self) -> usize {
         self.runs.runs().len()
+    }
+}
+
+/// Row-id source behind a [`PatternMatches`] stream: a lazy cursor
+/// (posting list or full scan) or an already-intersected /
+/// range-collected id list.
+enum MatchSource<'a> {
+    Cursor(RowCursor<'a>),
+    Materialized(std::vec::IntoIter<u32>),
+}
+
+/// A lazily evaluated pattern scan (see
+/// [`TripleStore::pattern_matches`]): yields live row ids matching the
+/// pattern, in insertion order, applying the residual predicate as the
+/// consumer pulls.
+pub struct PatternMatches<'a> {
+    store: &'a TripleStore,
+    src: MatchSource<'a>,
+    /// Remaining exact constraints as kind-tagged codes (also re-checks
+    /// the access-path constant: the index is kind-insensitive).
+    exact: Vec<(Position, u64)>,
+    likes: Vec<(Position, LikePattern<'a>)>,
+    vars: Vec<(Position, &'a str)>,
+}
+
+impl<'a> PatternMatches<'a> {
+    fn empty(store: &'a TripleStore) -> PatternMatches<'a> {
+        PatternMatches {
+            store,
+            src: MatchSource::Materialized(Vec::new().into_iter()),
+            exact: Vec::new(),
+            likes: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    fn admits(&self, id: u32) -> bool {
+        let store = self.store;
+        if store.cols.is_dead(id) {
+            return false;
+        }
+        let row = store.cols.row(id);
+        self.exact
+            .iter()
+            .all(|&(pos, code)| row.code_at(pos) == code)
+            && self
+                .likes
+                .iter()
+                .all(|(pos, like)| like.matches(store.dict.resolve(row.id_at(*pos))))
+            && self.vars.iter().all(|&(pos, name)| {
+                // Repeated variables must bind equal codes.
+                self.vars
+                    .iter()
+                    .filter(|&&(p2, n2)| n2 == name && p2 != pos)
+                    .all(|&(p2, _)| row.code_at(p2) == row.code_at(pos))
+            })
+    }
+}
+
+impl Iterator for PatternMatches<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            let id = match &mut self.src {
+                MatchSource::Cursor(c) => c.next()?,
+                MatchSource::Materialized(m) => m.next()?,
+            };
+            if self.admits(id) {
+                return Some(id);
+            }
+        }
     }
 }
 
@@ -1196,6 +1352,62 @@ mod tests {
     }
 
     #[test]
+    fn multi_constant_pattern_intersects_runs_and_log() {
+        // Two exact constants: the match must be served by intersecting
+        // the per-position candidate sets — across sealed runs AND the
+        // append log — and agree with a naive scan.
+        let mut db = TripleStore::new();
+        for i in 0..600 {
+            db.insert(Triple::new(
+                format!("s{}", i % 40),
+                format!("p{}", i % 7),
+                Term::literal(format!("o{}", i % 11)),
+            ));
+        }
+        db.seal_log_for_test();
+        for i in 600..800 {
+            db.insert(Triple::new(
+                format!("s{}", i % 40),
+                format!("p{}", i % 7),
+                Term::literal(format!("o{}", i % 11)),
+            ));
+        }
+        // Tombstones must not resurface through the intersection.
+        db.remove(&Triple::new("s3", "p3", Term::literal("o3")));
+        for (s, p) in [("s3", "p3"), ("s0", "p0"), ("s12", "p5"), ("s39", "p6")] {
+            let pattern = TriplePattern::new(
+                PatternTerm::constant(Term::uri(s)),
+                PatternTerm::constant(Term::uri(p)),
+                PatternTerm::var("o"),
+            );
+            let fast: Vec<u32> = db.pattern_matches(&pattern).collect();
+            let naive: Vec<u32> = db
+                .rows()
+                .filter(|&id| {
+                    db.term_at(id, Position::Subject) == s
+                        && db.term_at(id, Position::Predicate) == p
+                })
+                .collect();
+            assert_eq!(fast, naive, "({s}, {p}, ?o)");
+        }
+        // Three constants, including the object's literal kind check.
+        let pattern = TriplePattern::new(
+            PatternTerm::constant(Term::uri("s5")),
+            PatternTerm::constant(Term::uri("p5")),
+            PatternTerm::constant(Term::literal("o5")),
+        );
+        let hits: Vec<u32> = db.pattern_matches(&pattern).collect();
+        assert!(!hits.is_empty());
+        assert!(db
+            .match_pattern(&TriplePattern::new(
+                PatternTerm::constant(Term::uri("s5")),
+                PatternTerm::constant(Term::uri("p5")),
+                PatternTerm::constant(Term::uri("o5")), // uri ≠ stored literal
+            ))
+            .is_empty());
+    }
+
+    #[test]
     fn self_join_connects_attributes() {
         // Sequences with an Organism AND a SequenceLength.
         let db = sample();
@@ -1422,6 +1634,45 @@ mod proptests {
                     prop_assert_eq!(scanned, brute, "{:?} {:?}", pos, value);
                 }
             }
+        }
+
+        /// Multi-constant patterns — the zone-pruned run/posting-tail
+        /// intersection path — agree with the naive filter under
+        /// interleaved inserts, removals and sealing.
+        #[test]
+        fn multi_constant_intersection_agrees_with_naive(
+            first in proptest::collection::vec(arb_triple(), 0..40),
+            removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
+            second in proptest::collection::vec(arb_triple(), 0..20),
+            subj in "[a-c]{1,2}",
+            pred in "[p-r]{1,2}",
+            seal in any::<bool>(),
+        ) {
+            let mut db = TripleStore::new();
+            let mut reference: Vec<Triple> = Vec::new();
+            for t in &first {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            if seal { db.seal_log_for_test(); }
+            for idx in &removals {
+                if reference.is_empty() { break; }
+                let t = reference.remove(idx.index(reference.len()));
+                prop_assert!(db.remove(&t));
+            }
+            for t in &second {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            let pattern = TriplePattern::new(
+                PatternTerm::constant(Term::uri(subj.clone())),
+                PatternTerm::constant(Term::uri(pred.clone())),
+                PatternTerm::var("o"),
+            );
+            let fast = db.match_pattern(&pattern).len();
+            let naive = reference
+                .iter()
+                .filter(|t| *t.subject.as_str() == subj && *t.predicate.as_str() == pred)
+                .count();
+            prop_assert_eq!(fast, naive);
         }
 
         /// match_pattern with a constant agrees with the naive filter.

@@ -57,7 +57,7 @@ pub mod prelude {
     };
     pub use crate::reformulate::{
         pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations,
-        ReformulateError, Reformulation, Step,
+        ClosureWalk, ReformulateError, Reformulation, Step,
     };
     pub use crate::schema::{Schema, SchemaId};
 }
@@ -74,6 +74,6 @@ pub use matcher::{
 };
 pub use reformulate::{
     pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations,
-    ReformulateError, Reformulation, Step,
+    ClosureWalk, ReformulateError, Reformulation, Step,
 };
 pub use schema::{Schema, SchemaId};

@@ -149,12 +149,75 @@ pub fn reformulate_step(
     TriplePatternQuery::new(query.distinguished.clone(), pattern).ok()
 }
 
+/// Step-wise traversal state for expanding a query through the mapping
+/// network: the visited-schema set plus the expansion frontier, carrying
+/// an arbitrary per-hop payload `P` (a reformulated query, the peer
+/// that will issue it, an index into an output buffer, …).
+///
+/// This is the one loop-prevention rule of the PDMS — every schema is
+/// entered at most once — factored out so each driver only supplies its
+/// mapping source and hop order: the registry-local expansion
+/// ([`reformulations`]) pulls hops breadth-first (shortest mapping path
+/// first), while `gridvine-core`'s streaming executor pulls depth-first
+/// with mapping lists fetched from the DHT, exactly as the legacy
+/// `SearchFor` traversal did.
+#[derive(Debug, Clone)]
+pub struct ClosureWalk<P> {
+    visited: BTreeSet<SchemaId>,
+    /// Pending hops: `(schema, payload, depth)` where `depth` counts
+    /// mapping applications from the origin.
+    frontier: VecDeque<(SchemaId, P, usize)>,
+}
+
+impl<P> ClosureWalk<P> {
+    /// Start a walk at the query's own schema (depth 0).
+    pub fn new(origin: SchemaId, payload: P) -> ClosureWalk<P> {
+        let mut visited = BTreeSet::new();
+        visited.insert(origin.clone());
+        let mut frontier = VecDeque::new();
+        frontier.push_back((origin, payload, 0));
+        ClosureWalk { visited, frontier }
+    }
+
+    /// Next hop, breadth-first: non-decreasing mapping-path length.
+    pub fn next_breadth_first(&mut self) -> Option<(SchemaId, P, usize)> {
+        self.frontier.pop_front()
+    }
+
+    /// Next hop, depth-first: the synchronous executor's order (each
+    /// reformulation chain is driven to its TTL before siblings).
+    pub fn next_depth_first(&mut self) -> Option<(SchemaId, P, usize)> {
+        self.frontier.pop_back()
+    }
+
+    /// Has a schema already been entered (or queued)?
+    pub fn visited(&self, schema: &SchemaId) -> bool {
+        self.visited.contains(schema)
+    }
+
+    /// Queue a newly reached schema at `depth` mapping applications;
+    /// returns `false` (and queues nothing) if it was already visited.
+    pub fn admit(&mut self, dest: SchemaId, payload: P, depth: usize) -> bool {
+        if !self.visited.insert(dest.clone()) {
+            return false;
+        }
+        self.frontier.push_back((dest, payload, depth));
+        true
+    }
+
+    /// Schemas entered or queued so far (the traversal's
+    /// `schemas_visited` statistic, origin included).
+    pub fn visited_count(&self) -> usize {
+        self.visited.len()
+    }
+}
+
 /// Breadth-first expansion of a query through the mapping network.
 ///
 /// Returns the original query (depth 0) followed by one reformulation
 /// per newly reached schema, in non-decreasing path length, visiting at
 /// most `ttl` mapping applications deep. Each schema is visited once —
-/// the classic PDMS loop-prevention rule.
+/// the loop-prevention rule is [`ClosureWalk`]'s.
 pub fn reformulations(
     registry: &MappingRegistry,
     query: &TriplePatternQuery,
@@ -166,42 +229,32 @@ pub fn reformulations(
         query: query.clone(),
         path: Vec::new(),
     }];
-    let mut visited: BTreeSet<SchemaId> = BTreeSet::new();
-    visited.insert(origin);
-    let mut frontier: VecDeque<usize> = VecDeque::new();
-    frontier.push_back(0); // index into `out`
+    // Payload: index into `out`, so the frontier never clones a query.
+    let mut walk = ClosureWalk::new(origin, 0usize);
 
-    while let Some(i) = frontier.pop_front() {
-        if out[i].path.len() >= ttl {
+    while let Some((schema, i, depth)) = walk.next_breadth_first() {
+        if depth >= ttl {
             continue;
         }
-        // Expand into a side buffer so `out[i]` stays borrowed, not
-        // cloned — only the reformulations a hop actually creates are
-        // allocated.
-        let mut created: Vec<Reformulation> = Vec::new();
-        let current = &out[i];
-        for (m, dir) in registry.applicable_from(&current.schema) {
+        for (m, dir) in registry.applicable_from(&schema) {
             let dest = m.destination(dir).clone();
-            if visited.contains(&dest) {
+            if walk.visited(&dest) {
                 continue;
             }
-            if let Some(q) = reformulate_step(registry, &current.query, m.id, dir) {
-                visited.insert(dest.clone());
-                let mut path = current.path.clone();
+            if let Some(q) = reformulate_step(registry, &out[i].query, m.id, dir) {
+                let mut path = out[i].path.clone();
                 path.push(Step {
                     mapping: m.id,
                     direction: dir,
                 });
-                created.push(Reformulation {
-                    schema: dest,
+                let next = out.len();
+                out.push(Reformulation {
+                    schema: dest.clone(),
                     query: q,
                     path,
                 });
+                walk.admit(dest, next, depth + 1);
             }
-        }
-        for r in created {
-            out.push(r);
-            frontier.push_back(out.len() - 1);
         }
     }
     Ok(out)

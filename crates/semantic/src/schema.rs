@@ -106,7 +106,12 @@ impl Schema {
     /// Split a predicate URI into (schema id, attribute) if it follows
     /// the `<schema>#<attr>` convention.
     pub fn split_predicate(uri: &Uri) -> Option<(SchemaId, &str)> {
-        let s = uri.as_str();
+        Schema::split_predicate_str(uri.as_str())
+    }
+
+    /// [`Schema::split_predicate`] over a raw lexical (for borrowed
+    /// [`gridvine_rdf::TripleRef`] views, which hand out `&str`).
+    pub fn split_predicate_str(s: &str) -> Option<(SchemaId, &str)> {
         let (schema, attr) = s.split_once('#')?;
         if schema.is_empty() || attr.is_empty() {
             return None;

@@ -13,7 +13,9 @@
 //!
 //! Run with: `cargo run --release --example bioinformatics_demo [schemas]`
 
-use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, SelfOrgConfig, Strategy,
+};
 use gridvine_netsim::rng;
 use gridvine_pgrid::PeerId;
 use gridvine_semantic::{MappingKind, Provenance};
@@ -80,8 +82,10 @@ fn main() {
                 continue;
             }
             let origin = sys.random_peer();
-            if let Ok(out) = sys.search(origin, &p.query, Strategy::Iterative) {
-                total += recall(&out.accessions, &p.true_answers);
+            let plan = QueryPlan::search(p.query.clone());
+            let opts = QueryOptions::new().strategy(Strategy::Iterative);
+            if let Ok(out) = sys.execute(origin, &plan, &opts) {
+                total += recall(&out.accessions(), &p.true_answers);
                 n += 1;
             }
         }

@@ -12,7 +12,7 @@
 //!
 //! Run with: `cargo run --example conjunctive_join`
 
-use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, Strategy};
+use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{parse_query, Term, Triple};
 use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
@@ -90,24 +90,31 @@ fn main() {
     .expect("well-formed RDQL");
     println!("query: {q}\n");
 
+    let plan = QueryPlan::conjunctive(q);
     let mut reference: Option<Vec<String>> = None;
     for mode in [JoinMode::Independent, JoinMode::BoundSubstitution] {
         let out = gridvine
-            .search_conjunctive(PeerId(42), &q, Strategy::Iterative, mode)
+            .execute(
+                PeerId(42),
+                &plan,
+                &QueryOptions::new()
+                    .strategy(Strategy::Iterative)
+                    .join_mode(mode),
+            )
             .expect("resolvable query");
         println!("{mode:?}:");
-        for b in &out.bindings {
+        for b in &out.rows {
             println!("  {b}");
         }
         println!(
             "  ({} rows, {} overlay messages, {} subqueries, {} reformulations)\n",
-            out.bindings.len(),
-            out.messages,
-            out.subqueries,
-            out.reformulations
+            out.rows.len(),
+            out.stats.messages,
+            out.stats.subqueries,
+            out.stats.reformulations
         );
 
-        let rows: Vec<String> = out.bindings.iter().map(|b| b.to_string()).collect();
+        let rows: Vec<String> = out.rows.iter().map(|b| b.to_string()).collect();
         assert_eq!(rows.len(), 3, "one Aspergillus join row per vocabulary");
         assert!(rows
             .iter()

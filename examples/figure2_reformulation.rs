@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --example figure2_reformulation`
 
-use gridvine_core::{GridVineConfig, GridVineSystem};
+use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{Term, Triple, TriplePatternQuery};
 use gridvine_semantic::{
@@ -68,8 +68,15 @@ fn main() {
     println!("reformulated:  {}", reformulated.query);
 
     // Step 3: resolve both and aggregate.
-    let (x1, _) = gridvine.resolve_pattern(peer, &q1).unwrap();
-    let (x2, _) = gridvine.resolve_pattern(peer, &reformulated.query).unwrap();
+    let opts = QueryOptions::default();
+    let x1 = gridvine
+        .execute(peer, &QueryPlan::pattern(q1.clone()), &opts)
+        .unwrap()
+        .terms(&q1.distinguished);
+    let x2 = gridvine
+        .execute(peer, &QueryPlan::pattern(reformulated.query.clone()), &opts)
+        .unwrap()
+        .terms(&reformulated.query.distinguished);
     println!("x1 = {x1:?}");
     println!("x2 = {x2:?}");
 

@@ -13,7 +13,9 @@
 //!
 //! Run with: `cargo run --release --example mapping_repair`
 
-use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, SelfOrgConfig, Strategy,
+};
 use gridvine_pgrid::PeerId;
 use gridvine_semantic::{Correspondence, MappingKind, Provenance};
 use gridvine_workload::{Workload, WorkloadConfig};
@@ -86,13 +88,13 @@ fn main() {
     // reformulation into S2's vocabulary uses the swapped attribute and
     // pollutes the answer stream with wrong-concept values.
     let probe = gridvine_workload::QueryGenerator::new(&workload, Default::default()).figure2();
-    let before = sys
-        .search(PeerId(7), &probe.query, Strategy::Iterative)
-        .unwrap();
+    let probe_plan = QueryPlan::search(probe.query.clone());
+    let probe_opts = QueryOptions::new().strategy(Strategy::Iterative);
+    let before = sys.execute(PeerId(7), &probe_plan, &probe_opts).unwrap();
     println!(
         "before repair: {} results via {} schemas",
-        before.results.len(),
-        before.schemas_visited
+        before.rows.len(),
+        before.stats.schemas_visited
     );
 
     let cfg = SelfOrgConfig {
@@ -134,14 +136,12 @@ fn main() {
         .any(|m| (&m.source, &m.target) == (&a, &c) && m.provenance == Provenance::Automatic);
     assert!(composed_exists, "a composed replacement must be active");
 
-    let after = sys
-        .search(PeerId(7), &probe.query, Strategy::Iterative)
-        .unwrap();
+    let after = sys.execute(PeerId(7), &probe_plan, &probe_opts).unwrap();
     println!(
         "\nafter repair: {} results via {} schemas (bad chord gone, composed path in place)",
-        after.results.len(),
-        after.schemas_visited
+        after.rows.len(),
+        after.stats.schemas_visited
     );
-    assert!(after.schemas_visited >= before.schemas_visited.saturating_sub(1));
+    assert!(after.stats.schemas_visited >= before.stats.schemas_visited.saturating_sub(1));
     println!("storyline reproduced: erroneous mapping deprecated, replaced by a composed path.");
 }

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --example prefix_search`
 
-use gridvine_core::{GridVineConfig, GridVineSystem, SystemError};
+use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, SystemError};
 use gridvine_pgrid::{HashKind, PeerId};
 use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
 use gridvine_semantic::Schema;
@@ -73,9 +73,11 @@ fn main() {
     // Order-preserving hash: the prefix region is contiguous; the range
     // search visits only the peers inside it.
     let mut sys = build(HashKind::OrderPreserving);
-    let (results, messages) = sys
-        .resolve_object_prefix(PeerId(17), &q)
+    let opts = QueryOptions::default();
+    let swept = sys
+        .execute(PeerId(17), &QueryPlan::object_prefix(q.clone()), &opts)
         .expect("order-preserving hash supports prefix search");
+    let (results, messages) = (swept.terms("x"), swept.stats.messages);
     println!("order-preserving hash:");
     for r in &results {
         println!("  {r}");
@@ -91,7 +93,10 @@ fn main() {
     // to Hash(EMBL#Organism) and filters locally) — the range search
     // matters when the predicate key space itself is huge and the
     // object range is narrow.
-    let (by_predicate, pred_messages) = sys.resolve_pattern(PeerId(17), &q).unwrap();
+    let routed = sys
+        .execute(PeerId(17), &QueryPlan::pattern(q.clone()), &opts)
+        .unwrap();
+    let (by_predicate, pred_messages) = (routed.terms("x"), routed.stats.messages);
     assert_eq!(by_predicate, results, "both access paths agree");
     println!(
         "predicate-key access path agrees ({} messages); the range path reads \
@@ -102,7 +107,7 @@ fn main() {
     // Uniform hash: the lexical range is scattered; GridVine refuses
     // the range operation rather than flooding.
     let mut uniform = build(HashKind::Uniform);
-    match uniform.resolve_object_prefix(PeerId(17), &q) {
+    match uniform.execute(PeerId(17), &QueryPlan::object_prefix(q.clone()), &opts) {
         Err(SystemError::NotRoutable) => {
             println!("uniform hash: prefix search unavailable (NotRoutable), as designed.")
         }

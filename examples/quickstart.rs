@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use gridvine_core::{GridVineConfig, GridVineSystem, Strategy};
+use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, Strategy};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{parse_single, Term, Triple};
 use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
@@ -67,19 +67,24 @@ fn main() {
     println!("query:     {query}");
 
     let issuer = PeerId(17);
+    let plan = QueryPlan::search(query);
     let outcome = gridvine
-        .search(issuer, &query, Strategy::Iterative)
+        .execute(
+            issuer,
+            &plan,
+            &QueryOptions::new().strategy(Strategy::Iterative),
+        )
         .expect("search runs");
 
     println!(
         "schemas:   {} visited (1 reformulation step)",
-        outcome.schemas_visited
+        outcome.stats.schemas_visited
     );
-    println!("messages:  {} overlay messages", outcome.messages);
+    println!("messages:  {} overlay messages", outcome.stats.messages);
     println!("results:");
-    for term in &outcome.results {
+    for term in outcome.terms("x") {
         println!("  {term}");
     }
-    assert_eq!(outcome.results.len(), 3, "two EMBL + one EMP record");
+    assert_eq!(outcome.rows.len(), 3, "two EMBL + one EMP record");
     println!("\nthe EMP record was found although the query was written against EMBL.");
 }

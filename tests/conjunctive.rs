@@ -2,6 +2,12 @@
 //! the overlay-resolved join must agree with a centralized oracle, and
 //! both join modes and both dissemination strategies must agree with
 //! each other — including across schema mappings.
+//!
+//! These tests deliberately drive the deprecated legacy entry points:
+//! they are thin shims over `GridVineSystem::execute`, so this suite
+//! doubles as back-compat coverage for the old surface (the
+//! `equivalence` suite in gridvine-core proves shim ≡ executor).
+#![allow(deprecated)]
 
 use gridvine_core::{ConjunctiveOutcome, GridVineConfig, GridVineSystem, JoinMode, Strategy};
 use gridvine_pgrid::PeerId;

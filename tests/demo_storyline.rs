@@ -9,6 +9,12 @@
 //! 5. inject an erroneous mapping, watch the Bayesian analysis
 //!    deprecate it and composition repair replace it;
 //! 6. verify recall recovered.
+//!
+//! These tests deliberately drive the deprecated legacy entry points:
+//! they are thin shims over `GridVineSystem::execute`, so this suite
+//! doubles as back-compat coverage for the old surface (the
+//! `equivalence` suite in gridvine-core proves shim ≡ executor).
+#![allow(deprecated)]
 
 use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
 use gridvine_pgrid::PeerId;

@@ -1,5 +1,11 @@
 //! Cross-crate integration tests: the full GridVine stack, from the
 //! workload generator through the overlay to reformulated answers.
+//!
+//! These tests deliberately drive the deprecated legacy entry points:
+//! they are thin shims over `GridVineSystem::execute`, so this suite
+//! doubles as back-compat coverage for the old surface (the
+//! `equivalence` suite in gridvine-core proves shim ≡ executor).
+#![allow(deprecated)]
 
 use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
 use gridvine_pgrid::PeerId;

@@ -1,6 +1,12 @@
 //! Failure-injection integration tests: crashed peers, message loss and
 //! poisoned mappings must degrade the system gracefully, never corrupt
 //! it.
+//!
+//! These tests deliberately drive the deprecated legacy entry points:
+//! they are thin shims over `GridVineSystem::execute`, so this suite
+//! doubles as back-compat coverage for the old surface (the
+//! `equivalence` suite in gridvine-core proves shim ≡ executor).
+#![allow(deprecated)]
 
 use gridvine_core::{GridVineConfig, GridVineSystem, MediationItem, SelfOrgConfig, Strategy};
 use gridvine_netsim::prelude::*;

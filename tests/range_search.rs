@@ -2,6 +2,12 @@
 //! hash (§2.2): the range access path must agree with the predicate-key
 //! access path and with a centralized oracle, must refuse unroutable
 //! shapes, and must be unavailable under a uniform hash.
+//!
+//! These tests deliberately drive the deprecated legacy entry points:
+//! they are thin shims over `GridVineSystem::execute`, so this suite
+//! doubles as back-compat coverage for the old surface (the
+//! `equivalence` suite in gridvine-core proves shim ≡ executor).
+#![allow(deprecated)]
 
 use gridvine_core::{GridVineConfig, GridVineSystem, SystemError};
 use gridvine_pgrid::{HashKind, PeerId};
