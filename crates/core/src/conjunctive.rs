@@ -3,8 +3,8 @@
 //! "Conjunctive queries can be resolved in a similar manner, by
 //! iteratively resolving each triple pattern contained in the query and
 //! aggregating the sets of results retrieved." The paper leaves the
-//! aggregation policy open; this module implements the two classic
-//! options so they can be compared (ablation A4):
+//! aggregation policy open; this module defines the two classic options
+//! so they can be compared (ablation A4):
 //!
 //! * [`JoinMode::Independent`] — every triple pattern is resolved over
 //!   the full mapping network on its own, all matching bindings are
@@ -22,12 +22,53 @@
 //!   routed subqueries, far fewer irrelevant results on the wire.
 //!
 //! Both modes reformulate every (sub)pattern through the mapping network
-//! exactly like single-pattern [`GridVineSystem::search`], so a
-//! conjunctive query also benefits from the self-organizing mapping
-//! layer of §3.
+//! exactly like a single-pattern closure plan, so a conjunctive query
+//! also benefits from the self-organizing mapping layer of §3 — and from
+//! the epoch-keyed reformulation-closure cache: every bound-substituted
+//! instance of a pattern shares its predicate, so after the first
+//! instance's walk the remaining instances replay the memoized closure.
+//!
+//! Execution lives behind the plan surface: build
+//! [`QueryPlan::conjunctive`](crate::plan::QueryPlan::conjunctive) and
+//! either drain it with [`GridVineSystem::execute`] or pull it
+//! incrementally with [`GridVineSystem::open`] (the legacy
+//! `search_conjunctive` entry point completed its deprecation cycle and
+//! is gone — see the migration table in [`super::session`]).
+//!
+//! ```
+//! use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
+//! use gridvine_pgrid::PeerId;
+//! use gridvine_rdf::{parse_query, Term, Triple};
+//! use gridvine_semantic::Schema;
+//!
+//! let mut gv = GridVineSystem::new(GridVineConfig::default());
+//! let p = PeerId(0);
+//! gv.insert_schema(p, Schema::new("EMBL", ["Organism", "SequenceLength"]))?;
+//! gv.insert_triple(p, Triple::new("seq:A78712", "EMBL#Organism",
+//!     Term::literal("Aspergillus niger")))?;
+//! gv.insert_triple(p, Triple::new("seq:A78712", "EMBL#SequenceLength",
+//!     Term::literal("1042")))?;
+//!
+//! let q = parse_query(
+//!     r#"SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Aspergillus%"),
+//!                             (?x, <EMBL#SequenceLength>, ?len)"#)?;
+//! let out = gv.execute(p, &QueryPlan::conjunctive(q),
+//!     &QueryOptions::new().strategy(Strategy::Iterative)
+//!         .join_mode(JoinMode::BoundSubstitution))?;
+//! assert_eq!(out.rows.len(), 1);
+//! assert_eq!(out.rows[0].get("len"), Some(&Term::literal("1042")));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Under [`JoinMode::BoundSubstitution`] a subquery instance that ends
+//! up with no routable constant (possible only if the pattern shares no
+//! variable with its predecessors *and* carries no constant) is counted
+//! in [`ExecStats::failures`](super::exec::ExecStats::failures) and its
+//! candidate row is dropped; well-formed conjunctive queries — connected
+//! join graphs with at least one constant per component — never hit
+//! this.
 
 use super::*;
-use gridvine_rdf::{Binding, ConjunctiveQuery};
 
 /// How the binding sets of the individual triple patterns are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,109 +81,27 @@ pub enum JoinMode {
     BoundSubstitution,
 }
 
-/// Outcome of one distributed conjunctive `SearchFor`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct ConjunctiveOutcome {
-    /// Solution rows, projected onto the distinguished variables,
-    /// deduplicated and sorted.
-    pub bindings: Vec<Binding>,
-    /// Overlay messages consumed.
-    pub messages: u64,
-    /// Routed pattern resolutions (original patterns, reformulations and
-    /// bound-substituted instances all count).
-    pub subqueries: usize,
-    /// Mapping applications across all patterns.
-    pub reformulations: usize,
-    /// Schemas reached, summed over patterns (each pattern's traversal
-    /// counts its own distinct set, including the pattern's own schema).
-    pub schemas_visited: usize,
-    /// Subqueries that could not be routed or resolved.
-    pub failures: usize,
-    /// Total matching bindings returned by destination peers across all
-    /// subqueries, *before* joining — a proxy for result bytes on the
-    /// wire. This, not the routed message count, is where the two join
-    /// modes differ asymptotically: an unconstrained pattern ships its
-    /// full extension under [`JoinMode::Independent`], while
-    /// [`JoinMode::BoundSubstitution`] only ships matches of already-
-    /// constrained instances.
-    pub bindings_shipped: usize,
-}
-
-impl GridVineSystem {
-    /// `SearchFor` for a conjunctive query: iteratively resolve each
-    /// triple pattern over the overlay (with reformulation through the
-    /// mapping network, per `strategy`) and aggregate the binding sets
-    /// into solution rows (§2.3).
-    ///
-    /// ```
-    /// use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
-    /// use gridvine_pgrid::PeerId;
-    /// use gridvine_rdf::{parse_query, Term, Triple};
-    /// use gridvine_semantic::Schema;
-    ///
-    /// let mut gv = GridVineSystem::new(GridVineConfig::default());
-    /// let p = PeerId(0);
-    /// gv.insert_schema(p, Schema::new("EMBL", ["Organism", "SequenceLength"]))?;
-    /// gv.insert_triple(p, Triple::new("seq:A78712", "EMBL#Organism",
-    ///     Term::literal("Aspergillus niger")))?;
-    /// gv.insert_triple(p, Triple::new("seq:A78712", "EMBL#SequenceLength",
-    ///     Term::literal("1042")))?;
-    ///
-    /// let q = parse_query(
-    ///     r#"SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Aspergillus%"),
-    ///                             (?x, <EMBL#SequenceLength>, ?len)"#)?;
-    /// // Migration: search_conjunctive(p, &q, strategy, mode) becomes
-    /// let out = gv.execute(p, &QueryPlan::conjunctive(q),
-    ///     &QueryOptions::new().strategy(Strategy::Iterative)
-    ///         .join_mode(JoinMode::BoundSubstitution))?;
-    /// assert_eq!(out.rows.len(), 1);
-    /// assert_eq!(out.rows[0].get("len"), Some(&Term::literal("1042")));
-    /// # Ok::<(), Box<dyn std::error::Error>>(())
-    /// ```
-    ///
-    /// Under [`JoinMode::BoundSubstitution`] a subquery instance that
-    /// ends up with no routable constant (possible only if the pattern
-    /// shares no variable with its predecessors *and* carries no
-    /// constant) is counted in
-    /// [`failures`](ConjunctiveOutcome::failures) and its candidate row
-    /// is dropped; well-formed conjunctive queries — connected join
-    /// graphs with at least one constant per component — never hit this.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use GridVineSystem::execute with QueryPlan::conjunctive (see gridvine_core::exec)"
-    )]
-    pub fn search_conjunctive(
-        &mut self,
-        origin: PeerId,
-        query: &ConjunctiveQuery,
-        strategy: Strategy,
-        mode: JoinMode,
-    ) -> Result<ConjunctiveOutcome, SystemError> {
-        let plan = crate::plan::QueryPlan::conjunctive(query.clone());
-        let options = super::exec::QueryOptions::new()
-            .strategy(strategy)
-            .join_mode(mode);
-        let out = self.execute(origin, &plan, &options)?;
-        Ok(ConjunctiveOutcome {
-            bindings: out.rows,
-            messages: out.stats.messages,
-            subqueries: out.stats.subqueries,
-            reformulations: out.stats.reformulations,
-            schemas_visited: out.stats.schemas_visited,
-            failures: out.stats.failures,
-            bindings_shipped: out.stats.bindings_shipped,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    // The legacy shims stay under test here; the equivalence suite
-    // proves they match the executor.
-    #![allow(deprecated)]
-
+    use super::exec::{QueryOptions, QueryOutcome};
     use super::*;
-    use gridvine_rdf::{PatternTerm, TriplePattern};
+    use crate::plan::QueryPlan;
+    use gridvine_rdf::{ConjunctiveQuery, PatternTerm, Term, TriplePattern};
+
+    fn conjunctive(
+        sys: &mut GridVineSystem,
+        origin: PeerId,
+        q: &ConjunctiveQuery,
+        strategy: Strategy,
+        mode: JoinMode,
+    ) -> QueryOutcome {
+        sys.execute(
+            origin,
+            &QueryPlan::conjunctive(q.clone()),
+            &QueryOptions::new().strategy(strategy).join_mode(mode),
+        )
+        .unwrap()
+    }
 
     /// Two schemas linked by a manual mapping, with sequence-length
     /// facts so a two-pattern join has work to do.
@@ -214,22 +173,22 @@ mod tests {
         let mut sys = federation();
         for strategy in [Strategy::Iterative, Strategy::Recursive] {
             for mode in [JoinMode::Independent, JoinMode::BoundSubstitution] {
-                let out = sys
-                    .search_conjunctive(PeerId(3), &organism_length_query(), strategy, mode)
-                    .unwrap();
-                let rows: Vec<String> = out.bindings.iter().map(|b| b.to_string()).collect();
-                assert_eq!(
-                    out.bindings.len(),
-                    2,
-                    "{strategy:?}/{mode:?} rows: {rows:?}"
+                let out = conjunctive(
+                    &mut sys,
+                    PeerId(3),
+                    &organism_length_query(),
+                    strategy,
+                    mode,
                 );
+                let rows: Vec<String> = out.rows.iter().map(|b| b.to_string()).collect();
+                assert_eq!(out.rows.len(), 2, "{strategy:?}/{mode:?} rows: {rows:?}");
                 assert!(rows
                     .iter()
                     .any(|r| r.contains("A78712") && r.contains("1042")));
                 assert!(rows
                     .iter()
                     .any(|r| r.contains("NEN94295-05") && r.contains("2210")));
-                assert!(out.messages > 0);
+                assert!(out.stats.messages > 0);
             }
         }
     }
@@ -238,43 +197,49 @@ mod tests {
     fn modes_agree_on_results() {
         let mut sys = federation();
         let q = organism_length_query();
-        let a = sys
-            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
-            .unwrap();
-        let b = sys
-            .search_conjunctive(
-                PeerId(1),
-                &q,
-                Strategy::Iterative,
-                JoinMode::BoundSubstitution,
-            )
-            .unwrap();
-        assert_eq!(a.bindings, b.bindings);
+        let a = conjunctive(
+            &mut sys,
+            PeerId(1),
+            &q,
+            Strategy::Iterative,
+            JoinMode::Independent,
+        );
+        let b = conjunctive(
+            &mut sys,
+            PeerId(1),
+            &q,
+            Strategy::Iterative,
+            JoinMode::BoundSubstitution,
+        );
+        assert_eq!(a.rows, b.rows);
     }
 
     #[test]
     fn bound_mode_issues_more_subqueries_but_matches_fewer_rows() {
         let mut sys = federation();
         let q = organism_length_query();
-        let ind = sys
-            .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
-            .unwrap();
-        let bnd = sys
-            .search_conjunctive(
-                PeerId(1),
-                &q,
-                Strategy::Iterative,
-                JoinMode::BoundSubstitution,
-            )
-            .unwrap();
+        let ind = conjunctive(
+            &mut sys,
+            PeerId(1),
+            &q,
+            Strategy::Iterative,
+            JoinMode::Independent,
+        );
+        let bnd = conjunctive(
+            &mut sys,
+            PeerId(1),
+            &q,
+            Strategy::Iterative,
+            JoinMode::BoundSubstitution,
+        );
         // Bound substitution resolves one instance per surviving row of
         // the first pattern (3 organisms) instead of one sweep of the
         // unconstrained second pattern.
         assert!(
-            bnd.subqueries >= ind.subqueries,
+            bnd.stats.subqueries >= ind.stats.subqueries,
             "bound {} vs independent {}",
-            bnd.subqueries,
-            ind.subqueries
+            bnd.stats.subqueries,
+            ind.stats.subqueries
         );
     }
 
@@ -298,10 +263,8 @@ mod tests {
         )
         .unwrap();
         for mode in [JoinMode::Independent, JoinMode::BoundSubstitution] {
-            let out = sys
-                .search_conjunctive(PeerId(2), &q, Strategy::Iterative, mode)
-                .unwrap();
-            assert!(out.bindings.is_empty(), "{mode:?}");
+            let out = conjunctive(&mut sys, PeerId(2), &q, Strategy::Iterative, mode);
+            assert!(out.rows.is_empty(), "{mode:?}");
         }
     }
 
@@ -310,18 +273,21 @@ mod tests {
         let mut sys = federation();
         let single = TriplePatternQuery::example_aspergillus();
         let cq = ConjunctiveQuery::new(vec!["x".into()], vec![single.pattern.clone()]).unwrap();
-        let s = sys.search(PeerId(5), &single, Strategy::Iterative).unwrap();
-        let c = sys
-            .search_conjunctive(PeerId(5), &cq, Strategy::Iterative, JoinMode::Independent)
+        let s = sys
+            .execute(
+                PeerId(5),
+                &QueryPlan::search(single.clone()),
+                &QueryOptions::default(),
+            )
             .unwrap();
-        let mut from_conj: Vec<Term> = c
-            .bindings
-            .iter()
-            .filter_map(|b| b.get("x").cloned())
-            .collect();
-        from_conj.sort();
-        from_conj.dedup();
-        assert_eq!(s.results, from_conj);
+        let c = conjunctive(
+            &mut sys,
+            PeerId(5),
+            &cq,
+            Strategy::Iterative,
+            JoinMode::Independent,
+        );
+        assert_eq!(s.terms(&single.distinguished), c.terms("x"));
     }
 
     #[test]
@@ -332,10 +298,15 @@ mod tests {
             organism_length_query().patterns,
         )
         .unwrap();
-        let out = sys
-            .search_conjunctive(PeerId(0), &q, Strategy::Iterative, JoinMode::Independent)
-            .unwrap();
-        for b in &out.bindings {
+        let out = conjunctive(
+            &mut sys,
+            PeerId(0),
+            &q,
+            Strategy::Iterative,
+            JoinMode::Independent,
+        );
+        assert!(!out.rows.is_empty());
+        for b in &out.rows {
             assert!(b.get("x").is_some());
             assert!(b.get("len").is_none());
         }
@@ -362,12 +333,10 @@ mod tests {
         )
         .unwrap();
         for mode in [JoinMode::Independent, JoinMode::BoundSubstitution] {
-            let out = sys
-                .search_conjunctive(PeerId(4), &q, Strategy::Iterative, mode)
-                .unwrap();
-            assert_eq!(out.bindings.len(), 1, "{mode:?}");
+            let out = conjunctive(&mut sys, PeerId(4), &q, Strategy::Iterative, mode);
+            assert_eq!(out.rows.len(), 1, "{mode:?}");
             assert_eq!(
-                out.bindings[0].get("x"),
+                out.rows[0].get("x"),
                 Some(&Term::uri("seq:A78712")),
                 "{mode:?}"
             );

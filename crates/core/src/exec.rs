@@ -1,23 +1,32 @@
-//! The streaming physical executor: one entry point —
-//! [`GridVineSystem::execute`] — evaluates every logical
-//! [`QueryPlan`].
+//! The physical executor's blocking surface: [`GridVineSystem::execute`]
+//! evaluates every logical [`QueryPlan`] by draining a pull-based
+//! [`QuerySession`](super::session::QuerySession).
 //!
 //! ## Migration from the legacy entry points
 //!
-//! The four monolithic `SearchFor` methods are now thin deprecated
-//! shims over `execute`; first-party callers should build a plan and
-//! call `execute` directly:
+//! The four monolithic `SearchFor` methods (`resolve_pattern`,
+//! `resolve_object_prefix`, `search`, `search_conjunctive`) went
+//! through one deprecation cycle as shims and are now **deleted**;
+//! callers build a plan and either drain it blockingly or pull it
+//! incrementally:
 //!
-//! | Legacy call | Replacement |
+//! | Removed entry point | Blocking replacement |
 //! |---|---|
 //! | `sys.resolve_pattern(p, &q)` | `sys.execute(p, &QueryPlan::pattern(q), &QueryOptions::default())` |
 //! | `sys.resolve_object_prefix(p, &q)` | `sys.execute(p, &QueryPlan::object_prefix(q), &QueryOptions::default())` |
 //! | `sys.search(p, &q, strategy)` | `sys.execute(p, &QueryPlan::search(q), &QueryOptions::new().strategy(strategy))` |
 //! | `sys.search_conjunctive(p, &q, strategy, mode)` | `sys.execute(p, &QueryPlan::conjunctive(q), &QueryOptions::new().strategy(strategy).join_mode(mode))` |
 //!
+//! For incremental consumption (first-result latency, early
+//! termination, per-hop provenance) use
+//! [`GridVineSystem::open`](super::session) instead of `execute` — the
+//! two are equivalent on results and message accounting when the
+//! session is drained; see the [`super::session`] module docs
+//! for the event protocol.
+//!
 //! The legacy per-call outcome types map onto [`QueryOutcome`]:
-//! `SearchOutcome::results` is [`QueryOutcome::terms`] of the
-//! distinguished variable, `ConjunctiveOutcome::bindings` is
+//! `SearchOutcome::results` was [`QueryOutcome::terms`] of the
+//! distinguished variable, `ConjunctiveOutcome::bindings` was
 //! [`QueryOutcome::rows`], and all counters live in the shared
 //! [`ExecStats`].
 //!
@@ -31,10 +40,12 @@
 //! so a destination materializes exactly the bindings it ships.
 //! Closure plans drive a step-wise
 //! [`ClosureWalk`] over the mapping
-//! network (depth-first, the legacy traversal order, so message
-//! accounting is bit-identical to the old entry points); join plans
+//! network (depth-first, one hop per session pull); join plans
 //! feed the per-pattern binding sets through the
 //! [`hash-join engine`](gridvine_rdf::join) in the planner's order.
+//! Repeated iterative closures over an unchanged mapping network replay
+//! the epoch-keyed [`ClosureCache`](gridvine_semantic::ClosureCache)
+//! instead of re-walking the BFS (see the session docs).
 //!
 //! ```
 //! use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, Strategy};
@@ -63,22 +74,21 @@
 
 use super::conjunctive::JoinMode;
 use super::*;
-use crate::plan::{object_prefix_core, QueryPlan};
-use gridvine_rdf::join::{hash_join_rows, TermInterner, VarTable, UNBOUND};
-use gridvine_rdf::{Binding, ConjunctiveQuery, TriplePattern};
-use gridvine_semantic::{ClosureWalk, Mapping};
+use crate::plan::QueryPlan;
+use gridvine_rdf::{Binding, PatternTerm, TriplePattern, Uri};
+use gridvine_semantic::{CachedHop, ClosureKey, ClosureWalk, Mapping};
 use std::borrow::Cow;
-use std::collections::HashMap;
 
-/// Physical execution knobs for one [`GridVineSystem::execute`] call: a
-/// builder carrying the reformulation [`Strategy`], the conjunctive
-/// [`JoinMode`], a TTL override and an optional result cap.
+/// Physical execution knobs for one [`GridVineSystem::execute`] /
+/// [`GridVineSystem::open`] call: a builder carrying the reformulation
+/// [`Strategy`], the conjunctive [`JoinMode`], a TTL override and an
+/// optional result cap.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryOptions {
-    strategy: Strategy,
-    join_mode: JoinMode,
-    ttl: Option<usize>,
-    limit: Option<usize>,
+    pub(crate) strategy: Strategy,
+    pub(crate) join_mode: JoinMode,
+    pub(crate) ttl: Option<usize>,
+    pub(crate) limit: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -117,17 +127,21 @@ impl QueryOptions {
         self
     }
 
-    /// Return at most `limit` result rows (applied after the canonical
-    /// sort + dedup, so the kept prefix is deterministic; dissemination
-    /// and message accounting are unaffected).
+    /// Stop after `limit` distinct result rows — **genuine early
+    /// termination**: the session stops advancing the closure walk (or
+    /// the bound-join group queue) the moment the cap is reached, so
+    /// the remaining remote subqueries are never issued and a limited
+    /// query sends strictly fewer messages than an unlimited one
+    /// whenever any dissemination remained. The kept rows are the
+    /// first `limit` distinct rows in (deterministic) discovery order,
+    /// returned sorted.
     pub fn limit(mut self, limit: usize) -> QueryOptions {
         self.limit = Some(limit);
         self
     }
 }
 
-/// Execution counters shared by every plan shape — the union of what
-/// the legacy `SearchOutcome` and `ConjunctiveOutcome` reported.
+/// Execution counters shared by every plan shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Overlay messages consumed.
@@ -195,107 +209,330 @@ impl QueryOutcome {
 }
 
 /// One pattern's traversal of the mapping network (the per-pattern
-/// inner loop of closure and join plans).
+/// inner loop of join plans; single-pattern closures run the same hops
+/// through the incremental session state instead).
 #[derive(Debug, Clone, Default)]
-struct NetSweep {
-    bindings: Vec<Binding>,
-    subqueries: usize,
-    reformulations: usize,
-    schemas_visited: usize,
-    failures: usize,
+pub(crate) struct NetSweep {
+    pub(crate) bindings: Vec<Binding>,
+    /// Per-hop counters accumulated via [`SweepHop::charge`]
+    /// (`bindings_shipped` stays 0 here — the sweep level charges it
+    /// from `bindings`).
+    stats: ExecStats,
 }
 
 impl NetSweep {
     /// Fold this pattern-level traversal into the plan-level stats.
-    fn charge(&self, stats: &mut ExecStats) {
-        stats.subqueries += self.subqueries;
-        stats.reformulations += self.reformulations;
-        stats.schemas_visited += self.schemas_visited;
-        stats.failures += self.failures;
+    pub(crate) fn charge(&self, stats: &mut ExecStats) {
+        stats.subqueries += self.stats.subqueries;
+        stats.reformulations += self.stats.reformulations;
+        stats.schemas_visited += self.stats.schemas_visited;
+        stats.failures += self.stats.failures;
         stats.bindings_shipped += self.bindings.len();
     }
 }
 
 /// A one-variable solution row.
-fn one_var_row(var: &str, term: Term) -> Binding {
+pub(crate) fn one_var_row(var: &str, term: Term) -> Binding {
     let mut b = Binding::new();
     b.bind(var.to_string(), term);
     b
 }
 
+/// `pattern` with its predicate constant swapped — how a memoized
+/// closure hop is replayed for any pattern sharing the predicate.
+pub(crate) fn with_predicate(pattern: &TriplePattern, predicate: &Uri) -> TriplePattern {
+    TriplePattern::new(
+        pattern.subject.clone(),
+        PatternTerm::Const(Term::Uri(predicate.clone())),
+        pattern.object.clone(),
+    )
+}
+
+/// The predicate URI of a schema'd pattern (guaranteed by
+/// `pattern_schema` having succeeded on it).
+pub(crate) fn pattern_predicate(pattern: &TriplePattern) -> Uri {
+    match pattern.predicate.as_const() {
+        Some(Term::Uri(u)) => u.clone(),
+        _ => unreachable!("schema'd patterns carry a constant URI predicate"),
+    }
+}
+
+/// Incremental closure expansion of one schema'd pattern — the single
+/// implementation behind both consumers: the session drives it one
+/// [`ClosureSweep::resolve_next`] per pull (with
+/// [`ClosureSweep::expand_pending`] skipped on early termination), the
+/// bulk join sweep drains it in a loop. Both observe the identical hop
+/// sequence, resolutions and cache interactions, so their accounting
+/// agrees by construction.
+pub(crate) enum ClosureSweep<'a> {
+    /// Live walk over DHT-fetched mapping lists; `record` accumulates
+    /// the hop list for the closure cache (iterative strategy only).
+    /// `pending` is the hop resolved by the last `resolve_next` whose
+    /// mapping discovery has not run yet.
+    Cold {
+        walk: ClosureWalk<(Cow<'a, TriplePattern>, PeerId, f64)>,
+        record: Option<(ClosureKey, Vec<CachedHop>)>,
+        pending: Option<Box<PendingExpand<'a>>>,
+    },
+    /// Replay of a memoized closure: resolve each recorded hop's
+    /// predicate from the origin, no mapping discovery at all.
+    Warm {
+        pattern: &'a TriplePattern,
+        hops: std::sync::Arc<[CachedHop]>,
+        next: usize,
+    },
+}
+
+/// A cold hop between its resolution and its expansion.
+pub(crate) struct PendingExpand<'a> {
+    schema: SchemaId,
+    pat: Cow<'a, TriplePattern>,
+    quality: f64,
+    depth: usize,
+    /// The peer that issued this hop's resolution (and, recursively,
+    /// forwards the discovery).
+    at_peer: PeerId,
+}
+
+/// One resolved hop of a [`ClosureSweep`].
+pub(crate) struct SweepHop {
+    pub(crate) schema: SchemaId,
+    pub(crate) depth: usize,
+    pub(crate) quality: f64,
+    /// The destination's bindings, or `None` when the resolution
+    /// failed (charged as a failure, the walk continues).
+    pub(crate) bindings: Option<Vec<Binding>>,
+}
+
+impl SweepHop {
+    /// Fold this hop into the consumer's counters — the one charging
+    /// rule both the session and the bulk sweep apply, so their
+    /// accounting cannot drift. `bindings_shipped` is charged by the
+    /// consumer (it decides whether bindings are shipped per hop or
+    /// aggregated per sweep).
+    pub(crate) fn charge(&self, stats: &mut ExecStats) {
+        stats.subqueries += 1;
+        stats.schemas_visited += 1;
+        if self.depth > 0 {
+            stats.reformulations += 1;
+        }
+        if self.bindings.is_none() {
+            stats.failures += 1;
+        }
+    }
+}
+
+impl<'a> ClosureSweep<'a> {
+    /// Start a sweep for one schema'd pattern: a warm cache replay when
+    /// the mapping-network epoch still matches a recorded closure
+    /// (iterative only), a live walk otherwise.
+    pub(crate) fn open(
+        sys: &mut GridVineSystem,
+        origin: PeerId,
+        pattern: &'a TriplePattern,
+        schema: SchemaId,
+        attr: String,
+        strategy: Strategy,
+        ttl: usize,
+    ) -> ClosureSweep<'a> {
+        let record = (strategy == Strategy::Iterative).then(|| {
+            (
+                ClosureKey {
+                    schema: schema.clone(),
+                    attr,
+                    ttl,
+                },
+                Vec::new(),
+            )
+        });
+        if let Some((key, _)) = &record {
+            let epoch = sys.registry.epoch();
+            if let Some(hops) = sys.closure_cache.lookup(epoch, key) {
+                return ClosureSweep::Warm {
+                    pattern,
+                    hops,
+                    next: 0,
+                };
+            }
+        }
+        ClosureSweep::Cold {
+            walk: ClosureWalk::new(schema, (Cow::Borrowed(pattern), origin, 1.0)),
+            record,
+            pending: None,
+        }
+    }
+
+    /// No hops left to resolve or expand.
+    pub(crate) fn is_exhausted(&self) -> bool {
+        match self {
+            ClosureSweep::Cold { walk, pending, .. } => walk.is_exhausted() && pending.is_none(),
+            ClosureSweep::Warm { hops, next, .. } => *next >= hops.len(),
+        }
+    }
+
+    /// Pop and resolve the next hop (expansion deferred to
+    /// [`ClosureSweep::expand_pending`], so an early-terminating caller
+    /// never pays for discovery it will not use). Returns `None` once
+    /// the sweep is drained.
+    pub(crate) fn resolve_next(
+        &mut self,
+        sys: &mut GridVineSystem,
+        origin: PeerId,
+    ) -> Result<Option<SweepHop>, SystemError> {
+        match self {
+            ClosureSweep::Warm {
+                pattern,
+                hops,
+                next,
+            } => {
+                let Some(hop) = hops.get(*next).cloned() else {
+                    return Ok(None);
+                };
+                *next += 1;
+                let pat: Cow<'_, TriplePattern> = if hop.depth == 0 {
+                    Cow::Borrowed(*pattern)
+                } else {
+                    Cow::Owned(with_predicate(pattern, &hop.predicate))
+                };
+                let bindings = sys.resolve_pattern_once(origin, &pat).ok();
+                Ok(Some(SweepHop {
+                    schema: hop.schema,
+                    depth: hop.depth,
+                    quality: hop.quality,
+                    bindings,
+                }))
+            }
+            ClosureSweep::Cold {
+                walk,
+                record,
+                pending,
+            } => {
+                debug_assert!(
+                    pending.is_none(),
+                    "expand or discard the previous hop first"
+                );
+                let Some((schema, (pat, at_peer, quality), depth)) = walk.next_depth_first() else {
+                    return Ok(None);
+                };
+                if let Some((_, hops)) = record {
+                    hops.push(CachedHop {
+                        schema: schema.clone(),
+                        predicate: pattern_predicate(&pat),
+                        depth,
+                        quality,
+                    });
+                }
+                let bindings = sys.resolve_pattern_once(at_peer, &pat).ok();
+                let hop = SweepHop {
+                    schema: schema.clone(),
+                    depth,
+                    quality,
+                    bindings,
+                };
+                *pending = Some(Box::new(PendingExpand {
+                    schema,
+                    pat,
+                    quality,
+                    depth,
+                    at_peer,
+                }));
+                Ok(Some(hop))
+            }
+        }
+    }
+
+    /// Expand the hop the last `resolve_next` produced: discover the
+    /// mappings applicable at its schema (within the TTL) and admit the
+    /// newly reachable schemas (a no-op on warm replays — the recorded
+    /// closure already is the expansion). When the walk exhausts here,
+    /// the recorded closure is committed to the system's cache — an
+    /// early-terminating caller that stops pulling (or calls
+    /// [`ClosureSweep::discard_pending`]) never commits a partial walk.
+    pub(crate) fn expand_pending(
+        &mut self,
+        sys: &mut GridVineSystem,
+        origin: PeerId,
+        strategy: Strategy,
+        ttl: usize,
+    ) -> Result<(), SystemError> {
+        let ClosureSweep::Cold {
+            walk,
+            record,
+            pending,
+        } = self
+        else {
+            return Ok(());
+        };
+        let Some(hop) = pending.take() else {
+            return Ok(());
+        };
+        let hop = *hop;
+        if hop.depth < ttl {
+            let (next_peer, mappings) =
+                sys.discover_mappings(origin, hop.at_peer, &hop.schema, strategy)?;
+            for m in mappings {
+                let Some(dir) = m.applicable_from(&hop.schema) else {
+                    continue;
+                };
+                if walk.visited(m.destination(dir)) {
+                    continue;
+                }
+                let Some(np) = gridvine_semantic::reformulate_pattern(&hop.pat, &m, dir) else {
+                    continue;
+                };
+                walk.admit(
+                    m.destination(dir).clone(),
+                    (Cow::Owned(np), next_peer, hop.quality.min(m.quality)),
+                    hop.depth + 1,
+                );
+            }
+        }
+        if walk.is_exhausted() {
+            if let Some((key, hops)) = record.take() {
+                let epoch = sys.registry.epoch();
+                sys.closure_cache.insert(epoch, key, hops);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop the pending hop without expanding it (early termination:
+    /// its discovery messages are never sent and no cache entry is
+    /// committed).
+    pub(crate) fn discard_pending(&mut self) {
+        if let ClosureSweep::Cold { pending, .. } = self {
+            *pending = None;
+        }
+    }
+}
+
 impl GridVineSystem {
     /// Evaluate a logical [`QueryPlan`] from `origin` under `options` —
-    /// the single `SearchFor` entry point (§2.3, §3, §4) behind which
+    /// the blocking `SearchFor` entry point (§2.3, §3, §4) behind which
     /// pattern lookups, prefix range sweeps, reformulation closures and
     /// conjunctive joins all run.
     ///
-    /// Message accounting is exactly that of the legacy entry points
-    /// (which are now shims over this method): every hop, response and
-    /// replica propagation is charged on the overlay counter and
-    /// reported in [`ExecStats::messages`].
+    /// This is a thin drain of [`GridVineSystem::open`]: it pulls the
+    /// session to completion and returns the accumulated outcome, so
+    /// `execute` and a drained session are identical on results *and*
+    /// message accounting (the equivalence proptests pin this). Every
+    /// hop, response and replica propagation is charged on the overlay
+    /// counter and reported in [`ExecStats::messages`].
     pub fn execute(
         &mut self,
         origin: PeerId,
         plan: &QueryPlan,
         options: &QueryOptions,
     ) -> Result<QueryOutcome, SystemError> {
-        let before = self.overlay.messages_sent();
-        let ttl = options.ttl.unwrap_or(self.config.ttl);
-        let mut out = match plan {
-            QueryPlan::Pattern { query } => self.exec_pattern(origin, query)?,
-            QueryPlan::ObjectPrefix { query } => self.exec_object_prefix(origin, query)?,
-            QueryPlan::Closure { query } => {
-                self.exec_closure(origin, query, options.strategy, ttl)?
-            }
-            QueryPlan::Join { query, order } => self.exec_join(
-                origin,
-                query,
-                order,
-                options.strategy,
-                options.join_mode,
-                ttl,
-            )?,
-        };
-        out.stats.messages = self.overlay.messages_sent() - before;
-        if let Some(limit) = options.limit {
-            out.rows.truncate(limit);
-        }
-        Ok(out)
-    }
-
-    /// Route one concrete query to `Hash(routing constant)` and stream
-    /// the destination's matches, projecting onto the distinguished
-    /// variable: returns the sorted distinct terms plus the raw match
-    /// count (what the destination shipped).
-    fn resolve_routed(
-        &mut self,
-        origin: PeerId,
-        query: &TriplePatternQuery,
-    ) -> Result<(Vec<Term>, usize), SystemError> {
-        let Some((_, term)) = query.pattern.routing_constant() else {
-            return Err(SystemError::NotRoutable);
-        };
-        let key = self.key_of(term.lexical());
-        let route = self.overlay.route(origin, &key, &mut self.rng)?;
-        self.overlay.charge_response(origin, route.destination);
-        let db = &self.local_dbs[route.destination.index()];
-        let mut shipped = 0usize;
-        let mut results: Vec<Term> = Vec::new();
-        for b in db.match_pattern_iter(&query.pattern) {
-            shipped += 1;
-            if let Some(t) = b.get(&query.distinguished) {
-                results.push(t.clone());
-            }
-        }
-        results.sort();
-        results.dedup();
-        Ok((results, shipped))
+        let mut session = self.open(origin, plan, options)?;
+        while session.next_event()?.is_some() {}
+        Ok(session.into_outcome())
     }
 
     /// Route one concrete triple pattern and return every matching
     /// binding from the destination's `DB_p`, streamed off the cursor
     /// layer; the response message is charged exactly as a `Retrieve`.
-    fn resolve_pattern_once(
+    pub(crate) fn resolve_pattern_once(
         &mut self,
         origin: PeerId,
         pattern: &TriplePattern,
@@ -315,7 +552,7 @@ impl GridVineSystem {
     /// response); recursive forwards the query to the schema-key peer,
     /// which reads its local list for free and becomes the next hop's
     /// issuer. Returns `(issuing peer for the next hops, mappings)`.
-    fn discover_mappings(
+    pub(crate) fn discover_mappings(
         &mut self,
         origin: PeerId,
         at_peer: PeerId,
@@ -344,111 +581,21 @@ impl GridVineSystem {
         }
     }
 
-    /// [`QueryPlan::Pattern`]: one routed lookup.
-    fn exec_pattern(
-        &mut self,
-        origin: PeerId,
-        query: &TriplePatternQuery,
-    ) -> Result<QueryOutcome, SystemError> {
-        let (terms, shipped) = self.resolve_routed(origin, query)?;
-        Ok(QueryOutcome {
-            rows: terms
-                .into_iter()
-                .map(|t| one_var_row(&query.distinguished, t))
-                .collect(),
-            stats: ExecStats {
-                subqueries: 1,
-                bindings_shipped: shipped,
-                ..ExecStats::default()
-            },
-        })
-    }
-
-    /// [`QueryPlan::ObjectPrefix`]: visit every peer region intersecting
-    /// the prefix (the same regions, routes and response charges as a
-    /// range `Retrieve`) and evaluate each destination's indexed `DB_p`;
-    /// the object prefix runs as a sorted-key range scan there. Only
-    /// routable under [`HashKind::OrderPreserving`] (§2.2).
-    fn exec_object_prefix(
-        &mut self,
-        origin: PeerId,
-        query: &TriplePatternQuery,
-    ) -> Result<QueryOutcome, SystemError> {
-        if self.config.hash != HashKind::OrderPreserving {
-            return Err(SystemError::NotRoutable);
-        }
-        let Some(prefix) = object_prefix_core(&query.pattern) else {
-            return Err(SystemError::NotRoutable);
-        };
-        let key_prefix = self.keyspace().prefix_key(prefix);
-        let mut stats = ExecStats::default();
-        let mut results: Vec<Term> = Vec::new();
-        for region in self.overlay.range_regions(&key_prefix) {
-            let probe = if region.len() >= key_prefix.len() {
-                region
-            } else {
-                key_prefix.clone()
-            };
-            let route = self.overlay.route(origin, &probe, &mut self.rng)?;
-            self.overlay.charge_response(origin, route.destination);
-            stats.subqueries += 1;
-            let db = &self.local_dbs[route.destination.index()];
-            for b in db.match_pattern_iter(&query.pattern) {
-                stats.bindings_shipped += 1;
-                if let Some(t) = b.get(&query.distinguished) {
-                    results.push(t.clone());
-                }
-            }
-        }
-        // The global sort + dedup collapses replica-group duplicates.
-        results.sort();
-        results.dedup();
-        Ok(QueryOutcome {
-            rows: results
-                .into_iter()
-                .map(|t| one_var_row(&query.distinguished, t))
-                .collect(),
-            stats,
-        })
-    }
-
-    /// [`QueryPlan::Closure`]: the full `SearchFor` dissemination —
-    /// answer the query in its own schema, then in every schema
-    /// reachable through active mappings within the TTL, depth-first
-    /// over a step-wise [`ClosureWalk`].
-    fn exec_closure(
-        &mut self,
-        origin: PeerId,
-        query: &TriplePatternQuery,
-        strategy: Strategy,
-        ttl: usize,
-    ) -> Result<QueryOutcome, SystemError> {
-        // The `SearchFor` contract requires a schema'd predicate (§2.3);
-        // a schema-less pattern is an error here, not a plain lookup.
-        gridvine_semantic::query_schema(query).map_err(|_| SystemError::NoQuerySchema)?;
-        let net = self.sweep_pattern_network(origin, &query.pattern, strategy, ttl)?;
-        let mut stats = ExecStats::default();
-        net.charge(&mut stats);
-        let all: BTreeSet<Term> = net
-            .bindings
-            .iter()
-            .filter_map(|b| b.get(&query.distinguished).cloned())
-            .collect();
-        Ok(QueryOutcome {
-            rows: all
-                .into_iter()
-                .map(|t| one_var_row(&query.distinguished, t))
-                .collect(),
-            stats,
-        })
-    }
-
     /// Resolve a pattern over the mapping network: answer it in its own
     /// schema, then in every schema reachable through active mappings
     /// (within the TTL), aggregating bindings. Patterns whose predicate
     /// is a variable (or does not name a schema) are resolved once,
     /// without reformulation — there is no schema to translate from.
-    fn sweep_pattern_network(
+    ///
+    /// Under the iterative strategy the fully-expanded closure is
+    /// memoized in the system's epoch-keyed
+    /// [`ClosureCache`](gridvine_semantic::ClosureCache): while the
+    /// mapping network is unchanged, a repeated sweep replays the
+    /// recorded hops from the origin — identical resolutions, identical
+    /// result bindings, but no mapping-list retrieves at all. This is
+    /// the bulk (join-pattern) twin of the session's incremental
+    /// closure state; both record and replay the same cache entries.
+    pub(crate) fn sweep_pattern_network(
         &mut self,
         origin: PeerId,
         pattern: &TriplePattern,
@@ -456,186 +603,21 @@ impl GridVineSystem {
         ttl: usize,
     ) -> Result<NetSweep, SystemError> {
         let mut net = NetSweep::default();
-        let Ok((origin_schema, _)) = gridvine_semantic::pattern_schema(pattern) else {
+        let Ok((origin_schema, attr)) = gridvine_semantic::pattern_schema(pattern) else {
             // Un-schema'd pattern: a single routed resolution.
-            net.subqueries = 1;
+            net.stats.subqueries = 1;
             net.bindings = self.resolve_pattern_once(origin, pattern)?;
             return Ok(net);
         };
-        // The origin pattern is borrowed (`Cow`): the traversal only
-        // clones what a hop actually creates.
-        let mut walk: ClosureWalk<(Cow<'_, TriplePattern>, PeerId)> =
-            ClosureWalk::new(origin_schema, (Cow::Borrowed(pattern), origin));
-        while let Some((schema, (pat, at_peer), depth)) = walk.next_depth_first() {
-            net.subqueries += 1;
-            match self.resolve_pattern_once(at_peer, &pat) {
-                Ok(bindings) => net.bindings.extend(bindings),
-                Err(_) => net.failures += 1,
+        let mut sweep =
+            ClosureSweep::open(self, origin, pattern, origin_schema, attr, strategy, ttl);
+        while let Some(hop) = sweep.resolve_next(self, origin)? {
+            hop.charge(&mut net.stats);
+            if let Some(bindings) = hop.bindings {
+                net.bindings.extend(bindings);
             }
-            if depth >= ttl {
-                continue;
-            }
-            let (next_peer, mappings) =
-                self.discover_mappings(origin, at_peer, &schema, strategy)?;
-            for m in mappings {
-                let Some(dir) = m.applicable_from(&schema) else {
-                    continue;
-                };
-                if walk.visited(m.destination(dir)) {
-                    continue;
-                }
-                let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir) else {
-                    continue;
-                };
-                net.reformulations += 1;
-                walk.admit(
-                    m.destination(dir).clone(),
-                    (Cow::Owned(np), next_peer),
-                    depth + 1,
-                );
-            }
+            sweep.expand_pending(self, origin, strategy, ttl)?;
         }
-        net.schemas_visited = walk.visited_count();
         Ok(net)
-    }
-
-    /// [`QueryPlan::Join`]: disseminate every pattern like a closure and
-    /// aggregate the binding sets in the hash-join engine (§2.3), under
-    /// either join mode.
-    fn exec_join(
-        &mut self,
-        origin: PeerId,
-        query: &ConjunctiveQuery,
-        order: &[usize],
-        strategy: Strategy,
-        mode: JoinMode,
-        ttl: usize,
-    ) -> Result<QueryOutcome, SystemError> {
-        let mut stats = ExecStats::default();
-
-        // The hash-join binding engine (gridvine_rdf::join): solution
-        // rows are term-code vectors over the query's variable slots,
-        // coded against a query-scoped interner (peers materialize terms
-        // into the wire format, so codes must be assigned at the
-        // origin). Joins and dedup compare u64s; terms are materialized
-        // again only for the rows that survive.
-        let vars = VarTable::from_patterns(&query.patterns);
-        let mut interner = TermInterner::new();
-        let mut rows: Vec<Vec<u64>> = vec![vars.empty_row()];
-        match mode {
-            JoinMode::Independent => {
-                // One full network sweep per pattern — in written order,
-                // which the sweep accounting is defined over — then
-                // hash-join the binding sets.
-                let mut sets: Vec<Vec<Vec<u64>>> = Vec::with_capacity(query.patterns.len());
-                for pattern in &query.patterns {
-                    let net = self.sweep_pattern_network(origin, pattern, strategy, ttl)?;
-                    net.charge(&mut stats);
-                    sets.push(
-                        net.bindings
-                            .iter()
-                            .map(|b| interner.encode(b, &vars))
-                            .collect(),
-                    );
-                }
-                for set in sets {
-                    rows = hash_join_rows(&rows, &set);
-                    if rows.is_empty() {
-                        break;
-                    }
-                }
-            }
-            JoinMode::BoundSubstitution => {
-                // The planner's selectivity order: each partial solution
-                // row is substituted into the next pattern before that
-                // subquery is shipped.
-                for &pi in order {
-                    let pattern = &query.patterns[pi];
-                    // Rows agreeing on the pattern's already-bound
-                    // variables produce the same substituted instance —
-                    // group by those codes so each instance is resolved
-                    // once.
-                    let bound_slots: Vec<(usize, &str)> = pattern
-                        .variables()
-                        .iter()
-                        .filter_map(|v| {
-                            let slot = vars.slot(v)?;
-                            (rows[0][slot] != UNBOUND).then_some((slot, *v))
-                        })
-                        .collect();
-                    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (rep row, members)
-                    let mut by_key: HashMap<Vec<u64>, usize> = HashMap::new();
-                    for (i, row) in rows.iter().enumerate() {
-                        let key: Vec<u64> = bound_slots.iter().map(|&(s, _)| row[s]).collect();
-                        match by_key.get(&key) {
-                            Some(&g) => groups[g].1.push(i),
-                            None => {
-                                by_key.insert(key, groups.len());
-                                groups.push((i, vec![i]));
-                            }
-                        }
-                    }
-                    let mut next = Vec::new();
-                    for (rep, members) in groups {
-                        let mut seed = Binding::new();
-                        for &(slot, name) in &bound_slots {
-                            seed.bind(name.to_string(), interner.term(rows[rep][slot]).clone());
-                        }
-                        let sub = pattern.substitute(&seed);
-                        match self.sweep_pattern_network(origin, &sub, strategy, ttl) {
-                            Ok(net) => {
-                                net.charge(&mut stats);
-                                // The substituted instance's matches bind
-                                // only the pattern's remaining variables:
-                                // merge each into every member row.
-                                let fragments: Vec<Vec<u64>> = net
-                                    .bindings
-                                    .iter()
-                                    .map(|b| interner.encode(b, &vars))
-                                    .collect();
-                                for &i in &members {
-                                    let member = std::slice::from_ref(&rows[i]);
-                                    next.extend(hash_join_rows(member, &fragments));
-                                }
-                            }
-                            Err(SystemError::NotRoutable) => {
-                                stats.failures += 1;
-                            }
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    rows = next;
-                    if rows.is_empty() {
-                        break;
-                    }
-                }
-            }
-        }
-
-        // π onto the distinguished variables; dedup on codes before any
-        // term is materialized. `slots` and `proj` share one filtered
-        // name set so a distinguished variable absent from every
-        // pattern is skipped rather than misaligning names.
-        let mut slots: Vec<usize> = Vec::with_capacity(query.distinguished.len());
-        let mut proj = VarTable::new();
-        for d in &query.distinguished {
-            if let Some(s) = vars.slot(d) {
-                slots.push(s);
-                proj.slot_of(d);
-            }
-        }
-        let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
-        let mut bindings: Vec<Binding> = Vec::new();
-        for row in &rows {
-            let projected: Vec<u64> = slots.iter().map(|&s| row[s]).collect();
-            if seen.insert(projected.clone()) {
-                bindings.push(interner.decode(&projected, &proj));
-            }
-        }
-        bindings.sort_by_key(|b| b.to_string());
-        Ok(QueryOutcome {
-            rows: bindings,
-            stats,
-        })
     }
 }

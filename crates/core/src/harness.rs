@@ -136,6 +136,17 @@ pub struct WanBatchOptions {
     /// Poisson arrival process: mean inter-arrival between query
     /// submissions; `None` submits the whole batch at time zero.
     pub mean_interarrival: Option<SimDuration>,
+    /// Per-query result cap for [`QueryPlan::Closure`] plans — the WAN
+    /// twin of the synchronous session's early termination: once a
+    /// query has collected `limit` **distinct** matched bindings, its
+    /// mapping-fetch
+    /// completions stop expanding (no further reformulated lookups or
+    /// deeper fetches are submitted), so a limited query sends strictly
+    /// fewer messages than an unlimited one whenever dissemination
+    /// remained. Join plans ignore it (dropping a binding could drop
+    /// the joining row, changing results rather than just truncating
+    /// them); in-flight requests are allowed to land.
+    pub limit: Option<usize>,
 }
 
 /// Everything one plan-driven WAN batch measured. The three legacy
@@ -206,6 +217,10 @@ enum WanWork {
 struct WanTrack {
     visited: BTreeSet<SchemaId>,
     bindings: Vec<Binding>,
+    /// Display forms of the distinct bindings collected so far — what
+    /// [`WanBatchOptions::limit`] counts against (duplicates shipped by
+    /// different schemas must not satisfy the cap early).
+    distinct: BTreeSet<String>,
     max_latency: SimDuration,
     /// Hop count of the depth-0 lookup, once it completed.
     hops: Option<u32>,
@@ -218,6 +233,7 @@ impl WanTrack {
         WanTrack {
             visited: BTreeSet::new(),
             bindings: Vec::new(),
+            distinct: BTreeSet::new(),
             max_latency: SimDuration::ZERO,
             hops: None,
             timed_out: false,
@@ -565,6 +581,12 @@ impl Deployment {
                         for item in &o.values {
                             if let MediationItem::Triple(t) = item {
                                 if let Some(b) = pat.match_triple(t) {
+                                    // Distinct tracking only matters to
+                                    // the limit check; unlimited
+                                    // batches skip its formatting cost.
+                                    if options.limit.is_some() {
+                                        track.distinct.insert(b.to_string());
+                                    }
                                     track.bindings.push(b);
                                     matched = true;
                                 }
@@ -585,6 +607,17 @@ impl Deployment {
                         accum,
                         depth,
                     } => {
+                        // Early termination: a closure query that has
+                        // already collected its result cap stops
+                        // expanding — the reformulated lookups and
+                        // deeper mapping fetches below are never sent.
+                        if matches!(plans[query], QueryPlan::Closure { .. })
+                            && options
+                                .limit
+                                .is_some_and(|k| tracks[query][pattern].distinct.len() >= k)
+                        {
+                            continue;
+                        }
                         let chain_accum = accum + o.latency();
                         // Mappings stored at this schema's key space;
                         // dedupe by id (bidirectional copies).
@@ -759,6 +792,7 @@ impl Deployment {
             &WanBatchOptions {
                 ttl: 0,
                 mean_interarrival: Some(self.config.mean_interarrival),
+                limit: None,
             },
         );
         BatchReport {
@@ -788,6 +822,7 @@ impl Deployment {
             &WanBatchOptions {
                 ttl,
                 mean_interarrival: None,
+                limit: None,
             },
         );
         ReformulatedBatchReport {
@@ -824,6 +859,7 @@ impl Deployment {
             &WanBatchOptions {
                 ttl,
                 mean_interarrival: None,
+                limit: None,
             },
         );
         ConjunctiveWanReport {
@@ -933,6 +969,7 @@ mod tests {
             &WanBatchOptions {
                 ttl: 0,
                 mean_interarrival: None,
+                limit: None,
             },
         );
         assert_eq!(rep.skipped, 1);
@@ -980,6 +1017,37 @@ mod tests {
         assert!(report.mean_schemas > 1.0, "{report:?}");
         assert!(report.mapping_fetches >= 1);
         assert!(report.data_lookups > 1, "reformulations issued lookups");
+    }
+
+    #[test]
+    fn limited_closure_sends_strictly_fewer_wan_messages() {
+        // k = 1 on a query whose closure reaches many schemas: once one
+        // binding landed, mapping-fetch completions stop expanding, so
+        // the limited batch must carry strictly fewer messages (and
+        // issue strictly fewer lookups) than the unlimited one.
+        let run = |limit: Option<usize>| {
+            let (mut d, w) = chained_deployment(6);
+            let gen = QueryGenerator::new(&w, QueryConfig::default());
+            let fig2 = gen.figure2();
+            let rep = d.run_plans(
+                &[QueryPlan::search(fig2.query.clone())],
+                &WanBatchOptions {
+                    ttl: 10,
+                    mean_interarrival: None,
+                    limit,
+                },
+            );
+            (rep.answered, rep.messages, rep.data_lookups)
+        };
+        let (full_answered, full_messages, full_lookups) = run(None);
+        let (lim_answered, lim_messages, lim_lookups) = run(Some(1));
+        assert_eq!(full_answered, 1);
+        assert_eq!(lim_answered, 1, "the capped query still answers");
+        assert!(
+            lim_messages < full_messages,
+            "limit 1 must cut messages: {lim_messages} vs {full_messages}"
+        );
+        assert!(lim_lookups < full_lookups);
     }
 
     #[test]

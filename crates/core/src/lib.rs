@@ -8,16 +8,24 @@
 //! * [`gridvine_rdf`] and [`gridvine_semantic`] provide the semantic
 //!   mediation layer's data model and self-organizing logic.
 //!
-//! The query surface is a **logical plan → physical executor**
+//! The query surface is a **logical plan → pull-based session**
 //! pipeline: a [`plan::QueryPlan`] names the shape of one `SearchFor`
 //! (pattern lookup, object-prefix range sweep, reformulation closure,
-//! conjunctive join) and the one entry point
-//! [`GridVineSystem::execute`](system::GridVineSystem::execute)
-//! evaluates it under [`exec::QueryOptions`] (strategy, join mode, TTL,
-//! result limit), returning a uniform [`exec::QueryOutcome`]. The four
-//! historical entry points (`resolve_pattern`, `resolve_object_prefix`,
-//! `search`, `search_conjunctive`) remain as deprecated shims over
-//! `execute` — see [`exec`] for the migration table.
+//! conjunctive join);
+//! [`GridVineSystem::open`](system::GridVineSystem::open) turns it into
+//! an incremental [`session::QuerySession`] that advances one routed
+//! subquery per pull and yields [`session::ResultEvent`]s (row batches,
+//! schema hops with path quality, stats deltas) with genuine early
+//! termination, while
+//! [`GridVineSystem::execute`](system::GridVineSystem::execute) is the
+//! blocking drain of such a session under [`exec::QueryOptions`]
+//! (strategy, join mode, TTL, result limit), returning a uniform
+//! [`exec::QueryOutcome`]. Repeated iterative plans over an unchanged
+//! mapping network replay an epoch-keyed reformulation-closure cache
+//! instead of re-walking the BFS. The four historical entry points
+//! (`resolve_pattern`, `resolve_object_prefix`, `search`,
+//! `search_conjunctive`) completed their deprecation cycle and are
+//! deleted — see [`session`] for the migration table.
 //!
 //! Two execution modes cover the paper's experiments:
 //!
@@ -65,6 +73,7 @@ pub mod selforg;
 pub mod system;
 
 pub use system::exec;
+pub use system::session;
 
 /// Glob-import surface.
 pub mod prelude {
@@ -75,11 +84,10 @@ pub mod prelude {
     pub use crate::item::{KeySpace, MediationItem};
     pub use crate::plan::QueryPlan;
     pub use crate::selforg::{RoundReport, SelfOrgConfig};
-    pub use crate::system::conjunctive::{ConjunctiveOutcome, JoinMode};
+    pub use crate::system::conjunctive::JoinMode;
     pub use crate::system::exec::{ExecStats, QueryOptions, QueryOutcome};
-    pub use crate::system::{
-        apply_mapping, GridVineConfig, GridVineSystem, SearchOutcome, Strategy, SystemError,
-    };
+    pub use crate::system::session::{QuerySession, ResultEvent};
+    pub use crate::system::{apply_mapping, GridVineConfig, GridVineSystem, Strategy, SystemError};
 }
 
 pub use harness::{
@@ -89,8 +97,7 @@ pub use harness::{
 pub use item::{KeySpace, MediationItem};
 pub use plan::QueryPlan;
 pub use selforg::{RoundReport, SelfOrgConfig};
-pub use system::conjunctive::{ConjunctiveOutcome, JoinMode};
+pub use system::conjunctive::JoinMode;
 pub use system::exec::{ExecStats, QueryOptions, QueryOutcome};
-pub use system::{
-    apply_mapping, GridVineConfig, GridVineSystem, SearchOutcome, Strategy, SystemError,
-};
+pub use system::session::{QuerySession, ResultEvent};
+pub use system::{apply_mapping, GridVineConfig, GridVineSystem, Strategy, SystemError};

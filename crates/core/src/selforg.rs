@@ -332,10 +332,9 @@ impl GridVineSystem {
 mod tests {
     // The legacy shims stay under test here; the equivalence suite
     // proves they match the executor.
-    #![allow(deprecated)]
 
     use super::*;
-    use crate::system::{GridVineConfig, Strategy};
+    use crate::system::GridVineConfig;
     use gridvine_workload::{recall, QueryConfig, QueryGenerator, Workload, WorkloadConfig};
 
     /// Load a small corpus into a system, seeding only `seed_mappings`
@@ -427,9 +426,13 @@ mod tests {
         let fig2 = gen.figure2();
 
         let before = sys
-            .search(PeerId(2), &fig2.query, Strategy::Iterative)
+            .execute(
+                PeerId(2),
+                &crate::plan::QueryPlan::search(fig2.query.clone()),
+                &crate::exec::QueryOptions::default(),
+            )
             .unwrap();
-        let recall_before = recall(&before.accessions, &fig2.true_answers);
+        let recall_before = recall(&before.accessions(), &fig2.true_answers);
 
         let cfg = SelfOrgConfig {
             max_new_mappings: 6,
@@ -443,9 +446,13 @@ mod tests {
         assert!(created > 0, "rounds must create mappings: {reports:?}");
 
         let after = sys
-            .search(PeerId(2), &fig2.query, Strategy::Iterative)
+            .execute(
+                PeerId(2),
+                &crate::plan::QueryPlan::search(fig2.query.clone()),
+                &crate::exec::QueryOptions::default(),
+            )
             .unwrap();
-        let recall_after = recall(&after.accessions, &fig2.true_answers);
+        let recall_after = recall(&after.accessions(), &fig2.true_answers);
         assert!(
             recall_after >= recall_before,
             "recall {recall_before} → {recall_after} must not drop"

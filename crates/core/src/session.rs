@@ -1,0 +1,804 @@
+//! Pull-based query sessions: incremental `SearchFor` with genuine
+//! early termination.
+//!
+//! GridVine's query model is inherently incremental — reformulations
+//! fan out hop-by-hop through the mapping network and results trickle
+//! back per destination peer — but a monolithic
+//! [`GridVineSystem::execute`] drains the whole closure walk before
+//! returning anything. A [`QuerySession`] exposes the walk itself:
+//! [`GridVineSystem::open`] validates the plan and *performs no work*;
+//! each [`QuerySession::next_event`] pull advances the underlying
+//! [`ClosureWalk`](gridvine_semantic::ClosureWalk) (or prefix sweep,
+//! or join pipeline) by **one routed
+//! subquery** and yields the [`ResultEvent`]s that step produced.
+//!
+//! Early termination is structural, not cosmetic: a subquery is only
+//! issued by a pull, so dropping the session — or hitting the
+//! [`QueryOptions::limit`] result cap — stops the dissemination right
+//! there and the remaining remote subqueries are *never sent*. A
+//! `limit(k)` query over a deep mapping chain pays for the hops that
+//! produced its `k` rows, not for the whole closure.
+//!
+//! ## Migration from the monolithic entry points
+//!
+//! The four legacy `SearchFor` methods (deleted in this release after
+//! one deprecation cycle) map onto plans + sessions:
+//!
+//! | Removed entry point | Plan + session |
+//! |---|---|
+//! | `resolve_pattern(p, &q)` | `open(p, &QueryPlan::pattern(q), &opts)` |
+//! | `resolve_object_prefix(p, &q)` | `open(p, &QueryPlan::object_prefix(q), &opts)` |
+//! | `search(p, &q, strategy)` | `open(p, &QueryPlan::search(q), &opts.strategy(strategy))` |
+//! | `search_conjunctive(p, &q, s, m)` | `open(p, &QueryPlan::conjunctive(q), &opts.strategy(s).join_mode(m))` |
+//!
+//! Draining a session and calling [`GridVineSystem::execute`] are the
+//! same thing — `execute` *is* `open` + drain (+ the canonical result
+//! sort) — so callers that want the old blocking behaviour keep using
+//! `execute` and get identical results and message accounting.
+//!
+//! ## Events
+//!
+//! * [`ResultEvent::Rows`] — fresh **distinct** solution rows
+//!   (projected onto the distinguished variables), in discovery order,
+//!   streamed off the destination stores' cursor layer. A row is never
+//!   repeated across batches.
+//! * [`ResultEvent::SchemaHop`] — the closure walk resolved the query
+//!   at a schema: mapping-path depth and path quality (the minimum
+//!   mapping quality along the path, the confidence proxy of
+//!   [`Reformulation::path_quality`](gridvine_semantic::Reformulation::path_quality)).
+//!   Emitted by single-pattern closure plans; join plans run their
+//!   per-pattern sweeps as whole units and report them via `Stats`.
+//! * [`ResultEvent::Stats`] — the [`ExecStats`] *delta* of the step
+//!   (messages, subqueries, reformulations, …) since the previous
+//!   event. Summing the deltas of a drained session reproduces
+//!   [`QueryOutcome::stats`]. Every step emits one, so progress is
+//!   observable even while a hop returns no rows.
+//!
+//! ## The reformulation-closure cache
+//!
+//! Under the iterative strategy, the closure a pattern expands to
+//! depends only on its predicate and the mapping network. The system
+//! memoizes each fully-expanded closure in an epoch-keyed
+//! [`ClosureCache`](gridvine_semantic::ClosureCache): while the
+//! registry [`epoch`](gridvine_semantic::MappingRegistry::epoch) is
+//! unchanged, a repeated plan replays the recorded hops — skipping the
+//! BFS *and* its per-schema mapping-list retrieves — and a mapping
+//! insert / deprecation / repair invalidates everything at once.
+//! Early-terminated walks record nothing (a partial closure must never
+//! be replayed as complete); the recursive strategy never consults the
+//! cache, since delegating discovery to intermediate peers is that
+//! strategy's point.
+//!
+//! ```
+//! use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, ResultEvent};
+//! use gridvine_pgrid::PeerId;
+//! use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+//! use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+//!
+//! let mut sys = GridVineSystem::new(GridVineConfig::default());
+//! let p = PeerId(0);
+//! sys.insert_schema(p, Schema::new("EMBL", ["Organism"]))?;
+//! sys.insert_schema(p, Schema::new("EMP", ["SystematicName"]))?;
+//! sys.insert_mapping(p, "EMBL", "EMP", MappingKind::Equivalence, Provenance::Manual,
+//!     vec![Correspondence::new("Organism", "SystematicName")])?;
+//! sys.insert_triple(p, Triple::new("seq:A78712", "EMBL#Organism",
+//!     Term::literal("Aspergillus niger")))?;
+//!
+//! let plan = QueryPlan::search(TriplePatternQuery::example_aspergillus());
+//! let mut session = sys.open(PeerId(3), &plan, &QueryOptions::default())?;
+//! while let Some(event) = session.next_event()? {
+//!     match event {
+//!         ResultEvent::SchemaHop { schema, depth, quality } => {
+//!             println!("answering in {schema} at depth {depth} (quality {quality})");
+//!         }
+//!         ResultEvent::Rows(batch) => println!("{} new rows", batch.len()),
+//!         ResultEvent::Stats(delta) => println!("+{} messages", delta.messages),
+//!     }
+//! }
+//! let outcome = session.into_outcome();
+//! assert_eq!(outcome.rows.len(), 1);
+//! # Ok::<(), gridvine_core::SystemError>(())
+//! ```
+
+use super::conjunctive::JoinMode;
+use super::exec::{one_var_row, ClosureSweep, ExecStats, QueryOptions, QueryOutcome};
+use super::*;
+use crate::plan::{object_prefix_core, QueryPlan};
+use gridvine_rdf::join::{hash_join_rows, TermInterner, VarTable, UNBOUND};
+use gridvine_rdf::{Binding, ConjunctiveQuery};
+use std::collections::{HashMap, VecDeque};
+
+/// One increment of a [`QuerySession`] (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultEvent {
+    /// Fresh distinct solution rows, projected onto the distinguished
+    /// variables, in discovery order.
+    Rows(Vec<Binding>),
+    /// The closure walk resolved the query at `schema`, reached over
+    /// `depth` mapping applications with path quality `quality`.
+    SchemaHop {
+        schema: SchemaId,
+        depth: usize,
+        quality: f64,
+    },
+    /// Counter movement since the previous event.
+    Stats(ExecStats),
+}
+
+/// How the accumulated rows are ordered by [`QuerySession::into_outcome`]
+/// (the canonical order the drained `execute` promises).
+enum RowOrder {
+    /// Single-pattern plans: by the distinguished variable's term.
+    ByTerm(String),
+    /// Join plans: by the row's display form.
+    ByDisplay,
+}
+
+/// Group queue of one bound-substitution pattern: rows agreeing on the
+/// pattern's already-bound variables share one substituted instance.
+struct Groups {
+    bound_slots: Vec<(usize, String)>,
+    queue: VecDeque<(usize, Vec<usize>)>,
+}
+
+/// Per-pattern progress of a join plan.
+enum JoinPhase {
+    /// Independent mode: one full network sweep per pattern, in written
+    /// order; fold + project once the last sweep lands.
+    Independent {
+        next_pattern: usize,
+        sets: Vec<Vec<Vec<u64>>>,
+    },
+    /// Bound substitution in the planner's order: one substituted-group
+    /// resolution per pull; rows complete at the last pattern.
+    Bound {
+        oi: usize,
+        groups: Option<Groups>,
+        next: Vec<Vec<u64>>,
+    },
+}
+
+/// Join-plan execution state: the hash-join binding engine of
+/// [`gridvine_rdf::join`], advanced one unit of network work per pull.
+struct JoinState<'a> {
+    query: &'a ConjunctiveQuery,
+    order: &'a [usize],
+    vars: VarTable<'a>,
+    interner: TermInterner,
+    /// Partial solution rows (term-code vectors over the variable slots).
+    rows: Vec<Vec<u64>>,
+    phase: JoinPhase,
+    /// π onto the distinguished variables: slots into `rows`' layout and
+    /// the projected table; `seen` dedups on projected codes before any
+    /// term is materialized.
+    slots: Vec<usize>,
+    proj: VarTable<'a>,
+    seen: BTreeSet<Vec<u64>>,
+}
+
+enum State<'a> {
+    Done,
+    /// One routed lookup.
+    Pattern {
+        query: &'a TriplePatternQuery,
+    },
+    /// One peer-region probe per pull.
+    Prefix {
+        query: &'a TriplePatternQuery,
+        probes: std::vec::IntoIter<BitString>,
+        seen: BTreeSet<Term>,
+    },
+    /// One closure hop per pull.
+    Closure {
+        query: &'a TriplePatternQuery,
+        sweep: Box<ClosureSweep<'a>>,
+        seen: BTreeSet<Term>,
+    },
+    Join(Box<JoinState<'a>>),
+}
+
+/// A lazily-advancing handle on one executing [`QueryPlan`] — see the
+/// [module docs](self) for the event protocol, early-termination
+/// guarantees and the closure cache.
+///
+/// The session borrows the system mutably: queries run one at a time,
+/// exactly as they did through `execute` (which is now a drain of this
+/// handle).
+pub struct QuerySession<'a> {
+    sys: &'a mut GridVineSystem,
+    origin: PeerId,
+    strategy: Strategy,
+    ttl: usize,
+    limit: Option<usize>,
+    start_messages: u64,
+    /// Cumulative counters (messages tracked separately off the overlay
+    /// counter).
+    stats: ExecStats,
+    /// The cumulative state already reported through `Stats` deltas.
+    reported: ExecStats,
+    /// Accumulated distinct solution rows, discovery order.
+    rows: Vec<Binding>,
+    order_by: RowOrder,
+    events: VecDeque<ResultEvent>,
+    /// A step failure waiting to surface once the events the failing
+    /// step already produced have been delivered.
+    error: Option<SystemError>,
+    state: State<'a>,
+}
+
+impl GridVineSystem {
+    /// Open a pull-based session on `plan` — the incremental
+    /// counterpart of [`GridVineSystem::execute`].
+    ///
+    /// Validates the plan shape (the same errors `execute` reports:
+    /// [`SystemError::NotRoutable`], [`SystemError::NoQuerySchema`])
+    /// but issues **no** subquery: all network work happens inside
+    /// [`QuerySession::next_event`] pulls, so a dropped session costs
+    /// nothing further.
+    pub fn open<'a>(
+        &'a mut self,
+        origin: PeerId,
+        plan: &'a QueryPlan,
+        options: &QueryOptions,
+    ) -> Result<QuerySession<'a>, SystemError> {
+        let ttl = options.ttl.unwrap_or(self.config.ttl);
+        let state = match plan {
+            QueryPlan::Pattern { query } => {
+                if query.pattern.routing_constant().is_none() {
+                    return Err(SystemError::NotRoutable);
+                }
+                State::Pattern { query }
+            }
+            QueryPlan::ObjectPrefix { query } => {
+                if self.config.hash != HashKind::OrderPreserving {
+                    return Err(SystemError::NotRoutable);
+                }
+                let Some(prefix) = object_prefix_core(&query.pattern) else {
+                    return Err(SystemError::NotRoutable);
+                };
+                let key_prefix = self.keyspace().prefix_key(prefix);
+                let probes: Vec<BitString> = self
+                    .overlay
+                    .range_regions(&key_prefix)
+                    .into_iter()
+                    .map(|region| {
+                        if region.len() >= key_prefix.len() {
+                            region
+                        } else {
+                            key_prefix.clone()
+                        }
+                    })
+                    .collect();
+                State::Prefix {
+                    query,
+                    probes: probes.into_iter(),
+                    seen: BTreeSet::new(),
+                }
+            }
+            QueryPlan::Closure { query } => {
+                // The `SearchFor` contract requires a schema'd predicate
+                // (§2.3); a schema-less pattern is an error here, not a
+                // plain lookup.
+                let (schema, attr) = gridvine_semantic::query_schema(query)
+                    .map_err(|_| SystemError::NoQuerySchema)?;
+                let sweep = ClosureSweep::open(
+                    self,
+                    origin,
+                    &query.pattern,
+                    schema,
+                    attr,
+                    options.strategy,
+                    ttl,
+                );
+                State::Closure {
+                    query,
+                    sweep: Box::new(sweep),
+                    seen: BTreeSet::new(),
+                }
+            }
+            QueryPlan::Join { query, order } => {
+                let vars = VarTable::from_patterns(&query.patterns);
+                let mut slots = Vec::with_capacity(query.distinguished.len());
+                let mut proj = VarTable::new();
+                // `slots` and `proj` share one filtered name set so a
+                // distinguished variable absent from every pattern is
+                // skipped rather than misaligning names.
+                for d in &query.distinguished {
+                    if let Some(s) = vars.slot(d) {
+                        slots.push(s);
+                        proj.slot_of(d);
+                    }
+                }
+                let rows = vec![vars.empty_row()];
+                let phase = match options.join_mode {
+                    JoinMode::Independent => JoinPhase::Independent {
+                        next_pattern: 0,
+                        sets: Vec::with_capacity(query.patterns.len()),
+                    },
+                    JoinMode::BoundSubstitution => JoinPhase::Bound {
+                        oi: 0,
+                        groups: None,
+                        next: Vec::new(),
+                    },
+                };
+                State::Join(Box::new(JoinState {
+                    query,
+                    order,
+                    vars,
+                    interner: TermInterner::new(),
+                    rows,
+                    phase,
+                    slots,
+                    proj,
+                    seen: BTreeSet::new(),
+                }))
+            }
+        };
+        let order_by = match plan {
+            QueryPlan::Join { .. } => RowOrder::ByDisplay,
+            QueryPlan::Pattern { query }
+            | QueryPlan::ObjectPrefix { query }
+            | QueryPlan::Closure { query } => RowOrder::ByTerm(query.distinguished.clone()),
+        };
+        Ok(QuerySession {
+            origin,
+            strategy: options.strategy,
+            ttl,
+            limit: options.limit,
+            start_messages: self.overlay.messages_sent(),
+            stats: ExecStats::default(),
+            reported: ExecStats::default(),
+            rows: Vec::new(),
+            order_by,
+            events: VecDeque::new(),
+            error: None,
+            state,
+            sys: self,
+        })
+    }
+}
+
+impl<'a> QuerySession<'a> {
+    /// Advance by (at most) one routed subquery and return the next
+    /// [`ResultEvent`], or `Ok(None)` once the plan is fully drained or
+    /// the result limit terminated it. Errors end the session: events
+    /// the failing step already produced (rows that *were* shipped and
+    /// charged) are delivered first, then the error surfaces exactly
+    /// once, then the session reports drained.
+    pub fn next_event(&mut self) -> Result<Option<ResultEvent>, SystemError> {
+        loop {
+            if let Some(ev) = self.events.pop_front() {
+                return Ok(Some(ev));
+            }
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
+            if matches!(self.state, State::Done) {
+                return Ok(None);
+            }
+            if let Err(e) = self.step() {
+                self.state = State::Done;
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Cumulative execution counters so far (messages included).
+    pub fn stats(&self) -> ExecStats {
+        let mut s = self.stats;
+        s.messages = self.sys.overlay.messages_sent() - self.start_messages;
+        s
+    }
+
+    /// Distinct solution rows accumulated so far, in discovery order.
+    pub fn rows(&self) -> &[Binding] {
+        &self.rows
+    }
+
+    /// The plan has no work left (drained, limit-terminated or failed).
+    pub fn is_complete(&self) -> bool {
+        matches!(self.state, State::Done) && self.events.is_empty()
+    }
+
+    /// Finish the session: the rows accumulated so far in the canonical
+    /// order (sorted as `execute` returns them) plus cumulative stats.
+    /// Valid at any point — after a full drain this is exactly the
+    /// [`QueryOutcome`] `execute` would have returned.
+    pub fn into_outcome(self) -> QueryOutcome {
+        let mut stats = self.stats;
+        stats.messages = self.sys.overlay.messages_sent() - self.start_messages;
+        let mut rows = self.rows;
+        match &self.order_by {
+            RowOrder::ByTerm(var) => rows.sort_by(|a, b| a.get(var).cmp(&b.get(var))),
+            RowOrder::ByDisplay => rows.sort_by_key(|b| b.to_string()),
+        }
+        QueryOutcome { rows, stats }
+    }
+
+    /// The result cap has been reached.
+    fn limit_reached(&self) -> bool {
+        self.limit.is_some_and(|k| self.rows.len() >= k)
+    }
+
+    /// Queue the step's `Stats` delta (always emitted: every step does
+    /// accountable work, so a drain observes monotone progress).
+    fn emit_stats_delta(&mut self) {
+        let cur = self.stats();
+        let delta = ExecStats {
+            messages: cur.messages - self.reported.messages,
+            subqueries: cur.subqueries - self.reported.subqueries,
+            reformulations: cur.reformulations - self.reported.reformulations,
+            schemas_visited: cur.schemas_visited - self.reported.schemas_visited,
+            failures: cur.failures - self.reported.failures,
+            bindings_shipped: cur.bindings_shipped - self.reported.bindings_shipped,
+        };
+        self.reported = cur;
+        self.events.push_back(ResultEvent::Stats(delta));
+    }
+
+    /// Admit freshly-shipped bindings of a single-pattern plan: project
+    /// onto the distinguished variable, dedup against `seen`, append to
+    /// the session rows. Returns `(batch, limit_hit)`.
+    fn admit_terms(
+        &mut self,
+        seen: &mut BTreeSet<Term>,
+        var: &str,
+        bindings: &[Binding],
+    ) -> (Vec<Binding>, bool) {
+        let mut batch = Vec::new();
+        for b in bindings {
+            let Some(t) = b.get(var) else { continue };
+            if !seen.insert(t.clone()) {
+                continue;
+            }
+            let row = one_var_row(var, t.clone());
+            self.rows.push(row.clone());
+            batch.push(row);
+            if self.limit_reached() {
+                return (batch, true);
+            }
+        }
+        (batch, false)
+    }
+
+    /// Perform one unit of work and queue its events.
+    fn step(&mut self) -> Result<(), SystemError> {
+        if self.limit_reached() {
+            self.state = State::Done;
+            return Ok(());
+        }
+        let mut state = std::mem::replace(&mut self.state, State::Done);
+        let result = match &mut state {
+            State::Done => Ok(true),
+            State::Pattern { query } => self.step_pattern(query),
+            State::Prefix {
+                query,
+                probes,
+                seen,
+            } => self.step_prefix(query, probes, seen),
+            State::Closure { query, sweep, seen } => self.step_closure(query, sweep, seen),
+            State::Join(join) => self.step_join(join),
+        };
+        match result {
+            Ok(done) => {
+                if !done {
+                    self.state = state;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`QueryPlan::Pattern`]: the single routed lookup.
+    fn step_pattern(&mut self, query: &TriplePatternQuery) -> Result<bool, SystemError> {
+        self.stats.subqueries += 1;
+        let bindings = self.sys.resolve_pattern_once(self.origin, &query.pattern)?;
+        self.stats.bindings_shipped += bindings.len();
+        let mut seen = BTreeSet::new();
+        let (batch, _) = self.admit_terms(&mut seen, &query.distinguished, &bindings);
+        if !batch.is_empty() {
+            self.events.push_back(ResultEvent::Rows(batch));
+        }
+        self.emit_stats_delta();
+        Ok(true)
+    }
+
+    /// [`QueryPlan::ObjectPrefix`]: probe the next peer region of the
+    /// prefix's bit-region (same regions, routes and response charges
+    /// as a range `Retrieve`).
+    fn step_prefix(
+        &mut self,
+        query: &TriplePatternQuery,
+        probes: &mut std::vec::IntoIter<BitString>,
+        seen: &mut BTreeSet<Term>,
+    ) -> Result<bool, SystemError> {
+        let Some(probe) = probes.next() else {
+            return Ok(true);
+        };
+        let dest = self.sys.route_retrieve(self.origin, &probe)?;
+        self.stats.subqueries += 1;
+        let db = &self.sys.local_dbs[dest.index()];
+        let bindings: Vec<Binding> = db.match_pattern_iter(&query.pattern).collect();
+        self.stats.bindings_shipped += bindings.len();
+        let (batch, limit_hit) = self.admit_terms(seen, &query.distinguished, &bindings);
+        if !batch.is_empty() {
+            self.events.push_back(ResultEvent::Rows(batch));
+        }
+        self.emit_stats_delta();
+        Ok(limit_hit || probes.as_slice().is_empty())
+    }
+
+    /// [`QueryPlan::Closure`]: one hop of the reformulation closure —
+    /// resolve the (possibly reformulated) pattern at its destination
+    /// via the shared [`ClosureSweep`], then expand it (mapping
+    /// discovery — skipped outright when the result limit terminates
+    /// the walk at this hop, so the discovery messages are never sent).
+    fn step_closure(
+        &mut self,
+        query: &TriplePatternQuery,
+        sweep: &mut ClosureSweep<'_>,
+        seen: &mut BTreeSet<Term>,
+    ) -> Result<bool, SystemError> {
+        let Some(hop) = sweep.resolve_next(self.sys, self.origin)? else {
+            return Ok(true);
+        };
+        hop.charge(&mut self.stats);
+        self.events.push_back(ResultEvent::SchemaHop {
+            schema: hop.schema,
+            depth: hop.depth,
+            quality: hop.quality,
+        });
+        let mut limit_hit = false;
+        if let Some(bindings) = hop.bindings {
+            self.stats.bindings_shipped += bindings.len();
+            let (batch, hit) = self.admit_terms(seen, &query.distinguished, &bindings);
+            limit_hit = hit;
+            if !batch.is_empty() {
+                self.events.push_back(ResultEvent::Rows(batch));
+            }
+        }
+        if limit_hit {
+            // A truncated walk neither expands nor commits to the
+            // cache.
+            sweep.discard_pending();
+            self.emit_stats_delta();
+            return Ok(true);
+        }
+        sweep.expand_pending(self.sys, self.origin, self.strategy, self.ttl)?;
+        self.emit_stats_delta();
+        Ok(sweep.is_exhausted())
+    }
+
+    /// Project completed join rows onto the distinguished variables,
+    /// dedup on codes, admit fresh rows. Returns `(batch, limit_hit)`.
+    fn admit_join_rows(
+        join: &mut JoinState<'_>,
+        completed: &[Vec<u64>],
+        rows: &mut Vec<Binding>,
+        limit: Option<usize>,
+    ) -> (Vec<Binding>, bool) {
+        let mut batch = Vec::new();
+        for row in completed {
+            let projected: Vec<u64> = join.slots.iter().map(|&s| row[s]).collect();
+            if !join.seen.insert(projected.clone()) {
+                continue;
+            }
+            let b = join.interner.decode(&projected, &join.proj);
+            rows.push(b.clone());
+            batch.push(b);
+            if limit.is_some_and(|k| rows.len() >= k) {
+                return (batch, true);
+            }
+        }
+        (batch, false)
+    }
+
+    /// [`QueryPlan::Join`]: one unit of join work — a full pattern
+    /// sweep (independent mode) or one substituted-group resolution
+    /// (bound substitution).
+    fn step_join(&mut self, join: &mut JoinState<'a>) -> Result<bool, SystemError> {
+        match &mut join.phase {
+            JoinPhase::Independent { .. } => self.step_join_independent(join),
+            JoinPhase::Bound { .. } => self.step_join_bound(join),
+        }
+    }
+
+    /// Independent mode: sweep the next pattern (written order — the
+    /// order its message accounting is defined over); after the last
+    /// sweep, fold the binding sets through the hash-join engine and
+    /// emit the projected rows.
+    fn step_join_independent(&mut self, join: &mut JoinState<'a>) -> Result<bool, SystemError> {
+        let done = {
+            let JoinState {
+                query,
+                interner,
+                vars,
+                rows: partial,
+                phase,
+                ..
+            } = &mut *join;
+            let JoinPhase::Independent { next_pattern, sets } = phase else {
+                unreachable!("phase checked by step_join");
+            };
+            let pattern = &query.patterns[*next_pattern];
+            let net =
+                self.sys
+                    .sweep_pattern_network(self.origin, pattern, self.strategy, self.ttl)?;
+            net.charge(&mut self.stats);
+            sets.push(
+                net.bindings
+                    .iter()
+                    .map(|b| interner.encode(b, vars))
+                    .collect(),
+            );
+            *next_pattern += 1;
+            if *next_pattern < query.patterns.len() {
+                None
+            } else {
+                // All sweeps landed: fold + project locally.
+                let mut rows = std::mem::take(partial);
+                for set in sets.iter() {
+                    rows = hash_join_rows(&rows, set);
+                    if rows.is_empty() {
+                        break;
+                    }
+                }
+                Some(rows)
+            }
+        };
+        let Some(completed) = done else {
+            self.emit_stats_delta();
+            return Ok(false);
+        };
+        let (batch, _) = Self::admit_join_rows(join, &completed, &mut self.rows, self.limit);
+        if !batch.is_empty() {
+            self.events.push_back(ResultEvent::Rows(batch));
+        }
+        self.emit_stats_delta();
+        Ok(true)
+    }
+
+    /// Bound substitution: resolve one substituted instance (one group
+    /// of rows agreeing on the pattern's bound variables). Rows
+    /// complete at the last pattern of the planner's order — reaching
+    /// the result limit there skips every remaining group, so the
+    /// leftover subqueries are never issued.
+    fn step_join_bound(&mut self, join: &mut JoinState<'a>) -> Result<bool, SystemError> {
+        // Phase bookkeeping (split out so the phase borrow never
+        // overlaps the interner/row borrows below).
+        let (pattern_index, last) = {
+            let JoinPhase::Bound { oi, .. } = &join.phase else {
+                unreachable!("phase checked by step_join");
+            };
+            (join.order[*oi], *oi + 1 == join.order.len())
+        };
+        let pattern = &join.query.patterns[pattern_index];
+        // Rows agreeing on the pattern's already-bound variables
+        // produce the same substituted instance — group by those codes
+        // so each instance is resolved once.
+        if matches!(&join.phase, JoinPhase::Bound { groups: None, .. }) {
+            let bound_slots: Vec<(usize, String)> = pattern
+                .variables()
+                .iter()
+                .filter_map(|v| {
+                    let slot = join.vars.slot(v)?;
+                    (join.rows[0][slot] != UNBOUND).then(|| (slot, v.to_string()))
+                })
+                .collect();
+            let mut by_key: HashMap<Vec<u64>, usize> = HashMap::new();
+            let mut queue: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (i, row) in join.rows.iter().enumerate() {
+                let key: Vec<u64> = bound_slots.iter().map(|&(s, _)| row[s]).collect();
+                match by_key.get(&key) {
+                    Some(&g) => queue[g].1.push(i),
+                    None => {
+                        by_key.insert(key, queue.len());
+                        queue.push((i, vec![i]));
+                    }
+                }
+            }
+            let JoinPhase::Bound { groups, .. } = &mut join.phase else {
+                unreachable!("phase unchanged");
+            };
+            *groups = Some(Groups {
+                bound_slots,
+                queue: queue.into(),
+            });
+        }
+        let popped = {
+            let JoinPhase::Bound {
+                groups: Some(g), ..
+            } = &mut join.phase
+            else {
+                unreachable!("groups just built");
+            };
+            g.queue
+                .pop_front()
+                .map(|(rep, members)| (rep, members, g.bound_slots.clone()))
+        };
+        let mut limit_hit = false;
+        if let Some((rep, members, bound_slots)) = popped {
+            let mut seed = Binding::new();
+            for (slot, name) in &bound_slots {
+                seed.bind(
+                    name.clone(),
+                    join.interner.term(join.rows[rep][*slot]).clone(),
+                );
+            }
+            let sub = pattern.substitute(&seed);
+            match self
+                .sys
+                .sweep_pattern_network(self.origin, &sub, self.strategy, self.ttl)
+            {
+                Ok(net) => {
+                    net.charge(&mut self.stats);
+                    // The substituted instance's matches bind only the
+                    // pattern's remaining variables: merge each into
+                    // every member row.
+                    let fragments: Vec<Vec<u64>> = net
+                        .bindings
+                        .iter()
+                        .map(|b| join.interner.encode(b, &join.vars))
+                        .collect();
+                    let mut appended: Vec<Vec<u64>> = Vec::new();
+                    for &i in &members {
+                        let member = std::slice::from_ref(&join.rows[i]);
+                        let joined = hash_join_rows(member, &fragments);
+                        if last {
+                            let (batch, hit) =
+                                Self::admit_join_rows(join, &joined, &mut self.rows, self.limit);
+                            if !batch.is_empty() {
+                                self.events.push_back(ResultEvent::Rows(batch));
+                            }
+                            if hit {
+                                limit_hit = true;
+                                break;
+                            }
+                        } else {
+                            appended.extend(joined);
+                        }
+                    }
+                    if !appended.is_empty() {
+                        let JoinPhase::Bound { next, .. } = &mut join.phase else {
+                            unreachable!("phase unchanged");
+                        };
+                        next.extend(appended);
+                    }
+                }
+                Err(SystemError::NotRoutable) => {
+                    self.stats.failures += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.emit_stats_delta();
+        if limit_hit {
+            return Ok(true);
+        }
+        let JoinPhase::Bound { oi, groups, next } = &mut join.phase else {
+            unreachable!("phase unchanged");
+        };
+        if groups.as_ref().is_some_and(|g| !g.queue.is_empty()) {
+            return Ok(false);
+        }
+        // Pattern finished: advance (or end — either out of patterns,
+        // or no partial row survived, so no later pattern can produce
+        // rows and their subqueries are skipped, as the monolithic
+        // executor's early-exit did).
+        join.rows = std::mem::take(next);
+        *groups = None;
+        *oi += 1;
+        Ok(*oi >= join.order.len() || join.rows.is_empty())
+    }
+}
+
+impl Iterator for QuerySession<'_> {
+    type Item = Result<ResultEvent, SystemError>;
+
+    /// Iterator adapter over [`QuerySession::next_event`]: yields
+    /// `Err` once on failure, then ends.
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
+    }
+}

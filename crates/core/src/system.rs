@@ -34,10 +34,8 @@ use std::collections::BTreeSet;
 pub mod conjunctive;
 #[path = "exec.rs"]
 pub mod exec;
-
-use exec::{QueryOptions, QueryOutcome};
-
-use crate::plan::QueryPlan;
+#[path = "session.rs"]
+pub mod session;
 
 /// System-wide configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,26 +79,6 @@ impl Default for GridVineConfig {
 pub enum Strategy {
     Iterative,
     Recursive,
-}
-
-/// Outcome of one `SearchFor` dissemination.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct SearchOutcome {
-    /// Distinct result terms bound to the distinguished variable, over
-    /// all reformulations.
-    pub results: Vec<Term>,
-    /// Accessions extracted from `seq:` subjects among the results (for
-    /// recall against workload ground truth).
-    pub accessions: BTreeSet<String>,
-    /// Overlay messages consumed.
-    pub messages: u64,
-    /// Number of reformulated queries issued (excluding the original).
-    pub reformulations: usize,
-    /// Schemas the query reached (including the original).
-    pub schemas_visited: usize,
-    /// Reformulated queries that could not be routed (holes, missing
-    /// constants).
-    pub failures: usize,
 }
 
 /// Errors surfaced by mediation-layer operations.
@@ -157,6 +135,13 @@ pub struct GridVineSystem {
     /// the DHT (kept in lock-step with the DHT copies by the insert /
     /// deprecate operations below).
     registry: MappingRegistry,
+    /// Memoized reformulation closures, keyed by the registry's
+    /// mapping-network epoch: repeated iterative plans over an
+    /// unchanged mapping network replay recorded hops instead of
+    /// re-walking the BFS (and re-fetching per-schema mapping lists).
+    /// Any mapping insert / deprecation / repair bumps the epoch and
+    /// invalidates the whole cache.
+    closure_cache: gridvine_semantic::ClosureCache,
     rng: StdRng,
 }
 
@@ -174,6 +159,7 @@ impl GridVineSystem {
             topology,
             overlay,
             registry: MappingRegistry::new(),
+            closure_cache: gridvine_semantic::ClosureCache::new(),
             rng,
             config,
         }
@@ -191,6 +177,7 @@ impl GridVineSystem {
             topology,
             overlay,
             registry: MappingRegistry::new(),
+            closure_cache: gridvine_semantic::ClosureCache::new(),
             rng,
             config,
         }
@@ -211,6 +198,17 @@ impl GridVineSystem {
     /// The logical mediation state (schemas + mappings).
     pub fn registry(&self) -> &MappingRegistry {
         &self.registry
+    }
+
+    /// Number of memoized reformulation closures currently valid for
+    /// the registry's epoch (0 right after any mapping mutation — a
+    /// stale cache counts as empty even before its lazy clear).
+    pub fn cached_closures(&self) -> usize {
+        if self.closure_cache.epoch() == self.registry.epoch() {
+            self.closure_cache.len()
+        } else {
+            0
+        }
     }
 
     /// One peer's local triple database `DB_p`.
@@ -493,107 +491,14 @@ impl GridVineSystem {
     }
 
     // -----------------------------------------------------------------
-    // SearchFor (§2.3, §3, §4) — legacy shims over the plan executor.
-    //
-    // The four historical entry points below are thin adapters kept for
-    // one release: each builds the corresponding logical
-    // [`QueryPlan`] and runs it through [`GridVineSystem::execute`]
-    // (see `gridvine_core::exec` for the migration table). Results and
-    // message accounting are identical to calling `execute` directly.
+    // SearchFor (§2.3, §3, §4) lives behind the logical-plan surface:
+    // [`GridVineSystem::execute`] (blocking drain) and
+    // [`GridVineSystem::open`] (pull-based session) in the [`exec`] and
+    // [`session`] modules. The four historical entry points
+    // (`resolve_pattern`, `resolve_object_prefix`, `search`,
+    // `search_conjunctive`) completed their deprecation cycle and are
+    // gone — see the migration table in [`session`].
     // -----------------------------------------------------------------
-
-    /// Resolve a single (already reformulated) triple-pattern query:
-    /// route to `Hash(routing constant)` and evaluate the destination's
-    /// local database, as in §2.3.
-    ///
-    /// ```
-    /// # use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan};
-    /// # use gridvine_pgrid::PeerId;
-    /// # use gridvine_rdf::{Term, Triple, TriplePatternQuery};
-    /// # let mut sys = GridVineSystem::new(GridVineConfig::default());
-    /// # sys.insert_triple(PeerId(0), Triple::new("seq:A78712", "EMBL#Organism",
-    /// #     Term::literal("Aspergillus niger"))).unwrap();
-    /// // Migration: resolve_pattern(p, &q) becomes
-    /// let q = TriplePatternQuery::example_aspergillus();
-    /// let out = sys.execute(PeerId(7), &QueryPlan::pattern(q.clone()),
-    ///     &QueryOptions::default()).unwrap();
-    /// let (results, messages) = (out.terms(&q.distinguished), out.stats.messages);
-    /// # assert_eq!(results.len(), 1);
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "use GridVineSystem::execute with QueryPlan::pattern (see gridvine_core::exec)"
-    )]
-    pub fn resolve_pattern(
-        &mut self,
-        origin: PeerId,
-        query: &TriplePatternQuery,
-    ) -> Result<(Vec<Term>, u64), SystemError> {
-        let plan = QueryPlan::pattern(query.clone());
-        let out = self.execute(origin, &plan, &QueryOptions::default())?;
-        Ok((out.terms(&query.distinguished), out.stats.messages))
-    }
-
-    /// Range search: resolve a triple pattern whose object constraint is
-    /// a *prefix* pattern (`Aspergillus%`) by routing to the bit-prefix
-    /// region the order-preserving hash maps the prefix to, visiting
-    /// every peer group in that region. This is the operation the
-    /// order-preserving hash exists for (§2.2); it is unavailable under
-    /// [`HashKind::Uniform`], which scatters the range.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use GridVineSystem::execute with QueryPlan::object_prefix (see gridvine_core::exec)"
-    )]
-    pub fn resolve_object_prefix(
-        &mut self,
-        origin: PeerId,
-        query: &TriplePatternQuery,
-    ) -> Result<(Vec<Term>, u64), SystemError> {
-        let plan = QueryPlan::object_prefix(query.clone());
-        let out = self.execute(origin, &plan, &QueryOptions::default())?;
-        Ok((out.terms(&query.distinguished), out.stats.messages))
-    }
-
-    /// `SearchFor(query)` with reformulation across the mapping network.
-    ///
-    /// *Iterative*: the origin fetches each visited schema's mappings
-    /// from the DHT (one Retrieve + response per schema), reformulates
-    /// locally, and issues every reformulated query itself.
-    ///
-    /// *Recursive*: the query is delegated: the origin routes it to the
-    /// source schema's key-space peer; each schema peer answers the
-    /// local reformulation (routing it to the data key), then forwards
-    /// the query directly to the neighbouring schemas' key-space peers.
-    /// Mapping lists never travel back to the origin; one extra
-    /// result-response message per schema returns to the origin.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use GridVineSystem::execute with QueryPlan::search (see gridvine_core::exec)"
-    )]
-    pub fn search(
-        &mut self,
-        origin: PeerId,
-        query: &TriplePatternQuery,
-        strategy: Strategy,
-    ) -> Result<SearchOutcome, SystemError> {
-        let plan = QueryPlan::search(query.clone());
-        let out = self.execute(origin, &plan, &QueryOptions::new().strategy(strategy))?;
-        Ok(SearchOutcome::from_outcome(out, &query.distinguished))
-    }
-}
-
-impl SearchOutcome {
-    /// Adapt a unified [`QueryOutcome`] to the legacy shape.
-    fn from_outcome(out: QueryOutcome, distinguished: &str) -> SearchOutcome {
-        SearchOutcome {
-            accessions: out.accessions(),
-            results: out.terms(distinguished),
-            messages: out.stats.messages,
-            reformulations: out.stats.reformulations,
-            schemas_visited: out.stats.schemas_visited,
-            failures: out.stats.failures,
-        }
-    }
 }
 
 /// Apply one mapping to a query (predicate view unfolding) without a
@@ -619,12 +524,25 @@ pub fn apply_mapping(
 
 #[cfg(test)]
 mod tests {
-    // The legacy shims stay under test here; the equivalence suite
-    // proves they match the executor.
-    #![allow(deprecated)]
-
+    use super::exec::{QueryOptions, QueryOutcome};
     use super::*;
+    use crate::plan::QueryPlan;
     use gridvine_rdf::{PatternTerm, TriplePattern};
+
+    /// The reformulated `SearchFor` as most tests drive it: a closure
+    /// plan drained through `execute`.
+    fn search(
+        sys: &mut GridVineSystem,
+        origin: PeerId,
+        q: &TriplePatternQuery,
+        strategy: Strategy,
+    ) -> Result<QueryOutcome, SystemError> {
+        sys.execute(
+            origin,
+            &QueryPlan::search(q.clone()),
+            &QueryOptions::new().strategy(strategy),
+        )
+    }
 
     fn fig2_system() -> GridVineSystem {
         let mut sys = GridVineSystem::new(GridVineConfig {
@@ -666,10 +584,17 @@ mod tests {
     fn single_pattern_resolution() {
         let mut sys = fig2_system();
         let q = TriplePatternQuery::example_aspergillus();
-        let (results, messages) = sys.resolve_pattern(PeerId(7), &q).unwrap();
+        let out = sys
+            .execute(
+                PeerId(7),
+                &QueryPlan::pattern(q.clone()),
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        let results = out.terms(&q.distinguished);
         assert_eq!(results.len(), 2);
         assert!(results.contains(&Term::uri("seq:A78712")));
-        assert!(messages <= 2 * sys.topology().depth() as u64 + 2);
+        assert!(out.stats.messages <= 2 * sys.topology().depth() as u64 + 2);
     }
 
     #[test]
@@ -679,20 +604,21 @@ mod tests {
         let mut sys = fig2_system();
         let q = TriplePatternQuery::example_aspergillus();
         for strategy in [Strategy::Iterative, Strategy::Recursive] {
-            let out = sys.search(PeerId(3), &q, strategy).unwrap();
-            assert_eq!(out.results.len(), 3, "{strategy:?}: {:?}", out.results);
-            assert!(out.results.contains(&Term::uri("seq:NEN94295-05")));
-            assert_eq!(out.reformulations, 1);
-            assert_eq!(out.schemas_visited, 2);
+            let out = search(&mut sys, PeerId(3), &q, strategy).unwrap();
+            let results = out.terms(&q.distinguished);
+            assert_eq!(results.len(), 3, "{strategy:?}: {results:?}");
+            assert!(results.contains(&Term::uri("seq:NEN94295-05")));
+            assert_eq!(out.stats.reformulations, 1);
+            assert_eq!(out.stats.schemas_visited, 2);
             assert_eq!(
-                out.accessions,
+                out.accessions(),
                 BTreeSet::from([
                     "A78712".to_string(),
                     "A78767".to_string(),
                     "NEN94295-05".to_string()
                 ])
             );
-            assert!(out.messages > 0);
+            assert!(out.stats.messages > 0);
         }
     }
 
@@ -702,9 +628,9 @@ mod tests {
         let id = sys.registry().mappings().next().map(|m| m.id).unwrap();
         sys.deprecate_mapping(PeerId(0), id).unwrap();
         let q = TriplePatternQuery::example_aspergillus();
-        let out = sys.search(PeerId(3), &q, Strategy::Iterative).unwrap();
-        assert_eq!(out.results.len(), 2, "EMP record must be unreachable");
-        assert_eq!(out.reformulations, 0);
+        let out = search(&mut sys, PeerId(3), &q, Strategy::Iterative).unwrap();
+        assert_eq!(out.rows.len(), 2, "EMP record must be unreachable");
+        assert_eq!(out.stats.reformulations, 0);
         // The DHT copies must reflect the deprecation too.
         let maps = sys
             .mappings_at_schema(PeerId(1), &SchemaId::new("EMBL"))
@@ -734,9 +660,9 @@ mod tests {
         )
         .unwrap();
         let q = TriplePatternQuery::example_aspergillus();
-        let out = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
-        assert_eq!(out.reformulations, 0);
-        assert_eq!(out.schemas_visited, 1);
+        let out = search(&mut sys, PeerId(1), &q, Strategy::Iterative).unwrap();
+        assert_eq!(out.stats.reformulations, 0);
+        assert_eq!(out.stats.schemas_visited, 1);
     }
 
     #[test]
@@ -765,12 +691,16 @@ mod tests {
             ),
         )
         .unwrap();
-        assert_eq!(
-            sys.resolve_pattern(PeerId(0), &q),
-            Err(SystemError::NotRoutable)
-        );
         assert!(matches!(
-            sys.search(PeerId(0), &q, Strategy::Iterative),
+            sys.execute(
+                PeerId(0),
+                &QueryPlan::pattern(q.clone()),
+                &QueryOptions::default()
+            ),
+            Err(SystemError::NotRoutable)
+        ));
+        assert!(matches!(
+            search(&mut sys, PeerId(0), &q, Strategy::Iterative),
             Err(SystemError::NoQuerySchema)
         ));
     }
@@ -823,16 +753,16 @@ mod tests {
         )
         .unwrap();
         let mut iter_sys = build();
-        let it = iter_sys.search(PeerId(9), &q, Strategy::Iterative).unwrap();
+        let it = search(&mut iter_sys, PeerId(9), &q, Strategy::Iterative).unwrap();
         let mut rec_sys = build();
-        let rec = rec_sys.search(PeerId(9), &q, Strategy::Recursive).unwrap();
-        assert_eq!(it.results.len(), 5);
-        assert_eq!(rec.results.len(), 5);
+        let rec = search(&mut rec_sys, PeerId(9), &q, Strategy::Recursive).unwrap();
+        assert_eq!(it.rows.len(), 5);
+        assert_eq!(rec.rows.len(), 5);
         assert!(
-            rec.messages <= it.messages,
+            rec.stats.messages <= it.stats.messages,
             "recursive {} should not exceed iterative {}",
-            rec.messages,
-            it.messages
+            rec.stats.messages,
+            it.stats.messages
         );
     }
 
@@ -850,17 +780,24 @@ mod tests {
             ),
         )
         .unwrap();
-        let (results, messages) = sys.resolve_object_prefix(PeerId(9), &q).unwrap();
+        let out = sys
+            .execute(
+                PeerId(9),
+                &QueryPlan::object_prefix(q.clone()),
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        let results = out.terms(&q.distinguished);
         // All three Aspergillus records, EMBL and EMP alike, found by
         // one range scan with no mappings involved.
         assert_eq!(results.len(), 3, "{results:?}");
         assert!(results.contains(&Term::uri("seq:NEN94295-05")));
-        assert!(messages > 0);
-        // Plain resolve_pattern cannot route this query at all.
-        assert_eq!(
-            sys.resolve_pattern(PeerId(9), &q),
+        assert!(out.stats.messages > 0);
+        // A plain pattern plan cannot route this query at all.
+        assert!(matches!(
+            sys.execute(PeerId(9), &QueryPlan::pattern(q), &QueryOptions::default()),
             Err(SystemError::NotRoutable)
-        );
+        ));
     }
 
     #[test]
@@ -879,10 +816,14 @@ mod tests {
             ),
         )
         .unwrap();
-        assert_eq!(
-            sys.resolve_object_prefix(PeerId(0), &q),
+        assert!(matches!(
+            sys.execute(
+                PeerId(0),
+                &QueryPlan::object_prefix(q),
+                &QueryOptions::default()
+            ),
             Err(SystemError::NotRoutable)
-        );
+        ));
     }
 
     #[test]
@@ -898,9 +839,15 @@ mod tests {
                 ),
             )
             .unwrap();
-            assert_eq!(
-                sys.resolve_object_prefix(PeerId(0), &q),
-                Err(SystemError::NotRoutable),
+            assert!(
+                matches!(
+                    sys.execute(
+                        PeerId(0),
+                        &QueryPlan::object_prefix(q),
+                        &QueryOptions::default()
+                    ),
+                    Err(SystemError::NotRoutable)
+                ),
                 "{bad} must be rejected"
             );
         }
@@ -927,8 +874,8 @@ mod tests {
             )
             .unwrap();
             let q = TriplePatternQuery::example_aspergillus();
-            let out = sys.search(PeerId(5), &q, Strategy::Iterative).unwrap();
-            (out.results, out.messages)
+            let out = search(&mut sys, PeerId(5), &q, Strategy::Iterative).unwrap();
+            (out.terms(&q.distinguished), out.stats.messages)
         };
         assert_eq!(run(1), run(1));
     }

@@ -1,21 +1,30 @@
-//! Equivalence: the legacy `SearchFor` entry points are thin shims over
-//! [`GridVineSystem::execute`], so calling either surface must produce
-//! **identical results and identical message counts** — across
-//! strategies and join modes, on randomized federations.
+//! Equivalence and early-termination properties of the pull-based
+//! query surface:
 //!
-//! Each property builds two identically-seeded systems, drives one
-//! through a legacy shim and the other through `execute` with the
-//! corresponding plan, and asserts every observable agrees. Repeated
-//! calls then verify the two systems' RNG/overlay state evolved in
-//! lock-step (a divergence anywhere would cascade into the second
-//! call's message counts).
+//! * [`GridVineSystem::execute`] ≡ a manually drained
+//!   [`QuerySession`] — identical rows, identical message counts and
+//!   identical counters, across plan shapes, strategies and join
+//!   modes, on randomized federations (and twice in a row, so the two
+//!   systems' RNG/overlay state provably evolves in lock-step);
+//! * the event protocol is self-consistent: `Stats` deltas sum to the
+//!   outcome's totals, `Rows` batches union to the outcome's rows,
+//!   `SchemaHop`s count the schemas visited;
+//! * the epoch-keyed reformulation-closure cache is correct: mapping
+//!   inserts/deprecations bump the epoch and invalidate it (post-
+//!   mutation queries see exactly the new mapping network, in lock-step
+//!   with an identically-seeded twin), and warm replays undercut cold
+//!   walks on messages without changing results;
+//! * early termination is genuine: dropping a session stops issuing
+//!   messages, and a `limit(k)` run sends strictly fewer messages than
+//!   the unlimited run for k ≪ result count.
 
-#![allow(deprecated)]
-
-use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
+use gridvine_core::{
+    ExecStats, GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, ResultEvent,
+    Strategy,
+};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{
-    ConjunctiveQuery, PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery,
+    Binding, ConjunctiveQuery, PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery,
 };
 use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
 use proptest::prelude::*;
@@ -122,13 +131,57 @@ fn organism_length_query() -> ConjunctiveQuery {
     .unwrap()
 }
 
+/// What draining a session observed, event by event.
+struct Drained {
+    rows_from_events: Vec<Binding>,
+    stats_from_deltas: ExecStats,
+    schema_hops: usize,
+    outcome: gridvine_core::QueryOutcome,
+}
+
+/// Drain a session manually, accumulating every event kind.
+fn drain(
+    sys: &mut GridVineSystem,
+    origin: PeerId,
+    plan: &QueryPlan,
+    options: &QueryOptions,
+) -> Result<Drained, gridvine_core::SystemError> {
+    let mut session = sys.open(origin, plan, options)?;
+    let mut rows_from_events = Vec::new();
+    let mut stats_from_deltas = ExecStats::default();
+    let mut schema_hops = 0usize;
+    while let Some(ev) = session.next_event()? {
+        match ev {
+            ResultEvent::Rows(batch) => rows_from_events.extend(batch),
+            ResultEvent::SchemaHop { .. } => schema_hops += 1,
+            ResultEvent::Stats(d) => {
+                stats_from_deltas.messages += d.messages;
+                stats_from_deltas.subqueries += d.subqueries;
+                stats_from_deltas.reformulations += d.reformulations;
+                stats_from_deltas.schemas_visited += d.schemas_visited;
+                stats_from_deltas.failures += d.failures;
+                stats_from_deltas.bindings_shipped += d.bindings_shipped;
+            }
+        }
+    }
+    assert!(session.is_complete());
+    Ok(Drained {
+        rows_from_events,
+        stats_from_deltas,
+        schema_hops,
+        outcome: session.into_outcome(),
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// `search` ≡ `execute(QueryPlan::search)`: results, accessions and
-    /// every counter, for both strategies, twice in a row.
+    /// `execute(QueryPlan::search)` ≡ a drained session: rows,
+    /// accessions and every counter, for both strategies, twice in a
+    /// row — and the event stream is self-consistent (deltas sum to
+    /// totals, batches union to rows, hops count schemas).
     #[test]
-    fn search_shim_equals_execute(
+    fn search_execute_equals_drained_session(
         seed in 0u64..1000,
         schemas in 2usize..4,
         links in proptest::collection::vec(any::<bool>(), 0..3),
@@ -137,29 +190,30 @@ proptest! {
         recursive in any::<bool>(),
     ) {
         let strategy = if recursive { Strategy::Recursive } else { Strategy::Iterative };
-        let q = organism_query();
-        let mut legacy = build(seed, schemas, &links, &facts);
-        let mut modern = build(seed, schemas, &links, &facts);
+        let options = QueryOptions::new().strategy(strategy);
+        let plan = QueryPlan::search(organism_query());
+        let mut blocking = build(seed, schemas, &links, &facts);
+        let mut pulled = build(seed, schemas, &links, &facts);
         for round in 0..2 {
             let at = PeerId::from_index((origin + 7 * round) % PEERS);
-            let a = legacy.search(at, &q, strategy).unwrap();
-            let b = modern
-                .execute(at, &QueryPlan::search(q.clone()),
-                         &QueryOptions::new().strategy(strategy))
-                .unwrap();
-            prop_assert_eq!(&a.results, &b.terms("x"), "round {} results", round);
-            prop_assert_eq!(&a.accessions, &b.accessions(), "round {} accessions", round);
-            prop_assert_eq!(a.messages, b.stats.messages, "round {} messages", round);
-            prop_assert_eq!(a.reformulations, b.stats.reformulations);
-            prop_assert_eq!(a.schemas_visited, b.stats.schemas_visited);
-            prop_assert_eq!(a.failures, b.stats.failures);
+            let a = blocking.execute(at, &plan, &options).unwrap();
+            let d = drain(&mut pulled, at, &plan, &options).unwrap();
+            prop_assert_eq!(&a.rows, &d.outcome.rows, "round {} rows", round);
+            prop_assert_eq!(a.accessions(), d.outcome.accessions(), "round {}", round);
+            prop_assert_eq!(a.stats, d.outcome.stats, "round {} stats", round);
+            // Event-protocol invariants.
+            prop_assert_eq!(d.stats_from_deltas, d.outcome.stats, "delta sum");
+            let mut from_events = d.rows_from_events.clone();
+            from_events.sort_by(|x, y| x.get("x").cmp(&y.get("x")));
+            prop_assert_eq!(&from_events, &d.outcome.rows, "batches union to rows");
+            prop_assert_eq!(d.schema_hops, d.outcome.stats.schemas_visited, "hops");
         }
     }
 
-    /// `search_conjunctive` ≡ `execute(QueryPlan::conjunctive)`:
-    /// bindings and every counter, across strategies and join modes.
+    /// `execute(QueryPlan::conjunctive)` ≡ a drained session: rows and
+    /// every counter, across strategies and join modes.
     #[test]
-    fn conjunctive_shim_equals_execute(
+    fn conjunctive_execute_equals_drained_session(
         seed in 0u64..1000,
         schemas in 2usize..4,
         links in proptest::collection::vec(any::<bool>(), 0..3),
@@ -170,72 +224,318 @@ proptest! {
     ) {
         let strategy = if recursive { Strategy::Recursive } else { Strategy::Iterative };
         let mode = if bound { JoinMode::BoundSubstitution } else { JoinMode::Independent };
-        let q = organism_length_query();
-        let mut legacy = build(seed, schemas, &links, &facts);
-        let mut modern = build(seed, schemas, &links, &facts);
+        let options = QueryOptions::new().strategy(strategy).join_mode(mode);
+        let plan = QueryPlan::conjunctive(organism_length_query());
+        let mut blocking = build(seed, schemas, &links, &facts);
+        let mut pulled = build(seed, schemas, &links, &facts);
         for round in 0..2 {
             let at = PeerId::from_index((origin + 11 * round) % PEERS);
-            let a = legacy.search_conjunctive(at, &q, strategy, mode).unwrap();
-            let b = modern
-                .execute(at, &QueryPlan::conjunctive(q.clone()),
-                         &QueryOptions::new().strategy(strategy).join_mode(mode))
-                .unwrap();
-            prop_assert_eq!(&a.bindings, &b.rows, "round {} bindings", round);
-            prop_assert_eq!(a.messages, b.stats.messages, "round {} messages", round);
-            prop_assert_eq!(a.subqueries, b.stats.subqueries);
-            prop_assert_eq!(a.reformulations, b.stats.reformulations);
-            prop_assert_eq!(a.schemas_visited, b.stats.schemas_visited);
-            prop_assert_eq!(a.failures, b.stats.failures);
-            prop_assert_eq!(a.bindings_shipped, b.stats.bindings_shipped);
+            let a = blocking.execute(at, &plan, &options).unwrap();
+            let d = drain(&mut pulled, at, &plan, &options).unwrap();
+            prop_assert_eq!(&a.rows, &d.outcome.rows, "round {} rows", round);
+            prop_assert_eq!(a.stats, d.outcome.stats, "round {} stats", round);
+            prop_assert_eq!(d.stats_from_deltas, d.outcome.stats, "delta sum");
+            let mut from_events = d.rows_from_events.clone();
+            from_events.sort_by_key(|b| b.to_string());
+            prop_assert_eq!(&from_events, &d.outcome.rows, "batches union to rows");
         }
     }
 
-    /// `resolve_pattern` ≡ `execute(QueryPlan::pattern)` and
-    /// `resolve_object_prefix` ≡ `execute(QueryPlan::object_prefix)`.
+    /// `execute(QueryPlan::pattern)` and `execute(QueryPlan::object_prefix)`
+    /// ≡ their drained sessions.
     #[test]
-    fn resolve_shims_equal_execute(
+    fn resolve_execute_equals_drained_session(
         seed in 0u64..1000,
         schemas in 2usize..4,
         facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 1..20),
         origin in 0usize..PEERS,
     ) {
-        let q = organism_query();
-        let mut legacy = build(seed, schemas, &[], &facts);
-        let mut modern = build(seed, schemas, &[], &facts);
         let at = PeerId::from_index(origin);
-        let (terms_a, msgs_a) = legacy.resolve_pattern(at, &q).unwrap();
-        let b = modern
-            .execute(at, &QueryPlan::pattern(q.clone()), &QueryOptions::default())
-            .unwrap();
-        prop_assert_eq!(terms_a, b.terms("x"));
-        prop_assert_eq!(msgs_a, b.stats.messages);
-        prop_assert_eq!(b.stats.subqueries, 1);
-
-        let prefix_q = TriplePatternQuery::new(
-            "x",
-            TriplePattern::new(
-                PatternTerm::var("x"),
-                PatternTerm::var("p"),
-                PatternTerm::constant(Term::literal("Aspergillus%")),
+        for plan in [
+            QueryPlan::pattern(organism_query()),
+            QueryPlan::object_prefix(
+                TriplePatternQuery::new(
+                    "x",
+                    TriplePattern::new(
+                        PatternTerm::var("x"),
+                        PatternTerm::var("p"),
+                        PatternTerm::constant(Term::literal("Aspergillus%")),
+                    ),
+                )
+                .unwrap(),
             ),
-        )
-        .unwrap();
-        let (terms_a, msgs_a) = legacy.resolve_object_prefix(at, &prefix_q).unwrap();
-        let b = modern
-            .execute(at, &QueryPlan::object_prefix(prefix_q.clone()), &QueryOptions::default())
-            .unwrap();
-        prop_assert_eq!(terms_a, b.terms("x"));
-        prop_assert_eq!(msgs_a, b.stats.messages);
+        ] {
+            let mut blocking = build(seed, schemas, &[], &facts);
+            let mut pulled = build(seed, schemas, &[], &facts);
+            let a = blocking.execute(at, &plan, &QueryOptions::default()).unwrap();
+            let d = drain(&mut pulled, at, &plan, &QueryOptions::default()).unwrap();
+            prop_assert_eq!(&a.rows, &d.outcome.rows, "{} rows", plan);
+            prop_assert_eq!(a.stats, d.outcome.stats, "{} stats", plan);
+            prop_assert_eq!(d.stats_from_deltas, d.outcome.stats, "{} delta sum", plan);
+        }
+    }
+
+    /// Cache invalidation: a mapping insert or deprecation bumps the
+    /// epoch, empties the cache, and the next query sees exactly the
+    /// new mapping network — in lock-step (results AND message counts)
+    /// with an identically-seeded twin driven through the identical
+    /// warm-then-mutate sequence, and with semantically correct results
+    /// (the deprecated edge unreachable / the inserted edge reachable).
+    #[test]
+    fn mapping_mutations_invalidate_the_closure_cache(
+        seed in 0u64..1000,
+        facts in proptest::collection::vec((0u8..12, 0u8..3, 0u8..2), 4..20),
+        origin in 0usize..PEERS,
+        deprecate in any::<bool>(),
+    ) {
+        // Full 3-chain; every fact value is an Aspergillus organism, so
+        // the closure's reach is observable in the result rows.
+        let schemas = 3usize;
+        let plan = QueryPlan::search(organism_query());
+        let options = QueryOptions::default(); // iterative → cached
+        let at = PeerId::from_index(origin);
+        let mut sys = build(seed, schemas, &[], &facts);
+        let mut twin = build(seed, schemas, &[], &facts);
+
+        let warm_up = sys.execute(at, &plan, &options).unwrap();
+        prop_assert!(sys.cached_closures() > 0, "closure recorded");
+        let epoch_before = sys.registry().epoch();
+        twin.execute(at, &plan, &options).unwrap();
+
+        // Mutate the mapping network (both systems identically).
+        if deprecate {
+            let id = sys.registry().mappings().next().map(|m| m.id).unwrap();
+            sys.deprecate_mapping(PeerId(0), id).unwrap();
+            twin.deprecate_mapping(PeerId(0), id).unwrap();
+        } else {
+            for s in [&mut sys, &mut twin] {
+                s.insert_mapping(
+                    PeerId(0),
+                    "S0",
+                    "S2",
+                    MappingKind::Equivalence,
+                    Provenance::Automatic,
+                    vec![Correspondence::new("organism0", "organism2")],
+                )
+                .unwrap();
+            }
+        }
+        prop_assert!(sys.registry().epoch() > epoch_before, "epoch bumped");
+        prop_assert_eq!(sys.cached_closures(), 0, "stale cache counts as empty");
+
+        let after = sys.execute(at, &plan, &options).unwrap();
+        let after_twin = twin.execute(at, &plan, &options).unwrap();
+        prop_assert_eq!(&after.rows, &after_twin.rows, "post-mutation rows in lock-step");
+        prop_assert_eq!(after.stats, after_twin.stats, "post-mutation stats in lock-step");
+        if deprecate {
+            // S0—S1 cut: the walk must stop at S0 (no stale replay of
+            // the old 3-schema closure).
+            prop_assert_eq!(after.stats.schemas_visited, 1);
+            prop_assert_eq!(after.stats.reformulations, 0);
+            prop_assert!(after.rows.len() <= warm_up.rows.len());
+        } else {
+            // A fresh S0→S2 shortcut exists; the closure still reaches
+            // all three schemas (now partly over the new edge), so no
+            // results may be lost to a stale replay.
+            prop_assert_eq!(after.stats.schemas_visited, 3);
+            prop_assert!(after.rows.len() >= warm_up.rows.len());
+        }
+        // The fresh walk re-populated the cache at the new epoch.
+        prop_assert!(sys.cached_closures() > 0);
     }
 }
 
-/// The executor honours its options: a TTL override stops the closure,
-/// and a result limit truncates rows without touching dissemination.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The two closure implementations stay in lock-step: a single-
+    /// pattern independent join runs its sweep through the bulk
+    /// `sweep_pattern_network`, a closure plan through the session's
+    /// incremental hop state — same pattern, so every counter and the
+    /// message count must agree (pinning the duplicated cold-walk +
+    /// cache record/replay logic together), cold and warm, across
+    /// strategies.
+    #[test]
+    fn bulk_sweep_accounting_matches_incremental_closure(
+        seed in 0u64..1000,
+        schemas in 2usize..4,
+        links in proptest::collection::vec(any::<bool>(), 0..3),
+        facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 1..20),
+        origin in 0usize..PEERS,
+        recursive in any::<bool>(),
+    ) {
+        let strategy = if recursive { Strategy::Recursive } else { Strategy::Iterative };
+        let options = QueryOptions::new().strategy(strategy);
+        let q = organism_query();
+        let closure_plan = QueryPlan::search(q.clone());
+        let join_plan = QueryPlan::conjunctive(
+            ConjunctiveQuery::new(vec!["x".into()], vec![q.pattern.clone()]).unwrap(),
+        );
+        let join_options = options.join_mode(JoinMode::Independent);
+        let mut via_closure = build(seed, schemas, &links, &facts);
+        let mut via_join = build(seed, schemas, &links, &facts);
+        for round in 0..2 {
+            // Round 0 is cold on both sides, round 1 replays the cache
+            // (iterative) on both sides.
+            let at = PeerId::from_index((origin + 5 * round) % PEERS);
+            let c = via_closure.execute(at, &closure_plan, &options).unwrap();
+            let j = via_join.execute(at, &join_plan, &join_options).unwrap();
+            prop_assert_eq!(c.stats, j.stats, "round {} accounting", round);
+            prop_assert_eq!(c.terms("x"), j.terms("x"), "round {} terms", round);
+        }
+    }
+}
+
+/// Warm cache replays undercut cold walks on messages — same rows, no
+/// mapping-list retrieves — and the recursive strategy never touches
+/// the cache.
 #[test]
-fn options_ttl_and_limit() {
+fn warm_closure_replay_skips_mapping_fetch_messages() {
+    let facts: Vec<(u8, u8, u8)> = (0..12).map(|i| (i, i % 4, 0)).collect();
+    let q = organism_query();
+    let plan = QueryPlan::search(q);
+    let options = QueryOptions::default();
+    let mut sys = build(42, 4, &[], &facts);
+    assert_eq!(sys.cached_closures(), 0);
+    let cold = sys.execute(PeerId(3), &plan, &options).unwrap();
+    assert_eq!(sys.cached_closures(), 1);
+    let warm = sys.execute(PeerId(3), &plan, &options).unwrap();
+    assert_eq!(cold.rows, warm.rows, "replay must not change results");
+    assert_eq!(cold.stats.schemas_visited, warm.stats.schemas_visited);
+    assert_eq!(cold.stats.subqueries, warm.stats.subqueries);
+    assert!(
+        warm.stats.messages < cold.stats.messages,
+        "warm {} must undercut cold {} (4 mapping fetches skipped)",
+        warm.stats.messages,
+        cold.stats.messages
+    );
+    // Recursive delegation bypasses the cache: no new entries, and the
+    // strategy still answers identically on rows.
+    let rec = sys
+        .execute(
+            PeerId(3),
+            &plan,
+            &QueryOptions::new().strategy(Strategy::Recursive),
+        )
+        .unwrap();
+    assert_eq!(rec.rows, warm.rows);
+    assert_eq!(sys.cached_closures(), 1);
+}
+
+/// Bound-substitution joins share one closure per predicate: after the
+/// first substituted instance's cold walk, every later instance replays
+/// the cache within the *same* execute call.
+#[test]
+fn bound_join_instances_share_the_closure_cache() {
+    let facts: Vec<(u8, u8, u8)> = (0..12).map(|i| (i, i % 3, i % 2)).collect();
+    let plan = QueryPlan::conjunctive(organism_length_query());
+    let mut sys = build(7, 3, &[], &facts);
+    let out = sys
+        .execute(
+            PeerId(5),
+            &plan,
+            &QueryOptions::new().join_mode(JoinMode::BoundSubstitution),
+        )
+        .unwrap();
+    assert!(!out.rows.is_empty());
+    // Both predicates' closures are memoized by the end of the call.
+    assert_eq!(sys.cached_closures(), 2);
+}
+
+/// Dropping a session mid-walk stops issuing subqueries: the overlay
+/// message counter freezes, and the system remains fully usable.
+#[test]
+fn dropping_a_session_stops_messages() {
+    let facts: Vec<(u8, u8, u8)> = (0..12).map(|i| (i, i % 4, 0)).collect();
+    let plan = QueryPlan::search(organism_query());
+    let options = QueryOptions::default();
+    let mut sys = build(11, 4, &[], &facts);
+    let before_open = sys.messages_sent();
+    let observed = {
+        let mut session = sys.open(PeerId(2), &plan, &options).unwrap();
+        // Pull a prefix of the walk only.
+        let mut pulled = 0;
+        while pulled < 3 {
+            match session.next_event().unwrap() {
+                Some(_) => pulled += 1,
+                None => break,
+            }
+        }
+        assert!(!session.is_complete(), "the walk has hops left");
+        session.stats().messages
+        // Drop the session here — no drain.
+    };
+    assert!(observed > 0, "the pulled prefix did real work");
+    assert_eq!(
+        sys.messages_sent(),
+        before_open + observed,
+        "dropping the session issued nothing beyond what the pulls observed"
+    );
+    // A partial walk must not have been recorded as a full closure.
+    assert_eq!(sys.cached_closures(), 0);
+    // The system still answers (and now records the full closure).
+    let out = sys.execute(PeerId(2), &plan, &options).unwrap();
+    assert!(out.stats.schemas_visited >= 1);
+    assert_eq!(sys.cached_closures(), 1);
+}
+
+/// `limit(k)` sends strictly fewer messages than the unlimited run for
+/// k ≪ result count, and still returns exactly k rows — on identically
+/// seeded systems, so the comparison is deterministic.
+#[test]
+fn limit_k_sends_strictly_fewer_messages() {
+    // Every entity in every schema matches: a deep closure with many
+    // rows, of which we want one.
+    let facts: Vec<(u8, u8, u8)> = (0..24).map(|i| (i % 12, i % 4, 0)).collect();
+    let plan = QueryPlan::search(organism_query());
+    let mut full_sys = build(23, 4, &[], &facts);
+    let full = full_sys
+        .execute(PeerId(9), &plan, &QueryOptions::default())
+        .unwrap();
+    assert!(full.rows.len() > 3, "enough rows to make 1 a real cap");
+
+    let mut limited_sys = build(23, 4, &[], &facts);
+    let limited = limited_sys
+        .execute(PeerId(9), &plan, &QueryOptions::new().limit(1))
+        .unwrap();
+    assert_eq!(limited.rows.len(), 1);
+    assert!(
+        limited.stats.messages < full.stats.messages,
+        "limit 1 must cut messages: {} vs {}",
+        limited.stats.messages,
+        full.stats.messages
+    );
+    assert!(limited.stats.subqueries < full.stats.subqueries);
+    // The kept row is one of the full run's rows.
+    assert!(full.rows.contains(&limited.rows[0]));
+
+    // Same property for a bound-substitution join: the last pattern's
+    // remaining groups are skipped once k rows completed.
+    let jplan = QueryPlan::conjunctive(organism_length_query());
+    let jopts = QueryOptions::new().join_mode(JoinMode::BoundSubstitution);
+    let mut full_sys = build(23, 4, &[], &facts);
+    let jfull = full_sys.execute(PeerId(9), &jplan, &jopts).unwrap();
+    assert!(jfull.rows.len() > 1);
+    let mut limited_sys = build(23, 4, &[], &facts);
+    let jlim = limited_sys
+        .execute(PeerId(9), &jplan, &jopts.limit(1))
+        .unwrap();
+    assert_eq!(jlim.rows.len(), 1);
+    assert!(
+        jlim.stats.messages < jfull.stats.messages,
+        "join limit 1 must cut messages: {} vs {}",
+        jlim.stats.messages,
+        jfull.stats.messages
+    );
+}
+
+/// The executor honours its options: a TTL override stops the closure,
+/// and TTL is part of the cache key (different TTLs never share an
+/// entry).
+#[test]
+fn options_ttl_is_honoured_and_keyed() {
     let facts: Vec<(u8, u8, u8)> = (0..12).map(|i| (i, i % 3, i % 5)).collect();
     let q = organism_query();
-
     let mut sys = build(42, 3, &[], &facts);
     let full = sys
         .execute(
@@ -245,8 +545,6 @@ fn options_ttl_and_limit() {
         )
         .unwrap();
     assert!(full.stats.reformulations > 0, "chain must reformulate");
-
-    let mut sys = build(42, 3, &[], &facts);
     let capped = sys
         .execute(
             PeerId(3),
@@ -256,21 +554,8 @@ fn options_ttl_and_limit() {
         .unwrap();
     assert_eq!(capped.stats.reformulations, 0);
     assert_eq!(capped.stats.schemas_visited, 1);
-
-    let mut sys = build(42, 3, &[], &facts);
-    let limited = sys
-        .execute(
-            PeerId(3),
-            &QueryPlan::search(q.clone()),
-            &QueryOptions::new().limit(1),
-        )
-        .unwrap();
-    assert!(limited.rows.len() <= 1);
-    assert_eq!(
-        limited.stats.messages, full.stats.messages,
-        "a result cap must not change dissemination"
-    );
-    assert_eq!(limited.rows.first(), full.rows.first());
+    // Two distinct cache entries: ttl=default and ttl=0.
+    assert_eq!(sys.cached_closures(), 2);
 }
 
 /// `QueryPlan::single` routes each query shape to the executor path the

@@ -402,14 +402,37 @@ impl SharedTermDict {
     /// A pool with an explicit power-of-two shard count. `1` degrades to
     /// a single global lock — the ablation baseline for measuring what
     /// sharding buys under concurrent ingest.
+    ///
+    /// The requested count is an **upper bound**: lock sharding exists
+    /// to eliminate contention between concurrently interning threads,
+    /// and a host cannot run more interning threads in parallel than it
+    /// has cores — so the pool never allocates more shards than
+    /// [`available_parallelism`](std::thread::available_parallelism)
+    /// (rounded down to a power of two). On a single-core host every
+    /// request degrades to the one-lock pool, routing around the
+    /// sharded pool's pure coordination overhead (8 sparsely-filled
+    /// tables with worse cache locality and zero contention to
+    /// eliminate — the `parallel_ingest_8way` regression on 1-CPU CI).
     pub fn with_shards(shards: usize) -> SharedTermDict {
         assert!(
             shards.is_power_of_two(),
             "shard count must be a power of two"
         );
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Largest power of two ≤ cores (cores ≥ 1 always).
+        let cap = 1usize << (usize::BITS - 1 - cores.leading_zeros());
+        let shards = shards.min(cap);
         SharedTermDict {
             shards: Arc::new((0..shards).map(|_| Mutex::new(Shard::default())).collect()),
         }
+    }
+
+    /// Number of lock shards actually allocated (the requested count
+    /// capped by the host's available parallelism).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The canonical shared buffer for a lexical value, interning it on
@@ -501,6 +524,25 @@ mod tests {
             assert_eq!(d.lookup(s), Some(id));
         }
         assert_eq!(d.lookup("never seen"), None);
+    }
+
+    #[test]
+    fn shared_pool_caps_shards_at_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pool = SharedTermDict::with_shards(8);
+        assert!(pool.shard_count() >= 1);
+        assert!(pool.shard_count() <= 8);
+        assert!(
+            pool.shard_count() <= cores,
+            "never more lock shards ({}) than cores ({cores})",
+            pool.shard_count()
+        );
+        // An explicit single shard is always honoured (the ablation
+        // baseline), and the cap keeps counts a power of two.
+        assert_eq!(SharedTermDict::with_shards(1).shard_count(), 1);
+        assert!(pool.shard_count().is_power_of_two());
     }
 
     #[test]

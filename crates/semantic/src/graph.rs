@@ -29,6 +29,14 @@ pub struct MappingRegistry {
     schemas: BTreeMap<SchemaId, Schema>,
     mappings: Vec<Mapping>,
     next_id: u32,
+    /// Monotone counter of mapping-network mutations: bumped by every
+    /// mapping insert, deprecation, reactivation and mutable mapping
+    /// access (quality/status repair). Consumers key derived state on
+    /// it — most importantly the reformulation-closure cache
+    /// ([`crate::reformulate::ClosureCache`]): as long as the epoch is
+    /// unchanged, any previously computed closure over this registry is
+    /// still valid.
+    epoch: u64,
 }
 
 impl MappingRegistry {
@@ -53,6 +61,13 @@ impl MappingRegistry {
         self.schemas.len()
     }
 
+    /// The current mapping-network epoch (see the field docs). Two
+    /// reads returning the same value bracket a window in which no
+    /// mapping was inserted, deprecated, reactivated or repaired.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Register a mapping; returns its id.
     pub fn add_mapping(
         &mut self,
@@ -64,6 +79,7 @@ impl MappingRegistry {
     ) -> MappingId {
         let id = MappingId(self.next_id);
         self.next_id += 1;
+        self.epoch += 1;
         self.mappings.push(Mapping::new(
             id,
             source,
@@ -79,8 +95,15 @@ impl MappingRegistry {
         self.mappings.iter().find(|m| m.id == id)
     }
 
+    /// Mutable access to a mapping. Conservatively bumps the epoch:
+    /// the caller may change status or quality (the self-organization
+    /// repair path does), either of which invalidates cached closures.
     pub fn mapping_mut(&mut self, id: MappingId) -> Option<&mut Mapping> {
-        self.mappings.iter_mut().find(|m| m.id == id)
+        let m = self.mappings.iter_mut().find(|m| m.id == id);
+        if m.is_some() {
+            self.epoch += 1;
+        }
+        m
     }
 
     pub fn mappings(&self) -> impl Iterator<Item = &Mapping> {

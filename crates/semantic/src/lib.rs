@@ -57,7 +57,7 @@ pub mod prelude {
     };
     pub use crate::reformulate::{
         pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations,
-        ClosureWalk, ReformulateError, Reformulation, Step,
+        CachedHop, ClosureCache, ClosureKey, ClosureWalk, ReformulateError, Reformulation, Step,
     };
     pub use crate::schema::{Schema, SchemaId};
 }
@@ -73,7 +73,7 @@ pub use matcher::{
     lexical_similarity, match_profiles, MatcherConfig, SchemaProfile, ScoredCorrespondence,
 };
 pub use reformulate::{
-    pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations,
-    ClosureWalk, ReformulateError, Reformulation, Step,
+    pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations, CachedHop,
+    ClosureCache, ClosureKey, ClosureWalk, ReformulateError, Reformulation, Step,
 };
 pub use schema::{Schema, SchemaId};

@@ -18,7 +18,8 @@ use crate::mapping::{Direction, MappingId};
 use crate::schema::{Schema, SchemaId};
 use gridvine_rdf::{PatternTerm, Term, TriplePattern, TriplePatternQuery, Uri};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// One application of a mapping along a reformulation path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -209,6 +210,105 @@ impl<P> ClosureWalk<P> {
     /// `schemas_visited` statistic, origin included).
     pub fn visited_count(&self) -> usize {
         self.visited.len()
+    }
+
+    /// No hops left to pull: the closure is fully expanded.
+    pub fn is_exhausted(&self) -> bool {
+        self.frontier.is_empty()
+    }
+}
+
+/// One hop of a memoized reformulation closure: the schema a query
+/// reaches, the translated predicate to pose there, the mapping-path
+/// depth and the path quality (minimum mapping quality along the path).
+///
+/// The closure of a triple-pattern query through the mapping network
+/// depends only on its *predicate* — subject and object constraints are
+/// carried along unchanged by view unfolding — so a recorded hop list
+/// can be replayed for any pattern sharing the predicate: the consumer
+/// swaps in each hop's predicate and keeps its own subject/object slots
+/// (this is what makes the cache pay off under bound-substitution
+/// joins, where every substituted instance shares the predicate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedHop {
+    /// Schema reached at this hop (the origin schema at depth 0).
+    pub schema: SchemaId,
+    /// Predicate to pose there: `schema#translated-attribute`.
+    pub predicate: Uri,
+    /// Mapping applications from the origin (0 for the original query).
+    pub depth: usize,
+    /// Minimum mapping quality along the path (1.0 at the origin).
+    pub quality: f64,
+}
+
+/// Cache key of one closure expansion: where the walk starts and how
+/// deep it may go. Subject/object constraints are deliberately absent —
+/// see [`CachedHop`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClosureKey {
+    pub schema: SchemaId,
+    pub attr: String,
+    pub ttl: usize,
+}
+
+/// An epoch-keyed memo of reformulation closures.
+///
+/// Every entry was computed against one mapping-network [`epoch`]
+/// ([`MappingRegistry::epoch`]); the cache stores the epoch it is
+/// coherent with and self-invalidates wholesale the first time it is
+/// consulted under a newer one — a mapping insert, deprecation or
+/// repair may rewire any path, so per-entry invalidation buys nothing.
+/// Repeated plans over an unchanged mapping network skip the closure
+/// BFS (and, in the distributed executor, its per-schema mapping-list
+/// retrieves) entirely.
+///
+/// [`epoch`]: MappingRegistry::epoch
+#[derive(Debug, Clone, Default)]
+pub struct ClosureCache {
+    epoch: u64,
+    entries: HashMap<ClosureKey, Arc<[CachedHop]>>,
+}
+
+impl ClosureCache {
+    pub fn new() -> ClosureCache {
+        ClosureCache::default()
+    }
+
+    /// The hops recorded for `key`, if the cache is coherent with
+    /// `epoch` and holds the entry. A stale cache (any older epoch) is
+    /// cleared on the spot and misses.
+    pub fn lookup(&mut self, epoch: u64, key: &ClosureKey) -> Option<Arc<[CachedHop]>> {
+        if self.epoch != epoch {
+            self.entries.clear();
+            self.epoch = epoch;
+            return None;
+        }
+        self.entries.get(key).cloned()
+    }
+
+    /// Record a fully-expanded closure computed at `epoch`. A stale
+    /// cache is cleared first so entries from different epochs never
+    /// coexist.
+    pub fn insert(&mut self, epoch: u64, key: ClosureKey, hops: Vec<CachedHop>) {
+        if self.epoch != epoch {
+            self.entries.clear();
+            self.epoch = epoch;
+        }
+        self.entries.insert(key, hops.into());
+    }
+
+    /// The epoch the stored entries were computed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of memoized closures (for tests and introspection).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -483,6 +583,63 @@ mod tests {
             reformulations(&reg, &q, 5).unwrap_err(),
             ReformulateError::MalformedPredicate { .. }
         ));
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mapping_mutation() {
+        let mut reg = figure2_registry();
+        let e0 = reg.epoch();
+        let id = reg.mappings().next().map(|m| m.id).unwrap();
+        reg.deprecate(id);
+        let e1 = reg.epoch();
+        assert!(e1 > e0, "deprecation must bump the epoch");
+        reg.reactivate(id);
+        let e2 = reg.epoch();
+        assert!(e2 > e1, "reactivation must bump the epoch");
+        reg.mapping_mut(id).unwrap().quality = 0.5;
+        let e3 = reg.epoch();
+        assert!(e3 > e2, "repair (mutable access) must bump the epoch");
+        reg.add_mapping(
+            "EMP",
+            "EMBL",
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            vec![Correspondence::new("SystematicName", "Organism")],
+        );
+        assert!(reg.epoch() > e3, "insert must bump the epoch");
+    }
+
+    #[test]
+    fn closure_cache_hits_within_an_epoch_and_clears_across() {
+        let mut reg = figure2_registry();
+        let key = ClosureKey {
+            schema: SchemaId::new("EMBL"),
+            attr: "Organism".to_string(),
+            ttl: 10,
+        };
+        let hops = vec![CachedHop {
+            schema: SchemaId::new("EMBL"),
+            predicate: Uri::new("EMBL#Organism"),
+            depth: 0,
+            quality: 1.0,
+        }];
+        let mut cache = ClosureCache::new();
+        assert!(cache.lookup(reg.epoch(), &key).is_none());
+        cache.insert(reg.epoch(), key.clone(), hops.clone());
+        let hit = cache.lookup(reg.epoch(), &key).expect("same-epoch hit");
+        assert_eq!(&*hit, hops.as_slice());
+        // Any registry mutation invalidates the whole cache.
+        let id = reg.mappings().next().map(|m| m.id).unwrap();
+        reg.deprecate(id);
+        assert!(
+            cache.lookup(reg.epoch(), &key).is_none(),
+            "stale entries gone"
+        );
+        assert!(cache.is_empty());
+        // Entries recorded at the new epoch are served again.
+        cache.insert(reg.epoch(), key.clone(), hops);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(reg.epoch(), &key).is_some());
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //! an RDQL conjunction, and resolves it under both aggregation policies
 //! — independent per-pattern sweeps vs. bound substitution — showing
 //! that they return the same rows at different network costs, and that
-//! the join crosses schema mappings on every pattern.
+//! the join crosses schema mappings on every pattern. It then consumes
+//! the same join *incrementally* through a pull-based session, and uses
+//! `limit(1)` to stop the dissemination after the first solution row —
+//! strictly fewer messages on the wire.
 //!
 //! Run with: `cargo run --example conjunctive_join`
 
-use gridvine_core::{GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryPlan, ResultEvent, Strategy,
+};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{parse_query, Term, Triple};
 use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
@@ -131,6 +136,46 @@ fn main() {
 
     println!(
         "Both policies found all three Aspergillus records — including the \
-         EMP and PDB ones, reached purely through the mapping chain."
+         EMP and PDB ones, reached purely through the mapping chain.\n"
+    );
+
+    // Incremental consumption: pull the same plan through a session.
+    // Bound-substitution rows complete one substituted instance at a
+    // time, so the consumer sees solution rows as they materialize
+    // (and the Stats deltas show where the messages go).
+    let options = QueryOptions::new()
+        .strategy(Strategy::Iterative)
+        .join_mode(JoinMode::BoundSubstitution);
+    let mut session = gridvine
+        .open(PeerId(42), &plan, &options)
+        .expect("plan opens");
+    let mut batches = 0;
+    while let Some(event) = session.next_event().expect("join advances") {
+        match event {
+            ResultEvent::Rows(batch) => {
+                batches += 1;
+                for row in &batch {
+                    println!("streamed: {row}");
+                }
+            }
+            ResultEvent::Stats(_) | ResultEvent::SchemaHop { .. } => {}
+        }
+    }
+    let streamed = session.into_outcome();
+    assert_eq!(streamed.rows.len(), 3);
+    assert!(batches > 1, "rows arrived across multiple batches");
+
+    // Early termination: cap the session at one row. The remaining
+    // bound-substitution groups are never resolved, so the limited run
+    // sends strictly fewer messages than the full one.
+    let first_only = gridvine
+        .execute(PeerId(42), &plan, &options.limit(1))
+        .expect("resolvable query");
+    assert_eq!(first_only.rows.len(), 1);
+    assert!(first_only.stats.messages < streamed.stats.messages);
+    println!(
+        "\nlimit(1): {} messages vs {} for the full join — the remaining \
+         subqueries were never sent.",
+        first_only.stats.messages, streamed.stats.messages
     );
 }

@@ -2,11 +2,15 @@
 //!
 //! Builds a 32-peer network, shares two heterogeneous schemas plus a
 //! mapping between them, inserts data, and runs the paper's
-//! `%Aspergillus%` query with reformulation.
+//! `%Aspergillus%` query with reformulation — incrementally, through a
+//! pull-based [`gridvine_core::QuerySession`], watching results arrive
+//! schema hop by schema hop.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, ResultEvent, Strategy,
+};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{parse_single, Term, Triple};
 use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
@@ -61,30 +65,60 @@ fn main() {
     }
 
     // 5. Any peer can query in *its* vocabulary; reformulation reaches
-    //    the other schema's data automatically.
+    //    the other schema's data automatically. Open a pull-based
+    //    session and watch the dissemination happen: each pull advances
+    //    the closure walk by one routed subquery and yields events —
+    //    results arrive incrementally, per destination schema.
     let query = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#)
         .expect("well-formed RDQL");
     println!("query:     {query}");
 
     let issuer = PeerId(17);
     let plan = QueryPlan::search(query);
-    let outcome = gridvine
-        .execute(
-            issuer,
-            &plan,
-            &QueryOptions::new().strategy(Strategy::Iterative),
-        )
-        .expect("search runs");
+    let options = QueryOptions::new().strategy(Strategy::Iterative);
+    let mut session = gridvine.open(issuer, &plan, &options).expect("plan opens");
+    while let Some(event) = session.next_event().expect("walk advances") {
+        match event {
+            ResultEvent::SchemaHop {
+                schema,
+                depth,
+                quality,
+            } => println!("hop:       {schema} (depth {depth}, path quality {quality:.2})"),
+            ResultEvent::Rows(batch) => {
+                for row in &batch {
+                    println!("result:    {}", row.get("x").expect("bound"));
+                }
+            }
+            ResultEvent::Stats(delta) => {
+                println!("           …{} overlay messages", delta.messages)
+            }
+        }
+    }
+    let outcome = session.into_outcome();
 
     println!(
         "schemas:   {} visited (1 reformulation step)",
         outcome.stats.schemas_visited
     );
-    println!("messages:  {} overlay messages", outcome.stats.messages);
-    println!("results:");
-    for term in outcome.terms("x") {
-        println!("  {term}");
-    }
+    println!(
+        "messages:  {} overlay messages total",
+        outcome.stats.messages
+    );
     assert_eq!(outcome.rows.len(), 3, "two EMBL + one EMP record");
+
+    // The blocking form is a drain of the same session — identical
+    // rows; and because the mapping network is unchanged, this repeat
+    // replays the memoized reformulation closure: no mapping-list
+    // fetches, strictly fewer messages.
+    let drained = gridvine
+        .execute(issuer, &plan, &options)
+        .expect("search runs");
+    assert_eq!(drained.rows, outcome.rows);
+    assert!(drained.stats.messages < outcome.stats.messages);
+    println!(
+        "replay:    {} messages (closure cache, {} cached closure)",
+        drained.stats.messages,
+        gridvine.cached_closures(),
+    );
     println!("\nthe EMP record was found although the query was written against EMBL.");
 }

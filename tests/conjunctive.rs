@@ -3,13 +3,12 @@
 //! both join modes and both dissemination strategies must agree with
 //! each other — including across schema mappings.
 //!
-//! These tests deliberately drive the deprecated legacy entry points:
-//! they are thin shims over `GridVineSystem::execute`, so this suite
-//! doubles as back-compat coverage for the old surface (the
-//! `equivalence` suite in gridvine-core proves shim ≡ executor).
-#![allow(deprecated)]
+//! All joins run through the plan surface (`QueryPlan::conjunctive` +
+//! `execute`).
 
-use gridvine_core::{ConjunctiveOutcome, GridVineConfig, GridVineSystem, JoinMode, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, JoinMode, QueryOptions, QueryOutcome, QueryPlan, Strategy,
+};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{
     parse_query, Binding, ConjunctiveQuery, PatternTerm, Term, Triple, TriplePattern, TripleStore,
@@ -23,6 +22,22 @@ use proptest::strategy::Strategy as _;
 
 const ALL_MODES: [JoinMode; 2] = [JoinMode::Independent, JoinMode::BoundSubstitution];
 const ALL_STRATEGIES: [Strategy; 2] = [Strategy::Iterative, Strategy::Recursive];
+
+/// A conjunctive `SearchFor` through the plan surface.
+fn search_conjunctive(
+    sys: &mut GridVineSystem,
+    origin: PeerId,
+    q: &ConjunctiveQuery,
+    strategy: Strategy,
+    mode: JoinMode,
+) -> QueryOutcome {
+    sys.execute(
+        origin,
+        &QueryPlan::conjunctive(q.clone()),
+        &QueryOptions::new().strategy(strategy).join_mode(mode),
+    )
+    .expect("resolvable conjunctive query")
+}
 
 /// Single-schema system + a mirror store: the distributed evaluation has
 /// a trivially checkable centralized oracle.
@@ -42,8 +57,8 @@ fn single_schema_system(triples: &[Triple]) -> (GridVineSystem, TripleStore) {
     (sys, oracle)
 }
 
-fn rows(out: &ConjunctiveOutcome) -> Vec<String> {
-    out.bindings.iter().map(|b| b.to_string()).collect()
+fn rows(out: &QueryOutcome) -> Vec<String> {
+    out.rows.iter().map(|b| b.to_string()).collect()
 }
 
 fn oracle_rows(q: &ConjunctiveQuery, store: &TripleStore) -> Vec<String> {
@@ -72,9 +87,7 @@ fn parsed_rdql_conjunction_matches_oracle() {
     assert_eq!(expected.len(), 2);
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys
-                .search_conjunctive(PeerId(9), &q, strategy, mode)
-                .unwrap();
+            let out = search_conjunctive(&mut sys, PeerId(9), &q, strategy, mode);
             assert_eq!(rows(&out), expected, "{strategy:?}/{mode:?}");
         }
     }
@@ -121,9 +134,7 @@ fn three_pattern_chain_join() {
     assert_eq!(expected.len(), 1, "only e:1 survives all three patterns");
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys
-                .search_conjunctive(PeerId(2), &q, strategy, mode)
-                .unwrap();
+            let out = search_conjunctive(&mut sys, PeerId(2), &q, strategy, mode);
             assert_eq!(rows(&out), expected, "{strategy:?}/{mode:?}");
         }
     }
@@ -171,16 +182,14 @@ fn conjunctive_query_crosses_mappings_on_every_pattern() {
     .unwrap();
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys
-                .search_conjunctive(PeerId(5), &q, strategy, mode)
-                .unwrap();
+            let out = search_conjunctive(&mut sys, PeerId(5), &q, strategy, mode);
             let r = rows(&out);
             assert_eq!(r.len(), 2, "{strategy:?}/{mode:?}: {r:?}");
             assert!(
                 r.iter().any(|s| s.contains("seq:B1") && s.contains("200")),
                 "{strategy:?}/{mode:?} must find the EMP-side join: {r:?}"
             );
-            assert!(out.reformulations >= 1, "{strategy:?}/{mode:?}");
+            assert!(out.stats.reformulations >= 1, "{strategy:?}/{mode:?}");
         }
     }
 }
@@ -250,15 +259,17 @@ fn workload_conjunctive_queries_agree_across_modes() {
         ],
     )
     .unwrap();
-    let baseline = sys
-        .search_conjunctive(PeerId(1), &q, Strategy::Iterative, JoinMode::Independent)
-        .unwrap();
-    assert!(!baseline.bindings.is_empty(), "corpus yields join results");
+    let baseline = search_conjunctive(
+        &mut sys,
+        PeerId(1),
+        &q,
+        Strategy::Iterative,
+        JoinMode::Independent,
+    );
+    assert!(!baseline.rows.is_empty(), "corpus yields join results");
     for strategy in ALL_STRATEGIES {
         for mode in ALL_MODES {
-            let out = sys
-                .search_conjunctive(PeerId(1), &q, strategy, mode)
-                .unwrap();
+            let out = search_conjunctive(&mut sys, PeerId(1), &q, strategy, mode);
             assert_eq!(rows(&out), rows(&baseline), "{strategy:?}/{mode:?}");
         }
     }
@@ -314,30 +325,28 @@ fn generated_conjunctive_queries_reach_ground_truth_recall() {
         if g.true_answers.is_empty() {
             continue;
         }
-        let accessions = |out: &ConjunctiveOutcome| -> BTreeSet<String> {
-            out.bindings
+        let accessions = |out: &QueryOutcome| -> BTreeSet<String> {
+            out.rows
                 .iter()
                 .filter_map(|b| b.get("x"))
                 .filter_map(|t| t.as_uri())
                 .filter_map(|u| u.as_str().strip_prefix("seq:").map(str::to_string))
                 .collect()
         };
-        let ind = sys
-            .search_conjunctive(
-                PeerId(2),
-                &g.query,
-                Strategy::Iterative,
-                JoinMode::Independent,
-            )
-            .unwrap();
-        let bnd = sys
-            .search_conjunctive(
-                PeerId(2),
-                &g.query,
-                Strategy::Iterative,
-                JoinMode::BoundSubstitution,
-            )
-            .unwrap();
+        let ind = search_conjunctive(
+            &mut sys,
+            PeerId(2),
+            &g.query,
+            Strategy::Iterative,
+            JoinMode::Independent,
+        );
+        let bnd = search_conjunctive(
+            &mut sys,
+            PeerId(2),
+            &g.query,
+            Strategy::Iterative,
+            JoinMode::BoundSubstitution,
+        );
         let found = accessions(&ind);
         assert_eq!(found, accessions(&bnd), "modes disagree on {}", g.query);
         // Everything found must be true: the constrained value pools are
@@ -405,9 +414,7 @@ proptest! {
         let expected = oracle_rows(&q, &oracle);
         for strategy in ALL_STRATEGIES {
             for mode in ALL_MODES {
-                let out = sys
-                    .search_conjunctive(PeerId(3), &q, strategy, mode)
-                    .unwrap();
+                let out = search_conjunctive(&mut sys, PeerId(3), &q, strategy, mode);
                 prop_assert_eq!(rows(&out), expected.clone(), "{:?}/{:?}", strategy, mode);
             }
         }

@@ -10,13 +10,12 @@
 //!    deprecate it and composition repair replace it;
 //! 6. verify recall recovered.
 //!
-//! These tests deliberately drive the deprecated legacy entry points:
-//! they are thin shims over `GridVineSystem::execute`, so this suite
-//! doubles as back-compat coverage for the old surface (the
-//! `equivalence` suite in gridvine-core proves shim ≡ executor).
-#![allow(deprecated)]
+//! The whole storyline runs through the plan surface
+//! (`QueryPlan::search` + `execute`).
 
-use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, SelfOrgConfig, Strategy,
+};
 use gridvine_pgrid::PeerId;
 use gridvine_semantic::{MappingId, MappingKind, Provenance};
 use gridvine_workload::{recall, QueryConfig, QueryGenerator, Workload, WorkloadConfig};
@@ -30,9 +29,13 @@ fn mean_recall(sys: &mut GridVineSystem, gen: &QueryGenerator<'_>, n: usize, see
             continue;
         }
         let out = sys
-            .search(PeerId(1), &g.query, Strategy::Iterative)
+            .execute(
+                PeerId(1),
+                &QueryPlan::search(g.query.clone()),
+                &QueryOptions::new().strategy(Strategy::Iterative),
+            )
             .unwrap();
-        sum += recall(&out.accessions, &g.true_answers);
+        sum += recall(&out.accessions(), &g.true_answers);
         count += 1;
     }
     if count == 0 {

@@ -1,18 +1,31 @@
 //! Cross-crate integration tests: the full GridVine stack, from the
-//! workload generator through the overlay to reformulated answers.
-//!
-//! These tests deliberately drive the deprecated legacy entry points:
-//! they are thin shims over `GridVineSystem::execute`, so this suite
-//! doubles as back-compat coverage for the old surface (the
-//! `equivalence` suite in gridvine-core proves shim ≡ executor).
-#![allow(deprecated)]
+//! workload generator through the overlay to reformulated answers,
+//! driven through the plan surface (`QueryPlan::search` + `execute`).
 
-use gridvine_core::{GridVineConfig, GridVineSystem, SelfOrgConfig, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, QueryOptions, QueryOutcome, QueryPlan, SelfOrgConfig, Strategy,
+};
 use gridvine_pgrid::PeerId;
+use gridvine_rdf::TriplePatternQuery;
 use gridvine_rdf::{parse_single, Term, Triple};
 use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
 use gridvine_workload::{recall, QueryConfig, QueryGenerator, Workload, WorkloadConfig};
 use std::collections::BTreeSet;
+
+/// The reformulated `SearchFor`: a closure plan drained via `execute`.
+fn search(
+    sys: &mut GridVineSystem,
+    origin: PeerId,
+    q: &TriplePatternQuery,
+    strategy: Strategy,
+) -> QueryOutcome {
+    sys.execute(
+        origin,
+        &QueryPlan::search(q.clone()),
+        &QueryOptions::new().strategy(strategy),
+    )
+    .unwrap()
+}
 
 /// Load a workload into a system with `seed_mappings` manual links.
 fn load_system(schemas: usize, seed_mappings: usize, seed: u64) -> (GridVineSystem, Workload) {
@@ -55,11 +68,11 @@ fn load_system(schemas: usize, seed_mappings: usize, seed: u64) -> (GridVineSyst
 fn rdql_to_answers_across_the_dht() {
     let (mut sys, _) = load_system(8, 7, 1);
     let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
-    let out = sys.search(PeerId(33), &q, Strategy::Iterative).unwrap();
-    assert!(!out.results.is_empty());
+    let out = search(&mut sys, PeerId(33), &q, Strategy::Iterative);
+    assert!(!out.rows.is_empty());
     // Results from more than one schema when a chain exists: the
     // reformulations must have reached beyond EMBL.
-    assert!(out.schemas_visited > 1);
+    assert!(out.stats.schemas_visited > 1);
 }
 
 #[test]
@@ -68,14 +81,10 @@ fn iterative_and_recursive_agree_on_results() {
     let generator = QueryGenerator::new(&w, QueryConfig::default());
     let mut rng = gridvine_netsim::rng::seeded(5);
     for g in generator.batch(15, &mut rng) {
-        let a = sys
-            .search(PeerId(1), &g.query, Strategy::Iterative)
-            .unwrap();
-        let b = sys
-            .search(PeerId(1), &g.query, Strategy::Recursive)
-            .unwrap();
-        let ra: BTreeSet<&Term> = a.results.iter().collect();
-        let rb: BTreeSet<&Term> = b.results.iter().collect();
+        let a = search(&mut sys, PeerId(1), &g.query, Strategy::Iterative);
+        let b = search(&mut sys, PeerId(1), &g.query, Strategy::Recursive);
+        let ra: BTreeSet<Term> = a.terms(&g.query.distinguished).into_iter().collect();
+        let rb: BTreeSet<Term> = b.terms(&g.query.distinguished).into_iter().collect();
         assert_eq!(ra, rb, "strategies disagree on {}", g.query);
     }
 }
@@ -88,7 +97,7 @@ fn full_chain_reaches_everything_reachable() {
     // an organism attribute.
     let (mut sys, w) = load_system(6, 5, 3);
     let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
-    let out = sys.search(PeerId(0), &q, Strategy::Iterative).unwrap();
+    let out = search(&mut sys, PeerId(0), &q, Strategy::Iterative);
 
     // Compute the reachable ground truth by hand.
     let mut expected: BTreeSet<String> = BTreeSet::new();
@@ -116,7 +125,7 @@ fn full_chain_reaches_everything_reachable() {
             }
         }
     }
-    assert_eq!(out.accessions, expected);
+    assert_eq!(out.accessions(), expected);
 }
 
 #[test]
@@ -154,14 +163,10 @@ fn recall_improves_monotonically_with_mapping_knowledge() {
         if g.true_answers.is_empty() {
             continue;
         }
-        let a = sparse
-            .search(PeerId(2), &g.query, Strategy::Iterative)
-            .unwrap();
-        let b = dense
-            .search(PeerId(2), &g.query, Strategy::Iterative)
-            .unwrap();
-        sparse_recall += recall(&a.accessions, &g.true_answers);
-        dense_recall += recall(&b.accessions, &g.true_answers);
+        let a = search(&mut sparse, PeerId(2), &g.query, Strategy::Iterative);
+        let b = search(&mut dense, PeerId(2), &g.query, Strategy::Iterative);
+        sparse_recall += recall(&a.accessions(), &g.true_answers);
+        dense_recall += recall(&b.accessions(), &g.true_answers);
         n += 1;
     }
     assert!(n > 0);
@@ -211,9 +216,9 @@ fn figure2_exact_values() {
     .unwrap();
 
     let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
-    let out = sys.search(PeerId(5), &q, Strategy::Recursive).unwrap();
+    let out = search(&mut sys, PeerId(5), &q, Strategy::Recursive);
     assert_eq!(
-        out.accessions,
+        out.accessions(),
         BTreeSet::from([
             "A78712".to_string(),
             "A78767".to_string(),
@@ -268,16 +273,16 @@ fn subsumption_mappings_reformulate_one_way_only() {
     for strategy in [Strategy::Iterative, Strategy::Recursive] {
         // Forward: EMBL query reaches both vocabularies.
         let q = parse_single(r#"SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")"#).unwrap();
-        let out = sys.search(PeerId(3), &q, strategy).unwrap();
-        assert_eq!(out.results.len(), 2, "{strategy:?}: {:?}", out.results);
-        assert_eq!(out.schemas_visited, 2, "{strategy:?}");
+        let out = search(&mut sys, PeerId(3), &q, strategy);
+        assert_eq!(out.rows.len(), 2, "{strategy:?}: {:?}", out.rows);
+        assert_eq!(out.stats.schemas_visited, 2, "{strategy:?}");
 
         // Backward: TAXA query stays in TAXA.
         let q = parse_single(r#"SELECT ?x WHERE (?x, <TAXA#ScientificName>, "%Aspergillus%")"#)
             .unwrap();
-        let out = sys.search(PeerId(3), &q, strategy).unwrap();
-        assert_eq!(out.results.len(), 1, "{strategy:?}: {:?}", out.results);
-        assert_eq!(out.schemas_visited, 1, "{strategy:?}");
-        assert!(out.results.contains(&Term::uri("tax:T1")));
+        let out = search(&mut sys, PeerId(3), &q, strategy);
+        assert_eq!(out.rows.len(), 1, "{strategy:?}: {:?}", out.rows);
+        assert_eq!(out.stats.schemas_visited, 1, "{strategy:?}");
+        assert!(out.terms("x").contains(&Term::uri("tax:T1")));
     }
 }

@@ -2,13 +2,13 @@
 //! poisoned mappings must degrade the system gracefully, never corrupt
 //! it.
 //!
-//! These tests deliberately drive the deprecated legacy entry points:
-//! they are thin shims over `GridVineSystem::execute`, so this suite
-//! doubles as back-compat coverage for the old surface (the
-//! `equivalence` suite in gridvine-core proves shim ≡ executor).
-#![allow(deprecated)]
+//! Queries run through the plan surface (`QueryPlan::search` +
+//! `execute`).
 
-use gridvine_core::{GridVineConfig, GridVineSystem, MediationItem, SelfOrgConfig, Strategy};
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, MediationItem, QueryOptions, QueryOutcome, QueryPlan,
+    SelfOrgConfig, Strategy,
+};
 use gridvine_netsim::prelude::*;
 use gridvine_pgrid::proto::{PGridMsg, PGridNode, Status};
 use gridvine_pgrid::{KeyHasher, OrderPreservingHash, PeerId, Topology};
@@ -17,6 +17,15 @@ use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
 use gridvine_workload::{Workload, WorkloadConfig};
 
 type Net = Network<PGridNode<MediationItem>, PGridMsg<MediationItem>>;
+
+fn search(sys: &mut GridVineSystem, origin: PeerId, q: &TriplePatternQuery) -> QueryOutcome {
+    sys.execute(
+        origin,
+        &QueryPlan::search(q.clone()),
+        &QueryOptions::new().strategy(Strategy::Iterative),
+    )
+    .unwrap()
+}
 
 fn wired(n: usize, loss: f64, seed: u64) -> (Net, Topology) {
     let mut rng = gridvine_netsim::rng::seeded(seed);
@@ -94,7 +103,7 @@ fn poisoned_mapping_cannot_break_unrelated_queries() {
     )
     .unwrap();
     let q = TriplePatternQuery::example_aspergillus();
-    let before = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
+    let before = search(&mut sys, PeerId(1), &q);
 
     sys.insert_mapping(
         p,
@@ -105,10 +114,10 @@ fn poisoned_mapping_cannot_break_unrelated_queries() {
         vec![Correspondence::new("Organism", "Garbage")],
     )
     .unwrap();
-    let after = sys.search(PeerId(1), &q, Strategy::Iterative).unwrap();
-    assert_eq!(before.results, after.results, "poison must not eat results");
+    let after = search(&mut sys, PeerId(1), &q);
+    assert_eq!(before.rows, after.rows, "poison must not eat results");
     assert_eq!(
-        after.reformulations, 1,
+        after.stats.reformulations, 1,
         "the junk reformulation ran (and found nothing)"
     );
 }
@@ -157,8 +166,8 @@ fn self_organization_with_noisy_matcher_still_terminates() {
     }
     // Queries still run after all that.
     let q = TriplePatternQuery::example_aspergillus();
-    let out = sys.search(PeerId(3), &q, Strategy::Iterative).unwrap();
-    assert!(out.schemas_visited >= 1);
+    let out = search(&mut sys, PeerId(3), &q);
+    assert!(out.stats.schemas_visited >= 1);
 }
 
 #[test]

@@ -3,13 +3,10 @@
 //! access path and with a centralized oracle, must refuse unroutable
 //! shapes, and must be unavailable under a uniform hash.
 //!
-//! These tests deliberately drive the deprecated legacy entry points:
-//! they are thin shims over `GridVineSystem::execute`, so this suite
-//! doubles as back-compat coverage for the old surface (the
-//! `equivalence` suite in gridvine-core proves shim ≡ executor).
-#![allow(deprecated)]
+//! The range path runs through the plan surface
+//! (`QueryPlan::object_prefix` + `execute`).
 
-use gridvine_core::{GridVineConfig, GridVineSystem, SystemError};
+use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, SystemError};
 use gridvine_pgrid::{HashKind, PeerId};
 use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
 use gridvine_semantic::Schema;
@@ -36,6 +33,21 @@ fn system_with(values: &[String], hash: HashKind) -> GridVineSystem {
         .unwrap();
     }
     sys
+}
+
+/// Range search through the plan surface; returns the distinct terms
+/// of the distinguished variable (the legacy entry point's shape).
+fn object_prefix(
+    sys: &mut GridVineSystem,
+    origin: PeerId,
+    q: &TriplePatternQuery,
+) -> Result<Vec<Term>, SystemError> {
+    let out = sys.execute(
+        origin,
+        &QueryPlan::object_prefix(q.clone()),
+        &QueryOptions::default(),
+    )?;
+    Ok(out.terms(&q.distinguished))
 }
 
 fn prefix_query(prefix: &str) -> TriplePatternQuery {
@@ -65,7 +77,7 @@ fn prefix_search_matches_oracle() {
     .collect();
     let mut sys = system_with(&values, HashKind::OrderPreserving);
     let q = prefix_query("Aspergillus");
-    let (results, _) = sys.resolve_object_prefix(PeerId(9), &q).unwrap();
+    let results = object_prefix(&mut sys, PeerId(9), &q).unwrap();
     let expected: usize = values
         .iter()
         .filter(|v| v.starts_with("Aspergillus"))
@@ -87,8 +99,15 @@ fn range_and_predicate_paths_agree() {
         .collect();
     let mut sys = system_with(&values, HashKind::OrderPreserving);
     let q = prefix_query("Aspergillus");
-    let (via_range, _) = sys.resolve_object_prefix(PeerId(3), &q).unwrap();
-    let (via_predicate, _) = sys.resolve_pattern(PeerId(3), &q).unwrap();
+    let via_range = object_prefix(&mut sys, PeerId(3), &q).unwrap();
+    let via_predicate = sys
+        .execute(
+            PeerId(3),
+            &QueryPlan::pattern(q.clone()),
+            &QueryOptions::default(),
+        )
+        .unwrap()
+        .terms(&q.distinguished);
     assert_eq!(via_range, via_predicate);
     assert_eq!(
         via_range.len(),
@@ -101,7 +120,7 @@ fn uniform_hash_refuses_range_search() {
     let mut sys = system_with(&["Aspergillus niger".to_string()], HashKind::Uniform);
     let q = prefix_query("Aspergillus");
     assert_eq!(
-        sys.resolve_object_prefix(PeerId(0), &q),
+        object_prefix(&mut sys, PeerId(0), &q),
         Err(SystemError::NotRoutable)
     );
 }
@@ -123,7 +142,7 @@ fn non_prefix_shapes_are_refused() {
         )
         .unwrap();
         assert_eq!(
-            sys.resolve_object_prefix(PeerId(0), &q),
+            object_prefix(&mut sys, PeerId(0), &q),
             Err(SystemError::NotRoutable),
             "shape {object:?} must be refused"
         );
@@ -139,7 +158,7 @@ fn non_prefix_shapes_are_refused() {
     )
     .unwrap();
     assert_eq!(
-        sys.resolve_object_prefix(PeerId(0), &q),
+        object_prefix(&mut sys, PeerId(0), &q),
         Err(SystemError::NotRoutable)
     );
 }
@@ -151,7 +170,7 @@ fn empty_region_returns_no_results() {
         HashKind::OrderPreserving,
     );
     let q = prefix_query("Aspergillus");
-    let (results, _) = sys.resolve_object_prefix(PeerId(1), &q).unwrap();
+    let results = object_prefix(&mut sys, PeerId(1), &q).unwrap();
     assert!(results.is_empty());
 }
 
@@ -167,7 +186,7 @@ proptest! {
     ) {
         let mut sys = system_with(&values, HashKind::OrderPreserving);
         let q = prefix_query(&prefix);
-        let (results, _) = sys.resolve_object_prefix(PeerId(2), &q).unwrap();
+        let results = object_prefix(&mut sys, PeerId(2), &q).unwrap();
         let expected: usize = values.iter().filter(|v| v.starts_with(&prefix)).count();
         prop_assert_eq!(results.len(), expected);
     }
