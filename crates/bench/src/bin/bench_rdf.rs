@@ -31,6 +31,14 @@
 //!   whole reformulation closure, the "new" column is pulling the
 //!   session only until the first row batch lands (first-result
 //!   latency) or running with `limit(10)` (early-termination savings).
+//! * `exec_overlap_first_result` — **simulated-clock** first-result
+//!   latency of the event-driven session scheduler over an 8-schema
+//!   star federation whose matching data lives in the schemas the
+//!   serial walk reaches last: the "seed" column is `window(1)` (one
+//!   subquery in flight, PR 4's serial pull order), the "new" column
+//!   `window(4)` (independent closure hops pipelined). Both columns
+//!   are simulated milliseconds, deterministic per seed, and identical
+//!   in rows and message counts — only the clock moves.
 //!
 //! Writes `BENCH_rdf.json` into the working directory and prints a
 //! table. `--quick` runs a reduced corpus as a CI smoke check (no JSON
@@ -500,6 +508,106 @@ fn exec_session_ops(quick: bool, results: &mut Vec<Measurement>) {
     });
 }
 
+/// A star federation for the scheduler-overlap measurement: S0 maps
+/// directly to each of S1..=S7, but matching data lives only in
+/// S1..=S3 — the children the serial depth-first walk visits *last* —
+/// so a `window(1)` session resolves the whole empty fan-out before
+/// its first row, while a wider window pipelines the independent hops
+/// and reaches the data several simulated round-trips earlier.
+fn overlap_federation(entities: usize) -> (GridVineSystem, TriplePatternQuery) {
+    const SCHEMAS: usize = 8;
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 64,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for i in 0..SCHEMAS {
+        sys.insert_schema(
+            p0,
+            Schema::new(format!("S{i}").as_str(), [format!("organism{i}")]),
+        )
+        .expect("schema stored");
+    }
+    for i in 1..SCHEMAS {
+        sys.insert_mapping(
+            p0,
+            "S0",
+            format!("S{i}").as_str(),
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new(
+                "organism0".to_string(),
+                format!("organism{i}"),
+            )],
+        )
+        .expect("mapping stored");
+    }
+    for e in 0..entities {
+        let s = 1 + e % 3; // data only in S1..=S3
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                format!("seq:E{e:05}").as_str(),
+                format!("S{s}#organism{s}").as_str(),
+                Term::literal(format!("Aspergillus sp. strain {e}")),
+            ),
+        )
+        .expect("triple stored");
+    }
+    let q = TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S0#organism0")),
+            PatternTerm::constant(Term::literal("%Aspergillus%")),
+        ),
+    )
+    .expect("valid query");
+    (sys, q)
+}
+
+/// Simulated-clock first-result latency, `window(1)` vs `window(4)`.
+/// Cold sessions on identically-seeded fresh systems; the simulated
+/// clock is deterministic, so one run per window is exact.
+fn exec_overlap_ops(quick: bool, results: &mut Vec<Measurement>) {
+    let entities = if quick { 60 } else { 240 };
+    let run = |w: usize| {
+        let (mut sys, q) = overlap_federation(entities);
+        let plan = QueryPlan::search(q);
+        let options = QueryOptions::new().strategy(Strategy::Iterative).window(w);
+        let mut session = sys.open(PeerId(17), &plan, &options).expect("opens");
+        let mut elapsed_ms = None;
+        while let Some(ev) = session.next_event().expect("advances") {
+            if elapsed_ms.is_none() {
+                if let ResultEvent::Rows(batch) = &ev {
+                    if !batch.is_empty() {
+                        elapsed_ms = Some(session.sim_elapsed().as_micros() as f64 / 1e3);
+                    }
+                }
+            }
+        }
+        let total = session.into_outcome();
+        (
+            total.stats.messages,
+            elapsed_ms.expect("the federation has matching rows"),
+        )
+    };
+    let (serial_msgs, serial_ms) = run(1);
+    let (overlap_msgs, overlap_ms) = run(4);
+    // Equivalence: the window moves the clock, never the computation.
+    assert_eq!(serial_msgs, overlap_msgs, "identical drained messages");
+    assert!(
+        overlap_ms * 2.0 <= serial_ms,
+        "window(4) must reach the first row ≥2× sooner on the simulated \
+         clock: {overlap_ms:.3}ms vs {serial_ms:.3}ms"
+    );
+    results.push(Measurement {
+        name: "exec_overlap_first_result",
+        baseline_ms: serial_ms,
+        new_ms: overlap_ms,
+    });
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let entities = if quick { QUICK_ENTITIES } else { ENTITIES };
@@ -724,6 +832,11 @@ fn main() {
     // First-result latency and early-termination savings vs the full
     // blocking drain of an 8-schema reformulation closure.
     exec_session_ops(quick, &mut results);
+
+    // --- event-driven scheduler: overlapped in-flight subqueries ------
+    // Simulated-clock first-result latency of window(4) vs window(1)
+    // over the star federation (both columns simulated milliseconds).
+    exec_overlap_ops(quick, &mut results);
 
     // --- report -------------------------------------------------------
     println!(

@@ -89,17 +89,19 @@ pub struct QueryOptions {
     pub(crate) join_mode: JoinMode,
     pub(crate) ttl: Option<usize>,
     pub(crate) limit: Option<usize>,
+    pub(crate) window: usize,
 }
 
 impl Default for QueryOptions {
     /// Iterative reformulation, bound-substitution joins, the system's
-    /// configured TTL, unlimited results.
+    /// configured TTL, unlimited results, one subquery in flight.
     fn default() -> QueryOptions {
         QueryOptions {
             strategy: Strategy::Iterative,
             join_mode: JoinMode::BoundSubstitution,
             ttl: None,
             limit: None,
+            window: 1,
         }
     }
 }
@@ -124,6 +126,19 @@ impl QueryOptions {
     /// Override the system's reformulation TTL for this query.
     pub fn ttl(mut self, ttl: usize) -> QueryOptions {
         self.ttl = Some(ttl);
+        self
+    }
+
+    /// Keep up to `window` subqueries of this session in flight on the
+    /// simulated clock (see [`crate::system::sched`]): independent
+    /// closure hops, prefix probes and bound-join groups pipeline
+    /// instead of serializing, cutting simulated first-result latency.
+    /// The row multiset and the total message count are identical for
+    /// every window size — only the clock (and event delivery order)
+    /// changes. Clamped to at least 1; the default of 1 reproduces the
+    /// strictly serial pull order.
+    pub fn window(mut self, window: usize) -> QueryOptions {
+        self.window = window.max(1);
         self
     }
 
@@ -160,6 +175,18 @@ pub struct ExecStats {
     /// Matching bindings returned by destination peers before any join
     /// or dedup — a proxy for result bytes on the wire.
     pub bindings_shipped: usize,
+    /// High-water mark of simultaneously in-flight subqueries (1 for a
+    /// fully serial session; up to [`QueryOptions::window`]).
+    pub max_in_flight: usize,
+    /// Mapping-list retrieves performed (closure discovery steps that
+    /// actually went to the network — warm cache replays skip these).
+    pub mapping_fetches: usize,
+    /// Closure-cache lookups served from a coherent entry.
+    pub cache_hits: usize,
+    /// Closure-cache lookups that found no coherent entry.
+    pub cache_misses: usize,
+    /// Closure-cache entries displaced by a capacity bound.
+    pub cache_evictions: usize,
 }
 
 /// What one [`GridVineSystem::execute`] call produced: solution rows
@@ -228,6 +255,10 @@ impl NetSweep {
         stats.schemas_visited += self.stats.schemas_visited;
         stats.failures += self.stats.failures;
         stats.bindings_shipped += self.bindings.len();
+        stats.mapping_fetches += self.stats.mapping_fetches;
+        stats.cache_hits += self.stats.cache_hits;
+        stats.cache_misses += self.stats.cache_misses;
+        stats.cache_evictions += self.stats.cache_evictions;
     }
 }
 
@@ -266,21 +297,40 @@ pub(crate) fn pattern_predicate(pattern: &TriplePattern) -> Uri {
 /// agrees by construction.
 pub(crate) enum ClosureSweep<'a> {
     /// Live walk over DHT-fetched mapping lists; `record` accumulates
-    /// the hop list for the closure cache (iterative strategy only).
-    /// `pending` is the hop resolved by the last `resolve_next` whose
-    /// mapping discovery has not run yet.
+    /// the hop list for the closure cache. `pending` is the hop
+    /// resolved by the last `resolve_next` whose mapping discovery has
+    /// not run yet. `delegate` is the intermediate peer that served
+    /// the first recursive mapping discovery — the peer whose cache a
+    /// completed recursive walk warms.
     Cold {
+        pattern: &'a TriplePattern,
         walk: ClosureWalk<(Cow<'a, TriplePattern>, PeerId, f64)>,
-        record: Option<(ClosureKey, Vec<CachedHop>)>,
+        record: (ClosureKey, Vec<CachedHop>),
         pending: Option<Box<PendingExpand<'a>>>,
+        delegate: Option<PeerId>,
+        /// A discovery failed (crashed destination): the walk is
+        /// missing a subtree, so the record must never be committed —
+        /// a partial closure replayed as complete would silently drop
+        /// rows even after the peer recovers.
+        tainted: bool,
     },
     /// Replay of a memoized closure: resolve each recorded hop's
-    /// predicate from the origin, no mapping discovery at all.
+    /// predicate from `issuer` (the origin for iterative replays, the
+    /// delegate peer for recursive ones), no mapping discovery at all.
     Warm {
         pattern: &'a TriplePattern,
         hops: std::sync::Arc<[CachedHop]>,
         next: usize,
+        issuer: PeerId,
     },
+}
+
+/// What one [`ClosureSweep::expand_pending`] call did: the schemas it
+/// admitted to the frontier (the session stamps their scheduler ready
+/// times with the expansion's completion instant).
+#[derive(Debug, Default)]
+pub(crate) struct Expansion {
+    pub(crate) admitted: Vec<SchemaId>,
 }
 
 /// A cold hop between its resolution and its expansion.
@@ -323,9 +373,16 @@ impl SweepHop {
 }
 
 impl<'a> ClosureSweep<'a> {
-    /// Start a sweep for one schema'd pattern: a warm cache replay when
-    /// the mapping-network epoch still matches a recorded closure
-    /// (iterative only), a live walk otherwise.
+    /// Start a sweep for one schema'd pattern. The **iterative**
+    /// strategy consults the *origin* peer's bounded cache here: a
+    /// coherent entry means a warm replay (no BFS, no mapping-list
+    /// retrieves). The **recursive** strategy cannot know its delegate
+    /// peer before routing the first discovery, so its cache consult
+    /// happens inside [`ClosureSweep::expand_pending`] instead. Either
+    /// way exactly one lookup is charged per sweep
+    /// (`cache_hits`/`cache_misses`).
+    #[allow(clippy::too_many_arguments)] // one call site per consumer; a
+                                         // params struct would just rename the arguments
     pub(crate) fn open(
         sys: &mut GridVineSystem,
         origin: PeerId,
@@ -334,31 +391,33 @@ impl<'a> ClosureSweep<'a> {
         attr: String,
         strategy: Strategy,
         ttl: usize,
+        stats: &mut ExecStats,
     ) -> ClosureSweep<'a> {
-        let record = (strategy == Strategy::Iterative).then(|| {
-            (
-                ClosureKey {
-                    schema: schema.clone(),
-                    attr,
-                    ttl,
-                },
-                Vec::new(),
-            )
-        });
-        if let Some((key, _)) = &record {
+        let key = ClosureKey {
+            schema: schema.clone(),
+            attr,
+            ttl,
+        };
+        if strategy == Strategy::Iterative {
             let epoch = sys.registry.epoch();
-            if let Some(hops) = sys.closure_cache.lookup(epoch, key) {
+            if let Some(hops) = sys.exec_state_mut(origin).cache.lookup(epoch, &key) {
+                stats.cache_hits += 1;
                 return ClosureSweep::Warm {
                     pattern,
                     hops,
                     next: 0,
+                    issuer: origin,
                 };
             }
+            stats.cache_misses += 1;
         }
         ClosureSweep::Cold {
+            pattern,
             walk: ClosureWalk::new(schema, (Cow::Borrowed(pattern), origin, 1.0)),
-            record,
+            record: (key, Vec::new()),
             pending: None,
+            delegate: None,
+            tainted: false,
         }
     }
 
@@ -368,6 +427,17 @@ impl<'a> ClosureSweep<'a> {
             ClosureSweep::Cold { walk, pending, .. } => walk.is_exhausted() && pending.is_none(),
             ClosureSweep::Warm { hops, next, .. } => *next >= hops.len(),
         }
+    }
+
+    /// A resolved hop is waiting for its expansion.
+    pub(crate) fn has_pending(&self) -> bool {
+        matches!(
+            self,
+            ClosureSweep::Cold {
+                pending: Some(_),
+                ..
+            }
+        )
     }
 
     /// Pop and resolve the next hop (expansion deferred to
@@ -384,6 +454,7 @@ impl<'a> ClosureSweep<'a> {
                 pattern,
                 hops,
                 next,
+                issuer,
             } => {
                 let Some(hop) = hops.get(*next).cloned() else {
                     return Ok(None);
@@ -394,7 +465,11 @@ impl<'a> ClosureSweep<'a> {
                 } else {
                     Cow::Owned(with_predicate(pattern, &hop.predicate))
                 };
-                let bindings = sys.resolve_pattern_once(origin, &pat).ok();
+                // Iterative replays issue from the origin (which is
+                // also `issuer`); recursive replays from the delegate
+                // peer that memoized the closure.
+                let from = if hop.depth == 0 { origin } else { *issuer };
+                let bindings = sys.resolve_pattern_once(from, &pat).ok();
                 Ok(Some(SweepHop {
                     schema: hop.schema,
                     depth: hop.depth,
@@ -406,6 +481,7 @@ impl<'a> ClosureSweep<'a> {
                 walk,
                 record,
                 pending,
+                ..
             } => {
                 debug_assert!(
                     pending.is_none(),
@@ -414,14 +490,12 @@ impl<'a> ClosureSweep<'a> {
                 let Some((schema, (pat, at_peer, quality), depth)) = walk.next_depth_first() else {
                     return Ok(None);
                 };
-                if let Some((_, hops)) = record {
-                    hops.push(CachedHop {
-                        schema: schema.clone(),
-                        predicate: pattern_predicate(&pat),
-                        depth,
-                        quality,
-                    });
-                }
+                record.1.push(CachedHop {
+                    schema: schema.clone(),
+                    predicate: pattern_predicate(&pat),
+                    depth,
+                    quality,
+                });
                 let bindings = sys.resolve_pattern_once(at_peer, &pat).ok();
                 let hop = SweepHop {
                     schema: schema.clone(),
@@ -445,31 +519,79 @@ impl<'a> ClosureSweep<'a> {
     /// mappings applicable at its schema (within the TTL) and admit the
     /// newly reachable schemas (a no-op on warm replays — the recorded
     /// closure already is the expansion). When the walk exhausts here,
-    /// the recorded closure is committed to the system's cache — an
-    /// early-terminating caller that stops pulling (or calls
+    /// the recorded closure is committed to a per-peer cache — the
+    /// origin's for iterative walks, the delegate's for recursive ones;
+    /// an early-terminating caller that stops pulling (or calls
     /// [`ClosureSweep::discard_pending`]) never commits a partial walk.
+    ///
+    /// A recursive walk additionally consults the delegate peer's cache
+    /// at its first discovery: on a coherent entry the sweep switches
+    /// to a warm replay of the remaining recorded hops and every deeper
+    /// mapping-list retrieve is skipped.
+    ///
+    /// A crashed discovery destination ([`SystemError::PeerDown`]) is
+    /// charged as a failure and the hop is simply not expanded — the
+    /// walk continues rather than hanging or erroring out.
     pub(crate) fn expand_pending(
         &mut self,
         sys: &mut GridVineSystem,
         origin: PeerId,
         strategy: Strategy,
         ttl: usize,
-    ) -> Result<(), SystemError> {
+        stats: &mut ExecStats,
+    ) -> Result<Expansion, SystemError> {
         let ClosureSweep::Cold {
+            pattern,
             walk,
             record,
             pending,
+            delegate,
+            tainted,
         } = self
         else {
-            return Ok(());
+            return Ok(Expansion::default());
         };
         let Some(hop) = pending.take() else {
-            return Ok(());
+            return Ok(Expansion::default());
         };
         let hop = *hop;
+        let mut admitted = Vec::new();
         if hop.depth < ttl {
             let (next_peer, mappings) =
-                sys.discover_mappings(origin, hop.at_peer, &hop.schema, strategy)?;
+                match sys.discover_mappings(origin, hop.at_peer, &hop.schema, strategy) {
+                    Ok(found) => found,
+                    Err(SystemError::PeerDown(_)) => {
+                        stats.failures += 1;
+                        *tainted = true;
+                        return Ok(Expansion { admitted });
+                    }
+                    Err(e) => return Err(e),
+                };
+            stats.mapping_fetches += 1;
+            if strategy == Strategy::Recursive && hop.depth == 0 {
+                *delegate = Some(next_peer);
+                // The delegate may have memoized this closure from an
+                // earlier recursive walk: replay its tail instead of
+                // chasing deeper mapping lists.
+                let epoch = sys.registry.epoch();
+                let cached = sys.exec_state_mut(next_peer).cache.lookup(epoch, &record.0);
+                match cached {
+                    Some(hops) => {
+                        stats.cache_hits += 1;
+                        let admitted: Vec<SchemaId> =
+                            hops.iter().skip(1).map(|h| h.schema.clone()).collect();
+                        let pattern: &'a TriplePattern = pattern;
+                        *self = ClosureSweep::Warm {
+                            pattern,
+                            hops,
+                            next: 1, // depth 0 was already resolved live
+                            issuer: next_peer,
+                        };
+                        return Ok(Expansion { admitted });
+                    }
+                    None => stats.cache_misses += 1,
+                }
+            }
             for m in mappings {
                 let Some(dir) = m.applicable_from(&hop.schema) else {
                     continue;
@@ -480,20 +602,32 @@ impl<'a> ClosureSweep<'a> {
                 let Some(np) = gridvine_semantic::reformulate_pattern(&hop.pat, &m, dir) else {
                     continue;
                 };
-                walk.admit(
-                    m.destination(dir).clone(),
+                let dest = m.destination(dir).clone();
+                if walk.admit(
+                    dest.clone(),
                     (Cow::Owned(np), next_peer, hop.quality.min(m.quality)),
                     hop.depth + 1,
-                );
+                ) {
+                    admitted.push(dest);
+                }
             }
         }
-        if walk.is_exhausted() {
-            if let Some((key, hops)) = record.take() {
+        if walk.is_exhausted() && !*tainted {
+            let key = record.0.clone();
+            let hops = std::mem::take(&mut record.1);
+            let target = match strategy {
+                Strategy::Iterative => Some(origin),
+                Strategy::Recursive => *delegate,
+            };
+            if let Some(at) = target {
                 let epoch = sys.registry.epoch();
-                sys.closure_cache.insert(epoch, key, hops);
+                let cache = &mut sys.exec_state_mut(at).cache;
+                let evictions_before = cache.counters().evictions;
+                cache.insert(epoch, key, hops);
+                stats.cache_evictions += (cache.counters().evictions - evictions_before) as usize;
             }
         }
-        Ok(())
+        Ok(Expansion { admitted })
     }
 
     /// Drop the pending hop without expanding it (early termination:
@@ -543,6 +677,11 @@ impl GridVineSystem {
         let key = self.key_of(term.lexical());
         let route = self.overlay.route(origin, &key, &mut self.rng)?;
         self.overlay.charge_response(origin, route.destination);
+        if !self.is_peer_up(route.destination) {
+            // The request (and the response charge) went out; the
+            // crashed destination will never answer.
+            return Err(SystemError::PeerDown(route.destination));
+        }
         let db = &self.local_dbs[route.destination.index()];
         Ok(db.match_pattern_iter(pattern).collect())
     }
@@ -564,6 +703,9 @@ impl GridVineSystem {
             Strategy::Recursive => {
                 let schema_key = self.key_of(schema.as_str());
                 let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
+                if self.crashed.contains(&route.destination) {
+                    return Err(SystemError::PeerDown(route.destination));
+                }
                 let items = self
                     .overlay
                     .store(route.destination)
@@ -609,14 +751,22 @@ impl GridVineSystem {
             net.bindings = self.resolve_pattern_once(origin, pattern)?;
             return Ok(net);
         };
-        let mut sweep =
-            ClosureSweep::open(self, origin, pattern, origin_schema, attr, strategy, ttl);
+        let mut sweep = ClosureSweep::open(
+            self,
+            origin,
+            pattern,
+            origin_schema,
+            attr,
+            strategy,
+            ttl,
+            &mut net.stats,
+        );
         while let Some(hop) = sweep.resolve_next(self, origin)? {
             hop.charge(&mut net.stats);
             if let Some(bindings) = hop.bindings {
                 net.bindings.extend(bindings);
             }
-            sweep.expand_pending(self, origin, strategy, ttl)?;
+            sweep.expand_pending(self, origin, strategy, ttl, &mut net.stats)?;
         }
         Ok(net)
     }

@@ -12,17 +12,33 @@
 //! reformulated dissemination and conjunctive joins — are projections of
 //! **one plan-driven loop**, [`Deployment::run_plans`]: every query is a
 //! logical [`QueryPlan`] whose routed lookups and mapping fetches run
-//! through the asynchronous protocol ([`gridvine_pgrid::proto`]), with
-//! end-to-end latencies feeding a [`Cdf`].
+//! through the asynchronous protocol ([`gridvine_pgrid::proto`]).
+//!
+//! Since PR 5 the driver is **fully event-driven on the netsim clock**:
+//! the network is pumped one event at a time
+//! ([`gridvine_netsim::Network::step_node`]) and every completion is
+//! processed *at its actual simulated completion instant* — a
+//! reformulated lookup is submitted the moment the mapping fetch that
+//! revealed it lands, chains across queries genuinely overlap in
+//! flight, and the latency [`Cdf`] is derived from real completion
+//! times (`completed_at − submitted_at`) instead of per-chain latency
+//! re-aggregation. [`Deployment::run_plans_with`] additionally streams
+//! every matched partial result ([`WanPartial`]) to the caller as it
+//! lands, so consumers see rows trickle in per chain instead of
+//! waiting for the batch report. Closure queries warm a **per-origin
+//! bounded LRU closure cache** ([`DeploymentConfig::closure_cache_capacity`]):
+//! a repeated closure query from the same origin replays its recorded
+//! hops and skips every mapping fetch.
 
 use crate::item::{KeySpace, MediationItem};
 use crate::plan::QueryPlan;
+use crate::system::exec::with_predicate;
 use gridvine_netsim::rng;
 use gridvine_netsim::{Cdf, Network, NetworkConfig, NodeId, SimDuration, SimTime};
 use gridvine_pgrid::proto::{PGridMsg, PGridNode, Status};
 use gridvine_pgrid::{BitString, HashKind, KeyHasher, Topology};
 use gridvine_rdf::{Binding, ConjunctiveQuery, Triple, TriplePattern, TriplePatternQuery};
-use gridvine_semantic::{Mapping, Schema, SchemaId};
+use gridvine_semantic::{CachedHop, ClosureCache, ClosureKey, Mapping, Schema, SchemaId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -42,6 +58,10 @@ pub struct DeploymentConfig {
     pub timeout: SimDuration,
     /// Mean query inter-arrival time across the whole network.
     pub mean_interarrival: SimDuration,
+    /// Capacity of each origin peer's bounded LRU closure cache (see
+    /// `gridvine_semantic::ClosureCache`). Zero disables WAN-side
+    /// closure caching.
+    pub closure_cache_capacity: usize,
     pub seed: u64,
 }
 
@@ -57,6 +77,7 @@ impl DeploymentConfig {
             network: NetworkConfig::planetlab_2007(),
             timeout: SimDuration::from_secs(60),
             mean_interarrival: SimDuration::from_millis(40),
+            closure_cache_capacity: 64,
             seed,
         }
     }
@@ -143,9 +164,12 @@ pub struct WanBatchOptions {
     /// completions stop expanding (no further reformulated lookups or
     /// deeper fetches are submitted), so a limited query sends strictly
     /// fewer messages than an unlimited one whenever dissemination
-    /// remained. Join plans ignore it (dropping a binding could drop
-    /// the joining row, changing results rather than just truncating
-    /// them); in-flight requests are allowed to land.
+    /// remained. Limited closure queries bypass the per-origin closure
+    /// cache (a warm replay submits every recorded hop up front, which
+    /// would defeat the truncation). Join plans ignore the cap
+    /// (dropping a binding could drop the joining row, changing results
+    /// rather than just truncating them); in-flight requests are
+    /// allowed to land.
     pub limit: Option<usize>,
 }
 
@@ -183,10 +207,28 @@ pub struct WanBatchReport {
     pub mean_schemas: f64,
     /// Mean solution rows per answered join plan.
     pub mean_rows: f64,
+    /// Closure queries served from a per-origin closure-cache entry
+    /// (their mapping fetches were skipped entirely).
+    pub cache_hits: usize,
     /// Total messages the network carried during the batch.
     pub messages: u64,
     /// Simulated time the batch took.
     pub wall: SimDuration,
+}
+
+/// One streamed partial result of a plan-driven WAN batch: the fresh
+/// bindings a data reply matched, delivered to the
+/// [`Deployment::run_plans_with`] sink at the reply's actual simulated
+/// completion instant, while the rest of the batch is still in flight.
+#[derive(Debug)]
+pub struct WanPartial<'a> {
+    /// Index of the plan in the submitted batch.
+    pub query: usize,
+    /// Simulated completion instant of the reply that carried these
+    /// bindings.
+    pub at: SimTime,
+    /// The fresh matched bindings (per reply, not cumulative).
+    pub bindings: &'a [Binding],
 }
 
 /// Work attached to one in-flight retrieve of the plan driver.
@@ -197,7 +239,6 @@ enum WanWork {
         query: usize,
         pattern: usize,
         pat: TriplePattern,
-        accum: SimDuration,
         /// The query's own-vocabulary (depth-0) lookup; its hop count
         /// feeds [`WanBatchReport::mean_hops`].
         initial: bool,
@@ -208,8 +249,10 @@ enum WanWork {
         pattern: usize,
         schema: SchemaId,
         pat: TriplePattern,
-        accum: SimDuration,
         depth: usize,
+        /// Minimum mapping quality along the chain so far (recorded
+        /// into the per-origin closure cache).
+        quality: f64,
     },
 }
 
@@ -221,11 +264,23 @@ struct WanTrack {
     /// [`WanBatchOptions::limit`] counts against (duplicates shipped by
     /// different schemas must not satisfy the cap early).
     distinct: BTreeSet<String>,
-    max_latency: SimDuration,
+    /// Latest simulated completion instant among matched data replies
+    /// — the query's end-to-end latency is `matched_at − submitted_at`.
+    matched_at: Option<SimTime>,
     /// Hop count of the depth-0 lookup, once it completed.
     hops: Option<u32>,
     /// Any request of this track timed out.
     timed_out: bool,
+    /// Mapping fetches of this track still in flight (a closure's
+    /// expansion is complete — and cacheable — when this reaches 0).
+    open_fetches: usize,
+    /// Hop list recorded for the per-origin closure cache (root hop
+    /// first, empty for warm replays). Only committed when the
+    /// expansion completed untruncated.
+    recorded: Vec<CachedHop>,
+    /// The limit cap truncated this track's expansion (a partial
+    /// closure must never be recorded as complete).
+    limited: bool,
 }
 
 impl WanTrack {
@@ -234,11 +289,32 @@ impl WanTrack {
             visited: BTreeSet::new(),
             bindings: Vec::new(),
             distinct: BTreeSet::new(),
-            max_latency: SimDuration::ZERO,
+            matched_at: None,
             hops: None,
             timed_out: false,
+            open_fetches: 0,
+            recorded: Vec::new(),
+            limited: false,
         }
     }
+}
+
+/// Mutable batch state threaded through the event-driven drive loop.
+struct WanDrive {
+    pending: BTreeMap<(usize, u64), WanWork>,
+    origins: Vec<usize>,
+    /// tracks[query][pattern]
+    tracks: Vec<Vec<WanTrack>>,
+    submitted_at: Vec<SimTime>,
+    /// Closure plans' cache keys (None for other shapes / TTL 0).
+    closure_keys: Vec<Option<ClosureKey>>,
+    skipped_flags: Vec<bool>,
+    skipped: usize,
+    unroutable: usize,
+    mapping_fetches: usize,
+    data_lookups: usize,
+    timed_out: usize,
+    cache_hits: usize,
 }
 
 /// GridVine deployed over the discrete-event simulator.
@@ -247,6 +323,13 @@ pub struct Deployment {
     topology: Topology,
     net: Network<PGridNode<MediationItem>, PGridMsg<MediationItem>>,
     hasher: Box<dyn KeyHasher + Send + Sync>,
+    /// Per-origin bounded LRU closure caches (the WAN twin of the
+    /// synchronous system's per-peer caches), keyed on the deployment's
+    /// mediation epoch.
+    caches: Vec<ClosureCache>,
+    /// Bumped by every [`Deployment::preload_mediation`]: mapping
+    /// changes invalidate all recorded closures wholesale.
+    mediation_epoch: u64,
     rng: rand::rngs::StdRng,
 }
 
@@ -264,9 +347,22 @@ impl Deployment {
             hasher: config.hash.build(),
             topology,
             net,
+            caches: (0..config.peers)
+                .map(|_| ClosureCache::bounded(config.closure_cache_capacity))
+                .collect(),
+            mediation_epoch: 0,
             rng: rng::derive(config.seed, 0xF00D),
             config,
         }
+    }
+
+    /// Closure queries currently memoized across all origin caches
+    /// (valid for the current mediation epoch).
+    pub fn cached_closures(&self) -> usize {
+        self.caches
+            .iter()
+            .map(|c| c.coherent_len(self.mediation_epoch))
+            .sum()
     }
 
     pub fn topology(&self) -> &Topology {
@@ -327,6 +423,8 @@ impl Deployment {
         schemas: impl IntoIterator<Item = Schema>,
         mappings: impl IntoIterator<Item = &'m Mapping>,
     ) -> usize {
+        // The mapping network changed: recorded closures are stale.
+        self.mediation_epoch += 1;
         let mut placements = 0;
         let schema_items: Vec<(BitString, MediationItem)> = schemas
             .into_iter()
@@ -378,7 +476,9 @@ impl Deployment {
     }
 
     /// Drive a batch of logical [`QueryPlan`]s over the event-driven
-    /// deployment — **the** WAN query loop.
+    /// deployment — **the** WAN query loop — streaming every matched
+    /// partial result to `sink` at its actual simulated completion
+    /// instant.
     ///
     /// Each plan submits from a uniformly random origin (optionally on a
     /// Poisson arrival process): pattern plans issue one routed data
@@ -387,12 +487,24 @@ impl Deployment {
     /// TTL; join plans disseminate every pattern like a closure and join
     /// the binding sets locally at the origin once the batch drains.
     ///
-    /// Latency accounting is per chain: a reformulated lookup only
-    /// starts after every mapping fetch on its chain completed, so its
-    /// end-to-end latency is the sum of those fetch latencies plus its
-    /// own; a query's reported latency is the maximum over its matched
-    /// chains (for joins, over all patterns' chains).
-    pub fn run_plans(&mut self, plans: &[QueryPlan], options: &WanBatchOptions) -> WanBatchReport {
+    /// The network is pumped one event at a time and every completion
+    /// is processed when it *happens*: a reformulated lookup goes out
+    /// the moment the mapping fetch that revealed it lands, so chains
+    /// overlap in flight — across queries and within one query — and a
+    /// query's reported latency is the real simulated span from its
+    /// submission to its last matched data reply (for joins, over all
+    /// patterns' chains).
+    ///
+    /// Closure plans consult the origin's bounded closure cache: a
+    /// coherent entry replays the recorded hops (data lookups only —
+    /// zero mapping fetches); a cold closure that expands to completion
+    /// records its hops for the next query from that origin.
+    pub fn run_plans_with(
+        &mut self,
+        plans: &[QueryPlan],
+        options: &WanBatchOptions,
+        sink: &mut dyn FnMut(WanPartial<'_>),
+    ) -> WanBatchReport {
         let start = self.net.now();
         let base_messages = self.net.stats().sent;
         let ttl = options.ttl;
@@ -400,43 +512,77 @@ impl Deployment {
             .mean_interarrival
             .map(|d| 1.0 / d.as_secs_f64().max(1e-9));
 
-        let mut pending: BTreeMap<(usize, u64), WanWork> = BTreeMap::new();
-        let mut origins: Vec<usize> = Vec::with_capacity(plans.len());
-        // tracks[query][pattern]
-        let mut tracks: Vec<Vec<WanTrack>> = Vec::with_capacity(plans.len());
-        let mut skipped_flags: Vec<bool> = vec![false; plans.len()];
-        let mut skipped = 0usize;
-        let mut unroutable = 0usize;
-        let mut mapping_fetches = 0usize;
-        let mut data_lookups = 0usize;
-        let mut timed_out = 0usize;
+        let mut st = WanDrive {
+            pending: BTreeMap::new(),
+            origins: Vec::with_capacity(plans.len()),
+            tracks: Vec::with_capacity(plans.len()),
+            submitted_at: Vec::with_capacity(plans.len()),
+            closure_keys: vec![None; plans.len()],
+            skipped_flags: vec![false; plans.len()],
+            skipped: 0,
+            unroutable: 0,
+            mapping_fetches: 0,
+            data_lookups: 0,
+            timed_out: 0,
+            cache_hits: 0,
+        };
         let mut submit_at = SimTime::ZERO;
 
         // ---- Submission phase -------------------------------------
+        // Interleaved with pumping: while the arrival process advances
+        // the clock to the next submission instant, in-flight chains
+        // keep completing (and expanding) underneath.
         for (qi, plan) in plans.iter().enumerate() {
             let origin = self.rng.gen_range(0..self.config.peers);
-            origins.push(origin);
+            st.origins.push(origin);
+            // Whether this plan will issue any request (skipped shapes
+            // never advance the arrival process). Decidable before
+            // building the submissions, so the clock — and with it the
+            // closure-cache lookup — can be advanced to the query's
+            // actual arrival instant first: closures committed by
+            // completions landing before the arrival must be visible.
+            let will_submit = match plan {
+                QueryPlan::Pattern { query } => query.pattern.routing_constant().is_some(),
+                QueryPlan::ObjectPrefix { .. } => false,
+                // A schema'd predicate is a constant URI, so closure
+                // plans with a schema always route at least depth 0.
+                QueryPlan::Closure { query } => gridvine_semantic::query_schema(query).is_ok(),
+                QueryPlan::Join { query, .. } => query.patterns.iter().any(|p| {
+                    p.routing_constant().is_some()
+                        || (ttl > 0 && gridvine_semantic::pattern_schema(p).is_ok())
+                }),
+            };
+            if will_submit {
+                if let Some(rate) = rate {
+                    // Pump the simulation to the submission instant —
+                    // completions landing before it are processed at
+                    // their own times — then inject the query.
+                    let gap = rng::exponential(&mut self.rng, rate);
+                    submit_at += SimDuration::from_secs_f64(gap);
+                    let deadline = start + (submit_at - SimTime::ZERO);
+                    self.pump_wan(Some(deadline), &mut st, plans, options, sink);
+                }
+            }
             let mut subs: Vec<(BitString, WanWork)> = Vec::new();
             let qtracks: Vec<WanTrack> = match plan {
                 QueryPlan::Pattern { query } => {
                     let track = WanTrack::new();
                     match query.pattern.routing_constant() {
                         Some((_, term)) => {
-                            data_lookups += 1;
+                            st.data_lookups += 1;
                             subs.push((
                                 self.keyspace().key_of(term.lexical()),
                                 WanWork::Data {
                                     query: qi,
                                     pattern: 0,
                                     pat: query.pattern.clone(),
-                                    accum: SimDuration::ZERO,
                                     initial: true,
                                 },
                             ));
                         }
                         None => {
-                            skipped_flags[qi] = true;
-                            skipped += 1;
+                            st.skipped_flags[qi] = true;
+                            st.skipped += 1;
                         }
                     }
                     vec![track]
@@ -444,47 +590,99 @@ impl Deployment {
                 QueryPlan::ObjectPrefix { .. } => {
                     // The asynchronous protocol has no range retrieve;
                     // prefix sweeps exist only on the synchronous system.
-                    skipped_flags[qi] = true;
-                    skipped += 1;
+                    st.skipped_flags[qi] = true;
+                    st.skipped += 1;
                     vec![WanTrack::new()]
                 }
                 QueryPlan::Closure { query } => {
                     let mut track = WanTrack::new();
                     match gridvine_semantic::query_schema(query) {
                         Err(_) => {
-                            skipped_flags[qi] = true;
-                            skipped += 1;
+                            st.skipped_flags[qi] = true;
+                            st.skipped += 1;
                         }
-                        Ok((schema, _)) => {
+                        Ok((schema, attr)) => {
                             track.visited.insert(schema.clone());
-                            // Answer in the query's own vocabulary…
-                            if let Some((_, term)) = query.pattern.routing_constant() {
-                                data_lookups += 1;
-                                subs.push((
-                                    self.keyspace().key_of(term.lexical()),
-                                    WanWork::Data {
-                                        query: qi,
-                                        pattern: 0,
-                                        pat: query.pattern.clone(),
-                                        accum: SimDuration::ZERO,
-                                        initial: true,
-                                    },
-                                ));
-                            }
-                            // …and start discovering mappings.
-                            if ttl > 0 {
-                                mapping_fetches += 1;
-                                subs.push((
-                                    self.keyspace().key_of(schema.as_str()),
-                                    WanWork::Schema {
-                                        query: qi,
-                                        pattern: 0,
-                                        schema,
-                                        pat: query.pattern.clone(),
-                                        accum: SimDuration::ZERO,
+                            let key = ClosureKey {
+                                schema: schema.clone(),
+                                attr,
+                                ttl,
+                            };
+                            // Limited queries bypass the cache: a warm
+                            // replay submits every recorded hop's data
+                            // lookup up front, which would defeat the
+                            // limit's strictly-fewer-messages guarantee
+                            // (the cold path stops expanding at k
+                            // distinct bindings).
+                            let cached = (ttl > 0 && options.limit.is_none())
+                                .then(|| self.caches[origin].lookup(self.mediation_epoch, &key))
+                                .flatten();
+                            if let Some(hops) = cached {
+                                // Warm replay: the recorded hops name
+                                // every reachable schema and predicate —
+                                // submit their data lookups directly,
+                                // zero mapping fetches.
+                                st.cache_hits += 1;
+                                for hop in hops.iter() {
+                                    track.visited.insert(hop.schema.clone());
+                                    let pat = if hop.depth == 0 {
+                                        query.pattern.clone()
+                                    } else {
+                                        with_predicate(&query.pattern, &hop.predicate)
+                                    };
+                                    if let Some((_, term)) = pat.routing_constant() {
+                                        st.data_lookups += 1;
+                                        subs.push((
+                                            self.keyspace().key_of(term.lexical()),
+                                            WanWork::Data {
+                                                query: qi,
+                                                pattern: 0,
+                                                pat,
+                                                initial: hop.depth == 0,
+                                            },
+                                        ));
+                                    }
+                                }
+                            } else {
+                                // Cold: answer in the query's own
+                                // vocabulary…
+                                if let Some((_, term)) = query.pattern.routing_constant() {
+                                    st.data_lookups += 1;
+                                    subs.push((
+                                        self.keyspace().key_of(term.lexical()),
+                                        WanWork::Data {
+                                            query: qi,
+                                            pattern: 0,
+                                            pat: query.pattern.clone(),
+                                            initial: true,
+                                        },
+                                    ));
+                                }
+                                // …and start discovering mappings.
+                                if ttl > 0 {
+                                    st.closure_keys[qi] = Some(key);
+                                    track.recorded.push(CachedHop {
+                                        schema: schema.clone(),
+                                        predicate: crate::system::exec::pattern_predicate(
+                                            &query.pattern,
+                                        ),
                                         depth: 0,
-                                    },
-                                ));
+                                        quality: 1.0,
+                                    });
+                                    st.mapping_fetches += 1;
+                                    track.open_fetches += 1;
+                                    subs.push((
+                                        self.keyspace().key_of(schema.as_str()),
+                                        WanWork::Schema {
+                                            query: qi,
+                                            pattern: 0,
+                                            schema,
+                                            pat: query.pattern.clone(),
+                                            depth: 0,
+                                            quality: 1.0,
+                                        },
+                                    ));
+                                }
                             }
                         }
                     }
@@ -496,24 +694,24 @@ impl Deployment {
                     for (pi, pat) in query.patterns.iter().enumerate() {
                         match pat.routing_constant() {
                             Some((_, term)) => {
-                                data_lookups += 1;
+                                st.data_lookups += 1;
                                 subs.push((
                                     self.keyspace().key_of(term.lexical()),
                                     WanWork::Data {
                                         query: qi,
                                         pattern: pi,
                                         pat: pat.clone(),
-                                        accum: SimDuration::ZERO,
                                         initial: true,
                                     },
                                 ));
                             }
-                            None => unroutable += 1,
+                            None => st.unroutable += 1,
                         }
                         if ttl > 0 {
                             if let Ok((schema, _)) = gridvine_semantic::pattern_schema(pat) {
                                 qtracks[pi].visited.insert(schema.clone());
-                                mapping_fetches += 1;
+                                st.mapping_fetches += 1;
+                                qtracks[pi].open_fetches += 1;
                                 subs.push((
                                     self.keyspace().key_of(schema.as_str()),
                                     WanWork::Schema {
@@ -521,8 +719,8 @@ impl Deployment {
                                         pattern: pi,
                                         schema,
                                         pat: pat.clone(),
-                                        accum: SimDuration::ZERO,
                                         depth: 0,
+                                        quality: 1.0,
                                     },
                                 ));
                             }
@@ -531,159 +729,32 @@ impl Deployment {
                     qtracks
                 }
             };
-            tracks.push(qtracks);
-            if !subs.is_empty() {
-                if let Some(rate) = rate {
-                    // Advance the simulation to the submission instant,
-                    // then inject the query.
-                    let gap = rng::exponential(&mut self.rng, rate);
-                    submit_at += SimDuration::from_secs_f64(gap);
-                    self.net.run_until(start + (submit_at - SimTime::ZERO));
-                }
-                for (key, work) in subs {
-                    self.submit_wan(origin, key, work, &mut pending);
-                }
+            st.tracks.push(qtracks);
+            debug_assert_eq!(
+                will_submit,
+                !subs.is_empty(),
+                "arrival-process advancement must match actual submission"
+            );
+            st.submitted_at.push(self.net.now());
+            let origin = st.origins[qi];
+            let had_subs = !subs.is_empty();
+            for (key, work) in subs {
+                self.submit_wan(origin, key, work, &mut st.pending);
+            }
+            if had_subs {
+                // A request whose origin is itself responsible
+                // completes during submission without any network
+                // event: drain it now, at its actual (current) instant.
+                self.drain_wan_node(origin, &mut st, plans, options, sink);
             }
         }
 
         // ---- Drive until no chain has work left -------------------
-        while !pending.is_empty() {
-            self.net.run_until_quiescent();
-            let mut completions: Vec<(usize, gridvine_pgrid::proto::Outcome<MediationItem>)> =
-                Vec::new();
-            for i in 0..self.config.peers {
-                for o in self.net.node_mut(NodeId::from_index(i)).drain_completed() {
-                    completions.push((i, o));
-                }
-            }
-            for (node_i, o) in completions {
-                let Some(work) = pending.remove(&(node_i, o.id)) else {
-                    continue;
-                };
-                if o.status == Status::TimedOut {
-                    timed_out += 1;
-                    let (WanWork::Data { query, pattern, .. }
-                    | WanWork::Schema { query, pattern, .. }) = work;
-                    tracks[query][pattern].timed_out = true;
-                    continue;
-                }
-                match work {
-                    WanWork::Data {
-                        query,
-                        pattern,
-                        pat,
-                        accum,
-                        initial,
-                    } => {
-                        let track = &mut tracks[query][pattern];
-                        // Origin-side filtering with the full pattern.
-                        let mut matched = false;
-                        for item in &o.values {
-                            if let MediationItem::Triple(t) = item {
-                                if let Some(b) = pat.match_triple(t) {
-                                    // Distinct tracking only matters to
-                                    // the limit check; unlimited
-                                    // batches skip its formatting cost.
-                                    if options.limit.is_some() {
-                                        track.distinct.insert(b.to_string());
-                                    }
-                                    track.bindings.push(b);
-                                    matched = true;
-                                }
-                            }
-                        }
-                        if matched {
-                            track.max_latency = track.max_latency.max(accum + o.latency());
-                        }
-                        if initial {
-                            track.hops = Some(o.hops);
-                        }
-                    }
-                    WanWork::Schema {
-                        query,
-                        pattern,
-                        schema,
-                        pat,
-                        accum,
-                        depth,
-                    } => {
-                        // Early termination: a closure query that has
-                        // already collected its result cap stops
-                        // expanding — the reformulated lookups and
-                        // deeper mapping fetches below are never sent.
-                        if matches!(plans[query], QueryPlan::Closure { .. })
-                            && options
-                                .limit
-                                .is_some_and(|k| tracks[query][pattern].distinct.len() >= k)
-                        {
-                            continue;
-                        }
-                        let chain_accum = accum + o.latency();
-                        // Mappings stored at this schema's key space;
-                        // dedupe by id (bidirectional copies).
-                        let mut seen_ids = BTreeSet::new();
-                        let mappings: Vec<Mapping> = o
-                            .values
-                            .iter()
-                            .filter_map(|item| match item {
-                                MediationItem::Mapping { mapping, .. } => {
-                                    seen_ids.insert(mapping.id).then(|| mapping.clone())
-                                }
-                                _ => None,
-                            })
-                            .collect();
-                        for m in mappings {
-                            let Some(dir) = m.applicable_from(&schema) else {
-                                continue;
-                            };
-                            let dest = m.destination(dir).clone();
-                            if tracks[query][pattern].visited.contains(&dest) {
-                                continue;
-                            }
-                            let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir)
-                            else {
-                                continue;
-                            };
-                            tracks[query][pattern].visited.insert(dest.clone());
-                            let origin = origins[query];
-                            if let Some((_, term)) = np.routing_constant() {
-                                data_lookups += 1;
-                                let key = self.keyspace().key_of(term.lexical());
-                                self.submit_wan(
-                                    origin,
-                                    key,
-                                    WanWork::Data {
-                                        query,
-                                        pattern,
-                                        pat: np.clone(),
-                                        accum: chain_accum,
-                                        initial: false,
-                                    },
-                                    &mut pending,
-                                );
-                            }
-                            if depth + 1 < ttl {
-                                mapping_fetches += 1;
-                                let key = self.keyspace().key_of(dest.as_str());
-                                self.submit_wan(
-                                    origin,
-                                    key,
-                                    WanWork::Schema {
-                                        query,
-                                        pattern,
-                                        schema: dest,
-                                        pat: np,
-                                        accum: chain_accum,
-                                        depth: depth + 1,
-                                    },
-                                    &mut pending,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        // Every request terminates (response or timeout timer), so one
+        // unbounded pump drains the batch; follow-up submissions made
+        // inside completion handling keep the loop going.
+        self.pump_wan(None, &mut st, plans, options, sink);
+        debug_assert!(st.pending.is_empty(), "all requests terminate");
 
         // ---- Aggregate --------------------------------------------
         let mut latencies = Cdf::new();
@@ -694,18 +765,20 @@ impl Deployment {
         let mut schema_sum = 0usize;
         let mut rows_sum = 0usize;
         for (qi, plan) in plans.iter().enumerate() {
-            if skipped_flags[qi] {
+            if st.skipped_flags[qi] {
                 continue;
             }
+            let submitted_at = st.submitted_at[qi];
             match plan {
                 QueryPlan::Pattern { .. }
                 | QueryPlan::ObjectPrefix { .. }
                 | QueryPlan::Closure { .. } => {
-                    let track = &tracks[qi][0];
+                    let track = &st.tracks[qi][0];
                     schema_sum += track.visited.len();
                     if !track.bindings.is_empty() {
                         answered += 1;
-                        latencies.record_duration(track.max_latency);
+                        let done = track.matched_at.unwrap_or(submitted_at);
+                        latencies.record_duration(done.saturating_since(submitted_at));
                         if let Some(h) = track.hops {
                             hops_sum += h as u64;
                             hopped += 1;
@@ -717,11 +790,13 @@ impl Deployment {
                 QueryPlan::Join { query, .. } => {
                     // Join locally at the origin.
                     let mut rows: Vec<Binding> = vec![Binding::new()];
-                    let mut latest = SimDuration::ZERO;
+                    let mut latest = submitted_at;
                     for (pi, _) in query.patterns.iter().enumerate() {
-                        let track = &tracks[qi][pi];
+                        let track = &st.tracks[qi][pi];
                         schema_sum += track.visited.len();
-                        latest = latest.max(track.max_latency);
+                        if let Some(m) = track.matched_at {
+                            latest = latest.max(m);
+                        }
                         let mut next = Vec::new();
                         for row in &rows {
                             for b in &track.bindings {
@@ -743,23 +818,23 @@ impl Deployment {
                     if !projected.is_empty() {
                         answered += 1;
                         rows_sum += projected.len();
-                        latencies.record_duration(latest);
+                        latencies.record_duration(latest.saturating_since(submitted_at));
                     }
                 }
             }
         }
 
-        let submitted = plans.len() - skipped;
+        let submitted = plans.len() - st.skipped;
         WanBatchReport {
             latencies,
             submitted,
             answered,
             not_found,
-            skipped,
-            timed_out,
-            unroutable_patterns: unroutable,
-            mapping_fetches,
-            data_lookups,
+            skipped: st.skipped,
+            timed_out: st.timed_out,
+            unroutable_patterns: st.unroutable,
+            mapping_fetches: st.mapping_fetches,
+            data_lookups: st.data_lookups,
             mean_hops: if hopped > 0 {
                 hops_sum as f64 / hopped as f64
             } else {
@@ -775,8 +850,246 @@ impl Deployment {
             } else {
                 0.0
             },
+            cache_hits: st.cache_hits,
             messages: self.net.stats().sent - base_messages,
             wall: self.net.now().saturating_since(start),
+        }
+    }
+
+    /// [`Deployment::run_plans_with`] without a streaming consumer.
+    pub fn run_plans(&mut self, plans: &[QueryPlan], options: &WanBatchOptions) -> WanBatchReport {
+        self.run_plans_with(plans, options, &mut |_| {})
+    }
+
+    /// Pump the network one event at a time, handling every request
+    /// completion at its actual simulated completion instant (which may
+    /// submit follow-up requests). With a deadline, stops before the
+    /// first event past it and advances the clock exactly to it.
+    fn pump_wan(
+        &mut self,
+        deadline: Option<SimTime>,
+        st: &mut WanDrive,
+        plans: &[QueryPlan],
+        options: &WanBatchOptions,
+        sink: &mut dyn FnMut(WanPartial<'_>),
+    ) {
+        loop {
+            if let Some(d) = deadline {
+                match self.net.peek_time() {
+                    Some(t) if t <= d => {}
+                    _ => break,
+                }
+            }
+            let Some(node) = self.net.step_node() else {
+                break;
+            };
+            self.drain_wan_node(node.index(), st, plans, options, sink);
+        }
+        if let Some(d) = deadline {
+            // Nothing left at or before the deadline: land the clock on
+            // it so the next submission happens at its arrival instant.
+            self.net.run_until(d);
+        }
+    }
+
+    /// Drain and handle one node's buffered request completions.
+    /// Handling may submit follow-up requests whose origin completes
+    /// them locally on the spot — recurse so those are processed at
+    /// their own (identical) instant instead of lingering undrained.
+    fn drain_wan_node(
+        &mut self,
+        node_index: usize,
+        st: &mut WanDrive,
+        plans: &[QueryPlan],
+        options: &WanBatchOptions,
+        sink: &mut dyn FnMut(WanPartial<'_>),
+    ) {
+        let completed = self
+            .net
+            .node_mut(NodeId::from_index(node_index))
+            .drain_completed();
+        for o in completed {
+            self.handle_wan_completion(node_index, o, st, plans, options, sink);
+        }
+    }
+
+    /// Process one completed retrieve of the plan driver.
+    fn handle_wan_completion(
+        &mut self,
+        node_i: usize,
+        o: gridvine_pgrid::proto::Outcome<MediationItem>,
+        st: &mut WanDrive,
+        plans: &[QueryPlan],
+        options: &WanBatchOptions,
+        sink: &mut dyn FnMut(WanPartial<'_>),
+    ) {
+        let Some(work) = st.pending.remove(&(node_i, o.id)) else {
+            return;
+        };
+        let now = o.completed_at;
+        if o.status == Status::TimedOut {
+            st.timed_out += 1;
+            match work {
+                WanWork::Data { query, pattern, .. } => {
+                    st.tracks[query][pattern].timed_out = true;
+                }
+                WanWork::Schema { query, pattern, .. } => {
+                    let track = &mut st.tracks[query][pattern];
+                    track.timed_out = true;
+                    // A lost discovery leaves the expansion incomplete:
+                    // never record it.
+                    track.open_fetches = track.open_fetches.saturating_sub(1);
+                }
+            }
+            return;
+        }
+        match work {
+            WanWork::Data {
+                query,
+                pattern,
+                pat,
+                initial,
+            } => {
+                let track = &mut st.tracks[query][pattern];
+                // Origin-side filtering with the full pattern.
+                let mut fresh: Vec<Binding> = Vec::new();
+                for item in &o.values {
+                    if let MediationItem::Triple(t) = item {
+                        if let Some(b) = pat.match_triple(t) {
+                            // Distinct tracking only matters to the
+                            // limit check; unlimited batches skip its
+                            // formatting cost.
+                            if options.limit.is_some() {
+                                track.distinct.insert(b.to_string());
+                            }
+                            track.bindings.push(b.clone());
+                            fresh.push(b);
+                        }
+                    }
+                }
+                if !fresh.is_empty() {
+                    track.matched_at = Some(track.matched_at.map_or(now, |m| m.max(now)));
+                    sink(WanPartial {
+                        query,
+                        at: now,
+                        bindings: &fresh,
+                    });
+                }
+                if initial {
+                    track.hops = Some(o.hops);
+                }
+            }
+            WanWork::Schema {
+                query,
+                pattern,
+                schema,
+                pat,
+                depth,
+                quality,
+            } => {
+                st.tracks[query][pattern].open_fetches -= 1;
+                // Early termination: a closure query that has already
+                // collected its result cap stops expanding — the
+                // reformulated lookups and deeper mapping fetches below
+                // are never sent, and the truncated walk records
+                // nothing.
+                if matches!(plans[query], QueryPlan::Closure { .. })
+                    && options
+                        .limit
+                        .is_some_and(|k| st.tracks[query][pattern].distinct.len() >= k)
+                {
+                    st.tracks[query][pattern].limited = true;
+                    return;
+                }
+                // Mappings stored at this schema's key space; dedupe by
+                // id (bidirectional copies).
+                let mut seen_ids = BTreeSet::new();
+                let mappings: Vec<Mapping> = o
+                    .values
+                    .iter()
+                    .filter_map(|item| match item {
+                        MediationItem::Mapping { mapping, .. } => {
+                            seen_ids.insert(mapping.id).then(|| mapping.clone())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                for m in mappings {
+                    let Some(dir) = m.applicable_from(&schema) else {
+                        continue;
+                    };
+                    let dest = m.destination(dir).clone();
+                    if st.tracks[query][pattern].visited.contains(&dest) {
+                        continue;
+                    }
+                    let Some(np) = gridvine_semantic::reformulate_pattern(&pat, &m, dir) else {
+                        continue;
+                    };
+                    st.tracks[query][pattern].visited.insert(dest.clone());
+                    let chain_quality = quality.min(m.quality);
+                    if st.closure_keys[query].is_some() {
+                        st.tracks[query][pattern].recorded.push(CachedHop {
+                            schema: dest.clone(),
+                            predicate: crate::system::exec::pattern_predicate(&np),
+                            depth: depth + 1,
+                            quality: chain_quality,
+                        });
+                    }
+                    let origin = st.origins[query];
+                    if let Some((_, term)) = np.routing_constant() {
+                        st.data_lookups += 1;
+                        let key = self.keyspace().key_of(term.lexical());
+                        self.submit_wan(
+                            origin,
+                            key,
+                            WanWork::Data {
+                                query,
+                                pattern,
+                                pat: np.clone(),
+                                initial: false,
+                            },
+                            &mut st.pending,
+                        );
+                    }
+                    if depth + 1 < options.ttl {
+                        st.mapping_fetches += 1;
+                        st.tracks[query][pattern].open_fetches += 1;
+                        let key = self.keyspace().key_of(dest.as_str());
+                        self.submit_wan(
+                            origin,
+                            key,
+                            WanWork::Schema {
+                                query,
+                                pattern,
+                                schema: dest,
+                                pat: np,
+                                depth: depth + 1,
+                                quality: chain_quality,
+                            },
+                            &mut st.pending,
+                        );
+                    }
+                }
+                // Expansion complete and untruncated: memoize the hop
+                // list in the origin's bounded cache for the next
+                // closure query sharing this key. (`recorded` empties
+                // on commit, so re-entrant completion handling cannot
+                // commit twice.)
+                let track = &mut st.tracks[query][pattern];
+                if track.open_fetches == 0
+                    && !track.timed_out
+                    && !track.limited
+                    && !track.recorded.is_empty()
+                {
+                    if let Some(key) = st.closure_keys[query].clone() {
+                        let hops = std::mem::take(&mut track.recorded);
+                        self.caches[st.origins[query]].insert(self.mediation_epoch, key, hops);
+                    }
+                }
+                // Follow-ups whose origin answered locally completed
+                // during submission: drain them at this same instant.
+                self.drain_wan_node(st.origins[query], st, plans, options, sink);
+            }
         }
     }
 
@@ -1048,6 +1361,107 @@ mod tests {
             "limit 1 must cut messages: {lim_messages} vs {full_messages}"
         );
         assert!(lim_lookups < full_lookups);
+    }
+
+    #[test]
+    fn streamed_partials_arrive_in_completion_order_and_cover_answers() {
+        let (mut d, w) = chained_deployment(6);
+        let gen = QueryGenerator::new(&w, QueryConfig::default());
+        let mut r = rng::seeded(8);
+        let queries: Vec<TriplePatternQuery> =
+            gen.batch(20, &mut r).into_iter().map(|g| g.query).collect();
+        let plans: Vec<QueryPlan> = queries.into_iter().map(QueryPlan::search).collect();
+        let mut partials: Vec<(usize, gridvine_netsim::SimTime, usize)> = Vec::new();
+        let rep = d.run_plans_with(
+            &plans,
+            &WanBatchOptions {
+                ttl: 6,
+                mean_interarrival: None,
+                limit: None,
+            },
+            &mut |p| partials.push((p.query, p.at, p.bindings.len())),
+        );
+        assert!(rep.answered > 0);
+        // Partials stream at their actual completion instants: the
+        // event-driven pump delivers them in non-decreasing sim time.
+        assert!(partials.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(partials.iter().all(|&(_, _, n)| n > 0));
+        // Every answered query streamed at least one partial.
+        let with_partials: BTreeSet<usize> = partials.iter().map(|&(q, _, _)| q).collect();
+        assert_eq!(with_partials.len(), rep.answered);
+        // Streaming is observational: the report is identical shape.
+        assert_eq!(rep.submitted, 20);
+    }
+
+    #[test]
+    fn warm_origin_replays_closures_without_mapping_fetches() {
+        // The same closure query submitted many times in one batch:
+        // whenever the random origin repeats, the per-origin cache
+        // replays the recorded hops — zero mapping fetches for those
+        // queries, identical answers.
+        let reps = 30usize;
+        let run = |capacity: usize| {
+            let (mut d, w) = {
+                let (mut d, w) = small_deployment(6);
+                d.config.closure_cache_capacity = capacity;
+                d.caches = (0..d.config.peers)
+                    .map(|_| ClosureCache::bounded(capacity))
+                    .collect();
+                let mut registry = gridvine_semantic::MappingRegistry::new();
+                for s in &w.schemas {
+                    registry.add_schema(s.clone());
+                }
+                for i in 0..w.schemas.len() - 1 {
+                    let a = w.schemas[i].id().clone();
+                    let b = w.schemas[i + 1].id().clone();
+                    let corrs = w.ground_truth.correct_pairs(&a, &b);
+                    if !corrs.is_empty() {
+                        registry.add_mapping(
+                            a,
+                            b,
+                            gridvine_semantic::MappingKind::Equivalence,
+                            gridvine_semantic::Provenance::Manual,
+                            corrs,
+                        );
+                    }
+                }
+                let mappings: Vec<Mapping> = registry.mappings().cloned().collect();
+                d.preload_mediation(w.schemas.clone(), mappings.iter());
+                (d, w)
+            };
+            let gen = QueryGenerator::new(&w, QueryConfig::default());
+            let fig2 = gen.figure2();
+            let plans: Vec<QueryPlan> = (0..reps)
+                .map(|_| QueryPlan::search(fig2.query.clone()))
+                .collect();
+            // Spread arrivals out so earlier queries complete (and
+            // warm their origin's cache) before later ones submit —
+            // all at t=0 would be uniformly cold.
+            let rep = d.run_plans(
+                &plans,
+                &WanBatchOptions {
+                    ttl: 10,
+                    mean_interarrival: Some(SimDuration::from_secs(30)),
+                    limit: None,
+                },
+            );
+            (rep, d.cached_closures())
+        };
+        let (cold, cached) = run(0); // capacity 0: caching disabled
+        let (warm, warm_cached) = run(64);
+        assert_eq!(cached, 0);
+        assert!(warm_cached > 0, "origins memoized the closure");
+        assert_eq!(cold.answered, reps);
+        assert_eq!(warm.answered, reps, "replays answer identically");
+        assert_eq!(cold.cache_hits, 0);
+        assert!(warm.cache_hits > 0, "repeated origins hit the cache");
+        assert!(
+            warm.mapping_fetches < cold.mapping_fetches,
+            "cache hits skip mapping fetches: {} vs {}",
+            warm.mapping_fetches,
+            cold.mapping_fetches
+        );
+        assert!(warm.messages < cold.messages);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! The session scheduler seam: per-peer execution state on the
+//! simulated clock.
+//!
+//! PR 4's [`QuerySession`](super::session::QuerySession) advanced one
+//! routed subquery per pull and knew nothing about time: the WAN
+//! harness re-simulated latency per chain after the fact. This module
+//! puts the synchronous executor itself on the discrete-event
+//! substrate of [`gridvine_netsim`]: every routed subquery becomes a
+//! *unit* — a `Subquery` message issued at a send instant, answered by
+//! a `Reply` scheduled on an [`EventQueue`] at `send + latency` — and
+//! one session keeps up to [`QueryOptions::window`](super::exec::QueryOptions::window)
+//! units in flight. Independent closure hops, prefix probes and
+//! bound-join groups pipeline; dependent work (a hop's children wait
+//! for its mapping discovery, a bound pattern waits for its
+//! predecessor's rows) is serialized through per-unit ready times.
+//!
+//! ## Determinism and equivalence, by construction
+//!
+//! Units are *issued* in one canonical order — the `window = 1` order,
+//! which is exactly PR 4's pull order — and issuing is where all
+//! logical state evolves: routing (and its RNG draws), message
+//! charging, row admission and dedup, closure expansion and cache
+//! recording. The window never reorders issues; it only decides how
+//! many replies may be outstanding before the next one must land. The
+//! clock therefore models *when* each reply arrives (event delivery
+//! order, first-result latency, in-flight accounting) while the row
+//! multiset, the message count and the RNG stream are bit-identical
+//! for every window size — the equivalence proptests pin this.
+//!
+//! ## Latency model
+//!
+//! A unit's latency is proportional to the overlay messages it charged
+//! (`unit_latency`): `PROCESSING + messages × PER_MESSAGE`, with one
+//! simulated millisecond per overlay message. This ties the clock to
+//! the same accounting the synchronous system has always reported —
+//! a warm cache replay is faster *because* it sends fewer messages —
+//! and keeps the model deterministic. The WAN harness remains the
+//! place for heavy-tailed regional latency distributions.
+//!
+//! ## Per-peer state
+//!
+//! Each peer owns a `PeerExecState`: a monotone clock (consecutive
+//! sessions from the same origin resume where the last one left off),
+//! the reply queue of its in-flight session, and its **bounded LRU
+//! closure cache** (capacity
+//! [`GridVineConfig::closure_cache_capacity`](super::GridVineConfig)).
+//! Dropping a session cancels every queued reply —
+//! [`GridVineSystem::pending_events`](super::GridVineSystem::pending_events)
+//! returns to zero — so abandoned queries leave no residue.
+
+use super::session::ResultEvent;
+use gridvine_netsim::{EventQueue, SimDuration, SimTime};
+use gridvine_semantic::ClosureCache;
+
+/// Fixed per-unit processing overhead (destination-side evaluation).
+pub(crate) const PROCESSING: SimDuration = SimDuration::from_micros(250);
+
+/// Simulated network cost of one overlay message.
+pub(crate) const PER_MESSAGE: SimDuration = SimDuration::from_millis(1);
+
+/// Simulated latency of one unit that charged `messages` overlay
+/// messages.
+pub(crate) fn unit_latency(messages: u64) -> SimDuration {
+    SimDuration(PROCESSING.0 + messages.saturating_mul(PER_MESSAGE.0))
+}
+
+/// The reply of one in-flight unit, scheduled at its completion
+/// instant: the [`ResultEvent`]s the unit produced, delivered when the
+/// simulated clock reaches it.
+#[derive(Debug)]
+pub(crate) struct QueuedReply {
+    pub(crate) events: Vec<ResultEvent>,
+}
+
+/// One peer's persistent execution state (see the module docs).
+#[derive(Debug)]
+pub(crate) struct PeerExecState {
+    /// This peer's simulated clock: the completion time of the last
+    /// unit any session from this origin delivered. Monotone.
+    pub(crate) clock: SimTime,
+    /// Replies of the in-flight session's issued units (empty between
+    /// sessions; cleared when a session is dropped).
+    pub(crate) queue: EventQueue<QueuedReply>,
+    /// This peer's bounded reformulation-closure cache. The iterative
+    /// strategy consults the *origin* peer's cache; the recursive
+    /// strategy consults (and fills) the *delegate* peer's — the
+    /// intermediate peer that served the first mapping discovery.
+    pub(crate) cache: ClosureCache,
+}
+
+impl PeerExecState {
+    pub(crate) fn new(cache_capacity: usize) -> PeerExecState {
+        PeerExecState {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            cache: ClosureCache::bounded(cache_capacity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_with_messages() {
+        assert_eq!(unit_latency(0), PROCESSING);
+        assert!(unit_latency(3) > unit_latency(1));
+        assert_eq!(unit_latency(2).0, PROCESSING.0 + 2 * PER_MESSAGE.0);
+    }
+}

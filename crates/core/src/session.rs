@@ -1,5 +1,5 @@
 //! Pull-based query sessions: incremental `SearchFor` with genuine
-//! early termination.
+//! early termination, scheduled on the simulated clock.
 //!
 //! GridVine's query model is inherently incremental — reformulations
 //! fan out hop-by-hop through the mapping network and results trickle
@@ -7,22 +7,42 @@
 //! [`GridVineSystem::execute`] drains the whole closure walk before
 //! returning anything. A [`QuerySession`] exposes the walk itself:
 //! [`GridVineSystem::open`] validates the plan and *performs no work*;
-//! each [`QuerySession::next_event`] pull advances the underlying
+//! [`QuerySession::next_event`] pulls advance the underlying
 //! [`ClosureWalk`](gridvine_semantic::ClosureWalk) (or prefix sweep,
-//! or join pipeline) by **one routed
-//! subquery** and yields the [`ResultEvent`]s that step produced.
+//! or join pipeline) and yield the [`ResultEvent`]s it produces.
+//!
+//! ## The scheduler seam
+//!
+//! Since PR 5 the session is **message-driven** (see
+//! [`crate::system::sched`]): each routed subquery is a unit issued as
+//! a `Subquery` at a send instant and answered by a `Reply` scheduled
+//! on a per-peer [`EventQueue`](gridvine_netsim::EventQueue) at
+//! `send + latency`, with up to [`QueryOptions::window`] units in
+//! flight at once. Units are issued in one canonical order — the
+//! `window = 1` order, where every pull advances exactly one routed
+//! subquery, as PR 4 did — and all logical state (routing and its RNG
+//! draws, message charging, row admission, closure expansion, cache
+//! recording) evolves at issue. The clock models *when* replies land:
+//! event delivery order, simulated first-result latency and the
+//! [`ExecStats::max_in_flight`] high-water mark. Row multiset and
+//! message count are therefore identical for every window size, by
+//! construction. Dependencies serialize through per-unit ready times:
+//! a closure hop's subquery can only be sent once the mapping
+//! discovery that revealed it completed; a bound-join pattern's groups
+//! wait for their predecessor pattern's rows; prefix probes and warm
+//! cache replays are fully independent and pipeline `window`-wide.
 //!
 //! Early termination is structural, not cosmetic: a subquery is only
 //! issued by a pull, so dropping the session — or hitting the
 //! [`QueryOptions::limit`] result cap — stops the dissemination right
-//! there and the remaining remote subqueries are *never sent*. A
-//! `limit(k)` query over a deep mapping chain pays for the hops that
-//! produced its `k` rows, not for the whole closure.
+//! there: the remaining remote subqueries are *never sent*, and every
+//! reply still queued on the scheduler is cancelled
+//! ([`GridVineSystem::pending_events`] returns to zero).
 //!
 //! ## Migration from the monolithic entry points
 //!
-//! The four legacy `SearchFor` methods (deleted in this release after
-//! one deprecation cycle) map onto plans + sessions:
+//! The four legacy `SearchFor` methods (deleted after one deprecation
+//! cycle) map onto plans + sessions:
 //!
 //! | Removed entry point | Plan + session |
 //! |---|---|
@@ -48,26 +68,29 @@
 //!   [`Reformulation::path_quality`](gridvine_semantic::Reformulation::path_quality)).
 //!   Emitted by single-pattern closure plans; join plans run their
 //!   per-pattern sweeps as whole units and report them via `Stats`.
-//! * [`ResultEvent::Stats`] — the [`ExecStats`] *delta* of the step
+//! * [`ResultEvent::Stats`] — the [`ExecStats`] *delta* of the unit
 //!   (messages, subqueries, reformulations, …) since the previous
-//!   event. Summing the deltas of a drained session reproduces
-//!   [`QueryOutcome::stats`]. Every step emits one, so progress is
+//!   unit. Summing the deltas of a drained session reproduces
+//!   [`QueryOutcome::stats`]. Every unit emits one, so progress is
 //!   observable even while a hop returns no rows.
 //!
-//! ## The reformulation-closure cache
+//! ## The reformulation-closure caches
 //!
 //! Under the iterative strategy, the closure a pattern expands to
-//! depends only on its predicate and the mapping network. The system
-//! memoizes each fully-expanded closure in an epoch-keyed
-//! [`ClosureCache`](gridvine_semantic::ClosureCache): while the
-//! registry [`epoch`](gridvine_semantic::MappingRegistry::epoch) is
-//! unchanged, a repeated plan replays the recorded hops — skipping the
-//! BFS *and* its per-schema mapping-list retrieves — and a mapping
-//! insert / deprecation / repair invalidates everything at once.
-//! Early-terminated walks record nothing (a partial closure must never
-//! be replayed as complete); the recursive strategy never consults the
-//! cache, since delegating discovery to intermediate peers is that
-//! strategy's point.
+//! depends only on its predicate and the mapping network. Each peer
+//! memoizes the closures it expanded in a **bounded LRU**, epoch-keyed
+//! [`ClosureCache`](gridvine_semantic::ClosureCache) (capacity
+//! [`GridVineConfig::closure_cache_capacity`](crate::GridVineConfig)):
+//! while the registry
+//! [`epoch`](gridvine_semantic::MappingRegistry::epoch) is unchanged,
+//! a repeated plan from the same origin replays the recorded hops —
+//! skipping the BFS *and* its per-schema mapping-list retrieves — and
+//! a mapping insert / deprecation / repair invalidates everything at
+//! once. The recursive strategy caches at the **delegate** peer (the
+//! intermediate peer serving the first mapping discovery): a later
+//! recursive walk reaching the same delegate replays the closure tail
+//! and skips every deeper mapping fetch. Early-terminated walks record
+//! nothing (a partial closure must never be replayed as complete).
 //!
 //! ```
 //! use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, ResultEvent};
@@ -85,7 +108,8 @@
 //!     Term::literal("Aspergillus niger")))?;
 //!
 //! let plan = QueryPlan::search(TriplePatternQuery::example_aspergillus());
-//! let mut session = sys.open(PeerId(3), &plan, &QueryOptions::default())?;
+//! // window(4): up to four subqueries in flight on the simulated clock.
+//! let mut session = sys.open(PeerId(3), &plan, &QueryOptions::new().window(4))?;
 //! while let Some(event) = session.next_event()? {
 //!     match event {
 //!         ResultEvent::SchemaHop { schema, depth, quality } => {
@@ -95,6 +119,7 @@
 //!         ResultEvent::Stats(delta) => println!("+{} messages", delta.messages),
 //!     }
 //! }
+//! println!("simulated time to drain: {}", session.sim_elapsed());
 //! let outcome = session.into_outcome();
 //! assert_eq!(outcome.rows.len(), 1);
 //! # Ok::<(), gridvine_core::SystemError>(())
@@ -102,8 +127,10 @@
 
 use super::conjunctive::JoinMode;
 use super::exec::{one_var_row, ClosureSweep, ExecStats, QueryOptions, QueryOutcome};
+use super::sched::{self, QueuedReply};
 use super::*;
 use crate::plan::{object_prefix_core, QueryPlan};
+use gridvine_netsim::{SimDuration, SimTime};
 use gridvine_rdf::join::{hash_join_rows, TermInterner, VarTable, UNBOUND};
 use gridvine_rdf::{Binding, ConjunctiveQuery};
 use std::collections::{HashMap, VecDeque};
@@ -144,13 +171,16 @@ struct Groups {
 /// Per-pattern progress of a join plan.
 enum JoinPhase {
     /// Independent mode: one full network sweep per pattern, in written
-    /// order; fold + project once the last sweep lands.
+    /// order (each sweep an independent scheduler unit); a final local
+    /// fold unit joins + projects once every sweep completed.
     Independent {
         next_pattern: usize,
         sets: Vec<Vec<Vec<u64>>>,
     },
     /// Bound substitution in the planner's order: one substituted-group
-    /// resolution per pull; rows complete at the last pattern.
+    /// resolution per unit; rows complete at the last pattern. Groups
+    /// of one pattern are independent (they pipeline); each pattern
+    /// waits for its predecessor through the barrier.
     Bound {
         oi: usize,
         groups: Option<Groups>,
@@ -159,7 +189,7 @@ enum JoinPhase {
 }
 
 /// Join-plan execution state: the hash-join binding engine of
-/// [`gridvine_rdf::join`], advanced one unit of network work per pull.
+/// [`gridvine_rdf::join`], advanced one unit of network work per issue.
 struct JoinState<'a> {
     query: &'a ConjunctiveQuery,
     order: &'a [usize],
@@ -168,6 +198,9 @@ struct JoinState<'a> {
     /// Partial solution rows (term-code vectors over the variable slots).
     rows: Vec<Vec<u64>>,
     phase: JoinPhase,
+    /// Scheduler ready time of the current bound pattern's groups: the
+    /// completion instant of the predecessor pattern's last unit.
+    barrier: SimTime,
     /// π onto the distinguished variables: slots into `rows`' layout and
     /// the projected table; `seen` dedups on projected codes before any
     /// term is materialized.
@@ -182,13 +215,13 @@ enum State<'a> {
     Pattern {
         query: &'a TriplePatternQuery,
     },
-    /// One peer-region probe per pull.
+    /// One peer-region probe per unit (probes are independent).
     Prefix {
         query: &'a TriplePatternQuery,
         probes: std::vec::IntoIter<BitString>,
         seen: BTreeSet<Term>,
     },
-    /// One closure hop per pull.
+    /// One closure hop (resolution unit + discovery unit) per pull.
     Closure {
         query: &'a TriplePatternQuery,
         sweep: Box<ClosureSweep<'a>>,
@@ -197,33 +230,75 @@ enum State<'a> {
     Join(Box<JoinState<'a>>),
 }
 
+/// Scheduler metadata of one issued unit.
+enum Stamp {
+    /// Nothing depends on this unit's completion time.
+    None,
+    /// A discovery completed: the listed schemas' hops become ready at
+    /// this unit's completion instant.
+    Schemas(Vec<SchemaId>),
+    /// A bound-join pattern finished: the next pattern's groups become
+    /// ready at the max completion over everything issued so far.
+    Barrier,
+}
+
+/// What one canonical step did.
+enum StepOutcome {
+    /// No work left at this state boundary; no unit was issued.
+    Idle,
+    /// One unit was issued (its messages were charged, its events
+    /// produced); `done` means the plan has no further work.
+    Unit {
+        ready: SimTime,
+        stamp: Stamp,
+        done: bool,
+    },
+}
+
 /// A lazily-advancing handle on one executing [`QueryPlan`] — see the
-/// [module docs](self) for the event protocol, early-termination
-/// guarantees and the closure cache.
+/// [module docs](self) for the event protocol, the scheduler seam,
+/// early-termination guarantees and the closure caches.
 ///
 /// The session borrows the system mutably: queries run one at a time,
 /// exactly as they did through `execute` (which is now a drain of this
-/// handle).
+/// handle). Its scheduled replies live on the origin peer's event
+/// queue; dropping the session cancels them.
 pub struct QuerySession<'a> {
     sys: &'a mut GridVineSystem,
     origin: PeerId,
     strategy: Strategy,
     ttl: usize,
     limit: Option<usize>,
+    window: usize,
     start_messages: u64,
-    /// Cumulative counters (messages tracked separately off the overlay
-    /// counter).
+    /// Cumulative counters at *issue* (messages tracked separately off
+    /// the overlay counter).
     stats: ExecStats,
-    /// The cumulative state already reported through `Stats` deltas.
-    reported: ExecStats,
+    /// The cumulative state already folded into per-unit `Stats`
+    /// deltas.
+    issued_reported: ExecStats,
     /// Accumulated distinct solution rows, discovery order.
     rows: Vec<Binding>,
     order_by: RowOrder,
-    events: VecDeque<ResultEvent>,
-    /// A step failure waiting to surface once the events the failing
-    /// step already produced have been delivered.
+    /// Events of delivered replies, handed out one at a time.
+    delivered: VecDeque<ResultEvent>,
+    /// Events a failing unit produced before erroring, surfaced after
+    /// every queued reply but before the error itself.
+    error_events: Vec<ResultEvent>,
+    /// A unit failure waiting to surface once everything already
+    /// produced has been delivered.
     error: Option<SystemError>,
     state: State<'a>,
+    /// The origin peer's clock when the session opened.
+    started_at: SimTime,
+    /// Simulated time of the latest delivered reply.
+    sim_now: SimTime,
+    /// Max completion instant over every issued unit.
+    max_completion: SimTime,
+    /// Per-schema hop ready times (stamped by discovery completions).
+    ready_of: HashMap<SchemaId, SimTime>,
+    /// Ready time of the hop whose expansion unit is pending.
+    hop_ready: SimTime,
 }
 
 impl GridVineSystem {
@@ -242,6 +317,7 @@ impl GridVineSystem {
         options: &QueryOptions,
     ) -> Result<QuerySession<'a>, SystemError> {
         let ttl = options.ttl.unwrap_or(self.config.ttl);
+        let mut stats = ExecStats::default();
         let state = match plan {
             QueryPlan::Pattern { query } => {
                 if query.pattern.routing_constant().is_none() {
@@ -289,6 +365,7 @@ impl GridVineSystem {
                     attr,
                     options.strategy,
                     ttl,
+                    &mut stats,
                 );
                 State::Closure {
                     query,
@@ -328,6 +405,7 @@ impl GridVineSystem {
                     interner: TermInterner::new(),
                     rows,
                     phase,
+                    barrier: self.exec_state(origin).clock,
                     slots,
                     proj,
                     seen: BTreeSet::new(),
@@ -340,50 +418,83 @@ impl GridVineSystem {
             | QueryPlan::ObjectPrefix { query }
             | QueryPlan::Closure { query } => RowOrder::ByTerm(query.distinguished.clone()),
         };
+        let started_at = self.exec_state(origin).clock;
+        debug_assert_eq!(
+            self.exec_state(origin).queue.len(),
+            0,
+            "one session at a time per system"
+        );
         Ok(QuerySession {
             origin,
             strategy: options.strategy,
             ttl,
             limit: options.limit,
+            window: options.window.max(1),
             start_messages: self.overlay.messages_sent(),
-            stats: ExecStats::default(),
-            reported: ExecStats::default(),
+            stats,
+            issued_reported: ExecStats::default(),
             rows: Vec::new(),
             order_by,
-            events: VecDeque::new(),
+            delivered: VecDeque::new(),
+            error_events: Vec::new(),
             error: None,
             state,
+            started_at,
+            sim_now: started_at,
+            max_completion: started_at,
+            ready_of: HashMap::new(),
+            hop_ready: started_at,
             sys: self,
         })
     }
 }
 
 impl<'a> QuerySession<'a> {
-    /// Advance by (at most) one routed subquery and return the next
-    /// [`ResultEvent`], or `Ok(None)` once the plan is fully drained or
-    /// the result limit terminated it. Errors end the session: events
-    /// the failing step already produced (rows that *were* shipped and
+    /// Return the next [`ResultEvent`], or `Ok(None)` once the plan is
+    /// fully drained or the result limit terminated it.
+    ///
+    /// Internally this keeps up to [`QueryOptions::window`] units in
+    /// flight: it issues canonical units until the window is full (or
+    /// the plan runs out of ready work), then delivers the earliest
+    /// scheduled reply, advancing the simulated clock. Errors end the
+    /// session: events already produced (rows that *were* shipped and
     /// charged) are delivered first, then the error surfaces exactly
     /// once, then the session reports drained.
     pub fn next_event(&mut self) -> Result<Option<ResultEvent>, SystemError> {
         loop {
-            if let Some(ev) = self.events.pop_front() {
+            if let Some(ev) = self.delivered.pop_front() {
                 return Ok(Some(ev));
+            }
+            // Replenish the window in canonical order.
+            while self.error.is_none()
+                && !matches!(self.state, State::Done)
+                && self.sys.exec_state(self.origin).queue.len() < self.window
+            {
+                if let Err(e) = self.issue_step() {
+                    self.state = State::Done;
+                    self.error = Some(e);
+                }
+            }
+            // Deliver the earliest reply, advancing the clock.
+            if let Some((at, reply)) = self.sys.exec_state_mut(self.origin).queue.pop() {
+                self.sim_now = self.sim_now.max(at);
+                self.delivered.extend(reply.events);
+                continue;
+            }
+            if !self.error_events.is_empty() {
+                let stash = std::mem::take(&mut self.error_events);
+                self.delivered.extend(stash);
+                continue;
             }
             if let Some(e) = self.error.take() {
                 return Err(e);
             }
-            if matches!(self.state, State::Done) {
-                return Ok(None);
-            }
-            if let Err(e) = self.step() {
-                self.state = State::Done;
-                self.error = Some(e);
-            }
+            return Ok(None);
         }
     }
 
-    /// Cumulative execution counters so far (messages included).
+    /// Cumulative execution counters so far (messages included). Work
+    /// is accounted at *issue*, so in-flight units are already counted.
     pub fn stats(&self) -> ExecStats {
         let mut s = self.stats;
         s.messages = self.sys.overlay.messages_sent() - self.start_messages;
@@ -395,23 +506,47 @@ impl<'a> QuerySession<'a> {
         &self.rows
     }
 
-    /// The plan has no work left (drained, limit-terminated or failed).
+    /// The plan has no work left (drained, limit-terminated or failed)
+    /// and every scheduled reply was delivered.
     pub fn is_complete(&self) -> bool {
-        matches!(self.state, State::Done) && self.events.is_empty()
+        matches!(self.state, State::Done)
+            && self.delivered.is_empty()
+            && self.error_events.is_empty()
+            && self.error.is_none()
+            && self.sys.exec_state(self.origin).queue.is_empty()
+    }
+
+    /// Simulated time of the latest delivered reply (the origin peer's
+    /// clock resumes from here for the next session).
+    pub fn sim_now(&self) -> SimTime {
+        self.sim_now
+    }
+
+    /// Simulated time elapsed since the session opened.
+    pub fn sim_elapsed(&self) -> SimDuration {
+        self.sim_now.saturating_since(self.started_at)
+    }
+
+    /// Units currently in flight (issued, reply not yet delivered).
+    pub fn in_flight(&self) -> usize {
+        self.sys.exec_state(self.origin).queue.len()
     }
 
     /// Finish the session: the rows accumulated so far in the canonical
     /// order (sorted as `execute` returns them) plus cumulative stats.
     /// Valid at any point — after a full drain this is exactly the
-    /// [`QueryOutcome`] `execute` would have returned.
-    pub fn into_outcome(self) -> QueryOutcome {
+    /// [`QueryOutcome`] `execute` would have returned; mid-flight it
+    /// cancels the remaining scheduled replies.
+    pub fn into_outcome(mut self) -> QueryOutcome {
         let mut stats = self.stats;
         stats.messages = self.sys.overlay.messages_sent() - self.start_messages;
-        let mut rows = self.rows;
+        let mut rows = std::mem::take(&mut self.rows);
         match &self.order_by {
             RowOrder::ByTerm(var) => rows.sort_by(|a, b| a.get(var).cmp(&b.get(var))),
             RowOrder::ByDisplay => rows.sort_by_key(|b| b.to_string()),
         }
+        // Dropping `self` cancels any still-queued replies and writes
+        // the clock back to the origin peer's execution state.
         QueryOutcome { rows, stats }
     }
 
@@ -420,20 +555,90 @@ impl<'a> QuerySession<'a> {
         self.limit.is_some_and(|k| self.rows.len() >= k)
     }
 
-    /// Queue the step's `Stats` delta (always emitted: every step does
-    /// accountable work, so a drain observes monotone progress).
-    fn emit_stats_delta(&mut self) {
-        let cur = self.stats();
-        let delta = ExecStats {
-            messages: cur.messages - self.reported.messages,
-            subqueries: cur.subqueries - self.reported.subqueries,
-            reformulations: cur.reformulations - self.reported.reformulations,
-            schemas_visited: cur.schemas_visited - self.reported.schemas_visited,
-            failures: cur.failures - self.reported.failures,
-            bindings_shipped: cur.bindings_shipped - self.reported.bindings_shipped,
+    /// Issue the next canonical unit: run its logical work, charge its
+    /// counters, compute its send/completion instants and schedule its
+    /// reply on the origin peer's event queue.
+    fn issue_step(&mut self) -> Result<(), SystemError> {
+        if self.limit_reached() {
+            self.state = State::Done;
+            return Ok(());
+        }
+        let mut state = std::mem::replace(&mut self.state, State::Done);
+        let mut out: Vec<ResultEvent> = Vec::new();
+        let result = match &mut state {
+            State::Done => Ok(StepOutcome::Idle),
+            State::Pattern { query } => self.step_pattern(query, &mut out),
+            State::Prefix {
+                query,
+                probes,
+                seen,
+            } => self.step_prefix(query, probes, seen, &mut out),
+            State::Closure { query, sweep, seen } => {
+                self.step_closure(query, sweep, seen, &mut out)
+            }
+            State::Join(join) => self.step_join(join, &mut out),
         };
-        self.reported = cur;
-        self.events.push_back(ResultEvent::Stats(delta));
+        match result {
+            Ok(StepOutcome::Idle) => Ok(()), // state stays Done
+            Ok(StepOutcome::Unit { ready, stamp, done }) => {
+                if !done {
+                    self.state = state;
+                }
+                self.schedule_unit(ready, stamp, out);
+                Ok(())
+            }
+            Err(e) => {
+                // Events the failing unit already produced (rows that
+                // were shipped and charged) surface before the error.
+                self.error_events = out;
+                Err(e)
+            }
+        }
+    }
+
+    /// Scheduler bookkeeping of one issued unit.
+    fn schedule_unit(&mut self, ready: SimTime, stamp: Stamp, mut events: Vec<ResultEvent>) {
+        // The unit is in flight from here: fold the high-water mark in
+        // *before* the delta snapshot so delta sums stay exact.
+        let in_flight = self.sys.exec_state(self.origin).queue.len() + 1;
+        self.stats.max_in_flight = self.stats.max_in_flight.max(in_flight);
+        let cur = self.stats();
+        let prev = self.issued_reported;
+        let delta = ExecStats {
+            messages: cur.messages - prev.messages,
+            subqueries: cur.subqueries - prev.subqueries,
+            reformulations: cur.reformulations - prev.reformulations,
+            schemas_visited: cur.schemas_visited - prev.schemas_visited,
+            failures: cur.failures - prev.failures,
+            bindings_shipped: cur.bindings_shipped - prev.bindings_shipped,
+            mapping_fetches: cur.mapping_fetches - prev.mapping_fetches,
+            max_in_flight: cur.max_in_flight - prev.max_in_flight,
+            cache_hits: cur.cache_hits - prev.cache_hits,
+            cache_misses: cur.cache_misses - prev.cache_misses,
+            cache_evictions: cur.cache_evictions - prev.cache_evictions,
+        };
+        self.issued_reported = cur;
+        events.push(ResultEvent::Stats(delta));
+        let send = ready.max(self.sim_now);
+        let completion = send + sched::unit_latency(delta.messages);
+        self.max_completion = self.max_completion.max(completion);
+        match stamp {
+            Stamp::None => {}
+            Stamp::Schemas(list) => {
+                for s in list {
+                    self.ready_of.insert(s, completion);
+                }
+            }
+            Stamp::Barrier => {
+                if let State::Join(join) = &mut self.state {
+                    join.barrier = self.max_completion;
+                }
+            }
+        }
+        self.sys
+            .exec_state_mut(self.origin)
+            .queue
+            .schedule(completion, QueuedReply { events });
     }
 
     /// Admit freshly-shipped bindings of a single-pattern plan: project
@@ -461,60 +666,40 @@ impl<'a> QuerySession<'a> {
         (batch, false)
     }
 
-    /// Perform one unit of work and queue its events.
-    fn step(&mut self) -> Result<(), SystemError> {
-        if self.limit_reached() {
-            self.state = State::Done;
-            return Ok(());
-        }
-        let mut state = std::mem::replace(&mut self.state, State::Done);
-        let result = match &mut state {
-            State::Done => Ok(true),
-            State::Pattern { query } => self.step_pattern(query),
-            State::Prefix {
-                query,
-                probes,
-                seen,
-            } => self.step_prefix(query, probes, seen),
-            State::Closure { query, sweep, seen } => self.step_closure(query, sweep, seen),
-            State::Join(join) => self.step_join(join),
-        };
-        match result {
-            Ok(done) => {
-                if !done {
-                    self.state = state;
-                }
-                Ok(())
-            }
-            Err(e) => Err(e),
-        }
-    }
-
     /// [`QueryPlan::Pattern`]: the single routed lookup.
-    fn step_pattern(&mut self, query: &TriplePatternQuery) -> Result<bool, SystemError> {
+    fn step_pattern(
+        &mut self,
+        query: &TriplePatternQuery,
+        out: &mut Vec<ResultEvent>,
+    ) -> Result<StepOutcome, SystemError> {
         self.stats.subqueries += 1;
         let bindings = self.sys.resolve_pattern_once(self.origin, &query.pattern)?;
         self.stats.bindings_shipped += bindings.len();
         let mut seen = BTreeSet::new();
         let (batch, _) = self.admit_terms(&mut seen, &query.distinguished, &bindings);
         if !batch.is_empty() {
-            self.events.push_back(ResultEvent::Rows(batch));
+            out.push(ResultEvent::Rows(batch));
         }
-        self.emit_stats_delta();
-        Ok(true)
+        Ok(StepOutcome::Unit {
+            ready: self.started_at,
+            stamp: Stamp::None,
+            done: true,
+        })
     }
 
     /// [`QueryPlan::ObjectPrefix`]: probe the next peer region of the
     /// prefix's bit-region (same regions, routes and response charges
-    /// as a range `Retrieve`).
+    /// as a range `Retrieve`). Probes are independent units: they are
+    /// all ready at session start and pipeline `window`-wide.
     fn step_prefix(
         &mut self,
         query: &TriplePatternQuery,
         probes: &mut std::vec::IntoIter<BitString>,
         seen: &mut BTreeSet<Term>,
-    ) -> Result<bool, SystemError> {
+        out: &mut Vec<ResultEvent>,
+    ) -> Result<StepOutcome, SystemError> {
         let Some(probe) = probes.next() else {
-            return Ok(true);
+            return Ok(StepOutcome::Idle);
         };
         let dest = self.sys.route_retrieve(self.origin, &probe)?;
         self.stats.subqueries += 1;
@@ -523,28 +708,56 @@ impl<'a> QuerySession<'a> {
         self.stats.bindings_shipped += bindings.len();
         let (batch, limit_hit) = self.admit_terms(seen, &query.distinguished, &bindings);
         if !batch.is_empty() {
-            self.events.push_back(ResultEvent::Rows(batch));
+            out.push(ResultEvent::Rows(batch));
         }
-        self.emit_stats_delta();
-        Ok(limit_hit || probes.as_slice().is_empty())
+        Ok(StepOutcome::Unit {
+            ready: self.started_at,
+            stamp: Stamp::None,
+            done: limit_hit || probes.as_slice().is_empty(),
+        })
     }
 
-    /// [`QueryPlan::Closure`]: one hop of the reformulation closure —
-    /// resolve the (possibly reformulated) pattern at its destination
-    /// via the shared [`ClosureSweep`], then expand it (mapping
-    /// discovery — skipped outright when the result limit terminates
-    /// the walk at this hop, so the discovery messages are never sent).
+    /// [`QueryPlan::Closure`]: one unit of the reformulation closure —
+    /// either resolve the next (possibly reformulated) pattern at its
+    /// destination via the shared [`ClosureSweep`], or run the pending
+    /// hop's mapping discovery. The two units of one hop share a ready
+    /// time (they are independent requests and overlap under a window);
+    /// a discovery's completion stamps the ready times of the hops it
+    /// admits. Early termination skips the discovery outright, so its
+    /// messages are never sent.
     fn step_closure(
         &mut self,
         query: &TriplePatternQuery,
-        sweep: &mut ClosureSweep<'_>,
+        sweep: &mut ClosureSweep<'a>,
         seen: &mut BTreeSet<Term>,
-    ) -> Result<bool, SystemError> {
+        out: &mut Vec<ResultEvent>,
+    ) -> Result<StepOutcome, SystemError> {
+        if sweep.has_pending() {
+            // Discovery unit of the previously resolved hop.
+            let expansion = sweep.expand_pending(
+                self.sys,
+                self.origin,
+                self.strategy,
+                self.ttl,
+                &mut self.stats,
+            )?;
+            return Ok(StepOutcome::Unit {
+                ready: self.hop_ready,
+                stamp: Stamp::Schemas(expansion.admitted),
+                done: sweep.is_exhausted(),
+            });
+        }
         let Some(hop) = sweep.resolve_next(self.sys, self.origin)? else {
-            return Ok(true);
+            return Ok(StepOutcome::Idle);
         };
+        let ready = self
+            .ready_of
+            .get(&hop.schema)
+            .copied()
+            .unwrap_or(self.started_at);
+        self.hop_ready = ready;
         hop.charge(&mut self.stats);
-        self.events.push_back(ResultEvent::SchemaHop {
+        out.push(ResultEvent::SchemaHop {
             schema: hop.schema,
             depth: hop.depth,
             quality: hop.quality,
@@ -555,19 +768,24 @@ impl<'a> QuerySession<'a> {
             let (batch, hit) = self.admit_terms(seen, &query.distinguished, &bindings);
             limit_hit = hit;
             if !batch.is_empty() {
-                self.events.push_back(ResultEvent::Rows(batch));
+                out.push(ResultEvent::Rows(batch));
             }
         }
         if limit_hit {
             // A truncated walk neither expands nor commits to the
             // cache.
             sweep.discard_pending();
-            self.emit_stats_delta();
-            return Ok(true);
+            return Ok(StepOutcome::Unit {
+                ready,
+                stamp: Stamp::None,
+                done: true,
+            });
         }
-        sweep.expand_pending(self.sys, self.origin, self.strategy, self.ttl)?;
-        self.emit_stats_delta();
-        Ok(sweep.is_exhausted())
+        Ok(StepOutcome::Unit {
+            ready,
+            stamp: Stamp::None,
+            done: sweep.is_exhausted() && !sweep.has_pending(),
+        })
     }
 
     /// Project completed join rows onto the distinguished variables,
@@ -595,32 +813,42 @@ impl<'a> QuerySession<'a> {
     }
 
     /// [`QueryPlan::Join`]: one unit of join work — a full pattern
-    /// sweep (independent mode) or one substituted-group resolution
-    /// (bound substitution).
-    fn step_join(&mut self, join: &mut JoinState<'a>) -> Result<bool, SystemError> {
+    /// sweep or the local fold (independent mode), or one
+    /// substituted-group resolution (bound substitution).
+    fn step_join(
+        &mut self,
+        join: &mut JoinState<'a>,
+        out: &mut Vec<ResultEvent>,
+    ) -> Result<StepOutcome, SystemError> {
         match &mut join.phase {
-            JoinPhase::Independent { .. } => self.step_join_independent(join),
-            JoinPhase::Bound { .. } => self.step_join_bound(join),
+            JoinPhase::Independent { .. } => self.step_join_independent(join, out),
+            JoinPhase::Bound { .. } => self.step_join_bound(join, out),
         }
     }
 
     /// Independent mode: sweep the next pattern (written order — the
-    /// order its message accounting is defined over); after the last
-    /// sweep, fold the binding sets through the hash-join engine and
-    /// emit the projected rows.
-    fn step_join_independent(&mut self, join: &mut JoinState<'a>) -> Result<bool, SystemError> {
-        let done = {
-            let JoinState {
-                query,
-                interner,
-                vars,
-                rows: partial,
-                phase,
-                ..
-            } = &mut *join;
-            let JoinPhase::Independent { next_pattern, sets } = phase else {
-                unreachable!("phase checked by step_join");
-            };
+    /// order its message accounting is defined over). Sweeps are
+    /// mutually independent units, all ready at session start; once the
+    /// last one is issued, a final local fold unit (ready at the max
+    /// sweep completion) joins the binding sets through the hash-join
+    /// engine and emits the projected rows.
+    fn step_join_independent(
+        &mut self,
+        join: &mut JoinState<'a>,
+        out: &mut Vec<ResultEvent>,
+    ) -> Result<StepOutcome, SystemError> {
+        let JoinState {
+            query,
+            interner,
+            vars,
+            rows: partial,
+            phase,
+            ..
+        } = &mut *join;
+        let JoinPhase::Independent { next_pattern, sets } = phase else {
+            unreachable!("phase checked by step_join");
+        };
+        if *next_pattern < query.patterns.len() {
             let pattern = &query.patterns[*next_pattern];
             let net =
                 self.sys
@@ -633,38 +861,45 @@ impl<'a> QuerySession<'a> {
                     .collect(),
             );
             *next_pattern += 1;
-            if *next_pattern < query.patterns.len() {
-                None
-            } else {
-                // All sweeps landed: fold + project locally.
-                let mut rows = std::mem::take(partial);
-                for set in sets.iter() {
-                    rows = hash_join_rows(&rows, set);
-                    if rows.is_empty() {
-                        break;
-                    }
-                }
-                Some(rows)
-            }
-        };
-        let Some(completed) = done else {
-            self.emit_stats_delta();
-            return Ok(false);
-        };
-        let (batch, _) = Self::admit_join_rows(join, &completed, &mut self.rows, self.limit);
-        if !batch.is_empty() {
-            self.events.push_back(ResultEvent::Rows(batch));
+            return Ok(StepOutcome::Unit {
+                ready: self.started_at,
+                stamp: Stamp::None,
+                done: false,
+            });
         }
-        self.emit_stats_delta();
-        Ok(true)
+        // All sweeps issued: fold + project locally once they all
+        // completed (a zero-message unit ready at the barrier).
+        let mut rows = std::mem::take(partial);
+        for set in sets.iter() {
+            rows = hash_join_rows(&rows, set);
+            if rows.is_empty() {
+                break;
+            }
+        }
+        let ready = self.max_completion;
+        let (batch, _) = Self::admit_join_rows(join, &rows, &mut self.rows, self.limit);
+        if !batch.is_empty() {
+            out.push(ResultEvent::Rows(batch));
+        }
+        Ok(StepOutcome::Unit {
+            ready,
+            stamp: Stamp::None,
+            done: true,
+        })
     }
 
     /// Bound substitution: resolve one substituted instance (one group
-    /// of rows agreeing on the pattern's bound variables). Rows
-    /// complete at the last pattern of the planner's order — reaching
-    /// the result limit there skips every remaining group, so the
-    /// leftover subqueries are never issued.
-    fn step_join_bound(&mut self, join: &mut JoinState<'a>) -> Result<bool, SystemError> {
+    /// of rows agreeing on the pattern's bound variables). Groups of
+    /// one pattern are independent units sharing the pattern's barrier
+    /// ready time; rows complete at the last pattern of the planner's
+    /// order — reaching the result limit there skips every remaining
+    /// group, so the leftover subqueries are never issued.
+    fn step_join_bound(
+        &mut self,
+        join: &mut JoinState<'a>,
+        out: &mut Vec<ResultEvent>,
+    ) -> Result<StepOutcome, SystemError> {
+        let ready = join.barrier;
         // Phase bookkeeping (split out so the phase borrow never
         // overlaps the interner/row borrows below).
         let (pattern_index, last) = {
@@ -749,7 +984,7 @@ impl<'a> QuerySession<'a> {
                             let (batch, hit) =
                                 Self::admit_join_rows(join, &joined, &mut self.rows, self.limit);
                             if !batch.is_empty() {
-                                self.events.push_back(ResultEvent::Rows(batch));
+                                out.push(ResultEvent::Rows(batch));
                             }
                             if hit {
                                 limit_hit = true;
@@ -772,24 +1007,49 @@ impl<'a> QuerySession<'a> {
                 Err(e) => return Err(e),
             }
         }
-        self.emit_stats_delta();
         if limit_hit {
-            return Ok(true);
+            return Ok(StepOutcome::Unit {
+                ready,
+                stamp: Stamp::None,
+                done: true,
+            });
         }
         let JoinPhase::Bound { oi, groups, next } = &mut join.phase else {
             unreachable!("phase unchanged");
         };
         if groups.as_ref().is_some_and(|g| !g.queue.is_empty()) {
-            return Ok(false);
+            return Ok(StepOutcome::Unit {
+                ready,
+                stamp: Stamp::None,
+                done: false,
+            });
         }
         // Pattern finished: advance (or end — either out of patterns,
         // or no partial row survived, so no later pattern can produce
         // rows and their subqueries are skipped, as the monolithic
-        // executor's early-exit did).
+        // executor's early-exit did). The barrier stamp makes the next
+        // pattern's groups wait for everything issued so far.
         join.rows = std::mem::take(next);
         *groups = None;
         *oi += 1;
-        Ok(*oi >= join.order.len() || join.rows.is_empty())
+        let done = *oi >= join.order.len() || join.rows.is_empty();
+        Ok(StepOutcome::Unit {
+            ready,
+            stamp: if done { Stamp::None } else { Stamp::Barrier },
+            done,
+        })
+    }
+}
+
+impl Drop for QuerySession<'_> {
+    /// Cancel every still-scheduled reply (the origin's event queue
+    /// returns to empty — `pending_events() == 0`) and write the
+    /// simulated clock back to the origin peer's execution state.
+    fn drop(&mut self) {
+        let sim_now = self.sim_now;
+        let exec = self.sys.exec_state_mut(self.origin);
+        exec.queue.clear();
+        exec.clock = exec.clock.max(sim_now);
     }
 }
 

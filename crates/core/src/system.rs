@@ -34,6 +34,8 @@ use std::collections::BTreeSet;
 pub mod conjunctive;
 #[path = "exec.rs"]
 pub mod exec;
+#[path = "sched.rs"]
+pub mod sched;
 #[path = "session.rs"]
 pub mod session;
 
@@ -52,6 +54,11 @@ pub struct GridVineConfig {
     pub ttl: usize,
     /// Application domain name (the `Hash(Domain)` aggregation point).
     pub domain: String,
+    /// Capacity of each peer's bounded LRU reformulation-closure cache
+    /// (see [`sched`](self) and `gridvine_semantic::ClosureCache`): at
+    /// most this many fully-expanded closures are retained per peer,
+    /// least-recently-used evicted first. Zero disables caching.
+    pub closure_cache_capacity: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -65,6 +72,7 @@ impl Default for GridVineConfig {
             hash: HashKind::OrderPreserving,
             ttl: 10,
             domain: "protein-sequences".to_string(),
+            closure_cache_capacity: 64,
             seed: 0x6B1D,
         }
     }
@@ -89,6 +97,9 @@ pub enum SystemError {
     NotRoutable,
     /// The query predicate does not name a schema.
     NoQuerySchema,
+    /// The routed destination peer is crashed: the request was sent
+    /// (and charged) but no response will ever come back.
+    PeerDown(PeerId),
 }
 
 impl std::fmt::Display for SystemError {
@@ -97,6 +108,7 @@ impl std::fmt::Display for SystemError {
             SystemError::Route(e) => write!(f, "routing failed: {e}"),
             SystemError::NotRoutable => write!(f, "query has no routable constant term"),
             SystemError::NoQuerySchema => write!(f, "query predicate does not name a schema"),
+            SystemError::PeerDown(p) => write!(f, "destination peer {p} is down"),
         }
     }
 }
@@ -135,13 +147,16 @@ pub struct GridVineSystem {
     /// the DHT (kept in lock-step with the DHT copies by the insert /
     /// deprecate operations below).
     registry: MappingRegistry,
-    /// Memoized reformulation closures, keyed by the registry's
-    /// mapping-network epoch: repeated iterative plans over an
-    /// unchanged mapping network replay recorded hops instead of
-    /// re-walking the BFS (and re-fetching per-schema mapping lists).
-    /// Any mapping insert / deprecation / repair bumps the epoch and
-    /// invalidates the whole cache.
-    closure_cache: gridvine_semantic::ClosureCache,
+    /// Per-peer execution state: the simulated clock, the in-flight
+    /// session's reply queue and the peer's bounded LRU
+    /// reformulation-closure cache (see [`sched`]). The iterative
+    /// strategy warms the origin's cache; the recursive strategy warms
+    /// the delegate peer's.
+    exec: Vec<sched::PeerExecState>,
+    /// Peers currently crashed by failure injection: routed requests
+    /// whose destination is down are charged but never answered
+    /// ([`SystemError::PeerDown`]).
+    crashed: BTreeSet<PeerId>,
     rng: StdRng,
 }
 
@@ -156,10 +171,13 @@ impl GridVineSystem {
             hasher: config.hash.build(),
             local_dbs: (0..topology.len()).map(|_| TripleStore::new()).collect(),
             lexicon: SharedTermDict::new(),
+            exec: (0..topology.len())
+                .map(|_| sched::PeerExecState::new(config.closure_cache_capacity))
+                .collect(),
+            crashed: BTreeSet::new(),
             topology,
             overlay,
             registry: MappingRegistry::new(),
-            closure_cache: gridvine_semantic::ClosureCache::new(),
             rng,
             config,
         }
@@ -174,10 +192,13 @@ impl GridVineSystem {
             hasher: config.hash.build(),
             local_dbs: (0..topology.len()).map(|_| TripleStore::new()).collect(),
             lexicon: SharedTermDict::new(),
+            exec: (0..topology.len())
+                .map(|_| sched::PeerExecState::new(config.closure_cache_capacity))
+                .collect(),
+            crashed: BTreeSet::new(),
             topology,
             overlay,
             registry: MappingRegistry::new(),
-            closure_cache: gridvine_semantic::ClosureCache::new(),
             rng,
             config,
         }
@@ -201,14 +222,71 @@ impl GridVineSystem {
     }
 
     /// Number of memoized reformulation closures currently valid for
-    /// the registry's epoch (0 right after any mapping mutation — a
-    /// stale cache counts as empty even before its lazy clear).
+    /// the registry's epoch, summed over every peer's cache (0 right
+    /// after any mapping mutation — a stale cache counts as empty even
+    /// before its lazy clear).
     pub fn cached_closures(&self) -> usize {
-        if self.closure_cache.epoch() == self.registry.epoch() {
-            self.closure_cache.len()
-        } else {
-            0
+        let epoch = self.registry.epoch();
+        self.exec
+            .iter()
+            .map(|e| {
+                if e.cache.epoch() == epoch {
+                    e.cache.len()
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Lifetime closure-cache hit/miss/eviction counters, summed over
+    /// every peer's cache.
+    pub fn cache_counters(&self) -> gridvine_semantic::CacheCounters {
+        let mut total = gridvine_semantic::CacheCounters::default();
+        for e in &self.exec {
+            let c = e.cache.counters();
+            total.hits += c.hits;
+            total.misses += c.misses;
+            total.evictions += c.evictions;
         }
+        total
+    }
+
+    /// Scheduled-but-undelivered replies across every peer's event
+    /// queue. Non-zero only while a session holds subqueries in
+    /// flight; dropping a session cancels its queued events, so this
+    /// returns to zero.
+    pub fn pending_events(&self) -> usize {
+        self.exec.iter().map(|e| e.queue.len()).sum()
+    }
+
+    /// One peer's execution state (clock, reply queue, closure cache).
+    pub(crate) fn exec_state_mut(&mut self, peer: PeerId) -> &mut sched::PeerExecState {
+        &mut self.exec[peer.index()]
+    }
+
+    pub(crate) fn exec_state(&self, peer: PeerId) -> &sched::PeerExecState {
+        &self.exec[peer.index()]
+    }
+
+    /// Failure injection: crash a peer. Requests routed *to* it are
+    /// charged but never answered ([`SystemError::PeerDown`]); closure
+    /// walks record the failure in `ExecStats::failures` and continue.
+    /// Routing *through* a crashed peer is not modeled — the overlay's
+    /// reference structure stands in for the live peers a real P-Grid
+    /// would fail over to.
+    pub fn crash_peer(&mut self, peer: PeerId) {
+        self.crashed.insert(peer);
+    }
+
+    /// Bring a crashed peer back.
+    pub fn recover_peer(&mut self, peer: PeerId) {
+        self.crashed.remove(&peer);
+    }
+
+    /// Whether failure injection currently has this peer down.
+    pub fn is_peer_up(&self, peer: PeerId) -> bool {
+        !self.crashed.contains(&peer)
     }
 
     /// One peer's local triple database `DB_p`.
@@ -408,6 +486,9 @@ impl GridVineSystem {
     ) -> Result<PeerId, SystemError> {
         let route = self.overlay.route(origin, key, &mut self.rng)?;
         self.overlay.charge_response(origin, route.destination);
+        if self.crashed.contains(&route.destination) {
+            return Err(SystemError::PeerDown(route.destination));
+        }
         Ok(route.destination)
     }
 
@@ -472,7 +553,12 @@ impl GridVineSystem {
         schema: &SchemaId,
     ) -> Result<Vec<Mapping>, SystemError> {
         let key = self.key_of(schema.as_str());
-        let (items, _) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
+        let (items, route) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
+        if self.crashed.contains(&route.destination) {
+            // The retrieve was routed and charged, but the responsible
+            // peer is down: no mapping list comes back.
+            return Err(SystemError::PeerDown(route.destination));
+        }
         Ok(items
             .into_iter()
             .filter_map(|i| match i {

@@ -161,6 +161,11 @@ fn drain(
                 stats_from_deltas.schemas_visited += d.schemas_visited;
                 stats_from_deltas.failures += d.failures;
                 stats_from_deltas.bindings_shipped += d.bindings_shipped;
+                stats_from_deltas.mapping_fetches += d.mapping_fetches;
+                stats_from_deltas.max_in_flight += d.max_in_flight;
+                stats_from_deltas.cache_hits += d.cache_hits;
+                stats_from_deltas.cache_misses += d.cache_misses;
+                stats_from_deltas.cache_evictions += d.cache_evictions;
             }
         }
     }
@@ -386,9 +391,115 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The scheduler window never changes what a query computes: for
+    /// `w ∈ {2, 4, 8}`, an overlapped session produces the same row
+    /// multiset AND the same total message count (and every other
+    /// counter except the in-flight high-water mark) as the serial
+    /// `w = 1` run — across plan shapes, strategies and join modes,
+    /// cold and warm.
+    #[test]
+    fn overlapped_windows_match_serial_execution(
+        seed in 0u64..1000,
+        schemas in 2usize..4,
+        links in proptest::collection::vec(any::<bool>(), 0..3),
+        facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 1..20),
+        origin in 0usize..PEERS,
+        recursive in any::<bool>(),
+        bound in any::<bool>(),
+        limit in 0usize..4,
+    ) {
+        let strategy = if recursive { Strategy::Recursive } else { Strategy::Iterative };
+        let mode = if bound { JoinMode::BoundSubstitution } else { JoinMode::Independent };
+        let mut base = QueryOptions::new().strategy(strategy).join_mode(mode);
+        // 0 means unlimited; otherwise a genuine early-termination cap.
+        if limit > 0 {
+            base = base.limit(limit);
+        }
+        let at = PeerId::from_index(origin);
+        for plan in [
+            QueryPlan::search(organism_query()),
+            QueryPlan::conjunctive(organism_length_query()),
+        ] {
+            let mut serial_sys = build(seed, schemas, &links, &facts);
+            let mut serial = Vec::new();
+            for _ in 0..2 {
+                serial.push(serial_sys.execute(at, &plan, &base).unwrap());
+            }
+            for w in [2usize, 4, 8] {
+                let mut sys = build(seed, schemas, &links, &facts);
+                let options = base.window(w);
+                // Two rounds: round 0 cold, round 1 warm (iterative).
+                for (round, expect) in serial.iter().enumerate() {
+                    let d = drain(&mut sys, at, &plan, &options).unwrap();
+                    prop_assert_eq!(
+                        &d.outcome.rows, &expect.rows,
+                        "w={} round {} rows", w, round
+                    );
+                    prop_assert_eq!(
+                        d.outcome.stats.messages, expect.stats.messages,
+                        "w={} round {} messages", w, round
+                    );
+                    prop_assert_eq!(d.outcome.stats.subqueries, expect.stats.subqueries);
+                    prop_assert_eq!(d.outcome.stats.reformulations, expect.stats.reformulations);
+                    prop_assert_eq!(d.outcome.stats.schemas_visited, expect.stats.schemas_visited);
+                    prop_assert_eq!(d.outcome.stats.failures, expect.stats.failures);
+                    prop_assert_eq!(d.outcome.stats.bindings_shipped, expect.stats.bindings_shipped);
+                    prop_assert_eq!(d.outcome.stats.mapping_fetches, expect.stats.mapping_fetches);
+                    prop_assert_eq!(d.outcome.stats.cache_hits, expect.stats.cache_hits);
+                    prop_assert_eq!(d.outcome.stats.cache_misses, expect.stats.cache_misses);
+                    prop_assert_eq!(d.outcome.stats.cache_evictions, expect.stats.cache_evictions);
+                    prop_assert!(
+                        d.outcome.stats.max_in_flight <= w,
+                        "w={}: hwm {} within window", w, d.outcome.stats.max_in_flight
+                    );
+                    // Event-protocol invariants hold under overlap too.
+                    prop_assert_eq!(d.stats_from_deltas, d.outcome.stats, "w={} delta sum", w);
+                    prop_assert!(sys.pending_events() == 0, "drained session leaves no events");
+                }
+            }
+        }
+    }
+
+    /// Dropping a session mid-flight cancels every scheduled reply:
+    /// `pending_events()` returns to zero, no further messages are
+    /// issued, and the system remains fully usable.
+    #[test]
+    fn dropping_mid_flight_leaves_no_pending_events(
+        seed in 0u64..1000,
+        facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 4..20),
+        origin in 0usize..PEERS,
+        window in 1usize..9,
+        pulls in 1usize..4,
+    ) {
+        let plan = QueryPlan::search(organism_query());
+        let options = QueryOptions::new().window(window);
+        let mut sys = build(seed, 4, &[], &facts);
+        let at = PeerId::from_index(origin);
+        let observed = {
+            let mut session = sys.open(at, &plan, &options).unwrap();
+            for _ in 0..pulls {
+                if session.next_event().unwrap().is_none() {
+                    break;
+                }
+            }
+            session.stats().messages
+            // Dropped here, possibly with replies still queued.
+        };
+        prop_assert_eq!(sys.pending_events(), 0, "drop cancelled all queued events");
+        let after_drop = sys.messages_sent();
+        let out = sys.execute(at, &plan, &QueryOptions::default()).unwrap();
+        prop_assert!(sys.messages_sent() >= after_drop + out.stats.messages);
+        prop_assert_eq!(sys.pending_events(), 0);
+        let _ = observed;
+    }
+}
+
 /// Warm cache replays undercut cold walks on messages — same rows, no
-/// mapping-list retrieves — and the recursive strategy never touches
-/// the cache.
+/// mapping-list retrieves — for the iterative strategy (origin-peer
+/// cache) *and* the recursive strategy (delegate-peer cache).
 #[test]
 fn warm_closure_replay_skips_mapping_fetch_messages() {
     let facts: Vec<(u8, u8, u8)> = (0..12).map(|i| (i, i % 4, 0)).collect();
@@ -399,27 +510,148 @@ fn warm_closure_replay_skips_mapping_fetch_messages() {
     assert_eq!(sys.cached_closures(), 0);
     let cold = sys.execute(PeerId(3), &plan, &options).unwrap();
     assert_eq!(sys.cached_closures(), 1);
+    assert_eq!(cold.stats.cache_misses, 1);
+    assert_eq!(cold.stats.cache_hits, 0);
     let warm = sys.execute(PeerId(3), &plan, &options).unwrap();
     assert_eq!(cold.rows, warm.rows, "replay must not change results");
     assert_eq!(cold.stats.schemas_visited, warm.stats.schemas_visited);
     assert_eq!(cold.stats.subqueries, warm.stats.subqueries);
+    assert_eq!(warm.stats.cache_hits, 1);
+    assert!(cold.stats.mapping_fetches > 0);
+    assert_eq!(
+        warm.stats.mapping_fetches, 0,
+        "replay fetches no mapping lists"
+    );
     assert!(
         warm.stats.messages < cold.stats.messages,
         "warm {} must undercut cold {} (4 mapping fetches skipped)",
         warm.stats.messages,
         cold.stats.messages
     );
-    // Recursive delegation bypasses the cache: no new entries, and the
-    // strategy still answers identically on rows.
-    let rec = sys
-        .execute(
-            PeerId(3),
-            &plan,
-            &QueryOptions::new().strategy(Strategy::Recursive),
+    // The iterative cache is per-peer: a different origin is cold again.
+    let elsewhere = sys.execute(PeerId(9), &plan, &options).unwrap();
+    assert_eq!(elsewhere.stats.cache_hits, 0);
+    assert_eq!(elsewhere.stats.cache_misses, 1);
+    assert_eq!(elsewhere.terms("x"), warm.terms("x"));
+    assert_eq!(sys.cached_closures(), 2, "each origin warms its own cache");
+
+    // The recursive strategy caches at the intermediate (delegate)
+    // peer that serves the first mapping discovery: the first walk
+    // records there, the second replays its tail — identical rows,
+    // strictly fewer mapping-list retrieves.
+    let rec_opts = QueryOptions::new().strategy(Strategy::Recursive);
+    let rec_cold = sys.execute(PeerId(3), &plan, &rec_opts).unwrap();
+    assert_eq!(rec_cold.terms("x"), warm.terms("x"));
+    assert_eq!(sys.cached_closures(), 3, "delegate peer memoized the walk");
+    let rec_warm = sys.execute(PeerId(3), &plan, &rec_opts).unwrap();
+    assert_eq!(rec_warm.terms("x"), rec_cold.terms("x"));
+    assert_eq!(rec_warm.stats.cache_hits, 1);
+    // The tail replay skips every deeper mapping-list retrieve (routes
+    // to a delegate can be free in a small overlay, so the structural
+    // guarantee is on fetches, not raw messages).
+    assert_eq!(
+        rec_cold.stats.mapping_fetches,
+        rec_cold.stats.schemas_visited
+    );
+    assert_eq!(
+        rec_warm.stats.mapping_fetches, 1,
+        "only the delegate hop fetched"
+    );
+    assert!(rec_warm.stats.messages <= rec_cold.stats.messages);
+}
+
+/// The per-peer caches are capacity-bounded: with room for one closure
+/// a second key evicts the first (counted in `cache_evictions`), and a
+/// warm bounded replay still returns identical rows with strictly
+/// fewer messages.
+#[test]
+fn bounded_cache_evicts_and_still_replays_correctly() {
+    let facts: Vec<(u8, u8, u8)> = (0..12).map(|i| (i, i % 3, 0)).collect();
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: PEERS,
+        seed: 42,
+        closure_cache_capacity: 1,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for i in 0..3 {
+        sys.insert_schema(
+            p0,
+            Schema::new(
+                format!("S{i}").as_str(),
+                [format!("organism{i}"), format!("length{i}")],
+            ),
         )
         .unwrap();
-    assert_eq!(rec.rows, warm.rows);
+        sys.insert_mapping(
+            p0,
+            format!("S{i}").as_str(),
+            format!("S{}", (i + 1) % 3).as_str(),
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new(
+                format!("organism{i}"),
+                format!("organism{}", (i + 1) % 3),
+            )],
+        )
+        .unwrap();
+    }
+    for &(e, s, _) in &facts {
+        let s = (s as usize) % 3;
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                format!("seq:E{:02}", e % 12).as_str(),
+                format!("S{s}#organism{s}").as_str(),
+                Term::literal("Aspergillus niger"),
+            ),
+        )
+        .unwrap();
+    }
+    let organism_in = |i: usize| {
+        QueryPlan::search(
+            TriplePatternQuery::new(
+                "x",
+                TriplePattern::new(
+                    PatternTerm::var("x"),
+                    PatternTerm::constant(Term::uri(format!("S{i}#organism{i}"))),
+                    PatternTerm::constant(Term::literal("%Aspergillus%")),
+                ),
+            )
+            .unwrap(),
+        )
+    };
+    let origin = PeerId(5);
+    let opts = QueryOptions::default();
+    let cold0 = sys.execute(origin, &organism_in(0), &opts).unwrap();
     assert_eq!(sys.cached_closures(), 1);
+    // A different predicate is a different key: it displaces the first
+    // closure (capacity 1) and the eviction is counted.
+    let cold1 = sys.execute(origin, &organism_in(1), &opts).unwrap();
+    assert_eq!(sys.cached_closures(), 1, "capacity bound respected");
+    assert_eq!(cold1.stats.cache_evictions, 1);
+    // S1's closure is the retained one: replaying it is warm (identical
+    // rows, strictly fewer messages); S0's was evicted, so it is cold
+    // again.
+    let warm1 = sys.execute(origin, &organism_in(1), &opts).unwrap();
+    assert_eq!(warm1.rows, cold1.rows);
+    assert_eq!(warm1.stats.cache_hits, 1);
+    assert_eq!(warm1.stats.mapping_fetches, 0);
+    assert!(warm1.stats.messages < cold1.stats.messages);
+    let re0 = sys.execute(origin, &organism_in(0), &opts).unwrap();
+    assert_eq!(re0.rows, cold0.rows);
+    assert_eq!(re0.stats.cache_hits, 0, "evicted entry misses");
+    // Epoch bumps still invalidate the bounded cache wholesale.
+    sys.insert_mapping(
+        p0,
+        "S0",
+        "S2",
+        MappingKind::Equivalence,
+        Provenance::Automatic,
+        vec![Correspondence::new("length0", "length2")],
+    )
+    .unwrap();
+    assert_eq!(sys.cached_closures(), 0, "stale cache counts as empty");
 }
 
 /// Bound-substitution joins share one closure per predicate: after the

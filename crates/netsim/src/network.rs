@@ -313,29 +313,46 @@ impl<N: Node<M>, M> Network<N, M> {
     /// Execute the next pending event. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some((at, ev)) = self.queue.pop() else {
-            return false;
-        };
+        self.step_node().is_some()
+    }
+
+    /// Execute the next pending event and return the node it targeted —
+    /// the hook an external scheduler (e.g. a query driver reacting to
+    /// each completion at its actual simulated completion time) uses to
+    /// inspect exactly the node whose state just changed instead of
+    /// sweeping the whole network. Returns `None` when the queue is
+    /// empty. The target node is reported even if the event was dropped
+    /// (crashed destination): its outcome buffers may still have moved.
+    pub fn step_node(&mut self) -> Option<NodeId> {
+        let (at, ev) = self.queue.pop()?;
         debug_assert!(at >= self.now, "time must not move backwards");
         self.now = at;
         match ev {
             Event::Deliver { from, to, msg } => {
                 if !self.slots[to.index()].alive {
                     self.stats.dropped_dead += 1;
-                    return true;
+                    return Some(to);
                 }
                 self.stats.delivered += 1;
                 self.dispatch(to, |node, ctx| node.handle_message(ctx, from, msg));
+                Some(to)
             }
             Event::Timer { node, token } => {
                 if !self.slots[node.index()].alive {
-                    return true;
+                    return Some(node);
                 }
                 self.stats.timers_fired += 1;
                 self.dispatch(node, |n, ctx| n.handle_timer(ctx, token));
+                Some(node)
             }
         }
-        true
+    }
+
+    /// Simulated time of the earliest pending event, if any — lets an
+    /// external scheduler decide whether to pump the network before a
+    /// deadline without executing anything.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     /// Run until no events remain.
@@ -508,6 +525,25 @@ mod tests {
         net.send_external(a, b, Msg::Ping(2));
         net.run_until_quiescent();
         assert_eq!(net.node(a).pongs, vec![2]);
+    }
+
+    #[test]
+    fn step_node_reports_the_handling_node() {
+        let mut net = lan();
+        let a = net.add_node(Echo::default());
+        let b = net.add_node(Echo::default());
+        net.send_external(a, b, Msg::Ping(3));
+        assert_eq!(net.peek_time(), Some(SimTime(1_000)));
+        // Ping lands at b, pong lands back at a.
+        assert_eq!(net.step_node(), Some(b));
+        assert_eq!(net.step_node(), Some(a));
+        assert_eq!(net.step_node(), None);
+        assert_eq!(net.peek_time(), None);
+        // A crashed destination is still reported as the target.
+        net.crash(b);
+        net.send_external(a, b, Msg::Ping(4));
+        assert_eq!(net.step_node(), Some(b));
+        assert_eq!(net.stats().dropped_dead, 1);
     }
 
     #[test]

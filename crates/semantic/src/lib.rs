@@ -57,7 +57,8 @@ pub mod prelude {
     };
     pub use crate::reformulate::{
         pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations,
-        CachedHop, ClosureCache, ClosureKey, ClosureWalk, ReformulateError, Reformulation, Step,
+        CacheCounters, CachedHop, ClosureCache, ClosureKey, ClosureWalk, ReformulateError,
+        Reformulation, Step,
     };
     pub use crate::schema::{Schema, SchemaId};
 }
@@ -73,7 +74,8 @@ pub use matcher::{
     lexical_similarity, match_profiles, MatcherConfig, SchemaProfile, ScoredCorrespondence,
 };
 pub use reformulate::{
-    pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations, CachedHop,
-    ClosureCache, ClosureKey, ClosureWalk, ReformulateError, Reformulation, Step,
+    pattern_schema, query_schema, reformulate_pattern, reformulate_step, reformulations,
+    CacheCounters, CachedHop, ClosureCache, ClosureKey, ClosureWalk, ReformulateError,
+    Reformulation, Step,
 };
 pub use schema::{Schema, SchemaId};

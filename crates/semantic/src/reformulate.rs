@@ -251,7 +251,20 @@ pub struct ClosureKey {
     pub ttl: usize,
 }
 
-/// An epoch-keyed memo of reformulation closures.
+/// Hit/miss/eviction accounting of one [`ClosureCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from a coherent entry.
+    pub hits: u64,
+    /// Lookups that found no coherent entry (stale-epoch clears count
+    /// here too — the caller pays the cold walk either way).
+    pub misses: u64,
+    /// Entries displaced by the capacity bound (epoch clears are not
+    /// evictions; they are invalidations).
+    pub evictions: u64,
+}
+
+/// An epoch-keyed, capacity-bounded LRU memo of reformulation closures.
 ///
 /// Every entry was computed against one mapping-network [`epoch`]
 /// ([`MappingRegistry::epoch`]); the cache stores the epoch it is
@@ -262,11 +275,23 @@ pub struct ClosureKey {
 /// BFS (and, in the distributed executor, its per-schema mapping-list
 /// retrieves) entirely.
 ///
+/// A bounded cache ([`ClosureCache::bounded`]) additionally models a
+/// real peer's finite memory: at most `capacity` closures are retained
+/// and inserting past the bound evicts the least-recently-used entry
+/// (lookups refresh recency). Eviction is a linear scan over the
+/// recency stamps — capacities are per-peer and small, so a pointer-
+/// chasing LRU list would cost more than it saves.
+///
 /// [`epoch`]: MappingRegistry::epoch
 #[derive(Debug, Clone, Default)]
 pub struct ClosureCache {
     epoch: u64,
-    entries: HashMap<ClosureKey, Arc<[CachedHop]>>,
+    entries: HashMap<ClosureKey, (Arc<[CachedHop]>, u64)>,
+    /// `None` = unbounded (the pre-PR-5 behaviour, kept for tests).
+    capacity: Option<usize>,
+    /// Monotone recency stamp; bumped by every lookup hit and insert.
+    tick: u64,
+    counters: CacheCounters,
 }
 
 impl ClosureCache {
@@ -274,27 +299,73 @@ impl ClosureCache {
         ClosureCache::default()
     }
 
+    /// A cache retaining at most `capacity` closures under LRU
+    /// eviction. A zero capacity caches nothing (every lookup misses).
+    pub fn bounded(capacity: usize) -> ClosureCache {
+        ClosureCache {
+            capacity: Some(capacity),
+            ..ClosureCache::default()
+        }
+    }
+
+    /// The configured capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// The hops recorded for `key`, if the cache is coherent with
     /// `epoch` and holds the entry. A stale cache (any older epoch) is
-    /// cleared on the spot and misses.
+    /// cleared on the spot and misses. Hits refresh the entry's
+    /// recency.
     pub fn lookup(&mut self, epoch: u64, key: &ClosureKey) -> Option<Arc<[CachedHop]>> {
         if self.epoch != epoch {
             self.entries.clear();
             self.epoch = epoch;
+            self.counters.misses += 1;
             return None;
         }
-        self.entries.get(key).cloned()
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((hops, stamp)) => {
+                *stamp = self.tick;
+                self.counters.hits += 1;
+                Some(hops.clone())
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
     }
 
     /// Record a fully-expanded closure computed at `epoch`. A stale
     /// cache is cleared first so entries from different epochs never
-    /// coexist.
+    /// coexist; a full cache evicts its least-recently-used entry.
     pub fn insert(&mut self, epoch: u64, key: ClosureKey, hops: Vec<CachedHop>) {
         if self.epoch != epoch {
             self.entries.clear();
             self.epoch = epoch;
         }
-        self.entries.insert(key, hops.into());
+        if self.capacity == Some(0) {
+            return;
+        }
+        self.tick += 1;
+        let fresh = !self.entries.contains_key(&key);
+        if fresh {
+            if let Some(cap) = self.capacity {
+                while self.entries.len() >= cap {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, (_, stamp))| *stamp)
+                        .map(|(k, _)| k.clone())
+                        .expect("len >= cap >= 1 implies an entry");
+                    self.entries.remove(&lru);
+                    self.counters.evictions += 1;
+                }
+            }
+        }
+        self.entries.insert(key, (hops.into(), self.tick));
     }
 
     /// The epoch the stored entries were computed at.
@@ -309,6 +380,22 @@ impl ClosureCache {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Lifetime hit/miss/eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Number of entries valid under `epoch` — the whole cache when
+    /// coherent, zero when stale (a stale cache counts as empty even
+    /// before its lazy clear).
+    pub fn coherent_len(&self, epoch: u64) -> usize {
+        if self.epoch == epoch {
+            self.entries.len()
+        } else {
+            0
+        }
     }
 }
 
@@ -640,6 +727,68 @@ mod tests {
         cache.insert(reg.epoch(), key.clone(), hops);
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(reg.epoch(), &key).is_some());
+    }
+
+    fn hop(schema: &str) -> CachedHop {
+        CachedHop {
+            schema: SchemaId::new(schema),
+            predicate: Uri::new(format!("{schema}#a")),
+            depth: 0,
+            quality: 1.0,
+        }
+    }
+
+    fn key(schema: &str) -> ClosureKey {
+        ClosureKey {
+            schema: SchemaId::new(schema),
+            attr: "a".to_string(),
+            ttl: 10,
+        }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let mut cache = ClosureCache::bounded(2);
+        assert_eq!(cache.capacity(), Some(2));
+        cache.insert(0, key("A"), vec![hop("A")]);
+        cache.insert(0, key("B"), vec![hop("B")]);
+        assert_eq!(cache.len(), 2);
+        // Touch A so B becomes the LRU entry.
+        assert!(cache.lookup(0, &key("A")).is_some());
+        cache.insert(0, key("C"), vec![hop("C")]);
+        assert_eq!(cache.len(), 2, "capacity bound respected");
+        assert!(cache.lookup(0, &key("A")).is_some(), "A survived (recent)");
+        assert!(cache.lookup(0, &key("B")).is_none(), "B evicted (LRU)");
+        assert!(cache.lookup(0, &key("C")).is_some());
+        let c = cache.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn bounded_cache_still_invalidates_on_epoch_bump() {
+        let mut cache = ClosureCache::bounded(4);
+        cache.insert(0, key("A"), vec![hop("A")]);
+        assert!(cache.lookup(0, &key("A")).is_some());
+        // A newer epoch clears everything — that is an invalidation,
+        // not an eviction.
+        assert!(cache.lookup(1, &key("A")).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().evictions, 0);
+        // Re-inserting a present key never evicts.
+        cache.insert(1, key("A"), vec![hop("A")]);
+        cache.insert(1, key("A"), vec![hop("A")]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let mut cache = ClosureCache::bounded(0);
+        cache.insert(0, key("A"), vec![hop("A")]);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(0, &key("A")).is_none());
     }
 
     #[test]

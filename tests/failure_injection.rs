@@ -123,6 +123,202 @@ fn poisoned_mapping_cannot_break_unrelated_queries() {
 }
 
 #[test]
+fn crashed_destination_mid_flight_fails_the_hop_not_the_session() {
+    // A 4-schema equivalence chain; the session keeps several
+    // subqueries in flight (window 4). Crashing the peers responsible
+    // for a deep reformulated predicate's key while the walk is in
+    // flight must surface as ExecStats::failures on that hop — the
+    // session keeps draining and terminates instead of hanging, and
+    // only the crashed schema's rows are missing.
+    use gridvine_core::{QueryPlan, ResultEvent};
+    let build = || {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 32,
+            // Uniform hashing scatters the four predicate keys over
+            // distinct peers (order-preserving hashing would co-locate
+            // the common "S…#a…" prefix, so one crash would take out
+            // every lookup).
+            hash: gridvine_pgrid::HashKind::Uniform,
+            ..GridVineConfig::default()
+        });
+        let p0 = PeerId(0);
+        for i in 0..4 {
+            sys.insert_schema(p0, Schema::new(format!("S{i}").as_str(), [format!("a{i}")]))
+                .unwrap();
+        }
+        for i in 0..3 {
+            sys.insert_mapping(
+                p0,
+                format!("S{i}").as_str(),
+                format!("S{}", i + 1).as_str(),
+                MappingKind::Equivalence,
+                Provenance::Manual,
+                vec![Correspondence::new(format!("a{i}"), format!("a{}", i + 1))],
+            )
+            .unwrap();
+        }
+        for i in 0..4 {
+            sys.insert_triple(
+                p0,
+                Triple::new(
+                    format!("seq:R{i}").as_str(),
+                    format!("S{i}#a{i}").as_str(),
+                    Term::literal("Aspergillus niger"),
+                ),
+            )
+            .unwrap();
+        }
+        sys
+    };
+    let q = gridvine_rdf::TriplePatternQuery::new(
+        "x",
+        gridvine_rdf::TriplePattern::new(
+            gridvine_rdf::PatternTerm::var("x"),
+            gridvine_rdf::PatternTerm::constant(Term::uri("S0#a0")),
+            gridvine_rdf::PatternTerm::constant(Term::literal("%Aspergillus%")),
+        ),
+    )
+    .unwrap();
+    let plan = QueryPlan::search(q);
+    let options = gridvine_core::QueryOptions::new().window(4);
+
+    // Baseline: all peers up, every schema answers.
+    let mut healthy = build();
+    let full = healthy.execute(PeerId(5), &plan, &options).unwrap();
+    assert_eq!(full.rows.len(), 4);
+    assert_eq!(full.stats.failures, 0);
+
+    // Crash run: open the session, pull one event (subqueries now in
+    // flight), then crash every peer responsible for the deep S3
+    // lookup's routing key while the walk is still going.
+    let mut sys = build();
+    let s3_key = sys.key_of("S3#a3");
+    let victims: Vec<PeerId> = sys.topology().responsible(&s3_key).to_vec();
+    assert!(!victims.is_empty());
+    let outcome = {
+        let mut session = sys.open(PeerId(5), &plan, &options).unwrap();
+        let first = session.next_event().unwrap();
+        assert!(first.is_some(), "the walk started");
+        assert!(session.in_flight() > 0, "subqueries are in flight");
+        drop(session);
+        for &v in &victims {
+            sys.crash_peer(v);
+        }
+        let mut session = sys.open(PeerId(5), &plan, &options).unwrap();
+        let mut events = 0usize;
+        while let Some(ev) = session.next_event().unwrap() {
+            events += 1;
+            assert!(events < 10_000, "the session must terminate, not hang");
+            if let ResultEvent::Stats(_) = ev {}
+        }
+        assert!(session.is_complete());
+        session.into_outcome()
+    };
+    assert!(
+        outcome.stats.failures >= 1,
+        "the crashed destination is recorded as a failure: {:?}",
+        outcome.stats
+    );
+    assert_eq!(
+        outcome.rows.len(),
+        3,
+        "only the crashed schema's row is missing"
+    );
+    assert_eq!(sys.pending_events(), 0);
+
+    // Recovery restores the full answer.
+    for &v in &victims {
+        sys.recover_peer(v);
+    }
+    let healed = sys.execute(PeerId(5), &plan, &options).unwrap();
+    assert_eq!(healed.rows.len(), 4);
+}
+
+#[test]
+fn failure_truncated_closure_is_never_cached_as_complete() {
+    // Crash the peer serving an intermediate schema's mapping list: the
+    // walk loses that subtree (failure recorded), and the truncated
+    // closure must NOT be committed to the origin's cache — after the
+    // peer recovers, the same query must see the full closure again
+    // instead of replaying the amputated one.
+    use gridvine_core::QueryPlan;
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 32,
+        hash: gridvine_pgrid::HashKind::Uniform,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for i in 0..3 {
+        sys.insert_schema(p0, Schema::new(format!("T{i}").as_str(), [format!("a{i}")]))
+            .unwrap();
+    }
+    for i in 0..2 {
+        sys.insert_mapping(
+            p0,
+            format!("T{i}").as_str(),
+            format!("T{}", i + 1).as_str(),
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new(format!("a{i}"), format!("a{}", i + 1))],
+        )
+        .unwrap();
+    }
+    for i in 0..3 {
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                format!("seq:T{i}").as_str(),
+                format!("T{i}#a{i}").as_str(),
+                Term::literal("Aspergillus niger"),
+            ),
+        )
+        .unwrap();
+    }
+    let q = gridvine_rdf::TriplePatternQuery::new(
+        "x",
+        gridvine_rdf::TriplePattern::new(
+            gridvine_rdf::PatternTerm::var("x"),
+            gridvine_rdf::PatternTerm::constant(Term::uri("T0#a0")),
+            gridvine_rdf::PatternTerm::constant(Term::literal("%Aspergillus%")),
+        ),
+    )
+    .unwrap();
+    let plan = QueryPlan::search(q);
+    let options = gridvine_core::QueryOptions::default();
+
+    // Crash the peers serving T1's mapping list: expanding the T1 hop
+    // fails, so T2 is never discovered.
+    let t1_schema_key = sys.key_of("T1");
+    let victims: Vec<PeerId> = sys.topology().responsible(&t1_schema_key).to_vec();
+    for &v in &victims {
+        sys.crash_peer(v);
+    }
+    let truncated = sys.execute(PeerId(5), &plan, &options).unwrap();
+    assert!(truncated.stats.failures >= 1, "{:?}", truncated.stats);
+    assert_eq!(truncated.rows.len(), 2, "T2 is unreachable while down");
+    assert_eq!(
+        sys.cached_closures(),
+        0,
+        "a failure-truncated closure must never be committed"
+    );
+
+    // Recovery: the same query re-walks the full closure (no stale
+    // replay) and only now memoizes it.
+    for &v in &victims {
+        sys.recover_peer(v);
+    }
+    let healed = sys.execute(PeerId(5), &plan, &options).unwrap();
+    assert_eq!(healed.rows.len(), 3, "full closure after recovery");
+    assert_eq!(healed.stats.failures, 0);
+    assert_eq!(sys.cached_closures(), 1);
+    // And the memoized closure is the complete one.
+    let warm = sys.execute(PeerId(5), &plan, &options).unwrap();
+    assert_eq!(warm.rows, healed.rows);
+    assert_eq!(warm.stats.cache_hits, 1);
+    assert_eq!(warm.stats.mapping_fetches, 0);
+}
+
+#[test]
 fn self_organization_with_noisy_matcher_still_terminates() {
     let w = Workload::generate(WorkloadConfig::small(9));
     let mut sys = GridVineSystem::new(GridVineConfig {
