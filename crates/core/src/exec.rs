@@ -90,7 +90,12 @@ pub struct QueryOptions {
     pub(crate) ttl: Option<usize>,
     pub(crate) limit: Option<usize>,
     pub(crate) window: usize,
+    pub(crate) max_retries: usize,
 }
+
+/// Default retransmit budget of one routed request (see
+/// [`QueryOptions::max_retries`]).
+pub(crate) const DEFAULT_MAX_RETRIES: usize = 3;
 
 impl Default for QueryOptions {
     /// Iterative reformulation, bound-substitution joins, the system's
@@ -102,6 +107,7 @@ impl Default for QueryOptions {
             ttl: None,
             limit: None,
             window: 1,
+            max_retries: DEFAULT_MAX_RETRIES,
         }
     }
 }
@@ -154,6 +160,20 @@ impl QueryOptions {
         self.limit = Some(limit);
         self
     }
+
+    /// Retransmit budget per routed request: a request whose reply
+    /// times out (lost under [`GridVineConfig::fault`](crate::GridVineConfig),
+    /// or the destination is churn-down) is retransmitted with
+    /// exponential backoff + jitter up to `retries` times before the
+    /// unit resolves as a recorded failure — the closure walk
+    /// terminates that branch and the session continues with partial
+    /// results (see [`crate::system::sched`]). Irrelevant under the
+    /// default null fault config with no churn, where no request ever
+    /// times out.
+    pub fn max_retries(mut self, retries: usize) -> QueryOptions {
+        self.max_retries = retries;
+        self
+    }
 }
 
 /// Execution counters shared by every plan shape.
@@ -187,6 +207,22 @@ pub struct ExecStats {
     pub cache_misses: usize,
     /// Closure-cache entries displaced by a capacity bound.
     pub cache_evictions: usize,
+    /// Routed request/response exchanges driven through the retry
+    /// protocol (see [`crate::system::sched`]); charged at issue.
+    pub requests: usize,
+    /// Protocol-level transmissions: first sends plus retransmits
+    /// (`sends == requests + retransmits` always holds).
+    pub sends: usize,
+    /// Request attempts whose reply never arrived before the retry
+    /// timer fired (lost, or the destination was churn-down).
+    pub timeouts: usize,
+    /// Timed-out requests sent again after backoff.
+    pub retransmits: usize,
+    /// Duplicated unit replies dropped by request-id dedup. Charged at
+    /// *delivery* (unlike every other counter, which charges at
+    /// issue), so duplicates of a session's final units may land after
+    /// the last per-unit `Stats` delta was emitted.
+    pub duplicates_dropped: usize,
 }
 
 /// What one [`GridVineSystem::execute`] call produced: solution rows
@@ -677,11 +713,9 @@ impl GridVineSystem {
         let key = self.key_of(term.lexical());
         let route = self.overlay.route(origin, &key, &mut self.rng)?;
         self.overlay.charge_response(origin, route.destination);
-        if !self.is_peer_up(route.destination) {
-            // The request (and the response charge) went out; the
-            // crashed destination will never answer.
-            return Err(SystemError::PeerDown(route.destination));
-        }
+        // The request (and the response charge) went out; the retry
+        // protocol decides whether a reply ever comes back.
+        self.proto_request(origin, route.destination)?;
         let db = &self.local_dbs[route.destination.index()];
         Ok(db.match_pattern_iter(pattern).collect())
     }
@@ -703,9 +737,7 @@ impl GridVineSystem {
             Strategy::Recursive => {
                 let schema_key = self.key_of(schema.as_str());
                 let route = self.overlay.route(at_peer, &schema_key, &mut self.rng)?;
-                if self.crashed.contains(&route.destination) {
-                    return Err(SystemError::PeerDown(route.destination));
-                }
+                self.proto_request(at_peer, route.destination)?;
                 let items = self
                     .overlay
                     .store(route.destination)

@@ -306,8 +306,10 @@ struct WanDrive {
     /// tracks[query][pattern]
     tracks: Vec<Vec<WanTrack>>,
     submitted_at: Vec<SimTime>,
-    /// Closure plans' cache keys (None for other shapes / TTL 0).
-    closure_keys: Vec<Option<ClosureKey>>,
+    /// Cache keys of cold closure expansions, `[query][pattern]`:
+    /// closure plans use pattern 0, join plans one slot per pattern
+    /// (None for non-closure shapes, TTL 0 and warm replays).
+    closure_keys: Vec<Vec<Option<ClosureKey>>>,
     skipped_flags: Vec<bool>,
     skipped: usize,
     unroutable: usize,
@@ -517,7 +519,16 @@ impl Deployment {
             origins: Vec::with_capacity(plans.len()),
             tracks: Vec::with_capacity(plans.len()),
             submitted_at: Vec::with_capacity(plans.len()),
-            closure_keys: vec![None; plans.len()],
+            closure_keys: plans
+                .iter()
+                .map(|p| {
+                    let patterns = match p {
+                        QueryPlan::Join { query, .. } => query.patterns.len().max(1),
+                        _ => 1,
+                    };
+                    vec![None; patterns]
+                })
+                .collect(),
             skipped_flags: vec![false; plans.len()],
             skipped: 0,
             unroutable: 0,
@@ -660,7 +671,7 @@ impl Deployment {
                                 }
                                 // …and start discovering mappings.
                                 if ttl > 0 {
-                                    st.closure_keys[qi] = Some(key);
+                                    st.closure_keys[qi][0] = Some(key);
                                     track.recorded.push(CachedHop {
                                         schema: schema.clone(),
                                         predicate: crate::system::exec::pattern_predicate(
@@ -708,21 +719,66 @@ impl Deployment {
                             None => st.unroutable += 1,
                         }
                         if ttl > 0 {
-                            if let Ok((schema, _)) = gridvine_semantic::pattern_schema(pat) {
+                            if let Ok((schema, attr)) = gridvine_semantic::pattern_schema(pat) {
                                 qtracks[pi].visited.insert(schema.clone());
-                                st.mapping_fetches += 1;
-                                qtracks[pi].open_fetches += 1;
-                                subs.push((
-                                    self.keyspace().key_of(schema.as_str()),
-                                    WanWork::Schema {
-                                        query: qi,
-                                        pattern: pi,
-                                        schema,
-                                        pat: pat.clone(),
+                                let key = ClosureKey {
+                                    schema: schema.clone(),
+                                    attr,
+                                    ttl,
+                                };
+                                // Join patterns ride the same per-origin
+                                // closure caches as single-pattern
+                                // closure plans (limited batches bypass
+                                // them for the same strictly-fewer-
+                                // messages reason).
+                                let cached = (options.limit.is_none())
+                                    .then(|| self.caches[origin].lookup(self.mediation_epoch, &key))
+                                    .flatten();
+                                if let Some(hops) = cached {
+                                    // Warm replay: submit the recorded
+                                    // reformulated lookups directly —
+                                    // zero mapping fetches. The depth-0
+                                    // lookup was already submitted
+                                    // above.
+                                    st.cache_hits += 1;
+                                    for hop in hops.iter().filter(|h| h.depth > 0) {
+                                        qtracks[pi].visited.insert(hop.schema.clone());
+                                        let rp = with_predicate(pat, &hop.predicate);
+                                        if let Some((_, term)) = rp.routing_constant() {
+                                            st.data_lookups += 1;
+                                            subs.push((
+                                                self.keyspace().key_of(term.lexical()),
+                                                WanWork::Data {
+                                                    query: qi,
+                                                    pattern: pi,
+                                                    pat: rp,
+                                                    initial: false,
+                                                },
+                                            ));
+                                        }
+                                    }
+                                } else {
+                                    st.closure_keys[qi][pi] = Some(key);
+                                    qtracks[pi].recorded.push(CachedHop {
+                                        schema: schema.clone(),
+                                        predicate: crate::system::exec::pattern_predicate(pat),
                                         depth: 0,
                                         quality: 1.0,
-                                    },
-                                ));
+                                    });
+                                    st.mapping_fetches += 1;
+                                    qtracks[pi].open_fetches += 1;
+                                    subs.push((
+                                        self.keyspace().key_of(schema.as_str()),
+                                        WanWork::Schema {
+                                            query: qi,
+                                            pattern: pi,
+                                            schema,
+                                            pat: pat.clone(),
+                                            depth: 0,
+                                            quality: 1.0,
+                                        },
+                                    ));
+                                }
                             }
                         }
                     }
@@ -1027,7 +1083,7 @@ impl Deployment {
                     };
                     st.tracks[query][pattern].visited.insert(dest.clone());
                     let chain_quality = quality.min(m.quality);
-                    if st.closure_keys[query].is_some() {
+                    if st.closure_keys[query][pattern].is_some() {
                         st.tracks[query][pattern].recorded.push(CachedHop {
                             schema: dest.clone(),
                             predicate: crate::system::exec::pattern_predicate(&np),
@@ -1081,7 +1137,7 @@ impl Deployment {
                     && !track.limited
                     && !track.recorded.is_empty()
                 {
-                    if let Some(key) = st.closure_keys[query].clone() {
+                    if let Some(key) = st.closure_keys[query][pattern].clone() {
                         let hops = std::mem::take(&mut track.recorded);
                         self.caches[st.origins[query]].insert(self.mediation_epoch, key, hops);
                     }
@@ -1462,6 +1518,51 @@ mod tests {
             cold.mapping_fetches
         );
         assert!(warm.messages < cold.messages);
+    }
+
+    #[test]
+    fn warm_origin_replays_join_closures_without_mapping_fetches() {
+        // Same story as the closure test above, but for `Join` plans:
+        // every pattern of a conjunctive query routes its closure
+        // expansion through the origin's cache, so a repeated join from
+        // a warm origin replays every pattern's recorded hops — fewer
+        // mapping fetches, identical answers.
+        let reps = 30usize;
+        let run = |capacity: usize| {
+            let (mut d, w) = chained_deployment(6);
+            d.config.closure_cache_capacity = capacity;
+            d.caches = (0..d.config.peers)
+                .map(|_| ClosureCache::bounded(capacity))
+                .collect();
+            let gen = QueryGenerator::new(&w, QueryConfig::default());
+            let mut r = rng::seeded(5);
+            let q = gen.conjunctive(&mut r).query;
+            let plans: Vec<QueryPlan> = (0..reps)
+                .map(|_| QueryPlan::conjunctive(q.clone()))
+                .collect();
+            let rep = d.run_plans(
+                &plans,
+                &WanBatchOptions {
+                    ttl: 6,
+                    mean_interarrival: Some(SimDuration::from_secs(30)),
+                    limit: None,
+                },
+            );
+            (rep, d.cached_closures())
+        };
+        let (cold, cached) = run(0); // capacity 0: caching disabled
+        let (warm, warm_cached) = run(64);
+        assert_eq!(cached, 0);
+        assert!(warm_cached > 0, "origins memoized per-pattern closures");
+        assert_eq!(cold.answered, warm.answered, "replays answer identically");
+        assert_eq!(cold.cache_hits, 0);
+        assert!(warm.cache_hits > 0, "repeated origins hit the cache");
+        assert!(
+            warm.mapping_fetches < cold.mapping_fetches,
+            "join cache hits skip mapping fetches: {} vs {}",
+            warm.mapping_fetches,
+            cold.mapping_fetches
+        );
     }
 
     #[test]

@@ -37,6 +37,47 @@
 //! and keeps the model deterministic. The WAN harness remains the
 //! place for heavy-tailed regional latency distributions.
 //!
+//! ## The request/response protocol
+//!
+//! Since PR 6 a unit is a *real* request/response exchange riding the
+//! system's fault process ([`GridVineConfig::fault`](super::GridVineConfig)):
+//! each routed request may be lost (it times out and is retransmitted
+//! with exponential backoff + jitter, up to
+//! [`QueryOptions::max_retries`](super::exec::QueryOptions::max_retries)),
+//! each reply carries a request id and may be duplicated (the session
+//! deduplicates by id — rows, messages and accounting are never
+//! double-charged) or reordered (extra delivery jitter). A unit's
+//! lifecycle:
+//!
+//! ```text
+//!           issue (logical work runs, counters charge)
+//!             │
+//!             ▼
+//!  ┌──► in flight ───reply───► completed (delivered once; any
+//!  │          │                duplicate reply with the same
+//!  │       timeout             request id is dropped)
+//!  │          ▼
+//!  └── retransmit (backoff RETRY_TIMEOUT·2^k + jitter)
+//!             │
+//!      retries exhausted, or destination crashed
+//!             ▼
+//!          failed (recorded in ExecStats::{failures, timeouts};
+//!          the closure walk terminates that branch and continues)
+//! ```
+//!
+//! The retry loop is resolved *at issue* — the backoff delays it
+//! accumulates are folded into the unit's completion instant — so the
+//! canonical issue order, the routing RNG stream and the row multiset
+//! stay bit-identical to the fault-free run whenever every request
+//! eventually gets through; a null fault config consumes no fault
+//! randomness at all and reproduces the pre-protocol scheduler
+//! exactly. Failure injection ([`GridVineSystem::crash_peer`](super::GridVineSystem::crash_peer))
+//! fails a request immediately — retransmitting to a peer held down
+//! forever cannot help — while churn-driven downtime
+//! ([`GridVineSystem::install_churn`](super::GridVineSystem::install_churn))
+//! times out per attempt and succeeds on the first attempt scheduled
+//! after recovery.
+//!
 //! ## Per-peer state
 //!
 //! Each peer owns a `PeerExecState`: a monotone clock (consecutive
@@ -58,6 +99,11 @@ pub(crate) const PROCESSING: SimDuration = SimDuration::from_micros(250);
 /// Simulated network cost of one overlay message.
 pub(crate) const PER_MESSAGE: SimDuration = SimDuration::from_millis(1);
 
+/// Base reply timeout of the retry protocol: attempt `k` waits
+/// `RETRY_TIMEOUT << k` (plus jitter up to half that) before
+/// retransmitting.
+pub(crate) const RETRY_TIMEOUT: SimDuration = SimDuration::from_millis(5);
+
 /// Simulated latency of one unit that charged `messages` overlay
 /// messages.
 pub(crate) fn unit_latency(messages: u64) -> SimDuration {
@@ -69,6 +115,10 @@ pub(crate) fn unit_latency(messages: u64) -> SimDuration {
 /// simulated clock reaches it.
 #[derive(Debug)]
 pub(crate) struct QueuedReply {
+    /// The issuing request's id. A faulty run may schedule the same
+    /// reply twice (reply duplication); the session delivers each id
+    /// once and drops later copies.
+    pub(crate) request_id: u64,
     pub(crate) events: Vec<ResultEvent>,
 }
 

@@ -133,7 +133,7 @@ use crate::plan::{object_prefix_core, QueryPlan};
 use gridvine_netsim::{SimDuration, SimTime};
 use gridvine_rdf::join::{hash_join_rows, TermInterner, VarTable, UNBOUND};
 use gridvine_rdf::{Binding, ConjunctiveQuery};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One increment of a [`QuerySession`] (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
@@ -271,6 +271,12 @@ pub struct QuerySession<'a> {
     limit: Option<usize>,
     window: usize,
     start_messages: u64,
+    /// Protocol counters at open (the session's
+    /// requests/sends/timeouts/retransmits are deltas off these).
+    start_proto: ProtoCounters,
+    /// Request ids already delivered: a duplicated reply popping a
+    /// second time is dropped, never double-charged.
+    seen_replies: HashSet<u64>,
     /// Cumulative counters at *issue* (messages tracked separately off
     /// the overlay counter).
     stats: ExecStats,
@@ -317,6 +323,10 @@ impl GridVineSystem {
         options: &QueryOptions,
     ) -> Result<QuerySession<'a>, SystemError> {
         let ttl = options.ttl.unwrap_or(self.config.ttl);
+        // The session owns the system for its lifetime: arm the retry
+        // protocol with this query's budget and snapshot its counters.
+        self.proto.max_retries = options.max_retries;
+        let start_proto = self.proto.counters;
         let mut stats = ExecStats::default();
         let state = match plan {
             QueryPlan::Pattern { query } => {
@@ -431,6 +441,8 @@ impl GridVineSystem {
             limit: options.limit,
             window: options.window.max(1),
             start_messages: self.overlay.messages_sent(),
+            start_proto,
+            seen_replies: HashSet::new(),
             stats,
             issued_reported: ExecStats::default(),
             rows: Vec::new(),
@@ -478,6 +490,13 @@ impl<'a> QuerySession<'a> {
             // Deliver the earliest reply, advancing the clock.
             if let Some((at, reply)) = self.sys.exec_state_mut(self.origin).queue.pop() {
                 self.sim_now = self.sim_now.max(at);
+                if !self.seen_replies.insert(reply.request_id) {
+                    // A duplicated reply: this unit was already
+                    // delivered and folded in — drop the copy so rows,
+                    // messages and accounting are never double-charged.
+                    self.stats.duplicates_dropped += 1;
+                    continue;
+                }
                 self.delivered.extend(reply.events);
                 continue;
             }
@@ -498,6 +517,11 @@ impl<'a> QuerySession<'a> {
     pub fn stats(&self) -> ExecStats {
         let mut s = self.stats;
         s.messages = self.sys.overlay.messages_sent() - self.start_messages;
+        let c = self.sys.proto.counters;
+        s.requests = c.requests - self.start_proto.requests;
+        s.sends = c.sends - self.start_proto.sends;
+        s.timeouts = c.timeouts - self.start_proto.timeouts;
+        s.retransmits = c.retransmits - self.start_proto.retransmits;
         s
     }
 
@@ -538,8 +562,7 @@ impl<'a> QuerySession<'a> {
     /// [`QueryOutcome`] `execute` would have returned; mid-flight it
     /// cancels the remaining scheduled replies.
     pub fn into_outcome(mut self) -> QueryOutcome {
-        let mut stats = self.stats;
-        stats.messages = self.sys.overlay.messages_sent() - self.start_messages;
+        let stats = self.stats();
         let mut rows = std::mem::take(&mut self.rows);
         match &self.order_by {
             RowOrder::ByTerm(var) => rows.sort_by(|a, b| a.get(var).cmp(&b.get(var))),
@@ -563,6 +586,11 @@ impl<'a> QuerySession<'a> {
             self.state = State::Done;
             return Ok(());
         }
+        // Arm the retry protocol for this unit: attempts are scheduled
+        // against the current session clock, and any backoff delay the
+        // unit's requests accumulate is folded into its completion.
+        self.sys.proto.now = self.sim_now;
+        self.sys.proto.delay = SimDuration::ZERO;
         let mut state = std::mem::replace(&mut self.state, State::Done);
         let mut out: Vec<ResultEvent> = Vec::new();
         let result = match &mut state {
@@ -616,11 +644,21 @@ impl<'a> QuerySession<'a> {
             cache_hits: cur.cache_hits - prev.cache_hits,
             cache_misses: cur.cache_misses - prev.cache_misses,
             cache_evictions: cur.cache_evictions - prev.cache_evictions,
+            requests: cur.requests - prev.requests,
+            sends: cur.sends - prev.sends,
+            timeouts: cur.timeouts - prev.timeouts,
+            retransmits: cur.retransmits - prev.retransmits,
+            duplicates_dropped: cur.duplicates_dropped - prev.duplicates_dropped,
         };
         self.issued_reported = cur;
         events.push(ResultEvent::Stats(delta));
         let send = ready.max(self.sim_now);
-        let completion = send + sched::unit_latency(delta.messages);
+        // The unit's reply lands after its overlay work plus whatever
+        // backoff delay its retried requests accumulated, plus any
+        // reorder jitter the fault process deals the reply itself.
+        let (reply_jitter, duplicate) = self.sys.proto.reply_fate();
+        let completion =
+            send + self.sys.proto.delay + sched::unit_latency(delta.messages) + reply_jitter;
         self.max_completion = self.max_completion.max(completion);
         match stamp {
             Stamp::None => {}
@@ -635,10 +673,21 @@ impl<'a> QuerySession<'a> {
                 }
             }
         }
-        self.sys
-            .exec_state_mut(self.origin)
-            .queue
-            .schedule(completion, QueuedReply { events });
+        let request_id = self.sys.proto.next_request_id();
+        let queue = &mut self.sys.exec_state_mut(self.origin).queue;
+        if let Some(trailing) = duplicate {
+            // The duplicated reply carries the same events under the
+            // same request id; delivery-side dedup drops whichever
+            // copy lands second.
+            queue.schedule(
+                completion + trailing,
+                QueuedReply {
+                    request_id,
+                    events: events.clone(),
+                },
+            );
+        }
+        queue.schedule(completion, QueuedReply { request_id, events });
     }
 
     /// Admit freshly-shipped bindings of a single-pattern plan: project
@@ -702,6 +751,7 @@ impl<'a> QuerySession<'a> {
             return Ok(StepOutcome::Idle);
         };
         let dest = self.sys.route_retrieve(self.origin, &probe)?;
+        self.sys.proto_request(self.origin, dest)?;
         self.stats.subqueries += 1;
         let db = &self.sys.local_dbs[dest.index()];
         let bindings: Vec<Binding> = db.match_pattern_iter(&query.pattern).collect();

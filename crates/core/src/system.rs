@@ -13,6 +13,8 @@
 //! wall-clock latency.
 
 use crate::item::{KeySpace, MediationItem};
+use gridvine_netsim::churn::{ChurnEvent, ChurnKind};
+use gridvine_netsim::{FaultConfig, SimDuration, SimTime};
 use gridvine_pgrid::{
     BitString, HashKind, KeyHasher, Overlay, PeerId, RouteError, Topology, UpdateOp,
 };
@@ -59,6 +61,17 @@ pub struct GridVineConfig {
     /// most this many fully-expanded closures are retained per peer,
     /// least-recently-used evicted first. Zero disables caching.
     pub closure_cache_capacity: usize,
+    /// Message-fault process applied to the scheduler's
+    /// subquery/reply exchanges (see [`sched`]): `loss` makes request
+    /// attempts time out and retransmit with backoff, `duplication`
+    /// delivers a unit's reply twice (deduplicated by request id),
+    /// `reorder` adds reply delivery jitter. Per-link overrides are
+    /// keyed by peer index (`from` = issuing peer, `to` =
+    /// destination). Null by default — a null config consumes no
+    /// fault randomness and is bit-identical to the fault-free
+    /// scheduler.
+    #[serde(default)]
+    pub fault: FaultConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -73,8 +86,112 @@ impl Default for GridVineConfig {
             ttl: 10,
             domain: "protein-sequences".to_string(),
             closure_cache_capacity: 64,
+            fault: FaultConfig::none(),
             seed: 0x6B1D,
         }
+    }
+}
+
+/// Running counters of the request/retry protocol (see the [`sched`]
+/// module docs): accumulated system-wide, diffed per session into
+/// [`exec::ExecStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ProtoCounters {
+    pub(crate) requests: usize,
+    pub(crate) sends: usize,
+    pub(crate) timeouts: usize,
+    pub(crate) retransmits: usize,
+}
+
+/// State of the subquery request/response protocol: the fault rates,
+/// the active session's retry budget and clock, and the deterministic
+/// RNG stream driving loss/duplication/reorder draws — independent
+/// from the routing RNG, so enabling faults never perturbs route
+/// selection (and a null config draws nothing at all).
+pub(crate) struct ProtocolState {
+    /// Fault process for subquery/reply exchanges
+    /// ([`GridVineConfig::fault`]).
+    pub(crate) fault: FaultConfig,
+    /// Retransmit budget of the active session's requests (set from
+    /// [`exec::QueryOptions::max_retries`] at open).
+    pub(crate) max_retries: usize,
+    /// The session clock at the unit currently being issued — the
+    /// attempt-time base for churn-liveness checks.
+    pub(crate) now: SimTime,
+    /// Timeout/backoff delay accumulated by the unit being issued
+    /// (reset per issue, folded into the unit's completion instant).
+    pub(crate) delay: SimDuration,
+    /// Next request id.
+    next_request: u64,
+    pub(crate) counters: ProtoCounters,
+    rng: StdRng,
+}
+
+impl ProtocolState {
+    fn new(config: &GridVineConfig) -> ProtocolState {
+        config.fault.validate();
+        ProtocolState {
+            fault: config.fault.clone(),
+            max_retries: exec::DEFAULT_MAX_RETRIES,
+            now: SimTime::ZERO,
+            delay: SimDuration::ZERO,
+            next_request: 0,
+            counters: ProtoCounters::default(),
+            rng: gridvine_netsim::rng::derive(config.seed, 0xB0FF),
+        }
+    }
+
+    /// The effective loss rate from `from` to `to` (directional
+    /// per-link overrides first, then the base rate).
+    fn loss_rate(&self, from: PeerId, to: PeerId) -> f64 {
+        for l in &self.fault.links {
+            if l.from == from.index() && l.to == to.index() {
+                return l.loss;
+            }
+        }
+        self.fault.loss
+    }
+
+    /// One jitter draw, bounded by the config's `reorder_jitter`.
+    fn jitter(&mut self) -> SimDuration {
+        let max = self.fault.reorder_jitter.0;
+        if max == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration(self.rng.gen_range(0..=max))
+    }
+
+    /// Backoff delay charged after the timeout of attempt `attempt`
+    /// (0-based): `RETRY_TIMEOUT << attempt` plus jitter up to half
+    /// that.
+    fn backoff(&mut self, attempt: usize) -> SimDuration {
+        let base = sched::RETRY_TIMEOUT.0 << attempt.min(10);
+        SimDuration(base + self.rng.gen_range(0..=base / 2))
+    }
+
+    /// Reply-side fault draws for one completed unit: extra reorder
+    /// jitter on the reply's delivery, and — when the duplication draw
+    /// hits — the trailing delay of a duplicate copy. Draws are gated
+    /// on non-zero rates so the null config consumes no randomness.
+    pub(crate) fn reply_fate(&mut self) -> (SimDuration, Option<SimDuration>) {
+        let mut jitter = SimDuration::ZERO;
+        if self.fault.reorder > 0.0 && self.rng.gen::<f64>() < self.fault.reorder {
+            jitter = self.jitter();
+        }
+        let duplicate =
+            if self.fault.duplication > 0.0 && self.rng.gen::<f64>() < self.fault.duplication {
+                Some(self.jitter())
+            } else {
+                None
+            };
+        (jitter, duplicate)
+    }
+
+    /// Allocate the next request id.
+    pub(crate) fn next_request_id(&mut self) -> u64 {
+        let id = self.next_request;
+        self.next_request += 1;
+        id
     }
 }
 
@@ -157,6 +274,13 @@ pub struct GridVineSystem {
     /// whose destination is down are charged but never answered
     /// ([`SystemError::PeerDown`]).
     crashed: BTreeSet<PeerId>,
+    /// Request/retry protocol state (fault rates, retry budget,
+    /// counters, its own RNG stream) — see [`sched`].
+    pub(crate) proto: ProtocolState,
+    /// Per-peer churn timelines installed by
+    /// [`GridVineSystem::install_churn`]: sorted `(instant, down)`
+    /// transitions; empty timelines mean always up.
+    churn: Vec<Vec<(SimTime, bool)>>,
     rng: StdRng,
 }
 
@@ -175,6 +299,8 @@ impl GridVineSystem {
                 .map(|_| sched::PeerExecState::new(config.closure_cache_capacity))
                 .collect(),
             crashed: BTreeSet::new(),
+            proto: ProtocolState::new(&config),
+            churn: vec![Vec::new(); topology.len()],
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -196,6 +322,8 @@ impl GridVineSystem {
                 .map(|_| sched::PeerExecState::new(config.closure_cache_capacity))
                 .collect(),
             crashed: BTreeSet::new(),
+            proto: ProtocolState::new(&config),
+            churn: vec![Vec::new(); topology.len()],
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -287,6 +415,78 @@ impl GridVineSystem {
     /// Whether failure injection currently has this peer down.
     pub fn is_peer_up(&self, peer: PeerId) -> bool {
         !self.crashed.contains(&peer)
+    }
+
+    /// Install a pre-generated churn schedule
+    /// ([`gridvine_netsim::churn`]) on the query path: a peer whose
+    /// timeline marks it down at a request's attempt instant behaves
+    /// like a crashed destination for that attempt — the request times
+    /// out and is retransmitted with backoff — and serves again once
+    /// its recovery instant passes, so a retrying unit survives a
+    /// mid-flight failure. Node indexes map to peer indexes; events
+    /// for out-of-range nodes are ignored. Replaces any previously
+    /// installed schedule.
+    pub fn install_churn(&mut self, events: &[ChurnEvent]) {
+        for timeline in &mut self.churn {
+            timeline.clear();
+        }
+        for ev in events {
+            if let Some(timeline) = self.churn.get_mut(ev.node.index()) {
+                timeline.push((ev.at, matches!(ev.kind, ChurnKind::Fail)));
+            }
+        }
+        for timeline in &mut self.churn {
+            timeline.sort_by_key(|&(at, _)| at);
+        }
+    }
+
+    /// Whether the installed churn schedule has `peer` down at `at`
+    /// (down iff the latest transition at or before `at` is a
+    /// failure; peers start up).
+    pub fn churn_down_at(&self, peer: PeerId, at: SimTime) -> bool {
+        let timeline = &self.churn[peer.index()];
+        let i = timeline.partition_point(|&(ev_at, _)| ev_at <= at);
+        i > 0 && timeline[i - 1].1
+    }
+
+    /// Drive one logical request/response exchange with `dest` through
+    /// the timeout–retry–backoff protocol (see the [`sched`] module
+    /// docs). The route and its response charge already happened at
+    /// the caller; this decides whether — and after how much retry
+    /// delay — a reply arrives.
+    ///
+    /// A destination held down by [`GridVineSystem::crash_peer`] fails
+    /// immediately (retransmitting to a peer that failure injection
+    /// keeps down forever cannot help, and no fault draw is consumed,
+    /// so crash-injection runs stay bit-identical to the pre-protocol
+    /// scheduler). A churn-down destination times out per attempt and
+    /// succeeds on the first attempt scheduled after its recovery.
+    /// Exhausting the retry budget surfaces as
+    /// [`SystemError::PeerDown`] — the same recorded failure the
+    /// closure walks already survive.
+    pub(crate) fn proto_request(&mut self, from: PeerId, dest: PeerId) -> Result<(), SystemError> {
+        self.proto.counters.requests += 1;
+        self.proto.counters.sends += 1;
+        if self.crashed.contains(&dest) {
+            return Err(SystemError::PeerDown(dest));
+        }
+        let loss = self.proto.loss_rate(from, dest);
+        for attempt in 0..=self.proto.max_retries {
+            if attempt > 0 {
+                self.proto.counters.sends += 1;
+                self.proto.counters.retransmits += 1;
+            }
+            let at = self.proto.now + self.proto.delay;
+            let up = !self.churn_down_at(dest, at);
+            let lost = loss > 0.0 && self.proto.rng.gen::<f64>() < loss;
+            if up && !lost {
+                return Ok(());
+            }
+            self.proto.counters.timeouts += 1;
+            let backoff = self.proto.backoff(attempt);
+            self.proto.delay += backoff;
+        }
+        Err(SystemError::PeerDown(dest))
     }
 
     /// One peer's local triple database `DB_p`.
@@ -554,11 +754,9 @@ impl GridVineSystem {
     ) -> Result<Vec<Mapping>, SystemError> {
         let key = self.key_of(schema.as_str());
         let (items, route) = self.overlay.retrieve(origin, &key, &mut self.rng)?;
-        if self.crashed.contains(&route.destination) {
-            // The retrieve was routed and charged, but the responsible
-            // peer is down: no mapping list comes back.
-            return Err(SystemError::PeerDown(route.destination));
-        }
+        // The retrieve was routed and charged; the retry protocol
+        // decides whether the mapping list ever comes back.
+        self.proto_request(origin, route.destination)?;
         Ok(items
             .into_iter()
             .filter_map(|i| match i {

@@ -166,6 +166,11 @@ fn drain(
                 stats_from_deltas.cache_hits += d.cache_hits;
                 stats_from_deltas.cache_misses += d.cache_misses;
                 stats_from_deltas.cache_evictions += d.cache_evictions;
+                stats_from_deltas.requests += d.requests;
+                stats_from_deltas.sends += d.sends;
+                stats_from_deltas.timeouts += d.timeouts;
+                stats_from_deltas.retransmits += d.retransmits;
+                stats_from_deltas.duplicates_dropped += d.duplicates_dropped;
             }
         }
     }

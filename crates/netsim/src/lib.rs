@@ -55,6 +55,7 @@
 pub mod churn;
 pub mod clock;
 pub mod event;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod node;
@@ -66,16 +67,18 @@ pub mod trace;
 pub mod prelude {
     pub use crate::churn::{ChurnConfig, ChurnProcess};
     pub use crate::clock::{SimDuration, SimTime};
+    pub use crate::fault::{FaultConfig, FaultModel, LinkFault};
     pub use crate::latency::{LatencyModel, RegionalWan, UniformLatency};
     pub use crate::network::{Network, NetworkConfig, NetworkStats};
     pub use crate::node::{Ctx, Node, NodeId};
-    pub use crate::stats::{Cdf, Histogram, Summary};
+    pub use crate::stats::{Cdf, FaultCounters, Histogram, Summary};
 }
 
 pub use churn::{ChurnConfig, ChurnProcess};
 pub use clock::{SimDuration, SimTime};
 pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultModel, LinkFault};
 pub use latency::{ConstantLatency, LatencyModel, RegionalWan, UniformLatency};
 pub use network::{Network, NetworkConfig, NetworkStats};
 pub use node::{Ctx, Node, NodeId};
-pub use stats::{Cdf, Histogram, Summary};
+pub use stats::{Cdf, FaultCounters, Histogram, Summary};

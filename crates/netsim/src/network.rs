@@ -8,11 +8,13 @@
 
 use crate::clock::{SimDuration, SimTime};
 use crate::event::EventQueue;
+use crate::fault::{FaultConfig, FaultModel};
 use crate::latency::{
     ConstantLatency, LatencyModel, RegionalWan, RegionalWanConfig, UniformLatency,
 };
 use crate::node::{Action, Ctx, Node, NodeId};
 use crate::rng;
+use crate::stats::FaultCounters;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -42,7 +44,14 @@ pub enum LatencyConfig {
 pub struct NetworkConfig {
     pub latency: LatencyConfig,
     /// Independent probability that any message is silently lost.
+    ///
+    /// This is the legacy uniform-loss knob; it draws from the network's
+    /// own RNG stream and composes with (applies before) `fault`.
     pub loss_probability: f64,
+    /// Message fault process: loss, duplication and reorder, with
+    /// optional asymmetric per-link overrides (see [`crate::fault`]).
+    #[serde(default)]
+    pub fault: FaultConfig,
 }
 
 impl NetworkConfig {
@@ -51,6 +60,7 @@ impl NetworkConfig {
         NetworkConfig {
             latency: LatencyConfig::Constant { micros: 1_000 },
             loss_probability: 0.0,
+            fault: FaultConfig::none(),
         }
     }
 
@@ -77,6 +87,7 @@ impl NetworkConfig {
                 node_heterogeneity: d.node_heterogeneity,
             },
             loss_probability: 0.0,
+            fault: FaultConfig::none(),
         }
     }
 
@@ -84,6 +95,14 @@ impl NetworkConfig {
     pub fn lossy_planetlab(loss_probability: f64) -> NetworkConfig {
         NetworkConfig {
             loss_probability,
+            ..NetworkConfig::planetlab()
+        }
+    }
+
+    /// Same topology with a full fault process.
+    pub fn faulty_planetlab(fault: FaultConfig) -> NetworkConfig {
+        NetworkConfig {
+            fault,
             ..NetworkConfig::planetlab()
         }
     }
@@ -156,6 +175,7 @@ pub struct Network<N, M> {
     slots: Vec<Slot<N>>,
     queue: EventQueue<Event<M>>,
     latency: Box<dyn LatencyModel>,
+    fault: FaultModel,
     now: SimTime,
     rng: StdRng,
     loss_probability: f64,
@@ -163,7 +183,7 @@ pub struct Network<N, M> {
     actions: Vec<Action<M>>,
 }
 
-impl<N: Node<M>, M> Network<N, M> {
+impl<N: Node<M>, M: Clone> Network<N, M> {
     /// Create an empty network with the given configuration and seed.
     pub fn new(config: NetworkConfig, seed: u64) -> Self {
         assert!(
@@ -173,6 +193,7 @@ impl<N: Node<M>, M> Network<N, M> {
         Network {
             slots: Vec::new(),
             latency: config.build_latency(seed),
+            fault: FaultModel::new(config.fault, seed),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: rng::derive(seed, 0xC0FFEE),
@@ -220,6 +241,12 @@ impl<N: Node<M>, M> Network<N, M> {
     /// Message accounting so far.
     pub fn stats(&self) -> NetworkStats {
         self.stats
+    }
+
+    /// Fault-process accounting so far (loss counted here is also
+    /// included in [`NetworkStats::lost`]).
+    pub fn fault_stats(&self) -> FaultCounters {
+        self.fault.counters()
     }
 
     /// Immutable access to a node's protocol state.
@@ -427,9 +454,33 @@ impl<N: Node<M>, M> Network<N, M> {
             self.stats.lost += 1;
             return;
         }
+        if self.fault.is_null() {
+            // Fast path: null fault model, bit-identical to the
+            // pre-fault-layer simulator (no extra RNG draws).
+            let delay = self.latency.sample(from, to);
+            self.queue
+                .schedule(self.now + delay, Event::Deliver { from, to, msg });
+            return;
+        }
+        let delivery = self.fault.apply(from, to);
+        if delivery.copies.is_empty() {
+            self.stats.lost += 1;
+            return;
+        }
+        // One latency sample per message (not per copy): duplicates and
+        // reordered copies offset the same base delay by fault jitter, so
+        // the latency stream advances exactly as in a fault-free run.
         let delay = self.latency.sample(from, to);
-        self.queue
-            .schedule(self.now + delay, Event::Deliver { from, to, msg });
+        for extra in delivery.copies {
+            self.queue.schedule(
+                self.now + delay + extra,
+                Event::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
     }
 }
 
@@ -567,6 +618,7 @@ mod tests {
         let cfg = NetworkConfig {
             latency: LatencyConfig::Constant { micros: 10 },
             loss_probability: 0.3,
+            fault: FaultConfig::none(),
         };
         let mut net: Network<Echo, Msg> = Network::new(cfg, 3);
         let a = net.add_node(Echo::default());
@@ -589,6 +641,7 @@ mod tests {
                     max_micros: 50_000,
                 },
                 loss_probability: 0.1,
+                fault: FaultConfig::none(),
             };
             let mut net: Network<Echo, Msg> = Network::new(cfg, seed);
             let a = net.add_node(Echo::default());
@@ -604,11 +657,110 @@ mod tests {
     }
 
     #[test]
+    fn fault_duplication_delivers_extra_copies() {
+        let cfg = NetworkConfig {
+            latency: LatencyConfig::Constant { micros: 10 },
+            loss_probability: 0.0,
+            fault: FaultConfig::duplicating(1.0),
+        };
+        let mut net: Network<Echo, Msg> = Network::new(cfg, 8);
+        let a = net.add_node(Echo::default());
+        let b = net.add_node(Echo::default());
+        net.send_external(a, b, Msg::Ping(1));
+        net.run_until_quiescent();
+        // The ping is duplicated, so b answers twice; each pong is also
+        // duplicated, so a collects four pongs.
+        assert_eq!(net.node(a).pongs, vec![1, 1, 1, 1]);
+        let f = net.fault_stats();
+        assert_eq!(f.duplicated, 3); // 1 ping + 2 pongs
+        assert_eq!(net.stats().delivered, 6);
+    }
+
+    #[test]
+    fn fault_loss_is_counted_in_network_stats() {
+        let cfg = NetworkConfig {
+            latency: LatencyConfig::Constant { micros: 10 },
+            loss_probability: 0.0,
+            fault: FaultConfig::lossy(0.5),
+        };
+        let mut net: Network<Echo, Msg> = Network::new(cfg, 21);
+        let a = net.add_node(Echo::default());
+        let b = net.add_node(Echo::default());
+        for i in 0..2_000 {
+            net.send_external(a, b, Msg::Ping(i));
+        }
+        net.run_until_quiescent();
+        let s = net.stats();
+        let f = net.fault_stats();
+        assert!(f.lost > 0);
+        assert_eq!(s.sent, s.delivered + s.lost);
+        let rate = f.lost as f64 / s.sent as f64;
+        assert!((rate - 0.5).abs() < 0.05, "fault loss rate {rate}");
+    }
+
+    #[test]
+    fn fault_reorder_lets_later_messages_overtake() {
+        let cfg = NetworkConfig {
+            latency: LatencyConfig::Constant { micros: 1_000 },
+            loss_probability: 0.0,
+            fault: FaultConfig::reordering(0.5, SimDuration::from_millis(20)),
+        };
+        let mut net: Network<Echo, Msg> = Network::new(cfg, 5);
+        let a = net.add_node(Echo::default());
+        let b = net.add_node(Echo::default());
+        for i in 0..200 {
+            net.send_external(b, a, Msg::Pong(i));
+        }
+        net.run_until_quiescent();
+        let pongs = &net.node(a).pongs;
+        assert_eq!(pongs.len(), 200, "reorder never loses messages");
+        let mut sorted = pongs.clone();
+        sorted.sort_unstable();
+        assert_ne!(*pongs, sorted, "some copies were overtaken");
+        assert!(net.fault_stats().reordered > 0);
+    }
+
+    #[test]
+    fn null_fault_config_is_bit_identical_to_legacy_runs() {
+        let run = |fault: FaultConfig| {
+            let cfg = NetworkConfig {
+                latency: LatencyConfig::Uniform {
+                    min_micros: 100,
+                    max_micros: 50_000,
+                },
+                loss_probability: 0.1,
+                fault,
+            };
+            let mut net: Network<Echo, Msg> = Network::new(cfg, 44);
+            let a = net.add_node(Echo::default());
+            let b = net.add_node(Echo::default());
+            for i in 0..300 {
+                net.send_external(a, b, Msg::Ping(i));
+            }
+            net.run_until_quiescent();
+            (net.node(a).pongs.clone(), net.now(), net.stats())
+        };
+        // `none()` and a hand-rolled all-zero config take the fast path:
+        // the simulation is identical to one without a fault layer.
+        assert_eq!(run(FaultConfig::none()), run(FaultConfig::default()));
+        let a = run(FaultConfig::none());
+        let b = run(FaultConfig {
+            loss: 0.0,
+            duplication: 0.0,
+            reorder: 0.0,
+            reorder_jitter: SimDuration::ZERO,
+            links: Vec::new(),
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
     #[should_panic(expected = "loss probability")]
     fn rejects_invalid_loss() {
         let cfg = NetworkConfig {
             latency: LatencyConfig::Constant { micros: 1 },
             loss_probability: 1.5,
+            fault: FaultConfig::none(),
         };
         let _: Network<Echo, Msg> = Network::new(cfg, 0);
     }

@@ -7,6 +7,36 @@ use crate::clock::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Counts of injected message faults (see [`crate::fault::FaultModel`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Messages dropped by the fault process.
+    pub lost: u64,
+    /// Messages delivered with an extra duplicate copy.
+    pub duplicated: u64,
+    /// Message copies delayed by reorder jitter.
+    pub reordered: u64,
+}
+
+impl FaultCounters {
+    /// Accumulate another run's counters into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.lost += other.lost;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lost={} duplicated={} reordered={}",
+            self.lost, self.duplicated, self.reordered
+        )
+    }
+}
+
 /// A streaming summary of f64 observations.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Summary {
