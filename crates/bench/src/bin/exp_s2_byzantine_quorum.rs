@@ -1,0 +1,180 @@
+//! Semantic robustness S2 — Byzantine fabrication vs adversary quorum
+//! (§3.2).
+//!
+//! Designated adversarial peers fabricate well-typed equivalence edges
+//! between random schemas each gossip round. Detection never reads the
+//! [`Provenance::Byzantine`] ground-truth label — only cycle evidence
+//! condemns a fabrication — so the sweep measures how many adversaries
+//! the Bayesian analysis tolerates before wrong rows leak. The binary
+//! also pins the accounting contract: every assessment probe is charged
+//! as real overlay messages and simulated latency, exactly like a
+//! subquery.
+//!
+//! Usage: `exp_s2_byzantine_quorum [repeats] [seed]`
+
+use gridvine_bench::table::f;
+use gridvine_bench::Table;
+use gridvine_core::{GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, Strategy};
+use gridvine_netsim::SimDuration;
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
+use gridvine_semantic::{
+    BayesConfig, Correspondence, MappingKind, MappingStatus, Provenance, Schema,
+    SemanticFaultConfig,
+};
+
+const RING: usize = 5;
+const GOSSIP_ROUNDS: usize = 4;
+const PASSES: usize = 2;
+
+fn build_ring(semantic: SemanticFaultConfig, seed: u64) -> GridVineSystem {
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 64,
+        semantic_fault: semantic,
+        seed,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for i in 0..RING {
+        sys.insert_schema(
+            p0,
+            Schema::new(format!("S{i}").as_str(), [format!("a{i}"), format!("b{i}")]),
+        )
+        .unwrap();
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                format!("seq:R{i}").as_str(),
+                format!("S{i}#a{i}").as_str(),
+                Term::literal("target-value"),
+            ),
+        )
+        .unwrap();
+        // Bait for wrong correspondences: a fabricated edge that
+        // mistranslates the query predicate onto the b-attribute pulls
+        // these in as wrong rows — two decoys per attribute so a wrong
+        // hop changes the row count, not just the row identities.
+        for d in ["D", "E"] {
+            sys.insert_triple(
+                p0,
+                Triple::new(
+                    format!("seq:{d}{i}").as_str(),
+                    format!("S{i}#b{i}").as_str(),
+                    Term::literal("target-decoy"),
+                ),
+            )
+            .unwrap();
+        }
+    }
+    for i in 0..RING {
+        let j = (i + 1) % RING;
+        sys.insert_mapping(
+            p0,
+            format!("S{i}").as_str(),
+            format!("S{j}").as_str(),
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![
+                Correspondence::new(format!("a{i}"), format!("a{j}")),
+                Correspondence::new(format!("b{i}"), format!("b{j}")),
+            ],
+        )
+        .unwrap();
+    }
+    sys
+}
+
+fn query() -> TriplePatternQuery {
+    TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S0#a0")),
+            PatternTerm::constant(Term::literal("target%")),
+        ),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let repeats: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    println!("S2: Byzantine fabrication vs adversary quorum ({repeats} repeats per point)");
+    let plan = QueryPlan::search(query());
+    let bayes = BayesConfig::default();
+    let full_rows = RING * repeats;
+
+    let mut table = Table::new(&[
+        "adversaries",
+        "rate",
+        "rows",
+        "fabricated/q",
+        "quarantined/q",
+        "probe ms/q",
+    ]);
+    for quorum in [1usize, 2, 4] {
+        for rate in [0.2f64, 0.5] {
+            let mut rows = 0usize;
+            let mut fabricated = 0u64;
+            let mut quarantined = 0usize;
+            let mut probe_time = SimDuration::ZERO;
+            for rep in 0..repeats {
+                let mut sys = build_ring(
+                    SemanticFaultConfig::byzantine(rate, (0..quorum).collect()),
+                    seed + rep as u64,
+                );
+                let origin = sys.random_peer();
+                for _ in 0..GOSSIP_ROUNDS {
+                    sys.adversary_gossip(PeerId(0)).unwrap();
+                }
+                for _ in 0..PASSES {
+                    let before = sys.messages_sent();
+                    let report = sys.assessment_pass(origin, &bayes).unwrap();
+                    // The accounting contract: probes cost real overlay
+                    // messages and simulated time, like any subquery.
+                    assert_eq!(
+                        sys.messages_sent() - before,
+                        report.stats.messages,
+                        "assessment probes are charged as overlay messages"
+                    );
+                    assert_eq!(
+                        report.stats.requests, report.cycles_probed,
+                        "one routed request per probed cycle"
+                    );
+                    assert_eq!(
+                        report.stats.assessment_probes as usize, report.cycles_probed,
+                        "every probed cycle is counted as an assessment probe"
+                    );
+                    assert!(report.elapsed > SimDuration::ZERO);
+                    probe_time += report.elapsed;
+                }
+                quarantined += sys
+                    .registry()
+                    .mappings()
+                    .filter(|m| m.status == MappingStatus::Quarantined)
+                    .count();
+                let out = sys
+                    .execute(
+                        origin,
+                        &plan,
+                        &QueryOptions::new().strategy(Strategy::Iterative).window(4),
+                    )
+                    .unwrap();
+                rows += out.rows.len();
+                fabricated += sys.semantic_fault_counters().fabricated;
+            }
+            table.row(&[
+                quorum.to_string(),
+                f(rate, 2),
+                f(rows as f64 / full_rows as f64, 3),
+                f(fabricated as f64 / repeats as f64, 2),
+                f(quarantined as f64 / repeats as f64, 2),
+                f(probe_time.as_secs_f64() * 1000.0 / repeats as f64, 2),
+            ]);
+        }
+    }
+    println!("\n{}", table.render());
+    println!("expected shape: fabrications grow with the quorum and the rate, the\nquarantine column tracks the harmful ones (an accidentally-correct\nfabrication is consistent and may legitimately survive), and the delivered\nfraction stays at 1.000 — cycle evidence, not provenance labels, does the\nwork. Probe time scales with the fabricated edge count.");
+}

@@ -223,6 +223,17 @@ pub struct ExecStats {
     /// issue), so duplicates of a session's final units may land after
     /// the last per-unit `Stats` delta was emitted.
     pub duplicates_dropped: usize,
+    /// Cycle probes issued by quality-assessment passes
+    /// ([`GridVineSystem::assessment_pass`]): one routed retrieve per
+    /// mapping cycle, driven through the retry protocol, so every probe
+    /// costs messages, requests and simulated latency like any
+    /// subquery. Always 0 for query sessions.
+    pub assessment_probes: usize,
+    /// Mappings moved to
+    /// [`MappingStatus::Quarantined`](gridvine_semantic::MappingStatus)
+    /// by an assessment pass (re-confirmed quarantines of paroled edges
+    /// included). Always 0 for query sessions.
+    pub quarantined_mappings: usize,
 }
 
 /// What one [`GridVineSystem::execute`] call produced: solution rows

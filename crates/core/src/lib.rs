@@ -87,7 +87,10 @@ pub mod prelude {
     pub use crate::system::conjunctive::JoinMode;
     pub use crate::system::exec::{ExecStats, QueryOptions, QueryOutcome};
     pub use crate::system::session::{QuerySession, ResultEvent};
-    pub use crate::system::{apply_mapping, GridVineConfig, GridVineSystem, Strategy, SystemError};
+    pub use crate::system::{
+        apply_mapping, AssessmentReport, CommitRecovery, GridVineConfig, GridVineSystem, Strategy,
+        SystemError,
+    };
 }
 
 pub use harness::{
@@ -100,4 +103,7 @@ pub use selforg::{RoundReport, SelfOrgConfig};
 pub use system::conjunctive::JoinMode;
 pub use system::exec::{ExecStats, QueryOptions, QueryOutcome};
 pub use system::session::{QuerySession, ResultEvent};
-pub use system::{apply_mapping, GridVineConfig, GridVineSystem, Strategy, SystemError};
+pub use system::{
+    apply_mapping, AssessmentReport, CommitRecovery, GridVineConfig, GridVineSystem, Strategy,
+    SystemError,
+};

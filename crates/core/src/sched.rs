@@ -78,6 +78,38 @@
 //! times out per attempt and succeeds on the first attempt scheduled
 //! after recovery.
 //!
+//! ## The fault matrix
+//!
+//! Two adversaries attack the PDMS at different layers, and the
+//! experiment suite is organised around them. The **network adversary**
+//! (`GridVineConfig::fault`, RNG stream `0xFA17`; the `exp_r*` bench
+//! series) perturbs message delivery; the **semantic adversary**
+//! (`GridVineConfig::semantic_fault`, RNG stream `0x5EED_0BAD`; the
+//! `exp_s*` series) perturbs the *content* of the mapping layer itself.
+//! Both are null by default, draw from their own derived RNG streams
+//! (a null config consumes no randomness and reproduces the fault-free
+//! scheduler bit-for-bit), and compose with each other and with churn.
+//!
+//! | Series | Fault                | Injected by                        | Defended by                                  |
+//! |--------|----------------------|------------------------------------|----------------------------------------------|
+//! | r      | request loss         | `FaultConfig::loss`                | timeout + retransmit with backoff            |
+//! | r      | reply duplication    | `FaultConfig::duplication`         | request-id dedup in the session              |
+//! | r      | reply reordering     | `FaultConfig::reorder`             | event-queue delivery, order-insensitive merge|
+//! | r      | churn / crash        | `install_churn`, `crash_peer`      | per-attempt retry; fail fast on crash        |
+//! | r      | mass-churn storm     | `ChurnProcess::storm`              | self-organization repair after recovery      |
+//! | s      | stale gossip         | `SemanticFaultConfig::stale_rate`  | Bayesian cycle analysis quarantine           |
+//! | s      | corrupted mappings   | `SemanticFaultConfig::corrupt_rate`| Bayesian cycle analysis quarantine           |
+//! | s      | Byzantine fabrication| `SemanticFaultConfig::byzantine_*` | quarantine; provenance tracks ground truth   |
+//! | s      | crash mid-commit     | `arm_commit_crash`                 | atomic commit rollback + recovery scan       |
+//!
+//! Semantic defenses run as scheduler work, not magic: an
+//! [`assessment_pass`](super::GridVineSystem::assessment_pass) issues
+//! one routed probe per mapping cycle, charged as messages and latency
+//! in [`ExecStats`](super::exec::ExecStats) (`assessment_probes`)
+//! exactly like a subquery, and every status transition bumps the
+//! registry epoch so closure caches self-invalidate rather than replay
+//! a hop through a quarantined edge.
+//!
 //! ## Per-peer state
 //!
 //! Each peer owns a `PeerExecState`: a monotone clock (consecutive

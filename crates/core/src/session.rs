@@ -649,6 +649,8 @@ impl<'a> QuerySession<'a> {
             timeouts: cur.timeouts - prev.timeouts,
             retransmits: cur.retransmits - prev.retransmits,
             duplicates_dropped: cur.duplicates_dropped - prev.duplicates_dropped,
+            assessment_probes: cur.assessment_probes - prev.assessment_probes,
+            quarantined_mappings: cur.quarantined_mappings - prev.quarantined_mappings,
         };
         self.issued_reported = cur;
         events.push(ResultEvent::Stats(delta));

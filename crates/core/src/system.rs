@@ -20,8 +20,9 @@ use gridvine_pgrid::{
 };
 use gridvine_rdf::{SharedTermDict, Term, Triple, TriplePatternQuery, TripleStore};
 use gridvine_semantic::{
-    Correspondence, DegreeRecord, Mapping, MappingId, MappingKind, MappingRegistry, Provenance,
-    Schema, SchemaId,
+    apply_quarantine, assess, BayesConfig, Correspondence, DegreeRecord, Injection, Mapping,
+    MappingId, MappingKind, MappingRegistry, MappingStatus, Provenance, Schema, SchemaId,
+    SemanticAdversary, SemanticFaultConfig, SemanticFaultCounters,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -72,6 +73,16 @@ pub struct GridVineConfig {
     /// scheduler.
     #[serde(default)]
     pub fault: FaultConfig,
+    /// Mediation-layer fault process
+    /// ([`gridvine_semantic::adversary`]): at the configured rates,
+    /// each [`GridVineSystem::adversary_gossip`] round injects stale
+    /// (epoch-lagged deprecated), corrupted (correspondence-permuted)
+    /// or Byzantine (fabricated, from designated adversarial peers)
+    /// mappings into the registry and publishes their DHT copies.
+    /// Null by default — a null config consumes no adversary
+    /// randomness and is bit-identical to the adversary-free system.
+    #[serde(default)]
+    pub semantic_fault: SemanticFaultConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -87,6 +98,7 @@ impl Default for GridVineConfig {
             domain: "protein-sequences".to_string(),
             closure_cache_capacity: 64,
             fault: FaultConfig::none(),
+            semantic_fault: SemanticFaultConfig::none(),
             seed: 0x6B1D,
         }
     }
@@ -238,6 +250,34 @@ impl From<RouteError> for SystemError {
     }
 }
 
+/// What one [`GridVineSystem::assessment_pass`] did.
+#[derive(Debug, Clone, Default)]
+pub struct AssessmentReport {
+    /// Mapping cycles found and probed (one routed probe each).
+    pub cycles_probed: usize,
+    /// Mappings left quarantined by this pass (fresh quarantines and
+    /// re-confirmed paroles alike).
+    pub quarantined: Vec<MappingId>,
+    /// Previously quarantined mappings the cycle evidence cleared:
+    /// paroled into this assessment and left active.
+    pub reactivated: Vec<MappingId>,
+    /// The pass's charged work: probe messages/requests/latency plus
+    /// the DHT refreshes of changed mappings
+    /// (`assessment_probes` / `quarantined_mappings` included).
+    pub stats: exec::ExecStats,
+    /// Simulated time the pass advanced the origin peer's clock by.
+    pub elapsed: SimDuration,
+}
+
+/// What one [`GridVineSystem::recover_mapping_commits`] scan repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitRecovery {
+    /// Missing DHT copies re-inserted for live registry mappings.
+    pub repaired_copies: usize,
+    /// Orphaned DHT copies (retracted registry entries) deleted.
+    pub orphans_removed: usize,
+}
+
 /// The synchronous GridVine PDMS.
 pub struct GridVineSystem {
     config: GridVineConfig,
@@ -281,6 +321,15 @@ pub struct GridVineSystem {
     /// [`GridVineSystem::install_churn`]: sorted `(instant, down)`
     /// transitions; empty timelines mean always up.
     churn: Vec<Vec<(SimTime, bool)>>,
+    /// The mediation-layer adversary
+    /// ([`GridVineConfig::semantic_fault`]): its own RNG stream, so a
+    /// null config leaves every other stream untouched.
+    adversary: SemanticAdversary,
+    /// One-shot failure-injection hook armed by
+    /// [`GridVineSystem::arm_commit_crash`]: the named peer is crashed
+    /// *between* the key-space writes of the next mapping commit,
+    /// exercising the atomic-commit rollback path.
+    commit_crash: Option<PeerId>,
     rng: StdRng,
 }
 
@@ -301,6 +350,8 @@ impl GridVineSystem {
             crashed: BTreeSet::new(),
             proto: ProtocolState::new(&config),
             churn: vec![Vec::new(); topology.len()],
+            adversary: SemanticAdversary::new(config.semantic_fault.clone(), config.seed),
+            commit_crash: None,
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -324,6 +375,8 @@ impl GridVineSystem {
             crashed: BTreeSet::new(),
             proto: ProtocolState::new(&config),
             churn: vec![Vec::new(); topology.len()],
+            adversary: SemanticAdversary::new(config.semantic_fault.clone(), config.seed),
+            commit_crash: None,
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -581,6 +634,18 @@ impl GridVineSystem {
 
     /// `Update(Schema Mapping)` — store at the source key space (and
     /// the target's, see [`KeySpace::mapping_keys`]).
+    ///
+    /// The commit is **atomic** across the mapping's key spaces: either
+    /// every DHT copy is written and the registry keeps the entry, or —
+    /// when any key-space write fails (its responsible peer is crashed,
+    /// possibly mid-commit via [`GridVineSystem::arm_commit_crash`]) —
+    /// the already-written copies are deleted, the registry entry is
+    /// [retracted](MappingRegistry::retract) and `Err` is returned. A
+    /// crash during commit can therefore never leave a mapping visible
+    /// from one schema's key space but not the other's (the seed's
+    /// one-way `mapping_keys` bug class); if even the rollback is cut
+    /// short by the crash, [`GridVineSystem::recover_mapping_commits`]
+    /// detects and repairs the half-committed item.
     pub fn insert_mapping(
         &mut self,
         origin: PeerId,
@@ -594,19 +659,84 @@ impl GridVineSystem {
             .registry
             .add_mapping(source, target, kind, provenance, correspondences);
         let mapping = self.registry.mapping(id).expect("just added").clone();
-        for (key, at_source) in self.keyspace().mapping_keys(&mapping) {
-            self.overlay.update(
-                origin,
-                UpdateOp::Insert,
-                key,
-                MediationItem::Mapping {
-                    mapping: mapping.clone(),
-                    at_source,
-                },
-                &mut self.rng,
-            )?;
+        if let Err(e) = self.commit_mapping_copies(origin, &mapping) {
+            self.registry.retract(id);
+            return Err(e);
         }
         Ok(id)
+    }
+
+    /// Arm the one-shot commit-crash hook: the named peer is crashed
+    /// between the key-space writes of the *next* multi-key mapping
+    /// commit (failure injection for the atomic-commit tests; a real
+    /// deployment's analogue is the committing peer failing mid-write).
+    pub fn arm_commit_crash(&mut self, peer: PeerId) {
+        self.commit_crash = Some(peer);
+    }
+
+    /// Store or delete one mediation-item copy. A write whose
+    /// responsible destination peer is crashed fails with
+    /// [`SystemError::PeerDown`] *before* any state lands — a down peer
+    /// can never acknowledge the update (the failed attempt's wire cost
+    /// is not modeled; the success path is bit-identical to a plain
+    /// overlay update).
+    fn mediation_update(
+        &mut self,
+        origin: PeerId,
+        op: UpdateOp,
+        key: BitString,
+        item: MediationItem,
+    ) -> Result<(), SystemError> {
+        if let Some(&dest) = self.topology.responsible(&key).first() {
+            if self.crashed.contains(&dest) {
+                return Err(SystemError::PeerDown(dest));
+            }
+        }
+        self.overlay.update(origin, op, key, item, &mut self.rng)?;
+        Ok(())
+    }
+
+    /// Write all DHT copies of `mapping`, atomically: on any failed
+    /// write the already-written copies are deleted (best effort — a
+    /// rollback write to a crashed peer is skipped and left to the
+    /// recovery scan) and the error is returned.
+    fn commit_mapping_copies(
+        &mut self,
+        origin: PeerId,
+        mapping: &Mapping,
+    ) -> Result<(), SystemError> {
+        let mut written: Vec<(BitString, bool)> = Vec::new();
+        for (key, at_source) in self.keyspace().mapping_keys(mapping) {
+            if !written.is_empty() {
+                // Between the first and second key-space writes: the
+                // armed crash hook fires here.
+                if let Some(victim) = self.commit_crash.take() {
+                    self.crash_peer(victim);
+                }
+            }
+            let item = MediationItem::Mapping {
+                mapping: mapping.clone(),
+                at_source,
+            };
+            match self.mediation_update(origin, UpdateOp::Insert, key.clone(), item) {
+                Ok(()) => written.push((key, at_source)),
+                Err(e) => {
+                    for (k, at_src) in written {
+                        let _ = self.mediation_update(
+                            origin,
+                            UpdateOp::Delete,
+                            k,
+                            MediationItem::Mapping {
+                                mapping: mapping.clone(),
+                                at_source: at_src,
+                            },
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Mark a mapping deprecated, refreshing its DHT copies.
@@ -619,6 +749,43 @@ impl GridVineSystem {
             return Ok(false);
         };
         if !self.registry.deprecate(id) {
+            return Ok(false);
+        }
+        let new = self.registry.mapping(id).expect("exists").clone();
+        self.replace_mapping_copies(origin, &old, &new)?;
+        Ok(true)
+    }
+
+    /// Move a mapping to `Quarantined` (reversible containment — see
+    /// [`MappingStatus`]), refreshing its DHT copies. Returns `false`
+    /// for unknown ids.
+    pub fn quarantine_mapping(
+        &mut self,
+        origin: PeerId,
+        id: MappingId,
+    ) -> Result<bool, SystemError> {
+        let Some(old) = self.registry.mapping(id).cloned() else {
+            return Ok(false);
+        };
+        if !self.registry.quarantine(id) {
+            return Ok(false);
+        }
+        let new = self.registry.mapping(id).expect("exists").clone();
+        self.replace_mapping_copies(origin, &old, &new)?;
+        Ok(true)
+    }
+
+    /// Return a deprecated or quarantined mapping to `Active`,
+    /// refreshing its DHT copies. Returns `false` for unknown ids.
+    pub fn reactivate_mapping(
+        &mut self,
+        origin: PeerId,
+        id: MappingId,
+    ) -> Result<bool, SystemError> {
+        let Some(old) = self.registry.mapping(id).cloned() else {
+            return Ok(false);
+        };
+        if !self.registry.reactivate(id) {
             return Ok(false);
         }
         let new = self.registry.mapping(id).expect("exists").clone();
@@ -646,7 +813,7 @@ impl GridVineSystem {
         new: &Mapping,
     ) -> Result<(), SystemError> {
         for (key, at_source) in self.keyspace().mapping_keys(old) {
-            self.overlay.update(
+            self.mediation_update(
                 origin,
                 UpdateOp::Delete,
                 key.clone(),
@@ -654,9 +821,8 @@ impl GridVineSystem {
                     mapping: old.clone(),
                     at_source,
                 },
-                &mut self.rng,
             )?;
-            self.overlay.update(
+            self.mediation_update(
                 origin,
                 UpdateOp::Insert,
                 key,
@@ -664,7 +830,6 @@ impl GridVineSystem {
                     mapping: new.clone(),
                     at_source,
                 },
-                &mut self.rng,
             )?;
         }
         Ok(())
@@ -673,6 +838,207 @@ impl GridVineSystem {
     /// Internal access for the self-organization driver.
     pub(crate) fn registry_mut(&mut self) -> &mut MappingRegistry {
         &mut self.registry
+    }
+
+    /// Lifetime injection counts of the semantic adversary
+    /// ([`GridVineConfig::semantic_fault`]).
+    pub fn semantic_fault_counters(&self) -> SemanticFaultCounters {
+        self.adversary.counters()
+    }
+
+    /// One adversarial gossip round ([`GridVineConfig::semantic_fault`]):
+    /// each fault dimension fires at its configured rate, registering
+    /// injected mappings *and* publishing their DHT copies from
+    /// `origin` — an injected edge is indistinguishable from an honest
+    /// one to query reformulation until the Bayesian assessment
+    /// quarantines it. A null config injects nothing, consumes no
+    /// randomness and sends no messages.
+    pub fn adversary_gossip(&mut self, origin: PeerId) -> Result<Vec<Injection>, SystemError> {
+        let injected = self.adversary.gossip_round(&mut self.registry);
+        for inj in &injected {
+            let mapping = self
+                .registry
+                .mapping(inj.id)
+                .expect("just injected")
+                .clone();
+            if let Err(e) = self.commit_mapping_copies(origin, &mapping) {
+                self.registry.retract(inj.id);
+                return Err(e);
+            }
+        }
+        Ok(injected)
+    }
+
+    /// One periodic quality-assessment pass, run from `origin` as
+    /// scheduler units on the simulated clock (see [`sched`]): every
+    /// mapping cycle costs one routed *cycle probe* (a retrieve at the
+    /// cycle's base schema key, driven through the retry protocol), so
+    /// probes are charged as messages, requests and latency in
+    /// [`exec::ExecStats`] exactly like subqueries. After probing, the
+    /// Bayesian analysis (§3.2) runs and condemned non-manual mappings
+    /// are **quarantined** — reversibly: previously quarantined edges
+    /// are paroled into this assessment and stay active if the cycle
+    /// evidence now clears them (`reactivated`). Changed mappings'
+    /// DHT copies are refreshed, and every status transition bumps the
+    /// registry epoch, so all closure caches self-invalidate.
+    pub fn assessment_pass(
+        &mut self,
+        origin: PeerId,
+        cfg: &BayesConfig,
+    ) -> Result<AssessmentReport, SystemError> {
+        let start_messages = self.overlay.messages_sent();
+        let start_proto = self.proto.counters;
+        let started_at = self.exec_state(origin).clock;
+        let mut clock = started_at;
+        let mut stats = exec::ExecStats::default();
+
+        // Parole quarantined edges so the fresh cycle evidence judges
+        // them again; snapshot everything for the DHT refresh diff.
+        let before: Vec<Mapping> = self.registry.mappings().cloned().collect();
+        let paroled: Vec<MappingId> = before
+            .iter()
+            .filter(|m| m.status == MappingStatus::Quarantined)
+            .map(|m| m.id)
+            .collect();
+        for &id in &paroled {
+            self.registry.reactivate(id);
+        }
+
+        // One cycle probe per mapping cycle: fetch the evidence at the
+        // cycle's base schema key. A crashed destination is a recorded
+        // failure, not an aborted pass. The pass cascades to a fixpoint:
+        // identical wrong copies lend each other consistent
+        // there-and-back cycles, so a single judgment can leave part of
+        // a copy swarm standing — but once the weakest copies are
+        // quarantined they drop out of the active evidence pool, and
+        // re-probing the shrunken cycle set condemns the rest. Iterate
+        // until a judgment condemns nothing new.
+        let mut cycles_probed = 0usize;
+        let mut quarantined: Vec<MappingId> = Vec::new();
+        loop {
+            let cycles = gridvine_semantic::bayes::find_cycles(&self.registry, cfg.max_cycle_len);
+            for cycle in &cycles {
+                let key = self.key_of(cycle.base.as_str());
+                let msgs_before = self.overlay.messages_sent();
+                self.proto.now = clock;
+                self.proto.delay = SimDuration::ZERO;
+                stats.assessment_probes += 1;
+                let probed = self
+                    .route_retrieve(origin, &key)
+                    .and_then(|dest| self.proto_request(origin, dest));
+                match probed {
+                    Ok(()) => {}
+                    Err(SystemError::PeerDown(_)) => stats.failures += 1,
+                    Err(e) => return Err(e),
+                }
+                let delta = self.overlay.messages_sent() - msgs_before;
+                clock = clock + self.proto.delay + sched::unit_latency(delta);
+            }
+            cycles_probed += cycles.len();
+
+            let assessment = assess(&self.registry, cfg);
+            let newly = apply_quarantine(&mut self.registry, &assessment, cfg);
+            if newly.is_empty() {
+                break;
+            }
+            quarantined.extend(newly);
+        }
+        quarantined.sort();
+        let reactivated: Vec<MappingId> = paroled
+            .iter()
+            .copied()
+            .filter(|id| !quarantined.contains(id))
+            .collect();
+        stats.quarantined_mappings = quarantined.len();
+
+        // Refresh the DHT copies of every mapping the pass changed
+        // (status or posterior): each refresh is more charged work.
+        for old in &before {
+            let changed = self
+                .registry
+                .mapping(old.id)
+                .map(|new| new != old)
+                .unwrap_or(false);
+            if changed {
+                let msgs_before = self.overlay.messages_sent();
+                self.refresh_mapping(origin, old.id, old)?;
+                let delta = self.overlay.messages_sent() - msgs_before;
+                clock += sched::unit_latency(delta);
+            }
+        }
+
+        stats.messages = self.overlay.messages_sent() - start_messages;
+        let c = self.proto.counters;
+        stats.requests = c.requests - start_proto.requests;
+        stats.sends = c.sends - start_proto.sends;
+        stats.timeouts = c.timeouts - start_proto.timeouts;
+        stats.retransmits = c.retransmits - start_proto.retransmits;
+        self.exec_state_mut(origin).clock = clock;
+        Ok(AssessmentReport {
+            cycles_probed,
+            quarantined,
+            reactivated,
+            stats,
+            elapsed: clock.saturating_since(started_at),
+        })
+    }
+
+    /// Recovery scan for half-committed mediation items: repairs
+    /// registry mappings missing a DHT copy at one of their key spaces
+    /// (re-inserting the current state) and deletes orphaned DHT
+    /// mapping copies whose registry entry was retracted. Run it after
+    /// recovering crashed peers; with the atomic commit path this is a
+    /// no-op unless a crash cut a commit's rollback short.
+    pub fn recover_mapping_commits(
+        &mut self,
+        origin: PeerId,
+    ) -> Result<CommitRecovery, SystemError> {
+        let mut report = CommitRecovery::default();
+        // Direction 1: registry entries missing a DHT copy.
+        let mappings: Vec<Mapping> = self.registry.mappings().cloned().collect();
+        for m in &mappings {
+            for (key, at_source) in self.keyspace().mapping_keys(m) {
+                let present = self.items_at(&key).iter().any(|i| {
+                    matches!(i, MediationItem::Mapping { mapping, at_source: a }
+                        if mapping.id == m.id && *a == at_source)
+                });
+                if !present {
+                    self.mediation_update(
+                        origin,
+                        UpdateOp::Insert,
+                        key,
+                        MediationItem::Mapping {
+                            mapping: m.clone(),
+                            at_source,
+                        },
+                    )?;
+                    report.repaired_copies += 1;
+                }
+            }
+        }
+        // Direction 2: DHT copies whose registry entry is gone. Every
+        // mapping copy lives at a schema's key space, so scanning the
+        // registered schemas' keys covers all commit sites.
+        let live: BTreeSet<MappingId> = self.registry.mappings().map(|m| m.id).collect();
+        let schema_keys: Vec<BitString> = self
+            .registry
+            .schemas()
+            .map(|s| self.key_of(s.id().as_str()))
+            .collect();
+        for key in schema_keys {
+            let orphans: Vec<MediationItem> = self
+                .items_at(&key)
+                .into_iter()
+                .filter(|i| {
+                    matches!(i, MediationItem::Mapping { mapping, .. } if !live.contains(&mapping.id))
+                })
+                .collect();
+            for item in orphans {
+                self.mediation_update(origin, UpdateOp::Delete, key.clone(), item)?;
+                report.orphans_removed += 1;
+            }
+        }
+        Ok(report)
     }
 
     /// Internal: route a `Retrieve(key)` and charge its response
@@ -1135,6 +1501,278 @@ mod tests {
                 "{bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn crash_during_commit_never_leaves_a_half_committed_mapping() {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 32,
+            ..GridVineConfig::default()
+        });
+        let p0 = PeerId(0);
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+            .unwrap();
+        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"]))
+            .unwrap();
+        for (s, p, o) in [
+            ("seq:A78712", "EMBL#Organism", "Aspergillus niger"),
+            ("seq:A78767", "EMBL#Organism", "Aspergillus nidulans"),
+            (
+                "seq:NEN94295-05",
+                "EMP#SystematicName",
+                "Aspergillus oryzae",
+            ),
+        ] {
+            sys.insert_triple(p0, Triple::new(s, p, Term::literal(o)))
+                .unwrap();
+        }
+        // Crash the target key space's responsible peer between the two
+        // key-space writes: the commit must roll back entirely.
+        let target_key = sys.key_of("EMP");
+        let victim = *sys.topology().responsible(&target_key).first().unwrap();
+        sys.arm_commit_crash(victim);
+        let res = sys.insert_mapping(
+            p0,
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("Organism", "SystematicName")],
+        );
+        assert!(matches!(res, Err(SystemError::PeerDown(_))), "{res:?}");
+        assert_eq!(sys.registry().mapping_count(), 0, "registry rolled back");
+        // After recovery + scan, no copy survives at either key space
+        // (the scan sweeps up whatever a cut-short rollback left).
+        sys.recover_peer(victim);
+        let rec = sys.recover_mapping_commits(p0).unwrap();
+        assert_eq!(rec.repaired_copies, 0, "nothing half-live to repair");
+        for schema in ["EMBL", "EMP"] {
+            let maps = sys
+                .mappings_at_schema(PeerId(1), &SchemaId::new(schema))
+                .unwrap();
+            assert!(maps.is_empty(), "{schema}: {maps:?}");
+        }
+        // And no query ever observes a one-way mapping: the EMP record
+        // stays unreachable from the EMBL query.
+        let q = TriplePatternQuery::example_aspergillus();
+        let out = search(&mut sys, PeerId(3), &q, Strategy::Iterative).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.stats.reformulations, 0);
+        // Rerunning the insert now commits both key spaces.
+        sys.insert_mapping(
+            p0,
+            "EMBL",
+            "EMP",
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new("Organism", "SystematicName")],
+        )
+        .unwrap();
+        let out = search(&mut sys, PeerId(3), &q, Strategy::Iterative).unwrap();
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn recovery_scan_repairs_a_manufactured_half_commit() {
+        let mut sys = fig2_system();
+        let m = sys.registry().mappings().next().unwrap().clone();
+        // Manufacture the seed's one-way bug: delete the target-side
+        // copy behind the commit path's back.
+        let keys = sys.keyspace().mapping_keys(&m);
+        assert_eq!(keys.len(), 2, "equivalence writes both key spaces");
+        let (key, at_source) = keys[1].clone();
+        sys.overlay
+            .update(
+                PeerId(0),
+                UpdateOp::Delete,
+                key,
+                MediationItem::Mapping {
+                    mapping: m.clone(),
+                    at_source,
+                },
+                &mut sys.rng,
+            )
+            .unwrap();
+        assert!(sys
+            .mappings_at_schema(PeerId(1), &SchemaId::new("EMP"))
+            .unwrap()
+            .is_empty());
+        let rec = sys.recover_mapping_commits(PeerId(0)).unwrap();
+        assert_eq!(
+            rec,
+            CommitRecovery {
+                repaired_copies: 1,
+                orphans_removed: 0
+            }
+        );
+        assert_eq!(
+            sys.mappings_at_schema(PeerId(1), &SchemaId::new("EMP"))
+                .unwrap()
+                .len(),
+            1
+        );
+        // Idempotent: a second scan finds nothing.
+        assert_eq!(
+            sys.recover_mapping_commits(PeerId(0)).unwrap(),
+            CommitRecovery::default()
+        );
+    }
+
+    /// Three schemas with a correct Manual chain and one wrong
+    /// Automatic closure — the inconsistent triangle the Bayesian
+    /// analysis condemns (§3.2).
+    fn triangle_system() -> (GridVineSystem, MappingId) {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 32,
+            ..GridVineConfig::default()
+        });
+        let p0 = PeerId(0);
+        sys.insert_schema(p0, Schema::new("A", ["xa", "wa"]))
+            .unwrap();
+        sys.insert_schema(p0, Schema::new("B", ["xb", "wb"]))
+            .unwrap();
+        sys.insert_schema(p0, Schema::new("C", ["xc", "wc"]))
+            .unwrap();
+        sys.insert_mapping(
+            p0,
+            "A",
+            "B",
+            MappingKind::Subsumption,
+            Provenance::Manual,
+            vec![Correspondence::new("xa", "xb")],
+        )
+        .unwrap();
+        sys.insert_mapping(
+            p0,
+            "B",
+            "C",
+            MappingKind::Subsumption,
+            Provenance::Manual,
+            vec![Correspondence::new("xb", "xc")],
+        )
+        .unwrap();
+        // The closure is wrong: xc should come back as xa, not wa.
+        let bad = sys
+            .insert_mapping(
+                p0,
+                "C",
+                "A",
+                MappingKind::Subsumption,
+                Provenance::Automatic,
+                vec![Correspondence::new("xc", "wa")],
+            )
+            .unwrap();
+        (sys, bad)
+    }
+
+    #[test]
+    fn assessment_pass_quarantines_and_charges_probes() {
+        let (mut sys, bad) = triangle_system();
+        let origin = PeerId(5);
+        let clock_before = sys.exec_state(origin).clock;
+        let cfg = gridvine_semantic::BayesConfig::default();
+        let report = sys.assessment_pass(origin, &cfg).unwrap();
+        assert!(report.cycles_probed >= 1);
+        assert_eq!(report.stats.assessment_probes, report.cycles_probed);
+        assert!(
+            report.stats.messages > 0,
+            "cycle probes cost overlay messages"
+        );
+        assert!(report.stats.requests >= report.cycles_probed);
+        assert_eq!(report.stats.sends, report.stats.requests);
+        assert!(report.elapsed > SimDuration::ZERO);
+        assert!(sys.exec_state(origin).clock > clock_before);
+        assert_eq!(report.quarantined, vec![bad]);
+        assert_eq!(report.stats.quarantined_mappings, 1);
+        assert_eq!(
+            sys.registry().mapping(bad).unwrap().status,
+            MappingStatus::Quarantined
+        );
+        // The DHT copies reflect the quarantine.
+        let maps = sys
+            .mappings_at_schema(PeerId(1), &SchemaId::new("C"))
+            .unwrap();
+        assert!(maps.iter().all(|m| !m.is_active()));
+        // A second pass paroles and re-confirms: same quarantine set,
+        // nothing reactivated, statuses unchanged.
+        let again = sys.assessment_pass(origin, &cfg).unwrap();
+        assert_eq!(again.quarantined, vec![bad]);
+        assert!(again.reactivated.is_empty());
+        assert_eq!(
+            sys.registry().mapping(bad).unwrap().status,
+            MappingStatus::Quarantined
+        );
+    }
+
+    #[test]
+    fn assessment_pass_reactivates_a_cleared_quarantine() {
+        let (mut sys, bad) = triangle_system();
+        let p0 = PeerId(0);
+        // Quarantine a *good* manual edge by hand, and retire the bad
+        // closure so the remaining evidence is clean.
+        sys.deprecate_mapping(p0, bad).unwrap();
+        let good = sys
+            .registry()
+            .mappings()
+            .find(|m| m.is_active())
+            .map(|m| m.id)
+            .unwrap();
+        assert!(sys.quarantine_mapping(p0, good).unwrap());
+        assert!(!sys.registry().mapping(good).unwrap().is_active());
+        let report = sys
+            .assessment_pass(p0, &gridvine_semantic::BayesConfig::default())
+            .unwrap();
+        assert!(report.reactivated.contains(&good), "{report:?}");
+        assert!(sys.registry().mapping(good).unwrap().is_active());
+    }
+
+    #[test]
+    fn adversary_gossip_publishes_dht_copies() {
+        let mut sys = GridVineSystem::new(GridVineConfig {
+            peers: 32,
+            semantic_fault: gridvine_semantic::SemanticFaultConfig::stale(1.0),
+            ..GridVineConfig::default()
+        });
+        let p0 = PeerId(0);
+        sys.insert_schema(p0, Schema::new("EMBL", ["Organism"]))
+            .unwrap();
+        sys.insert_schema(p0, Schema::new("EMP", ["SystematicName"]))
+            .unwrap();
+        let id = sys
+            .insert_mapping(
+                p0,
+                "EMBL",
+                "EMP",
+                MappingKind::Equivalence,
+                Provenance::Manual,
+                vec![Correspondence::new("Organism", "SystematicName")],
+            )
+            .unwrap();
+        sys.deprecate_mapping(p0, id).unwrap();
+        let injected = sys.adversary_gossip(p0).unwrap();
+        assert_eq!(injected.len(), 1, "stale rate 1.0 with a candidate");
+        assert_eq!(sys.semantic_fault_counters().stale, 1);
+        // The injected copy is visible through the DHT, so query
+        // reformulation would use it like any honest mapping.
+        let maps = sys
+            .mappings_at_schema(PeerId(1), &SchemaId::new("EMBL"))
+            .unwrap();
+        assert!(
+            maps.iter().any(|m| m.id == injected[0].id && m.is_active()),
+            "{maps:?}"
+        );
+    }
+
+    #[test]
+    fn null_adversary_gossip_is_free() {
+        let mut sys = fig2_system();
+        let before = sys.messages_sent();
+        let epoch = sys.registry().epoch();
+        for _ in 0..10 {
+            assert!(sys.adversary_gossip(PeerId(0)).unwrap().is_empty());
+        }
+        assert_eq!(sys.messages_sent(), before);
+        assert_eq!(sys.registry().epoch(), epoch);
     }
 
     #[test]

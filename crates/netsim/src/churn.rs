@@ -109,6 +109,49 @@ impl ChurnProcess {
         ChurnProcess { events, next: 0 }
     }
 
+    /// Generate a **mass-churn storm**: `fraction` of the nodes fail
+    /// simultaneously at `at`, each recovering after an independent
+    /// exponential outage with mean `mean_outage`. The storm composes
+    /// with an ongoing schedule by concatenating event lists — it is the
+    /// worst case the self-repair experiments drive: a correlated
+    /// failure (power event, partition heal) rather than independent
+    /// per-node churn. Node selection and outage draws come from the
+    /// churn RNG stream, so a storm is deterministic per seed.
+    pub fn storm(
+        nodes: usize,
+        fraction: f64,
+        at: SimTime,
+        mean_outage: SimDuration,
+        seed: u64,
+    ) -> ChurnProcess {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "storm fraction must be in [0, 1]"
+        );
+        let mut rng = rng::derive(seed, 0xC0_11AB1E);
+        let rate = 1.0 / mean_outage.as_secs_f64().max(1e-9);
+        let mut events = Vec::new();
+        for i in 0..nodes {
+            if fraction < 1.0 && rng.gen::<f64>() >= fraction {
+                continue;
+            }
+            let node = NodeId::from_index(i);
+            events.push(ChurnEvent {
+                at,
+                node,
+                kind: ChurnKind::Fail,
+            });
+            let outage = SimDuration::from_secs_f64(rng::exponential(&mut rng, rate));
+            events.push(ChurnEvent {
+                at: at + outage,
+                node,
+                kind: ChurnKind::Recover,
+            });
+        }
+        events.sort_by_key(|e| (e.at, e.node));
+        ChurnProcess { events, next: 0 }
+    }
+
     /// All scheduled events.
     pub fn events(&self) -> &[ChurnEvent] {
         &self.events
@@ -189,6 +232,41 @@ mod tests {
         assert_eq!(first.len() + rest.len(), total);
         assert!(p.exhausted());
         assert!(p.due(SimTime(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn storm_fails_everyone_at_once_and_recovers_all() {
+        let at = SimTime(5_000_000);
+        let p = ChurnProcess::storm(16, 1.0, at, SimDuration::from_millis(40), 7);
+        let fails: Vec<&ChurnEvent> = p
+            .events()
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Fail)
+            .collect();
+        let recovers: Vec<&ChurnEvent> = p
+            .events()
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Recover)
+            .collect();
+        assert_eq!(fails.len(), 16, "full storm fails every node");
+        assert_eq!(recovers.len(), 16, "every node recovers");
+        assert!(
+            fails.iter().all(|e| e.at == at),
+            "failures are simultaneous"
+        );
+        assert!(recovers.iter().all(|e| e.at > at));
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_fraction_bounded() {
+        let run = || {
+            ChurnProcess::storm(64, 0.5, SimTime(1_000), SimDuration::from_secs(1), 3)
+                .events()
+                .to_vec()
+        };
+        assert_eq!(run(), run());
+        let struck: std::collections::BTreeSet<NodeId> = run().iter().map(|e| e.node).collect();
+        assert!(!struck.is_empty() && struck.len() < 64, "{}", struck.len());
     }
 
     #[test]

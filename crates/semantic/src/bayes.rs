@@ -23,7 +23,28 @@
 //!    about the *other* mappings on the cycle; manual mappings are
 //!    clamped at probability 1;
 //! 4. mappings whose posterior falls below the deprecation threshold are
-//!    deprecated via [`apply_assessment`].
+//!    deprecated via [`apply_assessment`] — or reversibly quarantined
+//!    via [`apply_quarantine`], the containment the periodic
+//!    query-serving assessment pass uses.
+//!
+//! ## Correspondence to the paper's model
+//!
+//! | paper (§3.2 / ICDE'06) | here |
+//! |---|---|
+//! | "transitive closures of mappings" compared around loops | [`find_cycles`] enumerates simple mapping cycles up to [`BayesConfig::max_cycle_len`]; `compose_cycle` runs the closed-loop attribute composition |
+//! | a closure that returns an attribute to itself | [`CycleOutcome::Consistent`] |
+//! | a closure that returns a *different* attribute | [`CycleOutcome::Inconsistent`] |
+//! | probability an error cancels out by accident | [`BayesConfig::delta`] — P(consistent given some mapping wrong) |
+//! | noise from partial correspondences | [`BayesConfig::epsilon`] — P(inconsistent given all correct) |
+//! | "manually created … always considered as correct" | manual beliefs clamped at 1.0 each sweep |
+//! | "probabilistic correctness values are inferred" | [`assess`] iterates posterior log-odds: prior odds × Π per-cycle likelihood ratios, where each ratio conditions on the product `q` of the current beliefs in the *other* mappings on the cycle |
+//! | "a mapping detected as incorrect is marked as deprecated" | [`apply_assessment`] (permanent) / [`apply_quarantine`] (reversible) below [`BayesConfig::deprecate_below`] |
+//!
+//! Cycle evidence is the *only* detection signal: the semantic
+//! adversary's [`Provenance::Byzantine`](crate::mapping::Provenance)
+//! label is ground-truth bookkeeping for experiments and is read by
+//! neither [`find_cycles`] nor [`assess`] (a Byzantine mapping enters
+//! the analysis at the same prior as an honest automatic one).
 
 use crate::graph::MappingRegistry;
 use crate::mapping::{Direction, MappingId, Provenance};
@@ -211,7 +232,10 @@ pub fn assess(registry: &MappingRegistry, cfg: &BayesConfig) -> Assessment {
         .map(|m| {
             let p = match m.provenance {
                 Provenance::Manual => 1.0,
-                Provenance::Automatic => cfg.prior,
+                // Byzantine is ground-truth bookkeeping only: the
+                // analysis must not read the label, so a fabricated
+                // mapping enters at the same prior as an honest one.
+                Provenance::Automatic | Provenance::Byzantine => cfg.prior,
             };
             (m.id, p)
         })
@@ -289,10 +313,44 @@ pub fn apply_assessment(
     deprecated
 }
 
+/// Write posteriors back into the registry and *quarantine* condemned
+/// non-manual mappings — the reversible variant of [`apply_assessment`]
+/// used by the periodic query-serving assessment pass. A quarantined
+/// mapping is excluded from reformulation and connectivity exactly like
+/// a deprecated one, but a later assessment may
+/// [`reactivate`](MappingRegistry::reactivate) it; manual mappings are
+/// never quarantined (their belief is clamped at 1.0 anyway). Returns
+/// the newly quarantined ids. Idempotent: a mapping already quarantined
+/// is inactive, therefore absent from the assessment's posteriors, and
+/// is never reported twice.
+pub fn apply_quarantine(
+    registry: &mut MappingRegistry,
+    assessment: &Assessment,
+    cfg: &BayesConfig,
+) -> Vec<MappingId> {
+    let mut quarantined = Vec::new();
+    for (&id, &p) in &assessment.posteriors {
+        if let Some(m) = registry.mapping_mut(id) {
+            m.quality = p;
+        }
+    }
+    for id in assessment.condemned(cfg.deprecate_below) {
+        if registry
+            .mapping(id)
+            .map(|m| m.provenance != Provenance::Manual && m.is_active())
+            .unwrap_or(false)
+            && registry.quarantine(id)
+        {
+            quarantined.push(id);
+        }
+    }
+    quarantined
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mapping::{Correspondence, MappingKind};
+    use crate::mapping::{Correspondence, MappingKind, MappingStatus};
     use crate::schema::Schema;
 
     /// A directed triangle A→B→C→A over one attribute, with configurable
@@ -486,6 +544,117 @@ mod tests {
             .unwrap();
         assert_ne!(replacement_id, id);
         assert!(again.posteriors[&replacement_id] > cfg.prior);
+    }
+
+    #[test]
+    fn empty_cycle_set_condemns_nothing() {
+        // A pure chain has no cycles: every posterior stays at the
+        // prior, and neither apply variant touches any status.
+        let mut reg = MappingRegistry::new();
+        for s in ["A", "B", "C"] {
+            reg.add_schema(Schema::new(s, ["x"]));
+        }
+        for (a, b) in [("A", "B"), ("B", "C")] {
+            reg.add_mapping(
+                a,
+                b,
+                MappingKind::Subsumption,
+                Provenance::Automatic,
+                vec![Correspondence::new("x", "x")],
+            );
+        }
+        let cfg = BayesConfig::default();
+        let a = assess(&reg, &cfg);
+        assert!(a.cycles.is_empty());
+        assert!(apply_assessment(&mut reg, &a, &cfg).is_empty());
+        assert!(apply_quarantine(&mut reg, &a, &cfg).is_empty());
+        assert_eq!(reg.active_count(), 2);
+    }
+
+    #[test]
+    fn all_mappings_condemned_when_threshold_exceeds_every_posterior() {
+        // With the threshold above every posterior, every automatic
+        // mapping is condemned; apply_quarantine contains them all and
+        // only the manual ones survive as active.
+        let (mut reg, _) = triangle(false, Provenance::Automatic);
+        let cfg = BayesConfig {
+            deprecate_below: 0.999,
+            ..BayesConfig::default()
+        };
+        let a = assess(&reg, &cfg);
+        let autos: Vec<MappingId> = reg
+            .mappings()
+            .filter(|m| m.provenance == Provenance::Automatic)
+            .map(|m| m.id)
+            .collect();
+        let condemned = a.condemned(cfg.deprecate_below);
+        for id in &autos {
+            assert!(condemned.contains(id), "{id} must be condemned");
+        }
+        let quarantined = apply_quarantine(&mut reg, &a, &cfg);
+        assert_eq!(quarantined, autos);
+        for m in reg.mappings() {
+            match m.provenance {
+                Provenance::Manual => assert!(m.is_active()),
+                _ => assert_eq!(m.status, MappingStatus::Quarantined),
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_exactly_at_a_posterior_spares_the_mapping() {
+        // condemned() is a strict `<`: a posterior equal to the
+        // threshold is NOT condemned.
+        let mut a = Assessment::default();
+        a.posteriors.insert(MappingId(0), 0.4);
+        a.posteriors.insert(MappingId(1), 0.39999);
+        assert_eq!(a.condemned(0.4), vec![MappingId(1)]);
+        assert!(a.condemned(0.39999).is_empty());
+    }
+
+    #[test]
+    fn assessment_is_idempotent_on_a_quarantined_registry() {
+        // First pass quarantines the bad closure; a second
+        // assess+apply_quarantine over the already-quarantined registry
+        // must change nothing (the quarantined mapping is inactive, so
+        // it is outside the new assessment entirely).
+        let (mut reg, id) = triangle(false, Provenance::Automatic);
+        let cfg = BayesConfig::default();
+        let a0 = assess(&reg, &cfg);
+        let first = apply_quarantine(&mut reg, &a0, &cfg);
+        assert_eq!(first, vec![id]);
+        assert_eq!(reg.mapping(id).unwrap().status, MappingStatus::Quarantined);
+
+        let statuses: Vec<MappingStatus> = reg.mappings().map(|m| m.status).collect();
+        let again = assess(&reg, &cfg);
+        assert!(!again.posteriors.contains_key(&id), "inactive: unassessed");
+        let second = apply_quarantine(&mut reg, &again, &cfg);
+        assert!(second.is_empty(), "second pass must be a no-op: {second:?}");
+        let statuses_after: Vec<MappingStatus> = reg.mappings().map(|m| m.status).collect();
+        assert_eq!(statuses, statuses_after);
+    }
+
+    #[test]
+    fn quarantine_spares_manual_mappings() {
+        let (mut reg, id) = triangle(false, Provenance::Manual);
+        let cfg = BayesConfig {
+            deprecate_below: 0.999,
+            ..BayesConfig::default()
+        };
+        let a0 = assess(&reg, &cfg);
+        let quarantined = apply_quarantine(&mut reg, &a0, &cfg);
+        assert!(!quarantined.contains(&id));
+        assert!(reg.mapping(id).unwrap().is_active());
+    }
+
+    #[test]
+    fn byzantine_fabrication_is_condemned_by_cycle_evidence() {
+        let (mut reg, id) = triangle(false, Provenance::Byzantine);
+        let cfg = BayesConfig::default();
+        let a = assess(&reg, &cfg);
+        assert!(a.posteriors[&id] < cfg.deprecate_below);
+        let quarantined = apply_quarantine(&mut reg, &a, &cfg);
+        assert_eq!(quarantined, vec![id]);
     }
 
     #[test]

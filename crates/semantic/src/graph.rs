@@ -134,7 +134,7 @@ impl MappingRegistry {
         }
     }
 
-    /// Reactivate a previously deprecated mapping.
+    /// Reactivate a previously deprecated or quarantined mapping.
     pub fn reactivate(&mut self, id: MappingId) -> bool {
         match self.mapping_mut(id) {
             Some(m) => {
@@ -142,6 +142,36 @@ impl MappingRegistry {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Quarantine a mapping: like deprecation it disappears from
+    /// reformulation and connectivity, but reversibly — a later
+    /// assessment pass may [`reactivate`](Self::reactivate) it. Routed
+    /// through [`mapping_mut`](Self::mapping_mut), so the epoch bumps
+    /// and every closure cache self-invalidates.
+    pub fn quarantine(&mut self, id: MappingId) -> bool {
+        match self.mapping_mut(id) {
+            Some(m) => {
+                m.status = MappingStatus::Quarantined;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a mapping from the registry entirely (bumps the epoch).
+    /// This is the rollback half of the atomic mediation commit: a
+    /// mapping whose DHT writes could not all be applied must not stay
+    /// registered, or queries would observe the half-committed state.
+    pub fn retract(&mut self, id: MappingId) -> bool {
+        let before = self.mappings.len();
+        self.mappings.retain(|m| m.id != id);
+        if self.mappings.len() != before {
+            self.epoch += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -368,6 +398,39 @@ mod tests {
         // Reactivation restores connectivity.
         assert!(reg.reactivate(cut));
         assert!(reg.is_strongly_connected());
+    }
+
+    #[test]
+    fn quarantine_cuts_the_graph_and_is_reversible() {
+        let mut reg = chain(3, MappingKind::Equivalence);
+        let cut = reg
+            .mappings()
+            .find(|m| m.source == SchemaId::new("S1"))
+            .map(|m| m.id)
+            .expect("exists");
+        let e0 = reg.epoch();
+        assert!(reg.quarantine(cut));
+        assert!(reg.epoch() > e0, "quarantine must bump the epoch");
+        assert!(!reg.is_strongly_connected());
+        assert_eq!(reg.mapping(cut).unwrap().status, MappingStatus::Quarantined);
+        assert_eq!(reg.active_count(), 1);
+        let e1 = reg.epoch();
+        assert!(reg.reactivate(cut));
+        assert!(reg.epoch() > e1, "reactivation must bump the epoch");
+        assert!(reg.is_strongly_connected());
+        assert!(!reg.quarantine(MappingId(99)));
+    }
+
+    #[test]
+    fn retract_removes_the_mapping_and_bumps_epoch() {
+        let mut reg = chain(2, MappingKind::Equivalence);
+        let id = reg.mappings().next().map(|m| m.id).expect("exists");
+        let e0 = reg.epoch();
+        assert!(reg.retract(id));
+        assert!(reg.epoch() > e0);
+        assert!(reg.mapping(id).is_none());
+        assert_eq!(reg.mapping_count(), 0);
+        assert!(!reg.retract(id), "second retract is a no-op");
     }
 
     #[test]

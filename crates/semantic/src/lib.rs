@@ -15,6 +15,7 @@
 //! | query reformulation / view unfolding (§3, Fig. 2) | [`reformulate`] |
 //! | lexicographic + set-distance matchers (§4) | [`matcher`] |
 //! | Bayesian cycle analysis & deprecation (§3.2) | [`bayes`] |
+//! | stale / corrupted / Byzantine mapping gossip | [`adversary`] |
 //!
 //! ```
 //! use gridvine_semantic::prelude::*;
@@ -34,6 +35,7 @@
 //! assert_eq!(refs.len(), 2); // original + EMP reformulation
 //! ```
 
+pub mod adversary;
 pub mod bayes;
 pub mod compose;
 pub mod connectivity;
@@ -45,7 +47,12 @@ pub mod schema;
 
 /// Glob-import surface.
 pub mod prelude {
-    pub use crate::bayes::{apply_assessment, assess, Assessment, BayesConfig, CycleOutcome};
+    pub use crate::adversary::{
+        InjectedKind, Injection, SemanticAdversary, SemanticFaultConfig, SemanticFaultCounters,
+    };
+    pub use crate::bayes::{
+        apply_assessment, apply_quarantine, assess, Assessment, BayesConfig, CycleOutcome,
+    };
     pub use crate::compose::{compose_correspondences, compose_path, find_path, Composed};
     pub use crate::connectivity::{connectivity_indicator, DegreeDistribution};
     pub use crate::graph::{DegreeRecord, MappingRegistry};
@@ -63,7 +70,12 @@ pub mod prelude {
     pub use crate::schema::{Schema, SchemaId};
 }
 
-pub use bayes::{apply_assessment, assess, Assessment, BayesConfig, CycleOutcome};
+pub use adversary::{
+    InjectedKind, Injection, SemanticAdversary, SemanticFaultConfig, SemanticFaultCounters,
+};
+pub use bayes::{
+    apply_assessment, apply_quarantine, assess, Assessment, BayesConfig, CycleOutcome,
+};
 pub use compose::{compose_correspondences, compose_path, find_path, Composed};
 pub use connectivity::{connectivity_indicator, DegreeDistribution};
 pub use graph::{DegreeRecord, MappingRegistry};

@@ -27,19 +27,30 @@ pub enum MappingKind {
 }
 
 /// Who created the mapping. Manual mappings "are always considered as
-/// correct" by the quality analysis (§3.2).
+/// correct" by the quality analysis (§3.2). `Byzantine` marks edges
+/// fabricated by the semantic adversary
+/// ([`crate::adversary::SemanticAdversary`]): the label is ground-truth
+/// bookkeeping for experiments — detection itself goes through the same
+/// Bayesian cycle analysis as any automatic mapping, never through the
+/// label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Provenance {
     Manual,
     Automatic,
+    Byzantine,
 }
 
 /// Lifecycle: deprecated mappings are "ignored, both for the
 /// reformulation of the queries and for the connectivity analysis" (§3.2).
+/// Quarantined mappings are equally invisible to reformulation and
+/// connectivity, but the state is *reversible*: the periodic
+/// quality-assessment pass may reactivate a quarantined edge once the
+/// cycle evidence clears it, whereas deprecation is permanent retirement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MappingStatus {
     Active,
     Deprecated,
+    Quarantined,
 }
 
 /// A single attribute correspondence `source.attr ↦ target.attr`.
@@ -102,7 +113,9 @@ impl Mapping {
     ) -> Mapping {
         let quality = match provenance {
             Provenance::Manual => 1.0,
-            Provenance::Automatic => 0.9,
+            // A Byzantine edge *claims* the confidence of an honest
+            // automatic one — nothing distinguishes it a priori.
+            Provenance::Automatic | Provenance::Byzantine => 0.9,
         };
         Mapping {
             id,
@@ -269,6 +282,29 @@ mod tests {
         m.status = MappingStatus::Deprecated;
         assert_eq!(m.applicable_from(&SchemaId::new("EMBL")), None);
         assert!(!m.is_active());
+    }
+
+    #[test]
+    fn quarantined_mapping_is_inapplicable() {
+        let mut m = embl_emp();
+        m.status = MappingStatus::Quarantined;
+        assert_eq!(m.applicable_from(&SchemaId::new("EMBL")), None);
+        assert_eq!(m.applicable_from(&SchemaId::new("EMP")), None);
+        assert!(!m.is_active());
+    }
+
+    #[test]
+    fn byzantine_provenance_claims_automatic_confidence() {
+        let fab = Mapping::new(
+            MappingId(3),
+            "A",
+            "B",
+            MappingKind::Equivalence,
+            Provenance::Byzantine,
+            vec![],
+        );
+        assert_eq!(fab.quality, 0.9);
+        assert!(fab.is_active());
     }
 
     #[test]

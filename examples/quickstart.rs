@@ -13,7 +13,7 @@ use gridvine_core::{
 };
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{parse_single, Term, Triple};
-use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+use gridvine_semantic::{BayesConfig, Correspondence, MappingKind, Provenance, Schema};
 
 fn main() {
     // 1. A GridVine network of 32 peers over a balanced P-Grid overlay.
@@ -150,5 +150,33 @@ fn main() {
          last run fetched {} mapping lists",
         counters.hits, counters.misses, counters.evictions, overlapped.stats.mapping_fetches,
     );
+    // 8. The mediation layer defends itself. A wrong — but well-typed —
+    //    mapping slips into the registry; a Bayesian assessment pass
+    //    probes the mapping cycle it closes, finds the composition
+    //    inconsistent, and quarantines it. The probes are charged as
+    //    real overlay traffic in the same ExecStats as any query.
+    let wrong = gridvine
+        .insert_mapping(
+            publisher,
+            "EMP",
+            "EMBL",
+            MappingKind::Equivalence,
+            Provenance::Automatic,
+            vec![Correspondence::new("SystematicName", "SequenceLength")],
+        )
+        .expect("mapping stored");
+    let report = gridvine
+        .assessment_pass(issuer, &BayesConfig::default())
+        .expect("assessment runs");
+    assert_eq!(report.quarantined, vec![wrong], "the bad copy is caught");
+    println!(
+        "assessed:  {} cycle probes charged as {} overlay messages; \
+         {} mapping quarantined in {}",
+        report.stats.assessment_probes,
+        report.stats.messages,
+        report.stats.quarantined_mappings,
+        report.elapsed,
+    );
+
     println!("\nthe EMP record was found although the query was written against EMBL.");
 }
