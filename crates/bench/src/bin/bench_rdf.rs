@@ -39,6 +39,14 @@
 //!   `window(4)` (independent closure hops pipelined). Both columns
 //!   are simulated milliseconds, deterministic per seed, and identical
 //!   in rows and message counts — only the clock moves.
+//! * `exec_load_p99` — **simulated-clock** p99 completion latency of an
+//!   open-loop session stream through the concurrent-session
+//!   multiplexer at two arrival rates: the "seed" column submits at
+//!   32× the rate of the "new" column against an 8-slot admission cap,
+//!   so arrivals stack up in the bounded wait queue and the tail
+//!   absorbs the backlog. Both columns are simulated milliseconds from
+//!   real per-session completion instants; the row pins the
+//!   latency-under-load measurement end to end.
 //!
 //! Writes `BENCH_rdf.json` into the working directory and prints a
 //! table. `--quick` runs a reduced corpus as a CI smoke check (no JSON
@@ -48,6 +56,8 @@ use gridvine_bench::Table;
 use gridvine_core::{
     GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, ResultEvent, Strategy,
 };
+use gridvine_load::{run_open_loop, ArrivalProcess, LoadConfig};
+use gridvine_netsim::SimDuration;
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{
     ConjunctiveQuery, PatternTerm, Position, SharedTermDict, Term, Triple, TriplePattern,
@@ -608,6 +618,62 @@ fn exec_overlap_ops(quick: bool, results: &mut Vec<Measurement>) {
     });
 }
 
+/// Simulated-clock p99 completion latency under open-loop load: the
+/// same session stream against the chain federation at two arrival
+/// rates. Every session gets its own origin (cold closure caches, so
+/// service time is uniform) and the gap between arrivals is derived
+/// from the deterministic single-session service time: the light rate
+/// never fills the 8-slot admission cap, the heavy rate offers 4× what
+/// the pool can drain — the p99 difference is pure wait-queue delay on
+/// the simulated clock, measured from submission to final reply.
+fn exec_load_ops(quick: bool, results: &mut Vec<Measurement>) {
+    let entities = if quick { 40 } else { 80 };
+    let sessions = if quick { 24 } else { 56 }; // < peers: one origin each
+                                                // One standalone session's simulated makespan = the service time.
+    let service = {
+        let (mut sys, q) = session_federation(entities);
+        let plan = QueryPlan::search(q);
+        let options = QueryOptions::new().strategy(Strategy::Iterative).window(4);
+        let mut session = sys.open(PeerId(0), &plan, &options).expect("opens");
+        while session.next_event().expect("advances").is_some() {}
+        session.sim_elapsed()
+    };
+    assert!(service > SimDuration::ZERO);
+
+    let run = |gap: SimDuration| {
+        let (mut sys, q) = session_federation(entities);
+        let plans = vec![QueryPlan::search(q)];
+        let cfg = LoadConfig {
+            sessions,
+            arrivals: ArrivalProcess::Deterministic { gap },
+            origins: sessions,
+            max_concurrent: 8,
+            queue_capacity: sessions,
+            seed: 0x0431,
+            ..LoadConfig::default()
+        };
+        let r = run_open_loop(&mut sys, &plans, &cfg);
+        assert_eq!(r.completed, sessions, "every admitted session completes");
+        r.latency.p99.as_micros() as f64 / 1e3
+    };
+    // Against the 8-slot admission cap, gap = service admits every
+    // arrival into a near-empty pool, while gap = service/32 offers 4×
+    // the drain rate — arrivals stack up in the wait queue and the
+    // completion latency absorbs the backlog.
+    let loaded_ms = run(SimDuration::from_micros(service.as_micros() / 32));
+    let light_ms = run(service);
+    assert!(
+        loaded_ms >= light_ms * 2.0,
+        "a 4x-overloaded pool must at least double the p99: \
+         {loaded_ms:.3}ms vs {light_ms:.3}ms"
+    );
+    results.push(Measurement {
+        name: "exec_load_p99",
+        baseline_ms: loaded_ms,
+        new_ms: light_ms,
+    });
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let entities = if quick { QUICK_ENTITIES } else { ENTITIES };
@@ -837,6 +903,11 @@ fn main() {
     // Simulated-clock first-result latency of window(4) vs window(1)
     // over the star federation (both columns simulated milliseconds).
     exec_overlap_ops(quick, &mut results);
+
+    // --- open-loop latency under load ---------------------------------
+    // p99 completion latency of the session-multiplexer stream at a
+    // heavy vs light arrival rate (both columns simulated milliseconds).
+    exec_load_ops(quick, &mut results);
 
     // --- report -------------------------------------------------------
     println!(

@@ -77,7 +77,6 @@ use super::*;
 use crate::plan::QueryPlan;
 use gridvine_rdf::{Binding, PatternTerm, TriplePattern, Uri};
 use gridvine_semantic::{CachedHop, ClosureKey, ClosureWalk, Mapping};
-use std::borrow::Cow;
 
 /// Physical execution knobs for one [`GridVineSystem::execute`] /
 /// [`GridVineSystem::open`] call: a builder carrying the reformulation
@@ -342,18 +341,23 @@ pub(crate) fn pattern_predicate(pattern: &TriplePattern) -> Uri {
 /// bulk join sweep drains it in a loop. Both observe the identical hop
 /// sequence, resolutions and cache interactions, so their accounting
 /// agrees by construction.
-pub(crate) enum ClosureSweep<'a> {
+pub(crate) enum ClosureSweep {
     /// Live walk over DHT-fetched mapping lists; `record` accumulates
     /// the hop list for the closure cache. `pending` is the hop
     /// resolved by the last `resolve_next` whose mapping discovery has
     /// not run yet. `delegate` is the intermediate peer that served
     /// the first recursive mapping discovery — the peer whose cache a
     /// completed recursive walk warms.
+    ///
+    /// The sweep owns its pattern (and the walk's reformulated
+    /// patterns) so session state can live in a
+    /// [`SessionPool`](super::pool::SessionPool) that outlives the
+    /// plan borrow.
     Cold {
-        pattern: &'a TriplePattern,
-        walk: ClosureWalk<(Cow<'a, TriplePattern>, PeerId, f64)>,
+        pattern: TriplePattern,
+        walk: ClosureWalk<(TriplePattern, PeerId, f64)>,
         record: (ClosureKey, Vec<CachedHop>),
-        pending: Option<Box<PendingExpand<'a>>>,
+        pending: Option<Box<PendingExpand>>,
         delegate: Option<PeerId>,
         /// A discovery failed (crashed destination): the walk is
         /// missing a subtree, so the record must never be committed —
@@ -365,7 +369,7 @@ pub(crate) enum ClosureSweep<'a> {
     /// predicate from `issuer` (the origin for iterative replays, the
     /// delegate peer for recursive ones), no mapping discovery at all.
     Warm {
-        pattern: &'a TriplePattern,
+        pattern: TriplePattern,
         hops: std::sync::Arc<[CachedHop]>,
         next: usize,
         issuer: PeerId,
@@ -381,9 +385,9 @@ pub(crate) struct Expansion {
 }
 
 /// A cold hop between its resolution and its expansion.
-pub(crate) struct PendingExpand<'a> {
+pub(crate) struct PendingExpand {
     schema: SchemaId,
-    pat: Cow<'a, TriplePattern>,
+    pat: TriplePattern,
     quality: f64,
     depth: usize,
     /// The peer that issued this hop's resolution (and, recursively,
@@ -419,7 +423,7 @@ impl SweepHop {
     }
 }
 
-impl<'a> ClosureSweep<'a> {
+impl ClosureSweep {
     /// Start a sweep for one schema'd pattern. The **iterative**
     /// strategy consults the *origin* peer's bounded cache here: a
     /// coherent entry means a warm replay (no BFS, no mapping-list
@@ -433,13 +437,13 @@ impl<'a> ClosureSweep<'a> {
     pub(crate) fn open(
         sys: &mut GridVineSystem,
         origin: PeerId,
-        pattern: &'a TriplePattern,
+        pattern: &TriplePattern,
         schema: SchemaId,
         attr: String,
         strategy: Strategy,
         ttl: usize,
         stats: &mut ExecStats,
-    ) -> ClosureSweep<'a> {
+    ) -> ClosureSweep {
         let key = ClosureKey {
             schema: schema.clone(),
             attr,
@@ -450,7 +454,7 @@ impl<'a> ClosureSweep<'a> {
             if let Some(hops) = sys.exec_state_mut(origin).cache.lookup(epoch, &key) {
                 stats.cache_hits += 1;
                 return ClosureSweep::Warm {
-                    pattern,
+                    pattern: pattern.clone(),
                     hops,
                     next: 0,
                     issuer: origin,
@@ -459,8 +463,8 @@ impl<'a> ClosureSweep<'a> {
             stats.cache_misses += 1;
         }
         ClosureSweep::Cold {
-            pattern,
-            walk: ClosureWalk::new(schema, (Cow::Borrowed(pattern), origin, 1.0)),
+            pattern: pattern.clone(),
+            walk: ClosureWalk::new(schema, (pattern.clone(), origin, 1.0)),
             record: (key, Vec::new()),
             pending: None,
             delegate: None,
@@ -507,10 +511,10 @@ impl<'a> ClosureSweep<'a> {
                     return Ok(None);
                 };
                 *next += 1;
-                let pat: Cow<'_, TriplePattern> = if hop.depth == 0 {
-                    Cow::Borrowed(*pattern)
+                let pat = if hop.depth == 0 {
+                    pattern.clone()
                 } else {
-                    Cow::Owned(with_predicate(pattern, &hop.predicate))
+                    with_predicate(pattern, &hop.predicate)
                 };
                 // Iterative replays issue from the origin (which is
                 // also `issuer`); recursive replays from the delegate
@@ -627,7 +631,7 @@ impl<'a> ClosureSweep<'a> {
                         stats.cache_hits += 1;
                         let admitted: Vec<SchemaId> =
                             hops.iter().skip(1).map(|h| h.schema.clone()).collect();
-                        let pattern: &'a TriplePattern = pattern;
+                        let pattern = pattern.clone();
                         *self = ClosureSweep::Warm {
                             pattern,
                             hops,
@@ -652,7 +656,7 @@ impl<'a> ClosureSweep<'a> {
                 let dest = m.destination(dir).clone();
                 if walk.admit(
                     dest.clone(),
-                    (Cow::Owned(np), next_peer, hop.quality.min(m.quality)),
+                    (np, next_peer, hop.quality.min(m.quality)),
                     hop.depth + 1,
                 ) {
                     admitted.push(dest);

@@ -73,6 +73,7 @@ pub mod selforg;
 pub mod system;
 
 pub use system::exec;
+pub use system::pool;
 pub use system::session;
 
 /// Glob-import surface.
@@ -86,6 +87,7 @@ pub mod prelude {
     pub use crate::selforg::{RoundReport, SelfOrgConfig};
     pub use crate::system::conjunctive::JoinMode;
     pub use crate::system::exec::{ExecStats, QueryOptions, QueryOutcome};
+    pub use crate::system::pool::{PoolEvent, SessionId, SessionPool};
     pub use crate::system::session::{QuerySession, ResultEvent};
     pub use crate::system::{
         apply_mapping, AssessmentReport, CommitRecovery, GridVineConfig, GridVineSystem, Strategy,
@@ -102,6 +104,7 @@ pub use plan::QueryPlan;
 pub use selforg::{RoundReport, SelfOrgConfig};
 pub use system::conjunctive::JoinMode;
 pub use system::exec::{ExecStats, QueryOptions, QueryOutcome};
+pub use system::pool::{PoolEvent, SessionId, SessionPool};
 pub use system::session::{QuerySession, ResultEvent};
 pub use system::{
     apply_mapping, AssessmentReport, CommitRecovery, GridVineConfig, GridVineSystem, Strategy,

@@ -114,13 +114,54 @@
 //!
 //! Each peer owns a `PeerExecState`: a monotone clock (consecutive
 //! sessions from the same origin resume where the last one left off),
-//! the reply queue of its in-flight session, and its **bounded LRU
-//! closure cache** (capacity
+//! the reply queue of the in-flight sessions issued from it, and its
+//! **bounded LRU closure cache** (capacity
 //! [`GridVineConfig::closure_cache_capacity`](super::GridVineConfig)).
-//! Dropping a session cancels every queued reply —
+//! Dropping a session cancels every reply it still has queued —
 //! [`GridVineSystem::pending_events`](super::GridVineSystem::pending_events)
 //! returns to zero — so abandoned queries leave no residue.
+//!
+//! ## Concurrent sessions: the `SessionPool` multiplexer
+//!
+//! Since PR 8 many sessions — typically from many origins — interleave
+//! on the shared per-peer queues under one simulated clock through a
+//! [`SessionPool`](super::pool::SessionPool). Each queued reply is
+//! tagged with its owning [`SessionId`]; the
+//! pool replenishes every live session's window round-robin (one unit
+//! per session per round, in admission order — the canonical issue
+//! order of each session is preserved exactly), then delivers the
+//! globally earliest reply across the live origins' queues:
+//!
+//! ```text
+//!   open ──► live ──────────────────────────────┐
+//!             │  step():                        │
+//!             │   1. replenish windows          │ cancel()
+//!             │      (round-robin, issue order) │  · queue.retain
+//!             │   2. reap idle sessions ──────► │    drops the
+//!             │      (errored → Failed,         │    session's
+//!             │       drained → Finished)       │    queued replies
+//!             │   3. pop earliest reply         │  · clock writes
+//!             │      (tie-break: time, then     │    back
+//!             │       origin, then FIFO seq)    ▼
+//!             └────► Delivered{session, events} ──► completed
+//!                                                    │ take_outcome()
+//!                                                    ▼
+//!                                               QueryOutcome
+//! ```
+//!
+//! A pool holding exactly **one** session performs the identical
+//! (replenish, pop) sequence the standalone
+//! [`QuerySession`](super::session::QuerySession) loop does, so its
+//! rows, messages, per-unit events and RNG stream are bit-identical to
+//! the single-session scheduler for every window size — the
+//! `tests/load_protocol.rs` proptests pin this. Logical work still
+//! evolves only at issue, on the system's single RNG stream, so
+//! interleaving changes *when* replies land, never *what* a session
+//! computes; with single-candidate routing tables
+//! (`refs_per_level = 1`) per-session results and stats are provably
+//! independent of the interleaving itself.
 
+use super::pool::SessionId;
 use super::session::ResultEvent;
 use gridvine_netsim::{EventQueue, SimDuration, SimTime};
 use gridvine_semantic::ClosureCache;
@@ -147,6 +188,11 @@ pub(crate) fn unit_latency(messages: u64) -> SimDuration {
 /// simulated clock reaches it.
 #[derive(Debug)]
 pub(crate) struct QueuedReply {
+    /// The session that issued the unit. Queues are shared by every
+    /// session issuing from the same origin; the pool routes each
+    /// delivered reply to its owner, and cancelling a session retains
+    /// only the other sessions' replies.
+    pub(crate) session: SessionId,
     /// The issuing request's id. A faulty run may schedule the same
     /// reply twice (reply duplication); the session delivers each id
     /// once and drops later copies.
@@ -160,8 +206,9 @@ pub(crate) struct PeerExecState {
     /// This peer's simulated clock: the completion time of the last
     /// unit any session from this origin delivered. Monotone.
     pub(crate) clock: SimTime,
-    /// Replies of the in-flight session's issued units (empty between
-    /// sessions; cleared when a session is dropped).
+    /// Replies of the issued units of every in-flight session from
+    /// this origin (empty between sessions; a dropped or cancelled
+    /// session's replies are filtered out, other sessions' survive).
     pub(crate) queue: EventQueue<QueuedReply>,
     /// This peer's bounded reformulation-closure cache. The iterative
     /// strategy consults the *origin* peer's cache; the recursive

@@ -39,6 +39,18 @@
 //! reply still queued on the scheduler is cancelled
 //! ([`GridVineSystem::pending_events`] returns to zero).
 //!
+//! ## Concurrency
+//!
+//! A `QuerySession` borrows the system mutably and runs alone, but the
+//! state behind it (`SessionCore`) is owned — it holds no borrow of
+//! the plan or the system — so a
+//! [`SessionPool`](crate::system::pool::SessionPool) can keep many of
+//! them in flight at once, from many origins, interleaved on the
+//! shared per-peer event queues under one clock. See the
+//! [`crate::system::pool`] module docs for the multiplexer lifecycle;
+//! a pool holding one session reproduces this module's standalone loop
+//! bit-for-bit.
+//!
 //! ## Migration from the monolithic entry points
 //!
 //! The four legacy `SearchFor` methods (deleted after one deprecation
@@ -127,7 +139,8 @@
 
 use super::conjunctive::JoinMode;
 use super::exec::{one_var_row, ClosureSweep, ExecStats, QueryOptions, QueryOutcome};
-use super::sched::{self, QueuedReply};
+use super::pool::SessionId;
+use super::sched::QueuedReply;
 use super::*;
 use crate::plan::{object_prefix_core, QueryPlan};
 use gridvine_netsim::{SimDuration, SimTime};
@@ -190,10 +203,12 @@ enum JoinPhase {
 
 /// Join-plan execution state: the hash-join binding engine of
 /// [`gridvine_rdf::join`], advanced one unit of network work per issue.
-struct JoinState<'a> {
-    query: &'a ConjunctiveQuery,
-    order: &'a [usize],
-    vars: VarTable<'a>,
+/// Owns its query (cloned from the plan at open) so sessions can
+/// outlive the plan borrow inside a pool.
+struct JoinState {
+    query: ConjunctiveQuery,
+    order: Vec<usize>,
+    vars: VarTable,
     interner: TermInterner,
     /// Partial solution rows (term-code vectors over the variable slots).
     rows: Vec<Vec<u64>>,
@@ -205,29 +220,29 @@ struct JoinState<'a> {
     /// the projected table; `seen` dedups on projected codes before any
     /// term is materialized.
     slots: Vec<usize>,
-    proj: VarTable<'a>,
+    proj: VarTable,
     seen: BTreeSet<Vec<u64>>,
 }
 
-enum State<'a> {
+enum State {
     Done,
     /// One routed lookup.
     Pattern {
-        query: &'a TriplePatternQuery,
+        query: TriplePatternQuery,
     },
     /// One peer-region probe per unit (probes are independent).
     Prefix {
-        query: &'a TriplePatternQuery,
+        query: TriplePatternQuery,
         probes: std::vec::IntoIter<BitString>,
         seen: BTreeSet<Term>,
     },
     /// One closure hop (resolution unit + discovery unit) per pull.
     Closure {
-        query: &'a TriplePatternQuery,
-        sweep: Box<ClosureSweep<'a>>,
+        query: TriplePatternQuery,
+        sweep: Box<ClosureSweep>,
         seen: BTreeSet<Term>,
     },
-    Join(Box<JoinState<'a>>),
+    Join(Box<JoinState>),
 }
 
 /// Scheduler metadata of one issued unit.
@@ -255,30 +270,33 @@ enum StepOutcome {
     },
 }
 
-/// A lazily-advancing handle on one executing [`QueryPlan`] — see the
-/// [module docs](self) for the event protocol, the scheduler seam,
-/// early-termination guarantees and the closure caches.
-///
-/// The session borrows the system mutably: queries run one at a time,
-/// exactly as they did through `execute` (which is now a drain of this
-/// handle). Its scheduled replies live on the origin peer's event
-/// queue; dropping the session cancels them.
-pub struct QuerySession<'a> {
-    sys: &'a mut GridVineSystem,
-    origin: PeerId,
+/// The owned state of one in-flight session: everything a
+/// [`QuerySession`] is, minus the `&mut GridVineSystem` borrow. Every
+/// method takes the system explicitly, so a
+/// [`SessionPool`](super::pool::SessionPool) can own many cores and
+/// lend each one the system in turn.
+pub(crate) struct SessionCore {
+    pub(crate) id: SessionId,
+    pub(crate) origin: PeerId,
     strategy: Strategy,
     ttl: usize,
     limit: Option<usize>,
     window: usize,
-    start_messages: u64,
-    /// Protocol counters at open (the session's
-    /// requests/sends/timeouts/retransmits are deltas off these).
-    start_proto: ProtoCounters,
+    /// Retransmit budget armed onto the shared protocol state at every
+    /// issue (sessions with different budgets interleave correctly).
+    max_retries: usize,
+    /// Units issued whose reply has not been delivered yet — this
+    /// session's share of the origin queue (which other sessions may
+    /// also occupy). A duplicated reply counts twice, like its two
+    /// queue entries.
+    pub(crate) inflight: usize,
     /// Request ids already delivered: a duplicated reply popping a
     /// second time is dropped, never double-charged.
     seen_replies: HashSet<u64>,
-    /// Cumulative counters at *issue* (messages tracked separately off
-    /// the overlay counter).
+    /// Cumulative counters, folded in per issue (messages and protocol
+    /// counters as deltas of the shared system counters around each
+    /// issue, so concurrent sessions never charge each other's work)
+    /// and at delivery (`duplicates_dropped`).
     stats: ExecStats,
     /// The cumulative state already folded into per-unit `Stats`
     /// deltas.
@@ -286,16 +304,18 @@ pub struct QuerySession<'a> {
     /// Accumulated distinct solution rows, discovery order.
     rows: Vec<Binding>,
     order_by: RowOrder,
-    /// Events of delivered replies, handed out one at a time.
-    delivered: VecDeque<ResultEvent>,
+    /// Events of delivered replies, handed out one at a time (used by
+    /// the standalone loop; a pool hands out whole reply batches).
+    pub(crate) delivered: VecDeque<ResultEvent>,
     /// Events a failing unit produced before erroring, surfaced after
     /// every queued reply but before the error itself.
-    error_events: Vec<ResultEvent>,
+    pub(crate) error_events: Vec<ResultEvent>,
     /// A unit failure waiting to surface once everything already
     /// produced has been delivered.
-    error: Option<SystemError>,
-    state: State<'a>,
-    /// The origin peer's clock when the session opened.
+    pub(crate) error: Option<SystemError>,
+    state: State,
+    /// The origin peer's clock when the session opened (pools may
+    /// start later arrivals at their submission instant).
     started_at: SimTime,
     /// Simulated time of the latest delivered reply.
     sim_now: SimTime,
@@ -305,6 +325,21 @@ pub struct QuerySession<'a> {
     ready_of: HashMap<SchemaId, SimTime>,
     /// Ready time of the hop whose expansion unit is pending.
     hop_ready: SimTime,
+}
+
+/// A lazily-advancing handle on one executing [`QueryPlan`] — see the
+/// [module docs](self) for the event protocol, the scheduler seam,
+/// early-termination guarantees and the closure caches.
+///
+/// The session borrows the system mutably, so standalone sessions run
+/// one at a time, exactly as they did through `execute` (which is a
+/// drain of this handle); use a
+/// [`SessionPool`](crate::system::pool::SessionPool) to interleave
+/// many sessions. Its scheduled replies live on the origin peer's
+/// event queue; dropping the session cancels them.
+pub struct QuerySession<'a> {
+    sys: &'a mut GridVineSystem,
+    core: SessionCore,
 }
 
 impl GridVineSystem {
@@ -319,31 +354,57 @@ impl GridVineSystem {
     pub fn open<'a>(
         &'a mut self,
         origin: PeerId,
-        plan: &'a QueryPlan,
+        plan: &QueryPlan,
         options: &QueryOptions,
     ) -> Result<QuerySession<'a>, SystemError> {
-        let ttl = options.ttl.unwrap_or(self.config.ttl);
-        // The session owns the system for its lifetime: arm the retry
-        // protocol with this query's budget and snapshot its counters.
-        self.proto.max_retries = options.max_retries;
-        let start_proto = self.proto.counters;
+        debug_assert_eq!(
+            self.exec_state(origin).queue.len(),
+            0,
+            "standalone sessions own their origin's reply queue; interleave via SessionPool"
+        );
+        let started_at = self.exec_state(origin).clock;
+        let core = SessionCore::open(self, origin, plan, options, started_at)?;
+        Ok(QuerySession { sys: self, core })
+    }
+}
+
+impl SessionCore {
+    /// Validate `plan` and build the owned session state. Issues no
+    /// subquery; `started_at` is the session's scheduler epoch (the
+    /// origin clock for standalone sessions, the admission instant for
+    /// pooled ones).
+    pub(crate) fn open(
+        sys: &mut GridVineSystem,
+        origin: PeerId,
+        plan: &QueryPlan,
+        options: &QueryOptions,
+        started_at: SimTime,
+    ) -> Result<SessionCore, SystemError> {
+        let ttl = options.ttl.unwrap_or(sys.config.ttl);
+        // Arm the retry protocol immediately so work between open and
+        // the first issue (none today) would see this query's budget;
+        // every issue re-arms it, which is what makes interleaved
+        // sessions with different budgets correct.
+        sys.proto.max_retries = options.max_retries;
         let mut stats = ExecStats::default();
         let state = match plan {
             QueryPlan::Pattern { query } => {
                 if query.pattern.routing_constant().is_none() {
                     return Err(SystemError::NotRoutable);
                 }
-                State::Pattern { query }
+                State::Pattern {
+                    query: query.clone(),
+                }
             }
             QueryPlan::ObjectPrefix { query } => {
-                if self.config.hash != HashKind::OrderPreserving {
+                if sys.config.hash != HashKind::OrderPreserving {
                     return Err(SystemError::NotRoutable);
                 }
                 let Some(prefix) = object_prefix_core(&query.pattern) else {
                     return Err(SystemError::NotRoutable);
                 };
-                let key_prefix = self.keyspace().prefix_key(prefix);
-                let probes: Vec<BitString> = self
+                let key_prefix = sys.keyspace().prefix_key(prefix);
+                let probes: Vec<BitString> = sys
                     .overlay
                     .range_regions(&key_prefix)
                     .into_iter()
@@ -356,7 +417,7 @@ impl GridVineSystem {
                     })
                     .collect();
                 State::Prefix {
-                    query,
+                    query: query.clone(),
                     probes: probes.into_iter(),
                     seen: BTreeSet::new(),
                 }
@@ -368,7 +429,7 @@ impl GridVineSystem {
                 let (schema, attr) = gridvine_semantic::query_schema(query)
                     .map_err(|_| SystemError::NoQuerySchema)?;
                 let sweep = ClosureSweep::open(
-                    self,
+                    sys,
                     origin,
                     &query.pattern,
                     schema,
@@ -378,7 +439,7 @@ impl GridVineSystem {
                     &mut stats,
                 );
                 State::Closure {
-                    query,
+                    query: query.clone(),
                     sweep: Box::new(sweep),
                     seen: BTreeSet::new(),
                 }
@@ -409,13 +470,13 @@ impl GridVineSystem {
                     },
                 };
                 State::Join(Box::new(JoinState {
-                    query,
-                    order,
+                    query: query.clone(),
+                    order: order.clone(),
                     vars,
                     interner: TermInterner::new(),
                     rows,
                     phase,
-                    barrier: self.exec_state(origin).clock,
+                    barrier: started_at,
                     slots,
                     proj,
                     seen: BTreeSet::new(),
@@ -428,20 +489,15 @@ impl GridVineSystem {
             | QueryPlan::ObjectPrefix { query }
             | QueryPlan::Closure { query } => RowOrder::ByTerm(query.distinguished.clone()),
         };
-        let started_at = self.exec_state(origin).clock;
-        debug_assert_eq!(
-            self.exec_state(origin).queue.len(),
-            0,
-            "one session at a time per system"
-        );
-        Ok(QuerySession {
+        Ok(SessionCore {
+            id: sys.alloc_session_id(),
             origin,
             strategy: options.strategy,
             ttl,
             limit: options.limit,
             window: options.window.max(1),
-            start_messages: self.overlay.messages_sent(),
-            start_proto,
+            max_retries: options.max_retries,
+            inflight: 0,
             seen_replies: HashSet::new(),
             stats,
             issued_reported: ExecStats::default(),
@@ -456,121 +512,101 @@ impl GridVineSystem {
             max_completion: started_at,
             ready_of: HashMap::new(),
             hop_ready: started_at,
-            sys: self,
         })
     }
-}
 
-impl<'a> QuerySession<'a> {
-    /// Return the next [`ResultEvent`], or `Ok(None)` once the plan is
-    /// fully drained or the result limit terminated it.
-    ///
-    /// Internally this keeps up to [`QueryOptions::window`] units in
-    /// flight: it issues canonical units until the window is full (or
-    /// the plan runs out of ready work), then delivers the earliest
-    /// scheduled reply, advancing the simulated clock. Errors end the
-    /// session: events already produced (rows that *were* shipped and
-    /// charged) are delivered first, then the error surfaces exactly
-    /// once, then the session reports drained.
-    pub fn next_event(&mut self) -> Result<Option<ResultEvent>, SystemError> {
-        loop {
-            if let Some(ev) = self.delivered.pop_front() {
-                return Ok(Some(ev));
-            }
-            // Replenish the window in canonical order.
-            while self.error.is_none()
-                && !matches!(self.state, State::Done)
-                && self.sys.exec_state(self.origin).queue.len() < self.window
-            {
-                if let Err(e) = self.issue_step() {
-                    self.state = State::Done;
-                    self.error = Some(e);
-                }
-            }
-            // Deliver the earliest reply, advancing the clock.
-            if let Some((at, reply)) = self.sys.exec_state_mut(self.origin).queue.pop() {
-                self.sim_now = self.sim_now.max(at);
-                if !self.seen_replies.insert(reply.request_id) {
-                    // A duplicated reply: this unit was already
-                    // delivered and folded in — drop the copy so rows,
-                    // messages and accounting are never double-charged.
-                    self.stats.duplicates_dropped += 1;
-                    continue;
-                }
-                self.delivered.extend(reply.events);
-                continue;
-            }
-            if !self.error_events.is_empty() {
-                let stash = std::mem::take(&mut self.error_events);
-                self.delivered.extend(stash);
-                continue;
-            }
-            if let Some(e) = self.error.take() {
-                return Err(e);
-            }
-            return Ok(None);
+    /// The plan still has units to issue (not drained, not failed).
+    pub(crate) fn has_work(&self) -> bool {
+        self.error.is_none() && !matches!(self.state, State::Done)
+    }
+
+    /// Issue canonical units until the window is full or the plan runs
+    /// out of ready work; a unit failure parks the error for delivery.
+    pub(crate) fn replenish(&mut self, sys: &mut GridVineSystem) {
+        while self.issue_one(sys) {}
+    }
+
+    /// The session's window has room for another unit.
+    pub(crate) fn wants_issue(&self) -> bool {
+        self.has_work() && self.inflight < self.window
+    }
+
+    /// Issue at most one canonical unit (the pool's round-robin
+    /// replenisher calls this once per session per round, preserving
+    /// each session's canonical issue order). Returns whether the
+    /// window could take further work afterwards.
+    pub(crate) fn issue_one(&mut self, sys: &mut GridVineSystem) -> bool {
+        if !self.wants_issue() {
+            return false;
         }
+        if let Err(e) = self.issue_step(sys) {
+            self.state = State::Done;
+            self.error = Some(e);
+        }
+        self.wants_issue()
     }
 
-    /// Cumulative execution counters so far (messages included). Work
-    /// is accounted at *issue*, so in-flight units are already counted.
-    pub fn stats(&self) -> ExecStats {
-        let mut s = self.stats;
-        s.messages = self.sys.overlay.messages_sent() - self.start_messages;
-        let c = self.sys.proto.counters;
-        s.requests = c.requests - self.start_proto.requests;
-        s.sends = c.sends - self.start_proto.sends;
-        s.timeouts = c.timeouts - self.start_proto.timeouts;
-        s.retransmits = c.retransmits - self.start_proto.retransmits;
-        s
+    /// Deliver one popped reply to this session: advance its clock,
+    /// drop duplicate request ids. Returns the reply's events, or
+    /// `None` for a dropped duplicate.
+    pub(crate) fn deliver(&mut self, at: SimTime, reply: QueuedReply) -> Option<Vec<ResultEvent>> {
+        debug_assert_eq!(reply.session, self.id, "reply routed to the wrong session");
+        self.inflight = self.inflight.saturating_sub(1);
+        self.sim_now = self.sim_now.max(at);
+        if !self.seen_replies.insert(reply.request_id) {
+            // A duplicated reply: this unit was already delivered and
+            // folded in — drop the copy so rows, messages and
+            // accounting are never double-charged.
+            self.stats.duplicates_dropped += 1;
+            return None;
+        }
+        Some(reply.events)
     }
 
-    /// Distinct solution rows accumulated so far, in discovery order.
-    pub fn rows(&self) -> &[Binding] {
+    /// Cancel the session's remaining scheduled replies (other
+    /// sessions' replies on the shared origin queue survive) and write
+    /// the simulated clock back to the origin peer.
+    pub(crate) fn cancel(&mut self, sys: &mut GridVineSystem) {
+        let id = self.id;
+        let exec = sys.exec_state_mut(self.origin);
+        if self.inflight > 0 {
+            exec.queue.retain(|r| r.session != id);
+            self.inflight = 0;
+        }
+        exec.clock = exec.clock.max(self.sim_now);
+    }
+
+    /// Cumulative execution counters so far. Work is accounted at
+    /// *issue*, so in-flight units are already counted.
+    pub(crate) fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    pub(crate) fn rows(&self) -> &[Binding] {
         &self.rows
     }
 
-    /// The plan has no work left (drained, limit-terminated or failed)
-    /// and every scheduled reply was delivered.
-    pub fn is_complete(&self) -> bool {
-        matches!(self.state, State::Done)
-            && self.delivered.is_empty()
-            && self.error_events.is_empty()
-            && self.error.is_none()
-            && self.sys.exec_state(self.origin).queue.is_empty()
-    }
-
-    /// Simulated time of the latest delivered reply (the origin peer's
-    /// clock resumes from here for the next session).
-    pub fn sim_now(&self) -> SimTime {
+    pub(crate) fn sim_now(&self) -> SimTime {
         self.sim_now
     }
 
-    /// Simulated time elapsed since the session opened.
-    pub fn sim_elapsed(&self) -> SimDuration {
-        self.sim_now.saturating_since(self.started_at)
+    pub(crate) fn started_at(&self) -> SimTime {
+        self.started_at
     }
 
-    /// Units currently in flight (issued, reply not yet delivered).
-    pub fn in_flight(&self) -> usize {
-        self.sys.exec_state(self.origin).queue.len()
-    }
-
-    /// Finish the session: the rows accumulated so far in the canonical
-    /// order (sorted as `execute` returns them) plus cumulative stats.
-    /// Valid at any point — after a full drain this is exactly the
-    /// [`QueryOutcome`] `execute` would have returned; mid-flight it
-    /// cancels the remaining scheduled replies.
-    pub fn into_outcome(mut self) -> QueryOutcome {
-        let stats = self.stats();
+    /// Finish: the rows accumulated so far in the canonical sorted
+    /// order plus cumulative stats (exactly what `execute` returns
+    /// after a full drain).
+    pub(crate) fn outcome(&mut self) -> QueryOutcome {
         let mut rows = std::mem::take(&mut self.rows);
         match &self.order_by {
             RowOrder::ByTerm(var) => rows.sort_by(|a, b| a.get(var).cmp(&b.get(var))),
             RowOrder::ByDisplay => rows.sort_by_key(|b| b.to_string()),
         }
-        // Dropping `self` cancels any still-queued replies and writes
-        // the clock back to the origin peer's execution state.
-        QueryOutcome { rows, stats }
+        QueryOutcome {
+            rows,
+            stats: self.stats,
+        }
     }
 
     /// The result cap has been reached.
@@ -581,38 +617,53 @@ impl<'a> QuerySession<'a> {
     /// Issue the next canonical unit: run its logical work, charge its
     /// counters, compute its send/completion instants and schedule its
     /// reply on the origin peer's event queue.
-    fn issue_step(&mut self) -> Result<(), SystemError> {
+    fn issue_step(&mut self, sys: &mut GridVineSystem) -> Result<(), SystemError> {
         if self.limit_reached() {
             self.state = State::Done;
             return Ok(());
         }
-        // Arm the retry protocol for this unit: attempts are scheduled
-        // against the current session clock, and any backoff delay the
-        // unit's requests accumulate is folded into its completion.
-        self.sys.proto.now = self.sim_now;
-        self.sys.proto.delay = SimDuration::ZERO;
+        // Arm the retry protocol for this unit: this session's budget,
+        // attempts scheduled against its clock, backoff delay and the
+        // latency destination reset per issue. Re-arming every issue is
+        // what lets sessions interleave on the shared protocol state.
+        sys.proto.max_retries = self.max_retries;
+        sys.proto.now = self.sim_now;
+        sys.proto.delay = SimDuration::ZERO;
+        sys.proto.unit_dest = None;
+        // Snapshot the shared counters so exactly this unit's movement
+        // is folded into this session's stats.
+        let m0 = sys.overlay.messages_sent();
+        let p0 = sys.proto.counters;
         let mut state = std::mem::replace(&mut self.state, State::Done);
         let mut out: Vec<ResultEvent> = Vec::new();
         let result = match &mut state {
             State::Done => Ok(StepOutcome::Idle),
-            State::Pattern { query } => self.step_pattern(query, &mut out),
+            State::Pattern { query } => self.step_pattern(sys, query, &mut out),
             State::Prefix {
                 query,
                 probes,
                 seen,
-            } => self.step_prefix(query, probes, seen, &mut out),
+            } => self.step_prefix(sys, query, probes, seen, &mut out),
             State::Closure { query, sweep, seen } => {
-                self.step_closure(query, sweep, seen, &mut out)
+                self.step_closure(sys, query, sweep, seen, &mut out)
             }
-            State::Join(join) => self.step_join(join, &mut out),
+            State::Join(join) => self.step_join(sys, join, &mut out),
         };
+        // Fold the unit's counter movement in on success *and* failure
+        // (a failing unit's messages were still sent and charged).
+        self.stats.messages += sys.overlay.messages_sent() - m0;
+        let c = sys.proto.counters;
+        self.stats.requests += c.requests - p0.requests;
+        self.stats.sends += c.sends - p0.sends;
+        self.stats.timeouts += c.timeouts - p0.timeouts;
+        self.stats.retransmits += c.retransmits - p0.retransmits;
         match result {
             Ok(StepOutcome::Idle) => Ok(()), // state stays Done
             Ok(StepOutcome::Unit { ready, stamp, done }) => {
                 if !done {
                     self.state = state;
                 }
-                self.schedule_unit(ready, stamp, out);
+                self.schedule_unit(sys, ready, stamp, out);
                 Ok(())
             }
             Err(e) => {
@@ -625,12 +676,18 @@ impl<'a> QuerySession<'a> {
     }
 
     /// Scheduler bookkeeping of one issued unit.
-    fn schedule_unit(&mut self, ready: SimTime, stamp: Stamp, mut events: Vec<ResultEvent>) {
+    fn schedule_unit(
+        &mut self,
+        sys: &mut GridVineSystem,
+        ready: SimTime,
+        stamp: Stamp,
+        mut events: Vec<ResultEvent>,
+    ) {
         // The unit is in flight from here: fold the high-water mark in
         // *before* the delta snapshot so delta sums stay exact.
-        let in_flight = self.sys.exec_state(self.origin).queue.len() + 1;
+        let in_flight = self.inflight + 1;
         self.stats.max_in_flight = self.stats.max_in_flight.max(in_flight);
-        let cur = self.stats();
+        let cur = self.stats;
         let prev = self.issued_reported;
         let delta = ExecStats {
             messages: cur.messages - prev.messages,
@@ -658,9 +715,9 @@ impl<'a> QuerySession<'a> {
         // The unit's reply lands after its overlay work plus whatever
         // backoff delay its retried requests accumulated, plus any
         // reorder jitter the fault process deals the reply itself.
-        let (reply_jitter, duplicate) = self.sys.proto.reply_fate();
+        let (reply_jitter, duplicate) = sys.proto.reply_fate();
         let completion =
-            send + self.sys.proto.delay + sched::unit_latency(delta.messages) + reply_jitter;
+            send + sys.proto.delay + sys.unit_delay(self.origin, delta.messages) + reply_jitter;
         self.max_completion = self.max_completion.max(completion);
         match stamp {
             Stamp::None => {}
@@ -675,8 +732,9 @@ impl<'a> QuerySession<'a> {
                 }
             }
         }
-        let request_id = self.sys.proto.next_request_id();
-        let queue = &mut self.sys.exec_state_mut(self.origin).queue;
+        let request_id = sys.proto.next_request_id();
+        let session = self.id;
+        let queue = &mut sys.exec_state_mut(self.origin).queue;
         if let Some(trailing) = duplicate {
             // The duplicated reply carries the same events under the
             // same request id; delivery-side dedup drops whichever
@@ -684,12 +742,22 @@ impl<'a> QuerySession<'a> {
             queue.schedule(
                 completion + trailing,
                 QueuedReply {
+                    session,
                     request_id,
                     events: events.clone(),
                 },
             );
+            self.inflight += 1;
         }
-        queue.schedule(completion, QueuedReply { request_id, events });
+        queue.schedule(
+            completion,
+            QueuedReply {
+                session,
+                request_id,
+                events,
+            },
+        );
+        self.inflight += 1;
     }
 
     /// Admit freshly-shipped bindings of a single-pattern plan: project
@@ -720,11 +788,12 @@ impl<'a> QuerySession<'a> {
     /// [`QueryPlan::Pattern`]: the single routed lookup.
     fn step_pattern(
         &mut self,
+        sys: &mut GridVineSystem,
         query: &TriplePatternQuery,
         out: &mut Vec<ResultEvent>,
     ) -> Result<StepOutcome, SystemError> {
         self.stats.subqueries += 1;
-        let bindings = self.sys.resolve_pattern_once(self.origin, &query.pattern)?;
+        let bindings = sys.resolve_pattern_once(self.origin, &query.pattern)?;
         self.stats.bindings_shipped += bindings.len();
         let mut seen = BTreeSet::new();
         let (batch, _) = self.admit_terms(&mut seen, &query.distinguished, &bindings);
@@ -744,6 +813,7 @@ impl<'a> QuerySession<'a> {
     /// all ready at session start and pipeline `window`-wide.
     fn step_prefix(
         &mut self,
+        sys: &mut GridVineSystem,
         query: &TriplePatternQuery,
         probes: &mut std::vec::IntoIter<BitString>,
         seen: &mut BTreeSet<Term>,
@@ -752,10 +822,10 @@ impl<'a> QuerySession<'a> {
         let Some(probe) = probes.next() else {
             return Ok(StepOutcome::Idle);
         };
-        let dest = self.sys.route_retrieve(self.origin, &probe)?;
-        self.sys.proto_request(self.origin, dest)?;
+        let dest = sys.route_retrieve(self.origin, &probe)?;
+        sys.proto_request(self.origin, dest)?;
         self.stats.subqueries += 1;
-        let db = &self.sys.local_dbs[dest.index()];
+        let db = &sys.local_dbs[dest.index()];
         let bindings: Vec<Binding> = db.match_pattern_iter(&query.pattern).collect();
         self.stats.bindings_shipped += bindings.len();
         let (batch, limit_hit) = self.admit_terms(seen, &query.distinguished, &bindings);
@@ -779,27 +849,23 @@ impl<'a> QuerySession<'a> {
     /// messages are never sent.
     fn step_closure(
         &mut self,
+        sys: &mut GridVineSystem,
         query: &TriplePatternQuery,
-        sweep: &mut ClosureSweep<'a>,
+        sweep: &mut ClosureSweep,
         seen: &mut BTreeSet<Term>,
         out: &mut Vec<ResultEvent>,
     ) -> Result<StepOutcome, SystemError> {
         if sweep.has_pending() {
             // Discovery unit of the previously resolved hop.
-            let expansion = sweep.expand_pending(
-                self.sys,
-                self.origin,
-                self.strategy,
-                self.ttl,
-                &mut self.stats,
-            )?;
+            let expansion =
+                sweep.expand_pending(sys, self.origin, self.strategy, self.ttl, &mut self.stats)?;
             return Ok(StepOutcome::Unit {
                 ready: self.hop_ready,
                 stamp: Stamp::Schemas(expansion.admitted),
                 done: sweep.is_exhausted(),
             });
         }
-        let Some(hop) = sweep.resolve_next(self.sys, self.origin)? else {
+        let Some(hop) = sweep.resolve_next(sys, self.origin)? else {
             return Ok(StepOutcome::Idle);
         };
         let ready = self
@@ -843,7 +909,7 @@ impl<'a> QuerySession<'a> {
     /// Project completed join rows onto the distinguished variables,
     /// dedup on codes, admit fresh rows. Returns `(batch, limit_hit)`.
     fn admit_join_rows(
-        join: &mut JoinState<'_>,
+        join: &mut JoinState,
         completed: &[Vec<u64>],
         rows: &mut Vec<Binding>,
         limit: Option<usize>,
@@ -869,12 +935,13 @@ impl<'a> QuerySession<'a> {
     /// substituted-group resolution (bound substitution).
     fn step_join(
         &mut self,
-        join: &mut JoinState<'a>,
+        sys: &mut GridVineSystem,
+        join: &mut JoinState,
         out: &mut Vec<ResultEvent>,
     ) -> Result<StepOutcome, SystemError> {
         match &mut join.phase {
-            JoinPhase::Independent { .. } => self.step_join_independent(join, out),
-            JoinPhase::Bound { .. } => self.step_join_bound(join, out),
+            JoinPhase::Independent { .. } => self.step_join_independent(sys, join, out),
+            JoinPhase::Bound { .. } => self.step_join_bound(sys, join, out),
         }
     }
 
@@ -886,7 +953,8 @@ impl<'a> QuerySession<'a> {
     /// engine and emits the projected rows.
     fn step_join_independent(
         &mut self,
-        join: &mut JoinState<'a>,
+        sys: &mut GridVineSystem,
+        join: &mut JoinState,
         out: &mut Vec<ResultEvent>,
     ) -> Result<StepOutcome, SystemError> {
         let JoinState {
@@ -902,9 +970,7 @@ impl<'a> QuerySession<'a> {
         };
         if *next_pattern < query.patterns.len() {
             let pattern = &query.patterns[*next_pattern];
-            let net =
-                self.sys
-                    .sweep_pattern_network(self.origin, pattern, self.strategy, self.ttl)?;
+            let net = sys.sweep_pattern_network(self.origin, pattern, self.strategy, self.ttl)?;
             net.charge(&mut self.stats);
             sets.push(
                 net.bindings
@@ -948,7 +1014,8 @@ impl<'a> QuerySession<'a> {
     /// group, so the leftover subqueries are never issued.
     fn step_join_bound(
         &mut self,
-        join: &mut JoinState<'a>,
+        sys: &mut GridVineSystem,
+        join: &mut JoinState,
         out: &mut Vec<ResultEvent>,
     ) -> Result<StepOutcome, SystemError> {
         let ready = join.barrier;
@@ -1014,10 +1081,7 @@ impl<'a> QuerySession<'a> {
                 );
             }
             let sub = pattern.substitute(&seed);
-            match self
-                .sys
-                .sweep_pattern_network(self.origin, &sub, self.strategy, self.ttl)
-            {
+            match sys.sweep_pattern_network(self.origin, &sub, self.strategy, self.ttl) {
                 Ok(net) => {
                     net.charge(&mut self.stats);
                     // The substituted instance's matches bind only the
@@ -1093,15 +1157,103 @@ impl<'a> QuerySession<'a> {
     }
 }
 
+impl QuerySession<'_> {
+    /// Return the next [`ResultEvent`], or `Ok(None)` once the plan is
+    /// fully drained or the result limit terminated it.
+    ///
+    /// Internally this keeps up to [`QueryOptions::window`] units in
+    /// flight: it issues canonical units until the window is full (or
+    /// the plan runs out of ready work), then delivers the earliest
+    /// scheduled reply, advancing the simulated clock. Errors end the
+    /// session: events already produced (rows that *were* shipped and
+    /// charged) are delivered first, then the error surfaces exactly
+    /// once, then the session reports drained.
+    pub fn next_event(&mut self) -> Result<Option<ResultEvent>, SystemError> {
+        loop {
+            if let Some(ev) = self.core.delivered.pop_front() {
+                return Ok(Some(ev));
+            }
+            // Replenish the window in canonical order.
+            self.core.replenish(self.sys);
+            // Deliver the earliest reply, advancing the clock.
+            if let Some((at, reply)) = self.sys.exec_state_mut(self.core.origin).queue.pop() {
+                debug_assert_eq!(
+                    reply.session, self.core.id,
+                    "standalone sessions own their origin's reply queue"
+                );
+                if let Some(events) = self.core.deliver(at, reply) {
+                    self.core.delivered.extend(events);
+                }
+                continue;
+            }
+            if !self.core.error_events.is_empty() {
+                let stash = std::mem::take(&mut self.core.error_events);
+                self.core.delivered.extend(stash);
+                continue;
+            }
+            if let Some(e) = self.core.error.take() {
+                return Err(e);
+            }
+            return Ok(None);
+        }
+    }
+
+    /// Cumulative execution counters so far (messages included). Work
+    /// is accounted at *issue*, so in-flight units are already counted.
+    pub fn stats(&self) -> ExecStats {
+        self.core.stats()
+    }
+
+    /// Distinct solution rows accumulated so far, in discovery order.
+    pub fn rows(&self) -> &[Binding] {
+        self.core.rows()
+    }
+
+    /// The plan has no work left (drained, limit-terminated or failed)
+    /// and every scheduled reply was delivered.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.core.state, State::Done)
+            && self.core.delivered.is_empty()
+            && self.core.error_events.is_empty()
+            && self.core.error.is_none()
+            && self.core.inflight == 0
+    }
+
+    /// Simulated time of the latest delivered reply (the origin peer's
+    /// clock resumes from here for the next session).
+    pub fn sim_now(&self) -> SimTime {
+        self.core.sim_now()
+    }
+
+    /// Simulated time elapsed since the session opened.
+    pub fn sim_elapsed(&self) -> SimDuration {
+        self.core.sim_now().saturating_since(self.core.started_at())
+    }
+
+    /// Units currently in flight (issued, reply not yet delivered).
+    pub fn in_flight(&self) -> usize {
+        self.core.inflight
+    }
+
+    /// Finish the session: the rows accumulated so far in the canonical
+    /// order (sorted as `execute` returns them) plus cumulative stats.
+    /// Valid at any point — after a full drain this is exactly the
+    /// [`QueryOutcome`] `execute` would have returned; mid-flight it
+    /// cancels the remaining scheduled replies.
+    pub fn into_outcome(mut self) -> QueryOutcome {
+        // Dropping `self` afterwards cancels any still-queued replies
+        // and writes the clock back to the origin peer's state.
+        self.core.outcome()
+    }
+}
+
 impl Drop for QuerySession<'_> {
-    /// Cancel every still-scheduled reply (the origin's event queue
-    /// returns to empty — `pending_events() == 0`) and write the
-    /// simulated clock back to the origin peer's execution state.
+    /// Cancel every still-scheduled reply of this session (the origin's
+    /// event queue drops them — `pending_events() == 0` when no other
+    /// session is in flight) and write the simulated clock back to the
+    /// origin peer's execution state.
     fn drop(&mut self) {
-        let sim_now = self.sim_now;
-        let exec = self.sys.exec_state_mut(self.origin);
-        exec.queue.clear();
-        exec.clock = exec.clock.max(sim_now);
+        self.core.cancel(self.sys);
     }
 }
 

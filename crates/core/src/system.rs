@@ -14,7 +14,7 @@
 
 use crate::item::{KeySpace, MediationItem};
 use gridvine_netsim::churn::{ChurnEvent, ChurnKind};
-use gridvine_netsim::{FaultConfig, SimDuration, SimTime};
+use gridvine_netsim::{FaultConfig, LatencyConfig, LatencyModel, NodeId, SimDuration, SimTime};
 use gridvine_pgrid::{
     BitString, HashKind, KeyHasher, Overlay, PeerId, RouteError, Topology, UpdateOp,
 };
@@ -37,6 +37,8 @@ use std::collections::BTreeSet;
 pub mod conjunctive;
 #[path = "exec.rs"]
 pub mod exec;
+#[path = "pool.rs"]
+pub mod pool;
 #[path = "sched.rs"]
 pub mod sched;
 #[path = "session.rs"]
@@ -83,6 +85,18 @@ pub struct GridVineConfig {
     /// randomness and is bit-identical to the adversary-free system.
     #[serde(default)]
     pub semantic_fault: SemanticFaultConfig,
+    /// Latency model of the session scheduler's subquery/reply
+    /// exchanges ([`gridvine_netsim::latency`]): with a non-flat model
+    /// a unit's latency is `PROCESSING` plus one origin→destination
+    /// sample per overlay message it charged, so heterogeneous WAN
+    /// distributions shape the clock (and the latency CDF under load)
+    /// without touching the logical accounting. The default
+    /// [`LatencyConfig::Flat`] keeps the classic
+    /// `PROCESSING + messages × PER_MESSAGE` formula, builds no model
+    /// and consumes no randomness — bit-identical to the pre-latency
+    /// scheduler.
+    #[serde(default)]
+    pub latency: LatencyConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -99,6 +113,7 @@ impl Default for GridVineConfig {
             closure_cache_capacity: 64,
             fault: FaultConfig::none(),
             semantic_fault: SemanticFaultConfig::none(),
+            latency: LatencyConfig::Flat,
             seed: 0x6B1D,
         }
     }
@@ -133,6 +148,11 @@ pub(crate) struct ProtocolState {
     /// Timeout/backoff delay accumulated by the unit being issued
     /// (reset per issue, folded into the unit's completion instant).
     pub(crate) delay: SimDuration,
+    /// Destination of the unit currently being issued: the peer the
+    /// last routed request of this unit went to (reset per issue).
+    /// Non-flat latency models sample the origin→destination link for
+    /// each of the unit's messages.
+    pub(crate) unit_dest: Option<PeerId>,
     /// Next request id.
     next_request: u64,
     pub(crate) counters: ProtoCounters,
@@ -147,6 +167,7 @@ impl ProtocolState {
             max_retries: exec::DEFAULT_MAX_RETRIES,
             now: SimTime::ZERO,
             delay: SimDuration::ZERO,
+            unit_dest: None,
             next_request: 0,
             counters: ProtoCounters::default(),
             rng: gridvine_netsim::rng::derive(config.seed, 0xB0FF),
@@ -330,6 +351,14 @@ pub struct GridVineSystem {
     /// *between* the key-space writes of the next mapping commit,
     /// exercising the atomic-commit rollback path.
     commit_crash: Option<PeerId>,
+    /// The scheduler's latency model ([`GridVineConfig::latency`]),
+    /// built once at construction with its own derived seed. `None`
+    /// under the flat default — [`GridVineSystem::unit_delay`] then
+    /// uses the classic per-message formula and draws nothing.
+    latency: Option<Box<dyn LatencyModel>>,
+    /// Monotone session-id allocator shared by standalone sessions and
+    /// pools (ids stay unique when both run against one system).
+    next_session: u64,
     rng: StdRng,
 }
 
@@ -352,6 +381,10 @@ impl GridVineSystem {
             churn: vec![Vec::new(); topology.len()],
             adversary: SemanticAdversary::new(config.semantic_fault.clone(), config.seed),
             commit_crash: None,
+            latency: config
+                .latency
+                .build(gridvine_netsim::rng::derive_seed(config.seed, 0x1A7E)),
+            next_session: 0,
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -377,6 +410,10 @@ impl GridVineSystem {
             churn: vec![Vec::new(); topology.len()],
             adversary: SemanticAdversary::new(config.semantic_fault.clone(), config.seed),
             commit_crash: None,
+            latency: config
+                .latency
+                .build(gridvine_netsim::rng::derive_seed(config.seed, 0x1A7E)),
+            next_session: 0,
             topology,
             overlay,
             registry: MappingRegistry::new(),
@@ -520,6 +557,7 @@ impl GridVineSystem {
     pub(crate) fn proto_request(&mut self, from: PeerId, dest: PeerId) -> Result<(), SystemError> {
         self.proto.counters.requests += 1;
         self.proto.counters.sends += 1;
+        self.proto.unit_dest = Some(dest);
         if self.crashed.contains(&dest) {
             return Err(SystemError::PeerDown(dest));
         }
@@ -540,6 +578,39 @@ impl GridVineSystem {
             self.proto.delay += backoff;
         }
         Err(SystemError::PeerDown(dest))
+    }
+
+    /// Allocate the next session id (see [`pool::SessionId`]): unique
+    /// for the system's lifetime, shared by standalone sessions and
+    /// pools.
+    pub(crate) fn alloc_session_id(&mut self) -> pool::SessionId {
+        let id = pool::SessionId(self.next_session);
+        self.next_session += 1;
+        id
+    }
+
+    /// Simulated latency of one issued unit that charged `messages`
+    /// overlay messages from `origin`.
+    ///
+    /// Flat (default) config: the classic deterministic
+    /// `PROCESSING + messages × PER_MESSAGE` formula. With a model from
+    /// [`GridVineConfig::latency`]: `PROCESSING` plus one sampled
+    /// origin→destination delay per message, where the destination is
+    /// the peer the unit's last routed request went to
+    /// (`ProtocolState::unit_dest`; local-only units fall back to the
+    /// origin itself).
+    pub(crate) fn unit_delay(&mut self, origin: PeerId, messages: u64) -> SimDuration {
+        let Some(model) = self.latency.as_deref_mut() else {
+            return sched::unit_latency(messages);
+        };
+        let dest = self.proto.unit_dest.unwrap_or(origin);
+        let from = NodeId::from_index(origin.index());
+        let to = NodeId::from_index(dest.index());
+        let mut total = sched::PROCESSING;
+        for _ in 0..messages {
+            total += model.sample(from, to);
+        }
+        total
     }
 
     /// One peer's local triple database `DB_p`.
@@ -922,6 +993,7 @@ impl GridVineSystem {
                 let msgs_before = self.overlay.messages_sent();
                 self.proto.now = clock;
                 self.proto.delay = SimDuration::ZERO;
+                self.proto.unit_dest = None;
                 stats.assessment_probes += 1;
                 let probed = self
                     .route_retrieve(origin, &key)
@@ -932,7 +1004,7 @@ impl GridVineSystem {
                     Err(e) => return Err(e),
                 }
                 let delta = self.overlay.messages_sent() - msgs_before;
-                clock = clock + self.proto.delay + sched::unit_latency(delta);
+                clock = clock + self.proto.delay + self.unit_delay(origin, delta);
             }
             cycles_probed += cycles.len();
 
@@ -961,9 +1033,11 @@ impl GridVineSystem {
                 .unwrap_or(false);
             if changed {
                 let msgs_before = self.overlay.messages_sent();
+                self.proto.unit_dest = None;
                 self.refresh_mapping(origin, old.id, old)?;
                 let delta = self.overlay.messages_sent() - msgs_before;
-                clock += sched::unit_latency(delta);
+                let d = self.unit_delay(origin, delta);
+                clock += d;
             }
         }
 

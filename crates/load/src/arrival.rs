@@ -1,0 +1,104 @@
+//! Seeded open-loop arrival processes.
+//!
+//! An open-loop driver submits sessions at instants drawn from an
+//! arrival process *regardless* of how fast the system drains them —
+//! load is controlled by the process, not by completions, which is
+//! what exposes queueing behaviour (closed-loop drivers self-throttle
+//! and hide it). Both processes here are deterministic in
+//! `(process, n, seed)`.
+
+use gridvine_netsim::rng;
+use gridvine_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How session arrival instants are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate` sessions per simulated second
+    /// (independent exponential inter-arrival gaps) — the classical
+    /// open-loop model of independent clients.
+    Poisson { rate: f64 },
+    /// A fixed inter-arrival gap (a paced submission script); consumes
+    /// no randomness.
+    Deterministic { gap: SimDuration },
+}
+
+impl ArrivalProcess {
+    /// The first `n` arrival instants, in nondecreasing order, starting
+    /// one gap after the simulation epoch.
+    pub fn instants(&self, n: usize, seed: u64) -> Vec<SimTime> {
+        let mut r = rng::derive(seed, 0x0A1C);
+        let mut at = SimTime::ZERO;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let gap = match *self {
+                ArrivalProcess::Poisson { rate } => {
+                    SimDuration::from_secs_f64(rng::exponential(&mut r, rate))
+                }
+                ArrivalProcess::Deterministic { gap } => gap,
+            };
+            at += gap;
+            out.push(at);
+        }
+        out
+    }
+
+    /// Mean sessions per simulated second the process targets.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Deterministic { gap } => {
+                if gap.0 == 0 {
+                    f64::INFINITY
+                } else {
+                    1.0 / gap.as_secs_f64()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_gaps_are_exact() {
+        let p = ArrivalProcess::Deterministic {
+            gap: SimDuration::from_millis(10),
+        };
+        let xs = p.instants(4, 7);
+        assert_eq!(
+            xs,
+            vec![
+                SimTime(10_000),
+                SimTime(20_000),
+                SimTime(30_000),
+                SimTime(40_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_is_seeded_and_monotone() {
+        let p = ArrivalProcess::Poisson { rate: 100.0 };
+        let a = p.instants(50, 3);
+        let b = p.instants(50, 3);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let c = p.instants(50, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate: 200.0 };
+        let xs = p.instants(4000, 11);
+        let span = xs.last().unwrap().as_secs_f64();
+        let empirical = 4000.0 / span;
+        assert!(
+            (empirical - 200.0).abs() < 20.0,
+            "empirical rate {empirical}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! # gridvine-load
+//!
+//! Open-loop traffic generation for the GridVine PDMS — the
+//! latency-under-load companion to the single-query experiment
+//! harness.
+//!
+//! The paper's deployment (§2.3) reports per-query latency CDFs from a
+//! live multi-peer system where queries *overlap*: many origins submit
+//! concurrently and the mediation layer serves them interleaved. The
+//! per-query executor measures a session in isolation; this crate
+//! reproduces the overlapped regime on the simulated clock:
+//!
+//! * [`arrival::ArrivalProcess`] — seeded Poisson or deterministic
+//!   arrival instants (open loop: submission pressure is independent
+//!   of completions, so queueing is visible instead of self-throttled);
+//! * [`traffic::run_open_loop`] — merges arrivals with the
+//!   [`SessionPool`](gridvine_core::pool::SessionPool) event stream in
+//!   simulated-time order, applying admission control (a concurrency
+//!   cap plus a bounded FIFO wait queue, reject beyond), per-session
+//!   budgets (overlay-message cap, simulated-time deadline) enforced
+//!   through the pool's cancel path, and round-robin origin assignment;
+//! * [`report::LoadReport`] — the run's accounting: every submitted
+//!   session lands in exactly one terminal bucket, the headline is the
+//!   completion-latency CDF (p50/p95/p99 from real per-session
+//!   completion instants under contention), plus queue-wait
+//!   percentiles and per-origin fairness slices.
+//!
+//! Plug a wide-area latency model into the scheduler via
+//! [`GridVineConfig::latency`](gridvine_core::GridVineConfig) (e.g.
+//! [`LatencyConfig::planetlab_2007`](gridvine_netsim::LatencyConfig))
+//! to measure the CDF over regional WAN delays rather than the flat
+//! per-message model. Everything is deterministic: the same system,
+//! plans and [`traffic::LoadConfig`] produce an identical transcript —
+//! CI runs the open-loop example twice and diffs the output.
+//!
+//! ```
+//! use gridvine_core::{GridVineConfig, GridVineSystem, QueryPlan};
+//! use gridvine_load::prelude::*;
+//! use gridvine_netsim::SimDuration;
+//! use gridvine_pgrid::PeerId;
+//! use gridvine_rdf::{Term, Triple, TriplePatternQuery};
+//! use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+//!
+//! let mut sys = GridVineSystem::new(GridVineConfig::default());
+//! let p = PeerId(0);
+//! sys.insert_schema(p, Schema::new("EMBL", ["Organism"]))?;
+//! sys.insert_schema(p, Schema::new("EMP", ["SystematicName"]))?;
+//! sys.insert_mapping(p, "EMBL", "EMP", MappingKind::Equivalence, Provenance::Manual,
+//!     vec![Correspondence::new("Organism", "SystematicName")])?;
+//! sys.insert_triple(p, Triple::new("seq:A78712", "EMBL#Organism",
+//!     Term::literal("Aspergillus niger")))?;
+//!
+//! let plans = vec![QueryPlan::search(TriplePatternQuery::example_aspergillus())];
+//! let cfg = LoadConfig {
+//!     sessions: 50,
+//!     arrivals: ArrivalProcess::Poisson { rate: 200.0 },
+//!     origins: 4,
+//!     max_concurrent: 8,
+//!     ..LoadConfig::default()
+//! };
+//! let report = run_open_loop(&mut sys, &plans, &cfg);
+//! assert_eq!(report.submitted, 50);
+//! assert!(report.latency.p99 >= report.latency.p50);
+//! # Ok::<(), gridvine_core::SystemError>(())
+//! ```
+
+pub mod arrival;
+pub mod report;
+pub mod traffic;
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::arrival::ArrivalProcess;
+    pub use crate::report::{LatencySummary, LoadReport, OriginStats};
+    pub use crate::traffic::{run_open_loop, LoadConfig};
+}
+
+pub use arrival::ArrivalProcess;
+pub use report::{LatencySummary, LoadReport, OriginStats};
+pub use traffic::{run_open_loop, LoadConfig};

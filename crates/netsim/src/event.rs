@@ -92,6 +92,20 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Keep only the events whose payload satisfies `f`, preserving the
+    /// (time, insertion) delivery order of the survivors.
+    ///
+    /// Used to cancel one session's in-flight replies on a queue shared
+    /// by many sessions: sequence numbers are retained, so survivors
+    /// keep their original FIFO tie-break positions.
+    pub fn retain(&mut self, mut f: impl FnMut(&E) -> bool) {
+        let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|e| f(&e.payload))
+            .collect();
+        self.heap = entries.into();
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -152,6 +166,21 @@ mod tests {
         assert!(q.is_empty());
         // scheduled_total is a lifetime counter and survives clear().
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn retain_preserves_order_and_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime(5), i); // all tied: FIFO by insertion
+        }
+        q.schedule(SimTime(1), 100);
+        q.retain(|&e| e % 2 == 0 || e == 100);
+        assert_eq!(q.pop(), Some((SimTime(1), 100)));
+        for i in [0, 2, 4, 6, 8] {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+        assert_eq!(q.pop(), None);
     }
 }
 

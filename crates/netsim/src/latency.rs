@@ -17,6 +17,7 @@ use crate::node::NodeId;
 use crate::rng;
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Strategy for sampling the one-way delay of a message.
 pub trait LatencyModel: Send {
@@ -75,8 +76,65 @@ impl LatencyModel for UniformLatency {
     }
 }
 
+/// Serializable choice of latency model, for embedding in system-level
+/// configuration (e.g. `gridvine-core`'s `GridVineConfig`).
+///
+/// [`LatencyConfig::Flat`] is the null model: it builds **no** sampler
+/// ([`LatencyConfig::build`] returns `None`) so consumers keep their
+/// built-in deterministic cost formula and draw **zero** randomness — a
+/// run with the default config is bit-identical to one that predates
+/// this enum, mirroring the null-config discipline of
+/// [`crate::fault::FaultConfig`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum LatencyConfig {
+    /// No sampled latency: the consumer's flat per-message cost model.
+    #[default]
+    Flat,
+    /// Every message takes exactly `delay` ([`ConstantLatency`]).
+    Constant {
+        /// Fixed one-way delay.
+        delay: SimDuration,
+    },
+    /// Uniform in `[min, max]` ([`UniformLatency`]).
+    Uniform {
+        /// Lower bound of the one-way delay.
+        min: SimDuration,
+        /// Upper bound of the one-way delay.
+        max: SimDuration,
+    },
+    /// Region-aware log-normal wide-area model ([`RegionalWan`]).
+    RegionalWan(RegionalWanConfig),
+}
+
+impl LatencyConfig {
+    /// The PlanetLab-calibrated WAN model
+    /// ([`RegionalWanConfig::planetlab_2007`]).
+    pub fn planetlab_2007() -> LatencyConfig {
+        LatencyConfig::RegionalWan(RegionalWanConfig::planetlab_2007())
+    }
+
+    /// True for the null (flat) model.
+    pub fn is_flat(&self) -> bool {
+        matches!(self, LatencyConfig::Flat)
+    }
+
+    /// Build the sampler, seeding its private RNG stream from `seed`.
+    /// Returns `None` for [`LatencyConfig::Flat`] so the caller can keep
+    /// its closed-form cost model without any RNG draws.
+    pub fn build(&self, seed: u64) -> Option<Box<dyn LatencyModel>> {
+        match self {
+            LatencyConfig::Flat => None,
+            LatencyConfig::Constant { delay } => Some(Box::new(ConstantLatency::new(*delay))),
+            LatencyConfig::Uniform { min, max } => {
+                Some(Box::new(UniformLatency::new(*min, *max, seed)))
+            }
+            LatencyConfig::RegionalWan(cfg) => Some(Box::new(RegionalWan::new(cfg.clone(), seed))),
+        }
+    }
+}
+
 /// Configuration for the regional wide-area model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegionalWanConfig {
     /// Number of geographic regions nodes are spread over.
     pub regions: usize,
@@ -279,6 +337,29 @@ mod tests {
             inter > intra * 1.5,
             "intra {intra:.4}s should be well below inter {inter:.4}s"
         );
+    }
+
+    #[test]
+    fn latency_config_flat_builds_nothing() {
+        assert!(LatencyConfig::default().is_flat());
+        assert!(LatencyConfig::Flat.build(7).is_none());
+        let built = LatencyConfig::Constant {
+            delay: SimDuration::from_millis(2),
+        }
+        .build(7);
+        let mut m = built.expect("constant builds a model");
+        assert_eq!(m.sample(n(0), n(1)), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn latency_config_builds_are_seed_deterministic() {
+        let cfg = LatencyConfig::planetlab_2007();
+        let mut a = cfg.build(42).expect("wan builds");
+        let mut b = cfg.build(42).expect("wan builds");
+        for i in 0..64 {
+            let (f, t) = (n(i % 8), n((i * 3) % 8));
+            assert_eq!(a.sample(f, t), b.sample(f, t));
+        }
     }
 
     #[test]

@@ -19,12 +19,18 @@ pub fn seeded(seed: u64) -> StdRng {
 /// Experiments fan out over parameter sweeps; giving each run
 /// `derive(seed, run_index)` keeps runs independent yet reproducible.
 pub fn derive(seed: u64, stream: u64) -> StdRng {
+    seeded(derive_seed(seed, stream))
+}
+
+/// The child *seed* behind [`derive()`], for consumers that seed their own
+/// generator (e.g. a latency model constructed from a `u64`).
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
     // SplitMix64 finalizer mixes the pair into a well-distributed child seed.
     let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    seeded(z)
+    z
 }
 
 /// Sample a standard normal via the Box–Muller transform.

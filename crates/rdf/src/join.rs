@@ -29,20 +29,21 @@ pub const UNBOUND: u64 = u64::MAX;
 
 /// The variable layout of a query: each distinct variable name is
 /// assigned a dense slot, in order of first appearance.
+///
+/// Names are owned so a `VarTable` can outlive the query text it was
+/// built from — session state (which owns its plan) stores one directly.
 #[derive(Debug, Clone, Default)]
-pub struct VarTable<'q> {
-    names: Vec<&'q str>,
+pub struct VarTable {
+    names: Vec<String>,
 }
 
-impl<'q> VarTable<'q> {
-    pub fn new() -> VarTable<'q> {
+impl VarTable {
+    pub fn new() -> VarTable {
         VarTable::default()
     }
 
     /// Build from the patterns of a conjunctive query.
-    pub fn from_patterns<'p: 'q>(
-        patterns: impl IntoIterator<Item = &'p TriplePattern>,
-    ) -> VarTable<'q> {
+    pub fn from_patterns<'p>(patterns: impl IntoIterator<Item = &'p TriplePattern>) -> VarTable {
         let mut t = VarTable::new();
         for p in patterns {
             for v in p.variables() {
@@ -53,11 +54,11 @@ impl<'q> VarTable<'q> {
     }
 
     /// Slot of a variable, assigning the next free one on first sight.
-    pub fn slot_of(&mut self, name: &'q str) -> usize {
-        match self.names.iter().position(|n| *n == name) {
+    pub fn slot_of(&mut self, name: &str) -> usize {
+        match self.names.iter().position(|n| n == name) {
             Some(i) => i,
             None => {
-                self.names.push(name);
+                self.names.push(name.to_string());
                 self.names.len() - 1
             }
         }
@@ -65,7 +66,7 @@ impl<'q> VarTable<'q> {
 
     /// Slot of an already-registered variable.
     pub fn slot(&self, name: &str) -> Option<usize> {
-        self.names.iter().position(|n| *n == name)
+        self.names.iter().position(|n| n == name)
     }
 
     pub fn len(&self) -> usize {
@@ -76,7 +77,7 @@ impl<'q> VarTable<'q> {
         self.names.is_empty()
     }
 
-    pub fn names(&self) -> &[&'q str] {
+    pub fn names(&self) -> &[String] {
         &self.names
     }
 
@@ -121,7 +122,7 @@ impl TermInterner {
     }
 
     /// Encode a [`Binding`] into a row over `vars`.
-    pub fn encode(&mut self, binding: &Binding, vars: &VarTable<'_>) -> Vec<u64> {
+    pub fn encode(&mut self, binding: &Binding, vars: &VarTable) -> Vec<u64> {
         let mut row = vars.empty_row();
         for (name, term) in binding.iter() {
             if let Some(slot) = vars.slot(name) {
@@ -132,11 +133,11 @@ impl TermInterner {
     }
 
     /// Materialize a row back into a [`Binding`] (unbound slots skipped).
-    pub fn decode(&self, row: &[u64], vars: &VarTable<'_>) -> Binding {
+    pub fn decode(&self, row: &[u64], vars: &VarTable) -> Binding {
         let mut b = Binding::new();
         for (slot, &code) in row.iter().enumerate() {
             if code != UNBOUND {
-                b.bind(vars.names()[slot].to_string(), self.term(code).clone());
+                b.bind(vars.names()[slot].clone(), self.term(code).clone());
             }
         }
         b

@@ -740,7 +740,7 @@ impl TripleStore {
     pub fn match_codes_iter<'a>(
         &'a self,
         pattern: &'a TriplePattern,
-        vars: &VarTable<'_>,
+        vars: &VarTable,
     ) -> impl Iterator<Item = Vec<u64>> + 'a {
         let slots: Vec<(Position, usize)> = Position::ALL
             .iter()
@@ -762,11 +762,7 @@ impl TripleStore {
 
     /// Matching rows as term-code rows over `vars` (eagerly collected;
     /// see [`TripleStore::match_codes_iter`] for the streaming form).
-    pub(crate) fn match_codes(
-        &self,
-        pattern: &TriplePattern,
-        vars: &VarTable<'_>,
-    ) -> Vec<Vec<u64>> {
+    pub(crate) fn match_codes(&self, pattern: &TriplePattern, vars: &VarTable) -> Vec<Vec<u64>> {
         self.match_codes_iter(pattern, vars).collect()
     }
 
@@ -781,7 +777,7 @@ impl TripleStore {
         }
     }
 
-    pub(crate) fn decode_row(&self, row: &[u64], vars: &VarTable<'_>) -> Binding {
+    pub(crate) fn decode_row(&self, row: &[u64], vars: &VarTable) -> Binding {
         let mut b = Binding::new();
         for (slot, &code) in row.iter().enumerate() {
             if code != UNBOUND {

@@ -1,0 +1,285 @@
+//! Integration tests of the PR-8 concurrent-session multiplexer
+//! ([`gridvine_core::pool::SessionPool`]) and the open-loop traffic
+//! driver ([`gridvine_load`]): a pool of one session must reproduce the
+//! standalone scheduler bit-for-bit (rows, stats, RNG stream),
+//! interleaved sessions must match their sequential runs wherever
+//! routing is RNG-value-invariant, and cancelled / rejected /
+//! deadline-expired sessions must leave no queued events behind while
+//! charging every overlay message exactly once.
+
+use gridvine_core::pool::SessionPool;
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, QueryOptions, QueryOutcome, QueryPlan, Strategy,
+};
+use gridvine_load::{run_open_loop, ArrivalProcess, LoadConfig};
+use gridvine_netsim::{FaultConfig, SimDuration};
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
+use gridvine_semantic::{Correspondence, MappingKind, Provenance, Schema};
+use proptest::prelude::*;
+
+/// The 4-schema equivalence chain of `fault_protocol.rs`, with the
+/// reference-density knob exposed: `refs_per_level: 1` topologies have
+/// exactly one routing candidate per trie level, which makes routes
+/// independent of the values the shared RNG yields — the contract the
+/// interleaving proptests lean on.
+fn chain_system(refs_per_level: usize, fault: FaultConfig, seed: u64) -> GridVineSystem {
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: 32,
+        refs_per_level,
+        hash: gridvine_pgrid::HashKind::Uniform,
+        fault,
+        seed,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    for i in 0..4 {
+        sys.insert_schema(p0, Schema::new(format!("S{i}").as_str(), [format!("a{i}")]))
+            .unwrap();
+    }
+    for i in 0..3 {
+        sys.insert_mapping(
+            p0,
+            format!("S{i}").as_str(),
+            format!("S{}", i + 1).as_str(),
+            MappingKind::Equivalence,
+            Provenance::Manual,
+            vec![Correspondence::new(format!("a{i}"), format!("a{}", i + 1))],
+        )
+        .unwrap();
+    }
+    for i in 0..4 {
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                format!("seq:R{i}").as_str(),
+                format!("S{i}#a{i}").as_str(),
+                Term::literal("Aspergillus niger"),
+            ),
+        )
+        .unwrap();
+    }
+    sys
+}
+
+fn chain_query() -> TriplePatternQuery {
+    TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S0#a0")),
+            PatternTerm::constant(Term::literal("%Aspergillus%")),
+        ),
+    )
+    .unwrap()
+}
+
+fn options(window: usize) -> QueryOptions {
+    QueryOptions::new()
+        .strategy(Strategy::Iterative)
+        .window(window)
+        .max_retries(3)
+}
+
+/// Drain a pool to completion and hand back the outcomes in the order
+/// the sessions were opened.
+fn drain(
+    sys: &mut GridVineSystem,
+    pool: &mut SessionPool,
+    ids: &[gridvine_core::pool::SessionId],
+) -> Vec<QueryOutcome> {
+    while pool.step(sys).is_some() {}
+    ids.iter()
+        .map(|&id| {
+            pool.take_outcome(id)
+                .expect("drained session has an outcome")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The PR-8 acceptance bar: a pool containing exactly one session
+    /// is bit-identical to the standalone scheduler for windows 1 and
+    /// 4 — same rows, same stats, and the shared RNG is left in the
+    /// same state (witnessed by the next draws matching).
+    #[test]
+    fn pool_of_one_is_bit_identical_to_standalone(seed in 0u64..500) {
+        for window in [1usize, 4] {
+            let plan = QueryPlan::search(chain_query());
+            let mut solo = chain_system(2, FaultConfig::none(), seed);
+            let base = solo
+                .execute(PeerId(5), &plan, &options(window))
+                .unwrap();
+
+            let mut pooled = chain_system(2, FaultConfig::none(), seed);
+            let mut pool = SessionPool::new();
+            let id = pool
+                .open(&mut pooled, PeerId(5), &plan, &options(window))
+                .unwrap();
+            let out = drain(&mut pooled, &mut pool, &[id]).pop().unwrap();
+
+            prop_assert_eq!(&out.rows, &base.rows);
+            prop_assert_eq!(out.stats, base.stats);
+            prop_assert_eq!(solo.pending_events(), 0);
+            prop_assert_eq!(pooled.pending_events(), 0);
+            // Same RNG stream afterwards: the pool consumed exactly the
+            // draws the standalone run did.
+            for _ in 0..8 {
+                prop_assert_eq!(solo.random_peer(), pooled.random_peer());
+            }
+        }
+    }
+
+    /// On `refs_per_level: 1` topologies (routes RNG-value-invariant),
+    /// N sessions interleaved through one pool yield exactly the rows
+    /// and stats each yields when run sequentially standalone.
+    #[test]
+    fn interleaved_sessions_match_sequential(
+        seed in 0u64..200,
+        n in 2usize..5,
+        window in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let plan = QueryPlan::search(chain_query());
+        let origins: Vec<PeerId> = (0..n).map(|k| PeerId(5 + k as u32)).collect();
+
+        let mut seq = chain_system(1, FaultConfig::none(), seed);
+        let sequential: Vec<QueryOutcome> = origins
+            .iter()
+            .map(|&o| seq.execute(o, &plan, &options(window)).unwrap())
+            .collect();
+
+        let mut sys = chain_system(1, FaultConfig::none(), seed);
+        let mut pool = SessionPool::new();
+        let ids: Vec<_> = origins
+            .iter()
+            .map(|&o| pool.open(&mut sys, o, &plan, &options(window)).unwrap())
+            .collect();
+        let interleaved = drain(&mut sys, &mut pool, &ids);
+
+        for (s, i) in sequential.iter().zip(&interleaved) {
+            prop_assert_eq!(&s.rows, &i.rows);
+            prop_assert_eq!(s.stats, i.stats);
+        }
+        prop_assert_eq!(sys.pending_events(), 0);
+    }
+
+    /// On default-density topologies interleaving may legally permute
+    /// RNG draws across sessions, but the pool stays deterministic
+    /// (same seed → identical per-session outcome) and every session's
+    /// send accounting closes.
+    #[test]
+    fn interleaving_is_deterministic_on_default_topology(
+        seed in 0u64..200,
+        n in 2usize..5,
+        window in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let plan = QueryPlan::search(chain_query());
+        let run = |seed: u64| {
+            let mut sys = chain_system(2, FaultConfig::none(), seed);
+            let mut pool = SessionPool::new();
+            let ids: Vec<_> = (0..n)
+                .map(|k| {
+                    pool.open(&mut sys, PeerId(5 + k as u32), &plan, &options(window))
+                        .unwrap()
+                })
+                .collect();
+            let outs = drain(&mut sys, &mut pool, &ids);
+            assert_eq!(sys.pending_events(), 0);
+            outs
+        };
+        let a = run(seed);
+        let b = run(seed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.rows, &y.rows);
+            prop_assert_eq!(x.stats, y.stats);
+            prop_assert_eq!(
+                x.stats.sends,
+                x.stats.requests + x.stats.retransmits,
+                "stats: {:?}", x.stats
+            );
+        }
+    }
+
+    /// Cancelling a session mid-flight — under reply duplication, so
+    /// queued copies exist — drops exactly its replies: the survivors
+    /// finish, the event queues end empty, and the sum of per-session
+    /// message charges equals the overlay's own counter (no session is
+    /// double-charged, cancelled work stays charged once).
+    #[test]
+    fn cancel_conserves_messages_and_leaves_no_residue(
+        seed in 0u64..200,
+        dup in 0.0f64..1.0,
+        steps in 0usize..6,
+    ) {
+        let mut cfg = FaultConfig::none();
+        cfg.duplication = dup;
+        let plan = QueryPlan::search(chain_query());
+        let mut sys = chain_system(2, cfg, seed);
+        let m0 = sys.messages_sent();
+
+        let mut pool = SessionPool::new();
+        let ids: Vec<_> = (0..3)
+            .map(|k| {
+                pool.open(&mut sys, PeerId(5 + k as u32), &plan, &options(4))
+                    .unwrap()
+            })
+            .collect();
+        for _ in 0..steps {
+            if pool.step(&mut sys).is_none() {
+                break;
+            }
+        }
+        pool.cancel(&mut sys, ids[0]);
+        let outs = drain(&mut sys, &mut pool, &ids);
+
+        let charged: u64 = outs.iter().map(|o| o.stats.messages).sum();
+        prop_assert_eq!(charged, sys.messages_sent() - m0);
+        for o in &outs {
+            prop_assert_eq!(
+                o.stats.sends,
+                o.stats.requests + o.stats.retransmits,
+                "stats: {:?}", o.stats
+            );
+        }
+        prop_assert_eq!(sys.pending_events(), 0);
+    }
+
+    /// The open-loop driver under overload: rejected and
+    /// deadline-cancelled sessions leave `pending_events() == 0` and
+    /// the report's message total equals the overlay counter — nothing
+    /// is double-charged through the cancel paths and nothing leaks.
+    #[test]
+    fn open_loop_overload_accounts_every_message(
+        seed in 0u64..100,
+        gap_us in 1u64..40,
+        deadline_ms in 1u64..20,
+    ) {
+        let mut sys = chain_system(2, FaultConfig::none(), seed);
+        let m0 = sys.messages_sent();
+        let plans = vec![QueryPlan::search(chain_query())];
+        let cfg = LoadConfig {
+            sessions: 30,
+            arrivals: ArrivalProcess::Deterministic {
+                gap: SimDuration::from_micros(gap_us),
+            },
+            origins: 4,
+            max_concurrent: 2,
+            queue_capacity: 2,
+            deadline: Some(SimDuration::from_millis(deadline_ms)),
+            seed,
+            ..LoadConfig::default()
+        };
+        let r = run_open_loop(&mut sys, &plans, &cfg);
+        prop_assert_eq!(r.submitted, 30);
+        prop_assert_eq!(
+            r.completed + r.failed + r.cancelled_deadline + r.cancelled_budget
+                + r.rejected + r.refused,
+            30,
+            "every session in exactly one bucket: {}", r
+        );
+        prop_assert_eq!(r.messages, sys.messages_sent() - m0);
+        prop_assert_eq!(sys.pending_events(), 0);
+    }
+}
