@@ -47,6 +47,13 @@
 //!   absorbs the backlog. Both columns are simulated milliseconds from
 //!   real per-session completion instants; the row pins the
 //!   latency-under-load measurement end to end.
+//! * `exec_failover_p99` — **simulated-clock** p99 session latency
+//!   over a federation whose chain predicates carry a factor-3
+//!   replication rule: the "seed" column runs with the first-ranked
+//!   replica holder crashed (every data resolution fails over to the
+//!   next live replica), the "new" column fault-free. Both columns
+//!   deliver identical rows with zero failures — the gap is the
+//!   failover surcharge.
 //!
 //! Writes `BENCH_rdf.json` into the working directory and prints a
 //! table. `--quick` runs a reduced corpus as a CI smoke check (no JSON
@@ -54,10 +61,10 @@
 
 use gridvine_bench::Table;
 use gridvine_core::{
-    GridVineConfig, GridVineSystem, QueryOptions, QueryPlan, ResultEvent, Strategy,
+    GridVineConfig, GridVineSystem, PlacementPolicy, QueryOptions, QueryPlan, ResultEvent, Strategy,
 };
 use gridvine_load::{run_open_loop, ArrivalProcess, LoadConfig};
-use gridvine_netsim::SimDuration;
+use gridvine_netsim::{Cdf, SimDuration};
 use gridvine_pgrid::PeerId;
 use gridvine_rdf::{
     ConjunctiveQuery, PatternTerm, Position, SharedTermDict, Term, Triple, TriplePattern,
@@ -415,10 +422,17 @@ fn parallel_ingest_8way(triples: &[Triple], shards: usize, reps: usize) -> f64 {
 /// A synchronous PDMS federation for the session ops: an 8-schema
 /// equivalence chain with `entities` Aspergillus records spread evenly,
 /// plus the S0-vocabulary query whose closure reaches every schema.
-fn session_federation(entities: usize) -> (GridVineSystem, TriplePatternQuery) {
+/// `placement` is the null policy for the placement-free measurements
+/// (bit-identical to the pre-placement scheduler) and a replication
+/// rule for the failover row.
+fn session_federation(
+    entities: usize,
+    placement: PlacementPolicy,
+) -> (GridVineSystem, TriplePatternQuery) {
     const SCHEMAS: usize = 8;
     let mut sys = GridVineSystem::new(GridVineConfig {
         peers: 64,
+        placement,
         ..GridVineConfig::default()
     });
     let p0 = PeerId(0);
@@ -474,7 +488,7 @@ fn session_federation(entities: usize) -> (GridVineSystem, TriplePatternQuery) {
 fn exec_session_ops(quick: bool, results: &mut Vec<Measurement>) {
     let entities = if quick { 200 } else { 800 };
     let reps = if quick { 3 } else { 7 };
-    let (mut sys, q) = session_federation(entities);
+    let (mut sys, q) = session_federation(entities, PlacementPolicy::default());
     let plan = QueryPlan::search(q);
     let options = QueryOptions::new().strategy(Strategy::Iterative);
     let origin = PeerId(17);
@@ -631,7 +645,7 @@ fn exec_load_ops(quick: bool, results: &mut Vec<Measurement>) {
     let sessions = if quick { 24 } else { 56 }; // < peers: one origin each
                                                 // One standalone session's simulated makespan = the service time.
     let service = {
-        let (mut sys, q) = session_federation(entities);
+        let (mut sys, q) = session_federation(entities, PlacementPolicy::default());
         let plan = QueryPlan::search(q);
         let options = QueryOptions::new().strategy(Strategy::Iterative).window(4);
         let mut session = sys.open(PeerId(0), &plan, &options).expect("opens");
@@ -641,7 +655,7 @@ fn exec_load_ops(quick: bool, results: &mut Vec<Measurement>) {
     assert!(service > SimDuration::ZERO);
 
     let run = |gap: SimDuration| {
-        let (mut sys, q) = session_federation(entities);
+        let (mut sys, q) = session_federation(entities, PlacementPolicy::default());
         let plans = vec![QueryPlan::search(q)];
         let cfg = LoadConfig {
             sessions,
@@ -671,6 +685,92 @@ fn exec_load_ops(quick: bool, results: &mut Vec<Measurement>) {
         name: "exec_load_p99",
         baseline_ms: loaded_ms,
         new_ms: light_ms,
+    });
+}
+
+/// Simulated-clock p99 session latency with a crashed primary replica
+/// holder ("seed" column) vs fault-free ("new" column). A factor-3
+/// placement rule covers every chain predicate, so data resolutions
+/// take the replica-aware routing path; the victim is the first-ranked
+/// holder (lowest index — the flat model's serving order), which never
+/// owns a schema key here, so mediation discovery stays fault-free.
+/// Each session issues cold from its own non-holder origin; the crash
+/// converts every data resolution into a failover but sheds nothing —
+/// both columns deliver identical rows with zero failures, and the p99
+/// gap is the failover surcharge on the simulated clock.
+fn exec_failover_ops(quick: bool, results: &mut Vec<Measurement>) {
+    const SCHEMAS: usize = 8;
+    let entities = if quick { 40 } else { 80 };
+    let sessions = if quick { 16 } else { 40 };
+    let policy = PlacementPolicy::new().replicate("S", 3);
+
+    let run = |crash_primary: bool| {
+        let (mut sys, q) = session_federation(entities, policy.clone());
+        let plan = QueryPlan::search(q);
+        // window(1): every unit sits on the critical path, so the
+        // failed-attempt message of each failover lands on the clock
+        // instead of hiding inside the pipelined window's slack.
+        let options = QueryOptions::new().strategy(Strategy::Iterative).window(1);
+        let schema_owners: Vec<PeerId> = (0..SCHEMAS)
+            .flat_map(|i| sys.replica_holders(&format!("S{i}")))
+            .collect();
+        let holders = sys.replica_holders("S0#organism0");
+        if crash_primary {
+            let victim = *holders.iter().min_by_key(|p| p.0).expect("holders");
+            assert!(
+                !schema_owners.contains(&victim),
+                "the primary data holder must not own a schema key"
+            );
+            sys.crash_peer(victim);
+        }
+        let mut origins = (0..64u32)
+            .map(PeerId)
+            .filter(|p| !holders.contains(p) && !schema_owners.contains(p));
+        let mut lat = Cdf::new();
+        let mut rows = 0usize;
+        let mut failures = 0usize;
+        for _ in 0..sessions {
+            let origin = origins.next().expect("enough non-holder origins");
+            let mut session = sys.open(origin, &plan, &options).expect("opens");
+            while let Some(ev) = session.next_event().expect("advances") {
+                if let ResultEvent::Rows(batch) = ev {
+                    rows += batch.len();
+                }
+            }
+            lat.record_duration(session.sim_elapsed());
+            failures += session.into_outcome().stats.failures;
+        }
+        assert_eq!(failures, 0, "failover leaves zero failures");
+        (
+            lat.quantile(0.99) * 1e3,
+            rows,
+            sys.replica_counters().failovers,
+        )
+    };
+    let (clean_ms, clean_rows, clean_failovers) = run(false);
+    let (crashed_ms, crashed_rows, crashed_failovers) = run(true);
+    assert_eq!(
+        clean_rows,
+        entities * sessions,
+        "the closure delivers fully"
+    );
+    assert_eq!(
+        crashed_rows, clean_rows,
+        "failover keeps the rows identical"
+    );
+    assert_eq!(clean_failovers, 0);
+    assert!(
+        crashed_failovers > 0,
+        "the crashed primary forces failovers"
+    );
+    assert!(
+        crashed_ms >= clean_ms,
+        "failover cannot make the tail faster: {crashed_ms:.3}ms vs {clean_ms:.3}ms"
+    );
+    results.push(Measurement {
+        name: "exec_failover_p99",
+        baseline_ms: crashed_ms,
+        new_ms: clean_ms,
     });
 }
 
@@ -908,6 +1008,12 @@ fn main() {
     // p99 completion latency of the session-multiplexer stream at a
     // heavy vs light arrival rate (both columns simulated milliseconds).
     exec_load_ops(quick, &mut results);
+
+    // --- replica failover under a crashed primary ---------------------
+    // p99 session latency with the first-ranked holder of the
+    // replicated data keys crashed vs fault-free (both columns
+    // simulated milliseconds; identical rows, zero failures).
+    exec_failover_ops(quick, &mut results);
 
     // --- report -------------------------------------------------------
     println!(

@@ -233,6 +233,17 @@ pub struct ExecStats {
     /// by an assessment pass (re-confirmed quarantines of paroled edges
     /// included). Always 0 for query sessions.
     pub quarantined_mappings: usize,
+    /// Pattern resolutions served off the replica-aware routing path
+    /// (a placement rule covered the routed key — see
+    /// [`crate::system::place`]). Always 0 under the null policy.
+    pub replica_hits: usize,
+    /// Replica holders skipped because they were down (crashed, or the
+    /// retry budget ran out against a churn-down holder) before a live
+    /// holder served the unit.
+    pub failovers: usize,
+    /// Heat-spike placement changes (replica creations and migrations)
+    /// charged to this session's units.
+    pub migrations: usize,
 }
 
 /// What one [`GridVineSystem::execute`] call produced: solution rows
@@ -725,6 +736,16 @@ impl GridVineSystem {
         let Some((_, term)) = pattern.routing_constant() else {
             return Err(SystemError::NotRoutable);
         };
+        // Replica-aware fast path: if a placement rule covers this
+        // key, serve from the lowest-expected-latency live holder and
+        // fail over across the replica set before reporting PeerDown.
+        // Returns None under the null policy — the classic routed
+        // path below then runs with untouched accounting and RNG.
+        if let Some(resolved) = self.replica_route(origin, term.lexical()) {
+            let dest = resolved?;
+            let db = &self.local_dbs[dest.index()];
+            return Ok(db.match_pattern_iter(pattern).collect());
+        }
         let key = self.key_of(term.lexical());
         let route = self.overlay.route(origin, &key, &mut self.rng)?;
         self.overlay.charge_response(origin, route.destination);

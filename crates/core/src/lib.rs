@@ -73,6 +73,7 @@ pub mod selforg;
 pub mod system;
 
 pub use system::exec;
+pub use system::place;
 pub use system::pool;
 pub use system::session;
 
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::selforg::{RoundReport, SelfOrgConfig};
     pub use crate::system::conjunctive::JoinMode;
     pub use crate::system::exec::{ExecStats, QueryOptions, QueryOutcome};
+    pub use crate::system::place::{HeatSpike, PlacementPolicy, PlacementRule, SpikeAction};
     pub use crate::system::pool::{PoolEvent, SessionId, SessionPool};
     pub use crate::system::session::{QuerySession, ResultEvent};
     pub use crate::system::{
@@ -104,6 +106,7 @@ pub use plan::QueryPlan;
 pub use selforg::{RoundReport, SelfOrgConfig};
 pub use system::conjunctive::JoinMode;
 pub use system::exec::{ExecStats, QueryOptions, QueryOutcome};
+pub use system::place::{HeatSpike, PlacementPolicy, PlacementRule, SpikeAction};
 pub use system::pool::{PoolEvent, SessionId, SessionPool};
 pub use system::session::{QuerySession, ResultEvent};
 pub use system::{

@@ -634,6 +634,7 @@ impl SessionCore {
         // is folded into this session's stats.
         let m0 = sys.overlay.messages_sent();
         let p0 = sys.proto.counters;
+        let pl0 = sys.place.counters;
         let mut state = std::mem::replace(&mut self.state, State::Done);
         let mut out: Vec<ResultEvent> = Vec::new();
         let result = match &mut state {
@@ -657,6 +658,10 @@ impl SessionCore {
         self.stats.sends += c.sends - p0.sends;
         self.stats.timeouts += c.timeouts - p0.timeouts;
         self.stats.retransmits += c.retransmits - p0.retransmits;
+        let pl = sys.place.counters;
+        self.stats.replica_hits += pl.replica_hits - pl0.replica_hits;
+        self.stats.failovers += pl.failovers - pl0.failovers;
+        self.stats.migrations += pl.migrations - pl0.migrations;
         match result {
             Ok(StepOutcome::Idle) => Ok(()), // state stays Done
             Ok(StepOutcome::Unit { ready, stamp, done }) => {
@@ -708,6 +713,9 @@ impl SessionCore {
             duplicates_dropped: cur.duplicates_dropped - prev.duplicates_dropped,
             assessment_probes: cur.assessment_probes - prev.assessment_probes,
             quarantined_mappings: cur.quarantined_mappings - prev.quarantined_mappings,
+            replica_hits: cur.replica_hits - prev.replica_hits,
+            failovers: cur.failovers - prev.failovers,
+            migrations: cur.migrations - prev.migrations,
         };
         self.issued_reported = cur;
         events.push(ResultEvent::Stats(delta));

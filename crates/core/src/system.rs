@@ -37,6 +37,8 @@ use std::collections::BTreeSet;
 pub mod conjunctive;
 #[path = "exec.rs"]
 pub mod exec;
+#[path = "place.rs"]
+pub mod place;
 #[path = "pool.rs"]
 pub mod pool;
 #[path = "sched.rs"]
@@ -97,6 +99,13 @@ pub struct GridVineConfig {
     /// scheduler.
     #[serde(default)]
     pub latency: LatencyConfig,
+    /// Replica-placement policy ([`place`]): per-predicate/key-prefix
+    /// replication factors and latency targets, plus the heat-telemetry
+    /// knobs. The default **null policy** keeps exactly-owner placement
+    /// — no registry entries, no heat tracking, no extra RNG draws —
+    /// and is bit-identical to the placement-free scheduler.
+    #[serde(default)]
+    pub placement: place::PlacementPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -114,6 +123,7 @@ impl Default for GridVineConfig {
             fault: FaultConfig::none(),
             semantic_fault: SemanticFaultConfig::none(),
             latency: LatencyConfig::Flat,
+            placement: place::PlacementPolicy::default(),
             seed: 0x6B1D,
         }
     }
@@ -356,6 +366,11 @@ pub struct GridVineSystem {
     /// under the flat default — [`GridVineSystem::unit_delay`] then
     /// uses the classic per-message formula and draws nothing.
     latency: Option<Box<dyn LatencyModel>>,
+    /// Replica-placement runtime state ([`GridVineConfig::placement`]):
+    /// the replica registry (extra holders beyond σ(key)), the windowed
+    /// heat counters and the placement counters diffed per issued unit
+    /// — see [`place`].
+    pub(crate) place: place::PlacementState,
     /// Monotone session-id allocator shared by standalone sessions and
     /// pools (ids stay unique when both run against one system).
     next_session: u64,
@@ -384,6 +399,7 @@ impl GridVineSystem {
             latency: config
                 .latency
                 .build(gridvine_netsim::rng::derive_seed(config.seed, 0x1A7E)),
+            place: place::PlacementState::new(config.placement.clone()),
             next_session: 0,
             topology,
             overlay,
@@ -413,6 +429,7 @@ impl GridVineSystem {
             latency: config
                 .latency
                 .build(gridvine_netsim::rng::derive_seed(config.seed, 0x1A7E)),
+            place: place::PlacementState::new(config.placement.clone()),
             next_session: 0,
             topology,
             overlay,
@@ -664,13 +681,28 @@ impl GridVineSystem {
     pub fn insert_triple(&mut self, origin: PeerId, t: Triple) -> Result<(), SystemError> {
         let t = self.lexicon.canonical_triple(&t);
         let keys = self.keyspace().triple_keys(&t);
-        for key in keys {
-            let route = self.overlay.update_placement(origin, &key, &mut self.rng)?;
+        for key in &keys {
+            let route = self.overlay.update_placement(origin, key, &mut self.rng)?;
             let dest = route.destination;
             self.local_dbs[dest.index()].insert(t.clone());
             for r in self.overlay.view(dest).replicas.clone() {
                 self.local_dbs[r.index()].insert(t.clone());
             }
+        }
+        // Placement-policy fan-out: keys covered by a rule propagate
+        // the new triple to their registered extras and provision up to
+        // the rule's factor (no-op, and zero cost, under the null
+        // policy) — see [`place`]. Atomic like the mapping commit: a
+        // fan-out cut short rolls its own copies back, and the σ writes
+        // above are undone too, so no holder is ever missing rows its
+        // registry entry promises.
+        if let Err(e) = self.place_triple(origin, &t, &keys) {
+            for key in &keys {
+                for owner in self.topology.responsible(key).to_vec() {
+                    self.local_dbs[owner.index()].remove(&t);
+                }
+            }
+            return Err(e);
         }
         Ok(())
     }

@@ -71,7 +71,7 @@ pub mod prelude {
     pub use crate::latency::{LatencyConfig, LatencyModel, RegionalWan, UniformLatency};
     pub use crate::network::{Network, NetworkConfig, NetworkStats};
     pub use crate::node::{Ctx, Node, NodeId};
-    pub use crate::stats::{Cdf, FaultCounters, Histogram, Summary};
+    pub use crate::stats::{Cdf, FaultCounters, Histogram, ReplicaCounters, Summary};
 }
 
 pub use churn::{ChurnConfig, ChurnProcess};
@@ -83,4 +83,4 @@ pub use latency::{
 };
 pub use network::{Network, NetworkConfig, NetworkStats};
 pub use node::{Ctx, Node, NodeId};
-pub use stats::{Cdf, FaultCounters, Histogram, Summary};
+pub use stats::{Cdf, FaultCounters, Histogram, ReplicaCounters, Summary};

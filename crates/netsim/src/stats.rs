@@ -37,6 +37,41 @@ impl fmt::Display for FaultCounters {
     }
 }
 
+/// Counts of replica-placement activity (replica-aware routing and
+/// heat-driven migration in a consumer's placement layer). All zero
+/// under a null placement policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaCounters {
+    /// Lookups served off a replica-aware routing path instead of the
+    /// single canonical key owner.
+    pub replica_hits: u64,
+    /// Replica holders skipped because they were down before a live
+    /// one served the request.
+    pub failovers: u64,
+    /// Placement changes (replica creations and migrations) triggered
+    /// by heat telemetry.
+    pub migrations: u64,
+}
+
+impl ReplicaCounters {
+    /// Accumulate another run's counters into this one.
+    pub fn merge(&mut self, other: &ReplicaCounters) {
+        self.replica_hits += other.replica_hits;
+        self.failovers += other.failovers;
+        self.migrations += other.migrations;
+    }
+}
+
+impl fmt::Display for ReplicaCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replica_hits={} failovers={} migrations={}",
+            self.replica_hits, self.failovers, self.migrations
+        )
+    }
+}
+
 /// A streaming summary of f64 observations.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Summary {

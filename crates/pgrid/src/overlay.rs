@@ -253,6 +253,18 @@ impl<V: Clone + PartialEq> Overlay<V> {
         }
     }
 
+    /// Charge `n` messages for a *direct* exchange between two peers
+    /// that bypasses prefix routing entirely — replica-aware lookups
+    /// and replica provisioning ship to a known holder address, so
+    /// they pay per message exchanged rather than per routing hop.
+    /// Local exchanges (`from == to`) are free, like everywhere else
+    /// in the accounting.
+    pub fn charge_direct(&mut self, from: PeerId, to: PeerId, n: u64) {
+        if from != to {
+            self.messages_sent += n;
+        }
+    }
+
     /// Distinct peer regions (paths) intersecting a key prefix — the
     /// replica groups a range scan must visit, sorted. Factored out of
     /// [`Overlay::retrieve_range`] so range callers that evaluate at

@@ -1,0 +1,313 @@
+//! Integration tests of the PR-9 placement subsystem
+//! ([`gridvine_core::place`]): a null (or inert) `PlacementPolicy`
+//! reproduces the placement-free scheduler bit-for-bit (rows, stats,
+//! RNG stream), a crashed replica owner degrades to a failover with
+//! identical rows and zero recorded failures, heat spikes pull replicas
+//! toward hot origins, mid-commit crashes roll provisioning back
+//! atomically, and a churn storm over replicated predicates sheds no
+//! sessions in the open-loop driver.
+
+use gridvine_core::{
+    GridVineConfig, GridVineSystem, PlacementPolicy, QueryOptions, QueryPlan, SpikeAction, Strategy,
+};
+use gridvine_load::{run_open_loop, ArrivalProcess, LoadConfig};
+use gridvine_netsim::churn::{ChurnEvent, ChurnProcess};
+use gridvine_netsim::{SimDuration, SimTime};
+use gridvine_pgrid::PeerId;
+use gridvine_rdf::{PatternTerm, Term, Triple, TriplePattern, TriplePatternQuery};
+use gridvine_semantic::Schema;
+use proptest::prelude::*;
+
+const PEERS: usize = 32;
+
+/// A single-schema system under `policy`: three Aspergillus triples on
+/// the one predicate `S0#a0`, so the data resolution is the only
+/// replica-path request a query issues (mapping discovery still routes
+/// to the schema-key owner the classic way).
+fn replicated_system(policy: PlacementPolicy, seed: u64) -> GridVineSystem {
+    let mut sys = GridVineSystem::new(GridVineConfig {
+        peers: PEERS,
+        refs_per_level: 2,
+        hash: gridvine_pgrid::HashKind::Uniform,
+        placement: policy,
+        seed,
+        ..GridVineConfig::default()
+    });
+    let p0 = PeerId(0);
+    sys.insert_schema(p0, Schema::new("S0", ["a0"])).unwrap();
+    for i in 0..3 {
+        sys.insert_triple(
+            p0,
+            Triple::new(
+                format!("seq:R{i}").as_str(),
+                "S0#a0",
+                Term::literal("Aspergillus niger"),
+            ),
+        )
+        .unwrap();
+    }
+    sys
+}
+
+fn data_query() -> TriplePatternQuery {
+    TriplePatternQuery::new(
+        "x",
+        TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S0#a0")),
+            PatternTerm::constant(Term::literal("%Aspergillus%")),
+        ),
+    )
+    .unwrap()
+}
+
+fn options(window: usize) -> QueryOptions {
+    QueryOptions::new()
+        .strategy(Strategy::Iterative)
+        .window(window)
+        .max_retries(3)
+}
+
+/// First peer index that holds no copy of the data key (the failover
+/// tests issue from it so the ranked holder list never starts at the
+/// origin itself).
+fn outside_origin(holders: &[PeerId]) -> PeerId {
+    (0..PEERS as u32)
+        .map(PeerId)
+        .find(|p| !holders.contains(p))
+        .expect("the replica set never covers all peers")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The null-policy acceptance bar, for windows 1 and 4: a policy
+    /// whose rules match nothing in the workload takes the replica
+    /// path exactly never, so rows, stats and the shared RNG stream
+    /// are bit-identical to the default (null) policy — which is
+    /// itself the PR-8 scheduler unchanged.
+    #[test]
+    fn inert_policy_is_bit_identical_to_null(seed in 0u64..500) {
+        for window in [1usize, 4] {
+            let plan = QueryPlan::search(data_query());
+            let mut null = replicated_system(PlacementPolicy::default(), seed);
+            let origin = outside_origin(&null.replica_holders("S0#a0"));
+            let base = null.execute(origin, &plan, &options(window)).unwrap();
+
+            let inert = PlacementPolicy::new().replicate("zzz-inert/", 3);
+            let mut sys = replicated_system(inert, seed);
+            let out = sys.execute(origin, &plan, &options(window)).unwrap();
+
+            prop_assert_eq!(&out.rows, &base.rows);
+            prop_assert_eq!(out.stats, base.stats);
+            prop_assert_eq!(out.stats.replica_hits, 0);
+            prop_assert_eq!(null.pending_events(), 0);
+            prop_assert_eq!(sys.pending_events(), 0);
+            // Same RNG stream afterwards: the inert policy consumed
+            // exactly the draws the null policy did (none extra).
+            for _ in 0..8 {
+                prop_assert_eq!(null.random_peer(), sys.random_peer());
+            }
+        }
+    }
+
+    /// The failover acceptance bar: with replication factor ≥ 2,
+    /// crashing one replica owner yields bit-identical rows to the
+    /// fault-free run with zero recorded failures — only messages and
+    /// the failover counter may differ — and the shared RNG stream is
+    /// untouched by the crash.
+    #[test]
+    fn crashed_replica_owner_fails_over_with_identical_rows(
+        seed in 0u64..300,
+        factor in 2usize..5,
+        window in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let policy = PlacementPolicy::new().replicate("S0#", factor);
+        let plan = QueryPlan::search(data_query());
+
+        let mut clean = replicated_system(policy.clone(), seed);
+        let holders = clean.replica_holders("S0#a0");
+        prop_assume!(holders.len() >= 2);
+        let origin = outside_origin(&holders);
+        // Under the flat latency model every holder ranks equal, ties
+        // broken by index — so the lowest-index holder serves first
+        // and crashing it forces a failover.
+        let victim = *holders.iter().min_by_key(|p| p.0).unwrap();
+        // Keep the classic-path mapping discovery identical across the
+        // two runs: the victim must not own the schema key.
+        prop_assume!(!clean.replica_holders("S0").contains(&victim));
+
+        let base = clean.execute(origin, &plan, &options(window)).unwrap();
+
+        let mut faulty = replicated_system(policy, seed);
+        faulty.crash_peer(victim);
+        let out = faulty.execute(origin, &plan, &options(window)).unwrap();
+
+        prop_assert_eq!(base.rows.len(), 3);
+        prop_assert_eq!(&out.rows, &base.rows);
+        prop_assert_eq!(base.stats.failures, 0);
+        prop_assert_eq!(out.stats.failures, 0);
+        prop_assert_eq!(base.stats.failovers, 0);
+        prop_assert!(out.stats.failovers >= 1, "stats: {:?}", out.stats);
+        prop_assert_eq!(out.stats.replica_hits, base.stats.replica_hits);
+        prop_assert!(base.stats.replica_hits >= 1);
+        prop_assert_eq!(clean.pending_events(), 0);
+        prop_assert_eq!(faulty.pending_events(), 0);
+        for _ in 0..8 {
+            prop_assert_eq!(clean.random_peer(), faulty.random_peer());
+        }
+    }
+
+    /// Crashing *every* holder finally surfaces `PeerDown` — failover
+    /// degrades gracefully but does not fabricate availability.
+    #[test]
+    fn all_holders_down_still_fails(seed in 0u64..100) {
+        let policy = PlacementPolicy::new().replicate("S0#", 3);
+        let mut sys = replicated_system(policy, seed);
+        let holders = sys.replica_holders("S0#a0");
+        let origin = outside_origin(&holders);
+        for h in holders {
+            sys.crash_peer(h);
+        }
+        let out = sys
+            .execute(origin, &QueryPlan::search(data_query()), &options(1))
+            .unwrap();
+        prop_assert!(out.rows.is_empty());
+        prop_assert!(out.stats.failures >= 1, "stats: {:?}", out.stats);
+        prop_assert_eq!(sys.pending_events(), 0);
+    }
+}
+
+/// A heat spike on a hot key pulls a replica onto the hot origin: under
+/// the flat latency model the origin itself is the cheapest non-holder
+/// (expected latency zero), so repeated reads replicate the data next
+/// to the reader and later reads serve locally.
+#[test]
+fn heat_spike_replicates_toward_hot_origin() {
+    let policy = PlacementPolicy::new()
+        .replicate("S0#", 1)
+        .heat(3, SimDuration::from_secs(5));
+    let mut sys = replicated_system(policy, 7);
+    let origin = outside_origin(&sys.replica_holders("S0#a0"));
+    let plan = QueryPlan::search(data_query());
+
+    assert!(sys.heat_spikes().is_empty());
+    let mut outs = Vec::new();
+    for _ in 0..4 {
+        outs.push(sys.execute(origin, &plan, &options(1)).unwrap());
+    }
+    for o in &outs {
+        assert_eq!(o.rows.len(), 3);
+    }
+    let spikes = sys.heat_spikes();
+    assert!(!spikes.is_empty(), "three reads within the window spike");
+    assert_eq!(
+        spikes[0].action,
+        SpikeAction::Replicate(origin),
+        "the hot origin is the cheapest non-holder"
+    );
+    assert!(sys.replica_holders("S0#a0").contains(&origin));
+    assert!(sys.replica_counters().migrations >= 1);
+    let migrated: u64 = outs.iter().map(|o| o.stats.migrations as u64).sum();
+    assert!(migrated >= 1, "the spike charged to a serving unit");
+    // Once local, the read is free of response messages: the last
+    // query moves fewer messages than the first.
+    let first = outs.first().unwrap().stats.messages;
+    let last = outs.last().unwrap().stats.messages;
+    assert!(
+        last < first,
+        "local replica serves cheaper: {first} -> {last}"
+    );
+}
+
+/// Replica provisioning is atomic in the `commit_mapping_copies` style:
+/// a crash armed to fire mid-fan-out rolls every written copy back —
+/// including the σ-owner writes — so no holder serves rows a failed
+/// insert half-placed.
+#[test]
+fn commit_crash_rolls_back_fan_out() {
+    let seed = 11;
+    // Learn the natural σ-group size from a null-policy twin (same
+    // seed → same topology), then size the factor for two extras.
+    let null = replicated_system(PlacementPolicy::default(), seed);
+    let owners = null.replica_holders("S0#a0");
+    let factor = owners.len() + 2;
+
+    let policy = PlacementPolicy::new().replicate("S0#", factor);
+    let mut sys = replicated_system(policy, seed);
+    let holders = sys.replica_holders("S0#a0");
+    assert_eq!(holders.len(), factor, "provisioned up to the factor");
+    // holders_of lists σ owners first, then extras in commit order:
+    // the second extra crashes after the first already took the write.
+    let victim = holders[owners.len() + 1];
+    let origin = outside_origin(&holders);
+
+    sys.arm_commit_crash(victim);
+    let err = sys.insert_triple(
+        PeerId(0),
+        Triple::new("seq:R9", "S0#a0", Term::literal("Aspergillus oryzae")),
+    );
+    assert!(err.is_err(), "mid-commit crash fails the insert");
+
+    // Every surviving holder still serves exactly the three original
+    // rows — the half-written fourth rolled back everywhere.
+    let out = sys
+        .execute(origin, &QueryPlan::search(data_query()), &options(1))
+        .unwrap();
+    assert_eq!(out.rows.len(), 3, "rows: {:?}", out.rows);
+    assert_eq!(out.stats.failures, 0);
+    sys.recover_peer(victim);
+    let after = sys
+        .execute(origin, &QueryPlan::search(data_query()), &options(1))
+        .unwrap();
+    assert_eq!(after.rows.len(), 3);
+}
+
+/// A correlated churn storm over a replicated predicate sheds no
+/// sessions in the open-loop driver: every submitted session completes
+/// (the retry protocol and replica failover ride out the outages), and
+/// the replica path actually served traffic.
+#[test]
+fn churn_storm_over_replicated_predicate_sheds_no_sessions() {
+    let seed = 3;
+    let policy = PlacementPolicy::new().replicate("S0#", 4);
+    let mut sys = replicated_system(policy, seed);
+    let origins = 4usize;
+    // Half the peers fail just after the run starts and recover within
+    // a few simulated milliseconds — inside the retry budget. The
+    // issuing origins stay up (the storm models remote failures).
+    let storm = ChurnProcess::storm(PEERS, 0.5, SimTime::ZERO, SimDuration::from_millis(4), seed);
+    let events: Vec<ChurnEvent> = storm
+        .events()
+        .iter()
+        .filter(|e| e.node.index() >= origins)
+        .copied()
+        .collect();
+    sys.install_churn(&events);
+
+    let plans = vec![QueryPlan::search(data_query())];
+    let cfg = LoadConfig {
+        sessions: 40,
+        arrivals: ArrivalProcess::Deterministic {
+            gap: SimDuration::from_micros(200),
+        },
+        origins,
+        max_concurrent: 8,
+        queue_capacity: 40,
+        message_budget: None,
+        deadline: None,
+        seed,
+        ..LoadConfig::default()
+    };
+    let r = run_open_loop(&mut sys, &plans, &cfg);
+    assert_eq!(r.submitted, 40);
+    assert_eq!(r.failed, 0, "no session sheds: {r}");
+    assert_eq!(r.rejected, 0, "generous queue rejects nothing: {r}");
+    assert_eq!(r.completed, 40, "every session completes: {r}");
+    assert!(
+        sys.replica_counters().replica_hits > 0,
+        "the replica path served the run: {}",
+        sys.replica_counters()
+    );
+    assert_eq!(sys.pending_events(), 0);
+}
