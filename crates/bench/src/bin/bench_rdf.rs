@@ -14,11 +14,24 @@
 //! * `select_eq_cursor` — the zone-mapped columnar scan path (sorted
 //!   runs, no posting list);
 //! * `select_eq_materialize` — the same selection eagerly resolved to
-//!   `TripleRef`s (the dictionary-dereference cost, kept visible);
-//! * `scan_full` — a full-store scan touching every row's object;
+//!   owned `Triple`s, the wire format a destination peer ships: the
+//!   seed clones three `String`s per row, the new side bumps three
+//!   `Arc<str>`s through the granule-batched dictionary gather;
+//! * `select_eq_granules` — ablation: the same fat posting pulled one
+//!   row at a time vs drained in ≤256-row granule batches
+//!   (`RowCursor::next_block`);
+//! * `scan_full` — analytics over every live row's object, answered by
+//!   the run projection's group walk (`count_where`: one dictionary
+//!   resolve per *distinct* run-local term);
+//! * `scan_full_projected` — ablation: the same count through the
+//!   row-at-a-time cursor + per-row dictionary walk (the pre-projection
+//!   path) vs the group walk;
 //! * `select_like_prefix` — `Aspergillus%` object prefix selection;
 //! * `conjunctive_join_3` — a 3-pattern conjunctive query (selective
 //!   head, two joined fan-out patterns);
+//! * `merge_join_runs` — ablation: two run-resident fat patterns
+//!   joined on their shared subject via the hash join (build + probe)
+//!   vs the build-free sort-merge join;
 //! * `parallel_ingest_8way` — 8 threads ingesting 8 corpus partitions
 //!   into 8 peer stores through one shared dictionary handle: 8-way
 //!   sharded locks ("new") vs a single global lock ("seed" column);
@@ -105,6 +118,17 @@ mod seed_baseline {
 
         pub fn object(&self) -> &str {
             &self.object
+        }
+
+        /// Materialize to the workspace's owned wire-format `Triple`
+        /// (what a destination peer ships): three buffer copies.
+        pub fn to_triple(&self) -> Triple {
+            let object = if self.object_is_literal {
+                Term::literal(self.object.as_str())
+            } else {
+                Term::uri(self.object.as_str())
+            };
+            Triple::new(self.subject.as_str(), self.predicate.as_str(), object)
         }
 
         fn lexical(&self, pos: Position) -> &str {
@@ -902,30 +926,67 @@ fn main() {
         new_ms: new_ns / 1e6,
     });
 
-    // Eager materialization of the same fat selection: every hit
-    // resolved to a borrowed `TripleRef` (three dictionary resolves per
-    // row). This is the op PR 1 regressed to 0.23×; kept in the suite
-    // so the cost of dereferencing through the dictionary stays
-    // visible and guarded, separate from the deferred-handle paths.
-    let (new_ns, ref_hits) = best_ns(15, || {
-        let refs: Vec<_> = db
-            .select_eq_rows(Position::Predicate, P_ORGANISM)
-            .refs()
+    // Eager materialization of the same fat selection to the owned
+    // wire format a destination peer ships (one `Triple` per hit):
+    // the seed copies three `String` buffers per row, the new side
+    // bumps three `Arc<str>` refcounts through the granule-batched
+    // dictionary gather (`triples_vec`). Kept in the suite so the
+    // cost of dereferencing through the dictionary stays visible and
+    // guarded, separate from the deferred-handle paths.
+    let (mat_base_ns, mat_base_hits) = best_ns(15, || {
+        let owned: Vec<Triple> = naive
+            .select_eq(Position::Predicate, P_ORGANISM)
+            .into_iter()
+            .map(|t| t.to_triple())
             .collect();
-        refs.len()
+        owned.len()
     });
-    assert_eq!(base_hits, ref_hits);
+    let (new_ns, mat_hits) = best_ns(15, || {
+        db.select_eq_rows(Position::Predicate, P_ORGANISM)
+            .triples_vec()
+            .len()
+    });
+    assert_eq!(mat_base_hits, mat_hits);
     results.push(Measurement {
         name: "select_eq_materialize",
-        baseline_ms: base_ns / 1e6,
+        baseline_ms: mat_base_ns / 1e6,
         new_ms: new_ns / 1e6,
+    });
+
+    // Granule-batched cursor consumption: the same fat posting pulled
+    // one row at a time ("seed" column) vs drained in ≤256-row batches
+    // via `next_block` — the block-at-a-time read every batch consumer
+    // (gathers, residual filters) sits on.
+    let (row_ns, row_hits) = best_ns(15, || {
+        let mut n = 0usize;
+        for _ in db.select_eq_rows(Position::Predicate, P_ORGANISM) {
+            n += 1;
+        }
+        n
+    });
+    let (blk_ns, blk_hits) = best_ns(15, || {
+        let mut c = db.select_eq_rows(Position::Predicate, P_ORGANISM);
+        let mut buf = Vec::new();
+        let mut n = 0usize;
+        while c.next_block(&mut buf) {
+            n += buf.len();
+        }
+        n
+    });
+    assert_eq!(row_hits, blk_hits);
+    assert_eq!(blk_hits, base_hits);
+    results.push(Measurement {
+        name: "select_eq_granules",
+        baseline_ms: row_ns / 1e6,
+        new_ms: blk_ns / 1e6,
     });
 
     // --- full scan ----------------------------------------------------
     // Analytics over one position: classify every live row's object
-    // content. The seed walks 100k scattered heap `String`s; the
-    // columnar side streams the object id column and resolves through
-    // the dictionary's (cache-resident) distinct buffers.
+    // content. The seed walks 100k scattered heap `String`s and runs
+    // the predicate on each; the columnar side walks the sealed runs'
+    // key projections group-at-a-time (`count_where`), paying one
+    // dictionary resolve per *distinct* term plus a short log sweep.
     let (base_ns, base_sum) = best_ns(5, || {
         naive
             .iter()
@@ -933,15 +994,29 @@ fn main() {
             .count()
     });
     let (new_ns, new_sum) = best_ns(5, || {
-        db.rows()
-            .filter(|&id| db.term_at(id, Position::Object).starts_with("Aspergillus"))
-            .count()
+        db.count_where(Position::Object, |o| o.starts_with("Aspergillus"))
     });
     assert_eq!(base_sum, new_sum);
     assert_eq!(new_sum, SELECTIVE);
     results.push(Measurement {
         name: "scan_full",
         baseline_ms: base_ns / 1e6,
+        new_ms: new_ns / 1e6,
+    });
+
+    // Ablation for the same count: the row-at-a-time cursor walk
+    // resolving every object through the dictionary ("seed" column —
+    // exactly what scan_full measured before the run projection
+    // landed) vs the projection group walk.
+    let (row_ns, row_sum) = best_ns(5, || {
+        db.rows()
+            .filter(|&id| db.term_at(id, Position::Object).starts_with("Aspergillus"))
+            .count()
+    });
+    assert_eq!(row_sum, SELECTIVE);
+    results.push(Measurement {
+        name: "scan_full_projected",
+        baseline_ms: row_ns / 1e6,
         new_ms: new_ns / 1e6,
     });
 
@@ -967,6 +1042,32 @@ fn main() {
         name: "conjunctive_join_3",
         baseline_ms: base_ns / 1e6,
         new_ms: new_ns / 1e6,
+    });
+
+    // --- sort-merge join over run-resident sides ----------------------
+    // Ablation: every entity's length and lab rows (two fat patterns,
+    // one shared subject variable, both sides living in sealed runs)
+    // joined through the hash join ("seed" column — build a table over
+    // one side, probe with the other) vs the sort-merge path (two
+    // stable sorts + a linear equal-key merge, no table).
+    let jl = TriplePattern::new(
+        PatternTerm::var("x"),
+        PatternTerm::constant(Term::uri(P_LENGTH)),
+        PatternTerm::var("len"),
+    );
+    let jr = TriplePattern::new(
+        PatternTerm::var("x"),
+        PatternTerm::constant(Term::uri(P_LAB)),
+        PatternTerm::var("lab"),
+    );
+    let (hash_ns, hash_rows) = best_ns(5, || db.join_codes(&jl, &jr).len());
+    let (merge_ns, merge_rows) = best_ns(5, || db.merge_join_codes(&jl, &jr).len());
+    assert_eq!(hash_rows, merge_rows);
+    assert_eq!(merge_rows, entities);
+    results.push(Measurement {
+        name: "merge_join_runs",
+        baseline_ms: hash_ns / 1e6,
+        new_ms: merge_ns / 1e6,
     });
 
     // --- 8-way parallel ingest through a shared dictionary ------------

@@ -35,8 +35,8 @@
 //! Every plan bottoms out in *routed pattern resolutions*: route to
 //! `Hash(routing constant)`, charge the response message, and evaluate
 //! the destination peer's indexed `DB_p` — **streaming** matches off
-//! the store's cursor layer
-//! ([`TripleStore::match_pattern_iter`](gridvine_rdf::TripleStore::match_pattern_iter)),
+//! the store's granule-batched cursor layer
+//! ([`TripleStore::match_pattern`](gridvine_rdf::TripleStore::match_pattern)),
 //! so a destination materializes exactly the bindings it ships.
 //! Closure plans drive a step-wise
 //! [`ClosureWalk`] over the mapping
@@ -744,7 +744,7 @@ impl GridVineSystem {
         if let Some(resolved) = self.replica_route(origin, term.lexical()) {
             let dest = resolved?;
             let db = &self.local_dbs[dest.index()];
-            return Ok(db.match_pattern_iter(pattern).collect());
+            return Ok(db.match_pattern(pattern));
         }
         let key = self.key_of(term.lexical());
         let route = self.overlay.route(origin, &key, &mut self.rng)?;
@@ -753,7 +753,7 @@ impl GridVineSystem {
         // protocol decides whether a reply ever comes back.
         self.proto_request(origin, route.destination)?;
         let db = &self.local_dbs[route.destination.index()];
-        Ok(db.match_pattern_iter(pattern).collect())
+        Ok(db.match_pattern(pattern))
     }
 
     /// Fetch the mappings applicable at `schema` per the strategy:

@@ -834,7 +834,7 @@ impl SessionCore {
         sys.proto_request(self.origin, dest)?;
         self.stats.subqueries += 1;
         let db = &sys.local_dbs[dest.index()];
-        let bindings: Vec<Binding> = db.match_pattern_iter(&query.pattern).collect();
+        let bindings: Vec<Binding> = db.match_pattern(&query.pattern);
         self.stats.bindings_shipped += bindings.len();
         let (batch, limit_hit) = self.admit_terms(seen, &query.distinguished, &bindings);
         if !batch.is_empty() {

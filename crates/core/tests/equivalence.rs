@@ -251,6 +251,63 @@ proptest! {
         }
     }
 
+    /// The store's sort-merge join is interchangeable with the hash
+    /// join the executor uses: identical binding multisets on every
+    /// populated peer database — and the executor's bound-substitution
+    /// conjunctive runs (which probe the same shared-slot join
+    /// machinery) keep identical rows and message counts across
+    /// identically-seeded twins.
+    #[test]
+    fn merge_join_matches_hash_join_and_executor_messages(
+        seed in 0u64..1000,
+        schemas in 2usize..4,
+        links in proptest::collection::vec(any::<bool>(), 0..3),
+        facts in proptest::collection::vec((0u8..12, 0u8..4, 0u8..5), 1..24),
+        origin in 0usize..PEERS,
+    ) {
+        let left = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S0#organism0")),
+            PatternTerm::var("a"),
+        );
+        let right = TriplePattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::constant(Term::uri("S0#length0")),
+            PatternTerm::var("b"),
+        );
+        fn key(b: &Binding) -> String {
+            b.to_string()
+        }
+        // Store level: merge ≡ hash on every populated peer database.
+        let sys = build(seed, schemas, &links, &facts);
+        for p in 0..PEERS {
+            let db = sys.peer_db(PeerId::from_index(p));
+            if db.is_empty() {
+                continue;
+            }
+            let mut merged = db.merge_join(&left, &right);
+            let mut hashed = db.join(&left, &right);
+            merged.sort_by_key(key);
+            hashed.sort_by_key(key);
+            prop_assert_eq!(merged, hashed, "peer {}", p);
+        }
+        // Executor level: rows AND message counts stay in lock-step
+        // between a blocking execute and a drained session on
+        // identically-seeded twins — the join layer feeds both, so any
+        // order or count drift from the build-free probe path would
+        // surface here.
+        let options = QueryOptions::new().join_mode(JoinMode::BoundSubstitution);
+        let plan = QueryPlan::conjunctive(organism_length_query());
+        let at = PeerId::from_index(origin);
+        let mut blocking = build(seed, schemas, &links, &facts);
+        let mut pulled = build(seed, schemas, &links, &facts);
+        let a = blocking.execute(at, &plan, &options).unwrap();
+        let d = drain(&mut pulled, at, &plan, &options).unwrap();
+        prop_assert_eq!(&a.rows, &d.outcome.rows, "executor rows");
+        prop_assert_eq!(a.stats.messages, d.outcome.stats.messages, "executor messages");
+        prop_assert_eq!(a.stats, d.outcome.stats, "executor stats");
+    }
+
     /// `execute(QueryPlan::pattern)` and `execute(QueryPlan::object_prefix)`
     /// ≡ their drained sessions.
     #[test]

@@ -160,11 +160,26 @@ fn bound_slots(rows: &[Vec<u64>]) -> Vec<usize> {
         .unwrap_or_default()
 }
 
-fn merge_rows(left: &[u64], right: &[u64]) -> Vec<u64> {
+/// Merge two rows slot-wise, left winning on doubly-bound slots (the
+/// join key slots, where both sides carry the same code).
+pub(crate) fn merge_rows(left: &[u64], right: &[u64]) -> Vec<u64> {
     left.iter()
         .zip(right)
         .map(|(&l, &r)| if l != UNBOUND { l } else { r })
         .collect()
+}
+
+/// Hash table of a built join side, specialized by shared-slot count:
+/// the overwhelmingly common one-shared-variable join keys the map on
+/// the bare `u64` code — no key `Vec` is ever allocated, at build or
+/// probe — while multi-variable joins fall back to composite keys.
+enum Table {
+    /// No shared slots: every probe merges with every inner row.
+    Cartesian,
+    /// One shared slot: bare-code keys.
+    One(usize, FxHashMap<u64, Vec<usize>>),
+    /// Several shared slots: composite keys.
+    Many(Vec<usize>, FxHashMap<Vec<u64>, Vec<usize>>),
 }
 
 /// A built (inner) side of a hash join, ready to be probed with rows
@@ -179,10 +194,7 @@ fn merge_rows(left: &[u64], right: &[u64]) -> Vec<u64> {
 /// (the cartesian product binding merge semantics require).
 pub struct HashJoiner<'r> {
     inner: &'r [Vec<u64>],
-    shared: Vec<usize>,
-    /// Key (shared-slot codes) → inner row indexes, insertion-ordered.
-    /// Unused (empty) when `shared` is empty.
-    table: FxHashMap<Vec<u64>, Vec<usize>>,
+    table: Table,
 }
 
 impl<'r> HashJoiner<'r> {
@@ -193,33 +205,51 @@ impl<'r> HashJoiner<'r> {
             .into_iter()
             .filter(|s| probe_bound.contains(s))
             .collect();
-        let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
-        if !shared.is_empty() {
-            table.reserve(inner.len());
-            for (i, r) in inner.iter().enumerate() {
-                let key: Vec<u64> = shared.iter().map(|&s| r[s]).collect();
-                table.entry(key).or_default().push(i);
+        let table = match shared.as_slice() {
+            [] => Table::Cartesian,
+            &[slot] => {
+                let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+                map.reserve(inner.len());
+                for (i, r) in inner.iter().enumerate() {
+                    map.entry(r[slot]).or_default().push(i);
+                }
+                Table::One(slot, map)
             }
-        }
-        HashJoiner {
-            inner,
-            shared,
-            table,
-        }
+            _ => {
+                let mut map: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+                map.reserve(inner.len());
+                for (i, r) in inner.iter().enumerate() {
+                    let key: Vec<u64> = shared.iter().map(|&s| r[s]).collect();
+                    map.entry(key).or_default().push(i);
+                }
+                Table::Many(shared, map)
+            }
+        };
+        HashJoiner { inner, table }
     }
 
     /// Append to `out` the merged rows `probe` joins with.
     pub fn probe(&self, probe: &[u64], out: &mut Vec<Vec<u64>>) {
-        if self.shared.is_empty() {
-            for r in self.inner {
-                out.push(merge_rows(probe, r));
+        match &self.table {
+            Table::Cartesian => {
+                for r in self.inner {
+                    out.push(merge_rows(probe, r));
+                }
             }
-            return;
-        }
-        let key: Vec<u64> = self.shared.iter().map(|&s| probe[s]).collect();
-        if let Some(matches) = self.table.get(&key) {
-            for &i in matches {
-                out.push(merge_rows(probe, &self.inner[i]));
+            Table::One(slot, map) => {
+                if let Some(matches) = map.get(&probe[*slot]) {
+                    for &i in matches {
+                        out.push(merge_rows(probe, &self.inner[i]));
+                    }
+                }
+            }
+            Table::Many(slots, map) => {
+                let key: Vec<u64> = slots.iter().map(|&s| probe[s]).collect();
+                if let Some(matches) = map.get(&key) {
+                    for &i in matches {
+                        out.push(merge_rows(probe, &self.inner[i]));
+                    }
+                }
             }
         }
     }
@@ -232,10 +262,26 @@ impl<'r> HashJoiner<'r> {
 /// order), at O(|left| + |right| + |output|). With no shared slots this
 /// degenerates to the cartesian product, as binding merge semantics
 /// require. Implemented as a [`HashJoiner`] built over `right` and
-/// probed with each `left` row in order.
+/// probed with each `left` row in order — except for a single-row left
+/// side (the executor's bound-join groups substitute one member at a
+/// time), which filters `right` directly on the shared slots: same
+/// rows, same order, no table build at all.
 pub fn hash_join_rows(left: &[Vec<u64>], right: &[Vec<u64>]) -> Vec<Vec<u64>> {
     if left.is_empty() || right.is_empty() {
         return Vec::new();
+    }
+    if let [l] = left {
+        let shared: Vec<usize> = bound_slots(right)
+            .into_iter()
+            .filter(|&s| l[s] != UNBOUND)
+            .collect();
+        let mut out = Vec::new();
+        for r in right {
+            if shared.iter().all(|&s| r[s] == l[s]) {
+                out.push(merge_rows(l, r));
+            }
+        }
+        return out;
     }
     let joiner = HashJoiner::new(right, &bound_slots(left));
     let mut out = Vec::new();
@@ -312,6 +358,39 @@ mod tests {
         let rows = vec![vec![1u64]];
         assert!(hash_join_rows(&[], &rows).is_empty());
         assert!(hash_join_rows(&rows, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_row_left_takes_the_build_free_path_with_identical_output() {
+        // One left row (the executor's bound-join member shape): output
+        // must be exactly what the table path would emit, both on the
+        // matching and the cartesian shape.
+        let right = vec![
+            vec![1, UNBOUND, 100],
+            vec![3, UNBOUND, 300],
+            vec![1, UNBOUND, 101],
+        ];
+        let l = vec![vec![1u64, 10, UNBOUND]];
+        assert_eq!(
+            hash_join_rows(&l, &right),
+            vec![vec![1, 10, 100], vec![1, 10, 101]]
+        );
+        let unshared = vec![vec![UNBOUND, 10, UNBOUND]];
+        assert_eq!(hash_join_rows(&unshared, &right).len(), 3);
+    }
+
+    #[test]
+    fn multi_shared_slot_join_uses_composite_keys() {
+        // Two shared slots force the composite-key table; both slots
+        // must participate in the match.
+        let left = vec![
+            vec![1, 5, UNBOUND, 10],
+            vec![1, 6, UNBOUND, 11],
+            vec![2, 5, UNBOUND, 12],
+        ];
+        let right = vec![vec![1, 5, 100, UNBOUND], vec![2, 6, 200, UNBOUND]];
+        let out = hash_join_rows(&left, &right);
+        assert_eq!(out, vec![vec![1, 5, 100, 10]]);
     }
 }
 

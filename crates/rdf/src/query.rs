@@ -129,10 +129,12 @@ impl ConjunctiveQuery {
     /// over the id-level indexes, hash joins on the shared variables
     /// ([`crate::join`]), then projection onto the distinguished
     /// variables. Each pattern's matches are *streamed* off the store's
-    /// cursor layer ([`TripleStore::match_codes_iter`]) straight into a
+    /// granule-batched pattern pipeline through one reused scratch row
+    /// ([`TripleStore::for_each_match_row`]) straight into a
     /// [`HashJoiner`] built over the accumulated solutions, so a match
-    /// set is never materialized as a whole; terms are materialized only
-    /// for the surviving rows.
+    /// set is never materialized as a whole — and no code row is ever
+    /// allocated for a match that joins with nothing; terms are
+    /// materialized only for the surviving rows.
     pub fn evaluate(&self, db: &TripleStore) -> Vec<Binding> {
         let vars = VarTable::from_patterns(&self.patterns);
         let mut rows: Vec<Vec<u64>> = vec![vars.empty_row()];
@@ -144,9 +146,9 @@ impl ConjunctiveQuery {
                 .collect();
             let joiner = HashJoiner::new(&rows, &probe_bound);
             let mut next = Vec::new();
-            for m in db.match_codes_iter(pattern, &vars) {
-                joiner.probe(&m, &mut next);
-            }
+            db.for_each_match_row(pattern, &vars, |m| {
+                joiner.probe(m, &mut next);
+            });
             rows = next;
             if rows.is_empty() {
                 break;

@@ -164,6 +164,25 @@ impl Columns {
         self.col(pos)[id as usize]
     }
 
+    /// Term code of one position of a stored row: the columnar twin of
+    /// [`Row::code_at`] that touches only the probed column (plus the
+    /// kind bits for objects) instead of assembling a full [`Row`] —
+    /// what the granule-batch residual filter reads per candidate.
+    #[inline]
+    pub(crate) fn code_at(&self, id: u32, pos: Position) -> u64 {
+        let lit = match pos {
+            Position::Object => self.o_lit.get(id as usize),
+            _ => false,
+        };
+        ((self.col(pos)[id as usize].0 as u64) << 1) | lit as u64
+    }
+
+    /// Whether the object of a row is a literal.
+    #[inline]
+    pub(crate) fn o_lit_at(&self, id: u32) -> bool {
+        self.o_lit.get(id as usize)
+    }
+
     #[inline]
     pub(crate) fn is_dead(&self, id: u32) -> bool {
         self.dead.get(id as usize)

@@ -10,16 +10,26 @@
 //!
 //! Three sources back a cursor:
 //!
-//! * **posting** — the probed term's posting list (point lookups:
-//!   [`crate::TripleStore::select_eq_rows`]);
+//! * **posting** — the probed term's posting rows: the CSR head slice
+//!   plus the unsealed tail slice (point lookups:
+//!   [`crate::TripleStore::select_eq_rows`]) — both ascending, the head
+//!   strictly below the tail, so the concatenation is the ascending
+//!   posting list;
 //! * **zone-mapped scan** — the sorted runs pruned granule-by-granule
 //!   via their zone maps, then the append log linearly
 //!   ([`crate::TripleStore::scan_eq_rows`]) — the scan-analytics path
 //!   that needs no posting list at all;
 //! * **full** — every live row ([`crate::TripleStore::rows`]).
+//!
+//! Besides row-at-a-time iteration, a cursor drains in **granule
+//! batches**: [`RowCursor::next_block`] refills a caller buffer with up
+//! to [`crate::store::GRANULE`] live row ids per call — same ids, same
+//! order as iteration, but with the per-item iterator state machine
+//! amortized over the batch (tight slice loops per source). The
+//! pattern-match pipeline and the batched term gather are built on it.
 
 use super::runs::Run;
-use super::{TripleRef, TripleStore};
+use super::{TripleRef, TripleStore, GRANULE};
 use crate::dict::TermId;
 use crate::triple::{Position, Triple};
 
@@ -31,9 +41,17 @@ pub struct RowCursor<'a> {
 
 enum Source<'a> {
     Empty,
-    Posting { ids: &'a [u32], i: usize },
+    /// Two ascending slices, every `head` id below every `tail` id:
+    /// the CSR span plus the unsealed spill of one term's posting.
+    Posting {
+        head: &'a [u32],
+        tail: &'a [u32],
+        i: usize,
+    },
     Scan(ScanState<'a>),
-    Full { next: u32 },
+    Full {
+        next: u32,
+    },
 }
 
 /// Zone-mapped equality scan: runs first (each contributing its exact
@@ -61,10 +79,14 @@ impl<'a> RowCursor<'a> {
         }
     }
 
-    pub(super) fn posting(store: &'a TripleStore, ids: &'a [u32]) -> RowCursor<'a> {
+    pub(super) fn posting(
+        store: &'a TripleStore,
+        head: &'a [u32],
+        tail: &'a [u32],
+    ) -> RowCursor<'a> {
         RowCursor {
             store,
-            src: Source::Posting { ids, i: 0 },
+            src: Source::Posting { head, tail, i: 0 },
         }
     }
 
@@ -92,7 +114,7 @@ impl<'a> RowCursor<'a> {
 
     /// Collect the remaining row ids into a `Vec`, using tight
     /// per-source loops: a tombstone-free posting cursor is one
-    /// `memcpy` of the list, a tombstone-free run scan one
+    /// `memcpy` per slice, a tombstone-free run scan one
     /// `extend_from_slice` per run — none of the per-item iterator
     /// state machine that a generic `collect()` pays.
     pub fn into_vec(self) -> Vec<u32> {
@@ -100,12 +122,18 @@ impl<'a> RowCursor<'a> {
         let clean = !cols.any_dead();
         match self.src {
             Source::Empty => Vec::new(),
-            Source::Posting { ids, i } if clean => ids[i..].to_vec(),
-            Source::Posting { ids, i } => ids[i..]
-                .iter()
-                .copied()
-                .filter(|&id| !cols.is_dead(id))
-                .collect(),
+            Source::Posting { head, tail, i } => {
+                let (h, t) = split_posting(head, tail, i);
+                let mut out = Vec::with_capacity(h.len() + t.len());
+                for part in [h, t] {
+                    if clean {
+                        out.extend_from_slice(part);
+                    } else {
+                        out.extend(part.iter().copied().filter(|&id| !cols.is_dead(id)));
+                    }
+                }
+                out
+            }
             Source::Scan(mut s) => {
                 let mut out: Vec<u32> = Vec::new();
                 let mut take = |rows: &[u32]| {
@@ -117,7 +145,7 @@ impl<'a> RowCursor<'a> {
                 };
                 take(&s.matches[s.mi..]);
                 while s.run < s.runs.len() {
-                    take(s.runs[s.run].eq_rows(cols, s.pos, s.id));
+                    take(s.runs[s.run].eq_rows(s.pos, s.id));
                     s.run += 1;
                 }
                 out.extend(
@@ -133,6 +161,86 @@ impl<'a> RowCursor<'a> {
         }
     }
 
+    /// Refill `out` with the next granule of live row ids — up to
+    /// [`GRANULE`] of them, in exactly the order iteration would yield
+    /// — returning `false` once the cursor is exhausted and `out` came
+    /// back empty. The granule-at-a-time drain: consumers that filter
+    /// or gather per batch ([`crate::store::PatternMatches`], the term
+    /// gather) amortize the source dispatch over 256 rows.
+    pub fn next_block(&mut self, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        let cols = &self.store.cols;
+        match &mut self.src {
+            Source::Empty => {}
+            Source::Posting { head, tail, i } => {
+                while out.len() < GRANULE {
+                    let (h, t) = split_posting(head, tail, *i);
+                    let part = if !h.is_empty() { h } else { t };
+                    if part.is_empty() {
+                        break;
+                    }
+                    let want = (GRANULE - out.len()).min(part.len());
+                    let chunk = &part[..want];
+                    *i += want;
+                    if cols.any_dead() {
+                        out.extend(chunk.iter().copied().filter(|&id| !cols.is_dead(id)));
+                    } else {
+                        out.extend_from_slice(chunk);
+                    }
+                }
+            }
+            Source::Scan(s) => {
+                while out.len() < GRANULE {
+                    if s.mi < s.matches.len() {
+                        let part = &s.matches[s.mi..];
+                        let want = (GRANULE - out.len()).min(part.len());
+                        s.mi += want;
+                        if cols.any_dead() {
+                            out.extend(
+                                part[..want].iter().copied().filter(|&id| !cols.is_dead(id)),
+                            );
+                        } else {
+                            out.extend_from_slice(&part[..want]);
+                        }
+                        continue;
+                    }
+                    if s.run < s.runs.len() {
+                        s.matches = s.runs[s.run].eq_rows(s.pos, s.id);
+                        s.mi = 0;
+                        s.run += 1;
+                        continue;
+                    }
+                    let end = cols.len() as u32;
+                    while s.log_next < end && out.len() < GRANULE {
+                        let id = s.log_next;
+                        s.log_next += 1;
+                        if cols.id_at(id, s.pos) == s.id && !cols.is_dead(id) {
+                            out.push(id);
+                        }
+                    }
+                    break;
+                }
+            }
+            Source::Full { next } => {
+                let end = cols.len() as u32;
+                if cols.any_dead() {
+                    while *next < end && out.len() < GRANULE {
+                        let id = *next;
+                        *next += 1;
+                        if !cols.is_dead(id) {
+                            out.push(id);
+                        }
+                    }
+                } else {
+                    let take = (end - *next).min(GRANULE as u32);
+                    out.extend(*next..*next + take);
+                    *next += take;
+                }
+            }
+        }
+        !out.is_empty()
+    }
+
     /// Materialize each row id as a borrowed [`TripleRef`] view.
     pub fn refs(self) -> impl Iterator<Item = TripleRef<'a>> {
         let store = self.store;
@@ -145,6 +253,38 @@ impl<'a> RowCursor<'a> {
         let store = self.store;
         self.map(move |id| store.triple_of(id))
     }
+
+    /// Eagerly materialize every remaining row as an owned [`Triple`]
+    /// via the batched dictionary gather: ids are drained with the
+    /// tight [`RowCursor::into_vec`] loops, then resolved
+    /// position-major a granule at a time
+    /// (`TripleStore::gather_triples`) — the fast twin of
+    /// `.triples().collect()`.
+    pub fn triples_vec(self) -> Vec<Triple> {
+        let store = self.store;
+        let ids = self.into_vec();
+        store.gather_triples(&ids)
+    }
+
+    /// Eagerly materialize every remaining row as a borrowed
+    /// [`TripleRef`] via the batched position-major gather (the fast
+    /// twin of `.refs().collect()`).
+    pub fn refs_vec(self) -> Vec<TripleRef<'a>> {
+        let store = self.store;
+        let ids = self.into_vec();
+        store.gather_refs(&ids)
+    }
+}
+
+/// The unread remainders of a two-slice posting at concatenated
+/// offset `i`.
+#[inline]
+fn split_posting<'a>(head: &'a [u32], tail: &'a [u32], i: usize) -> (&'a [u32], &'a [u32]) {
+    if i < head.len() {
+        (&head[i..], tail)
+    } else {
+        (&[], &tail[(i - head.len()).min(tail.len())..])
+    }
 }
 
 impl Iterator for RowCursor<'_> {
@@ -154,16 +294,21 @@ impl Iterator for RowCursor<'_> {
         let cols = &self.store.cols;
         match &mut self.src {
             Source::Empty => None,
-            Source::Posting { ids, i } => {
-                while *i < ids.len() {
-                    let id = ids[*i];
-                    *i += 1;
-                    if !cols.is_dead(id) {
-                        return Some(id);
-                    }
+            Source::Posting { head, tail, i } => loop {
+                let n = head.len() + tail.len();
+                if *i >= n {
+                    return None;
                 }
-                None
-            }
+                let id = if *i < head.len() {
+                    head[*i]
+                } else {
+                    tail[*i - head.len()]
+                };
+                *i += 1;
+                if !cols.is_dead(id) {
+                    return Some(id);
+                }
+            },
             Source::Scan(s) => {
                 loop {
                     // Drain the current run's match range.
@@ -176,7 +321,7 @@ impl Iterator for RowCursor<'_> {
                     }
                     // Open the next run.
                     if s.run < s.runs.len() {
-                        s.matches = s.runs[s.run].eq_rows(cols, s.pos, s.id);
+                        s.matches = s.runs[s.run].eq_rows(s.pos, s.id);
                         s.mi = 0;
                         s.run += 1;
                         continue;
@@ -218,8 +363,14 @@ impl Iterator for RowCursor<'_> {
         let clean = !cols.any_dead();
         match self.src {
             Source::Empty => 0,
-            Source::Posting { ids, i } if clean => ids.len() - i,
-            Source::Posting { ids, i } => ids[i..].iter().filter(|&&id| !cols.is_dead(id)).count(),
+            Source::Posting { head, tail, i } => {
+                let (h, t) = split_posting(head, tail, i);
+                if clean {
+                    h.len() + t.len()
+                } else {
+                    h.iter().chain(t).filter(|&&id| !cols.is_dead(id)).count()
+                }
+            }
             Source::Scan(mut s) => {
                 let live = |rows: &[u32]| {
                     if clean {
@@ -230,7 +381,7 @@ impl Iterator for RowCursor<'_> {
                 };
                 let mut n = live(&s.matches[s.mi..]);
                 while s.run < s.runs.len() {
-                    n += live(s.runs[s.run].eq_rows(cols, s.pos, s.id));
+                    n += live(s.runs[s.run].eq_rows(s.pos, s.id));
                     s.run += 1;
                 }
                 n += (s.log_next..cols.len() as u32)
@@ -251,8 +402,9 @@ impl Iterator for RowCursor<'_> {
         let clean = !self.store.cols.any_dead();
         match &self.src {
             Source::Empty => (0, Some(0)),
-            Source::Posting { ids, i } => {
-                let rem = ids.len() - i;
+            Source::Posting { head, tail, i } => {
+                let (h, t) = split_posting(head, tail, *i);
+                let rem = h.len() + t.len();
                 (if clean { rem } else { 0 }, Some(rem))
             }
             Source::Scan(_) => (0, Some(self.store.cols.len())),

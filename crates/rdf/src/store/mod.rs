@@ -12,26 +12,52 @@
 //! Every lexical value is interned through a hash-sharded [`TermDict`]
 //! and a stored triple is a *row id* into three per-position `TermId`
 //! columns (`columns.rs`). On top of the columns sit two independent
-//! access structures:
+//! access structures, both rebuilt around the **seal boundary** — the
+//! first row id not yet covered by a sorted run:
 //!
-//! * **posting lists** — per position, term id → row ids, directly
-//!   indexed by the dense id (a probe is an array access). These back
-//!   point lookups, and each position additionally keeps a lazily built
-//!   sorted key index (`BTreeMap<Arc<str>, TermId>`, sharing the
-//!   dictionary's buffers) so `select_like` prefix patterns run as
-//!   range scans;
+//! * **CSR posting lists** — per position, term id → row ids, directly
+//!   indexed by the dense id. Sealed rows live in one shared
+//!   *offsets + data* pair (compressed sparse rows: `data` holds every
+//!   posting of the position back to back, `offsets[t]..offsets[t+1]`
+//!   is term `t`'s span), so the whole index is two flat arrays — no
+//!   per-term allocation, and a probe touches sequential memory.
+//!   Rows appended since the last seal spill into a small per-term
+//!   *tail* (up to `INLINE_POSTING` ids inline in the entry).
+//!   Each position additionally keeps a lazily built sorted key index
+//!   (`BTreeMap<Arc<str>, TermId>`, sharing the dictionary's buffers)
+//!   so `select_like` prefix patterns run as range scans;
 //! * **zone-mapped sorted runs** (`runs.rs`) — the row-id space is an
-//!   append log whose tail is periodically sealed into immutable runs
-//!   (per-position sorted permutations with min/max-`TermId` zone maps
-//!   per granule), merged lazily on a size-tiered schedule. Runs back
-//!   the scan-analytics path: [`TripleStore::scan_eq_rows`] prunes
-//!   granules via the zone maps and never touches a posting list.
+//!   append log whose tail is periodically sealed into immutable runs:
+//!   per position, a sorted permutation of row ids **plus a key
+//!   projection** — the term id of each permutation entry, stored
+//!   contiguously alongside it — with min/max zone maps per
+//!   [`GRANULE`]-row granule. Runs back the scan-analytics path
+//!   ([`TripleStore::scan_eq_rows`], [`TripleStore::count_where`]) and
+//!   the sort-merge join ([`TripleStore::merge_join`]) and never touch
+//!   a posting list.
+//!
+//! ```text
+//!            row-id space ───────────────────────────────▶
+//!            ┌─────────────── sealed ──────────────┬─ append log ─┐
+//!  columns   │ s[..] p[..] o[..]  (TermId, row id) │   s p o      │
+//!            └──────────────────────────────────────┴──────────────┘
+//!  postings   CSR head (rebuilt at each seal)        per-term tail
+//!             offsets: [0, 2, 2, 5, …]  ── term t ─┐  t → Inline[≤5]
+//!             data:    [r0 r7 │ r1 r4 r9 │ …]  ◀───┘      or Heap
+//!  runs       Run { perm:  [r1 r4 r9 r0 …]  (sorted by (key, row))
+//!                   keys:  [ 3  3  3  8 …]  (projection of perm)
+//!                   zones: [min..max per 256-row granule] }
+//! ```
 //!
 //! Scans hand out [`RowCursor`]s (`cursor.rs`): lazy row-id iterators
 //! that defer term materialization until the consumer asks, so
 //! counting, ref collection and selection cost what the consumer
-//! actually uses. Selections and joins compare `u64` term codes;
-//! strings are materialized only at the API boundary.
+//! actually uses — and drain in [`GRANULE`]-row batches
+//! ([`RowCursor::next_block`]) where a consumer filters or gathers
+//! per block ([`PatternMatches`], `TripleStore::gather_triples`).
+//! Selections and joins compare `u64` term codes; strings are
+//! materialized only at the API boundary, position-major through the
+//! batched dictionary gather.
 
 mod columns;
 mod cursor;
@@ -39,24 +65,123 @@ mod runs;
 
 pub use cursor::RowCursor;
 
+/// Rows per evaluation granule: the zone-map granule width and the
+/// batch size of [`RowCursor::next_block`] / the pattern pipeline.
+pub const GRANULE: usize = runs::BLOCK;
+
 use crate::dict::{TermDict, TermId};
 use crate::fasthash::FxHashSet;
-use crate::join::{hash_join_rows, VarTable, UNBOUND};
+use crate::join::{hash_join_rows, merge_rows, VarTable, UNBOUND};
 use crate::term::{LikePattern, Term};
 use crate::triple::{Binding, PatternTerm, Position, Triple, TriplePattern};
 use columns::{Columns, Row};
-use runs::RunSet;
+use runs::{RunSet, SEAL_MIN};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::{Arc, OnceLock};
 
-/// Per-position posting lists, directly indexed by the dense [`TermId`]
-/// — a posting probe is a bounds-checked array access, no hashing.
-type PostingIndex = Vec<PostingList>;
-
-/// Row ids a posting entry holds before spilling to the heap.
+/// Row ids a tail posting entry holds before spilling to the heap.
 const INLINE_POSTING: usize = 5;
+
+/// One position's posting index, directly indexed by the dense
+/// [`TermId`] — a probe is an array access, no hashing.
+///
+/// Split at the seal boundary (see the module diagram):
+///
+/// * the **CSR head** covers every row below `csr_end`: `data` is all
+///   postings of the position concatenated in term order (each span
+///   ascending by row id), `offsets[t]..offsets[t+1]` indexes term
+///   `t`'s span. Two flat arrays for the whole position — a probe is
+///   two sequential loads, and rebuilds are a counting pass, no
+///   per-term allocation;
+/// * the **tail** holds rows appended since the last rebuild, as small
+///   per-term inline/heap lists. Cleared when the head is rebuilt.
+///
+/// A term's full posting list is `head(t) ++ tail(t)`: both ascending,
+/// every head id below every tail id.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct PostingIndex {
+    /// `offsets[t]..offsets[t+1]` is term `t`'s span in `data`.
+    offsets: Vec<u32>,
+    /// All sealed postings of the position, term-major, row-ascending.
+    data: Vec<u32>,
+    /// First row id NOT covered by the CSR head.
+    csr_end: u32,
+    /// Per-term spill for rows `>= csr_end`.
+    tail: Vec<PostingList>,
+}
+
+impl PostingIndex {
+    /// Term `t`'s sealed postings (rows `< csr_end`), ascending.
+    #[inline]
+    fn head(&self, t: usize) -> &[u32] {
+        match self.offsets.get(t..t + 2) {
+            Some(w) => &self.data[w[0] as usize..w[1] as usize],
+            None => &[],
+        }
+    }
+
+    /// Term `t`'s unsealed postings (rows `>= csr_end`), ascending.
+    #[inline]
+    fn tail_of(&self, t: usize) -> &[u32] {
+        self.tail.get(t).map(PostingList::as_slice).unwrap_or(&[])
+    }
+
+    /// Term `t`'s full posting list as its two ascending halves.
+    #[inline]
+    fn parts(&self, t: usize) -> (&[u32], &[u32]) {
+        (self.head(t), self.tail_of(t))
+    }
+
+    /// Whether term `t` has no posting at this position.
+    #[inline]
+    fn is_empty_term(&self, t: usize) -> bool {
+        self.head(t).is_empty() && self.tail_of(t).is_empty()
+    }
+
+    /// One past the largest term index that may have a posting.
+    fn num_terms(&self) -> usize {
+        self.offsets.len().saturating_sub(1).max(self.tail.len())
+    }
+
+    /// Append a row id (`row >= csr_end`) to term `t`'s tail.
+    #[inline]
+    fn push(&mut self, term: TermId, row: u32) {
+        if self.tail.len() <= term.index() {
+            self.tail
+                .resize_with(term.index() + 1, PostingList::default);
+        }
+        self.tail[term.index()].push(row);
+    }
+
+    /// Rebuild the CSR head to cover all of `col` (one counting pass:
+    /// count, prefix-sum, fill) and clear the tail. `bound` is the
+    /// dictionary's exclusive id-index bound.
+    fn rebuild(&mut self, col: &[TermId], bound: usize) {
+        self.offsets.clear();
+        self.offsets.resize(bound + 1, 0);
+        for id in col {
+            self.offsets[id.index() + 1] += 1;
+        }
+        for i in 1..self.offsets.len() {
+            self.offsets[i] += self.offsets[i - 1];
+        }
+        self.data.clear();
+        self.data.resize(col.len(), 0);
+        for (row, id) in col.iter().enumerate() {
+            let slot = &mut self.offsets[id.index()];
+            self.data[*slot as usize] = row as u32;
+            *slot += 1;
+        }
+        // Each offsets[t] advanced to end(t) == start(t+1); rotate the
+        // starts back into place.
+        self.offsets.rotate_right(1);
+        self.offsets[0] = 0;
+        self.csr_end = col.len() as u32;
+        self.tail.clear();
+    }
+}
 
 /// One term's posting list, with small-list inlining: up to
 /// [`INLINE_POSTING`] row ids live inside the index entry itself, so
@@ -92,14 +217,6 @@ impl PostingList {
     }
 
     #[inline]
-    fn is_empty(&self) -> bool {
-        match self {
-            PostingList::Inline { len, .. } => *len == 0,
-            PostingList::Heap(v) => v.is_empty(),
-        }
-    }
-
-    #[inline]
     fn push(&mut self, row: u32) {
         match self {
             PostingList::Inline { len, rows } => {
@@ -118,17 +235,8 @@ impl PostingList {
     }
 }
 
-/// Append a row id to a term's posting list, growing the index to cover
-/// the id.
-fn push_posting(posting: &mut PostingIndex, term: TermId, row: u32) {
-    if posting.len() <= term.index() {
-        posting.resize_with(term.index() + 1, PostingList::default);
-    }
-    posting[term.index()].push(row);
-}
-
-/// Append a row id to a position's posting list. When the term is new to
-/// the position, the position's lazily-built sorted key index is
+/// Append a row id to a position's posting tail. When the term is new
+/// to the position, the position's lazily-built sorted key index is
 /// invalidated (inserting rows over known terms leaves it valid — the
 /// index maps *terms*, not rows).
 fn index_insert(
@@ -137,14 +245,10 @@ fn index_insert(
     term: TermId,
     row: u32,
 ) {
-    if posting.len() <= term.index() {
-        posting.resize_with(term.index() + 1, PostingList::default);
-    }
-    let list = &mut posting[term.index()];
-    if list.is_empty() {
+    if posting.is_empty_term(term.index()) {
         sorted.take();
     }
-    list.push(row);
+    posting.push(term, row);
 }
 
 /// A borrowed view of one stored triple: the zero-materialization
@@ -228,12 +332,10 @@ impl TripleStore {
             Position::Object => &self.sorted_object,
         };
         cell.get_or_init(|| {
-            let mut pairs: Vec<(Arc<str>, TermId)> = self
-                .index(pos)
-                .iter()
-                .enumerate()
-                .filter(|(_, rows)| !rows.is_empty())
-                .map(|(i, _)| (self.dict.shared(TermId(i as u32)), TermId(i as u32)))
+            let index = self.index(pos);
+            let mut pairs: Vec<(Arc<str>, TermId)> = (0..index.num_terms())
+                .filter(|&i| !index.is_empty_term(i))
+                .map(|i| (self.dict.shared(TermId(i as u32)), TermId(i as u32)))
                 .collect();
             pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             BTreeMap::from_iter(pairs)
@@ -262,8 +364,47 @@ impl TripleStore {
         index_insert(&mut self.by_object, &mut self.sorted_object, o, id);
         self.cols.push(row);
         self.live += 1;
-        self.runs.note_appended(&self.cols, self.dict.id_bound());
+        self.sync_runs_and_postings();
         true
+    }
+
+    /// Seal the append log into a run when it is due, and keep the CSR
+    /// posting heads in lockstep with the seal boundary: whenever the
+    /// boundary moves, the heads are rebuilt over the whole row space
+    /// (one counting pass per position, position-parallel on multicore
+    /// hosts) and the tails emptied.
+    fn sync_runs_and_postings(&mut self) {
+        let before = self.runs.sealed_end();
+        self.runs.note_appended(&self.cols, self.dict.id_bound());
+        if self.runs.sealed_end() != before {
+            self.rebuild_posting_csr();
+        }
+    }
+
+    /// Rebuild all three CSR posting heads from the columns.
+    fn rebuild_posting_csr(&mut self) {
+        let bound = self.dict.id_bound();
+        let TripleStore {
+            cols,
+            by_subject,
+            by_predicate,
+            by_object,
+            ..
+        } = self;
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores >= 2 && cols.len() >= 16_384 {
+            std::thread::scope(|sc| {
+                sc.spawn(|| by_subject.rebuild(&cols.s, bound));
+                sc.spawn(|| by_predicate.rebuild(&cols.p, bound));
+                by_object.rebuild(&cols.o, bound);
+            });
+        } else {
+            by_subject.rebuild(&cols.s, bound);
+            by_predicate.rebuild(&cols.p, bound);
+            by_object.rebuild(&cols.o, bound);
+        }
     }
 
     /// Bulk insert with the same idempotence semantics as repeated
@@ -298,40 +439,34 @@ impl TripleStore {
         let added = self.cols.len() - first_new;
         self.live += added;
 
-        // Posting lists: one fill pass per position (amortized growth of
-        // the short per-term lists is cheaper than a separate count
-        // pass). The three positions are independent; large batches fill
-        // them on scoped threads.
-        let bound = self.dict.id_bound();
-        for index in [
-            &mut self.by_subject,
-            &mut self.by_predicate,
-            &mut self.by_object,
-        ] {
-            if index.len() < bound {
-                index.resize_with(bound, PostingList::default);
-            }
-        }
-        let fill = |index: &mut PostingIndex, ids: &[TermId]| {
-            for (offset, tid) in ids.iter().enumerate() {
-                index[tid.index()].push((first_new + offset) as u32);
-            }
-        };
-        let (s_col, p_col, o_col) = (
-            &self.cols.s[first_new..],
-            &self.cols.p[first_new..],
-            &self.cols.o[first_new..],
-        );
-        if cores >= 2 && added >= 16_384 {
-            std::thread::scope(|s| {
-                s.spawn(|| fill(&mut self.by_subject, s_col));
-                s.spawn(|| fill(&mut self.by_predicate, p_col));
+        // Posting lists: when the batch leaves the log under the seal
+        // threshold, one tail-fill pass per position (the three
+        // positions are independent; large batches fill them on scoped
+        // threads). When a seal is due, skip the fill entirely — the
+        // CSR rebuild right after sealing indexes the new rows anyway.
+        let will_seal = self.cols.len() as u32 - self.runs.sealed_end() >= SEAL_MIN as u32;
+        if !will_seal {
+            let fill = |index: &mut PostingIndex, ids: &[TermId]| {
+                for (offset, tid) in ids.iter().enumerate() {
+                    index.push(*tid, (first_new + offset) as u32);
+                }
+            };
+            let (s_col, p_col, o_col) = (
+                &self.cols.s[first_new..],
+                &self.cols.p[first_new..],
+                &self.cols.o[first_new..],
+            );
+            if cores >= 2 && added >= 16_384 {
+                std::thread::scope(|s| {
+                    s.spawn(|| fill(&mut self.by_subject, s_col));
+                    s.spawn(|| fill(&mut self.by_predicate, p_col));
+                    fill(&mut self.by_object, o_col);
+                });
+            } else {
+                fill(&mut self.by_subject, s_col);
+                fill(&mut self.by_predicate, p_col);
                 fill(&mut self.by_object, o_col);
-            });
-        } else {
-            fill(&mut self.by_subject, s_col);
-            fill(&mut self.by_predicate, p_col);
-            fill(&mut self.by_object, o_col);
+            }
         }
         // Conservative invalidation: the batch likely introduced new
         // terms somewhere; rebuilding the lazy sorted indexes costs one
@@ -339,7 +474,7 @@ impl TripleStore {
         self.sorted_subject.take();
         self.sorted_predicate.take();
         self.sorted_object.take();
-        self.runs.note_appended(&self.cols, self.dict.id_bound());
+        self.sync_runs_and_postings();
         added
     }
 
@@ -447,10 +582,9 @@ impl TripleStore {
     }
 
     fn find_row(&self, row: &Row) -> Option<u32> {
-        self.by_subject
-            .get(row.s.index())?
-            .as_slice()
-            .iter()
+        let (head, tail) = self.by_subject.parts(row.s.index());
+        head.iter()
+            .chain(tail)
             .copied()
             .find(|&id| !self.cols.is_dead(id) && self.cols.row(id) == *row)
     }
@@ -466,8 +600,78 @@ impl TripleStore {
         Triple::new(self.dict.shared(row.s), self.dict.shared(row.p), object)
     }
 
-    fn materialize_ids(&self, ids: impl IntoIterator<Item = u32>) -> Vec<Triple> {
-        ids.into_iter().map(|id| self.triple_of(id)).collect()
+    fn materialize_ids(&self, ids: Vec<u32>) -> Vec<Triple> {
+        self.gather_triples(&ids)
+    }
+
+    /// Materialize a batch of row ids as owned triples through the
+    /// batched dictionary gather: per [`GRANULE`]-sized chunk, each id
+    /// column is gathered and resolved **position-major** in one run
+    /// ([`TermDict::shared_many`]) before the triples are zipped
+    /// together — three sequential resolve sweeps instead of three
+    /// interleaved pointer chases per row.
+    pub(crate) fn gather_triples(&self, ids: &[u32]) -> Vec<Triple> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut tids: Vec<TermId> = Vec::with_capacity(GRANULE);
+        let mut s_lex: Vec<Arc<str>> = Vec::with_capacity(GRANULE);
+        let mut p_lex: Vec<Arc<str>> = Vec::with_capacity(GRANULE);
+        let mut o_lex: Vec<Arc<str>> = Vec::with_capacity(GRANULE);
+        for chunk in ids.chunks(GRANULE) {
+            for (pos, lex) in [
+                (Position::Subject, &mut s_lex),
+                (Position::Predicate, &mut p_lex),
+                (Position::Object, &mut o_lex),
+            ] {
+                tids.clear();
+                tids.extend(chunk.iter().map(|&r| self.cols.id_at(r, pos)));
+                self.dict.shared_many(&tids, lex);
+            }
+            for (((s, p), o), &r) in s_lex
+                .drain(..)
+                .zip(p_lex.drain(..))
+                .zip(o_lex.drain(..))
+                .zip(chunk)
+            {
+                let object = if self.cols.o_lit_at(r) {
+                    Term::literal(o)
+                } else {
+                    Term::uri(o)
+                };
+                out.push(Triple::new(s, p, object));
+            }
+        }
+        out
+    }
+
+    /// Materialize a batch of row ids as borrowed views through the
+    /// position-major batched gather (the `&str` twin of
+    /// [`TripleStore::gather_triples`]).
+    pub(crate) fn gather_refs(&self, ids: &[u32]) -> Vec<TripleRef<'_>> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut tids: Vec<TermId> = Vec::with_capacity(GRANULE);
+        let mut s_lex: Vec<&str> = Vec::with_capacity(GRANULE);
+        let mut p_lex: Vec<&str> = Vec::with_capacity(GRANULE);
+        let mut o_lex: Vec<&str> = Vec::with_capacity(GRANULE);
+        for chunk in ids.chunks(GRANULE) {
+            for (pos, lex) in [
+                (Position::Subject, &mut s_lex),
+                (Position::Predicate, &mut p_lex),
+                (Position::Object, &mut o_lex),
+            ] {
+                tids.clear();
+                tids.extend(chunk.iter().map(|&r| self.cols.id_at(r, pos)));
+                self.dict.resolve_many(&tids, lex);
+            }
+            for (k, &r) in chunk.iter().enumerate() {
+                out.push(TripleRef {
+                    subject: s_lex[k],
+                    predicate: p_lex[k],
+                    object: o_lex[k],
+                    object_is_literal: self.cols.o_lit_at(r),
+                });
+            }
+        }
+        out
     }
 
     fn row_ref(&self, row: &Row) -> TripleRef<'_> {
@@ -516,7 +720,10 @@ impl TripleStore {
     #[inline]
     pub fn select_eq_rows(&self, pos: Position, value: &str) -> RowCursor<'_> {
         match self.dict.lookup(value) {
-            Some(id) => RowCursor::posting(self, self.posting_ids(pos, id)),
+            Some(id) => {
+                let (head, tail) = self.posting_parts(pos, id);
+                RowCursor::posting(self, head, tail)
+            }
             None => RowCursor::empty(self),
         }
     }
@@ -534,6 +741,47 @@ impl TripleStore {
         }
     }
 
+    /// Count live rows whose `pos` term satisfies `pred`, evaluating
+    /// the predicate **once per distinct term** instead of once per
+    /// row: sealed runs walk their sorted key projections group by
+    /// group — a matching group's width is credited in O(1) when the
+    /// store has no tombstones — and the append log memoizes the last
+    /// id it tested. Equivalent to
+    /// `rows().filter(|&r| pred(term_at(r, pos))).count()`, at the cost
+    /// of one dictionary resolve per *distinct* run-local term.
+    pub fn count_where(&self, pos: Position, mut pred: impl FnMut(&str) -> bool) -> usize {
+        let cols = &self.cols;
+        let clean = !cols.any_dead();
+        let mut n = 0usize;
+        for run in self.runs.runs() {
+            run.for_each_group(pos, |id, rows| {
+                if pred(self.dict.resolve(id)) {
+                    n += if clean {
+                        rows.len()
+                    } else {
+                        rows.iter().filter(|&&r| !cols.is_dead(r)).count()
+                    };
+                }
+            });
+        }
+        let mut memo: Option<(TermId, bool)> = None;
+        for r in self.runs.sealed_end()..cols.len() as u32 {
+            let id = cols.id_at(r, pos);
+            let pass = match memo {
+                Some((m, p)) if m == id => p,
+                _ => {
+                    let p = pred(self.dict.resolve(id));
+                    memo = Some((id, p));
+                    p
+                }
+            };
+            if pass && !cols.is_dead(r) {
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Iterate over live triples (materialized on the fly).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
         self.rows().triples()
@@ -546,37 +794,27 @@ impl TripleStore {
 
     /// Live row ids whose `pos` equals the interned `id`.
     fn posting(&self, pos: Position, id: TermId) -> impl Iterator<Item = u32> + '_ {
-        self.posting_ids(pos, id)
-            .iter()
+        let (head, tail) = self.posting_parts(pos, id);
+        head.iter()
+            .chain(tail)
             .copied()
             .filter(|&id| !self.cols.is_dead(id))
     }
 
     /// The raw posting list of a term in a position (may contain
-    /// tombstoned row ids).
+    /// tombstoned row ids), as its CSR-head and tail halves — both
+    /// ascending, every head id below every tail id.
     #[inline]
-    fn posting_ids(&self, pos: Position, id: TermId) -> &[u32] {
-        self.index(pos)
-            .get(id.index())
-            .map(PostingList::as_slice)
-            .unwrap_or(&[])
+    fn posting_parts(&self, pos: Position, id: TermId) -> (&[u32], &[u32]) {
+        self.index(pos).parts(id.index())
     }
 
     /// σ: all triples whose `pos` equals `value` exactly. One dictionary
-    /// probe + one posting-list walk; a never-seen value costs a single
-    /// hash and no allocation.
+    /// probe + one posting-list walk, materialized through the batched
+    /// position-major gather; a never-seen value costs a single hash and
+    /// no allocation.
     pub fn select_eq(&self, pos: Position, value: &str) -> Vec<Triple> {
-        let Some(id) = self.dict.lookup(value) else {
-            return Vec::new();
-        };
-        let ids = self.posting_ids(pos, id);
-        let mut out = Vec::with_capacity(ids.len());
-        for &rid in ids {
-            if !self.cols.is_dead(rid) {
-                out.push(self.triple_of(rid));
-            }
-        }
-        out
+        self.select_eq_rows(pos, value).triples_vec()
     }
 
     /// σ as eagerly collected borrowed views. Prefer
@@ -584,7 +822,7 @@ impl TripleStore {
     /// it defers materialization entirely; this remains for callers
     /// that want a ready `Vec`.
     pub fn select_eq_refs(&self, pos: Position, value: &str) -> Vec<TripleRef<'_>> {
-        self.select_eq_rows(pos, value).refs().collect()
+        self.select_eq_rows(pos, value).refs_vec()
     }
 
     /// Live row ids for every term in `pos` whose lexical starts with
@@ -631,14 +869,28 @@ impl TripleStore {
     /// posting probe.
     fn multi_eq_row_ids(&self, constraints: &[(Position, TermId)]) -> Vec<u32> {
         debug_assert!(constraints.len() >= 2);
-        fn intersect_into(out: &mut Vec<u32>, slices: &mut Vec<&[u32]>) {
-            // Walk the smallest candidate set, membership-test the rest
-            // (each slice is ascending row ids).
-            slices.sort_by_key(|s| s.len());
-            let (first, rest) = slices.split_first().expect("non-empty");
-            'next: for &row in *first {
-                for s in rest {
-                    if s.binary_search(&row).is_err() {
+        /// One constraint's candidate rows as two ascending slices,
+        /// every `a` id below every `b` id (a posting's CSR head and
+        /// tail halves; run ranges use `a` alone).
+        struct IdSet<'a> {
+            a: &'a [u32],
+            b: &'a [u32],
+        }
+        impl IdSet<'_> {
+            fn len(&self) -> usize {
+                self.a.len() + self.b.len()
+            }
+            fn contains(&self, row: u32) -> bool {
+                self.a.binary_search(&row).is_ok() || self.b.binary_search(&row).is_ok()
+            }
+        }
+        fn intersect_into(out: &mut Vec<u32>, sets: &mut [IdSet<'_>]) {
+            // Walk the smallest candidate set, membership-test the rest.
+            sets.sort_by_key(IdSet::len);
+            let (first, rest) = sets.split_first().expect("non-empty");
+            'next: for &row in first.a.iter().chain(first.b) {
+                for s in rest.iter() {
+                    if !s.contains(row) {
                         continue 'next;
                     }
                 }
@@ -647,23 +899,31 @@ impl TripleStore {
         }
         let mut out: Vec<u32> = Vec::new();
         for run in self.runs.runs() {
-            let mut slices: Vec<&[u32]> = constraints
+            let mut sets: Vec<IdSet<'_>> = constraints
                 .iter()
-                .map(|&(pos, id)| run.eq_rows(&self.cols, pos, id))
+                .map(|&(pos, id)| IdSet {
+                    a: run.eq_rows(pos, id),
+                    b: &[],
+                })
                 .collect();
-            intersect_into(&mut out, &mut slices);
+            intersect_into(&mut out, &mut sets);
         }
         let sealed = self.runs.sealed_end();
-        let mut tails: Vec<&[u32]> = constraints
+        let mut sets: Vec<IdSet<'_>> = constraints
             .iter()
             .map(|&(pos, id)| {
-                let ids = self.posting_ids(pos, id);
-                // Posting lists are ascending; the log tail starts at
-                // the first unsealed row id.
-                &ids[ids.partition_point(|&r| r < sealed)..]
+                // Postings are ascending; the unsealed remainder starts
+                // at the first row id past the seal boundary (tails are
+                // entirely unsealed except right after a deserialize,
+                // when the CSR head covers rows no run does yet).
+                let (head, tail) = self.posting_parts(pos, id);
+                IdSet {
+                    a: &head[head.partition_point(|&r| r < sealed)..],
+                    b: &tail[tail.partition_point(|&r| r < sealed)..],
+                }
             })
             .collect();
-        intersect_into(&mut out, &mut tails);
+        intersect_into(&mut out, &mut sets);
         out
     }
 
@@ -700,18 +960,16 @@ impl TripleStore {
                 .iter()
                 .map(|&(pos, code)| (pos, TermId((code >> 1) as u32)))
                 .collect();
-            MatchSource::Materialized(self.multi_eq_row_ids(&constraints).into_iter())
+            MatchSource::Materialized(self.multi_eq_row_ids(&constraints), 0)
         } else if let Some(&(pos, code)) = exact.first() {
-            MatchSource::Cursor(RowCursor::posting(
-                self,
-                self.posting_ids(pos, TermId((code >> 1) as u32)),
-            ))
+            let (head, tail) = self.posting_parts(pos, TermId((code >> 1) as u32));
+            MatchSource::Cursor(RowCursor::posting(self, head, tail))
         } else if let Some((pos, like)) = likes
             .iter()
             .find(|(_, l)| matches!(l, LikePattern::Prefix(c) if !c.is_empty()))
             .copied()
         {
-            MatchSource::Materialized(self.prefix_row_ids(pos, like.core()).into_iter())
+            MatchSource::Materialized(self.prefix_row_ids(pos, like.core()), 0)
         } else {
             MatchSource::Cursor(self.rows())
         };
@@ -730,6 +988,8 @@ impl TripleStore {
             exact,
             likes,
             vars,
+            buf: Vec::new(),
+            bi: 0,
         }
     }
 
@@ -764,6 +1024,35 @@ impl TripleStore {
     /// see [`TripleStore::match_codes_iter`] for the streaming form).
     pub(crate) fn match_codes(&self, pattern: &TriplePattern, vars: &VarTable) -> Vec<Vec<u64>> {
         self.match_codes_iter(pattern, vars).collect()
+    }
+
+    /// Stream matching rows as term-code rows over `vars` through one
+    /// reused scratch row — the allocation-free twin of
+    /// [`TripleStore::match_codes_iter`] for consumers that probe or
+    /// copy per row (e.g. [`crate::ConjunctiveQuery::evaluate`]'s
+    /// hash-join probe loop). The slice handed to `f` is valid only for
+    /// the duration of the call; slots the pattern does not bind stay
+    /// [`UNBOUND`], bound slots are overwritten on every match.
+    pub fn for_each_match_row(
+        &self,
+        pattern: &TriplePattern,
+        vars: &VarTable,
+        mut f: impl FnMut(&[u64]),
+    ) {
+        let slots: Vec<(Position, usize)> = Position::ALL
+            .iter()
+            .filter_map(|&pos| match pattern.slot(pos) {
+                PatternTerm::Var(v) => Some((pos, vars.slot(v).expect("pattern var registered"))),
+                PatternTerm::Const(_) => None,
+            })
+            .collect();
+        let mut row = vec![UNBOUND; vars.len()];
+        for id in self.pattern_matches(pattern) {
+            for &(pos, slot) in &slots {
+                row[slot] = self.cols.code_at(id, pos);
+            }
+            f(&row);
+        }
     }
 
     /// Decode a term code produced by this store's rows (zero-copy).
@@ -819,9 +1108,42 @@ impl TripleStore {
 
     /// Evaluate a triple pattern against the local database, returning
     /// one binding per matching triple (the eager twin of
-    /// [`TripleStore::match_pattern_iter`]).
+    /// [`TripleStore::match_pattern_iter`], same rows, same order).
+    /// Eager lets it gather terms granule-at-a-time: matching row ids
+    /// are collected first, then each bound position is resolved through
+    /// one batched dictionary pass per [`GRANULE`] chunk instead of one
+    /// shard hop per binding slot.
     pub fn match_pattern(&self, pattern: &TriplePattern) -> Vec<Binding> {
-        self.match_pattern_iter(pattern).collect()
+        let mut vars: Vec<(Position, &str)> = Vec::new();
+        for &pos in Position::ALL.iter() {
+            if let PatternTerm::Var(v) = pattern.slot(pos) {
+                if !vars.iter().any(|&(_, n)| n == v.as_str()) {
+                    vars.push((pos, v.as_str()));
+                }
+            }
+        }
+        let ids: Vec<u32> = self.pattern_matches(pattern).collect();
+        let mut out: Vec<Binding> = Vec::with_capacity(ids.len());
+        out.resize_with(ids.len(), Binding::new);
+        let mut tids: Vec<TermId> = Vec::with_capacity(GRANULE);
+        let mut lex: Vec<Arc<str>> = Vec::with_capacity(GRANULE);
+        for (c, chunk) in ids.chunks(GRANULE).enumerate() {
+            let base = c * GRANULE;
+            for &(pos, name) in &vars {
+                tids.clear();
+                tids.extend(chunk.iter().map(|&r| self.cols.id_at(r, pos)));
+                self.dict.shared_many(&tids, &mut lex);
+                for (k, &r) in chunk.iter().enumerate() {
+                    let term = if pos == Position::Object && self.cols.o_lit_at(r) {
+                        Term::literal(lex[k].clone())
+                    } else {
+                        Term::uri(lex[k].clone())
+                    };
+                    out[base + k].bind(name.to_string(), term);
+                }
+            }
+        }
+        out
     }
 
     /// The destination-peer resolution of §2.3:
@@ -851,9 +1173,84 @@ impl TripleStore {
     /// pattern … and aggregating").
     pub fn join(&self, left: &TriplePattern, right: &TriplePattern) -> Vec<Binding> {
         let vars = VarTable::from_patterns([left, right]);
+        self.join_codes(left, right)
+            .iter()
+            .map(|row| self.decode_row(row, &vars))
+            .collect()
+    }
+
+    /// Hash ⋈ of two patterns at the term-code level: the rows of
+    /// [`TripleStore::join`] before binding decode (and the baseline
+    /// the sort-merge path is measured against).
+    pub fn join_codes(&self, left: &TriplePattern, right: &TriplePattern) -> Vec<Vec<u64>> {
+        let vars = VarTable::from_patterns([left, right]);
         let l = self.match_codes(left, &vars);
         let r = self.match_codes(right, &vars);
         hash_join_rows(&l, &r)
+    }
+
+    /// Sort-merge ⋈ of two patterns on their single shared variable,
+    /// with no hash table built on either side: each match set streams
+    /// off its access path already row-id ascending, gets one stable
+    /// by-key sort, and the two key-ordered sets merge linearly —
+    /// equal-key blocks pair up left-major. Yields exactly the rows of
+    /// [`TripleStore::join_codes`], reordered by (key code, left row,
+    /// right row). Patterns sharing zero or several variables fall
+    /// back to the hash path unchanged.
+    pub fn merge_join_codes(&self, left: &TriplePattern, right: &TriplePattern) -> Vec<Vec<u64>> {
+        let vars = VarTable::from_patterns([left, right]);
+        let shared = shared_variables(left, right);
+        let [key] = shared.as_slice() else {
+            return self.join_codes(left, right);
+        };
+        let k = vars.slot(key).expect("shared var registered");
+        let l = self.match_codes(left, &vars);
+        let r = self.match_codes(right, &vars);
+        // Argsort over packed (key, match index) pairs: a flat 12-byte
+        // comparison sort instead of shuffling the row vectors
+        // themselves, and the index tiebreak makes the unstable sort
+        // stable by key (matches stream out row-ascending).
+        let keyed = |rows: &[Vec<u64>]| -> Vec<(u64, u32)> {
+            let mut v: Vec<(u64, u32)> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| (row[k], i as u32))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let lk = keyed(&l);
+        let rk = keyed(&r);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < lk.len() && j < rk.len() {
+            let (a, b) = (lk[i].0, rk[j].0);
+            if a < b {
+                i += 1;
+            } else if a > b {
+                j += 1;
+            } else {
+                let ie = i + lk[i..].iter().take_while(|&&(key, _)| key == a).count();
+                let je = j + rk[j..].iter().take_while(|&&(key, _)| key == a).count();
+                for &(_, li) in &lk[i..ie] {
+                    for &(_, ri) in &rk[j..je] {
+                        out.push(merge_rows(&l[li as usize], &r[ri as usize]));
+                    }
+                }
+                i = ie;
+                j = je;
+            }
+        }
+        out
+    }
+
+    /// Self-join ⋈ via the sort-merge path (see
+    /// [`TripleStore::merge_join_codes`]): the same binding multiset as
+    /// [`TripleStore::join`], ordered by (key code, left row, right
+    /// row) instead of left-major probe order.
+    pub fn merge_join(&self, left: &TriplePattern, right: &TriplePattern) -> Vec<Binding> {
+        let vars = VarTable::from_patterns([left, right]);
+        self.merge_join_codes(left, right)
             .iter()
             .map(|row| self.decode_row(row, &vars))
             .collect()
@@ -894,9 +1291,9 @@ impl TripleStore {
         if self.cols.any_dead() {
             let mut dict = TermDict::new();
             let mut cols = Columns::default();
-            let mut by_subject: PostingIndex = PostingIndex::new();
-            let mut by_predicate: PostingIndex = PostingIndex::new();
-            let mut by_object: PostingIndex = PostingIndex::new();
+            let mut by_subject = PostingIndex::default();
+            let mut by_predicate = PostingIndex::default();
+            let mut by_object = PostingIndex::default();
 
             for old_id in 0..self.cols.len() as u32 {
                 if self.cols.is_dead(old_id) {
@@ -913,9 +1310,9 @@ impl TripleStore {
                     o_lit: old.o_lit,
                 };
                 let id = cols.len() as u32;
-                push_posting(&mut by_subject, row.s, id);
-                push_posting(&mut by_predicate, row.p, id);
-                push_posting(&mut by_object, row.o, id);
+                by_subject.push(row.s, id);
+                by_predicate.push(row.p, id);
+                by_object.push(row.o, id);
                 cols.push(row);
             }
 
@@ -932,13 +1329,16 @@ impl TripleStore {
             self.runs.clear();
         }
         self.runs.seal_all(&self.cols, self.dict.id_bound());
+        self.rebuild_posting_csr();
     }
 
     /// Test hook: seal the current append log into a run regardless of
-    /// its size, so small stores exercise the run/zone-map machinery.
+    /// its size, so small stores exercise the run/zone-map machinery
+    /// (and the CSR rebuild that rides every seal).
     #[cfg(test)]
     pub(crate) fn seal_log_for_test(&mut self) {
         self.runs.seal_log(&self.cols, self.dict.id_bound());
+        self.rebuild_posting_csr();
     }
 
     /// Number of sealed runs (merge-schedule observability).
@@ -948,18 +1348,34 @@ impl TripleStore {
     }
 }
 
+/// Distinct variable names appearing in both patterns, in left's slot
+/// order (the merge-join key discovery).
+fn shared_variables<'p>(left: &'p TriplePattern, right: &TriplePattern) -> Vec<&'p str> {
+    let rvars = right.variables();
+    let mut out: Vec<&str> = Vec::new();
+    for v in left.variables() {
+        if rvars.contains(&v) && !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
 /// Row-id source behind a [`PatternMatches`] stream: a lazy cursor
 /// (posting list or full scan) or an already-intersected /
-/// range-collected id list.
+/// range-collected id list (with a drain offset).
 enum MatchSource<'a> {
     Cursor(RowCursor<'a>),
-    Materialized(std::vec::IntoIter<u32>),
+    Materialized(Vec<u32>, usize),
 }
 
 /// A lazily evaluated pattern scan (see
 /// [`TripleStore::pattern_matches`]): yields live row ids matching the
-/// pattern, in insertion order, applying the residual predicate as the
-/// consumer pulls.
+/// pattern, in insertion order, evaluated a granule at a time — the
+/// source refills a [`GRANULE`]-row batch and the residual predicate
+/// (remaining constants, `LIKE`s, repeated variables) runs as columnar
+/// `retain` sweeps over the batch, one constraint at a time, instead of
+/// re-dispatching the whole predicate chain per row.
 pub struct PatternMatches<'a> {
     store: &'a TripleStore,
     src: MatchSource<'a>,
@@ -968,39 +1384,73 @@ pub struct PatternMatches<'a> {
     exact: Vec<(Position, u64)>,
     likes: Vec<(Position, LikePattern<'a>)>,
     vars: Vec<(Position, &'a str)>,
+    /// Current granule of admitted row ids, drained front-to-back.
+    buf: Vec<u32>,
+    bi: usize,
 }
 
 impl<'a> PatternMatches<'a> {
     fn empty(store: &'a TripleStore) -> PatternMatches<'a> {
         PatternMatches {
             store,
-            src: MatchSource::Materialized(Vec::new().into_iter()),
+            src: MatchSource::Materialized(Vec::new(), 0),
             exact: Vec::new(),
             likes: Vec::new(),
             vars: Vec::new(),
+            buf: Vec::new(),
+            bi: 0,
         }
     }
 
-    fn admits(&self, id: u32) -> bool {
-        let store = self.store;
-        if store.cols.is_dead(id) {
-            return false;
+    /// Pull the next granule of candidates from the source and run the
+    /// residual sweeps over it; `false` once the source is dry.
+    fn refill(&mut self) -> bool {
+        loop {
+            self.bi = 0;
+            let got = match &mut self.src {
+                MatchSource::Cursor(c) => c.next_block(&mut self.buf),
+                MatchSource::Materialized(ids, next) => {
+                    let chunk = &ids[*next..(*next + GRANULE).min(ids.len())];
+                    self.buf.clear();
+                    self.buf.extend_from_slice(chunk);
+                    *next += chunk.len();
+                    !self.buf.is_empty()
+                }
+            };
+            if !got {
+                return false;
+            }
+            self.admit_block();
+            if !self.buf.is_empty() {
+                return true;
+            }
         }
-        let row = store.cols.row(id);
-        self.exact
-            .iter()
-            .all(|&(pos, code)| row.code_at(pos) == code)
-            && self
-                .likes
-                .iter()
-                .all(|(pos, like)| like.matches(store.dict.resolve(row.id_at(*pos))))
-            && self.vars.iter().all(|&(pos, name)| {
-                // Repeated variables must bind equal codes.
-                self.vars
-                    .iter()
-                    .filter(|&&(p2, n2)| n2 == name && p2 != pos)
-                    .all(|&(p2, _)| row.code_at(p2) == row.code_at(pos))
-            })
+    }
+
+    /// Columnar residual predicate over the current granule: one
+    /// `retain` sweep per constraint, each touching only its column.
+    fn admit_block(&mut self) {
+        let store = self.store;
+        let buf = &mut self.buf;
+        // Cursor sources already skip tombstones; materialized id lists
+        // (multi-constant intersections, prefix range scans) have not.
+        if matches!(self.src, MatchSource::Materialized(..)) && store.cols.any_dead() {
+            buf.retain(|&id| !store.cols.is_dead(id));
+        }
+        for &(pos, code) in &self.exact {
+            buf.retain(|&id| store.cols.code_at(id, pos) == code);
+        }
+        for (pos, like) in &self.likes {
+            buf.retain(|&id| like.matches(store.dict.resolve(store.cols.id_at(id, *pos))));
+        }
+        // Repeated variables must bind equal codes.
+        for (k, &(pos, name)) in self.vars.iter().enumerate() {
+            for &(p2, n2) in &self.vars[k + 1..] {
+                if n2 == name {
+                    buf.retain(|&id| store.cols.code_at(id, pos) == store.cols.code_at(id, p2));
+                }
+            }
+        }
     }
 }
 
@@ -1009,12 +1459,13 @@ impl Iterator for PatternMatches<'_> {
 
     fn next(&mut self) -> Option<u32> {
         loop {
-            let id = match &mut self.src {
-                MatchSource::Cursor(c) => c.next()?,
-                MatchSource::Materialized(m) => m.next()?,
-            };
-            if self.admits(id) {
+            if self.bi < self.buf.len() {
+                let id = self.buf[self.bi];
+                self.bi += 1;
                 return Some(id);
+            }
+            if !self.refill() {
+                return None;
             }
         }
     }
@@ -1522,6 +1973,16 @@ mod proptests {
             .prop_map(|(s, p, o)| Triple::new(s.as_str(), p.as_str(), Term::literal(o)))
     }
 
+    /// Drain a cursor granule-at-a-time and concatenate the batches.
+    fn drain_blocks(mut c: RowCursor<'_>) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        while c.next_block(&mut buf) {
+            out.extend_from_slice(&buf);
+        }
+        out
+    }
+
     proptest! {
         /// The three indexes agree with a full scan, for every position.
         #[test]
@@ -1764,6 +2225,282 @@ mod proptests {
             got.sort();
             reference.sort();
             prop_assert_eq!(got, reference);
+        }
+
+        /// The CSR posting head plus the tail agree with a brute-force
+        /// per-term row list under interleaved insert/remove/seal/compact,
+        /// and honor the layout invariants: both halves strictly
+        /// ascending, every head row below `csr_end`, every tail row at
+        /// or above it.
+        #[test]
+        fn csr_postings_agree_with_reference(
+            first in proptest::collection::vec(arb_triple(), 0..40),
+            removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
+            second in proptest::collection::vec(arb_triple(), 0..20),
+            ops in 0u8..8,
+        ) {
+            let mut db = TripleStore::new();
+            let mut reference: Vec<Triple> = Vec::new();
+            for t in &first {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            if ops & 1 != 0 { db.seal_log_for_test(); }
+            for idx in &removals {
+                if reference.is_empty() { break; }
+                let t = reference.remove(idx.index(reference.len()));
+                prop_assert!(db.remove(&t));
+            }
+            for t in &second {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            if ops & 2 != 0 { db.seal_log_for_test(); }
+            if ops & 4 != 0 { db.compact(); }
+            for pos in Position::ALL {
+                let index = db.index(pos);
+                for t in first.iter().chain(&second) {
+                    let Some(id) = db.dict.lookup(t.get(pos).lexical()) else { continue };
+                    let (head, tail) = index.parts(id.index());
+                    // Postings cover every row of the term, tombstoned
+                    // included (liveness is the cursors' job).
+                    let brute: Vec<u32> = (0..db.cols.len() as u32)
+                        .filter(|&r| db.cols.id_at(r, pos) == id)
+                        .collect();
+                    let merged: Vec<u32> = head.iter().chain(tail).copied().collect();
+                    prop_assert_eq!(&merged, &brute, "{:?} {:?}", pos, t.get(pos));
+                    prop_assert!(head.windows(2).all(|w| w[0] < w[1]), "head ascends");
+                    prop_assert!(tail.windows(2).all(|w| w[0] < w[1]), "tail ascends");
+                    prop_assert!(head.iter().all(|&r| r < index.csr_end), "head under csr_end");
+                    prop_assert!(tail.iter().all(|&r| r >= index.csr_end), "tail over csr_end");
+                }
+            }
+        }
+
+        /// Run-local key projections mirror the base columns: for every
+        /// sealed run and position, `keys[i]` is the term id of row
+        /// `perm[i]`, and the group walk covers the whole permutation in
+        /// strictly ascending key order.
+        #[test]
+        fn run_projection_matches_permutation(
+            triples in proptest::collection::vec(arb_triple(), 1..60),
+            split in any::<prop::sample::Index>(),
+        ) {
+            let mut db = TripleStore::new();
+            let cut = split.index(triples.len());
+            for t in &triples[..cut] { db.insert(t.clone()); }
+            db.seal_log_for_test();
+            for t in &triples[cut..] { db.insert(t.clone()); }
+            db.seal_log_for_test();
+            for run in db.runs.runs() {
+                for pos in Position::ALL {
+                    let perm = run.perm(pos);
+                    let keys = run.keys(pos);
+                    prop_assert_eq!(perm.len(), keys.len());
+                    for (&r, &k) in perm.iter().zip(keys) {
+                        prop_assert_eq!(db.cols.id_at(r, pos).index() as u32, k, "{:?}", pos);
+                    }
+                    let mut group_keys: Vec<u32> = Vec::new();
+                    let mut walked: Vec<u32> = Vec::new();
+                    run.for_each_group(pos, |tid, rows| {
+                        group_keys.push(tid.index() as u32);
+                        walked.extend_from_slice(rows);
+                    });
+                    prop_assert!(group_keys.windows(2).all(|w| w[0] < w[1]), "groups ascend");
+                    prop_assert_eq!(&walked[..], perm, "group walk covers the permutation");
+                }
+            }
+        }
+
+        /// `count_where` (the projection-driven full scan) agrees with a
+        /// naive filter over the live triples, at every position, sealed
+        /// or not.
+        #[test]
+        fn count_where_agrees_with_naive(
+            first in proptest::collection::vec(arb_triple(), 0..40),
+            removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
+            second in proptest::collection::vec(arb_triple(), 0..20),
+            needle in "[a-z]",
+            seal in any::<bool>(),
+        ) {
+            let mut db = TripleStore::new();
+            let mut reference: Vec<Triple> = Vec::new();
+            for t in &first {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            if seal { db.seal_log_for_test(); }
+            for idx in &removals {
+                if reference.is_empty() { break; }
+                let t = reference.remove(idx.index(reference.len()));
+                prop_assert!(db.remove(&t));
+            }
+            for t in &second {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            for pos in Position::ALL {
+                let fast = db.count_where(pos, |lex| lex.starts_with(needle.as_str()));
+                let naive = reference
+                    .iter()
+                    .filter(|t| t.get(pos).lexical().starts_with(needle.as_str()))
+                    .count();
+                prop_assert_eq!(fast, naive, "{:?} {:?}", pos, needle);
+            }
+        }
+
+        /// Granule batches concatenate to exactly the row-at-a-time
+        /// cursor stream — same rows, same order — for every cursor
+        /// source (posting, zone scan, full scan) under interleaved
+        /// mutation and sealing.
+        #[test]
+        fn next_block_concatenates_to_iteration(
+            first in proptest::collection::vec(arb_triple(), 0..40),
+            removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..12),
+            second in proptest::collection::vec(arb_triple(), 0..20),
+            seal_points in 0u8..4,
+        ) {
+            let mut db = TripleStore::new();
+            let mut reference: Vec<Triple> = Vec::new();
+            for t in &first {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            if seal_points & 1 != 0 { db.seal_log_for_test(); }
+            for idx in &removals {
+                if reference.is_empty() { break; }
+                let t = reference.remove(idx.index(reference.len()));
+                prop_assert!(db.remove(&t));
+            }
+            for t in &second {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            if seal_points & 2 != 0 { db.seal_log_for_test(); }
+            for pos in Position::ALL {
+                for t in first.iter().chain(&second) {
+                    let term = t.get(pos);
+                    let v = term.lexical();
+                    let via_posting: Vec<u32> = db.select_eq_rows(pos, v).collect();
+                    prop_assert_eq!(drain_blocks(db.select_eq_rows(pos, v)), via_posting, "posting {:?}", pos);
+                    let via_scan: Vec<u32> = db.scan_eq_rows(pos, v).collect();
+                    prop_assert_eq!(drain_blocks(db.scan_eq_rows(pos, v)), via_scan, "scan {:?}", pos);
+                }
+            }
+            let full: Vec<u32> = db.rows().collect();
+            prop_assert_eq!(full.len(), reference.len());
+            prop_assert_eq!(drain_blocks(db.rows()), full, "full scan");
+        }
+
+        /// `merge_join` returns exactly the hash join's bindings as
+        /// multisets (the merge emits (key, left row, right row) order,
+        /// the hash join emits probe order), for the single-shared-var
+        /// merge path and both fallbacks (two shared vars, none).
+        #[test]
+        fn merge_join_agrees_with_hash_join(
+            triples in proptest::collection::vec(arb_triple(), 0..40),
+            p1 in "[p-r]{1,2}",
+            p2 in "[p-r]{1,2}",
+            seal in any::<bool>(),
+            shape in 0usize..3,
+        ) {
+            let mut db = TripleStore::new();
+            for t in &triples { db.insert(t.clone()); }
+            if seal { db.seal_log_for_test(); }
+            let (left, right) = match shape {
+                // One shared variable: the linear merge path.
+                0 => (
+                    TriplePattern::new(
+                        PatternTerm::var("x"),
+                        PatternTerm::constant(Term::uri(p1)),
+                        PatternTerm::var("a"),
+                    ),
+                    TriplePattern::new(
+                        PatternTerm::var("x"),
+                        PatternTerm::constant(Term::uri(p2)),
+                        PatternTerm::var("b"),
+                    ),
+                ),
+                // Two shared variables: falls back to the hash join.
+                1 => (
+                    TriplePattern::new(
+                        PatternTerm::var("x"),
+                        PatternTerm::constant(Term::uri(p1)),
+                        PatternTerm::var("a"),
+                    ),
+                    TriplePattern::new(
+                        PatternTerm::var("x"),
+                        PatternTerm::var("q"),
+                        PatternTerm::var("a"),
+                    ),
+                ),
+                // No shared variable: cartesian fallback.
+                _ => (
+                    TriplePattern::new(
+                        PatternTerm::var("x"),
+                        PatternTerm::constant(Term::uri(p1)),
+                        PatternTerm::var("a"),
+                    ),
+                    TriplePattern::new(
+                        PatternTerm::var("y"),
+                        PatternTerm::constant(Term::uri(p2)),
+                        PatternTerm::var("b"),
+                    ),
+                ),
+            };
+            let sort_key = |b: &Binding| format!("{b}");
+            let mut merged = db.merge_join(&left, &right);
+            let mut hashed = db.join(&left, &right);
+            merged.sort_by_key(sort_key);
+            hashed.sort_by_key(sort_key);
+            prop_assert_eq!(merged, hashed, "shape {}", shape);
+            // Code-level rows agree too (count is enough: decoded
+            // bindings above pin the contents).
+            prop_assert_eq!(
+                db.merge_join_codes(&left, &right).len(),
+                db.join_codes(&left, &right).len()
+            );
+        }
+
+        /// Repeated-variable and LIKE-constant patterns run through the
+        /// granule-batched residual filter; they agree with the naive
+        /// filter under sealing and compaction.
+        #[test]
+        fn granule_residuals_agree_with_naive(
+            triples in proptest::collection::vec(arb_triple(), 0..50),
+            removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
+            core in "[x-z]{0,1}",
+            ops in 0u8..4,
+        ) {
+            let mut db = TripleStore::new();
+            let mut reference: Vec<Triple> = Vec::new();
+            for t in &triples {
+                if db.insert(t.clone()) { reference.push(t.clone()); }
+            }
+            for idx in &removals {
+                if reference.is_empty() { break; }
+                let t = reference.remove(idx.index(reference.len()));
+                prop_assert!(db.remove(&t));
+            }
+            if ops & 1 != 0 { db.seal_log_for_test(); }
+            if ops & 2 != 0 { db.compact(); }
+            // Repeated variable: subject must equal predicate.
+            let rep = TriplePattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::var("x"),
+                PatternTerm::var("o"),
+            );
+            let naive_rep = reference
+                .iter()
+                .filter(|t| t.subject.as_str() == t.predicate.as_str())
+                .count();
+            prop_assert_eq!(db.match_pattern(&rep).len(), naive_rep);
+            // LIKE constant: residual `%core%` filter on the object.
+            let like = format!("%{core}%");
+            let lp = TriplePattern::new(
+                PatternTerm::var("s"),
+                PatternTerm::var("p"),
+                PatternTerm::constant(Term::literal(like.clone())),
+            );
+            let naive_like = reference
+                .iter()
+                .filter(|t| t.get(Position::Object).matches_like(&like))
+                .count();
+            prop_assert_eq!(db.match_pattern(&lp).len(), naive_like, "like {:?}", like);
         }
     }
 }

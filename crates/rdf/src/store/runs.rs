@@ -7,10 +7,16 @@
 //! position,
 //!
 //! * a **sorted permutation** — the range's row ids ordered by
-//!   `(term id, row id)`, and
+//!   `(term id, row id)`,
+//! * a **key projection** — the term id of each permutation entry,
+//!   stored contiguously alongside it (`keys[i]` is the id of row
+//!   `perm[i]`), so every in-run binary search, zone derivation and
+//!   group walk reads one sequential `u32` array instead of gathering
+//!   `col[perm[i]]` through the permutation — the *run-local
+//!   projection*, and
 //! * a **zone map** — the min/max term id of each [`BLOCK`]-sized
 //!   granule of that sorted order (a sparse index: because the
-//!   permutation is sorted, a granule's zone is just its first and last
+//!   projection is sorted, a granule's zone is just its first and last
 //!   entry).
 //!
 //! An equality scan prunes granules whose `[min, max]` cannot contain
@@ -21,6 +27,15 @@
 //! order, so a multi-run scan yields globally ascending row ids with no
 //! merge step.
 //!
+//! The sorted projection additionally makes a run *group-iterable*: the
+//! rows of each distinct term form one contiguous span of the
+//! permutation ([`Run::for_each_group`]), so a string predicate over a
+//! position is evaluated once per distinct run-local term and then
+//! credited to the whole span — not once per row
+//! ([`crate::TripleStore::count_where`]) — and two patterns can be
+//! merge-joined by walking their key projections in lockstep
+//! ([`crate::TripleStore::merge_join`]).
+//!
 //! Runs are merged lazily on a **size-tiered schedule**: sealing keeps
 //! merging the two newest runs while the older is within [`TIER`]× the
 //! newer, so the store converges to O(log n) runs without ever paying a
@@ -29,18 +44,19 @@
 //! folds everything into a single run.
 //!
 //! Each run also records its **distinct predicate ids**, read off the
-//! predicate permutation for free; [`crate::TripleStore::predicates`]
+//! predicate projection for free; [`crate::TripleStore::predicates`]
 //! unions those instead of walking the dictionary.
 
 use super::columns::Columns;
 use crate::dict::TermId;
 use crate::triple::Position;
 
-/// Rows per zone-map granule.
+/// Rows per zone-map granule (also the batch size of the granule-at-a-
+/// time cursor evaluation, re-exported as [`crate::store::GRANULE`]).
 pub(crate) const BLOCK: usize = 256;
 
 /// Append-log length that triggers sealing a new run.
-const SEAL_MIN: usize = 32_768;
+pub(crate) const SEAL_MIN: usize = 32_768;
 
 /// Size-tiered merge factor: the two newest runs merge while
 /// `older.len() <= TIER * newer.len()`.
@@ -71,6 +87,10 @@ pub(crate) struct Run {
     end: u32,
     /// Per position: row ids of the range ordered by `(term id, row id)`.
     sorted: [Vec<u32>; 3],
+    /// Per position: the term id of each `sorted` entry (`keys[p][i]` is
+    /// the id of row `sorted[p][i]`) — the contiguous projection every
+    /// in-run search and group walk reads instead of the columns.
+    keys: [Vec<u32>; 3],
     /// Per position: min/max term id per [`BLOCK`] of the sorted order.
     zones: [Vec<Zone>; 3],
     /// Sorted distinct predicate ids of the range.
@@ -88,6 +108,7 @@ impl Run {
     fn build(cols: &Columns, start: u32, end: u32, id_bound: usize) -> Run {
         let n = (end - start) as usize;
         let mut sorted: [Vec<u32>; 3] = Default::default();
+        let mut keys: [Vec<u32>; 3] = Default::default();
         for pos in Position::ALL {
             let col = &cols.col(pos)[start as usize..end as usize];
             let perm = if id_bound <= 4 * n + 1024 {
@@ -120,76 +141,87 @@ impl Run {
                 keyed.sort_unstable();
                 keyed.into_iter().map(|k| k as u32).collect()
             };
+            // Project the ids into permutation order: one gather now so
+            // every later search walks a contiguous array.
+            keys[pidx(pos)] = perm.iter().map(|&r| cols.col(pos)[r as usize].0).collect();
             sorted[pidx(pos)] = perm;
         }
         let mut run = Run {
             start,
             end,
             sorted,
+            keys,
             zones: Default::default(),
             distinct_p: Vec::new(),
         };
-        run.rebuild_metadata(cols);
+        run.rebuild_metadata();
         run
     }
 
-    /// Merge two row-id-adjacent runs: one linear pass per position.
-    fn merge(a: &Run, b: &Run, cols: &Columns) -> Run {
+    /// Merge two row-id-adjacent runs: one linear pass per position over
+    /// their key projections (no column gathers).
+    fn merge(a: &Run, b: &Run) -> Run {
         debug_assert_eq!(a.end, b.start);
         let mut sorted: [Vec<u32>; 3] = Default::default();
+        let mut keys: [Vec<u32>; 3] = Default::default();
         for pos in Position::ALL {
-            let col = cols.col(pos);
-            let key = |r: u32| ((col[r as usize].0 as u64) << 32) | r as u64;
-            let (la, lb) = (&a.sorted[pidx(pos)], &b.sorted[pidx(pos)]);
-            let mut out = Vec::with_capacity(la.len() + lb.len());
+            let p = pidx(pos);
+            let (pa, pb) = (&a.sorted[p], &b.sorted[p]);
+            let (ka, kb) = (&a.keys[p], &b.keys[p]);
+            let mut out = Vec::with_capacity(pa.len() + pb.len());
+            let mut out_keys = Vec::with_capacity(pa.len() + pb.len());
             let (mut i, mut j) = (0, 0);
-            while i < la.len() && j < lb.len() {
-                if key(la[i]) <= key(lb[j]) {
-                    out.push(la[i]);
+            while i < pa.len() && j < pb.len() {
+                // Row ids of `a` precede `b`'s, so equal keys take `a`.
+                if ka[i] <= kb[j] {
+                    out.push(pa[i]);
+                    out_keys.push(ka[i]);
                     i += 1;
                 } else {
-                    out.push(lb[j]);
+                    out.push(pb[j]);
+                    out_keys.push(kb[j]);
                     j += 1;
                 }
             }
-            out.extend_from_slice(&la[i..]);
-            out.extend_from_slice(&lb[j..]);
-            sorted[pidx(pos)] = out;
+            out.extend_from_slice(&pa[i..]);
+            out_keys.extend_from_slice(&ka[i..]);
+            out.extend_from_slice(&pb[j..]);
+            out_keys.extend_from_slice(&kb[j..]);
+            sorted[p] = out;
+            keys[p] = out_keys;
         }
         let mut run = Run {
             start: a.start,
             end: b.end,
             sorted,
+            keys,
             zones: Default::default(),
             distinct_p: Vec::new(),
         };
-        run.rebuild_metadata(cols);
+        run.rebuild_metadata();
         run
     }
 
-    /// Derive zones and distinct predicates from the sorted
-    /// permutations (both are linear reads of sorted data).
-    fn rebuild_metadata(&mut self, cols: &Columns) {
+    /// Derive zones and distinct predicates from the key projections
+    /// (both are linear reads of sorted data).
+    fn rebuild_metadata(&mut self) {
         for pos in Position::ALL {
-            let col = cols.col(pos);
-            let perm = &self.sorted[pidx(pos)];
-            let zones = perm
+            let keys = &self.keys[pidx(pos)];
+            let zones = keys
                 .chunks(BLOCK)
                 .map(|chunk| Zone {
-                    min: col[chunk[0] as usize].0,
-                    max: col[chunk[chunk.len() - 1] as usize].0,
+                    min: chunk[0],
+                    max: chunk[chunk.len() - 1],
                 })
                 .collect();
             self.zones[pidx(pos)] = zones;
         }
-        let pcol = cols.col(Position::Predicate);
         let mut distinct = Vec::new();
-        let mut last: Option<TermId> = None;
-        for &r in &self.sorted[pidx(Position::Predicate)] {
-            let id = pcol[r as usize];
-            if last != Some(id) {
-                distinct.push(id);
-                last = Some(id);
+        let mut last = u32::MAX;
+        for &k in &self.keys[pidx(Position::Predicate)] {
+            if k != last {
+                distinct.push(TermId(k));
+                last = k;
             }
         }
         self.distinct_p = distinct;
@@ -207,6 +239,38 @@ impl Run {
         &self.distinct_p
     }
 
+    /// One position's sorted permutation (row ids in `(term id, row id)`
+    /// order).
+    #[cfg(test)]
+    pub(crate) fn perm(&self, pos: Position) -> &[u32] {
+        &self.sorted[pidx(pos)]
+    }
+
+    /// One position's key projection, aligned with [`Run::perm`].
+    #[cfg(test)]
+    pub(crate) fn keys(&self, pos: Position) -> &[u32] {
+        &self.keys[pidx(pos)]
+    }
+
+    /// Walk the run's distinct-term groups at one position: `f` is
+    /// called once per distinct term with the contiguous (row-id
+    /// ascending) span of rows carrying it — the group-at-a-time read
+    /// the sorted projection makes free.
+    pub(crate) fn for_each_group(&self, pos: Position, mut f: impl FnMut(TermId, &[u32])) {
+        let keys = &self.keys[pidx(pos)];
+        let perm = &self.sorted[pidx(pos)];
+        let mut i = 0;
+        while i < keys.len() {
+            let key = keys[i];
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] == key {
+                j += 1;
+            }
+            f(TermId(key), &perm[i..j]);
+            i = j;
+        }
+    }
+
     /// The contiguous granule range the zone map cannot rule out for
     /// `id` (granule indexes into the sorted permutation).
     pub(crate) fn pruned_granules(&self, pos: Position, id: TermId) -> std::ops::Range<usize> {
@@ -218,18 +282,20 @@ impl Run {
 
     /// Row ids of the run whose `pos` equals `id`, ascending: prune
     /// granules via the zone map, then narrow to the exact equal range
-    /// inside the survivors (entries are `(term id, row id)`-sorted, so
-    /// the range is contiguous and already row-id ordered).
-    pub(crate) fn eq_rows(&self, cols: &Columns, pos: Position, id: TermId) -> &[u32] {
+    /// inside the survivors — two binary searches over the contiguous
+    /// key projection, no column gathers (entries are
+    /// `(term id, row id)`-sorted, so the range is contiguous and
+    /// already row-id ordered).
+    pub(crate) fn eq_rows(&self, pos: Position, id: TermId) -> &[u32] {
         let granules = self.pruned_granules(pos, id);
         let perm = &self.sorted[pidx(pos)];
+        let keys = &self.keys[pidx(pos)];
         let lo = (granules.start * BLOCK).min(perm.len());
         let hi = (granules.end * BLOCK).min(perm.len());
-        let candidates = &perm[lo..hi];
-        let col = cols.col(pos);
-        let from = candidates.partition_point(|&r| col[r as usize].0 < id.0);
-        let to = candidates.partition_point(|&r| col[r as usize].0 <= id.0);
-        &candidates[from..to]
+        let window = &keys[lo..hi];
+        let from = window.partition_point(|&k| k < id.0);
+        let to = window.partition_point(|&k| k <= id.0);
+        &perm[lo + from..lo + to]
     }
 }
 
@@ -272,7 +338,7 @@ impl RunSet {
         if (cols.len() as u32) > sealed {
             self.runs
                 .push(Run::build(cols, sealed, cols.len() as u32, id_bound));
-            self.merge_tail(cols);
+            self.merge_tail();
         }
     }
 
@@ -291,14 +357,14 @@ impl RunSet {
         self.runs.clear();
     }
 
-    fn merge_tail(&mut self, cols: &Columns) {
+    fn merge_tail(&mut self) {
         while self.runs.len() >= 2 {
             let newer = &self.runs[self.runs.len() - 1];
             let older = &self.runs[self.runs.len() - 2];
             if older.len() > TIER * newer.len() {
                 break;
             }
-            let merged = Run::merge(older, newer, cols);
+            let merged = Run::merge(older, newer);
             self.runs.truncate(self.runs.len() - 2);
             self.runs.push(merged);
         }

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Perf guard over the checked-in BENCH_rdf.json.
+
+Fails CI when a regenerated benchmark file records a regression:
+
+* ``scan_full`` must be at or above parity (>= 1.0x) — the raw-speed
+  pass pinned the full-scan path at least even with the seed store;
+* every pinned op must stay within 0.9x of the speedup recorded when
+  its pin was last refreshed (the PINNED table below is updated in the
+  same commit that regenerates BENCH_rdf.json).
+
+``parallel_ingest_8way`` is deliberately unpinned: the shared-pool
+shard count degenerates to 1 on low-core hosts (see bench_rdf.rs), so
+its recorded speedup measures the machine, not the code.
+
+Usage: python3 scripts/perf_guard.py [path/to/BENCH_rdf.json]
+"""
+
+import json
+import sys
+
+# op -> speedup recorded at the last BENCH_rdf.json regeneration.
+PINNED = {
+    "ingest_100k": 2.09,
+    "ingest_100k_row_at_a_time": 1.18,
+    "select_eq_point": 1.13,
+    "select_eq_scan": 16.23,
+    "select_eq_cursor": 14.54,
+    "select_eq_materialize": 2.58,
+    "select_eq_granules": 61.97,
+    "scan_full": 1.55,
+    "scan_full_projected": 2.55,
+    "select_like_prefix": 234.88,
+    "conjunctive_join_3": 366.78,
+    "merge_join_runs": 1.23,
+    "exec_first_result": 10.62,
+    "exec_limit_10": 27.71,
+    "exec_overlap_first_result": 2.57,
+    "exec_load_p99": 4.30,
+    "exec_failover_p99": 1.12,
+}
+
+TOLERANCE = 0.9  # a regenerated speedup may drop to 90% of its pin
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_rdf.json"
+    with open(path) as f:
+        data = json.load(f)
+    recorded = {r["op"]: r["speedup"] for r in data["results"]}
+    failures = []
+
+    scan_full = recorded.get("scan_full")
+    if scan_full is None:
+        failures.append("scan_full missing from results")
+    elif scan_full < 1.0:
+        failures.append(f"scan_full {scan_full:.2f}x below parity (>= 1.0x required)")
+
+    for op, pin in sorted(PINNED.items()):
+        got = recorded.get(op)
+        if got is None:
+            failures.append(f"{op} missing from results (pinned at {pin:.2f}x)")
+        elif got < TOLERANCE * pin:
+            failures.append(
+                f"{op} {got:.2f}x fell below {TOLERANCE:.0%} of its "
+                f"{pin:.2f}x pin ({TOLERANCE * pin:.2f}x floor)"
+            )
+
+    for op in sorted(recorded):
+        if op not in PINNED and op != "parallel_ingest_8way":
+            print(f"note: {op} ({recorded[op]:.2f}x) is not pinned; add it to PINNED")
+
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}", file=sys.stderr)
+        return 1
+    print(f"perf guard: {len(PINNED)} pinned ops ok, scan_full {scan_full:.2f}x >= 1.0x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
